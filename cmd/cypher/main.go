@@ -1,0 +1,132 @@
+// Command cypher loads a property graph (a generated dataset or a
+// snapshot) and executes Cypher queries against it: a single -q query or an
+// interactive REPL on stdin.
+//
+// Usage:
+//
+//	cypher -dataset Twitter -q 'MATCH (u:User)-[:FOLLOWS]->(u) RETURN count(*) AS selfFollows'
+//	cypher -snapshot graph.snap          # REPL
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cypher:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("cypher", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "", "dataset to load (WWC2019, Cybersecurity, Twitter)")
+	snapshot := fs.String("snapshot", "", "binary snapshot file to load")
+	query := fs.String("q", "", "single query to run (omit for a REPL)")
+	seed := fs.Int64("graph-seed", 42, "dataset generator seed")
+	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	switch {
+	case *snapshot != "":
+		var err error
+		if g, err = storage.LoadFile(*snapshot); err != nil {
+			return err
+		}
+	case *datasetName != "":
+		gen, err := datasets.ByName(*datasetName)
+		if err != nil {
+			return err
+		}
+		g = gen(datasets.Options{Seed: *seed, ViolationRate: *violations})
+	default:
+		g = graph.New("empty")
+	}
+	fmt.Fprintf(out, "Loaded %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())
+
+	ex := cypher.NewExecutor(g)
+	if *query != "" {
+		return runQuery(ex, *query, out)
+	}
+
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats" and "explain <query>" inspect)`)
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "exit" || line == "quit":
+			return nil
+		case line == "schema":
+			fmt.Fprint(out, graph.ExtractSchema(g).Describe())
+			continue
+		case line == "stats":
+			fmt.Fprint(out, graph.ComputeStats(g).String())
+			continue
+		case strings.HasPrefix(line, "explain "):
+			plan, err := ex.Explain(strings.TrimPrefix(line, "explain "))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprint(out, plan)
+			}
+			continue
+		}
+		if err := runQuery(ex, line, out); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+func runQuery(ex *cypher.Executor, src string, out io.Writer) error {
+	start := time.Now()
+	res, err := ex.Run(src, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(res.Columns) > 0 {
+		fmt.Fprintln(out, strings.Join(res.Columns, "\t"))
+		const maxRows = 50
+		for i, row := range res.Rows {
+			if i == maxRows {
+				fmt.Fprintf(out, "... (%d more rows)\n", len(res.Rows)-maxRows)
+				break
+			}
+			cells := make([]string, len(row))
+			for j, d := range row {
+				cells[j] = d.Display()
+			}
+			fmt.Fprintln(out, strings.Join(cells, "\t"))
+		}
+	}
+	st := res.Stats
+	if st.NodesCreated+st.EdgesCreated+st.NodesDeleted+st.EdgesDeleted+st.PropertiesSet+st.LabelsAdded > 0 {
+		fmt.Fprintf(out, "(created %d nodes, %d rels; deleted %d nodes, %d rels; set %d props)\n",
+			st.NodesCreated, st.EdgesCreated, st.NodesDeleted, st.EdgesDeleted, st.PropertiesSet)
+	}
+	fmt.Fprintf(out, "%d row(s) in %s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleQuery(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Cybersecurity", "-q", "MATCH (u:User) RETURN count(*) AS n"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Loaded Cybersecurity") || !strings.Contains(s, "400") {
+		t.Errorf("output wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "1 row(s)") {
+		t.Error("row count missing")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	input := strings.Join([]string{
+		"",
+		"schema",
+		"stats",
+		"explain MATCH (u:User) RETURN count(*) AS n",
+		"explain BROKEN (",
+		"MATCH (u:User) RETURN count(*) AS n",
+		"THIS IS NOT CYPHER",
+		"exit",
+	}, "\n")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Cybersecurity"}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Node labels:") {
+		t.Error("schema command failed")
+	}
+	if !strings.Contains(s, "MaxInDegree") {
+		t.Error("stats command failed")
+	}
+	if !strings.Contains(s, "NodeByLabelScan(u:User)") {
+		t.Error("explain command failed")
+	}
+	if !strings.Contains(s, "error:") {
+		t.Error("bad query should print an error, not abort")
+	}
+	if !strings.Contains(s, "400") {
+		t.Error("query result missing")
+	}
+}
+
+func TestREPLEOF(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Loaded empty") {
+		t.Error("empty graph default missing")
+	}
+}
+
+func TestMutationStats(t *testing.T) {
+	var out bytes.Buffer
+	input := "CREATE (a:X {id: 1})-[:R]->(b:X {id: 2})\nexit\n"
+	if err := run(nil, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "created 2 nodes, 1 rels") {
+		t.Errorf("mutation stats missing:\n%s", out.String())
+	}
+}
+
+func TestRowTruncation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Cybersecurity", "-q", "MATCH (u:User) RETURN u.id AS id"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "more rows") {
+		t.Error("long results should truncate with a notice")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-snapshot", "/no/such"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+	if err := run([]string{"-q", "BROKEN ("}, strings.NewReader(""), &out); err == nil {
+		t.Error("broken single query should fail")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/storage"
+)
+
+func TestTable1Print(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cyber.snap")
+	if err := run([]string{"-dataset", "Cybersecurity", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := storage.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 953 || g.EdgeCount() != 4838 {
+		t.Errorf("snapshot sizes = %d/%d", g.NodeCount(), g.EdgeCount())
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := run([]string{"-dataset", "Cybersecurity", "-format", "json", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := storage.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 953 {
+		t.Error("json export wrong")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "cyber")
+	if err := run([]string{"-dataset", "Cybersecurity", "-format", "csv", "-out", base}); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := os.Open(base + "_nodes.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodes.Close()
+	edges, err := os.Open(base + "_edges.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edges.Close()
+	g, err := storage.ReadCSV("cyber", nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 4838 {
+		t.Error("csv export wrong")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-out", "/tmp/x.snap"},                                           // missing dataset
+		{"-dataset", "nope", "-out", "/tmp/x.snap"},                       // unknown dataset
+		{"-dataset", "Cybersecurity", "-format", "xml", "-out", "/tmp/x"}, // unknown format
+		{"-bogus-flag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command rulemine runs the LLM consistency-rule mining pipeline on one of
+// the paper's datasets (or a saved snapshot) and prints the mined rules
+// with their support / coverage / confidence scores.
+//
+// Usage:
+//
+//	rulemine -dataset WWC2019 -model llama3 -method swa -mode zero
+//	rulemine -snapshot graph.snap -model mixtral -method rag -mode few -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/mining"
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/storage"
+	"github.com/graphrules/graphrules/internal/textenc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rulemine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rulemine", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "WWC2019", "dataset to mine (WWC2019, Cybersecurity, Twitter)")
+	snapshot := fs.String("snapshot", "", "binary snapshot file to mine instead of a generated dataset")
+	modelName := fs.String("model", "llama3", "model profile: llama3 or mixtral")
+	methodName := fs.String("method", "swa", "encoding method: swa (sliding window) or rag")
+	modeName := fs.String("mode", "zero", "prompting: zero or few")
+	encoderName := fs.String("encoder", "incident", "graph encoder: incident, adjacency or triplet")
+	seed := fs.Int64("seed", 42, "model seed")
+	graphSeed := fs.Int64("graph-seed", 42, "dataset generator seed")
+	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
+	verbose := fs.Bool("v", false, "print generated and corrected Cypher")
+	asJSON := fs.Bool("json", false, "emit the full run report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	if *snapshot != "" {
+		var err error
+		if g, err = storage.LoadFile(*snapshot); err != nil {
+			return err
+		}
+	} else {
+		gen, err := datasets.ByName(*datasetName)
+		if err != nil {
+			return err
+		}
+		g = gen(datasets.Options{Seed: *graphSeed, ViolationRate: *violations})
+	}
+
+	var profile llm.Profile
+	switch strings.ToLower(*modelName) {
+	case "llama3", "llama-3", "llama":
+		profile = llm.LLaMA3()
+	case "mixtral":
+		profile = llm.Mixtral()
+	default:
+		return fmt.Errorf("unknown model %q (want llama3 or mixtral)", *modelName)
+	}
+
+	var method mining.Method
+	switch strings.ToLower(*methodName) {
+	case "swa", "sliding", "window":
+		method = mining.SlidingWindow
+	case "rag":
+		method = mining.RAG
+	default:
+		return fmt.Errorf("unknown method %q (want swa or rag)", *methodName)
+	}
+
+	var mode prompt.Mode
+	switch strings.ToLower(*modeName) {
+	case "zero", "zero-shot":
+		mode = prompt.ZeroShot
+	case "few", "few-shot":
+		mode = prompt.FewShot
+	default:
+		return fmt.Errorf("unknown mode %q (want zero or few)", *modeName)
+	}
+
+	encoder, ok := textenc.Encoders()[strings.ToLower(*encoderName)]
+	if !ok {
+		return fmt.Errorf("unknown encoder %q (want %v)", *encoderName, textenc.EncoderNames())
+	}
+
+	res, err := mining.Mine(g, mining.Config{
+		Model:   llm.NewSim(profile, *seed),
+		Method:  method,
+		Mode:    mode,
+		Encoder: encoder,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		return res.WriteJSON(out)
+	}
+
+	fmt.Fprintf(out, "Dataset %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())
+	fmt.Fprintf(out, "Model %s | %s | %s | encoder %s\n", res.Model, res.Method, res.Mode, res.Encoder)
+	fmt.Fprintf(out, "LLM calls: %d | simulated mining time: %.2fs (+%.2fs translation) | wall clock: %s\n",
+		res.Windows, res.MiningSeconds+res.IndexSeconds, res.TranslationSeconds, res.WallClock.Round(1000000))
+	if res.Method == mining.SlidingWindow {
+		fmt.Fprintf(out, "Patterns broken across window boundaries: %d\n", res.BrokenPatterns)
+	}
+	fmt.Fprintf(out, "Cypher correctness: %d/%d\n\n", res.CypherCorrect, res.CypherTotal)
+
+	for i, mr := range res.Rules {
+		fmt.Fprintf(out, "%2d. %s\n", i+1, mr.NL)
+		fmt.Fprintf(out, "    kind=%s complexity=%d category=%s corrected=%v\n",
+			mr.Rule.Kind(), mr.Rule.Complexity(), mr.Category, mr.Corrected)
+		if mr.EvalErr != nil {
+			fmt.Fprintf(out, "    evaluation failed: %v\n", mr.EvalErr)
+		} else {
+			fmt.Fprintf(out, "    support=%d coverage=%.2f%% confidence=%.2f%%\n",
+				mr.Score.Counts.Support, mr.Score.Coverage, mr.Score.Confidence)
+		}
+		if *verbose {
+			fmt.Fprintf(out, "    generated: %s\n", mr.Generated.Support)
+			if mr.Corrected {
+				fmt.Fprintf(out, "    corrected: %s\n", mr.Final.Support)
+			}
+		}
+	}
+	agg := res.Aggregate
+	fmt.Fprintf(out, "\nAggregate: %d rules | mean support %.0f | mean coverage %.2f%% | mean confidence %.2f%%\n",
+		agg.Rules, agg.MeanSupport, agg.MeanCoverage, agg.MeanConfidence)
+	return nil
+}

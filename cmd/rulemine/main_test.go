@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/storage"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Cybersecurity"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Dataset Cybersecurity: 953 nodes, 4838 edges",
+		"Llama-3", "Sliding Window Attention", "zero-shot",
+		"Cypher correctness:",
+		"Aggregate:",
+		"confidence",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRAGMixtralVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Cybersecurity", "-model", "mixtral", "-method", "rag", "-mode", "few", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Mixtral") || !strings.Contains(s, "RAG") || !strings.Contains(s, "few-shot") {
+		t.Errorf("config not reflected:\n%s", s)
+	}
+	if !strings.Contains(s, "generated: ") {
+		t.Error("-v should print generated queries")
+	}
+}
+
+func TestRunFromSnapshot(t *testing.T) {
+	g := datasets.Cybersecurity(datasets.DefaultOptions())
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := storage.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-snapshot", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "953 nodes") {
+		t.Error("snapshot not loaded")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Cybersecurity", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("-json output not JSON: %v", err)
+	}
+	if decoded["dataset"] != "Cybersecurity" {
+		t.Error("json dataset wrong")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-model", "gpt4"},
+		{"-method", "teleport"},
+		{"-mode", "many"},
+		{"-encoder", "morse"},
+		{"-snapshot", "/no/such/file"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

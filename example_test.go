@@ -1,0 +1,99 @@
+package graphrules_test
+
+import (
+	"fmt"
+
+	"github.com/graphrules/graphrules"
+)
+
+// ExampleMine mines consistency rules on a small social graph with the
+// simulated LLaMA-3 model and prints the statement of the top rule.
+func ExampleMine() {
+	g := graphrules.NewGraph("demo")
+	var users []*graphrules.Node
+	for i := 0; i < 10; i++ {
+		users = append(users, g.AddNode([]string{"User"}, graphrules.Props{
+			"id": graphrules.NewIntValue(int64(i)),
+		}))
+	}
+	for i := 0; i < 9; i++ {
+		tw := g.AddNode([]string{"Tweet"}, graphrules.Props{
+			"id": graphrules.NewIntValue(int64(100 + i)),
+		})
+		g.MustAddEdge(users[i].ID, tw.ID, []string{"POSTS"}, nil)
+	}
+
+	res, err := graphrules.Mine(g, graphrules.MiningConfig{
+		Model:         graphrules.NewSimModel(graphrules.LLaMA3(), 1),
+		WindowTokens:  400,
+		OverlapTokens: 40,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Rules[0].NL)
+	fmt.Printf("confidence %.0f%%\n", res.Rules[0].Score.Confidence)
+	// Output:
+	// Each User node should have a unique id property.
+	// confidence 100%
+}
+
+// ExampleExecutor_Run executes a Cypher aggregation against a graph.
+func ExampleExecutor_Run() {
+	g := graphrules.NewGraph("q")
+	a := g.AddNode([]string{"User"}, graphrules.Props{"name": graphrules.NewStringValue("ann")})
+	b := g.AddNode([]string{"User"}, graphrules.Props{"name": graphrules.NewStringValue("bob")})
+	g.MustAddEdge(a.ID, b.ID, []string{"FOLLOWS"}, nil)
+	g.MustAddEdge(b.ID, a.ID, []string{"FOLLOWS"}, nil)
+
+	res, err := graphrules.NewExecutor(g).Run(
+		`MATCH (u:User)-[:FOLLOWS]->(v:User) RETURN count(*) AS follows`, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("follows:", res.FirstInt("follows"))
+	// Output:
+	// follows: 2
+}
+
+// ExampleParseRuleNL round-trips a rule between its natural-language and
+// structured forms.
+func ExampleParseRuleNL() {
+	r, ok := graphrules.ParseRuleNL("Each Tweet node should have a unique id property.")
+	if !ok {
+		fmt.Println("unparseable")
+		return
+	}
+	fmt.Println(r.Kind())
+	fmt.Println(r.Formal())
+	// Output:
+	// unique-property
+	// ∀x,y: Tweet(x) ∧ Tweet(y) ∧ x.id = y.id → x = y
+}
+
+// ExampleRuleViolations lists the concrete elements violating a rule.
+func ExampleRuleViolations() {
+	g := graphrules.NewGraph("v")
+	g.AddNode([]string{"User"}, graphrules.Props{"id": graphrules.NewIntValue(1)})
+	g.AddNode([]string{"User"}, graphrules.Props{"id": graphrules.NewIntValue(1)}) // duplicate
+	g.AddNode([]string{"User"}, graphrules.Props{"id": graphrules.NewIntValue(2)})
+
+	r, _ := graphrules.ParseRuleNL("Each User node should have a unique id property.")
+	q, err := graphrules.RuleViolations(r, 10)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := graphrules.NewExecutor(g).Run(q, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("violating groups:", res.Len())
+	fmt.Println("duplicated value:", res.Value(0, "value").Display())
+	// Output:
+	// violating groups: 1
+	// duplicated value: 1
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a tiny property graph, mine consistency rules with the
+// simulated LLM pipeline, and print each rule with its metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/mining"
+)
+
+func main() {
+	// 1. Build a small social graph with a couple of deliberate
+	//    inconsistencies: a duplicate user id and a self-follow.
+	g := graph.New("quickstart")
+	var users []*graph.Node
+	for i := 0; i < 20; i++ {
+		id := int64(i)
+		if i == 19 {
+			id = 0 // violation: duplicate id
+		}
+		users = append(users, g.AddNode([]string{"User"}, graph.Props{
+			"id":   graph.NewInt(id),
+			"name": graph.NewString(fmt.Sprintf("user-%02d", i)),
+		}))
+	}
+	for i := 0; i < 30; i++ {
+		t := g.AddNode([]string{"Tweet"}, graph.Props{
+			"id":        graph.NewInt(int64(100 + i)),
+			"text":      graph.NewString(fmt.Sprintf("post %d", i)),
+			"createdAt": graph.NewInt(int64(1000 + i)),
+		})
+		g.MustAddEdge(users[i%20].ID, t.ID, []string{"POSTS"}, nil)
+	}
+	for i := 0; i < 15; i++ {
+		to := (i + 3) % 20
+		if i == 7 {
+			to = i // violation: self-follow
+		}
+		g.MustAddEdge(users[i].ID, users[to].ID, []string{"FOLLOWS"}, nil)
+	}
+
+	// 2. Mine rules with the LLaMA-3 profile over sliding windows.
+	res, err := mining.Mine(g, mining.Config{
+		Model:         llm.NewSim(llm.LLaMA3(), 1),
+		WindowTokens:  800, // tiny graph, tiny windows
+		OverlapTokens: 80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the results.
+	fmt.Printf("mined %d rules from %d windows (%.1f simulated LLM seconds)\n\n",
+		len(res.Rules), res.Windows, res.TotalSimSeconds())
+	for _, mr := range res.Rules {
+		fmt.Printf("- %s\n    support=%d coverage=%.1f%% confidence=%.1f%% (cypher: %s)\n",
+			mr.NL, mr.Score.Counts.Support, mr.Score.Coverage, mr.Score.Confidence, mr.Category)
+	}
+	fmt.Printf("\naggregate: coverage %.1f%%, confidence %.1f%%\n",
+		res.Aggregate.MeanCoverage, res.Aggregate.MeanConfidence)
+}

@@ -1,0 +1,68 @@
+// Refine demonstrates the paper's future-work direction of interactive
+// rule mining (§5): a domain expert reviews the mined rules, accepts the
+// useful ones, rejects the noise, and re-mines — with rejections fed back
+// to the model as prompt exclusions so fresh candidates surface.
+//
+// Run with: go run ./examples/refine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/mining"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+func main() {
+	g := datasets.Cybersecurity(datasets.DefaultOptions())
+	session, err := mining.NewSession(g, mining.Config{Model: llm.NewSim(llm.Mixtral(), 7)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== round 1: initial mining ===")
+	for _, mr := range session.Pending() {
+		fmt.Printf("  [%5.1f%%] %s\n", mr.Score.Confidence, mr.NL)
+	}
+
+	// Play the expert: keep high-confidence structural facts, reject
+	// anything with zero support (hallucinations) or trivially low value.
+	var kept, dropped int
+	for _, mr := range session.Pending() {
+		switch {
+		case mr.Score.Counts.Support == 0:
+			if err := session.Reject(mr.Rule.DedupKey()); err != nil {
+				log.Fatal(err)
+			}
+			dropped++
+		case mr.Score.Confidence >= 99:
+			if err := session.Accept(mr.Rule.DedupKey()); err != nil {
+				log.Fatal(err)
+			}
+			kept++
+		}
+	}
+	fmt.Printf("\nexpert feedback: accepted %d, rejected %d\n\n", kept, dropped)
+
+	if _, err := session.Refine(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== round %d: after refinement (rejections excluded from the prompt) ===\n", session.Rounds())
+	for _, mr := range session.Pending() {
+		fmt.Printf("  new candidate [%5.1f%%] %s\n", mr.Score.Confidence, mr.NL)
+	}
+
+	fmt.Println("\n=== final rule set ===")
+	for _, r := range session.Export() {
+		fmt.Printf("  %s\n", r.NL())
+	}
+
+	// Explain one accepted rule the way the paper's future work imagines.
+	if accepted := session.Accepted(); len(accepted) > 0 {
+		fmt.Println("\nrationale for the first accepted rule:")
+		fmt.Println("  " + rules.Explain(accepted[0].Rule, accepted[0].Score.Counts))
+	}
+}

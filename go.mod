@@ -1,0 +1,3 @@
+module github.com/graphrules/graphrules
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package graphrules is a complete Go implementation of the pipeline from
+// "Graph Consistency Rule Mining with LLMs: an Exploratory Study" (EDBT
+// 2025): mining data-quality rules for property graphs with a large
+// language model, scoring them with AMIE-style support / coverage /
+// confidence, and auto-correcting the LLM's generated Cypher.
+//
+// The package is a curated facade over the implementation packages:
+//
+//   - graph: the in-memory property-graph store
+//   - cypher: the embedded Cypher execution engine (the Neo4j stand-in)
+//   - textenc: graph-to-text encoders, sliding windows, RAG chunks
+//   - llm: the deterministic simulated LLaMA-3 / Mixtral models
+//   - rules, metrics, correction: the rule model and its evaluation
+//   - mining: the end-to-end pipeline
+//   - datasets: the paper's three evaluation graphs
+//   - baseline: a classical AMIE-style comparator
+//   - storage: snapshots, JSON, CSV and WAL persistence
+//
+// Quickstart:
+//
+//	g := graphrules.Dataset("WWC2019", graphrules.DefaultDatasetOptions())
+//	res, err := graphrules.Mine(g, graphrules.MiningConfig{
+//		Model: graphrules.NewSimModel(graphrules.LLaMA3(), 42),
+//	})
+//	for _, r := range res.Rules {
+//		fmt.Println(r.NL, r.Score.Confidence)
+//	}
+package graphrules
+
+import (
+	"github.com/graphrules/graphrules/internal/baseline"
+	"github.com/graphrules/graphrules/internal/correction"
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/metrics"
+	"github.com/graphrules/graphrules/internal/mining"
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// Graph model.
+type (
+	// Graph is an in-memory property graph.
+	Graph = graph.Graph
+	// Node is a labeled vertex with properties.
+	Node = graph.Node
+	// Edge is a directed, labeled relationship with properties.
+	Edge = graph.Edge
+	// Value is a dynamically typed property value.
+	Value = graph.Value
+	// Props maps property keys to values.
+	Props = graph.Props
+	// Schema is an extracted structural summary of a graph.
+	Schema = graph.Schema
+)
+
+// NewGraph returns an empty property graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// Value constructors.
+var (
+	// NullValue is the null property value.
+	NullValue = graph.Null
+)
+
+// NewBoolValue wraps a boolean property value.
+func NewBoolValue(b bool) Value { return graph.NewBool(b) }
+
+// NewIntValue wraps an integer property value.
+func NewIntValue(i int64) Value { return graph.NewInt(i) }
+
+// NewFloatValue wraps a floating-point property value.
+func NewFloatValue(f float64) Value { return graph.NewFloat(f) }
+
+// NewStringValue wraps a string property value.
+func NewStringValue(s string) Value { return graph.NewString(s) }
+
+// ExtractSchema summarizes a graph's labels, properties and endpoints.
+func ExtractSchema(g *Graph) *Schema { return graph.ExtractSchema(g) }
+
+// Query engine.
+type (
+	// Executor runs Cypher queries against a graph.
+	Executor = cypher.Executor
+	// QueryResult is the outcome of one query.
+	QueryResult = cypher.Result
+)
+
+// NewExecutor returns a Cypher executor bound to g.
+func NewExecutor(g *Graph) *Executor { return cypher.NewExecutor(g) }
+
+// GraphStats summarizes a graph's size and connectivity.
+type GraphStats = graph.Stats
+
+// ComputeStats scans a graph and summarizes it.
+func ComputeStats(g *Graph) *GraphStats { return graph.ComputeStats(g) }
+
+// Rules and metrics.
+type (
+	// Rule is one consistency rule.
+	Rule = rules.Rule
+	// RuleCounts are the raw support/body/head counts of one evaluation.
+	RuleCounts = rules.Counts
+	// Score is one rule's support/coverage/confidence evaluation.
+	Score = metrics.Score
+	// ErrorCategory classifies generated Cypher per the paper's §4.4.
+	ErrorCategory = correction.Category
+)
+
+// ParseRuleNL parses a natural-language rule statement.
+func ParseRuleNL(line string) (Rule, bool) { return rules.ParseNL(line) }
+
+// EvaluateRule scores a rule on a graph via its reference Cypher.
+func EvaluateRule(g *Graph, r Rule) (Score, error) { return metrics.EvaluateRule(g, r) }
+
+// Models.
+type (
+	// Model is a language model (prompt in, completion out).
+	Model = llm.Model
+	// ModelProfile calibrates a simulated model.
+	ModelProfile = llm.Profile
+	// SimModel is a deterministic simulated LLM.
+	SimModel = llm.SimModel
+)
+
+// LLaMA3 returns the LLaMA-3 behavioural profile.
+func LLaMA3() ModelProfile { return llm.LLaMA3() }
+
+// Mixtral returns the Mixtral behavioural profile.
+func Mixtral() ModelProfile { return llm.Mixtral() }
+
+// NewSimModel returns a simulated model with the given profile and seed.
+func NewSimModel(p ModelProfile, seed int64) *SimModel { return llm.NewSim(p, seed) }
+
+// Mining pipeline.
+type (
+	// MiningConfig parameterizes one pipeline run.
+	MiningConfig = mining.Config
+	// MiningResult is the outcome of one pipeline run.
+	MiningResult = mining.Result
+	// MinedRule is one rule's journey through the pipeline.
+	MinedRule = mining.MinedRule
+	// Method selects sliding-window or RAG encoding delivery.
+	Method = mining.Method
+	// PromptMode selects zero-shot or few-shot prompting.
+	PromptMode = prompt.Mode
+)
+
+// Pipeline method and prompting constants.
+const (
+	SlidingWindow = mining.SlidingWindow
+	RAG           = mining.RAG
+	ZeroShot      = prompt.ZeroShot
+	FewShot       = prompt.FewShot
+)
+
+// Mine runs the full rule-mining pipeline on a graph.
+func Mine(g *Graph, cfg MiningConfig) (*MiningResult, error) { return mining.Mine(g, cfg) }
+
+// Session supports interactive rule refinement (accept / reject / refine).
+type Session = mining.Session
+
+// NewSession mines an initial rule set and opens a review session.
+func NewSession(g *Graph, cfg MiningConfig) (*Session, error) { return mining.NewSession(g, cfg) }
+
+// RuleViolations renders a Cypher query listing the elements violating a
+// rule (at most limit rows; limit <= 0 means 25).
+func RuleViolations(r Rule, limit int) (string, error) { return rules.Violations(r, limit) }
+
+// ExplainRule renders a domain-expert-facing rationale for a rule and its
+// evaluated counts.
+func ExplainRule(r Rule, c RuleCounts) string { return rules.Explain(r, c) }
+
+// Datasets.
+type (
+	// DatasetOptions configures dataset generation.
+	DatasetOptions = datasets.Options
+)
+
+// DefaultDatasetOptions returns the benchmark harness defaults.
+func DefaultDatasetOptions() DatasetOptions { return datasets.DefaultOptions() }
+
+// DatasetNames lists the paper's datasets.
+func DatasetNames() []string { return datasets.Names() }
+
+// Dataset generates one of the paper's datasets by name; it panics on an
+// unknown name (use datasets.ByName for error handling).
+func Dataset(name string, opts DatasetOptions) *Graph {
+	gen, err := datasets.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return gen(opts)
+}
+
+// Baseline miner.
+type (
+	// BaselineConfig controls the classical miner's pruning.
+	BaselineConfig = baseline.Config
+	// BaselineResult is the classical miner's output.
+	BaselineResult = baseline.Result
+)
+
+// BaselineMine runs the AMIE-style comparator on a graph.
+func BaselineMine(g *Graph, cfg BaselineConfig) (*BaselineResult, error) {
+	return baseline.Mine(g, cfg)
+}

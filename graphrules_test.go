@@ -1,0 +1,127 @@
+package graphrules
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the README shows: build a
+// graph, mine rules, query violations, explain a rule.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewGraph("facade")
+	var users []*Node
+	for i := 0; i < 12; i++ {
+		users = append(users, g.AddNode([]string{"User"}, Props{
+			"id":   NewIntValue(int64(i % 11)), // one duplicate
+			"name": NewStringValue("u" + string(rune('a'+i))),
+		}))
+	}
+	for i := 0; i < 8; i++ {
+		tw := g.AddNode([]string{"Tweet"}, Props{"id": NewIntValue(int64(100 + i))})
+		g.MustAddEdge(users[i].ID, tw.ID, []string{"POSTS"}, nil)
+	}
+
+	res, err := Mine(g, MiningConfig{
+		Model:         NewSimModel(LLaMA3(), 3),
+		WindowTokens:  600,
+		OverlapTokens: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined through the facade")
+	}
+
+	// Find the User-id uniqueness rule and drill into it.
+	for _, mr := range res.Rules {
+		if mr.Rule.DedupKey() != "unique:User.id" {
+			continue
+		}
+		q, err := RuleViolations(mr.Rule, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vr, err := NewExecutor(g).Run(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vr.Len() != 1 {
+			t.Errorf("violating groups = %d, want 1", vr.Len())
+		}
+		expl := ExplainRule(mr.Rule, mr.Score.Counts)
+		if !strings.Contains(expl, "unique id property") || !strings.Contains(expl, "confidence") {
+			t.Errorf("explanation wrong: %s", expl)
+		}
+		return
+	}
+	t.Log("unique:User.id not in merged set (budget), checking any rule explains")
+	expl := ExplainRule(res.Rules[0].Rule, res.Rules[0].Score.Counts)
+	if expl == "" {
+		t.Error("empty explanation")
+	}
+}
+
+func TestFacadeDatasetAndQuery(t *testing.T) {
+	g := Dataset("Cybersecurity", DefaultDatasetOptions())
+	if g.NodeCount() != 953 {
+		t.Fatalf("dataset size = %d", g.NodeCount())
+	}
+	res, err := NewExecutor(g).Run(`MATCH (u:User) RETURN count(*) AS n`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstInt("n") == 0 {
+		t.Error("no users")
+	}
+	if ExtractSchema(g).NodeTotal != 953 {
+		t.Error("schema totals wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset should panic")
+		}
+	}()
+	Dataset("nope", DefaultDatasetOptions())
+}
+
+func TestFacadeSession(t *testing.T) {
+	g := Dataset("Cybersecurity", DefaultDatasetOptions())
+	s, err := NewSession(g, MiningConfig{Model: NewSimModel(Mixtral(), 2), Method: RAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pending()) == 0 {
+		t.Fatal("session should have pending rules")
+	}
+	if err := s.Reject(s.Pending()[0].Rule.DedupKey()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaseline(t *testing.T) {
+	g := Dataset("WWC2019", DefaultDatasetOptions())
+	res, err := BaselineMine(g, BaselineConfig{MinConfidence: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) == 0 {
+		t.Error("baseline found nothing")
+	}
+}
+
+func TestFacadeValueConstructors(t *testing.T) {
+	if NewBoolValue(true).String() != "true" ||
+		NewIntValue(4).String() != "4" ||
+		NewFloatValue(0.5).String() != "0.5" ||
+		NewStringValue("x").Str() != "x" ||
+		!NullValue.IsNull() {
+		t.Error("value constructors wrong")
+	}
+	if len(DatasetNames()) != 3 {
+		t.Error("DatasetNames wrong")
+	}
+}

@@ -1,0 +1,198 @@
+// Package baseline implements a classical, AMIE-style frequency miner for
+// property-graph consistency rules: exhaustive candidate enumeration over
+// the graph's schema followed by support/confidence pruning. It is the
+// "data-mined constraints" comparator the paper's introduction contrasts
+// with the LLM pipeline — complete and exact, but prone to emitting an
+// overwhelming number of rules without aggressive thresholds.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/metrics"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// Config controls candidate pruning.
+type Config struct {
+	// MinSupport drops rules satisfied by fewer elements. Default 1.
+	MinSupport int64
+	// MinConfidence (percent) drops unreliable rules. Default 80.
+	MinConfidence float64
+	// MinBody drops rules whose premise barely ever holds. Default 3.
+	MinBody int64
+	// MaxRules caps the output (0 = unlimited).
+	MaxRules int
+	// IncludeComplex enables temporal, parallel-edge and multi-hop
+	// association candidates.
+	IncludeComplex bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport == 0 {
+		c.MinSupport = 1
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 80
+	}
+	if c.MinBody == 0 {
+		c.MinBody = 3
+	}
+	return c
+}
+
+// Result is the baseline miner's output.
+type Result struct {
+	// Scores are the surviving rules, best-first (confidence, then
+	// support).
+	Scores []metrics.Score
+	// CandidatesTried counts enumerated candidates before pruning.
+	CandidatesTried int
+}
+
+// Mine enumerates and scores rule candidates over the full graph.
+func Mine(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	schema := graph.ExtractSchema(g)
+	cands := enumerate(schema, cfg.IncludeComplex)
+
+	res := &Result{CandidatesTried: len(cands)}
+	for _, r := range cands {
+		counts, err := r.CountsNative(g)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s: %w", r.DedupKey(), err)
+		}
+		if counts.Support < cfg.MinSupport || counts.Body < cfg.MinBody {
+			continue
+		}
+		conf := counts.Confidence()
+		if conf < cfg.MinConfidence {
+			continue
+		}
+		res.Scores = append(res.Scores, metrics.Score{
+			Rule:       r,
+			Counts:     counts,
+			Coverage:   counts.Coverage(),
+			Confidence: conf,
+		})
+	}
+	sort.Slice(res.Scores, func(i, j int) bool {
+		a, b := res.Scores[i], res.Scores[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Counts.Support != b.Counts.Support {
+			return a.Counts.Support > b.Counts.Support
+		}
+		return a.Rule.DedupKey() < b.Rule.DedupKey()
+	})
+	if cfg.MaxRules > 0 && len(res.Scores) > cfg.MaxRules {
+		res.Scores = res.Scores[:cfg.MaxRules]
+	}
+	return res, nil
+}
+
+// timeishKeys mirror the heuristic the LLM layer uses for temporal rules.
+var timeishKeys = map[string]bool{
+	"createdAt": true, "created_at": true, "timestamp": true, "date": true,
+	"at": true, "time": true, "pwdlastset": true,
+}
+
+// enumerate produces every schema-derivable candidate.
+func enumerate(s *graph.Schema, includeComplex bool) []rules.Rule {
+	var out []rules.Rule
+
+	for _, label := range s.NodeLabelNames() {
+		ls := s.NodeLabels[label]
+		for _, key := range ls.PropKeys() {
+			ps := ls.Props[key]
+			out = append(out,
+				&rules.RequiredProperty{Label: label, Key: key},
+				&rules.UniqueProperty{Label: label, Key: key},
+				&rules.PropertyType{Label: label, Key: key, PropKind: ps.DominantKind()},
+			)
+			if ps.DominantKind() == graph.KindBool {
+				out = append(out, &rules.ValueDomain{Label: label, Key: key,
+					Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}})
+			}
+		}
+	}
+
+	for _, typ := range s.EdgeLabelNames() {
+		es := s.EdgeLabels[typ]
+		from, to := es.DominantEndpoints()
+		if from == "" || to == "" {
+			continue
+		}
+		out = append(out,
+			&rules.EdgeEndpoints{EdgeType: typ, FromLabel: from, ToLabel: to},
+			&rules.MandatoryEdge{Label: to, EdgeType: typ, Incoming: true, OtherLabel: from},
+			&rules.MandatoryEdge{Label: from, EdgeType: typ, Incoming: false, OtherLabel: to},
+		)
+		for _, key := range es.PropKeys() {
+			out = append(out, &rules.RequiredProperty{Label: typ, Key: key, OnEdge: true})
+		}
+		if from == to {
+			out = append(out, &rules.NoSelfLoop{EdgeType: typ})
+		}
+		if !includeComplex {
+			continue
+		}
+		if from == to {
+			if ls := s.NodeLabels[from]; ls != nil {
+				for _, key := range ls.PropKeys() {
+					if timeishKeys[key] {
+						out = append(out, &rules.TemporalOrder{EdgeType: typ, FromLabel: from, ToLabel: to, Key: key})
+					}
+				}
+			}
+		}
+		for _, key := range es.PropKeys() {
+			out = append(out, &rules.UniqueEdgeProp{EdgeType: typ, FromLabel: from, ToLabel: to, Key: key})
+		}
+	}
+
+	if includeComplex {
+		out = append(out, enumerateAssociations(s)...)
+	}
+	return rules.Dedupe(out)
+}
+
+// enumerateAssociations builds multi-hop association candidates from the
+// schema's dominant endpoint pairs: body (A-E1->B-E2->C) with requirement
+// (A-E3->D-E4->C), B != D.
+func enumerateAssociations(s *graph.Schema) []rules.Rule {
+	type ep struct{ typ, from, to string }
+	var eps []ep
+	for _, typ := range s.EdgeLabelNames() {
+		from, to := s.EdgeLabels[typ].DominantEndpoints()
+		if from != "" && to != "" {
+			eps = append(eps, ep{typ, from, to})
+		}
+	}
+	var out []rules.Rule
+	for _, e1 := range eps {
+		for _, e2 := range eps {
+			if e2.from != e1.to {
+				continue
+			}
+			for _, e3 := range eps {
+				if e3.from != e1.from || e3.typ == e1.typ || e3.to == e1.to {
+					continue
+				}
+				for _, e4 := range eps {
+					if e4.from != e3.to || e4.to != e2.to || e4.typ == e2.typ {
+						continue
+					}
+					out = append(out, &rules.PathAssociation{
+						ALabel: e1.from, E1: e1.typ, BLabel: e1.to, E2: e2.typ, CLabel: e2.to,
+						ReqE1: e3.typ, ReqLabel: e3.to, ReqE2: e4.typ,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

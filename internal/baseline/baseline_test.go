@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+func TestMineWWC(t *testing.T) {
+	g := datasets.WWC2019(datasets.DefaultOptions())
+	res, err := Mine(g, Config{MinConfidence: 90, IncludeComplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidatesTried < 30 {
+		t.Errorf("candidates tried = %d, expected an exhaustive sweep", res.CandidatesTried)
+	}
+	if len(res.Scores) == 0 {
+		t.Fatal("no rules survived")
+	}
+	keys := map[string]bool{}
+	for _, s := range res.Scores {
+		keys[s.Rule.DedupKey()] = true
+		if s.Confidence < 90 {
+			t.Errorf("rule %s below confidence threshold: %f", s.Rule.DedupKey(), s.Confidence)
+		}
+	}
+	for _, want := range []string{
+		"endpoints:IN_TOURNAMENT:Match->Tournament",
+		"required:false:Team.name",
+		"uniqueedge:SCORED_GOAL.minute",
+	} {
+		if !keys[want] {
+			t.Errorf("expected surviving rule %s", want)
+		}
+	}
+	// Sorted best-first.
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i].Confidence > res.Scores[i-1].Confidence {
+			t.Fatal("scores not sorted by confidence")
+		}
+	}
+}
+
+func TestMineFindsAssociation(t *testing.T) {
+	g := datasets.WWC2019(datasets.Options{Seed: 42, ViolationRate: 0})
+	res, err := Mine(g, Config{MinConfidence: 99, IncludeComplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Scores {
+		if s.Rule.Kind() == rules.KindPathAssociation {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("clean WWC graph should yield the squad/tournament association rule")
+	}
+}
+
+func TestPruningShrinksOutput(t *testing.T) {
+	g := datasets.Cybersecurity(datasets.DefaultOptions())
+	loose, err := Mine(g, Config{MinConfidence: 10, MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Mine(g, Config{MinConfidence: 99.5, MinSupport: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Scores) >= len(loose.Scores) {
+		t.Errorf("stricter thresholds should prune: loose=%d strict=%d",
+			len(loose.Scores), len(strict.Scores))
+	}
+	capped, err := Mine(g, Config{MinConfidence: 10, MaxRules: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Scores) != 5 {
+		t.Errorf("cap not applied: %d", len(capped.Scores))
+	}
+}
+
+func TestBaselineOverwhelms(t *testing.T) {
+	// The intro's point: unpruned data mining yields many more rules than
+	// the LLM pipeline's ~dozen.
+	g := datasets.WWC2019(datasets.DefaultOptions())
+	res, err := Mine(g, Config{MinConfidence: 10, MinSupport: 1, IncludeComplex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) < 25 {
+		t.Errorf("unpruned baseline should overwhelm: %d rules", len(res.Scores))
+	}
+}

@@ -1,0 +1,386 @@
+// Package correction reproduces the paper's §4.4 query-correction protocol.
+// Generated Cypher is classified into the paper's error categories —
+// correct, wrong relationship direction, hallucinated (non-existent)
+// property, or syntax error — and then corrected the way the authors did by
+// hand: syntax and direction errors are fixed (here: automatically, the
+// paper's own suggested future work), while hallucinated-property queries
+// are deliberately left broken because they reflect rule-level
+// hallucination rather than translation mistakes.
+package correction
+
+import (
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// Category classifies one generated query set.
+type Category uint8
+
+const (
+	// Correct queries parse and match the data model.
+	Correct Category = iota
+	// DirectionError queries reverse a relationship against the schema.
+	DirectionError
+	// HallucinatedProperty queries reference properties absent from the
+	// schema (for the labels they touch).
+	HallucinatedProperty
+	// SyntaxError queries fail to parse, or misuse an operator the way the
+	// paper's example does (`=` against a regular-expression literal).
+	SyntaxError
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case Correct:
+		return "correct"
+	case DirectionError:
+		return "direction-error"
+	case HallucinatedProperty:
+		return "hallucinated-property"
+	case SyntaxError:
+		return "syntax-error"
+	default:
+		return "unknown"
+	}
+}
+
+// Categories lists all categories in report order.
+var Categories = []Category{Correct, DirectionError, HallucinatedProperty, SyntaxError}
+
+// Classify determines the §4.4 category of a generated query set against
+// the graph schema. Precedence: syntax (unparseable output can't be checked
+// further), then hallucinated property, then direction.
+func Classify(qs rules.QuerySet, schema *graph.Schema) Category {
+	queries := []string{qs.Support, qs.Body, qs.HeadTotal}
+	parsed := make([]*cypher.Query, 0, len(queries))
+	for _, src := range queries {
+		q, err := cypher.Parse(src)
+		if err != nil {
+			return SyntaxError
+		}
+		parsed = append(parsed, q)
+	}
+	for _, q := range parsed {
+		if regexAsEquality(q) {
+			return SyntaxError
+		}
+	}
+	for _, q := range parsed {
+		if hallucinatedProperty(q, schema) {
+			return HallucinatedProperty
+		}
+	}
+	for _, q := range parsed {
+		if directionError(q, schema) {
+			return DirectionError
+		}
+	}
+	return Correct
+}
+
+// Fix applies the paper's correction protocol: syntax and direction errors
+// are replaced with the rule's reference queries; hallucinated-property and
+// correct queries are returned unchanged. fixed reports whether a
+// correction was applied.
+func Fix(qs rules.QuerySet, r rules.Rule, cat Category) (out rules.QuerySet, fixed bool) {
+	switch cat {
+	case SyntaxError, DirectionError:
+		return r.Queries(), true
+	default:
+		return qs, false
+	}
+}
+
+// regexAsEquality detects the paper's `=` for `=~` confusion: an equality
+// whose right side is a string literal that looks like a regular
+// expression.
+func regexAsEquality(q *cypher.Query) bool {
+	found := false
+	walkExprs(q, func(e cypher.Expr) {
+		b, ok := e.(*cypher.Binary)
+		if !ok || b.Op != cypher.OpEq {
+			return
+		}
+		lit, ok := b.R.(*cypher.Literal)
+		if !ok || lit.Value.Kind() != graph.KindString {
+			return
+		}
+		if looksLikeRegex(lit.Value.Str()) {
+			found = true
+		}
+	})
+	return found
+}
+
+func looksLikeRegex(s string) bool {
+	if strings.HasPrefix(s, "^") || strings.HasSuffix(s, "$") {
+		return true
+	}
+	for _, marker := range []string{"[a-z", "[A-Z", "[0-9", "\\d", "\\w", "+)", "{2,}", ".*", ".+"} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// hallucinatedProperty reports whether the query accesses a property that
+// the schema has never seen on the labels bound to the accessed variable.
+// Variables with no label constraints are skipped (any property could be
+// legitimate somewhere).
+func hallucinatedProperty(q *cypher.Query, schema *graph.Schema) bool {
+	nodeLabels, edgeTypes := bindingLabels(q)
+	found := false
+	walkExprs(q, func(e cypher.Expr) {
+		pa, ok := e.(*cypher.PropAccess)
+		if !ok {
+			return
+		}
+		v, ok := pa.Target.(*cypher.Variable)
+		if !ok {
+			return
+		}
+		if labels := nodeLabels[v.Name]; len(labels) > 0 {
+			for _, l := range labels {
+				if !schema.HasNodeProp(l, pa.Key) {
+					found = true
+				}
+			}
+		}
+		if types := edgeTypes[v.Name]; len(types) > 0 {
+			for _, t := range types {
+				if !schema.HasEdgeProp(t, pa.Key) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// directionError reports whether some directed single-type relationship in
+// the query contradicts the schema's dominant direction for that type.
+func directionError(q *cypher.Query, schema *graph.Schema) bool {
+	nodeLabels, _ := bindingLabels(q)
+	labelOf := func(np *cypher.NodePattern) string {
+		if len(np.Labels) > 0 {
+			return np.Labels[0]
+		}
+		if np.Var != "" {
+			if ls := nodeLabels[np.Var]; len(ls) > 0 {
+				return ls[0]
+			}
+		}
+		return ""
+	}
+	bad := false
+	forEachPattern(q, func(part *cypher.PatternPart) {
+		for i, rel := range part.Rels {
+			if rel.Direction == cypher.DirBoth || len(rel.Types) != 1 {
+				continue
+			}
+			es := schema.EdgeLabels[rel.Types[0]]
+			if es == nil {
+				continue
+			}
+			domFrom, domTo := es.DominantEndpoints()
+			if domFrom == "" || domFrom == domTo {
+				continue
+			}
+			left, right := labelOf(part.Nodes[i]), labelOf(part.Nodes[i+1])
+			var from, to string
+			if rel.Direction == cypher.DirOut {
+				from, to = left, right
+			} else {
+				from, to = right, left
+			}
+			// A direction error reads the relationship backwards: the
+			// pattern's source sits where the schema's target belongs.
+			if from == domTo && to == domFrom {
+				bad = true
+			}
+		}
+	})
+	return bad
+}
+
+// bindingLabels gathers label constraints per variable from patterns and
+// top-level AND-ed label predicates in WHERE clauses.
+func bindingLabels(q *cypher.Query) (nodeLabels, edgeTypes map[string][]string) {
+	nodeLabels = map[string][]string{}
+	edgeTypes = map[string][]string{}
+	forEachPattern(q, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			if n.Var != "" && len(n.Labels) > 0 {
+				nodeLabels[n.Var] = append(nodeLabels[n.Var], n.Labels...)
+			}
+		}
+		for _, r := range part.Rels {
+			if r.Var != "" && len(r.Types) == 1 {
+				edgeTypes[r.Var] = append(edgeTypes[r.Var], r.Types[0])
+			}
+		}
+	})
+	for _, cl := range q.Clauses {
+		var where cypher.Expr
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			where = c.Where
+		case *cypher.WithClause:
+			where = c.Where
+		}
+		collectLabelPreds(where, nodeLabels)
+	}
+	return nodeLabels, edgeTypes
+}
+
+func collectLabelPreds(e cypher.Expr, into map[string][]string) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *cypher.Binary:
+		if x.Op == cypher.OpAnd {
+			collectLabelPreds(x.L, into)
+			collectLabelPreds(x.R, into)
+		}
+	case *cypher.HasLabels:
+		if v, ok := x.E.(*cypher.Variable); ok {
+			into[v.Name] = append(into[v.Name], x.Labels...)
+		}
+	}
+}
+
+// forEachPattern visits every pattern part in MATCH clauses and pattern
+// predicates.
+func forEachPattern(q *cypher.Query, fn func(*cypher.PatternPart)) {
+	var visitExpr func(e cypher.Expr)
+	visitExpr = func(e cypher.Expr) {
+		if pp, ok := e.(*cypher.PatternPred); ok {
+			fn(pp.Pattern)
+		}
+	}
+	for _, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			for _, p := range c.Patterns {
+				fn(p)
+			}
+			walkExpr(c.Where, visitExpr)
+		case *cypher.WithClause:
+			walkExpr(c.Where, visitExpr)
+			for _, it := range c.Items {
+				walkExpr(it.Expr, visitExpr)
+			}
+		case *cypher.ReturnClause:
+			for _, it := range c.Items {
+				walkExpr(it.Expr, visitExpr)
+			}
+		}
+	}
+}
+
+// walkExprs visits every expression in the query.
+func walkExprs(q *cypher.Query, fn func(cypher.Expr)) {
+	for _, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			walkExpr(c.Where, fn)
+			for _, p := range c.Patterns {
+				walkPatternExprs(p, fn)
+			}
+		case *cypher.WithClause:
+			walkExpr(c.Where, fn)
+			for _, it := range c.Items {
+				walkExpr(it.Expr, fn)
+			}
+			walkSort(c.Projection, fn)
+		case *cypher.ReturnClause:
+			for _, it := range c.Items {
+				walkExpr(it.Expr, fn)
+			}
+			walkSort(c.Projection, fn)
+		case *cypher.UnwindClause:
+			walkExpr(c.Expr, fn)
+		case *cypher.SetClause:
+			for _, it := range c.Items {
+				walkExpr(it.Value, fn)
+			}
+		case *cypher.DeleteClause:
+			for _, e := range c.Exprs {
+				walkExpr(e, fn)
+			}
+		case *cypher.CreateClause:
+			for _, p := range c.Patterns {
+				walkPatternExprs(p, fn)
+			}
+		}
+	}
+}
+
+func walkSort(p cypher.Projection, fn func(cypher.Expr)) {
+	for _, s := range p.OrderBy {
+		walkExpr(s.Expr, fn)
+	}
+	walkExpr(p.Skip, fn)
+	walkExpr(p.Limit, fn)
+}
+
+func walkPatternExprs(part *cypher.PatternPart, fn func(cypher.Expr)) {
+	for _, n := range part.Nodes {
+		for _, e := range n.Props {
+			walkExpr(e, fn)
+		}
+	}
+	for _, r := range part.Rels {
+		for _, e := range r.Props {
+			walkExpr(e, fn)
+		}
+	}
+}
+
+// walkExpr visits e and all sub-expressions.
+func walkExpr(e cypher.Expr, fn func(cypher.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *cypher.Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *cypher.Not:
+		walkExpr(x.E, fn)
+	case *cypher.Neg:
+		walkExpr(x.E, fn)
+	case *cypher.IsNull:
+		walkExpr(x.E, fn)
+	case *cypher.HasLabels:
+		walkExpr(x.E, fn)
+	case *cypher.PropAccess:
+		walkExpr(x.Target, fn)
+	case *cypher.Index:
+		walkExpr(x.Target, fn)
+		walkExpr(x.Sub, fn)
+	case *cypher.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *cypher.ListLit:
+		for _, el := range x.Elems {
+			walkExpr(el, fn)
+		}
+	case *cypher.CaseExpr:
+		walkExpr(x.Operand, fn)
+		for i := range x.Whens {
+			walkExpr(x.Whens[i], fn)
+			walkExpr(x.Thens[i], fn)
+		}
+		walkExpr(x.Else, fn)
+	case *cypher.PatternPred:
+		walkPatternExprs(x.Pattern, fn)
+	}
+}

@@ -1,0 +1,261 @@
+package correction
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// fixtureSchema extracts the schema from a small User/Tweet graph.
+func fixtureSchema() *graph.Schema {
+	g := graph.New("cs")
+	u := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(1), "name": graph.NewString("a"), "domain": graph.NewString("x.io")})
+	v := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(2), "name": graph.NewString("b")})
+	t1 := g.AddNode([]string{"Tweet"}, graph.Props{"id": graph.NewInt(10), "text": graph.NewString("t")})
+	g.MustAddEdge(u.ID, t1.ID, []string{"POSTS"}, graph.Props{"at": graph.NewInt(1)})
+	g.MustAddEdge(u.ID, v.ID, []string{"FOLLOWS"}, nil)
+	return graph.ExtractSchema(g)
+}
+
+func qs(support string) rules.QuerySet {
+	return rules.QuerySet{
+		Support:   support,
+		Body:      "MATCH (x:User) RETURN count(*) AS n",
+		HeadTotal: "MATCH (x:User) RETURN count(*) AS n",
+	}
+}
+
+func TestClassifyCorrect(t *testing.T) {
+	s := fixtureSchema()
+	cases := []rules.QuerySet{
+		qs("MATCH (x:User) WHERE x.id IS NOT NULL RETURN count(*) AS n"),
+		qs("MATCH (a:User)-[r:POSTS]->(b:Tweet) RETURN count(*) AS n"),
+		qs("MATCH (x:User) WHERE x.domain =~ '([a-z]+\\.)+[a-z]{2,}' RETURN count(*) AS n"),
+		qs("MATCH (x:Tweet) WHERE (x)<-[:POSTS]-(:User) RETURN count(*) AS n"),
+	}
+	for _, c := range cases {
+		if got := Classify(c, s); got != Correct {
+			t.Errorf("Classify(%q) = %v, want correct", c.Support, got)
+		}
+	}
+}
+
+func TestClassifySyntax(t *testing.T) {
+	s := fixtureSchema()
+	cases := []rules.QuerySet{
+		qs("MATCH (x:User RETRUN count(*) AS n"),
+		qs("MATCH (x:User) WHERE x.domain = '^([a-z]+\\.)+[a-z]{2,}$' RETURN count(*) AS n"), // = for =~
+		qs("MATCH (x:User) WHERE x.domain = '[a-z0-9-]+' RETURN count(*) AS n"),
+	}
+	for _, c := range cases {
+		if got := Classify(c, s); got != SyntaxError {
+			t.Errorf("Classify(%q) = %v, want syntax-error", c.Support, got)
+		}
+	}
+	// Plain string equality is NOT a syntax error.
+	ok := qs("MATCH (x:User) WHERE x.name = 'alice' RETURN count(*) AS n")
+	if got := Classify(ok, s); got != Correct {
+		t.Errorf("plain equality misclassified as %v", got)
+	}
+}
+
+func TestClassifyHallucinated(t *testing.T) {
+	s := fixtureSchema()
+	cases := []rules.QuerySet{
+		qs("MATCH (x:User) WHERE x.penaltyScore IS NOT NULL RETURN count(*) AS n"),
+		qs("MATCH (a:User)-[r:POSTS]->(b:Tweet) WHERE r.minutes IS NOT NULL RETURN count(*) AS n"),
+		qs("MATCH (x:Tweet) WHERE x.score > 1 RETURN count(*) AS n"),
+	}
+	for _, c := range cases {
+		if got := Classify(c, s); got != HallucinatedProperty {
+			t.Errorf("Classify(%q) = %v, want hallucinated-property", c.Support, got)
+		}
+	}
+	// Properties on unlabeled variables are not checkable.
+	ok := qs("MATCH (x) WHERE x.whatever IS NOT NULL RETURN count(*) AS n")
+	if got := Classify(ok, s); got != Correct {
+		t.Errorf("unlabeled access misclassified as %v", got)
+	}
+}
+
+func TestClassifyDirection(t *testing.T) {
+	s := fixtureSchema()
+	flipped := qs("MATCH (a:User)<-[r:POSTS]-(b:Tweet) RETURN count(*) AS n")
+	if got := Classify(flipped, s); got != DirectionError {
+		t.Errorf("Classify(flipped) = %v, want direction-error", got)
+	}
+	// Labels via WHERE predicates are also resolved.
+	flipped2 := qs("MATCH (a)-[r:POSTS]->(b) WHERE a:Tweet AND b:User RETURN count(*) AS n")
+	if got := Classify(flipped2, s); got != DirectionError {
+		t.Errorf("Classify(flipped via WHERE) = %v, want direction-error", got)
+	}
+	// Same-label edges cannot be direction-checked.
+	same := qs("MATCH (a:User)<-[r:FOLLOWS]-(b:User) RETURN count(*) AS n")
+	if got := Classify(same, s); got != Correct {
+		t.Errorf("same-label flip = %v, want correct", got)
+	}
+}
+
+func TestClassifyPrecedence(t *testing.T) {
+	s := fixtureSchema()
+	// Unparseable beats everything.
+	c := qs("MATCH (a:User)<-[r:POSTS]-(b:Tweet) WHERE a.ghost RETRUN 1")
+	if got := Classify(c, s); got != SyntaxError {
+		t.Errorf("precedence = %v, want syntax-error", got)
+	}
+	// Hallucinated beats direction.
+	c2 := qs("MATCH (a:User)<-[r:POSTS]-(b:Tweet) WHERE a.ghost IS NOT NULL RETURN count(*) AS n")
+	if got := Classify(c2, s); got != HallucinatedProperty {
+		t.Errorf("precedence = %v, want hallucinated-property", got)
+	}
+}
+
+func TestFixProtocol(t *testing.T) {
+	s := fixtureSchema()
+	r := &rules.EdgeEndpoints{EdgeType: "POSTS", FromLabel: "User", ToLabel: "Tweet"}
+	good := r.Queries()
+
+	// Direction error: regenerated.
+	broken := rules.QuerySet{
+		Support:   llm.FlipFirstArrow(good.Support),
+		Body:      llm.FlipFirstArrow(good.Body),
+		HeadTotal: llm.FlipFirstArrow(good.HeadTotal),
+	}
+	cat := Classify(broken, s)
+	if cat != DirectionError {
+		t.Fatalf("category = %v", cat)
+	}
+	fixed, wasFixed := Fix(broken, r, cat)
+	if !wasFixed || fixed != good {
+		t.Errorf("direction fix failed: %+v", fixed)
+	}
+
+	// Syntax error: regenerated.
+	syn := good
+	syn.Support = "MATCH (a RETURN 1"
+	fixed, wasFixed = Fix(syn, r, SyntaxError)
+	if !wasFixed || fixed != good {
+		t.Error("syntax fix failed")
+	}
+
+	// Hallucinated: left alone (the paper's protocol).
+	hall := &rules.RequiredProperty{Label: "User", Key: "penaltyScore"}
+	hq := hall.Queries()
+	fixed, wasFixed = Fix(hq, hall, HallucinatedProperty)
+	if wasFixed || fixed != hq {
+		t.Error("hallucinated queries must stay broken")
+	}
+
+	// Correct: untouched.
+	fixed, wasFixed = Fix(good, r, Correct)
+	if wasFixed || fixed != good {
+		t.Error("correct queries must pass through")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		Correct:              "correct",
+		DirectionError:       "direction-error",
+		HallucinatedProperty: "hallucinated-property",
+		SyntaxError:          "syntax-error",
+		Category(99):         "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if len(Categories) != 4 {
+		t.Error("Categories should list all four")
+	}
+}
+
+// TestGeneratedRulesClassifyCorrectly feeds every rule kind's reference
+// queries through the classifier: all must classify as correct.
+func TestGeneratedRulesClassifyCorrectly(t *testing.T) {
+	g := graph.New("full")
+	u := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(1), "owned": graph.NewBool(true), "at": graph.NewInt(3)})
+	v := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(2), "owned": graph.NewBool(false), "at": graph.NewInt(4)})
+	tw := g.AddNode([]string{"Tweet"}, graph.Props{"id": graph.NewInt(3)})
+	sq := g.AddNode([]string{"Squad"}, nil)
+	cp := g.AddNode([]string{"Comp"}, nil)
+	g.MustAddEdge(u.ID, tw.ID, []string{"POSTS"}, graph.Props{"minute": graph.NewInt(1)})
+	g.MustAddEdge(u.ID, v.ID, []string{"FOLLOWS"}, nil)
+	g.MustAddEdge(u.ID, sq.ID, []string{"IN_SQUAD"}, nil)
+	g.MustAddEdge(sq.ID, cp.ID, []string{"FOR"}, nil)
+	g.MustAddEdge(tw.ID, cp.ID, []string{"IN_COMP"}, nil)
+	s := graph.ExtractSchema(g)
+
+	all := []rules.Rule{
+		&rules.RequiredProperty{Label: "User", Key: "id"},
+		&rules.RequiredProperty{Label: "POSTS", Key: "minute", OnEdge: true},
+		&rules.UniqueProperty{Label: "User", Key: "id"},
+		&rules.ValueDomain{Label: "User", Key: "owned", Allowed: []graph.Value{graph.NewBool(true)}},
+		&rules.PropertyType{Label: "User", Key: "id", PropKind: graph.KindInt},
+		&rules.EdgeEndpoints{EdgeType: "POSTS", FromLabel: "User", ToLabel: "Tweet"},
+		&rules.MandatoryEdge{Label: "Tweet", EdgeType: "POSTS", Incoming: true, OtherLabel: "User"},
+		&rules.NoSelfLoop{EdgeType: "FOLLOWS"},
+		&rules.TemporalOrder{EdgeType: "FOLLOWS", FromLabel: "User", ToLabel: "User", Key: "at"},
+		&rules.UniqueEdgeProp{EdgeType: "POSTS", FromLabel: "User", ToLabel: "Tweet", Key: "minute"},
+		&rules.PathAssociation{ALabel: "User", E1: "POSTS", BLabel: "Tweet", E2: "IN_COMP", CLabel: "Comp",
+			ReqE1: "IN_SQUAD", ReqLabel: "Squad", ReqE2: "FOR"},
+	}
+	for _, r := range all {
+		if got := Classify(r.Queries(), s); got != Correct {
+			t.Errorf("%s reference queries classify as %v", r.DedupKey(), got)
+		}
+	}
+}
+
+// TestClassifyWalksAllClauses exercises the expression walkers across every
+// clause type that can carry a hallucinated property access.
+func TestClassifyWalksAllClauses(t *testing.T) {
+	s := fixtureSchema()
+	cases := []string{
+		// In a WITH projection.
+		"MATCH (x:User) WITH x.ghost AS g RETURN count(*) AS n",
+		// In ORDER BY.
+		"MATCH (x:User) RETURN x.id AS id ORDER BY x.ghost",
+		// In a CASE expression.
+		"MATCH (x:User) RETURN CASE WHEN x.ghost IS NULL THEN 1 ELSE 2 END AS n",
+		// In a list literal / IN.
+		"MATCH (x:User) WHERE x.id IN [x.ghost, 2] RETURN count(*) AS n",
+		// In a function argument.
+		"MATCH (x:User) RETURN size(toString(x.ghost)) AS n",
+		// In a pattern property map.
+		"MATCH (x:User {id: 1}) MATCH (y:User {name: x.ghost}) RETURN count(*) AS n",
+		// In UNWIND.
+		"MATCH (x:User) UNWIND [x.ghost] AS v RETURN count(*) AS n",
+		// In SET value.
+		"MATCH (x:User) SET x.id = x.ghost",
+		// Negated / nested boolean context.
+		"MATCH (x:User) WHERE NOT (x.ghost > 1 XOR false) RETURN count(*) AS n",
+	}
+	for _, support := range cases {
+		got := Classify(rules.QuerySet{
+			Support:   support,
+			Body:      "MATCH (x:User) RETURN count(*) AS n",
+			HeadTotal: "MATCH (x:User) RETURN count(*) AS n",
+		}, s)
+		if got != HallucinatedProperty {
+			t.Errorf("Classify(%q) = %v, want hallucinated-property", support, got)
+		}
+	}
+}
+
+// TestClassifyPatternPredicateDirection checks direction analysis inside
+// WHERE pattern predicates.
+func TestClassifyPatternPredicateDirection(t *testing.T) {
+	s := fixtureSchema()
+	flipped := rules.QuerySet{
+		Support:   "MATCH (t:Tweet) WHERE (t)-[:POSTS]->(:User) RETURN count(*) AS n",
+		Body:      "MATCH (t:Tweet) RETURN count(*) AS n",
+		HeadTotal: "MATCH (t:Tweet) RETURN count(*) AS n",
+	}
+	if got := Classify(flipped, s); got != DirectionError {
+		t.Errorf("pattern predicate flip = %v, want direction-error", got)
+	}
+}

@@ -1,0 +1,373 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+func TestStringFunctions(t *testing.T) {
+	g := graph.New("s")
+	res := run(t, g, `RETURN toLower('AbC') AS lo, toUpper('aBc') AS up, trim('  x ') AS tr,
+		substring('hello', 1, 3) AS sub, substring('hello', 2) AS tail, split('a,b,c', ',') AS parts`)
+	if res.Value(0, "lo").Str() != "abc" || res.Value(0, "up").Str() != "ABC" || res.Value(0, "tr").Str() != "x" {
+		t.Error("case/trim functions wrong")
+	}
+	if res.Value(0, "sub").Str() != "ell" || res.Value(0, "tail").Str() != "llo" {
+		t.Error("substring wrong")
+	}
+	if parts := res.Value(0, "parts"); parts.Kind() != graph.KindList || len(parts.List()) != 3 {
+		t.Error("split wrong")
+	}
+	// Error paths.
+	runErr(t, g, `RETURN toLower(1)`)
+	runErr(t, g, `RETURN substring('x', 9)`)
+	runErr(t, g, `RETURN substring(1, 2)`)
+	runErr(t, g, `RETURN split(1, ',')`)
+}
+
+func TestConversionFunctions(t *testing.T) {
+	g := graph.New("c")
+	res := run(t, g, `RETURN toFloat('1.5') AS f, toFloat(2) AS fi, toBoolean('true') AS bt,
+		toBoolean('FALSE') AS bf, toBoolean('?') AS bn, toInteger(3.9) AS ti, toInteger('2.5') AS ts`)
+	if res.Value(0, "f").Float() != 1.5 || res.Value(0, "fi").Float() != 2 {
+		t.Error("toFloat wrong")
+	}
+	if !res.Value(0, "bt").Bool() || res.Value(0, "bf").Bool() || !res.Value(0, "bn").IsNull() {
+		t.Error("toBoolean wrong")
+	}
+	if res.Int(0, "ti") != 3 || res.Int(0, "ts") != 2 {
+		t.Error("toInteger wrong")
+	}
+	res = run(t, g, `RETURN toInteger('x') AS nope, toFloat(null) AS fn`)
+	if !res.Value(0, "nope").IsNull() || !res.Value(0, "fn").IsNull() {
+		t.Error("invalid conversions should be null")
+	}
+}
+
+func TestStartEndNodeAndKeys(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `MATCH (:User {id: 1})-[r:FOLLOWS]->() RETURN startNode(r) AS s, endNode(r) AS e, keys(r) AS ks`)
+	if res.Rows[0][0].Node == nil || res.Rows[0][1].Node == nil {
+		t.Fatal("startNode/endNode should return nodes")
+	}
+	if res.Rows[0][0].Node.Prop("name").Str() != "alice" {
+		t.Error("startNode wrong")
+	}
+	ks := res.Value(0, "ks")
+	if ks.Kind() != graph.KindList || ks.List()[0].Str() != "since" {
+		t.Errorf("keys(r) = %v", ks)
+	}
+	runErr(t, g, `MATCH (u:User) RETURN startNode(u)`)
+	runErr(t, g, `MATCH (u:User) RETURN type(u)`)
+	runErr(t, g, `MATCH ()-[r]->() RETURN labels(r)`)
+}
+
+func TestListOperations(t *testing.T) {
+	g := graph.New("l")
+	res := run(t, g, `RETURN [1,2] + [3] AS cat, [1,2,3][0] AS first, [1,2,3][-1] AS last, [1,2,3][9] AS oob`)
+	if cat := res.Value(0, "cat"); len(cat.List()) != 3 {
+		t.Error("list concat wrong")
+	}
+	if res.Int(0, "first") != 1 || res.Int(0, "last") != 3 {
+		t.Error("list index wrong")
+	}
+	if !res.Value(0, "oob").IsNull() {
+		t.Error("out-of-bounds index should be null")
+	}
+	// IN with null members.
+	res = run(t, g, `RETURN 2 IN [1, null, 2] AS hit, 3 IN [1, null] AS miss`)
+	if !res.Value(0, "hit").Bool() {
+		t.Error("IN with hit wrong")
+	}
+	if !res.Value(0, "miss").IsNull() {
+		t.Error("IN miss over null-bearing list should be null")
+	}
+	runErr(t, g, `RETURN 1 IN 2`)
+	runErr(t, g, `RETURN [1][true]`)
+}
+
+func TestXorAndBooleanNulls(t *testing.T) {
+	g := graph.New("x")
+	res := run(t, g, `RETURN true XOR false AS a, true XOR true AS b, (null = 1) XOR true AS c`)
+	if !res.Value(0, "a").Bool() || res.Value(0, "b").Bool() {
+		t.Error("XOR wrong")
+	}
+	if !res.Value(0, "c").IsNull() {
+		t.Error("XOR with null should be null")
+	}
+	// OR short-circuit and null combination.
+	res = run(t, g, `RETURN (null = 1) OR true AS t, (null = 1) OR false AS n, false OR false AS f`)
+	if !res.Value(0, "t").Bool() || !res.Value(0, "n").IsNull() || res.Value(0, "f").Bool() {
+		t.Error("OR three-valued logic wrong")
+	}
+	res = run(t, g, `RETURN (null = 1) AND false AS f2, (null = 1) AND true AS n2`)
+	if res.Value(0, "f2").Bool() || !res.Value(0, "n2").IsNull() {
+		t.Error("AND three-valued logic wrong")
+	}
+	runErr(t, g, `RETURN 1 AND true`)
+}
+
+func TestCaseWithOperand(t *testing.T) {
+	g := graph.New("cs")
+	res := run(t, g, `RETURN CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END AS w,
+		CASE 9 WHEN 1 THEN 'one' END AS miss`)
+	if res.Value(0, "w").Str() != "two" {
+		t.Error("operand CASE wrong")
+	}
+	if !res.Value(0, "miss").IsNull() {
+		t.Error("unmatched CASE without ELSE should be null")
+	}
+}
+
+func TestNullArithmeticAndConcat(t *testing.T) {
+	g := graph.New("na")
+	res := run(t, g, `RETURN null + 1 AS n, 'v=' + 2.5 AS s, -1.5 AS negf`)
+	if !res.Value(0, "n").IsNull() {
+		t.Error("null arithmetic should be null")
+	}
+	if res.Value(0, "s").Str() != "v=2.5" {
+		t.Error("string+number concat wrong")
+	}
+	if res.Value(0, "negf").Float() != -1.5 {
+		t.Error("unary minus on float wrong")
+	}
+	runErr(t, g, `RETURN true + 1`)
+	runErr(t, g, `RETURN -'x'`)
+	runErr(t, g, `RETURN 1.5 % 2`)
+	runErr(t, g, `RETURN 1.0 / 0.0`)
+}
+
+func TestBacktickIdentifiers(t *testing.T) {
+	g := graph.New("bt")
+	g.AddNode([]string{"Weird Label"}, graph.Props{"id": graph.NewInt(1)})
+	res := run(t, g, "MATCH (n:`Weird Label`) RETURN count(*) AS c")
+	if res.FirstInt("c") != 1 {
+		t.Error("backtick label match failed")
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `MATCH (u:User) RETURN count(*) + 1 AS plus, collect(u.id)[0] AS firstID`)
+	if res.Int(0, "plus") != 4 {
+		t.Errorf("count(*)+1 = %d", res.Int(0, "plus"))
+	}
+	if res.Int(0, "firstID") != 1 {
+		t.Errorf("collect()[0] = %d", res.Int(0, "firstID"))
+	}
+	// Aggregate misuse.
+	runErr(t, g, `MATCH (u:User) WHERE count(*) > 1 RETURN u`)
+}
+
+func TestRelPropsInPattern(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `MATCH (a)-[r:FOLLOWS {since: 2019}]->(b) RETURN b.name AS n`)
+	if res.Len() != 1 || res.Value(0, "n").Str() != "bob" {
+		t.Errorf("rel props filter wrong: %+v", res.Rows)
+	}
+	res = run(t, g, `MATCH (a)-[r:FOLLOWS {since: 1999}]->(b) RETURN count(*) AS c`)
+	if res.FirstInt("c") != 0 {
+		t.Error("non-matching rel props should filter")
+	}
+}
+
+func TestSetOnMissingAndNullTargets(t *testing.T) {
+	g := socialGraph()
+	ex := NewExecutor(g)
+	if _, err := ex.Run(`MATCH (u:User) SET ghost.x = 1`, nil); err == nil {
+		t.Error("SET on undefined var should fail")
+	}
+	// SET on a null from OPTIONAL MATCH is a no-op.
+	if _, err := ex.Run(`MATCH (u:User {id: 3}) OPTIONAL MATCH (u)-[:POSTS]->(t) SET t.flag = true`, nil); err != nil {
+		t.Errorf("SET on null should no-op: %v", err)
+	}
+	// SET a scalar target fails.
+	if _, err := ex.Run(`MATCH (u:User) WITH u.id AS x SET x.y = 1`, nil); err == nil {
+		t.Error("SET on scalar should fail")
+	}
+}
+
+func TestDeleteNullAndScalar(t *testing.T) {
+	g := socialGraph()
+	ex := NewExecutor(g)
+	if _, err := ex.Run(`MATCH (u:User {id: 3}) OPTIONAL MATCH (u)-[:POSTS]->(t) DELETE t`, nil); err != nil {
+		t.Errorf("DELETE null should no-op: %v", err)
+	}
+	if _, err := ex.Run(`MATCH (u:User) WITH u.id AS x DELETE x`, nil); err == nil {
+		t.Error("DELETE scalar should fail")
+	}
+}
+
+func TestUnwindScalarAndNull(t *testing.T) {
+	g := graph.New("us")
+	res := run(t, g, `UNWIND 5 AS x RETURN x`)
+	if res.Len() != 1 || res.Int(0, "x") != 5 {
+		t.Error("UNWIND scalar should yield one row")
+	}
+	res = run(t, g, `UNWIND null AS x RETURN count(*) AS c`)
+	if res.FirstInt("c") != 0 {
+		t.Error("UNWIND null should yield no rows")
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	g := graph.New("ob")
+	for i, pair := range [][2]int64{{1, 9}, {1, 3}, {0, 5}} {
+		g.AddNode([]string{"N"}, graph.Props{"a": graph.NewInt(pair[0]), "b": graph.NewInt(pair[1]), "i": graph.NewInt(int64(i))})
+	}
+	res := run(t, g, `MATCH (n:N) RETURN n.a AS a, n.b AS b ORDER BY a ASC, b DESC`)
+	if res.Int(0, "a") != 0 || res.Int(1, "b") != 9 || res.Int(2, "b") != 3 {
+		t.Errorf("multi-key order wrong: %+v", res.Rows)
+	}
+	// SKIP/LIMIT type errors.
+	runErr(t, g, `MATCH (n:N) RETURN n.a LIMIT 'x'`)
+	runErr(t, g, `MATCH (n:N) RETURN n.a SKIP -1`)
+}
+
+func TestResultHelpersMore(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `RETURN 2.9 AS f`)
+	if res.Int(0, "f") != 2 {
+		t.Error("Int on float column should truncate")
+	}
+	res = run(t, g, `MATCH (:User {id:1})-[r:FOLLOWS]->() RETURN r`)
+	if !strings.Contains(res.Rows[0][0].Display(), "FOLLOWS") {
+		t.Error("edge Display wrong")
+	}
+	if NullDatum.Display() != "null" {
+		t.Error("null Display wrong")
+	}
+}
+
+func TestClauseStringRoundTripsMutations(t *testing.T) {
+	srcs := []string{
+		`CREATE (a:User {id: 1})-[:KNOWS]->(b:User)`,
+		`MATCH (n:User) SET n.seen = true, n:Audited`,
+		`MATCH (n:User) DETACH DELETE n`,
+		`MATCH (n)-[r]->() DELETE r`,
+		`UNWIND [1, 2] AS x RETURN x`,
+		`MATCH (a)-[r:R*2..3]->(b) RETURN count(*)`,
+		`MATCH (a {k: 1})-[r:R {w: 2}]->(b) RETURN CASE WHEN a.k > 0 THEN 'p' ELSE 'n' END AS s`,
+		`MATCH (n) RETURN n.x SKIP 1 LIMIT 2`,
+		`MATCH (n) WHERE n.name STARTS WITH 'a' RETURN DISTINCT n.name ORDER BY n.name DESC`,
+		`MATCH (n) RETURN count(DISTINCT n.x)`,
+		`RETURN $param`,
+		`RETURN -x.value`,
+		`RETURN NOT true`,
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", text, err)
+			continue
+		}
+		if q2.String() != text {
+			t.Errorf("unstable round trip:\n1: %s\n2: %s", text, q2.String())
+		}
+	}
+}
+
+func TestOptionalMatchWithWhere(t *testing.T) {
+	g := socialGraph()
+	// WHERE belongs to the OPTIONAL MATCH: rows failing it become null.
+	res := run(t, g, `MATCH (u:User) OPTIONAL MATCH (u)-[:POSTS]->(t:Tweet) WHERE t.createdAt > 1500
+		RETURN u.name AS n, count(t) AS c ORDER BY n`)
+	if res.Len() != 3 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	// alice has one tweet after 1500 (t2 at 2000).
+	if res.Int(0, "c") != 1 {
+		t.Errorf("alice count = %d", res.Int(0, "c"))
+	}
+	if res.Int(1, "c") != 0 || res.Int(2, "c") != 0 {
+		t.Error("bob/carol should have zero")
+	}
+}
+
+func TestCreateValidationErrors(t *testing.T) {
+	g := graph.New("cv")
+	ex := NewExecutor(g)
+	for _, src := range []string{
+		`CREATE (a)-[:R]-(b)`,       // undirected
+		`CREATE (a)-[:R|S]->(b)`,    // multi-type
+		`CREATE (a)-[:R*2]->(b)`,    // var length
+		`CREATE (a:X) CREATE (a:Y)`, // re-labeling bound var
+	} {
+		if _, err := ex.Run(src, nil); err == nil {
+			t.Errorf("Run(%q) should fail", src)
+		}
+	}
+	// CREATE with evaluated props and incoming direction.
+	res, err := ex.Run(`CREATE (a:X {v: 1 + 1})<-[:R {w: 2 * 2}]-(b:Y)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NodesCreated != 2 || res.Stats.EdgesCreated != 1 {
+		t.Error("create stats wrong")
+	}
+	r2, _ := ex.Run(`MATCH (b:Y)-[r:R]->(a:X) RETURN r.w AS w, a.v AS v`, nil)
+	if r2.Int(0, "w") != 4 || r2.Int(0, "v") != 2 {
+		t.Error("incoming-direction create wrong")
+	}
+}
+
+func TestCoalesceAndRange(t *testing.T) {
+	g := graph.New("cr")
+	res := run(t, g, `RETURN coalesce(null, null, 'x') AS c, range(0, 10, 5) AS r, range(3, 1, -1) AS rev`)
+	if res.Value(0, "c").Str() != "x" {
+		t.Error("coalesce wrong")
+	}
+	if r := res.Value(0, "r").List(); len(r) != 3 || r[2].Int() != 10 {
+		t.Error("range step wrong")
+	}
+	if rev := res.Value(0, "rev").List(); len(rev) != 3 || rev[0].Int() != 3 {
+		t.Error("reverse range wrong")
+	}
+	runErr(t, g, `RETURN range(1, 2, 0)`)
+	runErr(t, g, `RETURN range('a', 'b')`)
+}
+
+func TestAbsHeadLastEdgeCases(t *testing.T) {
+	g := graph.New("ah")
+	res := run(t, g, `RETURN abs(-2.5) AS af, head([]) AS h, last([]) AS l, size(null) AS s`)
+	if res.Value(0, "af").Float() != 2.5 {
+		t.Error("abs float wrong")
+	}
+	if !res.Value(0, "h").IsNull() || !res.Value(0, "l").IsNull() || !res.Value(0, "s").IsNull() {
+		t.Error("empty-list/null edge cases wrong")
+	}
+	runErr(t, g, `RETURN abs('x')`)
+	runErr(t, g, `RETURN head(1)`)
+	runErr(t, g, `RETURN size(true)`)
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	g := graph.New("mm")
+	for _, s := range []string{"cherry", "apple", "banana"} {
+		g.AddNode([]string{"F"}, graph.Props{"name": graph.NewString(s)})
+	}
+	res := run(t, g, `MATCH (f:F) RETURN min(f.name) AS mn, max(f.name) AS mx`)
+	if res.Value(0, "mn").Str() != "apple" || res.Value(0, "mx").Str() != "cherry" {
+		t.Errorf("string min/max wrong: %+v", res.Rows)
+	}
+}
+
+func TestExistsPropertyFunction(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `MATCH (u:User) WHERE exists(u.verified) RETURN count(*) AS c`)
+	if res.FirstInt("c") != 2 {
+		t.Errorf("exists(prop) = %d", res.FirstInt("c"))
+	}
+}
+
+func TestSemicolonTermination(t *testing.T) {
+	g := socialGraph()
+	res := run(t, g, `MATCH (u:User) RETURN count(*) AS c;`)
+	if res.FirstInt("c") != 3 {
+		t.Error("trailing semicolon should be accepted")
+	}
+}

@@ -1,0 +1,1071 @@
+package cypher
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Stats counts the side effects and work of one execution.
+type Stats struct {
+	NodesCreated  int
+	EdgesCreated  int
+	NodesDeleted  int
+	EdgesDeleted  int
+	PropertiesSet int
+	LabelsAdded   int
+	RowsExamined  int
+}
+
+// Result is the outcome of executing a query.
+type Result struct {
+	Columns []string
+	Rows    [][]Datum
+	Stats   Stats
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Column returns the index of the named column, or -1.
+func (r *Result) Column(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the scalar value at (row, named column); null when absent.
+func (r *Result) Value(row int, col string) graph.Value {
+	ci := r.Column(col)
+	if ci < 0 || row < 0 || row >= len(r.Rows) {
+		return graph.Null
+	}
+	return r.Rows[row][ci].Scalar()
+}
+
+// Int returns the integer at (row, col) or 0.
+func (r *Result) Int(row int, col string) int64 {
+	v := r.Value(row, col)
+	if v.Kind() == graph.KindInt {
+		return v.Int()
+	}
+	if v.Kind() == graph.KindFloat {
+		return int64(v.Float())
+	}
+	return 0
+}
+
+// FirstInt returns the integer in the first row of the named column (or the
+// first column when name is ""), defaulting to 0. Convenient for COUNT
+// queries.
+func (r *Result) FirstInt(col string) int64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	if col == "" {
+		if len(r.Columns) == 0 {
+			return 0
+		}
+		col = r.Columns[0]
+	}
+	return r.Int(0, col)
+}
+
+// Executor runs parsed queries against a graph.
+type Executor struct {
+	g *graph.Graph
+}
+
+// NewExecutor returns an executor bound to a graph.
+func NewExecutor(g *graph.Graph) *Executor { return &Executor{g: g} }
+
+// Run parses and executes a query string.
+func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Execute(q, params)
+}
+
+// Execute runs a parsed query.
+func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, error) {
+	m := &matcher{g: ex.g}
+	ctx := newEvalCtx(ex.g, params, m)
+	m.ctx = ctx
+
+	rows := []Row{{}}
+	res := &Result{}
+	var returned bool
+
+	for i, clause := range q.Clauses {
+		if returned {
+			return nil, execErrf("RETURN must be the final clause")
+		}
+		var err error
+		switch cl := clause.(type) {
+		case *MatchClause:
+			rows, err = ex.execMatch(ctx, m, cl, rows, &res.Stats)
+		case *WithClause:
+			rows, err = ex.execWith(ctx, cl, rows)
+		case *ReturnClause:
+			err = ex.execReturn(ctx, cl, rows, res)
+			returned = true
+		case *UnwindClause:
+			rows, err = ex.execUnwind(ctx, cl, rows)
+		case *CreateClause:
+			rows, err = ex.execCreate(ctx, cl, rows, &res.Stats)
+		case *SetClause:
+			rows, err = ex.execSet(ctx, cl, rows, &res.Stats)
+		case *DeleteClause:
+			rows, err = ex.execDelete(ctx, cl, rows, &res.Stats)
+		default:
+			err = execErrf("unsupported clause at position %d", i)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ---------- MATCH ----------
+
+func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Row, st *Stats) ([]Row, error) {
+	newVars := patternVars(cl.Patterns)
+	var out []Row
+	for _, row := range in {
+		st.RowsExamined++
+		matched := false
+		err := m.matchAll(cl.Patterns, row, func(r Row) error {
+			if cl.Where != nil {
+				t, err := ctx.evalBool(cl.Where, r)
+				if err != nil {
+					return err
+				}
+				if t != triTrue {
+					return nil
+				}
+			}
+			matched = true
+			out = append(out, r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !matched && cl.Optional {
+			r := row.clone()
+			for _, v := range newVars {
+				if _, bound := r[v]; !bound {
+					r[v] = NullDatum
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// patternVars returns the variable names introduced by a pattern list, in
+// first-appearance order.
+func patternVars(parts []*PatternPart) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			names = append(names, v)
+		}
+	}
+	for _, p := range parts {
+		for i, n := range p.Nodes {
+			add(n.Var)
+			if i < len(p.Rels) {
+				add(p.Rels[i].Var)
+			}
+		}
+	}
+	return names
+}
+
+// matcher performs backtracking pattern matching against the graph.
+type matcher struct {
+	g   *graph.Graph
+	ctx *evalCtx
+}
+
+// matchAll matches every pattern part in sequence (sharing one
+// relationship-uniqueness scope, Cypher's per-MATCH semantics) and invokes
+// cb for each complete assignment.
+func (m *matcher) matchAll(parts []*PatternPart, row Row, cb func(Row) error) error {
+	used := map[graph.ID]bool{}
+	var rec func(i int, r Row) error
+	rec = func(i int, r Row) error {
+		if i == len(parts) {
+			return cb(r.clone())
+		}
+		return m.matchPart(parts[i], r, used, func(r2 Row) error {
+			return rec(i+1, r2)
+		})
+	}
+	return rec(0, row)
+}
+
+// exists reports whether the pattern has at least one match from the given
+// row (used by pattern predicates in WHERE).
+func (m *matcher) exists(part *PatternPart, row Row) (bool, error) {
+	found := false
+	err := m.matchPart(part, row, map[graph.ID]bool{}, func(Row) error {
+		found = true
+		return errStopMatching
+	})
+	if err != nil && err != errStopMatching {
+		return false, err
+	}
+	return found, nil
+}
+
+// errStopMatching is a sentinel used to abort matching early.
+var errStopMatching = &ExecError{Msg: "stop"}
+
+// matchPart matches one path pattern, extending row; used tracks
+// relationship uniqueness within the clause.
+func (m *matcher) matchPart(part *PatternPart, row Row, used map[graph.ID]bool, cb func(Row) error) error {
+	return m.bindNode(part, 0, row, used, cb)
+}
+
+func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]bool, cb func(Row) error) error {
+	np := part.Nodes[i]
+
+	proceed := func(n *graph.Node, r Row) error {
+		if i == len(part.Rels) {
+			return cb(r)
+		}
+		return m.expandRel(part, i, n, r, used, cb)
+	}
+
+	// Bound variable: check constraints and continue.
+	if np.Var != "" {
+		if d, ok := row[np.Var]; ok {
+			if d.Node == nil {
+				if d.IsNull() {
+					return nil // null from OPTIONAL MATCH never re-matches
+				}
+				return execErrf("variable `%s` is not a node", np.Var)
+			}
+			ok, err := m.nodeSatisfies(np, d.Node, row)
+			if err != nil || !ok {
+				return err
+			}
+			return proceed(d.Node, row)
+		}
+	}
+
+	// Unbound: enumerate candidates (smallest label index, else all nodes).
+	var candidates []graph.ID
+	if len(np.Labels) > 0 {
+		best := -1
+		for _, l := range np.Labels {
+			ids := m.g.NodesWithLabel(l)
+			if best == -1 || len(ids) < best {
+				best = len(ids)
+				candidates = ids
+			}
+		}
+	} else {
+		candidates = m.g.Nodes()
+	}
+	for _, id := range candidates {
+		n := m.g.Node(id)
+		if n == nil {
+			continue
+		}
+		ok, err := m.nodeSatisfies(np, n, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		r := row
+		if np.Var != "" {
+			r = row.clone()
+			r[np.Var] = NodeDatum(n)
+		}
+		if err := proceed(n, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *matcher) nodeSatisfies(np *NodePattern, n *graph.Node, row Row) (bool, error) {
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	for k, e := range np.Props {
+		want, err := m.ctx.eval(e, row)
+		if err != nil {
+			return false, err
+		}
+		if !n.Prop(k).Equal(want.Scalar()) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (m *matcher) edgeSatisfies(rp *RelPattern, e *graph.Edge, row Row) (bool, error) {
+	if len(rp.Types) > 0 {
+		okType := false
+		for _, t := range rp.Types {
+			if e.HasLabel(t) {
+				okType = true
+				break
+			}
+		}
+		if !okType {
+			return false, nil
+		}
+	}
+	for k, ex := range rp.Props {
+		want, err := m.ctx.eval(ex, row)
+		if err != nil {
+			return false, err
+		}
+		if !e.Prop(k).Equal(want.Scalar()) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// expandRel matches relationship i of the part from node n, then binds node
+// i+1.
+func (m *matcher) expandRel(part *PatternPart, i int, n *graph.Node, row Row, used map[graph.ID]bool, cb func(Row) error) error {
+	rp := part.Rels[i]
+	if rp.IsVarLength() {
+		return m.expandVarLength(part, i, n, row, used, cb)
+	}
+
+	// Pre-bound relationship variable: verify incidence.
+	if rp.Var != "" {
+		if d, ok := row[rp.Var]; ok {
+			if d.IsNull() {
+				return nil
+			}
+			if d.Edge == nil {
+				return execErrf("variable `%s` is not a relationship", rp.Var)
+			}
+			return m.followEdge(part, i, n, d.Edge, row, used, cb, true)
+		}
+	}
+
+	tryEdges := func(ids []graph.ID) error {
+		for _, eid := range ids {
+			if used[eid] {
+				continue
+			}
+			e := m.g.Edge(eid)
+			if e == nil {
+				continue
+			}
+			if err := m.followEdge(part, i, n, e, row, used, cb, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch rp.Direction {
+	case DirOut:
+		return tryEdges(m.g.OutEdges(n.ID))
+	case DirIn:
+		return tryEdges(m.g.InEdges(n.ID))
+	default:
+		if err := tryEdges(m.g.OutEdges(n.ID)); err != nil {
+			return err
+		}
+		// Self-loops appear in both lists; skip the duplicate pass for them.
+		in := m.g.InEdges(n.ID)
+		filtered := in[:0:0]
+		for _, eid := range in {
+			if e := m.g.Edge(eid); e != nil && e.From == e.To {
+				continue
+			}
+			filtered = append(filtered, eid)
+		}
+		return tryEdges(filtered)
+	}
+}
+
+// followEdge checks edge e against rel i from node n and recurses into node
+// i+1. preBound marks a relationship variable bound by an earlier clause.
+func (m *matcher) followEdge(part *PatternPart, i int, n *graph.Node, e *graph.Edge, row Row, used map[graph.ID]bool, cb func(Row) error, preBound bool) error {
+	rp := part.Rels[i]
+	ok, err := m.edgeSatisfies(rp, e, row)
+	if err != nil || !ok {
+		return err
+	}
+	// Determine the far endpoint honoring direction.
+	var far graph.ID
+	switch rp.Direction {
+	case DirOut:
+		if e.From != n.ID {
+			return nil
+		}
+		far = e.To
+	case DirIn:
+		if e.To != n.ID {
+			return nil
+		}
+		far = e.From
+	default:
+		switch n.ID {
+		case e.From:
+			far = e.To
+		case e.To:
+			far = e.From
+		default:
+			return nil
+		}
+	}
+	if used[e.ID] {
+		return nil
+	}
+	r := row
+	if rp.Var != "" && !preBound {
+		r = row.clone()
+		r[rp.Var] = EdgeDatum(e)
+	}
+	used[e.ID] = true
+	defer delete(used, e.ID)
+
+	// Bind the far node: constrain against pattern i+1.
+	np := part.Nodes[i+1]
+	farNode := m.g.Node(far)
+	if farNode == nil {
+		return nil
+	}
+	if np.Var != "" {
+		if d, bound := r[np.Var]; bound {
+			if d.Node == nil || d.Node.ID != far {
+				return nil
+			}
+			ok, err := m.nodeSatisfies(np, farNode, r)
+			if err != nil || !ok {
+				return err
+			}
+			return m.afterNode(part, i+1, farNode, r, used, cb)
+		}
+	}
+	ok, err = m.nodeSatisfies(np, farNode, r)
+	if err != nil || !ok {
+		return err
+	}
+	if np.Var != "" {
+		r = r.clone()
+		r[np.Var] = NodeDatum(farNode)
+	}
+	return m.afterNode(part, i+1, farNode, r, used, cb)
+}
+
+func (m *matcher) afterNode(part *PatternPart, i int, n *graph.Node, row Row, used map[graph.ID]bool, cb func(Row) error) error {
+	if i == len(part.Rels) {
+		return cb(row)
+	}
+	return m.expandRel(part, i, n, row, used, cb)
+}
+
+// expandVarLength walks paths of length MinHops..MaxHops for rel i. The
+// relationship variable (when named) binds to the list of traversed edge
+// IDs.
+func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, row Row, used map[graph.ID]bool, cb func(Row) error) error {
+	rp := part.Rels[i]
+	np := part.Nodes[i+1]
+
+	emit := func(at *graph.Node, path []graph.ID, r Row) error {
+		ok, err := m.nodeSatisfies(np, at, r)
+		if err != nil || !ok {
+			return err
+		}
+		r2 := r
+		if np.Var != "" {
+			if d, bound := r[np.Var]; bound {
+				if d.Node == nil || d.Node.ID != at.ID {
+					return nil
+				}
+			} else {
+				r2 = r.clone()
+				r2[np.Var] = NodeDatum(at)
+			}
+		}
+		if rp.Var != "" {
+			ids := make([]graph.Value, len(path))
+			for k, id := range path {
+				ids[k] = graph.NewInt(int64(id))
+			}
+			r2 = r2.clone()
+			r2[rp.Var] = ValDatum(graph.NewList(ids...))
+		}
+		return m.afterNode(part, i+1, at, r2, used, cb)
+	}
+
+	var walk func(at *graph.Node, depth int, path []graph.ID) error
+	walk = func(at *graph.Node, depth int, path []graph.ID) error {
+		if depth >= rp.MinHops {
+			if err := emit(at, path, row); err != nil {
+				return err
+			}
+		}
+		if rp.MaxHops >= 0 && depth == rp.MaxHops {
+			return nil
+		}
+		step := func(ids []graph.ID, wantOut bool) error {
+			for _, eid := range ids {
+				if used[eid] {
+					continue
+				}
+				e := m.g.Edge(eid)
+				if e == nil {
+					continue
+				}
+				ok, err := m.edgeSatisfies(rp, e, row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				var far graph.ID
+				if wantOut {
+					far = e.To
+				} else {
+					far = e.From
+				}
+				farNode := m.g.Node(far)
+				if farNode == nil {
+					continue
+				}
+				used[eid] = true
+				err = walk(farNode, depth+1, append(path, eid))
+				delete(used, eid)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		switch rp.Direction {
+		case DirOut:
+			return step(m.g.OutEdges(at.ID), true)
+		case DirIn:
+			return step(m.g.InEdges(at.ID), false)
+		default:
+			if err := step(m.g.OutEdges(at.ID), true); err != nil {
+				return err
+			}
+			return step(m.g.InEdges(at.ID), false)
+		}
+	}
+	return walk(start, 0, nil)
+}
+
+// ---------- WITH / RETURN ----------
+
+func (ex *Executor) execWith(ctx *evalCtx, cl *WithClause, in []Row) ([]Row, error) {
+	outRows, _, err := ex.project(ctx, &cl.Projection, in)
+	if err != nil {
+		return nil, err
+	}
+	if cl.Where == nil {
+		return outRows, nil
+	}
+	var filtered []Row
+	for _, r := range outRows {
+		t, err := ctx.evalBool(cl.Where, r)
+		if err != nil {
+			return nil, err
+		}
+		if t == triTrue {
+			filtered = append(filtered, r)
+		}
+	}
+	return filtered, nil
+}
+
+func (ex *Executor) execReturn(ctx *evalCtx, cl *ReturnClause, in []Row, res *Result) error {
+	outRows, cols, err := ex.project(ctx, &cl.Projection, in)
+	if err != nil {
+		return err
+	}
+	res.Columns = cols
+	for _, r := range outRows {
+		vals := make([]Datum, len(cols))
+		for i, c := range cols {
+			vals[i] = r[c]
+		}
+		res.Rows = append(res.Rows, vals)
+	}
+	return nil
+}
+
+// project evaluates a projection over input rows, handling star expansion,
+// aggregation grouping, DISTINCT, ORDER BY, SKIP and LIMIT. It returns the
+// output rows (bound by output column name) and the column order.
+func (ex *Executor) project(ctx *evalCtx, p *Projection, in []Row) ([]Row, []string, error) {
+	items := p.Items
+	if p.Star {
+		var starItems []*ReturnItem
+		var scope []string
+		if len(in) > 0 {
+			scope = sortedVarNames(in[0])
+		}
+		for _, v := range scope {
+			starItems = append(starItems, &ReturnItem{Expr: &Variable{Name: v}, Alias: v})
+		}
+		items = append(starItems, items...)
+	}
+	if len(items) == 0 {
+		return nil, nil, execErrf("projection requires at least one item")
+	}
+
+	cols := make([]string, len(items))
+	colSeen := map[string]bool{}
+	for i, it := range items {
+		name := it.Name()
+		for colSeen[name] {
+			name += "_"
+		}
+		colSeen[name] = true
+		cols[i] = name
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if ContainsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var outRows []Row
+	var err error
+	if hasAgg {
+		outRows, err = ex.projectGrouped(ctx, items, cols, in)
+	} else {
+		outRows, err = ex.projectSimple(ctx, items, cols, in)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if p.Distinct {
+		seen := map[string]bool{}
+		var dd []Row
+		for _, r := range outRows {
+			var b strings.Builder
+			for _, c := range cols {
+				b.WriteString(r[c].Hashable())
+				b.WriteByte('|')
+			}
+			k := b.String()
+			if !seen[k] {
+				seen[k] = true
+				dd = append(dd, r)
+			}
+		}
+		outRows = dd
+	}
+
+	if len(p.OrderBy) > 0 {
+		if err := ex.sortRows(ctx, p.OrderBy, cols, outRows); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if p.Skip != nil {
+		n, err := ex.evalPosInt(ctx, p.Skip, "SKIP")
+		if err != nil {
+			return nil, nil, err
+		}
+		if n >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[n:]
+		}
+	}
+	if p.Limit != nil {
+		n, err := ex.evalPosInt(ctx, p.Limit, "LIMIT")
+		if err != nil {
+			return nil, nil, err
+		}
+		if n < len(outRows) {
+			outRows = outRows[:n]
+		}
+	}
+	return outRows, cols, nil
+}
+
+func (ex *Executor) evalPosInt(ctx *evalCtx, e Expr, what string) (int, error) {
+	d, err := ctx.eval(e, Row{})
+	if err != nil {
+		return 0, err
+	}
+	v := d.Scalar()
+	if v.Kind() != graph.KindInt || v.Int() < 0 {
+		return 0, execErrf("%s requires a non-negative integer", what)
+	}
+	return int(v.Int()), nil
+}
+
+func (ex *Executor) projectSimple(ctx *evalCtx, items []*ReturnItem, cols []string, in []Row) ([]Row, error) {
+	out := make([]Row, 0, len(in))
+	for _, r := range in {
+		nr := make(Row, len(items))
+		for i, it := range items {
+			d, err := ctx.eval(it.Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			nr[cols[i]] = d
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+func (ex *Executor) projectGrouped(ctx *evalCtx, items []*ReturnItem, cols []string, in []Row) ([]Row, error) {
+	// Grouping keys: items with no aggregate inside.
+	type keyItem struct {
+		idx int
+	}
+	var keyItems []keyItem
+	var aggCalls []*FuncCall
+	for i, it := range items {
+		if ContainsAggregate(it.Expr) {
+			collectAggregates(it.Expr, &aggCalls)
+		} else {
+			keyItems = append(keyItems, keyItem{idx: i})
+		}
+	}
+
+	type group struct {
+		keyVals map[int]Datum // item index -> value
+		aggs    []*aggState
+		first   Row
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, r := range in {
+		var kb strings.Builder
+		keyVals := make(map[int]Datum, len(keyItems))
+		for _, ki := range keyItems {
+			d, err := ctx.eval(items[ki.idx].Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[ki.idx] = d
+			kb.WriteString(d.Hashable())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		grp := groups[k]
+		if grp == nil {
+			grp = &group{keyVals: keyVals, first: r}
+			for _, fc := range aggCalls {
+				grp.aggs = append(grp.aggs, newAggState(fc))
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for _, st := range grp.aggs {
+			if err := st.add(ctx, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// With no grouping keys and no input rows, aggregates still produce one
+	// row (count(*) over nothing is 0).
+	if len(in) == 0 && len(keyItems) == 0 {
+		grp := &group{keyVals: map[int]Datum{}, first: Row{}}
+		for _, fc := range aggCalls {
+			grp.aggs = append(grp.aggs, newAggState(fc))
+		}
+		groups["∅"] = grp
+		order = append(order, "∅")
+	}
+
+	out := make([]Row, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		aggResults := make(map[*FuncCall]Datum, len(grp.aggs))
+		for _, st := range grp.aggs {
+			aggResults[st.fn] = st.result()
+		}
+		ctx.aggResults = aggResults
+		nr := make(Row, len(items))
+		for i, it := range items {
+			if d, ok := grp.keyVals[i]; ok {
+				nr[cols[i]] = d
+				continue
+			}
+			d, err := ctx.eval(it.Expr, grp.first)
+			if err != nil {
+				ctx.aggResults = nil
+				return nil, err
+			}
+			nr[cols[i]] = d
+		}
+		ctx.aggResults = nil
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+func (ex *Executor) sortRows(ctx *evalCtx, orderBy []*SortItem, cols []string, rows []Row) error {
+	type keyed struct {
+		row  Row
+		keys []string
+	}
+	ks := make([]keyed, len(rows))
+	for i, r := range rows {
+		keys := make([]string, len(orderBy))
+		for j, si := range orderBy {
+			// ORDER BY sees output bindings; a bare identifier matching a
+			// column refers to it, otherwise the expression is evaluated on
+			// the output row.
+			d, err := ctx.eval(si.Expr, r)
+			if err != nil {
+				return err
+			}
+			keys[j] = d.Scalar().SortKey()
+		}
+		ks[i] = keyed{row: r, keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j := range orderBy {
+			ka, kb := ks[a].keys[j], ks[b].keys[j]
+			if ka == kb {
+				continue
+			}
+			if orderBy[j].Desc {
+				return ka > kb
+			}
+			return ka < kb
+		}
+		return false
+	})
+	for i := range rows {
+		rows[i] = ks[i].row
+	}
+	return nil
+}
+
+// ---------- UNWIND ----------
+
+func (ex *Executor) execUnwind(ctx *evalCtx, cl *UnwindClause, in []Row) ([]Row, error) {
+	var out []Row
+	for _, r := range in {
+		d, err := ctx.eval(cl.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		v := d.Scalar()
+		switch v.Kind() {
+		case graph.KindNull:
+			continue
+		case graph.KindList:
+			for _, e := range v.List() {
+				nr := r.clone()
+				nr[cl.Alias] = ValDatum(e)
+				out = append(out, nr)
+			}
+		default:
+			nr := r.clone()
+			nr[cl.Alias] = ValDatum(v)
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+// ---------- CREATE / SET / DELETE ----------
+
+func (ex *Executor) execCreate(ctx *evalCtx, cl *CreateClause, in []Row, st *Stats) ([]Row, error) {
+	var out []Row
+	for _, row := range in {
+		r := row.clone()
+		for _, part := range cl.Patterns {
+			if err := ex.createPart(ctx, part, r, st); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (ex *Executor) createPart(ctx *evalCtx, part *PatternPart, r Row, st *Stats) error {
+	getOrCreateNode := func(np *NodePattern) (*graph.Node, error) {
+		if np.Var != "" {
+			if d, ok := r[np.Var]; ok {
+				if d.Node == nil {
+					return nil, execErrf("CREATE: variable `%s` is not a node", np.Var)
+				}
+				if len(np.Labels) > 0 || len(np.Props) > 0 {
+					return nil, execErrf("CREATE: cannot add labels or properties to bound variable `%s`", np.Var)
+				}
+				return d.Node, nil
+			}
+		}
+		props := graph.Props{}
+		for k, e := range np.Props {
+			d, err := ctx.eval(e, r)
+			if err != nil {
+				return nil, err
+			}
+			if !d.IsNull() {
+				props[k] = d.Scalar()
+			}
+		}
+		n := ex.g.AddNode(np.Labels, props)
+		st.NodesCreated++
+		if np.Var != "" {
+			r[np.Var] = NodeDatum(n)
+		}
+		return n, nil
+	}
+
+	prev, err := getOrCreateNode(part.Nodes[0])
+	if err != nil {
+		return err
+	}
+	for i, rp := range part.Rels {
+		if rp.Direction == DirBoth {
+			return execErrf("CREATE requires a directed relationship")
+		}
+		if len(rp.Types) != 1 {
+			return execErrf("CREATE requires exactly one relationship type")
+		}
+		if rp.IsVarLength() {
+			return execErrf("CREATE cannot use variable-length relationships")
+		}
+		next, err := getOrCreateNode(part.Nodes[i+1])
+		if err != nil {
+			return err
+		}
+		props := graph.Props{}
+		for k, e := range rp.Props {
+			d, err := ctx.eval(e, r)
+			if err != nil {
+				return err
+			}
+			if !d.IsNull() {
+				props[k] = d.Scalar()
+			}
+		}
+		from, to := prev, next
+		if rp.Direction == DirIn {
+			from, to = next, prev
+		}
+		edge, err := ex.g.AddEdge(from.ID, to.ID, rp.Types, props)
+		if err != nil {
+			return err
+		}
+		st.EdgesCreated++
+		if rp.Var != "" {
+			r[rp.Var] = EdgeDatum(edge)
+		}
+		prev = next
+	}
+	return nil
+}
+
+func (ex *Executor) execSet(ctx *evalCtx, cl *SetClause, in []Row, st *Stats) ([]Row, error) {
+	for _, r := range in {
+		for _, item := range cl.Items {
+			d, ok := r[item.Target]
+			if !ok {
+				return nil, execErrf("SET: variable `%s` not defined", item.Target)
+			}
+			if d.IsNull() {
+				continue
+			}
+			if len(item.Labels) > 0 {
+				if d.Node == nil {
+					return nil, execErrf("SET: labels require a node")
+				}
+				if err := ex.g.AddNodeLabels(d.Node.ID, item.Labels...); err != nil {
+					return nil, err
+				}
+				st.LabelsAdded += len(item.Labels)
+				continue
+			}
+			vd, err := ctx.eval(item.Value, r)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case d.Node != nil:
+				if err := ex.g.SetNodeProp(d.Node.ID, item.Key, vd.Scalar()); err != nil {
+					return nil, err
+				}
+			case d.Edge != nil:
+				if err := ex.g.SetEdgeProp(d.Edge.ID, item.Key, vd.Scalar()); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, execErrf("SET: `%s` is not a node or relationship", item.Target)
+			}
+			st.PropertiesSet++
+		}
+	}
+	return in, nil
+}
+
+func (ex *Executor) execDelete(ctx *evalCtx, cl *DeleteClause, in []Row, st *Stats) ([]Row, error) {
+	delNodes := map[graph.ID]bool{}
+	delEdges := map[graph.ID]bool{}
+	for _, r := range in {
+		for _, e := range cl.Exprs {
+			d, err := ctx.eval(e, r)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case d.Node != nil:
+				delNodes[d.Node.ID] = true
+			case d.Edge != nil:
+				delEdges[d.Edge.ID] = true
+			case d.IsNull():
+				// deleting null is a no-op
+			default:
+				return nil, execErrf("DELETE requires nodes or relationships")
+			}
+		}
+	}
+	for id := range delEdges {
+		ex.g.RemoveEdge(id)
+		st.EdgesDeleted++
+	}
+	for id := range delNodes {
+		deg := ex.g.OutDegree(id) + ex.g.InDegree(id)
+		if deg > 0 && !cl.Detach {
+			return nil, execErrf("cannot DELETE node %d with relationships; use DETACH DELETE", id)
+		}
+		st.EdgesDeleted += deg
+		ex.g.RemoveNode(id)
+		st.NodesDeleted++
+	}
+	return in, nil
+}

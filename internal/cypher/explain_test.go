@@ -1,0 +1,88 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainBasics(t *testing.T) {
+	g := socialGraph()
+	ex := NewExecutor(g)
+	plan, err := ex.Explain(`MATCH (u:User)-[:POSTS]->(t:Tweet) WHERE u.id > 1
+		WITH u.name AS name, count(*) AS c WHERE c > 0
+		RETURN name, c ORDER BY c DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"NodeByLabelScan(u:User) ~3 candidate(s)",
+		"Expand(POSTS, dir=out)",
+		"~3 edge(s) of type",
+		"Filter: (u.id > 1)",
+		"Project (WITH): name, c [grouped aggregate]",
+		"Filter: (c > 0)",
+		"Project (RETURN): name, c [sort x1] [paginate]",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainAnchors(t *testing.T) {
+	g := socialGraph()
+	ex := NewExecutor(g)
+	plan, err := ex.Explain(`MATCH (n) MATCH (n)-[:FOLLOWS]->(m:User) RETURN count(*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "AllNodesScan(n) ~7 candidate(s)") {
+		t.Errorf("unlabeled scan missing:\n%s", plan)
+	}
+	if !strings.Contains(plan, "AnchorOnBound(n)") {
+		t.Errorf("bound anchor missing:\n%s", plan)
+	}
+}
+
+func TestExplainMutationsAndVarLength(t *testing.T) {
+	g := socialGraph()
+	ex := NewExecutor(g)
+	plan, err := ex.Explain(`MATCH (a:User)-[:FOLLOWS*1..3]->(b) CREATE (a)-[:AUDITED]->(x:Log) SET x.at = 1 DETACH DELETE x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hops 1..3", "Create (1 pattern(s))", "Set (1 item(s))", "DetachDelete (1 target(s))"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	plan, err = ex.Explain(`UNWIND [1,2] AS x RETURN x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Unwind [1, 2] AS x") {
+		t.Errorf("unwind missing:\n%s", plan)
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	if _, err := NewExecutor(socialGraph()).Explain(`MATCH (`); err == nil {
+		t.Error("broken query should fail to explain")
+	}
+}
+
+func TestExplainSmallestLabelAnchor(t *testing.T) {
+	g := socialGraph()
+	// Add a second label so multi-label anchoring picks the rarer one.
+	ex := NewExecutor(g)
+	if _, err := ex.Run(`MATCH (u:User {id: 1}) SET u:Vip`, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ex.Explain(`MATCH (v:User:Vip) RETURN v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NodeByLabelScan(v:Vip) ~1 candidate(s)") {
+		t.Errorf("anchor should pick the rarer label:\n%s", plan)
+	}
+}

@@ -1,0 +1,310 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a lexical or grammatical error with its byte offset in
+// the query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cypher: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes a query. It returns a SyntaxError for malformed input
+// (unterminated strings, stray characters).
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Type == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return &SyntaxError{Pos: start, Msg: "unterminated block comment"}
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Type: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+
+	// Decode a full rune for the identifier check: a raw byte >= 0x80 is
+	// NOT a letter (rune(c) would misread 0xFF as 'ÿ' and loop forever on
+	// invalid UTF-8).
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch {
+	case r != utf8.RuneError && isIdentStart(r):
+		return l.lexIdent(), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c == '`':
+		return l.lexBacktickIdent()
+	}
+
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>":
+		l.pos += 2
+		return Token{Type: TokNeq, Text: two, Pos: start}, nil
+	case "<=":
+		l.pos += 2
+		return Token{Type: TokLte, Text: two, Pos: start}, nil
+	case ">=":
+		l.pos += 2
+		return Token{Type: TokGte, Text: two, Pos: start}, nil
+	case "=~":
+		l.pos += 2
+		return Token{Type: TokRegex, Text: two, Pos: start}, nil
+	case "..":
+		l.pos += 2
+		return Token{Type: TokDotDot, Text: two, Pos: start}, nil
+	case "!=":
+		// Not official Cypher, but LLMs emit it; treat as <>.
+		l.pos += 2
+		return Token{Type: TokNeq, Text: "<>", Pos: start}, nil
+	}
+
+	l.pos++
+	one := string(c)
+	var tt TokenType
+	switch c {
+	case '(':
+		tt = TokLParen
+	case ')':
+		tt = TokRParen
+	case '[':
+		tt = TokLBracket
+	case ']':
+		tt = TokRBracket
+	case '{':
+		tt = TokLBrace
+	case '}':
+		tt = TokRBrace
+	case ',':
+		tt = TokComma
+	case ':':
+		tt = TokColon
+	case ';':
+		tt = TokSemi
+	case '.':
+		tt = TokDot
+	case '|':
+		tt = TokPipe
+	case '$':
+		tt = TokDollar
+	case '=':
+		tt = TokEq
+	case '<':
+		tt = TokLt
+	case '>':
+		tt = TokGt
+	case '+':
+		tt = TokPlus
+	case '-':
+		tt = TokMinus
+	case '*':
+		tt = TokStar
+	case '/':
+		tt = TokSlash
+	case '%':
+		tt = TokPercent
+	default:
+		return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+	return Token{Type: tt, Text: one, Pos: start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() Token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		if r == utf8.RuneError && sz == 1 {
+			break // invalid UTF-8 byte; never part of an identifier
+		}
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += sz
+	}
+	if l.pos == start {
+		// Defensive: the caller guarantees an identifier start, but never
+		// emit a zero-width token (it would loop the lexer forever).
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return Token{Type: TokKeyword, Text: upper, Orig: text, Pos: start}
+	}
+	return Token{Type: TokIdent, Text: text, Pos: start}
+}
+
+func (l *lexer) lexBacktickIdent() (Token, error) {
+	start := l.pos
+	l.pos++ // opening backtick
+	for l.pos < len(l.src) && l.src[l.pos] != '`' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{}, &SyntaxError{Pos: start, Msg: "unterminated backquoted identifier"}
+	}
+	text := l.src[start+1 : l.pos]
+	l.pos++ // closing backtick
+	return Token{Type: TokIdent, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) lexNumber() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	isFloat := false
+	// A '.' starts a fraction only when followed by a digit ("1..3" must lex
+	// as INT DOTDOT INT, and "n.1" is invalid anyway).
+	if l.peekByte() == '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+		isFloat = true
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if b := l.peekByte(); b == 'e' || b == 'E' {
+		save := l.pos
+		l.pos++
+		if b := l.peekByte(); b == '+' || b == '-' {
+			l.pos++
+		}
+		if d := l.peekByte(); d >= '0' && d <= '9' {
+			isFloat = true
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		return Token{Type: TokFloat, Text: text, Pos: start}, nil
+	}
+	return Token{Type: TokInt, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) lexString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{Type: TokString, Text: b.String(), Pos: start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string"}
+			}
+			esc := l.src[l.pos]
+			l.pos++
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				b.WriteByte(esc)
+			default:
+				// Preserve unknown escapes verbatim (regex literals such as
+				// '\\d' arrive here as \d after the first unescape).
+				b.WriteByte('\\')
+				b.WriteByte(esc)
+			}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string"}
+}

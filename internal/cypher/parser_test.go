@@ -1,0 +1,373 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`MATCH (n:User) WHERE n.id >= 10 RETURN count(*) // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []TokenType
+	for _, tk := range toks {
+		types = append(types, tk.Type)
+	}
+	want := []TokenType{
+		TokKeyword, TokLParen, TokIdent, TokColon, TokIdent, TokRParen,
+		TokKeyword, TokIdent, TokDot, TokIdent, TokGte, TokInt,
+		TokKeyword, TokIdent, TokLParen, TokStar, TokRParen, TokEOF,
+	}
+	if len(types) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(types), len(want), toks)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, types[i], want[i])
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := Lex(`'a\'b' "c\nd" '\d+'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a'b" {
+		t.Errorf("tok0 = %q", toks[0].Text)
+	}
+	if toks[1].Text != "c\nd" {
+		t.Errorf("tok1 = %q", toks[1].Text)
+	}
+	if toks[2].Text != `\d+` {
+		t.Errorf("tok2 = %q (regex escapes must survive)", toks[2].Text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex(`1 2.5 1e3 1..3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != TokInt || toks[1].Type != TokFloat || toks[2].Type != TokFloat {
+		t.Errorf("number kinds wrong: %v", toks[:3])
+	}
+	if toks[3].Type != TokInt || toks[4].Type != TokDotDot || toks[5].Type != TokInt {
+		t.Errorf("range lexing wrong: %v", toks[3:6])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "`unterminated", "/* unterminated", "@"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+	if _, err := Lex("'trailing\\"); err == nil {
+		t.Error("trailing backslash should fail")
+	}
+}
+
+func TestParseMatchReturn(t *testing.T) {
+	q := mustParse(t, `MATCH (u:User)-[:POSTS]->(t:Tweet) WHERE u.id > 5 RETURN u.name AS name, count(*) AS c`)
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	m, ok := q.Clauses[0].(*MatchClause)
+	if !ok {
+		t.Fatal("first clause should be MATCH")
+	}
+	if m.Optional || len(m.Patterns) != 1 || m.Where == nil {
+		t.Errorf("match = %+v", m)
+	}
+	p := m.Patterns[0]
+	if len(p.Nodes) != 2 || len(p.Rels) != 1 {
+		t.Fatalf("pattern shape wrong: %s", p)
+	}
+	if p.Nodes[0].Var != "u" || p.Nodes[0].Labels[0] != "User" {
+		t.Error("node 0 wrong")
+	}
+	if p.Rels[0].Direction != DirOut || p.Rels[0].Types[0] != "POSTS" {
+		t.Error("rel wrong")
+	}
+	r := q.Clauses[1].(*ReturnClause)
+	if len(r.Items) != 2 || r.Items[0].Alias != "name" || r.Items[1].Alias != "c" {
+		t.Errorf("return items wrong: %+v", r.Items)
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	q := mustParse(t, `MATCH (a)<-[:R]-(b)-[x]-(c) RETURN a`)
+	p := q.Clauses[0].(*MatchClause).Patterns[0]
+	if p.Rels[0].Direction != DirIn {
+		t.Error("rel 0 should be DirIn")
+	}
+	if p.Rels[1].Direction != DirBoth || p.Rels[1].Var != "x" {
+		t.Error("rel 1 should be undirected with var x")
+	}
+	if _, err := Parse(`MATCH (a)<-[:R]->(b) RETURN a`); err == nil {
+		t.Error("bidirectional arrow should fail")
+	}
+}
+
+func TestParseVarLength(t *testing.T) {
+	cases := map[string][2]int{
+		`MATCH (a)-[*]->(b) RETURN a`:        {1, -1},
+		`MATCH (a)-[*2]->(b) RETURN a`:       {2, 2},
+		`MATCH (a)-[*1..3]->(b) RETURN a`:    {1, 3},
+		`MATCH (a)-[*2..]->(b) RETURN a`:     {2, -1},
+		`MATCH (a)-[*..4]->(b) RETURN a`:     {1, 4},
+		`MATCH (a)-[r:T*1..2]->(b) RETURN a`: {1, 2},
+	}
+	for src, want := range cases {
+		q := mustParse(t, src)
+		r := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if r.MinHops != want[0] || r.MaxHops != want[1] {
+			t.Errorf("%s: hops = %d..%d, want %d..%d", src, r.MinHops, r.MaxHops, want[0], want[1])
+		}
+		if !r.IsVarLength() {
+			t.Errorf("%s: should be var-length", src)
+		}
+	}
+}
+
+func TestParseMultiTypeRel(t *testing.T) {
+	q := mustParse(t, `MATCH (a)-[:R1|R2|:R3]->(b) RETURN a`)
+	r := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+	if len(r.Types) != 3 || r.Types[2] != "R3" {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestParsePropsInPattern(t *testing.T) {
+	q := mustParse(t, `MATCH (n:User {name: 'bob', age: 30}) RETURN n`)
+	n := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	if len(n.Props) != 2 {
+		t.Fatalf("props = %v", n.Props)
+	}
+	if lit, ok := n.Props["age"].(*Literal); !ok || lit.Value.Int() != 30 {
+		t.Error("age prop wrong")
+	}
+}
+
+func TestParseOperatorsPrecedence(t *testing.T) {
+	q := mustParse(t, `RETURN 1 + 2 * 3 = 7 AND NOT false OR true AS x`)
+	e := q.Clauses[0].(*ReturnClause).Items[0].Expr
+	or, ok := e.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top should be OR: %s", e.exprString())
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("left of OR should be AND")
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != OpEq {
+		t.Fatal("left of AND should be =")
+	}
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != OpAdd {
+		t.Fatal("= lhs should be +")
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != OpMul {
+		t.Fatal("+ rhs should be *")
+	}
+}
+
+func TestParseComparisonVariants(t *testing.T) {
+	srcs := []string{
+		`MATCH (n) WHERE n.a <> 1 RETURN n`,
+		`MATCH (n) WHERE n.a != 1 RETURN n`, // lexed as <>
+		`MATCH (n) WHERE n.s =~ '[a-z]+' RETURN n`,
+		`MATCH (n) WHERE n.s STARTS WITH 'a' AND n.s ENDS WITH 'z' RETURN n`,
+		`MATCH (n) WHERE n.s CONTAINS 'mid' RETURN n`,
+		`MATCH (n) WHERE n.a IN [1, 2, 3] RETURN n`,
+		`MATCH (n) WHERE n.a IS NULL OR n.b IS NOT NULL RETURN n`,
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseLabelPredicate(t *testing.T) {
+	q := mustParse(t, `MATCH (n) WHERE n:User:Admin RETURN n`)
+	w := q.Clauses[0].(*MatchClause).Where
+	hl, ok := w.(*HasLabels)
+	if !ok || len(hl.Labels) != 2 || hl.Labels[1] != "Admin" {
+		t.Fatalf("where = %s", w.exprString())
+	}
+}
+
+func TestParsePatternPredicate(t *testing.T) {
+	q := mustParse(t, `MATCH (a:User) WHERE NOT (a)-[:FOLLOWS]->(a) RETURN a`)
+	w := q.Clauses[0].(*MatchClause).Where
+	n, ok := w.(*Not)
+	if !ok {
+		t.Fatalf("where = %T", w)
+	}
+	if _, ok := n.E.(*PatternPred); !ok {
+		t.Fatalf("inner = %T, want PatternPred", n.E)
+	}
+}
+
+func TestParseExistsForms(t *testing.T) {
+	for _, src := range []string{
+		`MATCH (a) WHERE exists(a.name) RETURN a`,
+		`MATCH (a) WHERE exists((a)-[:R]->()) RETURN a`,
+		`MATCH (a) WHERE EXISTS { (a)-[:R]->(:X) } RETURN a`,
+		`MATCH (a) WHERE EXISTS((a)-[:R]->(b)) RETURN a`,
+	} {
+		mustParse(t, src)
+	}
+	q := mustParse(t, `MATCH (a) WHERE exists(a.name) RETURN a`)
+	w := q.Clauses[0].(*MatchClause).Where
+	fc, ok := w.(*FuncCall)
+	if !ok || fc.Name != "exists" {
+		t.Fatalf("exists(prop) should parse as FuncCall, got %T", w)
+	}
+	q2 := mustParse(t, `MATCH (a) WHERE exists((a)-[:R]->()) RETURN a`)
+	if _, ok := q2.Clauses[0].(*MatchClause).Where.(*PatternPred); !ok {
+		t.Fatal("exists(pattern) should parse as PatternPred")
+	}
+}
+
+func TestParseParenExprVsPattern(t *testing.T) {
+	q := mustParse(t, `RETURN (1 + 2) * 3 AS x`)
+	e := q.Clauses[0].(*ReturnClause).Items[0].Expr
+	if mul, ok := e.(*Binary); !ok || mul.Op != OpMul {
+		t.Fatalf("paren expr broken: %s", e.exprString())
+	}
+}
+
+func TestParseWithPipeline(t *testing.T) {
+	q := mustParse(t, `MATCH (n:User) WITH n.id AS id, count(*) AS c WHERE c > 1 RETURN id ORDER BY id DESC SKIP 1 LIMIT 5`)
+	w := q.Clauses[1].(*WithClause)
+	if len(w.Items) != 2 || w.Where == nil {
+		t.Fatal("WITH shape wrong")
+	}
+	r := q.Clauses[2].(*ReturnClause)
+	if len(r.OrderBy) != 1 || !r.OrderBy[0].Desc || r.Skip == nil || r.Limit == nil {
+		t.Fatal("RETURN modifiers wrong")
+	}
+}
+
+func TestParseDistinctAndStar(t *testing.T) {
+	q := mustParse(t, `MATCH (n) RETURN DISTINCT n.x`)
+	if !q.Clauses[1].(*ReturnClause).Distinct {
+		t.Error("DISTINCT not set")
+	}
+	q2 := mustParse(t, `MATCH (n) RETURN *`)
+	if !q2.Clauses[1].(*ReturnClause).Star {
+		t.Error("Star not set")
+	}
+	q3 := mustParse(t, `MATCH (n) WITH *, n.x AS x RETURN x`)
+	w := q3.Clauses[1].(*WithClause)
+	if !w.Star || len(w.Items) != 1 {
+		t.Error("WITH *, item wrong")
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	q := mustParse(t, `MATCH (n) RETURN count(DISTINCT n.x) AS c, collect(DISTINCT n.y) AS ys`)
+	items := q.Clauses[1].(*ReturnClause).Items
+	if fc := items[0].Expr.(*FuncCall); !fc.Distinct || fc.Name != "count" {
+		t.Error("count(DISTINCT) wrong")
+	}
+	if fc := items[1].Expr.(*FuncCall); !fc.Distinct || fc.Name != "collect" {
+		t.Error("collect(DISTINCT) wrong")
+	}
+}
+
+func TestParseUnwindCreateSetDelete(t *testing.T) {
+	mustParse(t, `UNWIND [1,2,3] AS x RETURN x`)
+	mustParse(t, `CREATE (a:User {id: 1})-[:KNOWS]->(b:User {id: 2})`)
+	mustParse(t, `MATCH (n:User) SET n.seen = true, n:Audited`)
+	mustParse(t, `MATCH (n:User) DETACH DELETE n`)
+	mustParse(t, `MATCH (n)-[r]->() DELETE r`)
+}
+
+func TestParseCase(t *testing.T) {
+	mustParse(t, `MATCH (n) RETURN CASE WHEN n.x > 0 THEN 'pos' ELSE 'neg' END AS sign`)
+	mustParse(t, `MATCH (n) RETURN CASE n.k WHEN 1 THEN 'one' WHEN 2 THEN 'two' END AS w`)
+	if _, err := Parse(`RETURN CASE END`); err == nil {
+		t.Error("CASE without WHEN should fail")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	q := mustParse(t, `MATCH (n {id: $id}) RETURN n.name`)
+	props := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0].Props
+	if _, ok := props["id"].(*Parameter); !ok {
+		t.Error("parameter not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FOO (n)`,
+		`MATCH n RETURN n`,
+		`MATCH (n RETURN n`,
+		`MATCH (n) RETURN`,
+		`MATCH (n) WHERE RETURN n`,
+		`RETURN 1 AS`,
+		`MATCH (a)-[:R->(b) RETURN a`,
+		`MERGE (n) RETURN n`,
+		`MATCH (n) RETURN n UNION MATCH (m) RETURN m`,
+		`MATCH (n) RETURN n MATCH (m) RETURN m`,
+		`UNWIND [1] RETURN 1`,
+		`SET RETURN 1`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`MATCH (u:User)-[:POSTS]->(t:Tweet) WHERE u.id > 5 RETURN u.name AS name, count(*) AS c`,
+		`MATCH (a)<-[r:R]-(b) WHERE a.x IS NOT NULL RETURN DISTINCT a.x ORDER BY a.x DESC LIMIT 3`,
+		`OPTIONAL MATCH (a:X {k: 1}) RETURN a`,
+		`UNWIND [1, 2] AS x WITH x WHERE x > 1 RETURN x`,
+		`MATCH (a) WHERE NOT (a)-[:R]->(a) RETURN count(*)`,
+		`MATCH (n) WHERE n.s =~ '^[a-z]+$' RETURN n.s`,
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", text, err)
+			continue
+		}
+		if q2.String() != text {
+			t.Errorf("round-trip not stable:\n1: %s\n2: %s", text, q2.String())
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`MATCH (n WHERE n.x RETURN n`)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("error should mention offset: %v", se)
+	}
+}

@@ -1,0 +1,91 @@
+// Package cypher implements a Cypher query subset sufficient to express and
+// execute property-graph consistency rules: MATCH / OPTIONAL MATCH / WHERE /
+// WITH / UNWIND / RETURN with aggregation, plus CREATE / SET / DELETE for
+// mutation. It is the Neo4j stand-in used to score mined rules with the
+// paper's support/coverage/confidence metrics.
+package cypher
+
+import "fmt"
+
+// TokenType identifies a lexical token class.
+type TokenType uint8
+
+const (
+	TokEOF TokenType = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokKeyword
+
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokComma    // ,
+	TokColon    // :
+	TokSemi     // ;
+	TokDot      // .
+	TokDotDot   // ..
+	TokPipe     // |
+	TokDollar   // $
+
+	TokEq      // =
+	TokNeq     // <>
+	TokLt      // <
+	TokGt      // >
+	TokLte     // <=
+	TokGte     // >=
+	TokRegex   // =~
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Type TokenType
+	Text string // identifier/keyword text (keywords uppercased), literal text
+	Orig string // original source spelling for keywords (e.g. "Match")
+	Pos  int
+}
+
+// Name returns the token's original spelling when it is used as a name
+// (label, property key, alias) rather than as a keyword.
+func (t Token) Name() string {
+	if t.Type == TokKeyword && t.Orig != "" {
+		return t.Orig
+	}
+	return t.Text
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords are reserved words recognized case-insensitively. Function names
+// (count, collect, ...) are deliberately NOT keywords; they lex as
+// identifiers.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "WITH": true,
+	"RETURN": true, "AS": true, "AND": true, "OR": true, "XOR": true,
+	"NOT": true, "IN": true, "IS": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "DISTINCT": true, "ORDER": true, "BY": true,
+	"ASC": true, "ASCENDING": true, "DESC": true, "DESCENDING": true,
+	"SKIP": true, "LIMIT": true, "UNWIND": true, "CREATE": true,
+	"SET": true, "DELETE": true, "DETACH": true, "STARTS": true,
+	"ENDS": true, "CONTAINS": true, "EXISTS": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "UNION": true,
+	"ALL": true, "MERGE": true,
+}

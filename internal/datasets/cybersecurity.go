@@ -1,0 +1,222 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Cybersecurity node budget (total 953, 7 labels).
+const (
+	cyUsers     = 400
+	cyComputers = 300
+	cyGroups    = 150
+	cyOUs       = 60
+	cyGPOs      = 25
+	cyDomains   = 3
+	cyServices  = 953 - cyUsers - cyComputers - cyGroups - cyOUs - cyGPOs - cyDomains
+)
+
+// Cybersecurity edge budget (total 4838, 16 labels). APPLIES_TO absorbs the
+// remainder.
+const (
+	cyMemberOf      = 900 // User -> Group
+	cyAdminTo       = 500 // Group -> Computer
+	cyHasSession    = 600 // Computer -> User
+	cyContains      = 400 // OU -> Computer
+	cyGpLink        = 60  // GPO -> OU
+	cyTrustedBy     = 3   // Domain -> Domain
+	cyOwns          = 300 // User -> Computer
+	cyCanRDP        = 500 // User -> Computer
+	cyExecuteDCOM   = 300 // User -> Computer
+	cyDelegate      = 200 // User -> Computer (ALLOWED_TO_DELEGATE)
+	cyGetChanges    = 50  // User -> Domain
+	cyGetChangesAll = 40  // User -> Domain
+	cyAddMember     = 200 // User -> Group
+	cyForcePwd      = 200 // User -> User (FORCE_CHANGE_PASSWORD)
+	cySQLAdmin      = 85  // User -> Computer
+	cyAppliesTo     = 4838 - cyMemberOf - cyAdminTo - cyHasSession - cyContains -
+		cyGpLink - cyTrustedBy - cyOwns - cyCanRDP - cyExecuteDCOM - cyDelegate -
+		cyGetChanges - cyGetChangesAll - cyAddMember - cyForcePwd - cySQLAdmin
+)
+
+var cyOSNames = []string{
+	"Windows Server 2019", "Windows Server 2016", "Windows 10 Enterprise",
+	"Windows 10 Pro", "Windows Server 2012 R2",
+}
+
+var cyDomainNames = []string{"corp.example.com", "dev.example.com", "prod.example.com"}
+
+// Cybersecurity generates an active-directory-style graph: users, groups,
+// domains, policies, OUs, computers and services, wired by sixteen
+// relationship types (BloodHound-like schema).
+//
+// Injected violations:
+//   - `owned` property holding a string ("yes") instead of a boolean
+//   - `domain` property not matching the domain-name format
+//   - users who are MEMBER_OF no group (dangling accounts)
+//   - FORCE_CHANGE_PASSWORD self-edges
+func Cybersecurity(opts Options) *graph.Graph {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vio := newViolator(opts.Seed+2, opts.ViolationRate)
+	g := graph.New("Cybersecurity")
+
+	domains := make([]*graph.Node, cyDomains)
+	for i := range domains {
+		name := cyDomainNames[i]
+		domainProp := graph.NewString(name)
+		// Violation: malformed domain string.
+		if vio.hit("domain-bad-format") {
+			domainProp = graph.NewString("not a domain!")
+		}
+		domains[i] = g.AddNode([]string{"Domain"}, graph.Props{
+			"id":              graph.NewInt(int64(1 + i)),
+			"name":            graph.NewString(name),
+			"domain":          domainProp,
+			"functionallevel": graph.NewString("2016"),
+		})
+	}
+
+	users := make([]*graph.Node, cyUsers)
+	for i := range users {
+		var owned graph.Value = graph.NewBool(rng.Intn(10) == 0)
+		// Violation: owned must be a boolean.
+		if vio.hit("owned-not-boolean") {
+			owned = graph.NewString("yes")
+		}
+		dom := cyDomainNames[i%cyDomains]
+		domProp := graph.NewString(dom)
+		if vio.hit("user-domain-bad-format") {
+			domProp = graph.NewString("corp_example")
+		}
+		users[i] = g.AddNode([]string{"User"}, graph.Props{
+			"id":         graph.NewInt(int64(1000 + i)),
+			"name":       graph.NewString(fmt.Sprintf("%s@%s", personName(i), dom)),
+			"domain":     domProp,
+			"owned":      owned,
+			"enabled":    graph.NewBool(rng.Intn(20) != 0),
+			"pwdlastset": graph.NewInt(int64(1500000000 + rng.Intn(100000000))),
+		})
+	}
+
+	computers := make([]*graph.Node, cyComputers)
+	for i := range computers {
+		computers[i] = g.AddNode([]string{"Computer"}, graph.Props{
+			"id":    graph.NewInt(int64(5000 + i)),
+			"name":  graph.NewString(fmt.Sprintf("WS%04d.%s", i, cyDomainNames[i%cyDomains])),
+			"os":    graph.NewString(cyOSNames[i%len(cyOSNames)]),
+			"owned": graph.NewBool(rng.Intn(15) == 0),
+		})
+	}
+
+	groups := make([]*graph.Node, cyGroups)
+	for i := range groups {
+		groups[i] = g.AddNode([]string{"Group"}, graph.Props{
+			"id":     graph.NewInt(int64(8000 + i)),
+			"name":   graph.NewString(fmt.Sprintf("GROUP-%03d@%s", i, cyDomainNames[i%cyDomains])),
+			"domain": graph.NewString(cyDomainNames[i%cyDomains]),
+		})
+	}
+
+	ous := make([]*graph.Node, cyOUs)
+	for i := range ous {
+		ous[i] = g.AddNode([]string{"OU"}, graph.Props{
+			"id":                graph.NewInt(int64(9000 + i)),
+			"name":              graph.NewString(fmt.Sprintf("OU-%02d", i)),
+			"blocksinheritance": graph.NewBool(i%7 == 0),
+		})
+	}
+
+	gpos := make([]*graph.Node, cyGPOs)
+	for i := range gpos {
+		gpos[i] = g.AddNode([]string{"GPO"}, graph.Props{
+			"id":   graph.NewInt(int64(9500 + i)),
+			"name": graph.NewString(fmt.Sprintf("GPO-%02d", i)),
+		})
+	}
+
+	services := make([]*graph.Node, cyServices)
+	for i := range services {
+		services[i] = g.AddNode([]string{"Service"}, graph.Props{
+			"id":   graph.NewInt(int64(9800 + i)),
+			"name": graph.NewString(fmt.Sprintf("svc-%02d", i)),
+			"port": graph.NewInt(int64(1024 + i*7)),
+		})
+	}
+
+	// MEMBER_OF: users join groups. The violation leaves a contiguous block
+	// of users (the tail indexes) out of every group.
+	memberless := map[int]bool{}
+	for i := 0; i < cyUsers; i++ {
+		if vio.hit("user-no-group") {
+			memberless[i] = true
+		}
+	}
+	// Group membership is heavy-tailed: a few groups (Domain Users-style)
+	// hold most accounts.
+	groupTarget := zipfPicker(rng, cyGroups)
+	added := 0
+	for added < cyMemberOf {
+		u := pick(rng, cyUsers)
+		if memberless[u] {
+			continue
+		}
+		g.MustAddEdge(users[u].ID, groups[groupTarget()].ID, []string{"MEMBER_OF"}, nil)
+		added++
+	}
+
+	addMany := func(n int, label string, from func() graph.ID, to func() graph.ID, props func() graph.Props) {
+		for i := 0; i < n; i++ {
+			var p graph.Props
+			if props != nil {
+				p = props()
+			}
+			g.MustAddEdge(from(), to(), []string{label}, p)
+		}
+	}
+	randUser := func() graph.ID { return users[pick(rng, cyUsers)].ID }
+	randComputer := func() graph.ID { return computers[pick(rng, cyComputers)].ID }
+	randGroup := func() graph.ID { return groups[pick(rng, cyGroups)].ID }
+	randDomain := func() graph.ID { return domains[pick(rng, cyDomains)].ID }
+	// Access-right edges concentrate on admin accounts (the hub structure
+	// BloodHound-style graphs are known for).
+	adminUser := zipfPicker(rng, cyUsers)
+	hubUser := func() graph.ID { return users[adminUser()].ID }
+	adminGroup := zipfPicker(rng, cyGroups)
+
+	addMany(cyAdminTo, "ADMIN_TO", func() graph.ID { return groups[adminGroup()].ID }, randComputer, nil)
+	// Sessions pile up on the same handful of admin accounts.
+	sessionUser := zipfPicker(rng, cyUsers)
+	addMany(cyHasSession, "HAS_SESSION", randComputer, func() graph.ID { return users[sessionUser()].ID }, nil)
+	addMany(cyContains, "CONTAINS", func() graph.ID { return ous[pick(rng, cyOUs)].ID }, randComputer, nil)
+	for i := 0; i < cyGpLink; i++ {
+		g.MustAddEdge(gpos[i%cyGPOs].ID, ous[i%cyOUs].ID, []string{"GP_LINK"}, graph.Props{
+			"enforced": graph.NewBool(i%4 == 0),
+		})
+	}
+	g.MustAddEdge(domains[0].ID, domains[1].ID, []string{"TRUSTED_BY"}, nil)
+	g.MustAddEdge(domains[1].ID, domains[2].ID, []string{"TRUSTED_BY"}, nil)
+	g.MustAddEdge(domains[2].ID, domains[0].ID, []string{"TRUSTED_BY"}, nil)
+	addMany(cyOwns, "OWNS", hubUser, randComputer, nil)
+	addMany(cyCanRDP, "CAN_RDP", hubUser, randComputer, nil)
+	addMany(cyExecuteDCOM, "EXECUTE_DCOM", hubUser, randComputer, nil)
+	addMany(cyDelegate, "ALLOWED_TO_DELEGATE", hubUser, randComputer, nil)
+	addMany(cyGetChanges, "GET_CHANGES", randUser, randDomain, nil)
+	addMany(cyGetChangesAll, "GET_CHANGES_ALL", randUser, randDomain, nil)
+	addMany(cyAddMember, "ADD_MEMBER", randUser, randGroup, nil)
+	// FORCE_CHANGE_PASSWORD with occasional self-edge violation.
+	for i := 0; i < cyForcePwd; i++ {
+		a := pick(rng, cyUsers)
+		b := pick(rng, cyUsers)
+		if vio.hit("forcepwd-self") {
+			b = a
+		} else if a == b {
+			b = (b + 1) % cyUsers
+		}
+		g.MustAddEdge(users[a].ID, users[b].ID, []string{"FORCE_CHANGE_PASSWORD"}, nil)
+	}
+	addMany(cySQLAdmin, "SQL_ADMIN", randUser, randComputer, nil)
+	addMany(cyAppliesTo, "APPLIES_TO", func() graph.ID { return gpos[pick(rng, cyGPOs)].ID }, randComputer, nil)
+	return g
+}

@@ -1,0 +1,209 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// TestTable1Exact is the Table 1 reproduction invariant: every generator
+// must hit the paper's node/edge/label counts exactly, with and without
+// violation injection.
+func TestTable1Exact(t *testing.T) {
+	for _, rate := range []float64{0, 0.03} {
+		for _, info := range Table1 {
+			gen, err := ByName(info.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := gen(Options{Seed: 42, ViolationRate: rate})
+			if got := g.NodeCount(); got != info.Nodes {
+				t.Errorf("%s(rate=%v): nodes = %d, want %d", info.Name, rate, got, info.Nodes)
+			}
+			if got := g.EdgeCount(); got != info.Edges {
+				t.Errorf("%s(rate=%v): edges = %d, want %d", info.Name, rate, got, info.Edges)
+			}
+			if got := len(g.NodeLabels()); got != info.NodeLabels {
+				t.Errorf("%s(rate=%v): node labels = %d (%v), want %d", info.Name, rate, got, g.NodeLabels(), info.NodeLabels)
+			}
+			if got := len(g.EdgeTypes()); got != info.EdgeLabels {
+				t.Errorf("%s(rate=%v): edge labels = %d (%v), want %d", info.Name, rate, got, g.EdgeTypes(), info.EdgeLabels)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		gen, _ := ByName(name)
+		if name == "Twitter" && testing.Short() {
+			continue
+		}
+		a := gen(Options{Seed: 7, ViolationRate: 0.05})
+		b := gen(Options{Seed: 7, ViolationRate: 0.05})
+		sa, sb := graph.ExtractSchema(a), graph.ExtractSchema(b)
+		if sa.Describe() != sb.Describe() {
+			t.Errorf("%s: same seed produced different schemas", name)
+		}
+		// Spot-check some node identity.
+		for _, id := range []graph.ID{0, 5, 100} {
+			na, nb := a.Node(id), b.Node(id)
+			if (na == nil) != (nb == nil) {
+				t.Fatalf("%s: node %d presence differs", name, id)
+			}
+			if na != nil && na.Prop("id").String() != nb.Prop("id").String() {
+				t.Errorf("%s: node %d differs between runs", name, id)
+			}
+		}
+		c := gen(Options{Seed: 8, ViolationRate: 0.05})
+		if graph.ExtractSchema(c).Describe() == sa.Describe() && name != "WWC2019" {
+			// Different seeds move random endpoints; schema counts of
+			// endpoint pairs almost surely differ for the bigger graphs.
+			t.Logf("%s: seed change produced identical schema (possible but unlikely)", name)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := InfoFor("nope"); err == nil {
+		t.Error("unknown info should error")
+	}
+	in, err := InfoFor("Twitter")
+	if err != nil || in.Edges != 56493 {
+		t.Error("InfoFor Twitter wrong")
+	}
+}
+
+func q(t *testing.T, g *graph.Graph, src string) int64 {
+	t.Helper()
+	res, err := cypher.NewExecutor(g).Run(src, nil)
+	if err != nil {
+		t.Fatalf("query %q: %v", src, err)
+	}
+	return res.FirstInt("")
+}
+
+func TestWWC2019Violations(t *testing.T) {
+	g := WWC2019(Options{Seed: 42, ViolationRate: 0.05})
+	if n := q(t, g, `MATCH (m:Match) WHERE m.date IS NULL RETURN count(*)`); n == 0 {
+		t.Error("expected matches with missing date")
+	}
+	if n := q(t, g, `MATCH (p:Person) WITH p.id AS id, count(*) AS c WHERE c > 1 RETURN count(*)`); n == 0 {
+		t.Error("expected duplicate person ids")
+	}
+	if n := q(t, g, `MATCH (p:Person)-[g1:SCORED_GOAL]->(m:Match)-[:IN_TOURNAMENT]->(:Tournament) WITH p, m, g1.minute AS minute, count(*) AS c WHERE c > 1 RETURN count(*)`); n == 0 {
+		t.Error("expected duplicate goal minutes")
+	}
+	// The association violation: players without squads played matches.
+	if n := q(t, g, `MATCH (p:Person)-[:PLAYED_IN]->(:Match) WHERE NOT (p)-[:IN_SQUAD]->(:Squad) RETURN count(*)`); n == 0 {
+		t.Error("expected squadless players")
+	}
+	clean := WWC2019(Options{Seed: 42, ViolationRate: 0})
+	if n := q(t, clean, `MATCH (m:Match) WHERE m.date IS NULL RETURN count(*)`); n != 0 {
+		t.Error("clean graph should have no missing dates")
+	}
+}
+
+func TestCybersecurityViolations(t *testing.T) {
+	g := Cybersecurity(Options{Seed: 42, ViolationRate: 0.05})
+	if n := q(t, g, `MATCH (u:User) WHERE NOT u.owned IN [true, false] RETURN count(*)`); n == 0 {
+		t.Error("expected non-boolean owned values")
+	}
+	if n := q(t, g, `MATCH (u:User) WHERE NOT u.domain =~ '([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}' RETURN count(*)`); n == 0 {
+		t.Error("expected malformed domain strings")
+	}
+	if n := q(t, g, `MATCH (a:User)-[:FORCE_CHANGE_PASSWORD]->(a) RETURN count(*)`); n == 0 {
+		t.Error("expected self force-password edges")
+	}
+	if n := q(t, g, `MATCH (u:User) WHERE NOT (u)-[:MEMBER_OF]->(:Group) RETURN count(*)`); n == 0 {
+		t.Error("expected groupless users")
+	}
+}
+
+func TestTwitterViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twitter graph is large")
+	}
+	g := Twitter(Options{Seed: 42, ViolationRate: 0.03})
+	if n := q(t, g, `MATCH (t:Tweet) WITH t.id AS id, count(*) AS c WHERE c > 1 RETURN count(*)`); n == 0 {
+		t.Error("expected duplicate tweet ids")
+	}
+	if n := q(t, g, `MATCH (t:Tweet) WHERE t.text IS NULL RETURN count(*)`); n == 0 {
+		t.Error("expected tweets without text")
+	}
+	if n := q(t, g, `MATCH (r:Tweet)-[:RETWEETS]->(o:Tweet) WHERE r.createdAt < o.createdAt RETURN count(*)`); n == 0 {
+		t.Error("expected temporal retweet violations")
+	}
+	if n := q(t, g, `MATCH (u:User)-[:FOLLOWS]->(u) RETURN count(*)`); n == 0 {
+		t.Error("expected self-follows")
+	}
+	if n := q(t, g, `MATCH (t:Tweet) WHERE NOT (t)<-[:POSTS]-(:User) RETURN count(*)`); n != twOrphanTweets {
+		t.Errorf("orphan tweets = %d, want %d", n, twOrphanTweets)
+	}
+}
+
+func TestCleanGraphHasNoViolations(t *testing.T) {
+	g := Cybersecurity(Options{Seed: 42, ViolationRate: 0})
+	if n := q(t, g, `MATCH (u:User) WHERE NOT u.owned IN [true, false] RETURN count(*)`); n != 0 {
+		t.Error("clean cybersecurity graph should have boolean owned everywhere")
+	}
+	if n := q(t, g, `MATCH (a:User)-[:FORCE_CHANGE_PASSWORD]->(a) RETURN count(*)`); n != 0 {
+		t.Error("clean graph should have no self force-password edges")
+	}
+}
+
+func TestSchemasMatchPaperShape(t *testing.T) {
+	g := WWC2019(DefaultOptions())
+	s := graph.ExtractSchema(g)
+	for _, l := range []string{"Team", "Person", "Match", "Tournament", "Squad"} {
+		if s.NodeLabels[l] == nil {
+			t.Errorf("WWC2019 missing label %s", l)
+		}
+	}
+	for _, e := range []string{"SCORED_GOAL", "IN_TOURNAMENT", "IN_SQUAD", "FOR", "PLAYED_IN"} {
+		if s.EdgeLabels[e] == nil {
+			t.Errorf("WWC2019 missing edge type %s", e)
+		}
+	}
+	// IN_TOURNAMENT must point Match -> Tournament (the direction the
+	// paper's example error got wrong).
+	from, to := s.EdgeLabels["IN_TOURNAMENT"].DominantEndpoints()
+	if from != "Match" || to != "Tournament" {
+		t.Errorf("IN_TOURNAMENT endpoints = %s->%s", from, to)
+	}
+	if !s.HasEdgeProp("SCORED_GOAL", "minute") {
+		t.Error("SCORED_GOAL should carry minute")
+	}
+}
+
+func TestViolationRateScales(t *testing.T) {
+	low := WWC2019(Options{Seed: 1, ViolationRate: 0.01})
+	high := WWC2019(Options{Seed: 1, ViolationRate: 0.2})
+	nLow := q(t, low, `MATCH (m:Match) WHERE m.date IS NULL RETURN count(*)`)
+	nHigh := q(t, high, `MATCH (m:Match) WHERE m.date IS NULL RETURN count(*)`)
+	if nHigh <= nLow {
+		t.Errorf("violations should scale with rate: low=%d high=%d", nLow, nHigh)
+	}
+}
+
+// TestHubSkew asserts the heavy-tailed structure required for the §4.5
+// boundary-break audit: the Twitter and Cybersecurity graphs must have hub
+// nodes whose degree far exceeds the average.
+func TestHubSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large graphs")
+	}
+	for _, name := range []string{"Twitter", "Cybersecurity"} {
+		gen, _ := ByName(name)
+		g := gen(DefaultOptions())
+		s := graph.ComputeStats(g)
+		maxDeg := s.TopByDegree[0].Degree
+		if float64(maxDeg) < 10*s.AvgDegree {
+			t.Errorf("%s: top hub degree %d should dwarf the average %.1f", name, maxDeg, s.AvgDegree)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Twitter node budget (total 43325, 6 labels).
+const (
+	twUsers    = 4000
+	twTweets   = 30000
+	twHashtags = 5000
+	twLinks    = 3800
+	twSources  = 320
+	twTopics   = 43325 - twUsers - twTweets - twHashtags - twLinks - twSources
+)
+
+// Twitter edge budget (total 56493, 8 labels). TAGS absorbs the remainder.
+const (
+	twOrphanTweets = 10 // tweets with no POSTS edge (violation budget)
+	twPosts        = twTweets - twOrphanTweets
+	twRetweets     = 6000
+	twMentions     = 8000
+	twFollows      = 7000
+	twContains     = 2000 // Tweet -> Link
+	twUsing        = 800  // Tweet -> Source
+	twAbout        = 200  // Tweet -> Topic
+	twTags         = 56493 - twPosts - twRetweets - twMentions - twFollows -
+		twContains - twUsing - twAbout
+)
+
+var twSourceNames = []string{
+	"Twitter Web App", "Twitter for iPhone", "Twitter for Android",
+	"TweetDeck", "Hootsuite", "Buffer", "IFTTT", "Zapier",
+}
+
+// Twitter generates the social-interaction graph: users, tweets, hashtags,
+// links, sources and topics, wired by eight relationship types.
+//
+// Injected violations:
+//   - duplicate Tweet ids
+//   - Tweet nodes missing their text property
+//   - RETWEETS edges whose retweet predates the original (temporal)
+//   - FOLLOWS self-edges
+//   - orphan tweets with no posting user (fixed small budget)
+func Twitter(opts Options) *graph.Graph {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vio := newViolator(opts.Seed+3, opts.ViolationRate)
+	g := graph.New("Twitter")
+
+	users := make([]*graph.Node, twUsers)
+	for i := range users {
+		users[i] = g.AddNode([]string{"User"}, graph.Props{
+			"id":          graph.NewInt(int64(1 + i)),
+			"screen_name": graph.NewString(fmt.Sprintf("user_%04d", i)),
+			"name":        graph.NewString(personName(i)),
+			"followers":   graph.NewInt(int64(rng.Intn(100000))),
+		})
+	}
+
+	const epoch = int64(1560000000) // 2019-06-08, seconds
+	tweets := make([]*graph.Node, twTweets)
+	createdAt := make([]int64, twTweets)
+	for i := range tweets {
+		id := int64(100000 + i)
+		// Violation: duplicate tweet identifier.
+		if i > 0 && vio.hit("tweet-duplicate-id") {
+			id = int64(100000 + rng.Intn(i))
+		}
+		at := epoch + int64(i)*13 + int64(rng.Intn(11))
+		createdAt[i] = at
+		props := graph.Props{
+			"id":        graph.NewInt(id),
+			"text":      graph.NewString(fmt.Sprintf("tweet %d about topic %d", i, i%97)),
+			"createdAt": graph.NewInt(at),
+		}
+		// Violation: missing text.
+		if vio.hit("tweet-missing-text") {
+			delete(props, "text")
+		}
+		tweets[i] = g.AddNode([]string{"Tweet"}, props)
+	}
+
+	hashtags := make([]*graph.Node, twHashtags)
+	for i := range hashtags {
+		hashtags[i] = g.AddNode([]string{"Hashtag"}, graph.Props{
+			"name": graph.NewString(fmt.Sprintf("tag%04d", i)),
+		})
+	}
+	links := make([]*graph.Node, twLinks)
+	for i := range links {
+		links[i] = g.AddNode([]string{"Link"}, graph.Props{
+			"url": graph.NewString(fmt.Sprintf("https://example.com/p/%d", i)),
+		})
+	}
+	sources := make([]*graph.Node, twSources)
+	for i := range sources {
+		sources[i] = g.AddNode([]string{"Source"}, graph.Props{
+			"name": graph.NewString(fmt.Sprintf("%s #%d", twSourceNames[i%len(twSourceNames)], i)),
+		})
+	}
+	topics := make([]*graph.Node, twTopics)
+	for i := range topics {
+		topics[i] = g.AddNode([]string{"Topic"}, graph.Props{
+			"name": graph.NewString(fmt.Sprintf("topic-%03d", i)),
+		})
+	}
+
+	// POSTS: every tweet except the orphan budget gets exactly one poster.
+	for i := 0; i < twPosts; i++ {
+		g.MustAddEdge(users[pick(rng, twUsers)].ID, tweets[i].ID, []string{"POSTS"}, nil)
+	}
+	// (tweets[twPosts:] are the orphans — "tweet without a valid user".)
+
+	// RETWEETS: later tweet retweets earlier one; the violation flips the
+	// temporal order.
+	for i := 0; i < twRetweets; i++ {
+		a := 1 + pick(rng, twTweets-1)
+		b := pick(rng, a) // b < a, so tweets[b] is older
+		from, to := tweets[a], tweets[b]
+		if vio.hit("retweet-before-original") {
+			from, to = to, from
+		}
+		g.MustAddEdge(from.ID, to.ID, []string{"RETWEETS"}, nil)
+	}
+	// MENTIONS: Tweet -> User (heavy-tailed: celebrities get mentioned).
+	mentionTarget := zipfPicker(rng, twUsers)
+	for i := 0; i < twMentions; i++ {
+		g.MustAddEdge(tweets[pick(rng, twTweets)].ID, users[mentionTarget()].ID, []string{"MENTIONS"}, nil)
+	}
+	// FOLLOWS with self-follow violations; follow targets are heavy-tailed.
+	followTarget := zipfPicker(rng, twUsers)
+	for i := 0; i < twFollows; i++ {
+		a := pick(rng, twUsers)
+		b := followTarget()
+		if vio.hit("self-follow") {
+			b = a
+		} else if a == b {
+			b = (b + 1) % twUsers
+		}
+		g.MustAddEdge(users[a].ID, users[b].ID, []string{"FOLLOWS"}, nil)
+	}
+	// CONTAINS: Tweet -> Link; USING: Tweet -> Source; ABOUT: Tweet -> Topic.
+	for i := 0; i < twContains; i++ {
+		g.MustAddEdge(tweets[pick(rng, twTweets)].ID, links[pick(rng, twLinks)].ID, []string{"CONTAINS"}, nil)
+	}
+	for i := 0; i < twUsing; i++ {
+		g.MustAddEdge(tweets[pick(rng, twTweets)].ID, sources[pick(rng, twSources)].ID, []string{"USING"}, nil)
+	}
+	for i := 0; i < twAbout; i++ {
+		g.MustAddEdge(tweets[pick(rng, twTweets)].ID, topics[pick(rng, twTopics)].ID, []string{"ABOUT"}, nil)
+	}
+	// TAGS (filler to the exact Table 1 edge total): Tweet -> Hashtag,
+	// with trending-hashtag skew.
+	tagTarget := zipfPicker(rng, twHashtags)
+	for i := 0; i < twTags; i++ {
+		g.MustAddEdge(tweets[pick(rng, twTweets)].ID, hashtags[tagTarget()].ID, []string{"TAGS"}, nil)
+	}
+	return g
+}

@@ -1,0 +1,188 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// WWC2019 node budget (total 2468, 5 labels).
+const (
+	wwcTournaments = 1
+	wwcTeams       = 24
+	wwcMatches     = 52
+	wwcSquads      = 24
+	wwcPersons     = 2468 - wwcTournaments - wwcTeams - wwcMatches - wwcSquads
+)
+
+// WWC2019 edge budget (total 14799, 9 labels). PLAYED_IN absorbs the
+// remainder: the real dataset's edge count is dominated by per-event
+// participation edges, which we model as (Person)-[:PLAYED_IN]->(Match).
+const (
+	wwcInSquad      = 552 // 24 squads x 23 players
+	wwcFor          = 24  // Squad -> Tournament
+	wwcForTeam      = 24  // Squad -> Team
+	wwcInTournament = 52  // Match -> Tournament
+	wwcHomeTeam     = 52  // Team -> Match
+	wwcAwayTeam     = 52  // Team -> Match
+	wwcCoachFor     = 24  // Person -> Team
+	wwcScoredGoal   = 150 // Person -> Match {minute}
+	wwcPlayedIn     = 14799 - wwcInSquad - wwcFor - wwcForTeam - wwcInTournament -
+		wwcHomeTeam - wwcAwayTeam - wwcCoachFor - wwcScoredGoal
+)
+
+var wwcTeamNames = []string{
+	"USA", "Netherlands", "Sweden", "England", "France", "Germany", "Norway",
+	"Italy", "Spain", "Japan", "Australia", "Brazil", "Canada", "China",
+	"Nigeria", "Cameroon", "Chile", "Argentina", "Scotland", "South Korea",
+	"New Zealand", "Jamaica", "Thailand", "South Africa",
+}
+
+var wwcStages = []string{
+	"Group Stage", "Round of 16", "Quarter-final", "Semi-final", "Final",
+}
+
+// WWC2019 generates the Women's World Cup 2019 graph: teams, persons,
+// matches, one tournament and squads, connected by nine relationship types.
+//
+// Injected violations (rate-controlled):
+//   - Match nodes missing their date or stage property
+//   - duplicate Person ids
+//   - SCORED_GOAL pairs sharing the same minute for one (person, match)
+//   - a Squad whose FOR edge points at a Team instead of the Tournament
+//     is NOT injected (edge labels stay schema-clean); instead some squads
+//     hold players who PLAYED_IN a match of a tournament their squad is not
+//     registered FOR (the multi-hop association violation the paper's
+//     Mixtral rule catches).
+func WWC2019(opts Options) *graph.Graph {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vio := newViolator(opts.Seed+1, opts.ViolationRate)
+	g := graph.New("WWC2019")
+
+	tournament := g.AddNode([]string{"Tournament"}, graph.Props{
+		"id":   graph.NewInt(1),
+		"name": graph.NewString("FIFA Women's World Cup 2019"),
+		"year": graph.NewInt(2019),
+	})
+
+	teams := make([]*graph.Node, wwcTeams)
+	for i := range teams {
+		teams[i] = g.AddNode([]string{"Team"}, graph.Props{
+			"id":      graph.NewInt(int64(100 + i)),
+			"name":    graph.NewString(wwcTeamNames[i]),
+			"ranking": graph.NewInt(int64(1 + i)),
+		})
+	}
+
+	matches := make([]*graph.Node, wwcMatches)
+	for i := range matches {
+		props := graph.Props{
+			"id":     graph.NewInt(int64(1000 + i)),
+			"date":   graph.NewString(isoDate(i % 30)),
+			"stage":  graph.NewString(wwcStages[stageFor(i)]),
+			"score1": graph.NewInt(int64(rng.Intn(5))),
+			"score2": graph.NewInt(int64(rng.Intn(4))),
+		}
+		// Violation: essential attributes missing on a match.
+		if vio.hit("match-missing-date") {
+			delete(props, "date")
+		}
+		if vio.hit("match-missing-stage") {
+			delete(props, "stage")
+		}
+		matches[i] = g.AddNode([]string{"Match"}, props)
+	}
+
+	squads := make([]*graph.Node, wwcSquads)
+	for i := range squads {
+		squads[i] = g.AddNode([]string{"Squad"}, graph.Props{
+			"id":   graph.NewInt(int64(500 + i)),
+			"year": graph.NewInt(2019),
+		})
+	}
+
+	persons := make([]*graph.Node, wwcPersons)
+	for i := range persons {
+		id := int64(10000 + i)
+		// Violation: duplicate person identifier.
+		if i > 0 && vio.hit("person-duplicate-id") {
+			id = int64(10000 + rng.Intn(i))
+		}
+		persons[i] = g.AddNode([]string{"Person"}, graph.Props{
+			"id":   graph.NewInt(id),
+			"name": graph.NewString(personName(i)),
+			"dob":  graph.NewString(fmt.Sprintf("%d-%02d-%02d", 1985+i%18, 1+i%12, 1+i%28)),
+		})
+	}
+
+	// IN_SQUAD: the first 552 persons fill squads of 23.
+	for i := 0; i < wwcInSquad; i++ {
+		g.MustAddEdge(persons[i].ID, squads[i/23].ID, []string{"IN_SQUAD"}, nil)
+	}
+	// FOR / FOR_TEAM: squads belong to the tournament and a team.
+	for i, s := range squads {
+		g.MustAddEdge(s.ID, tournament.ID, []string{"FOR"}, nil)
+		g.MustAddEdge(s.ID, teams[i].ID, []string{"FOR_TEAM"}, nil)
+	}
+	// IN_TOURNAMENT: matches belong to the tournament.
+	for _, m := range matches {
+		g.MustAddEdge(m.ID, tournament.ID, []string{"IN_TOURNAMENT"}, nil)
+	}
+	// HOME_TEAM / AWAY_TEAM.
+	for i, m := range matches {
+		home := teams[i%wwcTeams]
+		away := teams[(i+1+rng.Intn(wwcTeams-1))%wwcTeams]
+		g.MustAddEdge(home.ID, m.ID, []string{"HOME_TEAM"}, nil)
+		g.MustAddEdge(away.ID, m.ID, []string{"AWAY_TEAM"}, nil)
+	}
+	// COACH_FOR: the last 24 persons coach one team each.
+	for i := 0; i < wwcCoachFor; i++ {
+		g.MustAddEdge(persons[wwcPersons-1-i].ID, teams[i].ID, []string{"COACH_FOR"}, nil)
+	}
+	// SCORED_GOAL with a minute property; violation: same minute twice for
+	// one (person, match).
+	goals := 0
+	for goals < wwcScoredGoal {
+		p := persons[pick(rng, wwcInSquad)] // goal scorers are squad players
+		m := matches[pick(rng, wwcMatches)]
+		minute := int64(1 + rng.Intn(90))
+		g.MustAddEdge(p.ID, m.ID, []string{"SCORED_GOAL"}, graph.Props{"minute": graph.NewInt(minute)})
+		goals++
+		if goals < wwcScoredGoal && vio.hit("goal-duplicate-minute") {
+			g.MustAddEdge(p.ID, m.ID, []string{"SCORED_GOAL"}, graph.Props{"minute": graph.NewInt(minute)})
+			goals++
+		}
+	}
+	// PLAYED_IN (filler to the exact Table 1 edge total). Players normally
+	// play matches of the tournament their squad is FOR; the violation
+	// assigns appearances to persons outside any squad (breaking the
+	// player-squad-tournament association).
+	for i := 0; i < wwcPlayedIn; i++ {
+		var p *graph.Node
+		if vio.hit("played-without-squad") {
+			p = persons[wwcInSquad+pick(rng, wwcPersons-wwcInSquad-wwcCoachFor)]
+		} else {
+			p = persons[pick(rng, wwcInSquad)]
+		}
+		m := matches[pick(rng, wwcMatches)]
+		g.MustAddEdge(p.ID, m.ID, []string{"PLAYED_IN"}, nil)
+	}
+	return g
+}
+
+// stageFor maps match index to a plausible tournament stage.
+func stageFor(i int) int {
+	switch {
+	case i < 36:
+		return 0
+	case i < 44:
+		return 1
+	case i < 48:
+		return 2
+	case i < 50:
+		return 3
+	default:
+		return 4
+	}
+}

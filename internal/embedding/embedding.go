@@ -1,0 +1,136 @@
+// Package embedding provides a deterministic text embedder standing in for
+// the paper's GPT4AllEmbeddings: a feature-hashing bag-of-words model that
+// maps text to an L2-normalized dense vector. Lexically similar chunks land
+// close in cosine space, which preserves the retrieval behaviour (and the
+// retrieval failure modes §4.5 discusses) of the original pipeline.
+package embedding
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// DefaultDim is the embedding dimensionality used by the pipeline.
+const DefaultDim = 256
+
+// Embedder converts text into fixed-size vectors.
+type Embedder interface {
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// Embed returns the L2-normalized embedding of the text. Empty or
+	// token-free text embeds to the zero vector.
+	Embed(text string) []float32
+}
+
+// HashingEmbedder is a signed feature-hashing ("hashing trick") embedder
+// over lowercased word tokens and word bigrams. The zero value is not
+// usable; construct with NewHashing.
+type HashingEmbedder struct {
+	dim int
+}
+
+// NewHashing returns a hashing embedder with the given dimensionality.
+func NewHashing(dim int) (*HashingEmbedder, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("embedding: dimension must be positive, got %d", dim)
+	}
+	return &HashingEmbedder{dim: dim}, nil
+}
+
+// MustNewHashing is NewHashing that panics on invalid input.
+func MustNewHashing(dim int) *HashingEmbedder {
+	e, err := NewHashing(dim)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Dim implements Embedder.
+func (e *HashingEmbedder) Dim() int { return e.dim }
+
+// Embed implements Embedder.
+func (e *HashingEmbedder) Embed(text string) []float32 {
+	vec := make([]float32, e.dim)
+	words := words(text)
+	if len(words) == 0 {
+		return vec
+	}
+	for i, w := range words {
+		e.addFeature(vec, w, 1)
+		if i+1 < len(words) {
+			e.addFeature(vec, w+"\x00"+words[i+1], 0.5)
+		}
+	}
+	normalize(vec)
+	return vec
+}
+
+func (e *HashingEmbedder) addFeature(vec []float32, feature string, weight float32) {
+	h := fnv.New64a()
+	h.Write([]byte(feature))
+	sum := h.Sum64()
+	idx := int(sum % uint64(e.dim))
+	sign := float32(1)
+	if (sum>>63)&1 == 1 {
+		sign = -1
+	}
+	vec[idx] += sign * weight
+}
+
+// words lowercases and splits text into alphanumeric runs, dropping pure
+// punctuation.
+func words(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func normalize(vec []float32) {
+	var sum float64
+	for _, v := range vec {
+		sum += float64(v) * float64(v)
+	}
+	if sum == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(sum))
+	for i := range vec {
+		vec[i] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors. For
+// unit vectors this is the dot product; a zero vector yields 0.
+func Cosine(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

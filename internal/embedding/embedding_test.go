@@ -1,0 +1,116 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHashingValidation(t *testing.T) {
+	if _, err := NewHashing(0); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	if _, err := NewHashing(-1); err == nil {
+		t.Error("negative dim should fail")
+	}
+	e, err := NewHashing(64)
+	if err != nil || e.Dim() != 64 {
+		t.Error("NewHashing(64) failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewHashing(0) should panic")
+		}
+	}()
+	MustNewHashing(0)
+}
+
+func TestEmbedDeterministicAndNormalized(t *testing.T) {
+	e := MustNewHashing(DefaultDim)
+	a := e.Embed("Node 1 with labels User has properties id 7")
+	b := e.Embed("Node 1 with labels User has properties id 7")
+	if len(a) != DefaultDim {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	var norm float64
+	for _, v := range a {
+		norm += float64(v) * float64(v)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Errorf("norm = %f, want 1", norm)
+	}
+}
+
+func TestEmbedEmptyText(t *testing.T) {
+	e := MustNewHashing(32)
+	v := e.Embed("!!! ... ---")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("punctuation-only text should embed to zero")
+		}
+	}
+	if Cosine(v, v) != 0 {
+		t.Error("zero-vector cosine should be 0")
+	}
+}
+
+func TestSimilarTextsCloser(t *testing.T) {
+	e := MustNewHashing(DefaultDim)
+	base := e.Embed("Node 5 with labels Tweet has properties id 101 text hello")
+	near := e.Embed("Node 6 with labels Tweet has properties id 102 text hello")
+	far := e.Embed("completely unrelated words about cooking pasta recipes tonight")
+	if Cosine(base, near) <= Cosine(base, far) {
+		t.Errorf("similar text should be closer: near=%f far=%f",
+			Cosine(base, near), Cosine(base, far))
+	}
+	if c := Cosine(base, base); math.Abs(c-1) > 1e-5 {
+		t.Errorf("self-cosine = %f", c)
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	if Cosine([]float32{1, 0}, []float32{1, 0, 0}) != 0 {
+		t.Error("mismatched dims should return 0")
+	}
+	if c := Cosine([]float32{1, 0}, []float32{-1, 0}); math.Abs(c+1) > 1e-9 {
+		t.Errorf("opposite vectors cosine = %f", c)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	e := MustNewHashing(DefaultDim)
+	a := e.Embed("HELLO World")
+	b := e.Embed("hello world")
+	if Cosine(a, b) < 0.999 {
+		t.Error("embedding should be case-insensitive")
+	}
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	e := MustNewHashing(64)
+	f := func(s1, s2 string) bool {
+		c := Cosine(e.Embed(s1), e.Embed(s2))
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := words("Node-1: (id: 7, name: \"Ann\")")
+	want := []string{"node", "1", "id", "7", "name", "ann"}
+	if len(got) != len(want) {
+		t.Fatalf("words = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("words[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies a node or an edge within one Graph. Node and edge ID spaces
+// are independent.
+type ID int64
+
+// Node is a vertex with one or more labels and a property map.
+type Node struct {
+	ID     ID
+	Labels []string
+	Props  Props
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(label string) bool {
+	for _, l := range n.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns the value of the named property (null when absent).
+func (n *Node) Prop(key string) Value {
+	if v, ok := n.Props[key]; ok {
+		return v
+	}
+	return Null
+}
+
+// Edge is a directed relationship between two nodes. Edges may carry
+// several labels; the first label is the primary relationship type, which
+// is what single-type pattern matching (Cypher-style) binds to.
+type Edge struct {
+	ID     ID
+	From   ID
+	To     ID
+	Labels []string
+	Props  Props
+}
+
+// Type returns the primary relationship type (first label), or "" for an
+// unlabeled edge.
+func (e *Edge) Type() string {
+	if len(e.Labels) == 0 {
+		return ""
+	}
+	return e.Labels[0]
+}
+
+// HasLabel reports whether the edge carries the given label.
+func (e *Edge) HasLabel(label string) bool {
+	for _, l := range e.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns the value of the named property (null when absent).
+func (e *Edge) Prop(key string) Value {
+	if v, ok := e.Props[key]; ok {
+		return v
+	}
+	return Null
+}
+
+// Graph is an in-memory property graph. It is safe for concurrent readers;
+// writers must not run concurrently with readers or other writers unless
+// they use the locked mutation API (all exported mutators lock).
+type Graph struct {
+	mu sync.RWMutex
+
+	name string
+
+	nodes map[ID]*Node
+	edges map[ID]*Edge
+
+	nextNodeID ID
+	nextEdgeID ID
+
+	// Adjacency: nodeID -> edge IDs.
+	out map[ID][]ID
+	in  map[ID][]ID
+
+	// Indexes.
+	nodesByLabel map[string][]ID
+	edgesByType  map[string][]ID
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		name:         name,
+		nodes:        make(map[ID]*Node),
+		edges:        make(map[ID]*Edge),
+		out:          make(map[ID][]ID),
+		in:           make(map[ID][]ID),
+		nodesByLabel: make(map[string][]ID),
+		edgesByType:  make(map[string][]ID),
+	}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// AddNode inserts a node with the given labels and properties and returns
+// it. Labels are stored in the given order; duplicates are removed.
+func (g *Graph) AddNode(labels []string, props Props) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addNodeLocked(labels, props)
+}
+
+func (g *Graph) addNodeLocked(labels []string, props Props) *Node {
+	id := g.nextNodeID
+	g.nextNodeID++
+	n := &Node{ID: id, Labels: dedupe(labels), Props: props.Clone()}
+	if n.Props == nil {
+		n.Props = Props{}
+	}
+	g.nodes[id] = n
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = append(g.nodesByLabel[l], id)
+	}
+	return n
+}
+
+// AddEdge inserts a directed edge from -> to with the given labels and
+// properties. It returns an error when either endpoint does not exist or
+// no label is provided.
+func (g *Graph) AddEdge(from, to ID, labels []string, props Props) (*Edge, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[from]; !ok {
+		return nil, fmt.Errorf("graph %q: AddEdge: source node %d does not exist", g.name, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return nil, fmt.Errorf("graph %q: AddEdge: target node %d does not exist", g.name, to)
+	}
+	labels = dedupe(labels)
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("graph %q: AddEdge: edge requires at least one label", g.name)
+	}
+	id := g.nextEdgeID
+	g.nextEdgeID++
+	e := &Edge{ID: id, From: from, To: to, Labels: labels, Props: props.Clone()}
+	if e.Props == nil {
+		e.Props = Props{}
+	}
+	g.edges[id] = e
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	for _, l := range e.Labels {
+		g.edgesByType[l] = append(g.edgesByType[l], id)
+	}
+	return e, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where endpoints are known valid.
+func (g *Graph) MustAddEdge(from, to ID, labels []string, props Props) *Edge {
+	e, err := g.AddEdge(from, to, labels, props)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id ID) *Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodes[id]
+}
+
+// Edge returns the edge with the given ID, or nil.
+func (g *Graph) Edge(id ID) *Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edges[id]
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]ID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// Edges returns all edge IDs in ascending order.
+func (g *Graph) Edges() []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]ID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// NodesWithLabel returns the IDs of all nodes carrying the label, in
+// insertion order.
+func (g *Graph) NodesWithLabel(label string) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.nodesByLabel[label]
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// EdgesWithType returns the IDs of all edges carrying the label, in
+// insertion order.
+func (g *Graph) EdgesWithType(label string) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.edgesByType[label]
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// OutEdges returns the IDs of edges leaving the node.
+func (g *Graph) OutEdges(node ID) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.out[node]
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// InEdges returns the IDs of edges entering the node.
+func (g *Graph) InEdges(node ID) []ID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.in[node]
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// OutDegree returns the number of edges leaving the node.
+func (g *Graph) OutDegree(node ID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.out[node])
+}
+
+// InDegree returns the number of edges entering the node.
+func (g *Graph) InDegree(node ID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.in[node])
+}
+
+// SetNodeProp sets (or with a null value, deletes) one property of a node.
+func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph %q: SetNodeProp: node %d does not exist", g.name, id)
+	}
+	if v.IsNull() {
+		delete(n.Props, key)
+	} else {
+		n.Props[key] = v
+	}
+	return nil
+}
+
+// SetEdgeProp sets (or with a null value, deletes) one property of an edge.
+func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("graph %q: SetEdgeProp: edge %d does not exist", g.name, id)
+	}
+	if v.IsNull() {
+		delete(e.Props, key)
+	} else {
+		e.Props[key] = v
+	}
+	return nil
+}
+
+// AddNodeLabels adds labels to an existing node, updating the label index.
+// Labels already present are ignored.
+func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph %q: AddNodeLabels: node %d does not exist", g.name, id)
+	}
+	for _, l := range labels {
+		if l == "" || n.HasLabel(l) {
+			continue
+		}
+		n.Labels = append(n.Labels, l)
+		g.nodesByLabel[l] = append(g.nodesByLabel[l], id)
+	}
+	return nil
+}
+
+// RemoveEdge deletes an edge. Removing a missing edge is a no-op.
+func (g *Graph) RemoveEdge(id ID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.removeEdgeLocked(id)
+}
+
+func (g *Graph) removeEdgeLocked(id ID) {
+	e, ok := g.edges[id]
+	if !ok {
+		return
+	}
+	delete(g.edges, id)
+	g.out[e.From] = removeID(g.out[e.From], id)
+	g.in[e.To] = removeID(g.in[e.To], id)
+	for _, l := range e.Labels {
+		g.edgesByType[l] = removeID(g.edgesByType[l], id)
+	}
+}
+
+// RemoveNode deletes a node together with all incident edges. Removing a
+// missing node is a no-op.
+func (g *Graph) RemoveNode(id ID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return
+	}
+	for _, eid := range append(append([]ID(nil), g.out[id]...), g.in[id]...) {
+		g.removeEdgeLocked(eid)
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+	delete(g.nodes, id)
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = removeID(g.nodesByLabel[l], id)
+	}
+}
+
+// NodeLabels returns the sorted set of node labels present in the graph.
+func (g *Graph) NodeLabels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.nodesByLabel))
+	for l, ids := range g.nodesByLabel {
+		if len(ids) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeTypes returns the sorted set of edge labels present in the graph.
+func (g *Graph) EdgeTypes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.edgesByType))
+	for l, ids := range g.edgesByType {
+		if len(ids) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachNode calls fn for every node in ascending ID order. fn must not
+// mutate the graph.
+func (g *Graph) ForEachNode(fn func(*Node)) {
+	for _, id := range g.Nodes() {
+		g.mu.RLock()
+		n := g.nodes[id]
+		g.mu.RUnlock()
+		if n != nil {
+			fn(n)
+		}
+	}
+}
+
+// ForEachEdge calls fn for every edge in ascending ID order. fn must not
+// mutate the graph.
+func (g *Graph) ForEachEdge(fn func(*Edge)) {
+	for _, id := range g.Edges() {
+		g.mu.RLock()
+		e := g.edges[id]
+		g.mu.RUnlock()
+		if e != nil {
+			fn(e)
+		}
+	}
+}
+
+func dedupe(labels []string) []string {
+	seen := make(map[string]bool, len(labels))
+	out := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l == "" || seen[l] {
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	return out
+}
+
+func removeID(ids []ID, id ID) []ID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

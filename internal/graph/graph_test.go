@@ -1,0 +1,345 @@
+package graph
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testGraph(t testing.TB) (*Graph, *Node, *Node, *Node) {
+	g := New("test")
+	a := g.AddNode([]string{"User"}, Props{"name": NewString("alice"), "id": NewInt(1)})
+	b := g.AddNode([]string{"User"}, Props{"name": NewString("bob"), "id": NewInt(2)})
+	tw := g.AddNode([]string{"Tweet"}, Props{"id": NewInt(100), "text": NewString("hello")})
+	if _, err := g.AddEdge(a.ID, tw.ID, []string{"POSTS"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a.ID, b.ID, []string{"FOLLOWS"}, Props{"since": NewInt(2020)}); err != nil {
+		t.Fatal(err)
+	}
+	return g, a, b, tw
+}
+
+func TestAddNodeAndLookup(t *testing.T) {
+	g, a, _, tw := testGraph(t)
+	if g.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d", g.NodeCount())
+	}
+	if got := g.Node(a.ID); got == nil || got.Prop("name").Str() != "alice" {
+		t.Errorf("Node(a) = %+v", got)
+	}
+	if !tw.HasLabel("Tweet") || tw.HasLabel("User") {
+		t.Error("HasLabel wrong")
+	}
+	if g.Node(999) != nil {
+		t.Error("missing node should be nil")
+	}
+	if !a.Prop("missing").IsNull() {
+		t.Error("missing prop should be null")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("v")
+	n := g.AddNode([]string{"X"}, nil)
+	if _, err := g.AddEdge(n.ID, 42, []string{"R"}, nil); err == nil {
+		t.Error("want error for missing target")
+	}
+	if _, err := g.AddEdge(42, n.ID, []string{"R"}, nil); err == nil {
+		t.Error("want error for missing source")
+	}
+	if _, err := g.AddEdge(n.ID, n.ID, nil, nil); err == nil {
+		t.Error("want error for unlabeled edge")
+	}
+	if _, err := g.AddEdge(n.ID, n.ID, []string{"SELF"}, nil); err != nil {
+		t.Errorf("self loop should be allowed: %v", err)
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	g := New("p")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge should panic on invalid endpoints")
+		}
+	}()
+	g.MustAddEdge(1, 2, []string{"R"}, nil)
+}
+
+func TestIndexesAndAdjacency(t *testing.T) {
+	g, a, b, tw := testGraph(t)
+	if got := g.NodesWithLabel("User"); len(got) != 2 {
+		t.Errorf("NodesWithLabel(User) = %v", got)
+	}
+	if got := g.EdgesWithType("POSTS"); len(got) != 1 {
+		t.Errorf("EdgesWithType(POSTS) = %v", got)
+	}
+	if g.OutDegree(a.ID) != 2 || g.InDegree(a.ID) != 0 {
+		t.Errorf("degrees of a: out=%d in=%d", g.OutDegree(a.ID), g.InDegree(a.ID))
+	}
+	if g.InDegree(tw.ID) != 1 || g.InDegree(b.ID) != 1 {
+		t.Error("in-degrees wrong")
+	}
+	outs := g.OutEdges(a.ID)
+	if len(outs) != 2 {
+		t.Fatalf("OutEdges = %v", outs)
+	}
+	e := g.Edge(outs[0])
+	if e.From != a.ID {
+		t.Error("edge From wrong")
+	}
+	if e.Type() != "POSTS" {
+		t.Errorf("Type = %q", e.Type())
+	}
+	if !reflect.DeepEqual(g.NodeLabels(), []string{"Tweet", "User"}) {
+		t.Errorf("NodeLabels = %v", g.NodeLabels())
+	}
+	if !reflect.DeepEqual(g.EdgeTypes(), []string{"FOLLOWS", "POSTS"}) {
+		t.Errorf("EdgeTypes = %v", g.EdgeTypes())
+	}
+}
+
+func TestMultiLabel(t *testing.T) {
+	g := New("ml")
+	n := g.AddNode([]string{"Person", "Player", "Person", ""}, nil)
+	if !reflect.DeepEqual(n.Labels, []string{"Person", "Player"}) {
+		t.Errorf("Labels = %v (dedupe/blank-strip failed)", n.Labels)
+	}
+	if len(g.NodesWithLabel("Person")) != 1 || len(g.NodesWithLabel("Player")) != 1 {
+		t.Error("multi-label index wrong")
+	}
+	m := g.AddNode([]string{"Person"}, nil)
+	e := g.MustAddEdge(n.ID, m.ID, []string{"KNOWS", "LIKES"}, nil)
+	if e.Type() != "KNOWS" || !e.HasLabel("LIKES") {
+		t.Error("edge multi-label wrong")
+	}
+	if len(g.EdgesWithType("LIKES")) != 1 {
+		t.Error("edge secondary label not indexed")
+	}
+	var anon Edge
+	if anon.Type() != "" {
+		t.Error("unlabeled edge Type should be empty")
+	}
+}
+
+func TestSetProps(t *testing.T) {
+	g, a, _, _ := testGraph(t)
+	if err := g.SetNodeProp(a.ID, "age", NewInt(30)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(a.ID).Prop("age").Int() != 30 {
+		t.Error("SetNodeProp failed")
+	}
+	if err := g.SetNodeProp(a.ID, "age", Null); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Node(a.ID).Prop("age").IsNull() {
+		t.Error("null SetNodeProp should delete")
+	}
+	if err := g.SetNodeProp(999, "x", NewInt(1)); err == nil {
+		t.Error("want error for missing node")
+	}
+	eid := g.OutEdges(a.ID)[0]
+	if err := g.SetEdgeProp(eid, "w", NewFloat(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(eid).Prop("w").Float() != 0.5 {
+		t.Error("SetEdgeProp failed")
+	}
+	if err := g.SetEdgeProp(999, "x", Null); err == nil {
+		t.Error("want error for missing edge")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g, a, b, _ := testGraph(t)
+	var followsID ID = -1
+	g.ForEachEdge(func(e *Edge) {
+		if e.Type() == "FOLLOWS" {
+			followsID = e.ID
+		}
+	})
+	g.RemoveEdge(followsID)
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d", g.EdgeCount())
+	}
+	if g.OutDegree(a.ID) != 1 || g.InDegree(b.ID) != 0 {
+		t.Error("adjacency not updated")
+	}
+	if len(g.EdgesWithType("FOLLOWS")) != 0 {
+		t.Error("type index not updated")
+	}
+	g.RemoveEdge(followsID) // idempotent
+	if g.EdgeCount() != 1 {
+		t.Error("double remove changed count")
+	}
+}
+
+func TestRemoveNodeCascades(t *testing.T) {
+	g, a, _, _ := testGraph(t)
+	g.RemoveNode(a.ID)
+	if g.NodeCount() != 2 {
+		t.Fatalf("NodeCount = %d", g.NodeCount())
+	}
+	if g.EdgeCount() != 0 {
+		t.Errorf("EdgeCount = %d, incident edges should cascade", g.EdgeCount())
+	}
+	if len(g.NodesWithLabel("User")) != 1 {
+		t.Error("label index not updated")
+	}
+	g.RemoveNode(a.ID) // idempotent
+}
+
+func TestForEachOrdering(t *testing.T) {
+	g, _, _, _ := testGraph(t)
+	var nodeIDs, edgeIDs []ID
+	g.ForEachNode(func(n *Node) { nodeIDs = append(nodeIDs, n.ID) })
+	g.ForEachEdge(func(e *Edge) { edgeIDs = append(edgeIDs, e.ID) })
+	for i := 1; i < len(nodeIDs); i++ {
+		if nodeIDs[i] <= nodeIDs[i-1] {
+			t.Fatal("ForEachNode not ascending")
+		}
+	}
+	for i := 1; i < len(edgeIDs); i++ {
+		if edgeIDs[i] <= edgeIDs[i-1] {
+			t.Fatal("ForEachEdge not ascending")
+		}
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	g, _, _, _ := testGraph(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = g.NodeCount()
+				_ = g.NodesWithLabel("User")
+				g.ForEachNode(func(n *Node) { _ = n.Prop("name") })
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	g := New("cw")
+	root := g.AddNode([]string{"Root"}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				n := g.AddNode([]string{fmt.Sprintf("L%d", k)}, Props{"j": NewInt(int64(j))})
+				g.MustAddEdge(root.ID, n.ID, []string{"HAS"}, nil)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.NodeCount() != 401 {
+		t.Errorf("NodeCount = %d, want 401", g.NodeCount())
+	}
+	if g.EdgeCount() != 400 {
+		t.Errorf("EdgeCount = %d, want 400", g.EdgeCount())
+	}
+	if g.OutDegree(root.ID) != 400 {
+		t.Errorf("OutDegree(root) = %d", g.OutDegree(root.ID))
+	}
+}
+
+// Property: for any sequence of node insertions, every label index entry
+// resolves to a node carrying that label, and counts are consistent.
+func TestLabelIndexConsistencyProperty(t *testing.T) {
+	f := func(labelSel []uint8) bool {
+		g := New("q")
+		labels := []string{"A", "B", "C"}
+		for _, s := range labelSel {
+			g.AddNode([]string{labels[int(s)%3]}, nil)
+		}
+		total := 0
+		for _, l := range labels {
+			for _, id := range g.NodesWithLabel(l) {
+				if !g.Node(id).HasLabel(l) {
+					return false
+				}
+				total++
+			}
+		}
+		return total == g.NodeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing a random subset of edges never leaves dangling
+// adjacency entries.
+func TestRemoveEdgeConsistencyProperty(t *testing.T) {
+	f := func(seedEdges []uint8, removeMask []bool) bool {
+		g := New("q")
+		var ids []ID
+		for i := 0; i < 10; i++ {
+			ids = append(ids, g.AddNode([]string{"N"}, nil).ID)
+		}
+		var eids []ID
+		for _, b := range seedEdges {
+			from := ids[int(b)%10]
+			to := ids[int(b>>4)%10]
+			eids = append(eids, g.MustAddEdge(from, to, []string{"E"}, nil).ID)
+		}
+		for i, eid := range eids {
+			if i < len(removeMask) && removeMask[i] {
+				g.RemoveEdge(eid)
+			}
+		}
+		// Every adjacency entry must resolve to a live edge.
+		for _, nid := range g.Nodes() {
+			for _, eid := range g.OutEdges(nid) {
+				e := g.Edge(eid)
+				if e == nil || e.From != nid {
+					return false
+				}
+			}
+			for _, eid := range g.InEdges(nid) {
+				e := g.Edge(eid)
+				if e == nil || e.To != nid {
+					return false
+				}
+			}
+		}
+		return len(g.EdgesWithType("E")) == g.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNodeLabels(t *testing.T) {
+	g := New("al")
+	n := g.AddNode([]string{"A"}, nil)
+	if err := g.AddNodeLabels(n.ID, "B", "A", ""); err != nil {
+		t.Fatal(err)
+	}
+	got := g.Node(n.ID)
+	if !got.HasLabel("B") || len(got.Labels) != 2 {
+		t.Errorf("labels = %v", got.Labels)
+	}
+	if len(g.NodesWithLabel("B")) != 1 {
+		t.Error("new label not indexed")
+	}
+	if err := g.AddNodeLabels(999, "X"); err == nil {
+		t.Error("missing node should error")
+	}
+	// Re-adding an existing label must not duplicate the index entry.
+	if err := g.AddNodeLabels(n.ID, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.NodesWithLabel("B")) != 1 {
+		t.Error("duplicate label indexed twice")
+	}
+}

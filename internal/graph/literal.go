@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseLiteral parses the textual rendering produced by Value.String back
+// into a Value: null, true/false, integers, floats, double-quoted strings
+// and [comma, separated, lists]. It reports ok=false for anything else.
+func ParseLiteral(s string) (Value, bool) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return Null, false
+	case "null":
+		return Null, true
+	case "true":
+		return NewBool(true), true
+	case "false":
+		return NewBool(false), true
+	}
+	if s[0] == '"' {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return Null, false
+		}
+		return NewString(unq), true
+	}
+	if s[0] == '[' {
+		if !strings.HasSuffix(s, "]") {
+			return Null, false
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return NewList(), true
+		}
+		var elems []Value
+		for _, part := range splitTopLevel(inner) {
+			v, ok := ParseLiteral(part)
+			if !ok {
+				return Null, false
+			}
+			elems = append(elems, v)
+		}
+		return NewList(elems...), true
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(n), true
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return NewFloat(f), true
+	}
+	return Null, false
+}
+
+// splitTopLevel splits on commas not inside quotes or brackets.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func schemaFixture() *Graph {
+	g := New("sf")
+	u1 := g.AddNode([]string{"User"}, Props{"id": NewInt(1), "name": NewString("a")})
+	u2 := g.AddNode([]string{"User"}, Props{"id": NewInt(2)})
+	t1 := g.AddNode([]string{"Tweet"}, Props{"id": NewInt(10), "text": NewString("x")})
+	t2 := g.AddNode([]string{"Tweet"}, Props{"id": NewInt(11), "text": NewString("y")})
+	g.MustAddEdge(u1.ID, t1.ID, []string{"POSTS"}, Props{"at": NewInt(5)})
+	g.MustAddEdge(u2.ID, t2.ID, []string{"POSTS"}, nil)
+	g.MustAddEdge(u1.ID, u2.ID, []string{"FOLLOWS"}, nil)
+	return g
+}
+
+func TestExtractSchemaCounts(t *testing.T) {
+	s := ExtractSchema(schemaFixture())
+	if s.NodeTotal != 4 || s.EdgeTotal != 3 {
+		t.Fatalf("totals = %d/%d", s.NodeTotal, s.EdgeTotal)
+	}
+	u := s.NodeLabels["User"]
+	if u == nil || u.Count != 2 {
+		t.Fatalf("User schema = %+v", u)
+	}
+	if u.Props["id"].Count != 2 || u.Props["name"].Count != 1 {
+		t.Errorf("User prop counts wrong: %+v", u.Props)
+	}
+	if u.Props["id"].DominantKind() != KindInt {
+		t.Error("id dominant kind should be int")
+	}
+	if u.Props["id"].Distinct != 2 {
+		t.Errorf("id Distinct = %d", u.Props["id"].Distinct)
+	}
+	p := s.EdgeLabels["POSTS"]
+	if p == nil || p.Count != 2 {
+		t.Fatalf("POSTS schema = %+v", p)
+	}
+	from, to := p.DominantEndpoints()
+	if from != "User" || to != "Tweet" {
+		t.Errorf("POSTS endpoints = %s->%s", from, to)
+	}
+	if p.Props["at"].Count != 1 {
+		t.Error("edge prop count wrong")
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	s := ExtractSchema(schemaFixture())
+	if got := s.NodeLabelNames(); len(got) != 2 || got[0] != "Tweet" || got[1] != "User" {
+		t.Errorf("NodeLabelNames = %v", got)
+	}
+	if got := s.EdgeLabelNames(); len(got) != 2 || got[0] != "FOLLOWS" {
+		t.Errorf("EdgeLabelNames = %v", got)
+	}
+	if !s.HasNodeProp("User", "id") || s.HasNodeProp("User", "nope") || s.HasNodeProp("Ghost", "id") {
+		t.Error("HasNodeProp wrong")
+	}
+	if !s.HasEdgeProp("POSTS", "at") || s.HasEdgeProp("POSTS", "nope") || s.HasEdgeProp("Ghost", "x") {
+		t.Error("HasEdgeProp wrong")
+	}
+}
+
+func TestSchemaDescribe(t *testing.T) {
+	s := ExtractSchema(schemaFixture())
+	d := s.Describe()
+	for _, want := range []string{
+		"4 nodes, 3 edges",
+		"User (2 nodes)",
+		"(:User)-[:POSTS]->(:Tweet)",
+		"id:int",
+		"text:string",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestSchemaEmptyGraph(t *testing.T) {
+	s := ExtractSchema(New("empty"))
+	if s.NodeTotal != 0 || s.EdgeTotal != 0 {
+		t.Error("empty totals")
+	}
+	if len(s.NodeLabelNames()) != 0 || len(s.EdgeLabelNames()) != 0 {
+		t.Error("empty names")
+	}
+	var es EdgeSchema
+	if f, to := es.DominantEndpoints(); f != "" || to != "" {
+		t.Error("empty endpoints")
+	}
+	if !strings.Contains(s.Describe(), "0 nodes, 0 edges") {
+		t.Error("empty describe")
+	}
+}
+
+func TestSchemaSamplesCapped(t *testing.T) {
+	g := New("caps")
+	for i := 0; i < 10; i++ {
+		g.AddNode([]string{"N"}, Props{"k": NewInt(int64(i))})
+	}
+	s := ExtractSchema(g)
+	ps := s.NodeLabels["N"].Props["k"]
+	if len(ps.Samples) != maxSamples {
+		t.Errorf("Samples = %v, want %d entries", ps.Samples, maxSamples)
+	}
+	if ps.Distinct != 10 {
+		t.Errorf("Distinct = %d", ps.Distinct)
+	}
+}

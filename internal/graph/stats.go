@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DegreeEntry names one node in a top-degree listing.
+type DegreeEntry struct {
+	Node   ID
+	Labels []string
+	Degree int
+}
+
+// Stats summarizes a graph's size and connectivity. The hub listings make
+// the heavy-tailed structure of real-world graphs visible (and explain
+// which incident-encoding blocks outgrow a text window).
+type Stats struct {
+	Nodes int
+	Edges int
+
+	NodeLabelCounts map[string]int
+	EdgeTypeCounts  map[string]int
+
+	AvgDegree    float64 // mean total degree (in + out)
+	MaxInDegree  int
+	MaxOutDegree int
+	Isolated     int // nodes with no edges
+	SelfLoops    int
+
+	TopByDegree []DegreeEntry // up to 5 highest total-degree nodes
+}
+
+// ComputeStats scans the graph once and summarizes it.
+func ComputeStats(g *Graph) *Stats {
+	s := &Stats{
+		NodeLabelCounts: map[string]int{},
+		EdgeTypeCounts:  map[string]int{},
+	}
+	for _, l := range g.NodeLabels() {
+		s.NodeLabelCounts[l] = len(g.NodesWithLabel(l))
+	}
+	for _, t := range g.EdgeTypes() {
+		s.EdgeTypeCounts[t] = len(g.EdgesWithType(t))
+	}
+	s.Nodes = g.NodeCount()
+	s.Edges = g.EdgeCount()
+
+	type deg struct {
+		id    ID
+		total int
+	}
+	var degrees []deg
+	g.ForEachNode(func(n *Node) {
+		in, out := g.InDegree(n.ID), g.OutDegree(n.ID)
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in+out == 0 {
+			s.Isolated++
+		}
+		degrees = append(degrees, deg{id: n.ID, total: in + out})
+	})
+	g.ForEachEdge(func(e *Edge) {
+		if e.From == e.To {
+			s.SelfLoops++
+		}
+	})
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(2*s.Edges) / float64(s.Nodes)
+	}
+	sort.Slice(degrees, func(i, j int) bool {
+		if degrees[i].total != degrees[j].total {
+			return degrees[i].total > degrees[j].total
+		}
+		return degrees[i].id < degrees[j].id
+	})
+	for i := 0; i < len(degrees) && i < 5; i++ {
+		n := g.Node(degrees[i].id)
+		s.TopByDegree = append(s.TopByDegree, DegreeEntry{
+			Node: n.ID, Labels: n.Labels, Degree: degrees[i].total,
+		})
+	}
+	return s
+}
+
+// String renders the statistics in a compact human-readable block.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Nodes: %d  Edges: %d  AvgDegree: %.2f\n", s.Nodes, s.Edges, s.AvgDegree)
+	fmt.Fprintf(&b, "MaxInDegree: %d  MaxOutDegree: %d  Isolated: %d  SelfLoops: %d\n",
+		s.MaxInDegree, s.MaxOutDegree, s.Isolated, s.SelfLoops)
+	b.WriteString("Node labels:")
+	for _, l := range sortedKeys(s.NodeLabelCounts) {
+		fmt.Fprintf(&b, " %s=%d", l, s.NodeLabelCounts[l])
+	}
+	b.WriteString("\nEdge types:")
+	for _, t := range sortedKeys(s.EdgeTypeCounts) {
+		fmt.Fprintf(&b, " %s=%d", t, s.EdgeTypeCounts[t])
+	}
+	b.WriteString("\nTop hubs:")
+	for _, e := range s.TopByDegree {
+		fmt.Fprintf(&b, " node%d(%s)=%d", e.Node, strings.Join(e.Labels, ","), e.Degree)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

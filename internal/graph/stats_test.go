@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	g := New("st")
+	hub := g.AddNode([]string{"Hub"}, nil)
+	iso := g.AddNode([]string{"Iso"}, nil)
+	_ = iso
+	for i := 0; i < 4; i++ {
+		n := g.AddNode([]string{"Leaf"}, nil)
+		g.MustAddEdge(n.ID, hub.ID, []string{"TO"}, nil)
+	}
+	g.MustAddEdge(hub.ID, hub.ID, []string{"SELF"}, nil)
+
+	s := ComputeStats(g)
+	if s.Nodes != 6 || s.Edges != 5 {
+		t.Fatalf("sizes = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.MaxInDegree != 5 { // 4 leaves + self-loop
+		t.Errorf("MaxInDegree = %d", s.MaxInDegree)
+	}
+	if s.MaxOutDegree != 1 {
+		t.Errorf("MaxOutDegree = %d", s.MaxOutDegree)
+	}
+	if s.Isolated != 1 {
+		t.Errorf("Isolated = %d", s.Isolated)
+	}
+	if s.SelfLoops != 1 {
+		t.Errorf("SelfLoops = %d", s.SelfLoops)
+	}
+	if s.NodeLabelCounts["Leaf"] != 4 || s.EdgeTypeCounts["TO"] != 4 {
+		t.Error("label/type counts wrong")
+	}
+	if len(s.TopByDegree) == 0 || s.TopByDegree[0].Node != hub.ID {
+		t.Errorf("top hub wrong: %+v", s.TopByDegree)
+	}
+	out := s.String()
+	for _, want := range []string{"Nodes: 6", "MaxInDegree: 5", "Leaf=4", "Top hubs:", "Hub"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(New("e"))
+	if s.Nodes != 0 || s.AvgDegree != 0 || len(s.TopByDegree) != 0 {
+		t.Error("empty stats wrong")
+	}
+}

@@ -1,0 +1,355 @@
+// Package graph implements an in-memory property-graph store: multi-label
+// nodes and edges carrying typed key/value properties, with label and
+// property indexes, schema extraction and basic statistics.
+//
+// The model follows the property-graph definition used by the paper
+// (Bonifati et al., "Querying Graphs"): both nodes and edges may have
+// multiple labels, and both carry properties.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types a property Value can hold.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindList
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed property value. The zero Value is null.
+// Values are immutable by convention: callers must not mutate the list
+// returned by List().
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	l    []Value
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewList returns a list value wrapping vs. The slice is retained.
+func NewList(vs ...Value) Value { return Value{kind: KindList, l: vs} }
+
+// Of converts a native Go value into a Value. Supported inputs: nil, bool,
+// all int/uint widths, float32/64, string, []Value, and slices of the
+// former. Unsupported inputs yield null.
+func Of(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null
+	case Value:
+		return x
+	case bool:
+		return NewBool(x)
+	case int:
+		return NewInt(int64(x))
+	case int8:
+		return NewInt(int64(x))
+	case int16:
+		return NewInt(int64(x))
+	case int32:
+		return NewInt(int64(x))
+	case int64:
+		return NewInt(x)
+	case uint:
+		return NewInt(int64(x))
+	case uint8:
+		return NewInt(int64(x))
+	case uint16:
+		return NewInt(int64(x))
+	case uint32:
+		return NewInt(int64(x))
+	case uint64:
+		return NewInt(int64(x))
+	case float32:
+		return NewFloat(float64(x))
+	case float64:
+		return NewFloat(x)
+	case string:
+		return NewString(x)
+	case []Value:
+		return NewList(x...)
+	case []string:
+		out := make([]Value, len(x))
+		for i, s := range x {
+			out[i] = NewString(s)
+		}
+		return NewList(out...)
+	case []int:
+		out := make([]Value, len(x))
+		for i, n := range x {
+			out[i] = NewInt(int64(n))
+		}
+		return NewList(out...)
+	case []any:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = Of(e)
+		}
+		return NewList(out...)
+	default:
+		return Null
+	}
+}
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; valid only when Kind is KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// Int returns the integer payload; valid only when Kind is KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; valid only when Kind is KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the string payload; valid only when Kind is KindString.
+func (v Value) Str() string { return v.s }
+
+// List returns the list payload; valid only when Kind is KindList.
+func (v Value) List() []Value { return v.l }
+
+// AsFloat returns the numeric payload widened to float64 and whether the
+// value is numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value is the boolean true. Non-boolean values
+// are never truthy (Cypher boolean semantics reject them at type level; we
+// coerce to false).
+func (v Value) Truthy() bool { return v.kind == KindBool && v.b }
+
+// Equal reports strict equality between two values. Numeric values compare
+// across int/float. Null equals nothing, not even null (SQL/Cypher
+// three-valued logic collapses to false here; use IsNull for null checks).
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	if fa, ok := v.AsFloat(); ok {
+		if fb, okb := o.AsFloat(); okb {
+			return fa == fb
+		}
+		return false
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBool:
+		return v.b == o.b
+	case KindString:
+		return v.s == o.s
+	case KindList:
+		if len(v.l) != len(o.l) {
+			return false
+		}
+		for i := range v.l {
+			if v.l[i].IsNull() && o.l[i].IsNull() {
+				continue
+			}
+			if !v.l[i].Equal(o.l[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. It returns <0, 0, >0 like strings.Compare and
+// ok=false when the pair is incomparable (mixed non-numeric kinds or any
+// null).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindNull || o.kind == KindNull {
+		return 0, false
+	}
+	if fa, ok := v.AsFloat(); ok {
+		if fb, okb := o.AsFloat(); okb {
+			switch {
+			case fa < fb:
+				return -1, true
+			case fa > fb:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		return 0, false
+	}
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s), true
+	case KindBool:
+		a, b := 0, 0
+		if v.b {
+			a = 1
+		}
+		if o.b {
+			b = 1
+		}
+		return a - b, true
+	default:
+		return 0, false
+	}
+}
+
+// SortKey returns a total-order key usable for deterministic ordering of
+// heterogeneous values (nulls last, then bools, numbers, strings, lists).
+func (v Value) SortKey() string {
+	switch v.kind {
+	case KindNull:
+		return "\xff"
+	case KindBool:
+		if v.b {
+			return "0:1"
+		}
+		return "0:0"
+	case KindInt, KindFloat:
+		f, _ := v.AsFloat()
+		// Encode so lexicographic order matches numeric order.
+		bits := math.Float64bits(f)
+		if f >= 0 {
+			bits |= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return fmt.Sprintf("1:%016x", bits)
+	case KindString:
+		return "2:" + v.s
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.SortKey()
+		}
+		return "3:" + strings.Join(parts, "\x00")
+	default:
+		return "9"
+	}
+}
+
+// Hashable returns a canonical string key for grouping/distinct semantics.
+// Unlike Equal, two nulls share the same hashable key (Cypher grouping
+// treats nulls as one group).
+func (v Value) Hashable() string { return v.SortKey() }
+
+// String renders the value in a Cypher-literal-like form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return "?"
+	}
+}
+
+// Display renders the value for human output: strings unquoted, everything
+// else as String.
+func (v Value) Display() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Props is a property map from key to value.
+type Props map[string]Value
+
+// Clone returns a shallow copy of the property map.
+func (p Props) Clone() Props {
+	if p == nil {
+		return nil
+	}
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns the sorted property keys.
+func (p Props) Keys() []string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

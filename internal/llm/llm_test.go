@@ -1,0 +1,324 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/rules"
+	"github.com/graphrules/graphrules/internal/textenc"
+)
+
+// encodeFixture builds a small social graph and returns its incident text.
+func encodeFixture() (*graph.Graph, string) {
+	g := graph.New("fix")
+	var users, tweets []*graph.Node
+	for i := 0; i < 12; i++ {
+		users = append(users, g.AddNode([]string{"User"}, graph.Props{
+			"id":   graph.NewInt(int64(i)),
+			"name": graph.NewString([]string{"ann", "bob", "cat", "dan"}[i%4] + string(rune('0'+i))),
+		}))
+	}
+	for i := 0; i < 10; i++ {
+		tweets = append(tweets, g.AddNode([]string{"Tweet"}, graph.Props{
+			"id":        graph.NewInt(int64(100 + i)),
+			"createdAt": graph.NewInt(int64(1000 + i)),
+		}))
+		g.MustAddEdge(users[i%12].ID, tweets[i].ID, []string{"POSTS"}, nil)
+	}
+	for i := 0; i < 6; i++ {
+		g.MustAddEdge(users[i].ID, users[(i+1)%12].ID, []string{"FOLLOWS"}, nil)
+	}
+	g.MustAddEdge(tweets[5].ID, tweets[2].ID, []string{"RETWEETS"}, nil)
+	g.MustAddEdge(tweets[7].ID, tweets[1].ID, []string{"RETWEETS"}, nil)
+	return g, textenc.IncidentEncoder{}.Encode(g).Text()
+}
+
+func TestObserveReconstructsSchema(t *testing.T) {
+	_, text := encodeFixture()
+	o := observe(text)
+	if o.labels["User"] == nil || o.labels["User"].count != 12 {
+		t.Fatalf("User count = %+v", o.labels["User"])
+	}
+	if o.labels["Tweet"].count != 10 {
+		t.Errorf("Tweet count = %d", o.labels["Tweet"].count)
+	}
+	up := o.labels["User"].props
+	if up["id"].count != 12 || up["name"].count != 12 {
+		t.Errorf("User prop counts: %+v", up)
+	}
+	if k, ok := up["id"].onlyKind(); !ok || k != graph.KindInt {
+		t.Error("id kind should be int")
+	}
+	posts := o.edgeTypes["POSTS"]
+	if posts == nil || posts.count != 10 {
+		t.Fatalf("POSTS = %+v", posts)
+	}
+	if posts.resolved != 10 || posts.fromLabel["User"] != 10 || posts.toLabel["Tweet"] != 10 {
+		t.Errorf("POSTS endpoints unresolved: %+v", posts)
+	}
+	// Every tweet has an incoming POSTS.
+	if o.labels["Tweet"].incomingBy["POSTS"] != 10 {
+		t.Errorf("incomingBy POSTS = %d", o.labels["Tweet"].incomingBy["POSTS"])
+	}
+}
+
+func TestObservePartialWindow(t *testing.T) {
+	_, text := encodeFixture()
+	toks := textenc.Tokenize(text)
+	half := strings.Join(toks[:len(toks)/3], " ")
+	o := observe(half)
+	full := observe(text)
+	if o.labels["User"] == nil {
+		t.Skip("window too small to contain users")
+	}
+	if o.labels["User"].count >= full.labels["User"].count {
+		t.Error("partial window should see fewer users")
+	}
+}
+
+func TestObserveEmptyAndGarbage(t *testing.T) {
+	o := observe("")
+	if len(o.labels) != 0 || len(o.edgeTypes) != 0 {
+		t.Error("empty text should observe nothing")
+	}
+	o = observe("The quick brown fox. Node banana! ( : )")
+	if len(o.labels) != 0 {
+		t.Error("garbage should observe nothing")
+	}
+}
+
+func TestProposeFindsCoreRules(t *testing.T) {
+	_, text := encodeFixture()
+	o := observe(text)
+	cands := propose(o, Mixtral().Base)
+	keys := map[string]bool{}
+	for _, c := range cands {
+		keys[c.rule.DedupKey()] = true
+	}
+	for _, want := range []string{
+		"required:false:User.id",
+		"unique:User.id",
+		"endpoints:POSTS:User->Tweet",
+		"noselfloop:FOLLOWS",
+		"temporal:RETWEETS:createdAt",
+		"mandatory:Tweet:in:POSTS:User",
+	} {
+		if !keys[want] {
+			t.Errorf("missing expected candidate %s (have %v)", want, keys)
+		}
+	}
+}
+
+func TestProposeRespectsThresholds(t *testing.T) {
+	_, text := encodeFixture()
+	o := observe(text)
+	strict := Mixtral().Base
+	strict.minEvidence = 1000
+	if got := propose(o, strict); len(got) != 0 {
+		t.Errorf("impossible evidence threshold should yield nothing, got %d", len(got))
+	}
+}
+
+func TestSimModelRuleGeneration(t *testing.T) {
+	_, text := encodeFixture()
+	m := NewSim(LLaMA3(), 7)
+	resp, err := m.Complete(prompt.RuleGeneration(prompt.ZeroShot, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := ParseRuleLines(resp.Text)
+	if len(lines) == 0 || len(lines) > LLaMA3().MaxRules {
+		t.Fatalf("rule lines = %d", len(lines))
+	}
+	for _, nl := range lines {
+		if _, ok := rules.ParseNL(nl); !ok {
+			t.Errorf("model emitted unparseable rule: %q", nl)
+		}
+	}
+	if resp.SimSeconds <= 0 || resp.PromptTokens == 0 || resp.OutputTokens == 0 {
+		t.Error("response accounting missing")
+	}
+	// Determinism.
+	resp2, _ := m.Complete(prompt.RuleGeneration(prompt.ZeroShot, text))
+	if resp2.Text != resp.Text {
+		t.Error("same prompt must yield identical completion")
+	}
+}
+
+func TestFewShotFewerRules(t *testing.T) {
+	_, text := encodeFixture()
+	m := NewSim(Mixtral(), 3)
+	zero, _ := m.Complete(prompt.RuleGeneration(prompt.ZeroShot, text))
+	few, _ := m.Complete(prompt.RuleGeneration(prompt.FewShot, text))
+	if len(ParseRuleLines(few.Text)) > len(ParseRuleLines(zero.Text)) {
+		t.Errorf("few-shot should not emit more rules: zero=%d few=%d",
+			len(ParseRuleLines(zero.Text)), len(ParseRuleLines(few.Text)))
+	}
+}
+
+func TestModelProfilesDiffer(t *testing.T) {
+	_, text := encodeFixture()
+	p := prompt.RuleGeneration(prompt.ZeroShot, text)
+	la, _ := NewSim(LLaMA3(), 1).Complete(p)
+	mx, _ := NewSim(Mixtral(), 1).Complete(p)
+	complexCount := func(text string) int {
+		n := 0
+		for _, nl := range ParseRuleLines(text) {
+			if r, ok := rules.ParseNL(nl); ok && r.Complexity() == rules.Complex {
+				n++
+			}
+		}
+		return n
+	}
+	if complexCount(mx.Text) <= complexCount(la.Text)-1 {
+		t.Errorf("mixtral should lean complex: llama=%d mixtral=%d",
+			complexCount(la.Text), complexCount(mx.Text))
+	}
+}
+
+func TestSimModelTranslation(t *testing.T) {
+	m := NewSim(LLaMA3(), 7)
+	nl := "Each User node should have a id property."
+	resp, err := m.Complete(prompt.CypherTranslation(nl, "schema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ok := ParseQuerySet(resp.Text)
+	if !ok {
+		t.Fatalf("unparseable translation: %q", resp.Text)
+	}
+	if !strings.Contains(qs.Support, "MATCH") || !strings.Contains(qs.Body, "count(*)") {
+		t.Errorf("queries look wrong: %+v", qs)
+	}
+}
+
+func TestTranslationUnknownRule(t *testing.T) {
+	m := NewSim(LLaMA3(), 7)
+	resp, err := m.Complete(prompt.CypherTranslation("gibberish sentence.", "schema"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ParseQuerySet(resp.Text); ok {
+		t.Error("unknown rule should not yield a query set")
+	}
+}
+
+func TestCompleteRejectsForeignPrompt(t *testing.T) {
+	m := NewSim(LLaMA3(), 7)
+	if _, err := m.Complete("what is the weather?"); err == nil {
+		t.Error("foreign prompt should error")
+	}
+}
+
+func TestTranslationErrorInjectionRates(t *testing.T) {
+	// Across many distinct rules, the Mixtral profile must inject both
+	// error classes at roughly its configured rates.
+	m := NewSim(Mixtral(), 99)
+	syntax, direction, total := 0, 0, 0
+	for _, typ := range []string{"POSTS", "FOLLOWS", "TAGS", "MENTIONS", "LIKES", "OWNS", "LINKS", "USES"} {
+		for _, label := range []string{"User", "Tweet", "Match", "Team", "Squad", "Person", "Hashtag", "Link"} {
+			nl := (&rules.EdgeEndpoints{EdgeType: typ, FromLabel: label, ToLabel: "Tweet"}).NL()
+			resp, err := m.Complete(prompt.CypherTranslation(nl, "schema"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, ok := ParseQuerySet(resp.Text)
+			if !ok {
+				t.Fatalf("translation failed for %q", nl)
+			}
+			total++
+			if strings.Contains(qs.Support, "RETRUN") || !strings.HasSuffix(qs.Support, ")") && strings.Count(qs.Support, "(") != strings.Count(qs.Support, ")") {
+				syntax++
+			}
+			if strings.Contains(qs.Support, "<-[") {
+				direction++
+			}
+		}
+	}
+	if syntax == 0 {
+		t.Error("no syntax errors injected across 64 rules")
+	}
+	if direction == 0 {
+		t.Error("no direction errors injected across 64 rules")
+	}
+	if syntax+direction > total/2 {
+		t.Errorf("error injection too aggressive: %d+%d of %d", syntax, direction, total)
+	}
+}
+
+func TestFlipFirstArrow(t *testing.T) {
+	cases := map[string]string{
+		`MATCH (a:User)-[r:POSTS]->(b:Tweet) RETURN count(*) AS n`: `MATCH (a:User)<-[r:POSTS]-(b:Tweet) RETURN count(*) AS n`,
+		`MATCH (a:User)<-[r:POSTS]-(b:Tweet) RETURN count(*) AS n`: `MATCH (a:User)-[r:POSTS]->(b:Tweet) RETURN count(*) AS n`,
+		`MATCH (x) RETURN count(*) AS n`:                           `MATCH (x) RETURN count(*) AS n`,
+	}
+	for in, want := range cases {
+		if got := FlipFirstArrow(in); got != want {
+			t.Errorf("FlipFirstArrow(%q)\n got %q\nwant %q", in, got, want)
+		}
+	}
+	// Flipped queries must still parse.
+	flipped := FlipFirstArrow(`MATCH (x:Tweet) WHERE (x)<-[:POSTS]-(:User) RETURN count(*) AS n`)
+	if !strings.Contains(flipped, "]->") {
+		t.Errorf("pattern predicate flip failed: %s", flipped)
+	}
+}
+
+func TestHallucinateChangesKey(t *testing.T) {
+	m := NewSim(Mixtral(), 1)
+	rng := m.rng("x")
+	r := &rules.RequiredProperty{Label: "User", Key: "id"}
+	h := hallucinate(r, rng)
+	if h == nil {
+		t.Fatal("hallucinate should handle RequiredProperty")
+	}
+	hr := h.(*rules.RequiredProperty)
+	if hr.Key == "id" || hr.Label != "User" {
+		t.Errorf("hallucinated rule wrong: %+v", hr)
+	}
+	if hallucinate(&rules.NoSelfLoop{EdgeType: "X"}, rng) != nil {
+		t.Error("NoSelfLoop has no property to hallucinate")
+	}
+}
+
+func TestParseRuleLines(t *testing.T) {
+	text := "preamble\nRULE: A.\n  RULE: B.\nnot a rule\nRULE:missing space\n"
+	got := ParseRuleLines(text)
+	if len(got) != 2 || got[0] != "A." || got[1] != "B." {
+		t.Errorf("ParseRuleLines = %v", got)
+	}
+}
+
+func TestParseQuerySetIncomplete(t *testing.T) {
+	if _, ok := ParseQuerySet("SUPPORT: MATCH (n) RETURN count(*) AS n\n"); ok {
+		t.Error("incomplete set should fail")
+	}
+}
+
+func TestRuleGenHonorsExclusions(t *testing.T) {
+	_, text := encodeFixture()
+	m := NewSim(LLaMA3(), 7)
+	base, _ := m.Complete(prompt.RuleGeneration(prompt.ZeroShot, text))
+	lines := ParseRuleLines(base.Text)
+	if len(lines) < 2 {
+		t.Skip("not enough rules to exclude")
+	}
+	resp, err := m.Complete(prompt.RuleGenerationWithExclusions(prompt.ZeroShot, text, lines[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nl := range ParseRuleLines(resp.Text) {
+		if nl == lines[0] || nl == lines[1] {
+			t.Errorf("excluded rule re-proposed: %q", nl)
+		}
+	}
+}
+
+func TestRuleBudget(t *testing.T) {
+	m := NewSim(LLaMA3(), 1)
+	if m.RuleBudget(false) != LLaMA3().MaxRules || m.RuleBudget(true) != LLaMA3().MaxRulesFewShot {
+		t.Error("RuleBudget wrong")
+	}
+}

@@ -1,0 +1,322 @@
+// Package llm provides the language-model layer of the pipeline. Because
+// the study's LLaMA-3 and Mixtral checkpoints cannot run in this offline
+// environment, the package implements deterministic *simulated* models with
+// per-model behavioural profiles (see DESIGN.md, "Substitutions").
+//
+// The simulation boundary is honest: a SimModel sees only the prompt
+// string. For rule generation it re-parses the encoded graph text found in
+// the prompt (observe.go) and proposes rules from that partial view
+// (propose.go); for Cypher translation it renders the rule's queries and
+// injects the paper's three §4.4 error classes at profile-calibrated rates
+// (translate.go). Everything is reproducible from the model seed.
+package llm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/rules"
+	"github.com/graphrules/graphrules/internal/textenc"
+)
+
+// Response is one completion.
+type Response struct {
+	Text         string
+	PromptTokens int
+	OutputTokens int
+	// SimSeconds is the simulated inference latency under the profile's
+	// token-throughput cost model. Wall-clock time of the simulation itself
+	// is unrelated (and far smaller).
+	SimSeconds float64
+}
+
+// Model is a language model: prompt in, completion out.
+type Model interface {
+	Name() string
+	Complete(promptText string) (Response, error)
+}
+
+// thresholds govern the proposal engine's evidence requirements.
+type thresholds struct {
+	minEvidence        int
+	requiredThreshold  float64
+	uniqueThreshold    float64
+	endpointThreshold  float64
+	mandatoryThreshold float64
+	complexSearch      bool
+}
+
+// Profile is a simulated model's behavioural calibration.
+type Profile struct {
+	Name string
+
+	// Rule selection.
+	MaxRules         int // per call, zero-shot
+	MaxRulesFewShot  int
+	SimpleWeight     float64
+	StructuralWeight float64
+	ComplexWeight    float64
+	// HallucinationRate is the chance a selected rule's property is
+	// replaced by an invented one (rule-level hallucination, §4.4).
+	HallucinationRate float64
+
+	// Cypher translation error rates (§4.4's first and third categories).
+	DirectionErrRate float64
+	SyntaxErrRate    float64
+
+	// Cost model (tokens per simulated second) and fixed per-call overhead.
+	PromptSpeed  float64
+	GenSpeed     float64
+	CallOverhead float64
+
+	Base thresholds
+}
+
+// LLaMA3 returns the LLaMA-3 profile: prefers simple schema rules (high
+// support/coverage/confidence), hallucinates rarely, translates accurately.
+func LLaMA3() Profile {
+	return Profile{
+		Name:              "Llama-3",
+		MaxRules:          12,
+		MaxRulesFewShot:   8,
+		SimpleWeight:      1.3,
+		StructuralWeight:  1.0,
+		ComplexWeight:     0.25,
+		HallucinationRate: 0.04,
+		DirectionErrRate:  0.07,
+		SyntaxErrRate:     0.07,
+		PromptSpeed:       6000,
+		GenSpeed:          200,
+		CallOverhead:      0.3,
+		Base: thresholds{
+			minEvidence:        2,
+			requiredThreshold:  0.93,
+			uniqueThreshold:    0.98,
+			endpointThreshold:  0.9,
+			mandatoryThreshold: 0.92,
+			complexSearch:      false,
+		},
+	}
+}
+
+// Mixtral returns the Mixtral profile: fewer but riskier rules, including
+// complex multi-hop and temporal patterns; more translation errors.
+func Mixtral() Profile {
+	return Profile{
+		Name:              "Mixtral",
+		MaxRules:          10,
+		MaxRulesFewShot:   8,
+		SimpleWeight:      0.85,
+		StructuralWeight:  1.0,
+		ComplexWeight:     1.8,
+		HallucinationRate: 0.10,
+		DirectionErrRate:  0.11,
+		SyntaxErrRate:     0.09,
+		PromptSpeed:       6400,
+		GenSpeed:          210,
+		CallOverhead:      0.3,
+		Base: thresholds{
+			minEvidence:        2,
+			requiredThreshold:  0.82,
+			uniqueThreshold:    0.9,
+			endpointThreshold:  0.8,
+			mandatoryThreshold: 0.8,
+			complexSearch:      true,
+		},
+	}
+}
+
+// sparseContextTokens is the graph-text size below which hallucination
+// intensifies (see completeRuleGen).
+const sparseContextTokens = 4000
+
+// Profiles returns the two paper models in table order.
+func Profiles() []Profile { return []Profile{LLaMA3(), Mixtral()} }
+
+// SimModel is a deterministic simulated LLM.
+type SimModel struct {
+	profile Profile
+	seed    int64
+}
+
+// NewSim returns a simulated model for the profile; seed drives all its
+// sampling.
+func NewSim(profile Profile, seed int64) *SimModel {
+	return &SimModel{profile: profile, seed: seed}
+}
+
+// Name implements Model.
+func (m *SimModel) Name() string { return m.profile.Name }
+
+// Profile returns the model's calibration.
+func (m *SimModel) Profile() Profile { return m.profile }
+
+// RuleBudget reports how many merged rules a full mining run should keep
+// for this model, mirroring the per-configuration rule counts the paper's
+// tables show (fewer, more precise rules under few-shot prompting).
+func (m *SimModel) RuleBudget(fewShot bool) int {
+	if fewShot {
+		return m.profile.MaxRulesFewShot
+	}
+	return m.profile.MaxRules
+}
+
+// rng derives a deterministic generator from the model seed and a context
+// string (typically the prompt), so identical prompts always sample
+// identically.
+func (m *SimModel) rng(context string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", m.profile.Name, m.seed)
+	h.Write([]byte(context))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Complete implements Model. It dispatches on the prompt template.
+func (m *SimModel) Complete(promptText string) (Response, error) {
+	switch {
+	case prompt.IsRuleGeneration(promptText):
+		return m.completeRuleGen(promptText), nil
+	case prompt.IsTranslation(promptText):
+		return m.completeTranslation(promptText), nil
+	default:
+		return Response{}, fmt.Errorf("llm: %s: prompt does not match a known pipeline template", m.profile.Name)
+	}
+}
+
+func (m *SimModel) completeRuleGen(promptText string) Response {
+	graphText := prompt.ExtractGraphText(promptText)
+	o := observe(graphText)
+	fewShot := prompt.IsFewShot(promptText)
+	rng := m.rng(promptText)
+
+	// Sparse graph context invites confabulation: with little evidence in
+	// front of it, the model fills gaps from its priors. This is the §4.5
+	// failure mode of RAG runs, whose retrieved context is far smaller
+	// than a full sliding window.
+	hallucinationRate := m.profile.HallucinationRate
+	if textenc.CountTokens(graphText) < sparseContextTokens {
+		hallucinationRate *= 1.5
+	}
+
+	th := m.profile.Base
+	maxRules := m.profile.MaxRules
+	simpleW := m.profile.SimpleWeight
+	if fewShot {
+		// Worked examples anchor the model on precise schema rules: higher
+		// evidence bars, fewer rules, a stronger pull toward the
+		// exemplified (simple) kinds.
+		th.requiredThreshold = minF(th.requiredThreshold+0.05, 0.99)
+		th.uniqueThreshold = minF(th.uniqueThreshold+0.04, 0.995)
+		th.endpointThreshold = minF(th.endpointThreshold+0.05, 0.98)
+		th.mandatoryThreshold = minF(th.mandatoryThreshold+0.05, 0.98)
+		maxRules = m.profile.MaxRulesFewShot
+		simpleW *= 1.25
+	}
+
+	cands := propose(o, th)
+
+	// Honor interactive-refinement exclusions: the prompt may carry rules a
+	// domain expert rejected (§5 future work); an instruction-following
+	// model does not propose them again.
+	if rejected := prompt.ExtractExclusions(promptText); len(rejected) > 0 {
+		excluded := map[string]bool{}
+		for _, nl := range rejected {
+			if r, ok := rules.ParseNL(nl); ok {
+				excluded[r.DedupKey()] = true
+			}
+		}
+		kept := cands[:0]
+		for _, c := range cands {
+			if !excluded[c.rule.DedupKey()] {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+
+	// Weight by complexity preference with a small deterministic jitter so
+	// different windows don't emit byte-identical rankings.
+	type scored struct {
+		c candidate
+		w float64
+	}
+	best := map[string]scored{}
+	for _, c := range cands {
+		w := c.score
+		switch c.rule.Complexity() {
+		case rules.Simple:
+			w *= simpleW
+		case rules.Structural:
+			w *= m.profile.StructuralWeight
+		case rules.Complex:
+			w *= m.profile.ComplexWeight
+		}
+		w *= 1 + 0.08*(rng.Float64()-0.5)
+		key := c.rule.DedupKey()
+		if prev, ok := best[key]; !ok || w > prev.w {
+			best[key] = scored{c: c, w: w}
+		}
+	}
+	ranked := make([]scored, 0, len(best))
+	for _, s := range best {
+		ranked = append(ranked, s)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].w != ranked[j].w {
+			return ranked[i].w > ranked[j].w
+		}
+		return ranked[i].c.rule.DedupKey() < ranked[j].c.rule.DedupKey()
+	})
+	if len(ranked) > maxRules {
+		ranked = ranked[:maxRules]
+	}
+
+	selected := make([]rules.Rule, 0, len(ranked))
+	for _, s := range ranked {
+		r := s.c.rule
+		// Hallucination is a systematic blind spot: the decision is seeded
+		// by the rule's identity, so every window that proposes the same
+		// rule corrupts it the same way (and the corrupted rule survives
+		// the pipeline's frequency-based merge, as in §4.4).
+		hrng := m.rng("halluc|" + r.DedupKey())
+		if hrng.Float64() < hallucinationRate {
+			if h := hallucinate(r, hrng); h != nil {
+				r = h
+			}
+		}
+		selected = append(selected, r)
+	}
+
+	text := renderRules(selected)
+	return m.respond(promptText, text)
+}
+
+func (m *SimModel) respond(promptText, output string) Response {
+	pt := textenc.CountTokens(promptText)
+	ot := textenc.CountTokens(output)
+	return Response{
+		Text:         output,
+		PromptTokens: pt,
+		OutputTokens: ot,
+		SimSeconds: float64(pt)/m.profile.PromptSpeed +
+			float64(ot)/m.profile.GenSpeed +
+			m.profile.CallOverhead,
+	}
+}
+
+// ParseRuleLines extracts the "RULE: ..." statements from a model's
+// rule-generation answer.
+func ParseRuleLines(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "RULE: "); ok {
+			out = append(out, strings.TrimSpace(rest))
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package llm
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/textenc"
+)
+
+// TestObserveAdjacencyEncoding checks the sim can reconstruct schema from
+// the adjacency encoder's output (node lines up front, edge lines after).
+func TestObserveAdjacencyEncoding(t *testing.T) {
+	g, _ := encodeFixture()
+	text := textenc.AdjacencyEncoder{}.Encode(g).Text()
+	o := observe(text)
+	if o.labels["User"] == nil || o.labels["User"].count != 12 {
+		t.Fatalf("User count = %+v", o.labels["User"])
+	}
+	posts := o.edgeTypes["POSTS"]
+	if posts == nil || posts.count != 10 {
+		t.Fatalf("POSTS = %+v", posts)
+	}
+	if posts.resolved != 10 {
+		t.Errorf("adjacency endpoints should resolve via inline labels: %+v", posts)
+	}
+	if posts.fromLabel["User"] != 10 || posts.toLabel["Tweet"] != 10 {
+		t.Error("endpoint histograms wrong")
+	}
+}
+
+// TestObserveTripletEncoding checks the best-effort triplet support: node
+// descriptions are recovered even though edge endpoints are partial.
+func TestObserveTripletEncoding(t *testing.T) {
+	g, _ := encodeFixture()
+	text := textenc.TripletEncoder{}.Encode(g).Text()
+	o := observe(text)
+	if o.labels["User"] == nil {
+		t.Fatal("triplet nodes not observed")
+	}
+	if o.edgeTypes["POSTS"] == nil {
+		t.Error("triplet edge types not observed")
+	}
+}
+
+// TestEncoderAblationShape: the incident encoder must let the model mine at
+// least as many well-formed rules as the triplet encoder (the ablation A1
+// claim).
+func TestEncoderAblationShape(t *testing.T) {
+	g, _ := encodeFixture()
+	m := NewSim(LLaMA3(), 5)
+	count := func(enc textenc.Encoder) int {
+		text := enc.Encode(g).Text()
+		resp, err := m.Complete(promptFor(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ParseRuleLines(resp.Text))
+	}
+	incident := count(textenc.IncidentEncoder{})
+	triplet := count(textenc.TripletEncoder{})
+	if incident < triplet {
+		t.Errorf("incident (%d rules) should match or beat triplet (%d)", incident, triplet)
+	}
+	if incident == 0 {
+		t.Error("incident encoding mined nothing")
+	}
+}
+
+// TestObserveValueKinds checks typed property reconstruction across kinds.
+func TestObserveValueKinds(t *testing.T) {
+	g := graph.New("vk")
+	g.AddNode([]string{"N"}, graph.Props{
+		"b": graph.NewBool(true),
+		"i": graph.NewInt(1),
+		"f": graph.NewFloat(1.5),
+		"s": graph.NewString("x y"),
+		"l": graph.NewList(graph.NewInt(1), graph.NewString("a")),
+	})
+	g.AddNode([]string{"N"}, graph.Props{
+		"b": graph.NewBool(false),
+		"i": graph.NewInt(2),
+		"f": graph.NewFloat(2.5),
+		"s": graph.NewString("z"),
+	})
+	text := textenc.IncidentEncoder{}.Encode(g).Text()
+	o := observe(text)
+	props := o.labels["N"].props
+	wantKinds := map[string]graph.Kind{
+		"b": graph.KindBool, "i": graph.KindInt, "f": graph.KindFloat,
+		"s": graph.KindString, "l": graph.KindList,
+	}
+	for key, want := range wantKinds {
+		po := props[key]
+		if po == nil {
+			t.Errorf("prop %q not observed", key)
+			continue
+		}
+		if k, ok := po.onlyKind(); !ok || k != want {
+			t.Errorf("prop %q kind = %v, want %v", key, k, want)
+		}
+	}
+	if props["s"].count != 2 || len(props["s"].distinct) != 2 {
+		t.Errorf("string prop stats wrong: %+v", props["s"])
+	}
+}
+
+func promptFor(graphText string) string {
+	return "generate consistency rules\n\nProperty graph:\n" + graphText
+}

@@ -1,0 +1,357 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// candidate is one rule proposal with its evidence score in [0, 1].
+type candidate struct {
+	rule  rules.Rule
+	score float64
+}
+
+// Format heuristics the proposal engine recognizes in string samples.
+var (
+	domainFormatRe = regexp.MustCompile(`^([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}$`)
+	dateFormatRe   = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+	urlFormatRe    = regexp.MustCompile(`^https?://[^\s]+$`)
+)
+
+// Patterns (as emitted in rules) for the corresponding ValueFormat rules.
+const (
+	domainPattern = `([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}`
+	datePattern   = `\d{4}-\d{2}-\d{2}`
+	urlPattern    = `https?://.+`
+)
+
+// timeishKeys are property names treated as event timestamps for temporal
+// rules.
+var timeishKeys = map[string]bool{
+	"createdAt": true, "created_at": true, "timestamp": true, "date": true,
+	"at": true, "time": true, "pwdlastset": true,
+}
+
+// propose generates rule candidates from an observed window schema. All
+// thresholds come from the model profile (possibly adjusted for few-shot).
+func propose(o *observed, p thresholds) []candidate {
+	var cands []candidate
+	add := func(r rules.Rule, score float64) {
+		cands = append(cands, candidate{rule: r, score: score})
+	}
+
+	labelNames := make([]string, 0, len(o.labels))
+	for l := range o.labels {
+		labelNames = append(labelNames, l)
+	}
+	sort.Strings(labelNames)
+
+	for _, label := range labelNames {
+		lo := o.labels[label]
+		if lo.count < p.minEvidence {
+			continue
+		}
+		keys := make([]string, 0, len(lo.props))
+		for k := range lo.props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			po := lo.props[key]
+			presence := float64(po.count) / float64(lo.count)
+			if presence >= p.requiredThreshold {
+				add(&rules.RequiredProperty{Label: label, Key: key}, presence)
+			}
+			distinctRatio := float64(len(po.distinct)) / float64(po.count)
+			// Uniqueness needs more evidence than presence: a handful of
+			// coincidentally distinct values at a window boundary is not a
+			// key.
+			if po.count >= 4*p.minEvidence && distinctRatio >= p.uniqueThreshold {
+				score := distinctRatio
+				if strings.EqualFold(key, "id") || strings.HasSuffix(key, "_id") {
+					score += 0.15
+				}
+				add(&rules.UniqueProperty{Label: label, Key: key}, score)
+			}
+			if kind, ok := po.onlyKind(); ok && po.count >= p.minEvidence {
+				if kind == graph.KindBool {
+					add(&rules.ValueDomain{Label: label, Key: key,
+						Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}}, 0.9)
+					add(&rules.PropertyType{Label: label, Key: key, PropKind: graph.KindBool}, 0.55)
+				}
+				if kind == graph.KindString {
+					if pat, score := formatOf(po); pat != "" {
+						add(&rules.ValueFormat{Label: label, Key: key, Pattern: pat}, score)
+					}
+					// Small enumerations: few distinct values over many
+					// observations.
+					if len(po.distinct) > 1 && len(po.distinct) <= 6 && po.count >= 3*len(po.distinct) &&
+						len(po.samples) == len(po.distinct) {
+						allowed := make([]graph.Value, len(po.samples))
+						copy(allowed, po.samples)
+						sort.Slice(allowed, func(i, j int) bool { return allowed[i].SortKey() < allowed[j].SortKey() })
+						add(&rules.ValueDomain{Label: label, Key: key, Allowed: allowed}, 0.62)
+					}
+				}
+				if kind == graph.KindInt && po.count >= p.minEvidence {
+					add(&rules.PropertyType{Label: label, Key: key, PropKind: graph.KindInt}, 0.5)
+				}
+			}
+		}
+	}
+
+	typeNames := make([]string, 0, len(o.edgeTypes))
+	for t := range o.edgeTypes {
+		typeNames = append(typeNames, t)
+	}
+	sort.Strings(typeNames)
+
+	for _, typ := range typeNames {
+		eo := o.edgeTypes[typ]
+		if eo.resolved < p.minEvidence {
+			continue
+		}
+		fromLabel, fromPurity := dominant(eo.fromLabel, eo.resolved)
+		toLabel, toPurity := dominant(eo.toLabel, eo.resolved)
+		if fromLabel != "" && toLabel != "" {
+			purity := minF(fromPurity, toPurity)
+			if purity >= p.endpointThreshold {
+				add(&rules.EdgeEndpoints{EdgeType: typ, FromLabel: fromLabel, ToLabel: toLabel}, purity)
+			}
+			// Mandatory incoming edge: most observed target-label nodes have
+			// an incoming edge of this type.
+			if lo := o.labels[toLabel]; lo != nil && lo.count >= p.minEvidence {
+				frac := float64(lo.incomingBy[typ]) / float64(lo.count)
+				if frac >= p.mandatoryThreshold {
+					add(&rules.MandatoryEdge{Label: toLabel, EdgeType: typ, Incoming: true, OtherLabel: fromLabel}, frac)
+				}
+			}
+			// Mandatory outgoing edge.
+			if lo := o.labels[fromLabel]; lo != nil && lo.count >= p.minEvidence {
+				frac := float64(lo.outgoingBy[typ]) / float64(lo.count)
+				if frac >= p.mandatoryThreshold {
+					add(&rules.MandatoryEdge{Label: fromLabel, EdgeType: typ, Incoming: false, OtherLabel: toLabel}, frac)
+				}
+			}
+			// Same-label relationships: self-loop prohibition and temporal
+			// ordering candidates.
+			if fromLabel == toLabel {
+				selfFrac := float64(eo.selfLoops) / float64(eo.resolved)
+				add(&rules.NoSelfLoop{EdgeType: typ}, 0.75-selfFrac)
+				if lo := o.labels[fromLabel]; lo != nil {
+					for key := range lo.props {
+						if timeishKeys[key] {
+							add(&rules.TemporalOrder{EdgeType: typ, FromLabel: fromLabel, ToLabel: toLabel, Key: key}, 0.72)
+						}
+					}
+				}
+			}
+			// Parallel-edge property uniqueness for edges with properties.
+			for key := range eo.props {
+				add(&rules.UniqueEdgeProp{EdgeType: typ, FromLabel: fromLabel, ToLabel: toLabel, Key: key}, 0.78)
+				// Edge property presence.
+				po := eo.props[key]
+				pres := float64(po.count) / float64(eo.count)
+				if pres >= p.requiredThreshold {
+					add(&rules.RequiredProperty{Label: typ, Key: key, OnEdge: true}, pres*0.9)
+				}
+			}
+		}
+	}
+
+	cands = append(cands, proposeAssociations(o, p)...)
+	return cands
+}
+
+// proposeAssociations searches the window for the multi-hop association
+// shape: (a:A)-[:E1]->(b:B)-[:E2]->(c:C) co-occurring with
+// (a)-[:E3]->(d:D)-[:E4]->(c). Expensive, so the search is capped.
+func proposeAssociations(o *observed, p thresholds) []candidate {
+	if !p.complexSearch {
+		return nil
+	}
+	// Index out-edges per node.
+	out := map[int64][]edgeLine{}
+	for _, el := range o.edgeLines {
+		if el.from >= 0 {
+			out[el.from] = append(out[el.from], el)
+		}
+	}
+	found := map[assocShape]int{}
+	budget := 200000
+	ids := make([]int64, 0, len(o.nodeLabels))
+	for id := range o.nodeLabels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	firstLabel := func(id int64) string {
+		ls := o.nodeLabels[id]
+		if len(ls) == 0 {
+			return ""
+		}
+		return ls[0]
+	}
+	for _, a := range ids {
+		for _, e1 := range out[a] {
+			for _, e2 := range out[e1.to] {
+				for _, e3 := range out[a] {
+					if e3.typ == e1.typ {
+						continue
+					}
+					for _, e4 := range out[e3.to] {
+						budget--
+						if budget <= 0 {
+							return shapesToCands(found, p)
+						}
+						if e4.to != e2.to || e4.typ == e2.typ {
+							continue
+						}
+						s := assocShape{
+							aL: firstLabel(a), e1: e1.typ, bL: firstLabel(e1.to), e2: e2.typ,
+							cL: firstLabel(e2.to), e3: e3.typ, dL: firstLabel(e3.to), e4: e4.typ,
+						}
+						if s.aL == "" || s.bL == "" || s.cL == "" || s.dL == "" {
+							continue
+						}
+						if s.bL == s.dL {
+							continue // degenerate: same intermediary label
+						}
+						found[s]++
+					}
+				}
+			}
+		}
+	}
+	return shapesToCands(found, p)
+}
+
+// assocShape is one labeled association shape found in a window.
+type assocShape struct {
+	aL, e1, bL, e2, cL, e3, dL, e4 string
+}
+
+// shapesToCands turns frequent association shapes into PathAssociation
+// candidates. Only shapes seen a few times in the window survive.
+func shapesToCands(found map[assocShape]int, p thresholds) []candidate {
+	shapes := make([]assocShape, 0, len(found))
+	for s := range found {
+		shapes = append(shapes, s)
+	}
+	sort.Slice(shapes, func(i, j int) bool {
+		if found[shapes[i]] != found[shapes[j]] {
+			return found[shapes[i]] > found[shapes[j]]
+		}
+		return fmt.Sprint(shapes[i]) < fmt.Sprint(shapes[j])
+	})
+	var cands []candidate
+	for _, s := range shapes {
+		if found[s] < p.minEvidence {
+			continue
+		}
+		cands = append(cands, candidate{
+			rule: &rules.PathAssociation{
+				ALabel: s.aL, E1: s.e1, BLabel: s.bL, E2: s.e2, CLabel: s.cL,
+				ReqE1: s.e3, ReqLabel: s.dL, ReqE2: s.e4,
+			},
+			score: 0.92,
+		})
+		if len(cands) >= 2 {
+			break // a window yields at most a couple of association rules
+		}
+	}
+	return cands
+}
+
+func dominant(hist map[string]int, total int) (string, float64) {
+	best, bestN := "", -1
+	for l, n := range hist {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	if total == 0 || best == "" {
+		return "", 0
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+func formatOf(po *propObs) (string, float64) {
+	if len(po.samples) < 2 {
+		return "", 0
+	}
+	match := func(re *regexp.Regexp) bool {
+		for _, v := range po.samples {
+			if v.Kind() != graph.KindString || !re.MatchString(v.Str()) {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case match(dateFormatRe):
+		return datePattern, 0.8
+	case match(urlFormatRe):
+		return urlPattern, 0.8
+	case match(domainFormatRe):
+		return domainPattern, 0.78
+	default:
+		return "", 0
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hallucinatedKeys is the pool of invented property names a hallucinating
+// model substitutes into a rule (mirroring the paper's score / minutes /
+// penaltyScore example).
+var hallucinatedKeys = []string{"score", "minutes", "penaltyScore", "status", "validFrom"}
+
+// hallucinate rewrites one proposed rule to reference a property that does
+// not exist, reproducing rule-level hallucination (§4.4). It returns nil
+// when the rule kind has no property to corrupt.
+func hallucinate(r rules.Rule, rng *rand.Rand) rules.Rule {
+	pick := func(current string) string {
+		for i := 0; i < len(hallucinatedKeys); i++ {
+			k := hallucinatedKeys[rng.Intn(len(hallucinatedKeys))]
+			if k != current {
+				return k
+			}
+		}
+		return hallucinatedKeys[0] + "X"
+	}
+	switch x := r.(type) {
+	case *rules.RequiredProperty:
+		return &rules.RequiredProperty{Label: x.Label, Key: pick(x.Key), OnEdge: x.OnEdge}
+	case *rules.UniqueProperty:
+		return &rules.UniqueProperty{Label: x.Label, Key: pick(x.Key)}
+	case *rules.TemporalOrder:
+		return &rules.TemporalOrder{EdgeType: x.EdgeType, FromLabel: x.FromLabel, ToLabel: x.ToLabel, Key: pick(x.Key)}
+	case *rules.UniqueEdgeProp:
+		return &rules.UniqueEdgeProp{EdgeType: x.EdgeType, FromLabel: x.FromLabel, ToLabel: x.ToLabel, Key: pick(x.Key)}
+	default:
+		return nil
+	}
+}
+
+// renderRules renders proposed rules as the model's textual answer.
+func renderRules(rs []rules.Rule) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "RULE: %s\n", r.NL())
+	}
+	if b.Len() == 0 {
+		b.WriteString("No consistency rules could be derived from this fragment.\n")
+	}
+	return b.String()
+}

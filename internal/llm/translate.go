@@ -1,0 +1,107 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// completeTranslation answers a step-2 prompt: it reconstructs the rule
+// from its natural-language statement, renders the three metric queries,
+// and injects the paper's §4.4 translation errors at profile rates —
+// direction flips and syntax mistakes (the `=` for `=~` confusion, a typoed
+// keyword). Hallucinated properties need no injection here: they enter at
+// rule-generation time and flow into the queries naturally.
+func (m *SimModel) completeTranslation(promptText string) Response {
+	ruleNL := prompt.ExtractRuleNL(promptText)
+	r, ok := rules.ParseNL(ruleNL)
+	if !ok {
+		return m.respond(promptText, "-- unable to translate the rule into Cypher\n")
+	}
+	qs := r.Queries()
+	rng := m.rng("translate|" + ruleNL)
+
+	u := rng.Float64()
+	switch {
+	case u < m.profile.SyntaxErrRate:
+		qs = corruptSyntax(qs, rng)
+	case u < m.profile.SyntaxErrRate+m.profile.DirectionErrRate:
+		qs = corruptDirection(qs)
+	}
+
+	text := fmt.Sprintf("SUPPORT: %s\nBODY: %s\nHEAD: %s\n", qs.Support, qs.Body, qs.HeadTotal)
+	return m.respond(promptText, text)
+}
+
+// ParseQuerySet extracts the three labeled queries from a translation
+// answer. ok is false when the model declined or the answer is malformed.
+func ParseQuerySet(text string) (rules.QuerySet, bool) {
+	var qs rules.QuerySet
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "SUPPORT: "):
+			qs.Support = strings.TrimPrefix(line, "SUPPORT: ")
+		case strings.HasPrefix(line, "BODY: "):
+			qs.Body = strings.TrimPrefix(line, "BODY: ")
+		case strings.HasPrefix(line, "HEAD: "):
+			qs.HeadTotal = strings.TrimPrefix(line, "HEAD: ")
+		}
+	}
+	if qs.Support == "" || qs.Body == "" || qs.HeadTotal == "" {
+		return rules.QuerySet{}, false
+	}
+	return qs, true
+}
+
+// corruptSyntax introduces one §4.4 third-category error into the support
+// query: `=` where `=~` is required when a regex is present, otherwise a
+// typoed RETURN keyword.
+func corruptSyntax(qs rules.QuerySet, rng interface{ Intn(int) int }) rules.QuerySet {
+	out := qs
+	switch {
+	case strings.Contains(qs.Support, "=~"):
+		out.Support = strings.Replace(qs.Support, "=~", "=", 1)
+	case rng.Intn(2) == 0:
+		out.Support = strings.Replace(qs.Support, "RETURN", "RETRUN", 1)
+	default:
+		// Drop the final closing parenthesis.
+		if i := strings.LastIndex(qs.Support, ")"); i >= 0 {
+			out.Support = qs.Support[:i] + qs.Support[i+1:]
+		}
+	}
+	return out
+}
+
+// corruptDirection reverses the first directed relationship in every query
+// of the set (the model misread the data model's direction, §4.4's first
+// category).
+func corruptDirection(qs rules.QuerySet) rules.QuerySet {
+	return rules.QuerySet{
+		Support:   FlipFirstArrow(qs.Support),
+		Body:      FlipFirstArrow(qs.Body),
+		HeadTotal: FlipFirstArrow(qs.HeadTotal),
+	}
+}
+
+// FlipFirstArrow reverses the first directed relationship pattern in a
+// Cypher string: (a)-[..]->(b) becomes (a)<-[..]-(b) and vice versa. The
+// input is returned unchanged when no directed pattern is found.
+func FlipFirstArrow(q string) string {
+	// Outgoing "]->" with its opening ")-[".
+	if i := strings.Index(q, "]->"); i >= 0 {
+		if j := strings.LastIndex(q[:i], ")-["); j >= 0 {
+			return q[:j] + ")<-[" + q[j+3:i] + "]-" + q[i+3:]
+		}
+	}
+	// Incoming ")<-[" with its closing "]-(".
+	if j := strings.Index(q, ")<-["); j >= 0 {
+		if i := strings.Index(q[j:], "]-("); i >= 0 {
+			i += j
+			return q[:j] + ")-[" + q[j+4:i] + "]->(" + q[i+3:]
+		}
+	}
+	return q
+}

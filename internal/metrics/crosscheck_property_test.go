@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// TestRandomRuleCrossCheckProperty generates random small graphs and random
+// rules over their schemas, asserting the dual-path invariant (Cypher
+// evaluation == native evaluation) on every combination. This is the
+// broadest correctness sweep of the metric layer.
+func TestRandomRuleCrossCheckProperty(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	keys := []string{"id", "k", "t"}
+	edgeTypes := []string{"R", "S"}
+
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		g := graph.New("prop")
+		var nodes []graph.ID
+		nNodes := 5 + rng.Intn(20)
+		for i := 0; i < nNodes; i++ {
+			props := graph.Props{}
+			for _, k := range keys {
+				switch rng.Intn(4) {
+				case 0: // absent
+				case 1:
+					props[k] = graph.NewInt(int64(rng.Intn(5)))
+				case 2:
+					props[k] = graph.NewString(string(rune('a' + rng.Intn(3))))
+				case 3:
+					props[k] = graph.NewBool(rng.Intn(2) == 0)
+				}
+			}
+			n := g.AddNode([]string{labels[rng.Intn(len(labels))]}, props)
+			nodes = append(nodes, n.ID)
+		}
+		nEdges := rng.Intn(30)
+		for i := 0; i < nEdges; i++ {
+			props := graph.Props{}
+			if rng.Intn(2) == 0 {
+				props["w"] = graph.NewInt(int64(rng.Intn(3)))
+			}
+			g.MustAddEdge(nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))],
+				[]string{edgeTypes[rng.Intn(len(edgeTypes))]}, props)
+		}
+
+		candidates := []rules.Rule{
+			&rules.RequiredProperty{Label: pickS(rng, labels), Key: pickS(rng, keys)},
+			&rules.UniqueProperty{Label: pickS(rng, labels), Key: pickS(rng, keys)},
+			&rules.ValueDomain{Label: pickS(rng, labels), Key: pickS(rng, keys),
+				Allowed: []graph.Value{graph.NewInt(0), graph.NewBool(true), graph.NewString("a")}},
+			&rules.PropertyType{Label: pickS(rng, labels), Key: pickS(rng, keys), PropKind: graph.KindInt},
+			&rules.EdgeEndpoints{EdgeType: pickS(rng, edgeTypes), FromLabel: pickS(rng, labels), ToLabel: pickS(rng, labels)},
+			&rules.MandatoryEdge{Label: pickS(rng, labels), EdgeType: pickS(rng, edgeTypes),
+				Incoming: rng.Intn(2) == 0, OtherLabel: pickS(rng, labels)},
+			&rules.NoSelfLoop{EdgeType: pickS(rng, edgeTypes)},
+			&rules.TemporalOrder{EdgeType: pickS(rng, edgeTypes), FromLabel: pickS(rng, labels),
+				ToLabel: pickS(rng, labels), Key: pickS(rng, keys)},
+			&rules.UniqueEdgeProp{EdgeType: pickS(rng, edgeTypes), FromLabel: pickS(rng, labels),
+				ToLabel: pickS(rng, labels), Key: "w"},
+			&rules.PathAssociation{ALabel: pickS(rng, labels), E1: "R", BLabel: pickS(rng, labels),
+				E2: "S", CLabel: pickS(rng, labels), ReqE1: "S", ReqLabel: pickS(rng, labels), ReqE2: "R"},
+		}
+		for _, r := range candidates {
+			if err := CrossCheck(g, r); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func pickS(rng *rand.Rand, ss []string) string { return ss[rng.Intn(len(ss))] }

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+func smallGraph() *graph.Graph {
+	g := graph.New("m")
+	for i := 0; i < 4; i++ {
+		props := graph.Props{"id": graph.NewInt(int64(i)), "s": graph.NewString("x")}
+		if i == 3 {
+			props = graph.Props{} // one node missing id
+		}
+		g.AddNode([]string{"T"}, props)
+	}
+	return g
+}
+
+func TestEvaluateRule(t *testing.T) {
+	g := smallGraph()
+	s, err := EvaluateRule(g, &rules.RequiredProperty{Label: "T", Key: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counts.Support != 3 || s.Counts.Body != 4 {
+		t.Errorf("counts = %+v", s.Counts)
+	}
+	if s.Coverage != 75 || s.Confidence != 75 {
+		t.Errorf("cov=%f conf=%f", s.Coverage, s.Confidence)
+	}
+}
+
+func TestEvaluateQueriesErrors(t *testing.T) {
+	g := smallGraph()
+	_, err := EvaluateQueries(g, rules.QuerySet{
+		Support:   "THIS IS NOT CYPHER",
+		Body:      "MATCH (x:T) RETURN count(*) AS n",
+		HeadTotal: "MATCH (x:T) RETURN count(*) AS n",
+	})
+	if err == nil || !strings.Contains(err.Error(), "support query failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEvaluateRules(t *testing.T) {
+	g := smallGraph()
+	rs := []rules.Rule{
+		&rules.RequiredProperty{Label: "T", Key: "id"},
+		&rules.ValueFormat{Label: "T", Key: "s", Pattern: "["}, // invalid regex -> query fails
+	}
+	scores, failed := EvaluateRules(g, rs)
+	if len(scores) != 1 || len(failed) != 1 {
+		t.Errorf("scores=%d failed=%d", len(scores), len(failed))
+	}
+}
+
+func TestCrossCheckOnDatasets(t *testing.T) {
+	g := datasets.WWC2019(datasets.Options{Seed: 11, ViolationRate: 0.05})
+	checks := []rules.Rule{
+		&rules.RequiredProperty{Label: "Match", Key: "date"},
+		&rules.UniqueProperty{Label: "Person", Key: "id"},
+		&rules.EdgeEndpoints{EdgeType: "IN_TOURNAMENT", FromLabel: "Match", ToLabel: "Tournament"},
+		&rules.UniqueEdgeProp{EdgeType: "SCORED_GOAL", FromLabel: "Person", ToLabel: "Match", Key: "minute"},
+		&rules.MandatoryEdge{Label: "Squad", EdgeType: "FOR", OtherLabel: "Tournament"},
+		&rules.PathAssociation{ALabel: "Person", E1: "PLAYED_IN", BLabel: "Match", E2: "IN_TOURNAMENT", CLabel: "Tournament",
+			ReqE1: "IN_SQUAD", ReqLabel: "Squad", ReqE2: "FOR"},
+	}
+	for _, r := range checks {
+		if err := CrossCheck(g, r); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestCrossCheckCybersecurity(t *testing.T) {
+	g := datasets.Cybersecurity(datasets.Options{Seed: 5, ViolationRate: 0.05})
+	checks := []rules.Rule{
+		&rules.ValueDomain{Label: "User", Key: "owned", Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}},
+		&rules.ValueFormat{Label: "User", Key: "domain", Pattern: `([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}`},
+		&rules.NoSelfLoop{EdgeType: "FORCE_CHANGE_PASSWORD"},
+		&rules.MandatoryEdge{Label: "User", EdgeType: "MEMBER_OF", OtherLabel: "Group"},
+		&rules.PropertyType{Label: "User", Key: "owned", PropKind: graph.KindBool},
+	}
+	for _, r := range checks {
+		if err := CrossCheck(g, r); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	scores := []Score{
+		{Counts: rules.Counts{Support: 10}, Coverage: 50, Confidence: 100},
+		{Counts: rules.Counts{Support: 20}, Coverage: 100, Confidence: 50},
+	}
+	a := Aggregated(scores)
+	if a.Rules != 2 || a.MeanSupport != 15 || a.MeanCoverage != 75 || a.MeanConfidence != 75 {
+		t.Errorf("aggregate = %+v", a)
+	}
+	empty := Aggregated(nil)
+	if empty.Rules != 0 || empty.MeanSupport != 0 {
+		t.Error("empty aggregate wrong")
+	}
+}
+
+func TestViolationsLowerConfidence(t *testing.T) {
+	clean := datasets.Cybersecurity(datasets.Options{Seed: 9, ViolationRate: 0})
+	dirty := datasets.Cybersecurity(datasets.Options{Seed: 9, ViolationRate: 0.1})
+	r := &rules.ValueDomain{Label: "User", Key: "owned", Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}}
+	sc, err := EvaluateRule(clean, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := EvaluateRule(dirty, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Confidence != 100 {
+		t.Errorf("clean confidence = %f", sc.Confidence)
+	}
+	if sd.Confidence >= sc.Confidence {
+		t.Errorf("violations should lower confidence: clean=%f dirty=%f", sc.Confidence, sd.Confidence)
+	}
+}

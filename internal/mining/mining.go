@@ -1,0 +1,425 @@
+// Package mining implements the paper's end-to-end pipeline (Figures 1-2):
+// encode the property graph as text, feed it to an LLM through sliding
+// windows or RAG retrieval, parse the generated natural-language rules,
+// translate each rule to Cypher with a second prompt, classify and correct
+// the generated queries (§4.4), and score every rule with
+// support/coverage/confidence (§4.2).
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/correction"
+	"github.com/graphrules/graphrules/internal/embedding"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/metrics"
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/rules"
+	"github.com/graphrules/graphrules/internal/textenc"
+	"github.com/graphrules/graphrules/internal/vectorstore"
+)
+
+// RuleBudgeter is optionally implemented by models that bound how many
+// merged rules one mining run should keep.
+type RuleBudgeter interface {
+	RuleBudget(fewShot bool) int
+}
+
+// Method selects how the encoded graph reaches the model (§3.1).
+type Method uint8
+
+const (
+	// SlidingWindow prompts the model once per overlapping window.
+	SlidingWindow Method = iota
+	// RAG embeds chunks into a vector store and prompts once with the
+	// retrieved top-k chunks.
+	RAG
+)
+
+// String returns the method name as used in the paper's tables.
+func (m Method) String() string {
+	if m == RAG {
+		return "RAG"
+	}
+	return "Sliding Window Attention"
+}
+
+// Methods lists both methods in paper order.
+var Methods = []Method{SlidingWindow, RAG}
+
+// Config parameterizes one mining run.
+type Config struct {
+	Model llm.Model
+	// Method defaults to SlidingWindow.
+	Method Method
+	// Mode defaults to zero-shot.
+	Mode prompt.Mode
+	// Encoder defaults to the incident encoder (the paper's choice).
+	Encoder textenc.Encoder
+	// WindowTokens/OverlapTokens default to the paper's 8000/500. Pass a
+	// negative OverlapTokens to disable overlap entirely (0 selects the
+	// default).
+	WindowTokens  int
+	OverlapTokens int
+	// RAGChunkTokens defaults to 400, RAGTopK to 8.
+	RAGChunkTokens int
+	RAGTopK        int
+	// EmbedDim defaults to embedding.DefaultDim.
+	EmbedDim int
+	// ExcludeRules lists natural-language rule statements a domain expert
+	// rejected; they are passed to the model as prompt exclusions and
+	// filtered from the merged output (interactive refinement, §5).
+	ExcludeRules []string
+	// Parallel sets how many sliding-window prompts run concurrently
+	// (default 1). The paper's §4.3 names parallel prompting as the main
+	// lever for efficient LLM rule mining; with N > 1 the Model must be
+	// safe for concurrent use (SimModel is). Results are merged in window
+	// order, so parallelism never changes the mined rules.
+	Parallel int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Model == nil {
+		return c, fmt.Errorf("mining: Config.Model is required")
+	}
+	if c.Encoder == nil {
+		c.Encoder = textenc.IncidentEncoder{}
+	}
+	if c.WindowTokens == 0 {
+		c.WindowTokens = textenc.DefaultWindowTokens
+	}
+	switch {
+	case c.OverlapTokens == 0:
+		c.OverlapTokens = textenc.DefaultOverlapTokens
+	case c.OverlapTokens < 0:
+		c.OverlapTokens = 0
+	}
+	if c.RAGChunkTokens == 0 {
+		c.RAGChunkTokens = 400
+	}
+	if c.RAGTopK == 0 {
+		c.RAGTopK = 8
+	}
+	if c.EmbedDim == 0 {
+		c.EmbedDim = embedding.DefaultDim
+	}
+	if c.Parallel == 0 {
+		c.Parallel = 1
+	}
+	if c.Parallel < 0 {
+		return c, fmt.Errorf("mining: Parallel must be positive, got %d", c.Parallel)
+	}
+	return c, nil
+}
+
+// MinedRule is one rule's full journey through the pipeline.
+type MinedRule struct {
+	NL        string
+	Rule      rules.Rule
+	Generated rules.QuerySet      // raw model output (step 2)
+	Final     rules.QuerySet      // after the correction protocol
+	Category  correction.Category // §4.4 classification of Generated
+	Corrected bool
+	Score     metrics.Score
+	// Windows lists the sliding-window indexes that proposed the rule.
+	Windows []int
+	// EvalErr records a rule whose final queries still failed to execute
+	// (possible for hallucinated queries that are also unexecutable).
+	EvalErr error
+}
+
+// Result is the outcome of one mining run.
+type Result struct {
+	Dataset string
+	Model   string
+	Method  Method
+	Mode    prompt.Mode
+	Encoder string
+
+	Rules []MinedRule
+
+	// Aggregate covers the rules that evaluated successfully.
+	Aggregate metrics.Aggregate
+
+	// MiningSeconds is the total simulated LLM compute for rule generation
+	// (the quantity Table 5 reports); with Parallel > 1 workers,
+	// ParallelSeconds is the simulated wall time of the same work (the
+	// makespan of the window schedule). TranslationSeconds covers the
+	// step-2 calls; IndexSeconds is RAG embedding/indexing overhead.
+	MiningSeconds      float64
+	ParallelSeconds    float64
+	TranslationSeconds float64
+	IndexSeconds       float64
+	// WallClock measures the real runtime of the whole pipeline run.
+	WallClock time.Duration
+
+	Windows        int // LLM calls in step 1
+	BrokenPatterns int // §4.5 boundary-break count (sliding window only)
+
+	// CypherCorrect / CypherTotal reproduce Table 6's cells.
+	CypherCorrect int
+	CypherTotal   int
+	// ErrorCounts censuses the §4.4 categories.
+	ErrorCounts map[correction.Category]int
+}
+
+// embedTokensPerSecond is the cost-model throughput of the stand-in
+// embedding model used for RAG indexing.
+const embedTokensPerSecond = 20000
+
+// Mine runs the full pipeline on a graph.
+func Mine(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{
+		Dataset:     g.Name(),
+		Model:       cfg.Model.Name(),
+		Method:      cfg.Method,
+		Mode:        cfg.Mode,
+		Encoder:     cfg.Encoder.Name(),
+		ErrorCounts: map[correction.Category]int{},
+	}
+
+	enc := cfg.Encoder.Encode(g)
+
+	// ---- Step 1: rule generation ----
+	type seenRule struct {
+		rule    rules.Rule
+		windows []int
+		borda   float64
+	}
+	var order []string
+	seen := map[string]*seenRule{}
+	excluded := map[string]bool{}
+	for _, nl := range cfg.ExcludeRules {
+		if r, ok := rules.ParseNL(nl); ok {
+			excluded[r.DedupKey()] = true
+		}
+	}
+	record := func(nl string, window, rank int) {
+		r, ok := rules.ParseNL(nl)
+		if !ok {
+			return // the model emitted something outside the rule grammar
+		}
+		key := r.DedupKey()
+		if excluded[key] {
+			return // defensive: a model may ignore the exclusion instruction
+		}
+		sr := seen[key]
+		if sr == nil {
+			sr = &seenRule{rule: r}
+			seen[key] = sr
+			order = append(order, key)
+		}
+		sr.windows = append(sr.windows, window)
+		sr.borda += 1 / float64(1+rank)
+	}
+
+	switch cfg.Method {
+	case SlidingWindow:
+		windows, err := textenc.SlidingWindows(enc, cfg.WindowTokens, cfg.OverlapTokens)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		res.Windows = len(windows)
+		broken, err := textenc.BrokenBlocks(enc, cfg.WindowTokens, cfg.OverlapTokens)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		res.BrokenPatterns = len(broken)
+		responses, err := completeWindows(cfg, windows)
+		if err != nil {
+			return nil, err
+		}
+		workers := make([]float64, cfg.Parallel)
+		for i, resp := range responses {
+			res.MiningSeconds += resp.SimSeconds
+			// Greedy makespan: each worker takes the next window as it
+			// frees up, which is how a real worker pool schedules.
+			minW := 0
+			for w := range workers {
+				if workers[w] < workers[minW] {
+					minW = w
+				}
+			}
+			workers[minW] += resp.SimSeconds
+			for rank, nl := range llm.ParseRuleLines(resp.Text) {
+				record(nl, windows[i].Index, rank)
+			}
+		}
+		for _, w := range workers {
+			if w > res.ParallelSeconds {
+				res.ParallelSeconds = w
+			}
+		}
+	case RAG:
+		chunks, err := textenc.Chunks(enc, cfg.RAGChunkTokens)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		embedder, err := embedding.NewHashing(cfg.EmbedDim)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		store, err := vectorstore.New(cfg.EmbedDim)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		for _, ch := range chunks {
+			if _, err := store.Add(ch.Text, embedder.Embed(ch.Text), nil); err != nil {
+				return nil, fmt.Errorf("mining: %w", err)
+			}
+			res.IndexSeconds += float64(ch.TokenCount()) / embedTokensPerSecond
+		}
+		// Phase 1 of the RAG prompting (§3.1.2): the rule request itself is
+		// the retrieval query.
+		query := prompt.RuleGeneration(cfg.Mode, "")
+		hits, err := store.Search(embedder.Embed(query), cfg.RAGTopK, nil)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		var retrieved string
+		for _, h := range hits {
+			retrieved += h.Doc.Text + "\n"
+		}
+		res.Windows = 1
+		p := prompt.RuleGenerationWithExclusions(cfg.Mode, retrieved, cfg.ExcludeRules)
+		resp, err := cfg.Model.Complete(p)
+		if err != nil {
+			return nil, fmt.Errorf("mining: %w", err)
+		}
+		res.MiningSeconds += resp.SimSeconds
+		for rank, nl := range llm.ParseRuleLines(resp.Text) {
+			record(nl, 0, rank)
+		}
+	default:
+		return nil, fmt.Errorf("mining: unknown method %d", cfg.Method)
+	}
+
+	// ---- Merge: combine per-window rules into one set (§3.1.1) ----
+	// Each call's answer is rank-ordered by the model's own preference, so
+	// the merge scores every rule Borda-style: a rule gains 1/(1+rank) per
+	// window that proposed it. Rules the model puts first in a few windows
+	// compete with rules it mentions late everywhere; the merged set is
+	// capped at the model's rule budget.
+	sort.SliceStable(order, func(i, j int) bool {
+		return seen[order[i]].borda > seen[order[j]].borda
+	})
+	budget := 12
+	if b, ok := cfg.Model.(RuleBudgeter); ok {
+		budget = b.RuleBudget(cfg.Mode == prompt.FewShot)
+	}
+	if len(order) > budget {
+		order = order[:budget]
+	}
+
+	// ---- Step 2: Cypher translation, correction and scoring ----
+	schema := graph.ExtractSchema(g)
+	schemaText := schema.Describe()
+	var scores []metrics.Score
+	for _, key := range order {
+		sr := seen[key]
+		mr := MinedRule{NL: sr.rule.NL(), Rule: sr.rule, Windows: sr.windows}
+
+		p := prompt.CypherTranslation(mr.NL, schemaText)
+		resp, err := cfg.Model.Complete(p)
+		if err != nil {
+			return nil, fmt.Errorf("mining: translation: %w", err)
+		}
+		res.TranslationSeconds += resp.SimSeconds
+		qs, ok := llm.ParseQuerySet(resp.Text)
+		if !ok {
+			// The model declined; skip the rule entirely (it never reaches
+			// the tables, matching the paper's dropped rules).
+			continue
+		}
+		mr.Generated = qs
+		mr.Category = correction.Classify(qs, schema)
+		res.CypherTotal++
+		if mr.Category == correction.Correct {
+			res.CypherCorrect++
+		}
+		res.ErrorCounts[mr.Category]++
+		mr.Final, mr.Corrected = correction.Fix(qs, sr.rule, mr.Category)
+
+		counts, err := metrics.EvaluateQueries(g, mr.Final)
+		if err != nil {
+			mr.EvalErr = err
+		} else {
+			mr.Score = metrics.Score{
+				Rule:       sr.rule,
+				Counts:     counts,
+				Coverage:   counts.Coverage(),
+				Confidence: counts.Confidence(),
+			}
+			scores = append(scores, mr.Score)
+		}
+		res.Rules = append(res.Rules, mr)
+	}
+	res.Aggregate = metrics.Aggregated(scores)
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// completeWindows runs the step-1 completions, cfg.Parallel at a time,
+// returning responses in window order.
+func completeWindows(cfg Config, windows []textenc.Window) ([]llm.Response, error) {
+	responses := make([]llm.Response, len(windows))
+	if cfg.Parallel <= 1 {
+		for i, w := range windows {
+			resp, err := cfg.Model.Complete(prompt.RuleGenerationWithExclusions(cfg.Mode, w.Text, cfg.ExcludeRules))
+			if err != nil {
+				return nil, fmt.Errorf("mining: window %d: %w", w.Index, err)
+			}
+			responses[i] = resp
+		}
+		return responses, nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		errs []error
+	)
+	for n := 0; n < cfg.Parallel; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(windows) || len(errs) > 0 {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				resp, err := cfg.Model.Complete(prompt.RuleGenerationWithExclusions(cfg.Mode, windows[i].Text, cfg.ExcludeRules))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("mining: window %d: %w", windows[i].Index, err))
+					mu.Unlock()
+					return
+				}
+				responses[i] = resp
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return responses, nil
+}
+
+// TotalSimSeconds returns the full simulated pipeline latency.
+func (r *Result) TotalSimSeconds() float64 {
+	return r.MiningSeconds + r.TranslationSeconds + r.IndexSeconds
+}

@@ -1,0 +1,268 @@
+package mining
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/correction"
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/metrics"
+	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/textenc"
+)
+
+func wwc(t *testing.T) *graph.Graph {
+	t.Helper()
+	return datasets.WWC2019(datasets.DefaultOptions())
+}
+
+func TestMineRequiresModel(t *testing.T) {
+	if _, err := Mine(wwc(t), Config{}); err == nil {
+		t.Fatal("missing model should error")
+	}
+}
+
+func TestMineSlidingWindowEndToEnd(t *testing.T) {
+	g := wwc(t)
+	res, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != SlidingWindow || res.Mode != prompt.ZeroShot {
+		t.Error("defaults wrong")
+	}
+	if len(res.Rules) == 0 || len(res.Rules) > llm.LLaMA3().MaxRules {
+		t.Fatalf("rules = %d", len(res.Rules))
+	}
+	if res.Windows < 10 {
+		t.Errorf("windows = %d, WWC2019 should need many", res.Windows)
+	}
+	if res.MiningSeconds <= 0 || res.TranslationSeconds <= 0 {
+		t.Error("timing not accounted")
+	}
+	if res.CypherTotal != len(res.Rules) {
+		t.Errorf("cypher total %d != rules %d", res.CypherTotal, len(res.Rules))
+	}
+	if res.CypherCorrect > res.CypherTotal || res.CypherCorrect == 0 {
+		t.Errorf("cypher correct = %d/%d", res.CypherCorrect, res.CypherTotal)
+	}
+	if res.Aggregate.Rules == 0 {
+		t.Error("no rules scored")
+	}
+	sum := 0
+	for _, n := range res.ErrorCounts {
+		sum += n
+	}
+	if sum != res.CypherTotal {
+		t.Error("error census does not cover all queries")
+	}
+	// Every corrected rule must have category syntax or direction.
+	for _, mr := range res.Rules {
+		if mr.Corrected && mr.Category != correction.SyntaxError && mr.Category != correction.DirectionError {
+			t.Errorf("rule %q corrected with category %v", mr.NL, mr.Category)
+		}
+		if mr.Category == correction.HallucinatedProperty && mr.Corrected {
+			t.Error("hallucinated rule must not be corrected")
+		}
+	}
+}
+
+func TestMineRAGEndToEnd(t *testing.T) {
+	g := wwc(t)
+	res, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), Method: RAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 1 {
+		t.Errorf("RAG should prompt once, got %d", res.Windows)
+	}
+	if res.BrokenPatterns != 0 {
+		t.Error("RAG has no window boundaries")
+	}
+	if res.IndexSeconds <= 0 {
+		t.Error("RAG indexing not accounted")
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+}
+
+func TestRAGFasterThanSlidingWindow(t *testing.T) {
+	g := wwc(t)
+	m := llm.NewSim(llm.LLaMA3(), 1)
+	swa, err := Mine(g, Config{Model: m, Method: SlidingWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rag, err := Mine(g, Config{Model: m, Method: RAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rag.MiningSeconds*10 > swa.MiningSeconds {
+		t.Errorf("RAG should be much faster: rag=%.1f swa=%.1f", rag.MiningSeconds, swa.MiningSeconds)
+	}
+}
+
+func TestMineDeterminism(t *testing.T) {
+	g := wwc(t)
+	cfg := Config{Model: llm.NewSim(llm.Mixtral(), 5)}
+	a, err := Mine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rules) != len(b.Rules) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		if a.Rules[i].NL != b.Rules[i].NL {
+			t.Errorf("rule %d differs: %q vs %q", i, a.Rules[i].NL, b.Rules[i].NL)
+		}
+		if a.Rules[i].Score.Counts != b.Rules[i].Score.Counts {
+			t.Error("scores differ between identical runs")
+		}
+	}
+	if a.MiningSeconds != b.MiningSeconds {
+		t.Error("simulated timing differs between identical runs")
+	}
+}
+
+func TestFewShotBudget(t *testing.T) {
+	g := wwc(t)
+	m := llm.NewSim(llm.LLaMA3(), 1)
+	few, err := Mine(g, Config{Model: m, Mode: prompt.FewShot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few.Rules) > llm.LLaMA3().MaxRulesFewShot {
+		t.Errorf("few-shot rules = %d, budget %d", len(few.Rules), llm.LLaMA3().MaxRulesFewShot)
+	}
+}
+
+func TestScoresMatchDirectEvaluation(t *testing.T) {
+	// Every correct, uncorrected rule's score must equal evaluating the
+	// rule's reference queries directly.
+	g := wwc(t)
+	res, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range res.Rules {
+		if mr.Category != correction.Correct || mr.EvalErr != nil {
+			continue
+		}
+		want, err := metrics.EvaluateQueries(g, mr.Rule.Queries())
+		if err != nil {
+			t.Fatalf("%s: %v", mr.NL, err)
+		}
+		if mr.Score.Counts != want {
+			t.Errorf("%s: pipeline counts %+v != direct %+v", mr.NL, mr.Score.Counts, want)
+		}
+	}
+}
+
+func TestAlternativeEncoders(t *testing.T) {
+	g := wwc(t)
+	for name, enc := range textenc.Encoders() {
+		res, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), Encoder: enc})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Encoder != name {
+			t.Errorf("encoder name = %q", res.Encoder)
+		}
+		if name == "incident" && len(res.Rules) == 0 {
+			t.Error("incident encoder mined nothing")
+		}
+	}
+}
+
+func TestWindowParamsPropagate(t *testing.T) {
+	g := wwc(t)
+	small, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), WindowTokens: 2000, OverlapTokens: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), WindowTokens: 16000, OverlapTokens: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Windows <= big.Windows {
+		t.Errorf("smaller windows should mean more calls: %d vs %d", small.Windows, big.Windows)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if SlidingWindow.String() != "Sliding Window Attention" || RAG.String() != "RAG" {
+		t.Error("method names wrong")
+	}
+	if _, err := Mine(wwc(t), Config{Model: llm.NewSim(llm.LLaMA3(), 1), Method: Method(9)}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestTotalSimSeconds(t *testing.T) {
+	r := &Result{MiningSeconds: 1, TranslationSeconds: 2, IndexSeconds: 3}
+	if r.TotalSimSeconds() != 6 {
+		t.Error("TotalSimSeconds wrong")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	g := wwc(t)
+	res, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["dataset"] != "WWC2019" || decoded["model"] != "Llama-3" {
+		t.Errorf("header wrong: %v", decoded["dataset"])
+	}
+	ruleList, ok := decoded["rules"].([]any)
+	if !ok || len(ruleList) != len(res.Rules) {
+		t.Fatalf("rules array wrong")
+	}
+	first := ruleList[0].(map[string]any)
+	for _, key := range []string{"nl", "kind", "formal", "cypherCategory", "supportQuery", "coveragePct"} {
+		if _, present := first[key]; !present {
+			t.Errorf("rule JSON missing %q", key)
+		}
+	}
+	if _, present := decoded["errorCounts"]; !present {
+		t.Error("errorCounts missing")
+	}
+}
+
+func TestOverlapSentinel(t *testing.T) {
+	g := wwc(t)
+	withOverlap, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), WindowTokens: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOverlap, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), WindowTokens: 4000, OverlapTokens: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without overlap the stride grows, so fewer windows — and more broken
+	// patterns, since nothing protects boundary blocks.
+	if noOverlap.Windows >= withOverlap.Windows {
+		t.Errorf("no-overlap windows %d should be fewer than default %d", noOverlap.Windows, withOverlap.Windows)
+	}
+	if noOverlap.BrokenPatterns <= withOverlap.BrokenPatterns {
+		t.Errorf("no-overlap broken %d should exceed default %d",
+			noOverlap.BrokenPatterns, withOverlap.BrokenPatterns)
+	}
+}

@@ -1,0 +1,114 @@
+package mining
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// jsonReport is the serializable shape of a mining run, for downstream
+// tooling (dashboards, CI gates on rule confidence, diffing runs).
+type jsonReport struct {
+	Dataset string `json:"dataset"`
+	Model   string `json:"model"`
+	Method  string `json:"method"`
+	Mode    string `json:"mode"`
+	Encoder string `json:"encoder"`
+
+	Rules []jsonRule `json:"rules"`
+
+	Aggregate struct {
+		Rules          int     `json:"rules"`
+		MeanSupport    float64 `json:"meanSupport"`
+		MeanCoverage   float64 `json:"meanCoveragePct"`
+		MeanConfidence float64 `json:"meanConfidencePct"`
+	} `json:"aggregate"`
+
+	MiningSeconds      float64 `json:"miningSeconds"`
+	ParallelSeconds    float64 `json:"parallelSeconds,omitempty"`
+	TranslationSeconds float64 `json:"translationSeconds"`
+	IndexSeconds       float64 `json:"indexSeconds,omitempty"`
+	WallClockMillis    int64   `json:"wallClockMillis"`
+
+	Windows        int `json:"llmCalls"`
+	BrokenPatterns int `json:"brokenPatterns"`
+	CypherCorrect  int `json:"cypherCorrect"`
+	CypherTotal    int `json:"cypherTotal"`
+
+	ErrorCounts map[string]int `json:"errorCounts"`
+}
+
+type jsonRule struct {
+	NL         string  `json:"nl"`
+	Kind       string  `json:"kind"`
+	DedupKey   string  `json:"key"`
+	Formal     string  `json:"formal"`
+	Category   string  `json:"cypherCategory"`
+	Corrected  bool    `json:"corrected"`
+	Support    int64   `json:"support"`
+	Body       int64   `json:"body"`
+	HeadTotal  int64   `json:"headTotal"`
+	Coverage   float64 `json:"coveragePct"`
+	Confidence float64 `json:"confidencePct"`
+	Windows    []int   `json:"windows,omitempty"`
+	EvalError  string  `json:"evalError,omitempty"`
+
+	SupportQuery string `json:"supportQuery"`
+	Explanation  string `json:"explanation"`
+}
+
+// WriteJSON serializes the result as indented JSON for downstream tooling.
+func (r *Result) WriteJSON(w io.Writer) error {
+	rep := jsonReport{
+		Dataset: r.Dataset,
+		Model:   r.Model,
+		Method:  r.Method.String(),
+		Mode:    r.Mode.String(),
+		Encoder: r.Encoder,
+
+		MiningSeconds:      r.MiningSeconds,
+		ParallelSeconds:    r.ParallelSeconds,
+		TranslationSeconds: r.TranslationSeconds,
+		IndexSeconds:       r.IndexSeconds,
+		WallClockMillis:    r.WallClock.Milliseconds(),
+		Windows:            r.Windows,
+		BrokenPatterns:     r.BrokenPatterns,
+		CypherCorrect:      r.CypherCorrect,
+		CypherTotal:        r.CypherTotal,
+		ErrorCounts:        map[string]int{},
+	}
+	rep.Aggregate.Rules = r.Aggregate.Rules
+	rep.Aggregate.MeanSupport = r.Aggregate.MeanSupport
+	rep.Aggregate.MeanCoverage = r.Aggregate.MeanCoverage
+	rep.Aggregate.MeanConfidence = r.Aggregate.MeanConfidence
+	for cat, n := range r.ErrorCounts {
+		rep.ErrorCounts[cat.String()] = n
+	}
+	for _, mr := range r.Rules {
+		jr := jsonRule{
+			NL:           mr.NL,
+			Kind:         mr.Rule.Kind().String(),
+			DedupKey:     mr.Rule.DedupKey(),
+			Formal:       mr.Rule.Formal(),
+			Category:     mr.Category.String(),
+			Corrected:    mr.Corrected,
+			Windows:      mr.Windows,
+			SupportQuery: mr.Final.Support,
+		}
+		if mr.EvalErr != nil {
+			jr.EvalError = mr.EvalErr.Error()
+		} else {
+			jr.Support = mr.Score.Counts.Support
+			jr.Body = mr.Score.Counts.Body
+			jr.HeadTotal = mr.Score.Counts.HeadTotal
+			jr.Coverage = mr.Score.Coverage
+			jr.Confidence = mr.Score.Confidence
+			jr.Explanation = rules.Explain(mr.Rule, mr.Score.Counts)
+		}
+		rep.Rules = append(rep.Rules, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

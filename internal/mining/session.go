@@ -1,0 +1,156 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// Session implements the paper's interactive rule-mining future work (§5):
+// a domain expert reviews mined rules, accepts or rejects them, and
+// re-mines; rejected rules are fed back to the model as prompt exclusions
+// so the next round surfaces fresh candidates, while accepted rules are
+// pinned across rounds.
+type Session struct {
+	g   *graph.Graph
+	cfg Config
+
+	accepted map[string]MinedRule
+	rejected map[string]string // dedup key -> NL
+	current  *Result
+	rounds   int
+}
+
+// NewSession mines an initial rule set and opens a review session.
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	s := &Session{
+		g:        g,
+		cfg:      cfg,
+		accepted: map[string]MinedRule{},
+		rejected: map[string]string{},
+	}
+	if err := s.mine(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Session) mine() error {
+	cfg := s.cfg
+	cfg.ExcludeRules = s.exclusions()
+	res, err := Mine(s.g, cfg)
+	if err != nil {
+		return err
+	}
+	s.current = res
+	s.rounds++
+	return nil
+}
+
+func (s *Session) exclusions() []string {
+	keys := make([]string, 0, len(s.rejected))
+	for k := range s.rejected {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = s.rejected[k]
+	}
+	return out
+}
+
+// Rounds returns how many mining rounds have run.
+func (s *Session) Rounds() int { return s.rounds }
+
+// Pending returns the current round's rules that are neither accepted nor
+// rejected yet, in mined order.
+func (s *Session) Pending() []MinedRule {
+	var out []MinedRule
+	for _, mr := range s.current.Rules {
+		key := mr.Rule.DedupKey()
+		if _, ok := s.accepted[key]; ok {
+			continue
+		}
+		if _, ok := s.rejected[key]; ok {
+			continue
+		}
+		out = append(out, mr)
+	}
+	return out
+}
+
+// Accepted returns the expert-approved rules, sorted by dedup key.
+func (s *Session) Accepted() []MinedRule {
+	keys := make([]string, 0, len(s.accepted))
+	for k := range s.accepted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]MinedRule, len(keys))
+	for i, k := range keys {
+		out[i] = s.accepted[k]
+	}
+	return out
+}
+
+// find locates a rule of the current round by dedup key or exact NL.
+func (s *Session) find(ref string) (MinedRule, error) {
+	for _, mr := range s.current.Rules {
+		if mr.Rule.DedupKey() == ref || mr.NL == ref {
+			return mr, nil
+		}
+	}
+	return MinedRule{}, fmt.Errorf("mining: session: no rule %q in the current round", ref)
+}
+
+// Accept pins a rule across rounds. ref is the rule's dedup key or its
+// exact natural-language statement.
+func (s *Session) Accept(ref string) error {
+	mr, err := s.find(ref)
+	if err != nil {
+		return err
+	}
+	key := mr.Rule.DedupKey()
+	delete(s.rejected, key)
+	s.accepted[key] = mr
+	return nil
+}
+
+// Reject marks a rule as unwanted; the next Refine round excludes it.
+func (s *Session) Reject(ref string) error {
+	mr, err := s.find(ref)
+	if err != nil {
+		return err
+	}
+	key := mr.Rule.DedupKey()
+	if _, ok := s.accepted[key]; ok {
+		return fmt.Errorf("mining: session: rule %q is already accepted; un-accept is not supported", ref)
+	}
+	s.rejected[key] = mr.NL
+	return nil
+}
+
+// Refine re-mines with all rejections excluded. Newly surfaced rules join
+// Pending; accepted rules stay pinned.
+func (s *Session) Refine() (*Result, error) {
+	if err := s.mine(); err != nil {
+		return nil, err
+	}
+	return s.current, nil
+}
+
+// Export returns the session's final rule set: accepted rules first, then
+// the still-pending rules of the last round.
+func (s *Session) Export() []rules.Rule {
+	var out []rules.Rule
+	for _, mr := range s.Accepted() {
+		out = append(out, mr.Rule)
+	}
+	for _, mr := range s.Pending() {
+		out = append(out, mr.Rule)
+	}
+	return out
+}

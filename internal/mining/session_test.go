@@ -1,0 +1,145 @@
+package mining
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(wwc(t), Config{Model: llm.NewSim(llm.LLaMA3(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := newTestSession(t)
+	if s.Rounds() != 1 {
+		t.Fatalf("rounds = %d", s.Rounds())
+	}
+	pending := s.Pending()
+	if len(pending) == 0 {
+		t.Fatal("no pending rules")
+	}
+
+	// Accept one, reject one.
+	if err := s.Accept(pending[0].Rule.DedupKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reject(pending[1].NL); err != nil { // by NL reference
+		t.Fatal(err)
+	}
+	if len(s.Accepted()) != 1 {
+		t.Errorf("accepted = %d", len(s.Accepted()))
+	}
+	if len(s.Pending()) != len(pending)-2 {
+		t.Errorf("pending = %d, want %d", len(s.Pending()), len(pending)-2)
+	}
+
+	rejectedKey := pending[1].Rule.DedupKey()
+	acceptedKey := pending[0].Rule.DedupKey()
+
+	res, err := s.Refine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != 2 {
+		t.Error("refine should advance rounds")
+	}
+	for _, mr := range res.Rules {
+		if mr.Rule.DedupKey() == rejectedKey {
+			t.Errorf("rejected rule %q resurfaced after refine", rejectedKey)
+		}
+	}
+
+	// Export puts accepted first.
+	exported := s.Export()
+	if len(exported) == 0 || exported[0].DedupKey() != acceptedKey {
+		t.Error("export should lead with accepted rules")
+	}
+	for _, r := range exported {
+		if r.DedupKey() == rejectedKey {
+			t.Error("export must not contain rejected rules")
+		}
+	}
+}
+
+func TestSessionRefineSurfacesNewRules(t *testing.T) {
+	s := newTestSession(t)
+	before := map[string]bool{}
+	for _, mr := range s.Pending() {
+		before[mr.Rule.DedupKey()] = true
+	}
+	// Reject everything; refinement must bring in rules we have not seen.
+	for _, mr := range s.Pending() {
+		if err := s.Reject(mr.Rule.DedupKey()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for _, mr := range s.Pending() {
+		if !before[mr.Rule.DedupKey()] {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("refine after rejecting all rules should surface new candidates")
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := newTestSession(t)
+	if err := s.Accept("no-such-rule"); err == nil {
+		t.Error("accepting unknown rule should fail")
+	}
+	if err := s.Reject("no-such-rule"); err == nil {
+		t.Error("rejecting unknown rule should fail")
+	}
+	key := s.Pending()[0].Rule.DedupKey()
+	if err := s.Accept(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reject(key); err == nil {
+		t.Error("rejecting an accepted rule should fail")
+	}
+}
+
+func TestParallelMiningEquivalent(t *testing.T) {
+	g := wwc(t)
+	serial, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rules) != len(par.Rules) {
+		t.Fatalf("parallelism changed results: %d vs %d rules", len(serial.Rules), len(par.Rules))
+	}
+	for i := range serial.Rules {
+		if serial.Rules[i].NL != par.Rules[i].NL {
+			t.Errorf("rule %d differs under parallelism", i)
+		}
+	}
+	if serial.MiningSeconds != par.MiningSeconds {
+		t.Error("total simulated compute should not change")
+	}
+	if par.ParallelSeconds >= serial.MiningSeconds {
+		t.Errorf("4-way parallel makespan %.1f should beat serial %.1f",
+			par.ParallelSeconds, serial.MiningSeconds)
+	}
+	if par.ParallelSeconds*5 < serial.MiningSeconds {
+		t.Errorf("4 workers cannot speed up more than 4x: %.1f vs %.1f",
+			par.ParallelSeconds, serial.MiningSeconds)
+	}
+	if _, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), Parallel: -1}); err == nil {
+		t.Error("negative parallelism should fail")
+	}
+}

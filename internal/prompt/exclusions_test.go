@@ -1,0 +1,46 @@
+package prompt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRuleGenerationWithExclusions(t *testing.T) {
+	rejected := []string{
+		"Each User node should have a unique id property.",
+		"A node should not have a FOLLOWS relationship to itself.",
+	}
+	p := RuleGenerationWithExclusions(FewShot, "graph body", rejected)
+	if !IsRuleGeneration(p) || !IsFewShot(p) {
+		t.Error("refinement prompt lost its markers")
+	}
+	if !strings.Contains(p, "rejected the following rules") {
+		t.Error("exclusion header missing")
+	}
+	if ExtractGraphText(p) != "graph body" {
+		t.Errorf("graph text = %q", ExtractGraphText(p))
+	}
+	got := ExtractExclusions(p)
+	if !reflect.DeepEqual(got, rejected) {
+		t.Errorf("ExtractExclusions = %v, want %v", got, rejected)
+	}
+}
+
+func TestExtractExclusionsAbsent(t *testing.T) {
+	if got := ExtractExclusions(RuleGeneration(ZeroShot, "g")); got != nil {
+		t.Errorf("no exclusions expected, got %v", got)
+	}
+	if got := ExtractExclusions("random text"); got != nil {
+		t.Errorf("foreign text should have no exclusions, got %v", got)
+	}
+}
+
+func TestExclusionsDoNotLeakIntoGraphText(t *testing.T) {
+	p := RuleGenerationWithExclusions(ZeroShot, "Node 1 with labels X has no properties.",
+		[]string{"Each X node should have a id property."})
+	gt := ExtractGraphText(p)
+	if strings.Contains(gt, "rejected") {
+		t.Errorf("graph text contaminated: %q", gt)
+	}
+}

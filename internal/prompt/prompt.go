@@ -1,0 +1,171 @@
+// Package prompt holds the prompt templates of the pipeline (Figure 3):
+// zero-shot and few-shot rule-generation prompts, and the Cypher-translation
+// prompt that pairs each natural-language rule with the graph's schema
+// summary (§3.2).
+package prompt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects the prompting strategy.
+type Mode uint8
+
+const (
+	// ZeroShot gives only the instruction and the encoded graph.
+	ZeroShot Mode = iota
+	// FewShot additionally provides worked rule examples.
+	FewShot
+)
+
+// String returns the mode's lowercase name.
+func (m Mode) String() string {
+	if m == FewShot {
+		return "few-shot"
+	}
+	return "zero-shot"
+}
+
+// Modes lists both prompting strategies in paper order.
+var Modes = []Mode{ZeroShot, FewShot}
+
+// ruleInstruction asks for consistency rules in terms of graph functional
+// and entity dependencies (§3.2).
+const ruleInstruction = `You are given a property graph encoded as text. Analyze its structure,
+labels and properties, and generate consistency rules that enforce data
+integrity, expressed as graph functional dependencies and graph entity
+dependencies. State each rule as one plain-English sentence on its own
+line, prefixed with "RULE: ".`
+
+// fewShotExamples are the worked examples appended in few-shot mode
+// (Figure 3b). They deliberately showcase simple schema-style constraints,
+// which is why few-shot runs skew toward high-confidence schema rules.
+var fewShotExamples = []string{
+	"RULE: Each Product node should have a unique sku property.",
+	"RULE: Each Order node should have a createdAt property.",
+	"RULE: Every SHIPS_TO relationship should connect an Order node to an Address node.",
+	"RULE: The status property of Order nodes should only be one of \"open\" or \"closed\".",
+}
+
+// RuleGeneration builds the step-1 prompt around an encoded graph fragment.
+func RuleGeneration(mode Mode, graphText string) string {
+	return RuleGenerationWithExclusions(mode, graphText, nil)
+}
+
+// RuleGenerationWithExclusions builds a step-1 prompt that additionally
+// instructs the model not to propose previously rejected rules — the
+// interactive-refinement loop of the paper's future work (§5).
+func RuleGenerationWithExclusions(mode Mode, graphText string, rejected []string) string {
+	var b strings.Builder
+	b.WriteString(ruleInstruction)
+	b.WriteString("\n\n")
+	if mode == FewShot {
+		b.WriteString("Examples of consistency rules:\n")
+		for _, ex := range fewShotExamples {
+			b.WriteString(ex)
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	if len(rejected) > 0 {
+		b.WriteString(exclusionHeader + "\n")
+		for _, nl := range rejected {
+			b.WriteString("- " + nl + "\n")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Property graph:\n")
+	b.WriteString(graphText)
+	return b.String()
+}
+
+// exclusionHeader marks the rejected-rules section of a refinement prompt.
+const exclusionHeader = "The domain expert rejected the following rules; do not propose them again:"
+
+// ExtractExclusions returns the rejected rule statements of a refinement
+// prompt (empty outside a refinement round).
+func ExtractExclusions(p string) []string {
+	i := strings.Index(p, exclusionHeader)
+	if i < 0 {
+		return nil
+	}
+	rest := p[i+len(exclusionHeader):]
+	if j := strings.Index(rest, "\nProperty graph:"); j >= 0 {
+		rest = rest[:j]
+	}
+	var out []string
+	for _, line := range strings.Split(rest, "\n") {
+		line = strings.TrimSpace(line)
+		if nl, ok := strings.CutPrefix(line, "- "); ok {
+			out = append(out, nl)
+		}
+	}
+	return out
+}
+
+// CypherTranslation builds the step-2 prompt: the generated rule in natural
+// language plus information about the property graph (node and edge labels
+// and properties), asking for the Cypher queries that measure the rule.
+func CypherTranslation(ruleNL, schemaDescription string) string {
+	return fmt.Sprintf(`Translate the following property-graph consistency rule into Cypher.
+Write three queries, each returning a single integer column n:
+SUPPORT: elements satisfying the rule (premise and conclusion);
+BODY: elements the rule's premise applies to;
+HEAD: all elements of the rule's target domain.
+Prefix each query with its label on its own line.
+
+Rule: %s
+
+Graph information:
+%s`, ruleNL, schemaDescription)
+}
+
+// Markers used by models (and tests) to recognize prompt stages.
+const (
+	RuleGenMarker     = "generate consistency rules"
+	TranslationMarker = "Translate the following property-graph consistency rule"
+)
+
+// IsRuleGeneration reports whether the prompt is a step-1 prompt.
+func IsRuleGeneration(p string) bool { return strings.Contains(p, RuleGenMarker) }
+
+// IsTranslation reports whether the prompt is a step-2 prompt.
+func IsTranslation(p string) bool { return strings.Contains(p, TranslationMarker) }
+
+// ExtractGraphText returns the encoded-graph portion of a rule-generation
+// prompt.
+func ExtractGraphText(p string) string {
+	const marker = "Property graph:\n"
+	if i := strings.Index(p, marker); i >= 0 {
+		return p[i+len(marker):]
+	}
+	return ""
+}
+
+// ExtractRuleNL returns the rule sentence of a translation prompt.
+func ExtractRuleNL(p string) string {
+	const marker = "\nRule: "
+	i := strings.Index(p, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := p[i+len(marker):]
+	if j := strings.Index(rest, "\n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// ExtractSchemaText returns the schema-description portion of a translation
+// prompt.
+func ExtractSchemaText(p string) string {
+	const marker = "Graph information:\n"
+	if i := strings.Index(p, marker); i >= 0 {
+		return p[i+len(marker):]
+	}
+	return ""
+}
+
+// IsFewShot reports whether a rule-generation prompt carries examples.
+func IsFewShot(p string) bool { return strings.Contains(p, "Examples of consistency rules:") }

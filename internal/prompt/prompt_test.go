@@ -1,0 +1,72 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuleGenerationZeroShot(t *testing.T) {
+	p := RuleGeneration(ZeroShot, "Node 1 with labels User has no properties.")
+	if !IsRuleGeneration(p) {
+		t.Error("prompt should be recognized as rule generation")
+	}
+	if IsTranslation(p) {
+		t.Error("rule-gen prompt misclassified as translation")
+	}
+	if IsFewShot(p) {
+		t.Error("zero-shot prompt should carry no examples")
+	}
+	if got := ExtractGraphText(p); got != "Node 1 with labels User has no properties." {
+		t.Errorf("ExtractGraphText = %q", got)
+	}
+}
+
+func TestRuleGenerationFewShot(t *testing.T) {
+	p := RuleGeneration(FewShot, "graph text")
+	if !IsFewShot(p) {
+		t.Error("few-shot prompt should carry examples")
+	}
+	if !strings.Contains(p, "RULE: Each Product node should have a unique sku property.") {
+		t.Error("few-shot examples missing")
+	}
+	if ExtractGraphText(p) != "graph text" {
+		t.Error("graph text extraction broken by examples")
+	}
+}
+
+func TestCypherTranslation(t *testing.T) {
+	p := CypherTranslation("Each User node should have a id property.", "Graph x: schema")
+	if !IsTranslation(p) {
+		t.Error("prompt should be recognized as translation")
+	}
+	if IsRuleGeneration(p) {
+		t.Error("translation prompt misclassified as rule generation")
+	}
+	if got := ExtractRuleNL(p); got != "Each User node should have a id property." {
+		t.Errorf("ExtractRuleNL = %q", got)
+	}
+	if got := ExtractSchemaText(p); got != "Graph x: schema" {
+		t.Errorf("ExtractSchemaText = %q", got)
+	}
+}
+
+func TestExtractorsOnForeignText(t *testing.T) {
+	if ExtractGraphText("nothing here") != "" {
+		t.Error("missing marker should yield empty graph text")
+	}
+	if ExtractRuleNL("nothing here") != "" {
+		t.Error("missing marker should yield empty rule")
+	}
+	if ExtractSchemaText("nothing here") != "" {
+		t.Error("missing marker should yield empty schema")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ZeroShot.String() != "zero-shot" || FewShot.String() != "few-shot" {
+		t.Error("mode names wrong")
+	}
+	if len(Modes) != 2 {
+		t.Error("Modes should list both")
+	}
+}

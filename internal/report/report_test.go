@@ -1,0 +1,124 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/mining"
+	"github.com/graphrules/graphrules/internal/prompt"
+)
+
+func smallGrid(t *testing.T) *Grid {
+	t.Helper()
+	grid, err := RunAll([]string{"Cybersecurity"}, datasets.DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid
+}
+
+func TestRunAllGridShape(t *testing.T) {
+	grid := smallGrid(t)
+	if len(grid.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8 (2 models x 2 methods x 2 modes)", len(grid.Cells))
+	}
+	if grid.cell("Cybersecurity", "Llama-3", mining.RAG, prompt.FewShot) == nil {
+		t.Error("missing expected cell")
+	}
+	if grid.cell("Nope", "Llama-3", mining.RAG, prompt.FewShot) != nil {
+		t.Error("phantom cell")
+	}
+	if ds := grid.Datasets(); len(ds) != 1 || ds[0] != "Cybersecurity" {
+		t.Errorf("Datasets = %v", ds)
+	}
+}
+
+func TestRunAllUnknownDataset(t *testing.T) {
+	if _, err := RunAll([]string{"nope"}, datasets.DefaultOptions(), 1); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out, err := Table1(datasets.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WWC2019", "2468", "14799", "Cybersecurity", "953", "4838", "Twitter", "43325", "56493"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsTableRendering(t *testing.T) {
+	grid := smallGrid(t)
+	out := grid.MetricsTable("Cybersecurity", 3)
+	for _, want := range []string{"Table 3", "Llama-3", "Mixtral", "zero-shot", "few-shot", "#rules", "Cov%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeAndCorrectnessTables(t *testing.T) {
+	grid := smallGrid(t)
+	tt := grid.TimeTable()
+	if !strings.Contains(tt, "Table 5") || !strings.Contains(tt, "Cybersecurity") {
+		t.Errorf("time table wrong:\n%s", tt)
+	}
+	ct := grid.CorrectnessTable()
+	if !strings.Contains(ct, "Table 6") || !strings.Contains(ct, "/") {
+		t.Errorf("correctness table wrong:\n%s", ct)
+	}
+}
+
+func TestErrorCensusAndBoundaries(t *testing.T) {
+	grid := smallGrid(t)
+	ec := grid.ErrorCensus()
+	for _, want := range []string{"correct", "direction-error", "hallucinated-property", "syntax-error"} {
+		if !strings.Contains(ec, want) {
+			t.Errorf("census missing %q:\n%s", want, ec)
+		}
+	}
+	bd := grid.Boundaries()
+	if !strings.Contains(bd, "broken blocks") {
+		t.Errorf("boundaries wrong:\n%s", bd)
+	}
+}
+
+func TestTableForDataset(t *testing.T) {
+	if TableForDataset("WWC2019") != 2 || TableForDataset("Cybersecurity") != 3 ||
+		TableForDataset("Twitter") != 4 || TableForDataset("x") != 0 {
+		t.Error("table numbering wrong")
+	}
+}
+
+// TestPaperShapes asserts the qualitative findings of §4.3/§4.5 hold on the
+// Cybersecurity grid: LLaMA-3 beats Mixtral on confidence, and RAG is much
+// faster than sliding windows.
+func TestPaperShapes(t *testing.T) {
+	grid := smallGrid(t)
+	var llamaConf, mixtralConf, llamaRules, mixtralRules float64
+	for _, c := range grid.Cells {
+		switch c.Model {
+		case "Llama-3":
+			llamaConf += c.Result.Aggregate.MeanConfidence
+			llamaRules += float64(c.Result.Aggregate.Rules)
+		case "Mixtral":
+			mixtralConf += c.Result.Aggregate.MeanConfidence
+			mixtralRules += float64(c.Result.Aggregate.Rules)
+		}
+	}
+	if llamaConf <= mixtralConf {
+		t.Errorf("LLaMA-3 should lead on confidence: %f vs %f", llamaConf/4, mixtralConf/4)
+	}
+	for _, profile := range []string{"Llama-3", "Mixtral"} {
+		swa := grid.cell("Cybersecurity", profile, mining.SlidingWindow, prompt.ZeroShot).Result
+		rag := grid.cell("Cybersecurity", profile, mining.RAG, prompt.ZeroShot).Result
+		if rag.MiningSeconds*5 > swa.MiningSeconds {
+			t.Errorf("%s: RAG should be much faster (%f vs %f)", profile, rag.MiningSeconds, swa.MiningSeconds)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package rules
+
+import (
+	"regexp"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// ParseNL parses a natural-language rule statement back into a Rule. It is
+// the exact inverse of each rule kind's NL rendering; the mining pipeline
+// uses it to turn the LLM's textual output into evaluable rules. Unknown
+// phrasing reports ok=false.
+func ParseNL(line string) (Rule, bool) {
+	line = strings.TrimSpace(line)
+	for _, p := range nlParsers {
+		if m := p.re.FindStringSubmatch(line); m != nil {
+			if r := p.build(m); r != nil {
+				return r, true
+			}
+		}
+	}
+	return nil, false
+}
+
+type nlParser struct {
+	re    *regexp.Regexp
+	build func(m []string) Rule
+}
+
+const (
+	nameRe = `([A-Za-z_][A-Za-z0-9_]*)`
+)
+
+var nlParsers = []nlParser{
+	{
+		// "Each Tweet node should have a unique id property."
+		re: regexp.MustCompile(`^Each ` + nameRe + ` node should have a unique ` + nameRe + ` property\.$`),
+		build: func(m []string) Rule {
+			return &UniqueProperty{Label: m[1], Key: m[2]}
+		},
+	},
+	{
+		// "Each Match node should have a date property."
+		re: regexp.MustCompile(`^Each ` + nameRe + ` (node|relationship) should have a ` + nameRe + ` property\.$`),
+		build: func(m []string) Rule {
+			return &RequiredProperty{Label: m[1], Key: m[3], OnEdge: m[2] == "relationship"}
+		},
+	},
+	{
+		// "The owned property of User nodes should only be one of true or false."
+		re: regexp.MustCompile(`^The ` + nameRe + ` property of ` + nameRe + ` nodes should only be one of (.+)\.$`),
+		build: func(m []string) Rule {
+			var allowed []graph.Value
+			for _, part := range strings.Split(m[3], " or ") {
+				v, ok := graph.ParseLiteral(strings.TrimSpace(part))
+				if !ok {
+					return nil
+				}
+				allowed = append(allowed, v)
+			}
+			return &ValueDomain{Label: m[2], Key: m[1], Allowed: allowed}
+		},
+	},
+	{
+		// "The domain property of Domain nodes should be a string value matching the format <regex>."
+		re: regexp.MustCompile(`^The ` + nameRe + ` property of ` + nameRe + ` nodes should be a string value matching the format (.+)\.$`),
+		build: func(m []string) Rule {
+			return &ValueFormat{Label: m[2], Key: m[1], Pattern: m[3]}
+		},
+	},
+	{
+		// "The followers property of User nodes should be of type int."
+		re: regexp.MustCompile(`^The ` + nameRe + ` property of ` + nameRe + ` (nodes|relationships) should be of type (null|bool|int|float|string|list)\.$`),
+		build: func(m []string) Rule {
+			return &PropertyType{Label: m[2], Key: m[1], OnEdge: m[3] == "relationships", PropKind: kindByName(m[4])}
+		},
+	},
+	{
+		// "Every POSTS relationship should connect a User node to a Tweet node."
+		re: regexp.MustCompile(`^Every ` + nameRe + ` relationship should connect a ` + nameRe + ` node to a ` + nameRe + ` node\.$`),
+		build: func(m []string) Rule {
+			return &EdgeEndpoints{EdgeType: m[1], FromLabel: m[2], ToLabel: m[3]}
+		},
+	},
+	{
+		// "Every Tweet node should have an incoming POSTS relationship from a User node."
+		re: regexp.MustCompile(`^Every ` + nameRe + ` node should have an (incoming|outgoing) ` + nameRe + ` relationship (?:from|to) a ` + nameRe + ` node\.$`),
+		build: func(m []string) Rule {
+			return &MandatoryEdge{Label: m[1], EdgeType: m[3], Incoming: m[2] == "incoming", OtherLabel: m[4]}
+		},
+	},
+	{
+		// "A node should not have a FOLLOWS relationship to itself."
+		re: regexp.MustCompile(`^A node should not have a ` + nameRe + ` relationship to itself\.$`),
+		build: func(m []string) Rule {
+			return &NoSelfLoop{EdgeType: m[1]}
+		},
+	},
+	{
+		// "For every RETWEETS relationship, the createdAt of the source Tweet
+		//  should not be earlier than the createdAt of the target Tweet (the
+		//  two events cannot be out of order)."
+		re: regexp.MustCompile(`^For every ` + nameRe + ` relationship, the ` + nameRe + ` of the source ` + nameRe +
+			` should not be earlier than the ` + nameRe + ` of the target ` + nameRe + ` \(the two events cannot be out of order\)\.$`),
+		build: func(m []string) Rule {
+			if m[2] != m[4] {
+				return nil
+			}
+			return &TemporalOrder{EdgeType: m[1], FromLabel: m[3], ToLabel: m[5], Key: m[2]}
+		},
+	},
+	{
+		// "No two SCORED_GOAL relationships between the same Person and Match
+		//  should have the same minute property."
+		re: regexp.MustCompile(`^No two ` + nameRe + ` relationships between the same ` + nameRe + ` and ` + nameRe +
+			` should have the same ` + nameRe + ` property\.$`),
+		build: func(m []string) Rule {
+			return &UniqueEdgeProp{EdgeType: m[1], FromLabel: m[2], ToLabel: m[3], Key: m[4]}
+		},
+	},
+	{
+		// "Whenever a Person has a PLAYED_IN to a Match that has a
+		//  IN_TOURNAMENT to a Tournament, the Person should also be associated
+		//  through IN_SQUAD with a Squad that has a FOR to that same Tournament."
+		re: regexp.MustCompile(`^Whenever a ` + nameRe + ` has a ` + nameRe + ` to a ` + nameRe + ` that has a ` + nameRe +
+			` to a ` + nameRe + `, the ` + nameRe + ` should also be associated through ` + nameRe + ` with a ` + nameRe +
+			` that has a ` + nameRe + ` to that same ` + nameRe + `\.$`),
+		build: func(m []string) Rule {
+			if m[1] != m[6] || m[5] != m[10] {
+				return nil
+			}
+			return &PathAssociation{
+				ALabel: m[1], E1: m[2], BLabel: m[3], E2: m[4], CLabel: m[5],
+				ReqE1: m[7], ReqLabel: m[8], ReqE2: m[9],
+			}
+		},
+	},
+}
+
+func kindByName(name string) graph.Kind {
+	switch name {
+	case "bool":
+		return graph.KindBool
+	case "int":
+		return graph.KindInt
+	case "float":
+		return graph.KindFloat
+	case "string":
+		return graph.KindString
+	case "list":
+		return graph.KindList
+	default:
+		return graph.KindNull
+	}
+}

@@ -1,0 +1,93 @@
+package rules
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// TestNLRoundTrip verifies that ParseNL is the exact inverse of NL for
+// every rule kind.
+func TestNLRoundTrip(t *testing.T) {
+	cases := []Rule{
+		&RequiredProperty{Label: "Match", Key: "date"},
+		&RequiredProperty{Label: "SCORED_GOAL", Key: "minute", OnEdge: true},
+		&UniqueProperty{Label: "Tweet", Key: "id"},
+		&ValueDomain{Label: "User", Key: "owned", Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}},
+		&ValueDomain{Label: "Match", Key: "stage", Allowed: []graph.Value{graph.NewString("Final"), graph.NewString("Semi-final")}},
+		&ValueFormat{Label: "Domain", Key: "domain", Pattern: `([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}`},
+		&PropertyType{Label: "User", Key: "followers", PropKind: graph.KindInt},
+		&PropertyType{Label: "GP_LINK", Key: "enforced", OnEdge: true, PropKind: graph.KindBool},
+		&EdgeEndpoints{EdgeType: "POSTS", FromLabel: "User", ToLabel: "Tweet"},
+		&MandatoryEdge{Label: "Tweet", EdgeType: "POSTS", Incoming: true, OtherLabel: "User"},
+		&MandatoryEdge{Label: "Squad", EdgeType: "FOR", Incoming: false, OtherLabel: "Tournament"},
+		&NoSelfLoop{EdgeType: "FOLLOWS"},
+		&TemporalOrder{EdgeType: "RETWEETS", FromLabel: "Tweet", ToLabel: "Tweet", Key: "createdAt"},
+		&UniqueEdgeProp{EdgeType: "SCORED_GOAL", FromLabel: "Person", ToLabel: "Match", Key: "minute"},
+		&PathAssociation{ALabel: "Person", E1: "PLAYED_IN", BLabel: "Match", E2: "IN_TOURNAMENT", CLabel: "Tournament",
+			ReqE1: "IN_SQUAD", ReqLabel: "Squad", ReqE2: "FOR"},
+	}
+	for _, want := range cases {
+		nl := want.NL()
+		got, ok := ParseNL(nl)
+		if !ok {
+			t.Errorf("ParseNL failed for %q", nl)
+			continue
+		}
+		if got.DedupKey() != want.DedupKey() {
+			t.Errorf("round trip mismatch:\n nl:   %s\n got:  %s\n want: %s", nl, got.DedupKey(), want.DedupKey())
+		}
+		if got.Kind() != want.Kind() {
+			t.Errorf("kind mismatch for %q", nl)
+		}
+	}
+}
+
+func TestParseNLRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"This is not a rule.",
+		"Each node should have a property.",
+		"Each  node should have a id property.",
+		"The x property of Y nodes should only be one of purple elephants.",
+	} {
+		if r, ok := ParseNL(line); ok {
+			t.Errorf("ParseNL(%q) unexpectedly parsed as %s", line, r.DedupKey())
+		}
+	}
+}
+
+func TestParseNLTrimsWhitespace(t *testing.T) {
+	r, ok := ParseNL("   Each Tweet node should have a unique id property.  ")
+	if !ok || r.Kind() != KindUniqueProperty {
+		t.Error("whitespace should be tolerated")
+	}
+}
+
+func TestParseLiteralHelpers(t *testing.T) {
+	cases := map[string]graph.Value{
+		"null":      graph.Null,
+		"true":      graph.NewBool(true),
+		"42":        graph.NewInt(42),
+		"-7":        graph.NewInt(-7),
+		"2.5":       graph.NewFloat(2.5),
+		`"hi"`:      graph.NewString("hi"),
+		`[1, 2]`:    graph.NewList(graph.NewInt(1), graph.NewInt(2)),
+		`["a", []]`: graph.NewList(graph.NewString("a"), graph.NewList()),
+	}
+	for in, want := range cases {
+		got, ok := graph.ParseLiteral(in)
+		if !ok {
+			t.Errorf("ParseLiteral(%q) failed", in)
+			continue
+		}
+		if got.String() != want.String() {
+			t.Errorf("ParseLiteral(%q) = %s, want %s", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "nope", `"unterminated`, "[1,", "[bad]"} {
+		if _, ok := graph.ParseLiteral(bad); ok {
+			t.Errorf("ParseLiteral(%q) should fail", bad)
+		}
+	}
+}

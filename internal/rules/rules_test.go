@@ -1,0 +1,196 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// fixture builds a graph with known violations of every rule kind.
+func fixture() *graph.Graph {
+	g := graph.New("rf")
+	// Users: u3 misses name; u1/u2 share id 1; u3 has string "true" for a
+	// bool prop; u1 has malformed mail.
+	u1 := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(1), "name": graph.NewString("a"), "active": graph.NewBool(true), "mail": graph.NewString("not-a-mail")})
+	u2 := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(1), "name": graph.NewString("b"), "active": graph.NewBool(false), "mail": graph.NewString("b@x.io")})
+	u3 := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(3), "active": graph.NewString("true"), "mail": graph.NewString("c@x.io")})
+	// Tweets: t1 posted by u1; t2 orphan. t2 older than t1; t2 retweets t1
+	// (temporal violation).
+	t1 := g.AddNode([]string{"Tweet"}, graph.Props{"id": graph.NewInt(10), "at": graph.NewInt(100)})
+	t2 := g.AddNode([]string{"Tweet"}, graph.Props{"id": graph.NewInt(11), "at": graph.NewInt(50)})
+	g.MustAddEdge(u1.ID, t1.ID, []string{"POSTS"}, nil)
+	// Endpoint violation: a POSTS from a Tweet.
+	g.MustAddEdge(t1.ID, t2.ID, []string{"POSTS"}, nil)
+	// Self-loop violation.
+	g.MustAddEdge(u2.ID, u2.ID, []string{"FOLLOWS"}, nil)
+	g.MustAddEdge(u1.ID, u2.ID, []string{"FOLLOWS"}, nil)
+	// Temporal: t2(50) retweets t1(100): violation. t1 retweets t2: fine.
+	g.MustAddEdge(t2.ID, t1.ID, []string{"RETWEETS"}, nil)
+	g.MustAddEdge(t1.ID, t2.ID, []string{"RETWEETS"}, nil)
+	// SCORED-style duplicate edge property.
+	m := g.AddNode([]string{"Match"}, graph.Props{"id": graph.NewInt(99)})
+	g.MustAddEdge(u1.ID, m.ID, []string{"SCORED"}, graph.Props{"minute": graph.NewInt(5)})
+	g.MustAddEdge(u1.ID, m.ID, []string{"SCORED"}, graph.Props{"minute": graph.NewInt(5)})
+	g.MustAddEdge(u2.ID, m.ID, []string{"SCORED"}, graph.Props{"minute": graph.NewInt(5)})
+	// Path association: u1 PLAYED m, u1 IN_SQUAD s, s FOR c1 (match's comp);
+	// u2 PLAYED m without squad association.
+	comp := g.AddNode([]string{"Comp"}, graph.Props{"id": graph.NewInt(7)})
+	s := g.AddNode([]string{"Squad"}, nil)
+	g.MustAddEdge(m.ID, comp.ID, []string{"IN_COMP"}, nil)
+	g.MustAddEdge(u1.ID, m.ID, []string{"PLAYED"}, nil)
+	g.MustAddEdge(u2.ID, m.ID, []string{"PLAYED"}, nil)
+	g.MustAddEdge(u1.ID, s.ID, []string{"IN_SQUAD"}, nil)
+	g.MustAddEdge(s.ID, comp.ID, []string{"FOR"}, nil)
+	_ = u3
+	return g
+}
+
+// allRules returns one instance of every rule kind, with expected counts.
+func allRules() []struct {
+	r    Rule
+	want Counts
+} {
+	return []struct {
+		r    Rule
+		want Counts
+	}{
+		{&RequiredProperty{Label: "User", Key: "name"}, Counts{Support: 2, Body: 3, HeadTotal: 3}},
+		{&RequiredProperty{Label: "SCORED", Key: "minute", OnEdge: true}, Counts{Support: 3, Body: 3, HeadTotal: 3}},
+		{&UniqueProperty{Label: "User", Key: "id"}, Counts{Support: 1, Body: 3, HeadTotal: 3}},
+		{&ValueDomain{Label: "User", Key: "active", Allowed: []graph.Value{graph.NewBool(true), graph.NewBool(false)}}, Counts{Support: 2, Body: 3, HeadTotal: 3}},
+		{&ValueFormat{Label: "User", Key: "mail", Pattern: `[a-z]+@[a-z]+\.[a-z]{2,}`}, Counts{Support: 2, Body: 3, HeadTotal: 3}},
+		{&PropertyType{Label: "User", Key: "active", PropKind: graph.KindBool}, Counts{Support: 2, Body: 3, HeadTotal: 3}},
+		{&EdgeEndpoints{EdgeType: "POSTS", FromLabel: "User", ToLabel: "Tweet"}, Counts{Support: 1, Body: 2, HeadTotal: 2}},
+		{&MandatoryEdge{Label: "Tweet", EdgeType: "POSTS", Incoming: true, OtherLabel: "User"}, Counts{Support: 1, Body: 2, HeadTotal: 2}},
+		{&NoSelfLoop{EdgeType: "FOLLOWS"}, Counts{Support: 1, Body: 2, HeadTotal: 2}},
+		{&TemporalOrder{EdgeType: "RETWEETS", FromLabel: "Tweet", ToLabel: "Tweet", Key: "at"}, Counts{Support: 1, Body: 2, HeadTotal: 2}},
+		{&UniqueEdgeProp{EdgeType: "SCORED", FromLabel: "User", ToLabel: "Match", Key: "minute"}, Counts{Support: 1, Body: 3, HeadTotal: 3}},
+		{&PathAssociation{ALabel: "User", E1: "PLAYED", BLabel: "Match", E2: "IN_COMP", CLabel: "Comp",
+			ReqE1: "IN_SQUAD", ReqLabel: "Squad", ReqE2: "FOR"}, Counts{Support: 1, Body: 2, HeadTotal: 2}},
+	}
+}
+
+func TestCountsNative(t *testing.T) {
+	g := fixture()
+	for _, tc := range allRules() {
+		got, err := tc.r.CountsNative(g)
+		if err != nil {
+			t.Errorf("%s: %v", tc.r.DedupKey(), err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: native counts = %+v, want %+v", tc.r.DedupKey(), got, tc.want)
+		}
+	}
+}
+
+// TestCypherMatchesNative is the dual-path invariant: for every rule kind,
+// executing the reference Cypher yields exactly the native counts.
+func TestCypherMatchesNative(t *testing.T) {
+	g := fixture()
+	ex := cypher.NewExecutor(g)
+	for _, tc := range allRules() {
+		qs := tc.r.Queries()
+		runCount := func(src string) int64 {
+			t.Helper()
+			res, err := ex.Run(src, nil)
+			if err != nil {
+				t.Fatalf("%s: query %q failed: %v", tc.r.DedupKey(), src, err)
+			}
+			return res.FirstInt("n")
+		}
+		got := Counts{
+			Support:   runCount(qs.Support),
+			Body:      runCount(qs.Body),
+			HeadTotal: runCount(qs.HeadTotal),
+		}
+		native, _ := tc.r.CountsNative(g)
+		if got != native {
+			t.Errorf("%s: cypher counts = %+v, native = %+v", tc.r.DedupKey(), got, native)
+		}
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	c := Counts{Support: 3, Body: 4, HeadTotal: 6}
+	if cov := c.Coverage(); cov != 50 {
+		t.Errorf("coverage = %f", cov)
+	}
+	if conf := c.Confidence(); conf != 75 {
+		t.Errorf("confidence = %f", conf)
+	}
+	zero := Counts{}
+	if zero.Coverage() != 0 || zero.Confidence() != 0 {
+		t.Error("zero counts should yield zero metrics")
+	}
+}
+
+func TestNLAndFormalNonEmpty(t *testing.T) {
+	for _, tc := range allRules() {
+		if tc.r.NL() == "" || tc.r.Formal() == "" {
+			t.Errorf("%s: empty rendering", tc.r.DedupKey())
+		}
+		if tc.r.Kind().String() == "" {
+			t.Error("kind string empty")
+		}
+		// NL statements read like sentences.
+		if !strings.HasSuffix(tc.r.NL(), ".") {
+			t.Errorf("%s: NL should end with a period: %q", tc.r.DedupKey(), tc.r.NL())
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestComplexityClasses(t *testing.T) {
+	if (&RequiredProperty{}).Complexity() != Simple {
+		t.Error("required-property should be simple")
+	}
+	if (&NoSelfLoop{}).Complexity() != Structural {
+		t.Error("no-self-loop should be structural")
+	}
+	if (&PathAssociation{}).Complexity() != Complex {
+		t.Error("path-association should be complex")
+	}
+	if (&TemporalOrder{}).Complexity() != Complex {
+		t.Error("temporal-order should be complex")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	a := &UniqueProperty{Label: "User", Key: "id"}
+	b := &UniqueProperty{Label: "User", Key: "id"}
+	c := &UniqueProperty{Label: "User", Key: "mail"}
+	out := Dedupe([]Rule{a, b, c, a})
+	if len(out) != 2 {
+		t.Fatalf("dedupe kept %d", len(out))
+	}
+	if out[0] != Rule(a) || out[1] != Rule(c) {
+		t.Error("dedupe order wrong")
+	}
+	SortRules(out)
+	if out[0].DedupKey() > out[1].DedupKey() {
+		t.Error("sort wrong")
+	}
+}
+
+func TestValueFormatBadPattern(t *testing.T) {
+	r := &ValueFormat{Label: "User", Key: "mail", Pattern: "["}
+	if _, err := r.CountsNative(graph.New("x")); err == nil {
+		t.Error("bad pattern should error")
+	}
+}
+
+func TestQueriesAreParseable(t *testing.T) {
+	for _, tc := range allRules() {
+		qs := tc.r.Queries()
+		for _, src := range []string{qs.Support, qs.Body, qs.HeadTotal} {
+			if _, err := cypher.Parse(src); err != nil {
+				t.Errorf("%s: reference query does not parse: %v\n%s", tc.r.DedupKey(), err, src)
+			}
+		}
+	}
+}

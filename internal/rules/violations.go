@@ -1,0 +1,129 @@
+package rules
+
+import (
+	"fmt"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Violations renders, for each rule kind, a Cypher query returning the
+// concrete elements that violate the rule (premise holds, conclusion does
+// not). This powers the paper's future-work direction of explaining rules
+// to domain experts: a rule's rationale is its evidence, and its value is
+// the violations it exposes.
+//
+// The limit caps returned rows (<=0 means 25).
+func Violations(r Rule, limit int) (string, error) {
+	if limit <= 0 {
+		limit = 25
+	}
+	switch x := r.(type) {
+	case *RequiredProperty:
+		if x.OnEdge {
+			return fmt.Sprintf(
+				"MATCH (a)-[r:%s]->(b) WHERE r.%s IS NULL RETURN id(a) AS from, id(b) AS to LIMIT %d",
+				x.Label, x.Key, limit), nil
+		}
+		return fmt.Sprintf(
+			"MATCH (x:%s) WHERE x.%s IS NULL RETURN id(x) AS node LIMIT %d",
+			x.Label, x.Key, limit), nil
+	case *UniqueProperty:
+		return fmt.Sprintf(
+			"MATCH (x:%s) WHERE x.%s IS NOT NULL WITH x.%s AS v, count(*) AS c, collect(id(x)) AS nodes WHERE c > 1 RETURN v AS value, nodes LIMIT %d",
+			x.Label, x.Key, x.Key, limit), nil
+	case *ValueDomain:
+		return fmt.Sprintf(
+			"MATCH (x:%s) WHERE x.%s IS NOT NULL AND NOT x.%s IN %s RETURN id(x) AS node, x.%s AS value LIMIT %d",
+			x.Label, x.Key, x.Key, x.allowedList(), x.Key, limit), nil
+	case *ValueFormat:
+		pat := escapePattern(x.Pattern)
+		return fmt.Sprintf(
+			"MATCH (x:%s) WHERE x.%s IS NOT NULL AND NOT x.%s =~ '%s' RETURN id(x) AS node, x.%s AS value LIMIT %d",
+			x.Label, x.Key, x.Key, pat, x.Key, limit), nil
+	case *PropertyType:
+		return propertyTypeViolations(x, limit)
+	case *EdgeEndpoints:
+		return fmt.Sprintf(
+			"MATCH (a)-[r:%s]->(b) WHERE NOT (a:%s AND b:%s) RETURN id(a) AS from, id(b) AS to LIMIT %d",
+			x.EdgeType, x.FromLabel, x.ToLabel, limit), nil
+	case *MandatoryEdge:
+		pat := fmt.Sprintf("(x)-[:%s]->(:%s)", x.EdgeType, x.OtherLabel)
+		if x.Incoming {
+			pat = fmt.Sprintf("(x)<-[:%s]-(:%s)", x.EdgeType, x.OtherLabel)
+		}
+		return fmt.Sprintf(
+			"MATCH (x:%s) WHERE NOT %s RETURN id(x) AS node LIMIT %d",
+			x.Label, pat, limit), nil
+	case *NoSelfLoop:
+		return fmt.Sprintf(
+			"MATCH (a)-[r:%s]->(a) RETURN id(a) AS node LIMIT %d",
+			x.EdgeType, limit), nil
+	case *TemporalOrder:
+		return fmt.Sprintf(
+			"MATCH (a:%s)-[r:%s]->(b:%s) WHERE a.%s IS NOT NULL AND b.%s IS NOT NULL AND a.%s < b.%s "+
+				"RETURN id(a) AS from, a.%s AS fromTime, id(b) AS to, b.%s AS toTime LIMIT %d",
+			x.FromLabel, x.EdgeType, x.ToLabel, x.Key, x.Key, x.Key, x.Key, x.Key, x.Key, limit), nil
+	case *UniqueEdgeProp:
+		return fmt.Sprintf(
+			"MATCH (a:%s)-[r:%s]->(b:%s) WHERE r.%s IS NOT NULL WITH a, b, r.%s AS v, count(*) AS c "+
+				"WHERE c > 1 RETURN id(a) AS from, id(b) AS to, v AS value, c AS copies LIMIT %d",
+			x.FromLabel, x.EdgeType, x.ToLabel, x.Key, x.Key, limit), nil
+	case *PathAssociation:
+		return fmt.Sprintf(
+			"MATCH (a:%s)-[:%s]->(b:%s)-[:%s]->(c:%s) WHERE NOT (a)-[:%s]->(:%s)-[:%s]->(c) "+
+				"RETURN id(a) AS a, id(b) AS b, id(c) AS c LIMIT %d",
+			x.ALabel, x.E1, x.BLabel, x.E2, x.CLabel, x.ReqE1, x.ReqLabel, x.ReqE2, limit), nil
+	default:
+		return "", fmt.Errorf("rules: no violation query for %T", r)
+	}
+}
+
+func propertyTypeViolations(x *PropertyType, limit int) (string, error) {
+	var pred string
+	ref := "x." + x.Key
+	switch x.PropKind {
+	case graph.KindBool:
+		pred = "NOT " + ref + " IN [true, false]"
+	case graph.KindString:
+		pred = "NOT " + ref + " =~ '(?s).*'"
+	default:
+		pred = "NOT toString(toInteger(" + ref + ")) = toString(" + ref + ")"
+	}
+	if x.OnEdge {
+		return fmt.Sprintf(
+			"MATCH (a)-[x:%s]->(b) WHERE x.%s IS NOT NULL AND %s RETURN id(a) AS from, id(b) AS to LIMIT %d",
+			x.Label, x.Key, pred, limit), nil
+	}
+	return fmt.Sprintf(
+		"MATCH (x:%s) WHERE x.%s IS NOT NULL AND %s RETURN id(x) AS node, x.%s AS value LIMIT %d",
+		x.Label, x.Key, pred, x.Key, limit), nil
+}
+
+func escapePattern(p string) string {
+	out := make([]byte, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\'':
+			out = append(out, '\\', '\'')
+		default:
+			out = append(out, p[i])
+		}
+	}
+	return string(out)
+}
+
+// Explain renders a domain-expert-facing rationale for a rule given its
+// evaluated counts: what the rule asserts formally, how much of the graph
+// it speaks about, and how reliable it is.
+func Explain(r Rule, c Counts) string {
+	verdict := "is always satisfied"
+	violations := c.Body - c.Support
+	if violations > 0 {
+		verdict = fmt.Sprintf("is violated by %d element(s)", violations)
+	}
+	return fmt.Sprintf(
+		"%s Formally: %s. The premise applies to %d element(s) covering %.1f%% of the %d facts in its scope; the rule %s (confidence %.1f%%).",
+		r.NL(), r.Formal(), c.Body, c.Coverage(), c.HeadTotal, verdict, c.Confidence())
+}

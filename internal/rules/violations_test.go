@@ -1,0 +1,110 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// TestViolationsQueriesExecute runs every rule kind's violation query on
+// the fixture and checks the row count equals body - support (the
+// violation count by definition).
+func TestViolationsQueriesExecute(t *testing.T) {
+	g := fixture()
+	ex := cypher.NewExecutor(g)
+	for _, tc := range allRules() {
+		q, err := Violations(tc.r, 1000)
+		if err != nil {
+			t.Errorf("%s: %v", tc.r.DedupKey(), err)
+			continue
+		}
+		res, err := ex.Run(q, nil)
+		if err != nil {
+			t.Errorf("%s: violation query failed: %v\n%s", tc.r.DedupKey(), err, q)
+			continue
+		}
+		counts, _ := tc.r.CountsNative(g)
+		wantViolations := counts.Body - counts.Support
+		// Grouped queries (uniqueness kinds) return one row per violating
+		// group, not per element; allow rows <= violations there.
+		switch tc.r.Kind() {
+		case KindUniqueProperty, KindUniqueEdgeProp:
+			if wantViolations > 0 && res.Len() == 0 {
+				t.Errorf("%s: expected violation groups, got none", tc.r.DedupKey())
+			}
+			if wantViolations == 0 && res.Len() != 0 {
+				t.Errorf("%s: unexpected violation groups", tc.r.DedupKey())
+			}
+		default:
+			if int64(res.Len()) != wantViolations {
+				t.Errorf("%s: violation rows = %d, want %d (counts %+v)\n%s",
+					tc.r.DedupKey(), res.Len(), wantViolations, counts, q)
+			}
+		}
+	}
+}
+
+func TestViolationsLimit(t *testing.T) {
+	g := graph.New("lim")
+	for i := 0; i < 50; i++ {
+		g.AddNode([]string{"N"}, graph.Props{}) // all missing "k"
+	}
+	r := &RequiredProperty{Label: "N", Key: "k"}
+	q, err := Violations(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cypher.NewExecutor(g).Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 10 {
+		t.Errorf("limit not applied: %d rows", res.Len())
+	}
+	// Default limit.
+	q, _ = Violations(r, 0)
+	res, _ = cypher.NewExecutor(g).Run(q, nil)
+	if res.Len() != 25 {
+		t.Errorf("default limit = %d rows", res.Len())
+	}
+}
+
+func TestViolationsFormatEscaping(t *testing.T) {
+	g := graph.New("esc")
+	g.AddNode([]string{"N"}, graph.Props{"k": graph.NewString("x")})
+	g.AddNode([]string{"N"}, graph.Props{"k": graph.NewString("2020-01-01")})
+	r := &ValueFormat{Label: "N", Key: "k", Pattern: `\d{4}-\d{2}-\d{2}`}
+	q, err := Violations(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cypher.NewExecutor(g).Run(q, nil)
+	if err != nil {
+		t.Fatalf("escaped pattern should execute: %v\n%s", err, q)
+	}
+	if res.Len() != 1 || res.Value(0, "value").Str() != "x" {
+		t.Errorf("violations = %+v", res.Rows)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	r := &UniqueProperty{Label: "Tweet", Key: "id"}
+	s := Explain(r, Counts{Support: 90, Body: 100, HeadTotal: 120})
+	for _, want := range []string{
+		"Each Tweet node should have a unique id property.",
+		"violated by 10 element(s)",
+		"confidence 90.0%",
+		"75.0%",
+		"∀x,y",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, s)
+		}
+	}
+	clean := Explain(r, Counts{Support: 100, Body: 100, HeadTotal: 100})
+	if !strings.Contains(clean, "always satisfied") {
+		t.Error("clean rule should read as always satisfied")
+	}
+}

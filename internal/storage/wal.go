@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// OpKind identifies one WAL record type.
+type OpKind string
+
+// WAL record kinds.
+const (
+	OpAddNode     OpKind = "add-node"
+	OpAddEdge     OpKind = "add-edge"
+	OpSetNodeProp OpKind = "set-node-prop"
+	OpSetEdgeProp OpKind = "set-edge-prop"
+	OpRemoveNode  OpKind = "remove-node"
+	OpRemoveEdge  OpKind = "remove-edge"
+)
+
+// Record is one WAL entry (JSON-lines on disk).
+type Record struct {
+	Op     OpKind         `json:"op"`
+	ID     int64          `json:"id,omitempty"`
+	From   int64          `json:"from,omitempty"`
+	To     int64          `json:"to,omitempty"`
+	Labels []string       `json:"labels,omitempty"`
+	Props  map[string]any `json:"props,omitempty"`
+	Key    string         `json:"key,omitempty"`
+	Value  any            `json:"value,omitempty"`
+}
+
+// WAL is a write-ahead log capturing graph mutations as JSON lines. It is
+// safe for concurrent use.
+type WAL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWAL returns a WAL writing to w.
+func NewWAL(w io.Writer) *WAL {
+	return &WAL{w: bufio.NewWriter(w)}
+}
+
+// Len returns the number of records appended so far.
+func (l *WAL) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Append writes one record and flushes it.
+func (l *WAL) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		l.err = err
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// LoggedGraph wraps a Graph so that every mutation is appended to a WAL
+// before being applied.
+type LoggedGraph struct {
+	*graph.Graph
+	wal *WAL
+}
+
+// NewLoggedGraph wraps g with WAL capture.
+func NewLoggedGraph(g *graph.Graph, wal *WAL) *LoggedGraph {
+	return &LoggedGraph{Graph: g, wal: wal}
+}
+
+// AddNode logs then applies a node insertion.
+func (lg *LoggedGraph) AddNode(labels []string, props graph.Props) (*graph.Node, error) {
+	n := lg.Graph.AddNode(labels, props)
+	err := lg.wal.Append(Record{Op: OpAddNode, ID: int64(n.ID), Labels: labels, Props: propsToAny(props)})
+	return n, err
+}
+
+// AddEdge logs then applies an edge insertion.
+func (lg *LoggedGraph) AddEdge(from, to graph.ID, labels []string, props graph.Props) (*graph.Edge, error) {
+	e, err := lg.Graph.AddEdge(from, to, labels, props)
+	if err != nil {
+		return nil, err
+	}
+	err = lg.wal.Append(Record{
+		Op: OpAddEdge, ID: int64(e.ID), From: int64(from), To: int64(to),
+		Labels: labels, Props: propsToAny(props),
+	})
+	return e, err
+}
+
+// SetNodeProp logs then applies a node property update.
+func (lg *LoggedGraph) SetNodeProp(id graph.ID, key string, v graph.Value) error {
+	if err := lg.Graph.SetNodeProp(id, key, v); err != nil {
+		return err
+	}
+	return lg.wal.Append(Record{Op: OpSetNodeProp, ID: int64(id), Key: key, Value: valueToAny(v)})
+}
+
+// SetEdgeProp logs then applies an edge property update.
+func (lg *LoggedGraph) SetEdgeProp(id graph.ID, key string, v graph.Value) error {
+	if err := lg.Graph.SetEdgeProp(id, key, v); err != nil {
+		return err
+	}
+	return lg.wal.Append(Record{Op: OpSetEdgeProp, ID: int64(id), Key: key, Value: valueToAny(v)})
+}
+
+// RemoveNode logs then applies a node removal.
+func (lg *LoggedGraph) RemoveNode(id graph.ID) error {
+	lg.Graph.RemoveNode(id)
+	return lg.wal.Append(Record{Op: OpRemoveNode, ID: int64(id)})
+}
+
+// RemoveEdge logs then applies an edge removal.
+func (lg *LoggedGraph) RemoveEdge(id graph.ID) error {
+	lg.Graph.RemoveEdge(id)
+	return lg.wal.Append(Record{Op: OpRemoveEdge, ID: int64(id)})
+}
+
+// Replay applies a WAL stream to an empty graph and returns it. Node and
+// edge IDs in the log are mapped to the replayed graph's IDs.
+func Replay(name string, r io.Reader) (*graph.Graph, error) {
+	g := graph.New(name)
+	nodeMap := map[int64]graph.ID{}
+	edgeMap := map[int64]graph.ID{}
+	dec := json.NewDecoder(r)
+	line := 0
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return g, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+		}
+		line++
+		switch rec.Op {
+		case OpAddNode:
+			props, err := anyToProps(rec.Props)
+			if err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+			n := g.AddNode(rec.Labels, props)
+			nodeMap[rec.ID] = n.ID
+		case OpAddEdge:
+			props, err := anyToProps(rec.Props)
+			if err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+			from, ok1 := nodeMap[rec.From]
+			to, ok2 := nodeMap[rec.To]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("storage: wal line %d: unknown endpoint", line)
+			}
+			e, err := g.AddEdge(from, to, rec.Labels, props)
+			if err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+			edgeMap[rec.ID] = e.ID
+		case OpSetNodeProp:
+			id, ok := nodeMap[rec.ID]
+			if !ok {
+				return nil, fmt.Errorf("storage: wal line %d: unknown node %d", line, rec.ID)
+			}
+			v, err := anyToValue(rec.Value)
+			if err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+			if err := g.SetNodeProp(id, rec.Key, v); err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+		case OpSetEdgeProp:
+			id, ok := edgeMap[rec.ID]
+			if !ok {
+				return nil, fmt.Errorf("storage: wal line %d: unknown edge %d", line, rec.ID)
+			}
+			v, err := anyToValue(rec.Value)
+			if err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+			if err := g.SetEdgeProp(id, rec.Key, v); err != nil {
+				return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
+			}
+		case OpRemoveNode:
+			id, ok := nodeMap[rec.ID]
+			if !ok {
+				return nil, fmt.Errorf("storage: wal line %d: unknown node %d", line, rec.ID)
+			}
+			g.RemoveNode(id)
+		case OpRemoveEdge:
+			id, ok := edgeMap[rec.ID]
+			if !ok {
+				return nil, fmt.Errorf("storage: wal line %d: unknown edge %d", line, rec.ID)
+			}
+			g.RemoveEdge(id)
+		default:
+			return nil, fmt.Errorf("storage: wal line %d: unknown op %q", line, rec.Op)
+		}
+	}
+}

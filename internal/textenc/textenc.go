@@ -1,0 +1,401 @@
+// Package textenc converts property graphs into the textual encodings an
+// LLM consumes (step 1 of the paper's pipeline, Figure 1) and splits the
+// encoded text into LLM-sized pieces: overlapping sliding windows (§3.1.1)
+// or retrieval chunks for RAG (§3.1.2).
+//
+// The primary encoder is the *incident* encoder of Fatemi et al. ("Talk
+// like a Graph"), which describes every node together with its incident
+// edges. Adjacency and triplet encoders are provided for ablation.
+package textenc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Paper defaults (§3.1.1): the window size and overlap are "the maximum
+// allowed by the LLMs limit, that is 8000 tokens for the window size, and
+// 500 tokens overlap".
+const (
+	DefaultWindowTokens  = 8000
+	DefaultOverlapTokens = 500
+)
+
+// Block records the token span of one graph element group (a node together
+// with its incident-edge descriptions) inside an Encoding. Blocks drive the
+// boundary-break audit of §4.5.
+type Block struct {
+	Node  graph.ID
+	Start int // first token index, inclusive
+	End   int // last token index, exclusive
+}
+
+// Len returns the block length in tokens.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Encoding is a tokenized textual rendering of a graph.
+type Encoding struct {
+	EncoderName string
+	Tokens      []string
+	Blocks      []Block
+}
+
+// Text reconstructs the full encoded text.
+func (e *Encoding) Text() string { return strings.Join(e.Tokens, " ") }
+
+// TokenCount returns the number of tokens in the encoding.
+func (e *Encoding) TokenCount() int { return len(e.Tokens) }
+
+// Slice renders tokens [start, end) as text.
+func (e *Encoding) Slice(start, end int) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(e.Tokens) {
+		end = len(e.Tokens)
+	}
+	if start >= end {
+		return ""
+	}
+	return strings.Join(e.Tokens[start:end], " ")
+}
+
+// Encoder turns a graph into a tokenized text encoding.
+type Encoder interface {
+	Name() string
+	Encode(g *graph.Graph) *Encoding
+}
+
+// Tokenize splits text into whitespace-delimited tokens, keeping
+// double-quoted strings (with their quotes) as single tokens. The count
+// approximates LLM tokens at word granularity, which is the accounting the
+// window/overlap budget uses.
+func Tokenize(text string) []string {
+	var toks []string
+	i := 0
+	n := len(text)
+	for i < n {
+		for i < n && isSpace(text[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		if text[i] == '"' {
+			i++
+			for i < n && text[i] != '"' {
+				if text[i] == '\\' && i+1 < n {
+					i++
+				}
+				i++
+			}
+			if i < n {
+				i++ // closing quote
+			}
+			// Consume trailing punctuation glued to the string.
+			for i < n && !isSpace(text[i]) {
+				i++
+			}
+		} else {
+			for i < n && !isSpace(text[i]) {
+				i++
+			}
+		}
+		toks = append(toks, text[start:i])
+	}
+	return toks
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+// CountTokens returns the token count of a text under Tokenize's rules.
+func CountTokens(text string) int { return len(Tokenize(text)) }
+
+// ---------- Incident encoder ----------
+
+// IncidentEncoder renders each node with its labels, properties and
+// incident (outgoing and incoming) edges. Edge lines are self-contained:
+// they inline the neighbour's labels, so a window never needs the
+// neighbour's own description to know what an edge connects:
+//
+//	Node 42 with labels Person has properties (id: 10042, name: "Alex").
+//	Node 42 has edge SCORED_GOAL to node 77 (Match) with properties (minute: 5).
+//	Node 42 has incoming edge IN_SQUAD from node 13 (Squad).
+type IncidentEncoder struct {
+	// SkipIncoming omits incoming-edge lines, halving the encoding size at
+	// the cost of per-node locality of in-neighbourhood information.
+	SkipIncoming bool
+}
+
+// Name implements Encoder.
+func (IncidentEncoder) Name() string { return "incident" }
+
+// Encode implements Encoder.
+func (enc IncidentEncoder) Encode(g *graph.Graph) *Encoding {
+	e := &Encoding{EncoderName: enc.Name()}
+	var sb strings.Builder
+	g.ForEachNode(func(n *graph.Node) {
+		start := len(e.Tokens)
+		sb.Reset()
+		writeNodeLine(&sb, n)
+		for _, eid := range g.OutEdges(n.ID) {
+			ed := g.Edge(eid)
+			fmt.Fprintf(&sb, "Node %d has edge %s to node %d%s%s. ",
+				n.ID, ed.Type(), ed.To, labelSuffix(g.Node(ed.To)), propsSuffix(ed.Props))
+		}
+		if !enc.SkipIncoming {
+			for _, eid := range g.InEdges(n.ID) {
+				ed := g.Edge(eid)
+				if ed.From == ed.To {
+					continue // self-loop already listed as outgoing
+				}
+				fmt.Fprintf(&sb, "Node %d has incoming edge %s from node %d%s. ",
+					n.ID, ed.Type(), ed.From, labelSuffix(g.Node(ed.From)))
+			}
+		}
+		e.Tokens = append(e.Tokens, Tokenize(sb.String())...)
+		e.Blocks = append(e.Blocks, Block{Node: n.ID, Start: start, End: len(e.Tokens)})
+	})
+	return e
+}
+
+func writeNodeLine(sb *strings.Builder, n *graph.Node) {
+	fmt.Fprintf(sb, "Node %d with labels %s %s. ", n.ID, strings.Join(n.Labels, ", "), propsClause(n.Props))
+}
+
+func labelSuffix(n *graph.Node) string {
+	if n == nil || len(n.Labels) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(n.Labels, ", ") + ")"
+}
+
+func propsClause(p graph.Props) string {
+	if len(p) == 0 {
+		return "has no properties"
+	}
+	return "has properties (" + propsList(p) + ")"
+}
+
+func propsSuffix(p graph.Props) string {
+	if len(p) == 0 {
+		return ""
+	}
+	return " with properties (" + propsList(p) + ")"
+}
+
+func propsList(p graph.Props) string {
+	keys := p.Keys()
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + ": " + p[k].String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------- Adjacency encoder ----------
+
+// AdjacencyEncoder first lists every node, then every edge as an adjacency
+// statement. Node context and edge context are far apart, which is its
+// known weakness for rule mining.
+type AdjacencyEncoder struct{}
+
+// Name implements Encoder.
+func (AdjacencyEncoder) Name() string { return "adjacency" }
+
+// Encode implements Encoder.
+func (AdjacencyEncoder) Encode(g *graph.Graph) *Encoding {
+	e := &Encoding{EncoderName: "adjacency"}
+	var sb strings.Builder
+	g.ForEachNode(func(n *graph.Node) {
+		start := len(e.Tokens)
+		sb.Reset()
+		writeNodeLine(&sb, n)
+		e.Tokens = append(e.Tokens, Tokenize(sb.String())...)
+		e.Blocks = append(e.Blocks, Block{Node: n.ID, Start: start, End: len(e.Tokens)})
+	})
+	g.ForEachEdge(func(ed *graph.Edge) {
+		sb.Reset()
+		fmt.Fprintf(&sb, "Node %d%s is connected by %s to node %d%s%s. ",
+			ed.From, labelSuffix(g.Node(ed.From)), ed.Type(), ed.To, labelSuffix(g.Node(ed.To)), propsSuffix(ed.Props))
+		e.Tokens = append(e.Tokens, Tokenize(sb.String())...)
+	})
+	return e
+}
+
+// ---------- Triplet encoder ----------
+
+// TripletEncoder renders one (subject, predicate, object) style line per
+// edge with inline node descriptions, plus one line per isolated node.
+type TripletEncoder struct{}
+
+// Name implements Encoder.
+func (TripletEncoder) Name() string { return "triplet" }
+
+// Encode implements Encoder.
+func (TripletEncoder) Encode(g *graph.Graph) *Encoding {
+	e := &Encoding{EncoderName: "triplet"}
+	var sb strings.Builder
+	nodeRef := func(n *graph.Node) string {
+		return fmt.Sprintf("(node %d: %s %s)", n.ID, strings.Join(n.Labels, ","), propsClause(n.Props))
+	}
+	g.ForEachEdge(func(ed *graph.Edge) {
+		sb.Reset()
+		from, to := g.Node(ed.From), g.Node(ed.To)
+		fmt.Fprintf(&sb, "%s %s %s%s. ", nodeRef(from), ed.Type(), nodeRef(to), propsSuffix(ed.Props))
+		e.Tokens = append(e.Tokens, Tokenize(sb.String())...)
+	})
+	g.ForEachNode(func(n *graph.Node) {
+		if g.OutDegree(n.ID) == 0 && g.InDegree(n.ID) == 0 {
+			start := len(e.Tokens)
+			sb.Reset()
+			writeNodeLine(&sb, n)
+			e.Tokens = append(e.Tokens, Tokenize(sb.String())...)
+			e.Blocks = append(e.Blocks, Block{Node: n.ID, Start: start, End: len(e.Tokens)})
+		}
+	})
+	return e
+}
+
+// Encoders returns the available encoders keyed by name.
+func Encoders() map[string]Encoder {
+	return map[string]Encoder{
+		"incident":  IncidentEncoder{},
+		"adjacency": AdjacencyEncoder{},
+		"triplet":   TripletEncoder{},
+	}
+}
+
+// EncoderNames returns the sorted encoder names.
+func EncoderNames() []string {
+	names := make([]string, 0, 3)
+	for n := range Encoders() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------- Sliding windows ----------
+
+// Window is one slice of an encoding handed to the LLM.
+type Window struct {
+	Index int
+	Start int // token offset, inclusive
+	End   int // token offset, exclusive
+	Text  string
+}
+
+// TokenCount returns the window length in tokens.
+func (w Window) TokenCount() int { return w.End - w.Start }
+
+// SlidingWindows cuts the encoding into overlapping windows of `size`
+// tokens advancing by `size-overlap` (§3.1.1). The final window may be
+// shorter. size must exceed overlap.
+func SlidingWindows(e *Encoding, size, overlap int) ([]Window, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("textenc: window size must be positive, got %d", size)
+	}
+	if overlap < 0 || overlap >= size {
+		return nil, fmt.Errorf("textenc: overlap %d must be in [0, size) with size %d", overlap, size)
+	}
+	stride := size - overlap
+	var out []Window
+	for start := 0; ; start += stride {
+		end := start + size
+		if end > len(e.Tokens) {
+			end = len(e.Tokens)
+		}
+		if start >= end {
+			break
+		}
+		out = append(out, Window{
+			Index: len(out),
+			Start: start,
+			End:   end,
+			Text:  e.Slice(start, end),
+		})
+		if end == len(e.Tokens) {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Window{Index: 0})
+	}
+	return out, nil
+}
+
+// BrokenBlocks returns the element blocks that are not fully contained in
+// any single window — the "patterns broken" between windows that §4.5
+// counts (6 for WWC2019, 11 for Cybersecurity, 6 for Twitter in the paper's
+// runs). A block is broken when it is longer than the overlap and straddles
+// a window boundary.
+func BrokenBlocks(e *Encoding, size, overlap int) ([]Block, error) {
+	windows, err := SlidingWindows(e, size, overlap)
+	if err != nil {
+		return nil, err
+	}
+	var broken []Block
+	for _, b := range e.Blocks {
+		contained := false
+		for _, w := range windows {
+			if b.Start >= w.Start && b.End <= w.End {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			broken = append(broken, b)
+		}
+	}
+	return broken, nil
+}
+
+// ---------- RAG chunks ----------
+
+// Chunks cuts the encoding into non-overlapping pieces of at most
+// chunkTokens tokens, aligned to block boundaries where possible (a block
+// longer than chunkTokens is split mid-block). These are the units embedded
+// into the vector store for RAG.
+func Chunks(e *Encoding, chunkTokens int) ([]Window, error) {
+	if chunkTokens <= 0 {
+		return nil, fmt.Errorf("textenc: chunk size must be positive, got %d", chunkTokens)
+	}
+	var out []Window
+	emit := func(start, end int) {
+		if start >= end {
+			return
+		}
+		out = append(out, Window{Index: len(out), Start: start, End: end, Text: e.Slice(start, end)})
+	}
+	cur := 0
+	pos := 0
+	for _, b := range e.Blocks {
+		// Tokens between blocks (edge lines of non-block encoders) ride
+		// along with the preceding block.
+		blockEnd := b.End
+		if blockEnd-cur > chunkTokens && pos > cur {
+			emit(cur, pos)
+			cur = pos
+		}
+		for blockEnd-cur > chunkTokens {
+			emit(cur, cur+chunkTokens)
+			cur += chunkTokens
+		}
+		pos = blockEnd
+	}
+	// Trailing tokens after the last block.
+	for len(e.Tokens)-cur > chunkTokens {
+		emit(cur, cur+chunkTokens)
+		cur += chunkTokens
+	}
+	emit(cur, len(e.Tokens))
+	if len(out) == 0 {
+		out = append(out, Window{Index: 0})
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package textenc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+func fixture() *graph.Graph {
+	g := graph.New("fx")
+	a := g.AddNode([]string{"User"}, graph.Props{"id": graph.NewInt(1), "name": graph.NewString("alice smith")})
+	b := g.AddNode([]string{"Tweet"}, graph.Props{"id": graph.NewInt(2)})
+	c := g.AddNode([]string{"Lonely"}, nil)
+	_ = c
+	g.MustAddEdge(a.ID, b.ID, []string{"POSTS"}, graph.Props{"at": graph.NewInt(9)})
+	g.MustAddEdge(a.ID, a.ID, []string{"SELF"}, nil)
+	return g
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize(`Node 1 has properties (name: "alice smith", id: 3).`)
+	joined := strings.Join(toks, "|")
+	if !strings.Contains(joined, `"alice smith",`) {
+		t.Errorf("quoted string should stay one token: %v", toks)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("empty text should have no tokens")
+	}
+	if n := CountTokens("a b  c\n d"); n != 4 {
+		t.Errorf("CountTokens = %d", n)
+	}
+	// Escaped quote inside string.
+	toks = Tokenize(`"a\"b" rest`)
+	if len(toks) != 2 || toks[0] != `"a\"b"` {
+		t.Errorf("escaped quote handling wrong: %v", toks)
+	}
+}
+
+func TestIncidentEncoder(t *testing.T) {
+	g := fixture()
+	e := IncidentEncoder{}.Encode(g)
+	text := e.Text()
+	for _, want := range []string{
+		"Node 0 with labels User has properties (id: 1, name: \"alice smith\").",
+		"Node 0 has edge POSTS to node 1 (Tweet) with properties (at: 9).",
+		"Node 0 has edge SELF to node 0 (User).",
+		"Node 1 has incoming edge POSTS from node 0 (User).",
+		"Node 2 with labels Lonely has no properties.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("incident encoding missing %q\nin: %s", want, text)
+		}
+	}
+	// Self-loop must not be duplicated as incoming.
+	if strings.Contains(text, "Node 0 has incoming edge SELF") {
+		t.Error("self-loop duplicated as incoming edge")
+	}
+	if len(e.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(e.Blocks))
+	}
+	// Blocks are contiguous and ordered.
+	for i := 1; i < len(e.Blocks); i++ {
+		if e.Blocks[i].Start != e.Blocks[i-1].End {
+			t.Error("blocks not contiguous")
+		}
+	}
+	if e.Blocks[len(e.Blocks)-1].End != len(e.Tokens) {
+		t.Error("blocks do not cover the token stream")
+	}
+}
+
+func TestIncidentSkipIncoming(t *testing.T) {
+	g := fixture()
+	full := IncidentEncoder{}.Encode(g)
+	slim := IncidentEncoder{SkipIncoming: true}.Encode(g)
+	if slim.TokenCount() >= full.TokenCount() {
+		t.Error("SkipIncoming should shrink the encoding")
+	}
+	if strings.Contains(slim.Text(), "incoming") {
+		t.Error("SkipIncoming still has incoming lines")
+	}
+}
+
+func TestAdjacencyEncoder(t *testing.T) {
+	g := fixture()
+	e := AdjacencyEncoder{}.Encode(g)
+	text := e.Text()
+	if !strings.Contains(text, "Node 0 (User) is connected by POSTS to node 1 (Tweet)") {
+		t.Errorf("adjacency missing edge line: %s", text)
+	}
+	if !strings.Contains(text, "Node 2 with labels Lonely") {
+		t.Error("adjacency missing node line")
+	}
+}
+
+func TestTripletEncoder(t *testing.T) {
+	g := fixture()
+	e := TripletEncoder{}.Encode(g)
+	text := e.Text()
+	if !strings.Contains(text, "POSTS") || !strings.Contains(text, "(node 0:") {
+		t.Errorf("triplet encoding wrong: %s", text)
+	}
+	if !strings.Contains(text, "Node 2 with labels Lonely") {
+		t.Error("isolated node missing from triplet encoding")
+	}
+}
+
+func TestEncodersRegistry(t *testing.T) {
+	names := EncoderNames()
+	if len(names) != 3 || names[0] != "adjacency" {
+		t.Errorf("EncoderNames = %v", names)
+	}
+	for name, enc := range Encoders() {
+		if enc.Name() != name {
+			t.Errorf("encoder %q reports name %q", name, enc.Name())
+		}
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	e := &Encoding{Tokens: make([]string, 100)}
+	for i := range e.Tokens {
+		e.Tokens[i] = "t"
+	}
+	ws, err := SlidingWindows(e, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stride 30: [0,40) [30,70) [60,100)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	if ws[1].Start != 30 || ws[1].End != 70 {
+		t.Errorf("window 1 = [%d,%d)", ws[1].Start, ws[1].End)
+	}
+	if ws[2].End != 100 {
+		t.Errorf("last window end = %d", ws[2].End)
+	}
+	if ws[0].TokenCount() != 40 {
+		t.Error("window token count wrong")
+	}
+	// Exact fit: no empty trailing window.
+	ws, _ = SlidingWindows(&Encoding{Tokens: make([]string, 40)}, 40, 10)
+	if len(ws) != 1 {
+		t.Errorf("exact fit windows = %d", len(ws))
+	}
+	// Empty encoding still yields one (empty) window.
+	ws, _ = SlidingWindows(&Encoding{}, 40, 10)
+	if len(ws) != 1 {
+		t.Error("empty encoding should yield one window")
+	}
+}
+
+func TestSlidingWindowsErrors(t *testing.T) {
+	e := &Encoding{Tokens: []string{"a"}}
+	if _, err := SlidingWindows(e, 0, 0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := SlidingWindows(e, 10, 10); err == nil {
+		t.Error("overlap == size should fail")
+	}
+	if _, err := SlidingWindows(e, 10, -1); err == nil {
+		t.Error("negative overlap should fail")
+	}
+}
+
+func TestWindowCoverageProperty(t *testing.T) {
+	f := func(nTokens uint16, size8 uint8, ov8 uint8) bool {
+		n := int(nTokens)%500 + 1
+		size := int(size8)%100 + 2
+		overlap := int(ov8) % size
+		e := &Encoding{Tokens: make([]string, n)}
+		ws, err := SlidingWindows(e, size, overlap)
+		if err != nil {
+			return false
+		}
+		// Coverage: every token is inside at least one window; windows
+		// advance monotonically.
+		covered := make([]bool, n)
+		prevStart := -1
+		for _, w := range ws {
+			if w.Start <= prevStart {
+				return false
+			}
+			prevStart = w.Start
+			for i := w.Start; i < w.End; i++ {
+				covered[i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrokenBlocks(t *testing.T) {
+	// Construct an encoding with one small block and one giant block that
+	// must straddle a boundary.
+	e := &Encoding{}
+	addBlock := func(id graph.ID, n int) {
+		start := len(e.Tokens)
+		for i := 0; i < n; i++ {
+			e.Tokens = append(e.Tokens, "x")
+		}
+		e.Blocks = append(e.Blocks, Block{Node: id, Start: start, End: len(e.Tokens)})
+	}
+	addBlock(1, 30)
+	addBlock(2, 60) // longer than overlap 10 and straddles with window 50
+	addBlock(3, 20)
+	broken, err := BrokenBlocks(e, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) == 0 {
+		t.Fatal("expected broken blocks")
+	}
+	for _, b := range broken {
+		if b.Len() <= 10 {
+			t.Errorf("block %d of len %d cannot be broken with overlap 10", b.Node, b.Len())
+		}
+	}
+	// With a window bigger than everything, nothing breaks.
+	broken, _ = BrokenBlocks(e, 1000, 10)
+	if len(broken) != 0 {
+		t.Errorf("oversized window should break nothing, got %d", len(broken))
+	}
+}
+
+func TestChunks(t *testing.T) {
+	g := fixture()
+	e := IncidentEncoder{}.Encode(g)
+	chunks, err := Chunks(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range chunks {
+		if c.TokenCount() > 10 {
+			t.Errorf("chunk %d has %d tokens", i, c.TokenCount())
+		}
+		total += c.TokenCount()
+	}
+	if total != e.TokenCount() {
+		t.Errorf("chunks cover %d of %d tokens", total, e.TokenCount())
+	}
+	if _, err := Chunks(e, 0); err == nil {
+		t.Error("chunk size 0 should fail")
+	}
+	// Chunks over an empty encoding.
+	cs, _ := Chunks(&Encoding{}, 10)
+	if len(cs) != 1 {
+		t.Error("empty encoding should yield one chunk")
+	}
+}
+
+func TestChunksAlignToBlocks(t *testing.T) {
+	e := &Encoding{}
+	for b := 0; b < 5; b++ {
+		start := len(e.Tokens)
+		for i := 0; i < 8; i++ {
+			e.Tokens = append(e.Tokens, "x")
+		}
+		e.Blocks = append(e.Blocks, Block{Node: graph.ID(b), Start: start, End: len(e.Tokens)})
+	}
+	chunks, _ := Chunks(e, 20)
+	// 5 blocks of 8 tokens, chunk budget 20 -> chunks of 16 tokens
+	// (2 blocks each), never splitting a block.
+	for _, c := range chunks {
+		if c.Start%8 != 0 || c.End%8 != 0 {
+			t.Errorf("chunk [%d,%d) splits a block", c.Start, c.End)
+		}
+	}
+}

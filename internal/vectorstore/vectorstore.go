@@ -1,0 +1,113 @@
+// Package vectorstore implements the in-memory vector database of the RAG
+// path (Figure 2b): embedded text chunks are stored and retrieved by cosine
+// similarity to a query embedding.
+package vectorstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/graphrules/graphrules/internal/embedding"
+)
+
+// Doc is one stored chunk.
+type Doc struct {
+	ID     int
+	Text   string
+	Vector []float32
+	Meta   map[string]string
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	Doc   *Doc
+	Score float64
+}
+
+// Store is an in-memory vector database. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	dim  int
+	docs []*Doc
+}
+
+// New returns an empty store for vectors of the given dimensionality.
+func New(dim int) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vectorstore: dimension must be positive, got %d", dim)
+	}
+	return &Store{dim: dim}, nil
+}
+
+// Dim returns the store's vector dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Add stores a chunk and returns its assigned ID.
+func (s *Store) Add(text string, vector []float32, meta map[string]string) (int, error) {
+	if len(vector) != s.dim {
+		return 0, fmt.Errorf("vectorstore: vector has dim %d, store expects %d", len(vector), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.docs)
+	cp := make([]float32, len(vector))
+	copy(cp, vector)
+	var m map[string]string
+	if meta != nil {
+		m = make(map[string]string, len(meta))
+		for k, v := range meta {
+			m[k] = v
+		}
+	}
+	s.docs = append(s.docs, &Doc{ID: id, Text: text, Vector: cp, Meta: m})
+	return id, nil
+}
+
+// Get returns the document with the given ID, or nil.
+func (s *Store) Get(id int) *Doc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.docs) {
+		return nil
+	}
+	return s.docs[id]
+}
+
+// Search returns the k documents most similar to the query vector, ordered
+// by descending cosine score (ties broken by ascending ID for determinism).
+// filter, when non-nil, must approve a doc for it to be considered.
+func (s *Store) Search(query []float32, k int, filter func(*Doc) bool) ([]Hit, error) {
+	if len(query) != s.dim {
+		return nil, fmt.Errorf("vectorstore: query has dim %d, store expects %d", len(query), s.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("vectorstore: k must be positive, got %d", k)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hits := make([]Hit, 0, len(s.docs))
+	for _, d := range s.docs {
+		if filter != nil && !filter(d) {
+			continue
+		}
+		hits = append(hits, Hit{Doc: d, Score: embedding.Cosine(query, d.Vector)})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.ID < hits[j].Doc.ID
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits, nil
+}

@@ -1,0 +1,145 @@
+package vectorstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/embedding"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	s, err := New(8)
+	if err != nil || s.Dim() != 8 {
+		t.Fatal("New(8) failed")
+	}
+}
+
+func TestAddGetSearch(t *testing.T) {
+	e := embedding.MustNewHashing(64)
+	s, _ := New(64)
+	texts := []string{
+		"tweets have unique identifiers",
+		"users follow other users",
+		"hashtags tag tweets",
+		"cooking pasta with tomato sauce",
+	}
+	for _, txt := range texts {
+		if _, err := s.Add(txt, e.Embed(txt), map[string]string{"src": "test"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if d := s.Get(2); d == nil || d.Text != texts[2] || d.Meta["src"] != "test" {
+		t.Errorf("Get(2) = %+v", d)
+	}
+	if s.Get(-1) != nil || s.Get(99) != nil {
+		t.Error("out-of-range Get should be nil")
+	}
+
+	hits, err := s.Search(e.Embed("unique identifier of a tweet"), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].Doc.Text != texts[0] {
+		t.Errorf("top hit = %q", hits[0].Doc.Text)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Error("hits not sorted by score")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, _ := New(4)
+	if _, err := s.Add("x", []float32{1, 2}, nil); err == nil {
+		t.Error("wrong-dim Add should fail")
+	}
+	if _, err := s.Search([]float32{1}, 1, nil); err == nil {
+		t.Error("wrong-dim Search should fail")
+	}
+	if _, err := s.Search([]float32{1, 0, 0, 0}, 0, nil); err == nil {
+		t.Error("k=0 should fail")
+	}
+	hits, err := s.Search([]float32{1, 0, 0, 0}, 3, nil)
+	if err != nil || len(hits) != 0 {
+		t.Error("search on empty store should return no hits")
+	}
+}
+
+func TestSearchFilter(t *testing.T) {
+	e := embedding.MustNewHashing(32)
+	s, _ := New(32)
+	for i := 0; i < 10; i++ {
+		kind := "even"
+		if i%2 == 1 {
+			kind = "odd"
+		}
+		s.Add(fmt.Sprintf("chunk %d", i), e.Embed(fmt.Sprintf("chunk %d", i)), map[string]string{"kind": kind})
+	}
+	hits, err := s.Search(e.Embed("chunk"), 10, func(d *Doc) bool { return d.Meta["kind"] == "odd" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("filtered hits = %d", len(hits))
+	}
+	for _, h := range hits {
+		if h.Doc.Meta["kind"] != "odd" {
+			t.Error("filter leaked")
+		}
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	s, _ := New(2)
+	v := []float32{1, 0}
+	for i := 0; i < 5; i++ {
+		s.Add(fmt.Sprintf("d%d", i), v, nil)
+	}
+	hits, _ := s.Search(v, 3, nil)
+	for i, h := range hits {
+		if h.Doc.ID != i {
+			t.Errorf("tie order hit %d = doc %d", i, h.Doc.ID)
+		}
+	}
+}
+
+func TestVectorCopied(t *testing.T) {
+	s, _ := New(2)
+	v := []float32{1, 0}
+	s.Add("a", v, nil)
+	v[0] = -1
+	hits, _ := s.Search([]float32{1, 0}, 1, nil)
+	if hits[0].Score < 0.99 {
+		t.Error("store must copy vectors on Add")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	e := embedding.MustNewHashing(16)
+	s, _ := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				txt := fmt.Sprintf("w%d i%d", w, i)
+				s.Add(txt, e.Embed(txt), nil)
+				s.Search(e.Embed("i"), 3, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 200 {
+		t.Errorf("Len = %d, want 200", s.Len())
+	}
+}
