@@ -19,10 +19,12 @@ package graphrules
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"github.com/graphrules/graphrules/internal/baseline"
+	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/datasets"
 	"github.com/graphrules/graphrules/internal/embedding"
 	"github.com/graphrules/graphrules/internal/llm"
@@ -358,6 +360,121 @@ func BenchmarkEngineSnapshot(b *testing.B) {
 		if _, err := storage.ReadSnapshot(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// wwcRules is the WWC2019 scoring workload used by BenchmarkScoreRules:
+// the same six rule shapes the cross-check suite exercises.
+func wwcRules() []rules.Rule {
+	return []rules.Rule{
+		&rules.RequiredProperty{Label: "Match", Key: "date"},
+		&rules.UniqueProperty{Label: "Person", Key: "id"},
+		&rules.EdgeEndpoints{EdgeType: "IN_TOURNAMENT", FromLabel: "Match", ToLabel: "Tournament"},
+		&rules.UniqueEdgeProp{EdgeType: "SCORED_GOAL", FromLabel: "Person", ToLabel: "Match", Key: "minute"},
+		&rules.MandatoryEdge{Label: "Squad", EdgeType: "FOR", OtherLabel: "Tournament"},
+		&rules.PathAssociation{ALabel: "Person", E1: "PLAYED_IN", BLabel: "Match", E2: "IN_TOURNAMENT", CLabel: "Tournament",
+			ReqE1: "IN_SQUAD", ReqLabel: "Squad", ReqE2: "FOR"},
+	}
+}
+
+// BenchmarkScoreRules measures the rule-scoring hot path on WWC2019 across
+// engine configurations. seed_serial approximates the pre-optimization
+// path: a fresh executor per rule (cold plan cache) with index pushdown
+// and the count fast path disabled. warm_serial shares one scorer (warm
+// plan cache, all fast paths); parallel adds the GOMAXPROCS worker pool.
+// The cypher-vs-native cross-check runs first, outside the timed loops.
+func BenchmarkScoreRules(b *testing.B) {
+	g := benchGraph("WWC2019")
+	rs := wwcRules()
+	for _, r := range rs {
+		if err := metrics.CrossCheck(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	runQueries := func(b *testing.B, ex *cypher.Executor, qs rules.QuerySet) {
+		for _, src := range []string{qs.Support, qs.Body, qs.HeadTotal} {
+			res, err := ex.Run(src, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.IntErr(0, "n"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("seed_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range rs {
+				ex := cypher.NewExecutor(g)
+				ex.SetIndexPushdown(false)
+				ex.SetCountFastPath(false)
+				runQueries(b, ex, r.Queries())
+			}
+		}
+	})
+	b.Run("cold_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, failed := metrics.EvaluateRules(g, rs); len(failed) > 0 {
+				b.Fatal(failed[0])
+			}
+		}
+	})
+	b.Run("warm_serial", func(b *testing.B) {
+		sc := metrics.NewScorer(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rs {
+				if _, err := sc.EvaluateRule(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		st := sc.Executor().PlanCacheStats()
+		b.ReportMetric(float64(st.Hits), "plan_hits")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, failed := metrics.EvaluateRulesParallel(g, rs, workers); len(failed) > 0 {
+				b.Fatal(failed[0])
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePropertyLookup isolates the label+property index pushdown:
+// the same constant-property count with the index on and off.
+func BenchmarkEnginePropertyLookup(b *testing.B) {
+	g := benchGraph("WWC2019")
+	const q = `MATCH (m:Match {stage: 'Group Stage'}) RETURN count(*) AS n`
+	for _, pushdown := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pushdown=%v", pushdown), func(b *testing.B) {
+			ex := NewExecutor(g)
+			ex.SetIndexPushdown(pushdown)
+			var want int64 = -1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ex.Run(q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := res.IntErr(0, "n")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == -1 {
+					if n == 0 {
+						b.Fatal("query matched nothing; benchmark would measure an empty seek")
+					}
+					want = n
+				} else if n != want {
+					b.Fatalf("count drifted: %d != %d", n, want)
+				}
+			}
+		})
 	}
 }
 

@@ -61,10 +61,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	ex := cypher.NewExecutor(g)
 	if *query != "" {
-		return runQuery(ex, *query, out)
+		return runQuery(ex, *query, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats" and "explain <query>" inspect)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>" and "profile <query>" inspect)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -93,20 +93,28 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				fmt.Fprint(out, plan)
 			}
 			continue
+		case strings.HasPrefix(line, "profile "):
+			if err := runQuery(ex, strings.TrimPrefix(line, "profile "), out, true); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+			continue
 		}
-		if err := runQuery(ex, line, out); err != nil {
+		if err := runQuery(ex, line, out, false); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
 }
 
-func runQuery(ex *cypher.Executor, src string, out io.Writer) error {
+func runQuery(ex *cypher.Executor, src string, out io.Writer, profile bool) error {
 	start := time.Now()
 	res, err := ex.Run(src, nil)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	if profile {
+		fmt.Fprint(out, res.Exec.String())
+	}
 	if len(res.Columns) > 0 {
 		fmt.Fprintln(out, strings.Join(res.Columns, "\t"))
 		const maxRows = 50

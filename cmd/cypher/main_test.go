@@ -30,6 +30,8 @@ func TestREPL(t *testing.T) {
 		"explain MATCH (u:User) RETURN count(*) AS n",
 		"explain BROKEN (",
 		"MATCH (u:User) RETURN count(*) AS n",
+		"profile MATCH (u:User) RETURN count(*) AS n",
+		"profile BROKEN (",
 		"THIS IS NOT CYPHER",
 		"exit",
 	}, "\n")
@@ -47,6 +49,9 @@ func TestREPL(t *testing.T) {
 	}
 	if !strings.Contains(s, "NodeByLabelScan(u:User)") {
 		t.Error("explain command failed")
+	}
+	if !strings.Contains(s, "plan cache hit: true") || !strings.Contains(s, "count fast path: true") {
+		t.Errorf("profile command failed:\n%s", s)
 	}
 	if !strings.Contains(s, "error:") {
 		t.Error("bad query should print an error, not abort")

@@ -86,6 +86,11 @@ type (
 	Executor = cypher.Executor
 	// QueryResult is the outcome of one query.
 	QueryResult = cypher.Result
+	// ExecStats instruments one query execution (rows scanned, index
+	// seeks, plan-cache hit, per-clause timings).
+	ExecStats = cypher.ExecStats
+	// PlanCacheStats reports an executor's prepared-query cache counters.
+	PlanCacheStats = cypher.PlanCacheStats
 )
 
 // NewExecutor returns a Cypher executor bound to g.
@@ -109,11 +114,29 @@ type (
 	ErrorCategory = correction.Category
 )
 
+// Scorer evaluates rules through one shared executor and plan cache; it
+// is safe for concurrent use.
+type Scorer = metrics.Scorer
+
+// NewScorer returns a rule scorer bound to g.
+func NewScorer(g *Graph) *Scorer { return metrics.NewScorer(g) }
+
 // ParseRuleNL parses a natural-language rule statement.
 func ParseRuleNL(line string) (Rule, bool) { return rules.ParseNL(line) }
 
 // EvaluateRule scores a rule on a graph via its reference Cypher.
 func EvaluateRule(g *Graph, r Rule) (Score, error) { return metrics.EvaluateRule(g, r) }
+
+// EvaluateRules scores a rule list serially; failed rules land in the
+// second return value.
+func EvaluateRules(g *Graph, rs []Rule) ([]Score, []error) { return metrics.EvaluateRules(g, rs) }
+
+// EvaluateRulesParallel scores a rule list with a worker pool. Output
+// order is the input order at any worker count; workers <= 0 selects
+// GOMAXPROCS.
+func EvaluateRulesParallel(g *Graph, rs []Rule, workers int) ([]Score, []error) {
+	return metrics.EvaluateRulesParallel(g, rs, workers)
+}
 
 // Models.
 type (

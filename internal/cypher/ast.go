@@ -367,7 +367,9 @@ type Literal struct {
 
 func (l *Literal) exprString() string {
 	if l.Value.Kind() == graph.KindString {
-		return "'" + strings.ReplaceAll(l.Value.Str(), "'", "\\'") + "'"
+		// Backslashes first, so escaped quotes aren't double-escaped.
+		s := strings.ReplaceAll(l.Value.Str(), `\`, `\\`)
+		return "'" + strings.ReplaceAll(s, "'", `\'`) + "'"
 	}
 	return l.Value.String()
 }

@@ -1,8 +1,12 @@
 package cypher
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/graphrules/graphrules/internal/graph"
 )
@@ -18,11 +22,51 @@ type Stats struct {
 	RowsExamined  int
 }
 
+// ClauseTiming is the wall-clock cost of one executed clause.
+type ClauseTiming struct {
+	Clause   string
+	Duration time.Duration
+}
+
+// ExecStats instruments one execution of a query: how much of the graph
+// the matcher touched, which fast paths fired, and where the time went.
+type ExecStats struct {
+	// PlanCacheHit is true when Run served the parse from the plan cache.
+	PlanCacheHit bool
+	// CountFastPath is true when the single-aggregate fast path executed
+	// the query without materializing binding rows.
+	CountFastPath bool
+	// RowsScanned counts candidate nodes and edges examined while
+	// matching patterns.
+	RowsScanned int
+	// IndexSeeks counts node anchors served by the label+property index
+	// instead of a label scan; IndexRows is how many candidates those
+	// seeks produced (the scan work the index avoided re-filtering).
+	IndexSeeks int
+	IndexRows  int
+	// Clauses records per-clause wall-clock timings in execution order.
+	Clauses []ClauseTiming
+}
+
+// String renders the stats as a short multi-line report.
+func (s ExecStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan cache hit: %v\n", s.PlanCacheHit)
+	fmt.Fprintf(&b, "count fast path: %v\n", s.CountFastPath)
+	fmt.Fprintf(&b, "rows scanned: %d\n", s.RowsScanned)
+	fmt.Fprintf(&b, "index seeks: %d (%d candidate(s))\n", s.IndexSeeks, s.IndexRows)
+	for _, ct := range s.Clauses {
+		fmt.Fprintf(&b, "  %-14s %s\n", ct.Clause, ct.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
 // Result is the outcome of executing a query.
 type Result struct {
 	Columns []string
 	Rows    [][]Datum
 	Stats   Stats
+	Exec    ExecStats
 }
 
 // Len returns the number of result rows.
@@ -47,16 +91,39 @@ func (r *Result) Value(row int, col string) graph.Value {
 	return r.Rows[row][ci].Scalar()
 }
 
-// Int returns the integer at (row, col) or 0.
+// Int returns the integer at (row, col) or 0. It is lenient — a missing
+// column, out-of-range row, NULL or non-numeric value all coerce to 0 —
+// which suits display-only callers; correctness-critical callers (metric
+// scoring) must use IntErr instead.
 func (r *Result) Int(row int, col string) int64 {
-	v := r.Value(row, col)
-	if v.Kind() == graph.KindInt {
-		return v.Int()
+	n, err := r.IntErr(row, col)
+	if err != nil {
+		return 0
 	}
-	if v.Kind() == graph.KindFloat {
-		return int64(v.Float())
+	return n
+}
+
+// IntErr returns the integer at (row, col), or an error when the column is
+// absent, the row is out of range, or the value is NULL or non-numeric.
+func (r *Result) IntErr(row int, col string) (int64, error) {
+	ci := r.Column(col)
+	if ci < 0 {
+		return 0, execErrf("result has no column %q (columns: %s)", col, strings.Join(r.Columns, ", "))
 	}
-	return 0
+	if row < 0 || row >= len(r.Rows) {
+		return 0, execErrf("result row %d out of range (%d row(s))", row, len(r.Rows))
+	}
+	v := r.Rows[row][ci].Scalar()
+	switch v.Kind() {
+	case graph.KindInt:
+		return v.Int(), nil
+	case graph.KindFloat:
+		return int64(v.Float()), nil
+	case graph.KindNull:
+		return 0, execErrf("result column %q is NULL, not a count", col)
+	default:
+		return 0, execErrf("result column %q holds a %s, not a count", col, v.Kind())
+	}
 }
 
 // FirstInt returns the integer in the first row of the named column (or the
@@ -75,31 +142,119 @@ func (r *Result) FirstInt(col string) int64 {
 	return r.Int(0, col)
 }
 
-// Executor runs parsed queries against a graph.
+// planCacheLimit bounds the number of cached parses; beyond it new plans
+// execute uncached (no eviction — metric workloads replay a closed set of
+// query texts, so churn means the cache is mis-sized, not hot).
+const planCacheLimit = 4096
+
+// PlanCacheStats reports the executor's prepared-query cache counters.
+type PlanCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Executor runs parsed queries against a graph. It is safe for concurrent
+// use: the plan cache is internally synchronized and each execution builds
+// its own evaluation state.
 type Executor struct {
 	g *graph.Graph
+
+	// noPushdown / noCountFast disable the respective fast paths; they
+	// exist for A/B benchmarking and plan debugging.
+	noPushdown  bool
+	noCountFast bool
+
+	planMu sync.RWMutex
+	plans  map[string]*Query
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewExecutor returns an executor bound to a graph.
 func NewExecutor(g *graph.Graph) *Executor { return &Executor{g: g} }
 
-// Run parses and executes a query string.
+// SetIndexPushdown toggles the label+property index pushdown (on by
+// default). Disabling it forces plain label-bucket scans.
+func (ex *Executor) SetIndexPushdown(on bool) { ex.noPushdown = !on }
+
+// SetCountFastPath toggles the single-aggregate fast path (on by default).
+func (ex *Executor) SetCountFastPath(on bool) { ex.noCountFast = !on }
+
+// PlanCacheStats returns the plan cache's hit/miss counters and size.
+func (ex *Executor) PlanCacheStats() PlanCacheStats {
+	ex.planMu.RLock()
+	n := len(ex.plans)
+	ex.planMu.RUnlock()
+	return PlanCacheStats{Hits: ex.hits.Load(), Misses: ex.misses.Load(), Entries: n}
+}
+
+// plan returns the parsed query for src, consulting the plan cache. The
+// returned Query is shared and read-only; execution never mutates the AST.
+func (ex *Executor) plan(src string) (q *Query, hit bool, err error) {
+	ex.planMu.RLock()
+	q = ex.plans[src]
+	ex.planMu.RUnlock()
+	if q != nil {
+		ex.hits.Add(1)
+		return q, true, nil
+	}
+	q, err = Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	ex.misses.Add(1)
+	ex.planMu.Lock()
+	if ex.plans == nil {
+		ex.plans = make(map[string]*Query)
+	}
+	if len(ex.plans) < planCacheLimit {
+		ex.plans[src] = q
+	}
+	ex.planMu.Unlock()
+	return q, false, nil
+}
+
+// Run parses and executes a query string. Parses are served from the plan
+// cache when the same query text was run before on this executor.
 func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, error) {
-	q, err := Parse(src)
+	q, hit, err := ex.plan(src)
 	if err != nil {
 		return nil, err
 	}
-	return ex.Execute(q, params)
+	res, err := ex.Execute(q, params)
+	if err != nil {
+		return nil, err
+	}
+	res.Exec.PlanCacheHit = hit
+	return res, nil
 }
 
-// Execute runs a parsed query.
+// Execute runs a parsed query. The query is treated as read-only, so one
+// parsed Query may be executed concurrently.
 func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, error) {
-	m := &matcher{g: ex.g}
+	m := &matcher{g: ex.g, pushdown: !ex.noPushdown}
 	ctx := newEvalCtx(ex.g, params, m)
 	m.ctx = ctx
 
-	rows := []Row{{}}
 	res := &Result{}
+	m.exec = &res.Exec
+
+	if !ex.noCountFast {
+		if mc, item, ok := countFastPlan(q); ok {
+			res.Exec.CountFastPath = true
+			start := time.Now()
+			err := ex.execMatchAggregate(ctx, m, mc, item, res)
+			res.Exec.Clauses = append(res.Exec.Clauses,
+				ClauseTiming{Clause: "MatchAggregate", Duration: time.Since(start)})
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
+
+	rows := []Row{{}}
 	var returned bool
 
 	for i, clause := range q.Clauses {
@@ -107,6 +262,7 @@ func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, e
 			return nil, execErrf("RETURN must be the final clause")
 		}
 		var err error
+		start := time.Now()
 		switch cl := clause.(type) {
 		case *MatchClause:
 			rows, err = ex.execMatch(ctx, m, cl, rows, &res.Stats)
@@ -126,11 +282,95 @@ func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, e
 		default:
 			err = execErrf("unsupported clause at position %d", i)
 		}
+		res.Exec.Clauses = append(res.Exec.Clauses,
+			ClauseTiming{Clause: clauseName(clause), Duration: time.Since(start)})
 		if err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+func clauseName(c Clause) string {
+	switch cl := c.(type) {
+	case *MatchClause:
+		if cl.Optional {
+			return "OptionalMatch"
+		}
+		return "Match"
+	case *WithClause:
+		return "With"
+	case *ReturnClause:
+		return "Return"
+	case *UnwindClause:
+		return "Unwind"
+	case *CreateClause:
+		return "Create"
+	case *SetClause:
+		return "Set"
+	case *DeleteClause:
+		if cl.Detach {
+			return "DetachDelete"
+		}
+		return "Delete"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// countFastPlan recognizes the scoring workload's canonical shape — a
+// single non-optional MATCH followed by RETURN of exactly one bare
+// aggregate (`MATCH ... [WHERE ...] RETURN count(*) AS n`) — which can be
+// executed by streaming matches into one aggregate state without ever
+// materializing binding rows.
+func countFastPlan(q *Query) (*MatchClause, *ReturnItem, bool) {
+	if len(q.Clauses) != 2 {
+		return nil, nil, false
+	}
+	mc, ok := q.Clauses[0].(*MatchClause)
+	if !ok || mc.Optional {
+		return nil, nil, false
+	}
+	rc, ok := q.Clauses[1].(*ReturnClause)
+	if !ok {
+		return nil, nil, false
+	}
+	p := &rc.Projection
+	if p.Star || p.Distinct || len(p.OrderBy) > 0 || p.Skip != nil || p.Limit != nil || len(p.Items) != 1 {
+		return nil, nil, false
+	}
+	fc, ok := p.Items[0].Expr.(*FuncCall)
+	if !ok || !aggregateFuncs[fc.Name] {
+		return nil, nil, false
+	}
+	return mc, p.Items[0], true
+}
+
+// execMatchAggregate is the count fast path: it streams pattern matches
+// into a single aggregate state, skipping row materialization, grouping
+// and projection. Its observable result is identical to the general path.
+func (ex *Executor) execMatchAggregate(ctx *evalCtx, m *matcher, mc *MatchClause, item *ReturnItem, res *Result) error {
+	fc := item.Expr.(*FuncCall)
+	st := newAggState(fc)
+	res.Stats.RowsExamined++
+	err := m.matchAll(mc.Patterns, Row{}, func(r Row) error {
+		if mc.Where != nil {
+			t, err := ctx.evalBool(mc.Where, r)
+			if err != nil {
+				return err
+			}
+			if t != triTrue {
+				return nil
+			}
+		}
+		return st.add(ctx, r)
+	})
+	if err != nil {
+		return err
+	}
+	res.Columns = []string{item.Name()}
+	res.Rows = append(res.Rows, []Datum{st.result()})
+	return nil
 }
 
 // ---------- MATCH ----------
@@ -152,7 +392,7 @@ func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Ro
 				}
 			}
 			matched = true
-			out = append(out, r)
+			out = append(out, r.clone())
 			return nil
 		})
 		if err != nil {
@@ -195,19 +435,24 @@ func patternVars(parts []*PatternPart) []string {
 
 // matcher performs backtracking pattern matching against the graph.
 type matcher struct {
-	g   *graph.Graph
-	ctx *evalCtx
+	g        *graph.Graph
+	ctx      *evalCtx
+	exec     *ExecStats // optional instrumentation sink
+	pushdown bool       // consult the label+property index for constant props
 }
 
 // matchAll matches every pattern part in sequence (sharing one
 // relationship-uniqueness scope, Cypher's per-MATCH semantics) and invokes
 // cb for each complete assignment.
+//
+// Bindings are made in-place on the working row and undone on backtrack, so
+// cb receives a transient view: it must clone the row if it retains it.
 func (m *matcher) matchAll(parts []*PatternPart, row Row, cb func(Row) error) error {
 	used := map[graph.ID]bool{}
 	var rec func(i int, r Row) error
 	rec = func(i int, r Row) error {
 		if i == len(parts) {
-			return cb(r.clone())
+			return cb(r)
 		}
 		return m.matchPart(parts[i], r, used, func(r2 Row) error {
 			return rec(i+1, r2)
@@ -266,25 +511,54 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 		}
 	}
 
-	// Unbound: enumerate candidates (smallest label index, else all nodes).
-	var candidates []graph.ID
-	if len(np.Labels) > 0 {
+	// Unbound: enumerate candidates. With pushdown on, a constant property
+	// equality on a labeled pattern seeks the label+property index (keeping
+	// the smallest posting list when several constraints apply); otherwise
+	// scan the smallest label bucket, else all nodes. Every candidate is
+	// re-checked by nodeSatisfies, so the seek only narrows, never decides.
+	var candidates []*graph.Node
+	seek := false
+	if m.pushdown && len(np.Labels) > 0 && len(np.Props) > 0 {
+		keys := make([]string, 0, len(np.Props))
+		for k := range np.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic seek choice across runs
+		for _, l := range np.Labels {
+			for _, k := range keys {
+				lit, ok := np.Props[k].(*Literal)
+				if !ok {
+					continue // non-constant constraint: cannot index
+				}
+				ns := m.g.LabelPropNodes(l, k, lit.Value)
+				if !seek || len(ns) < len(candidates) {
+					candidates = ns
+				}
+				seek = true
+			}
+		}
+	}
+	if seek {
+		if m.exec != nil {
+			m.exec.IndexSeeks++
+			m.exec.IndexRows += len(candidates)
+		}
+	} else if len(np.Labels) > 0 {
 		best := -1
 		for _, l := range np.Labels {
-			ids := m.g.NodesWithLabel(l)
-			if best == -1 || len(ids) < best {
-				best = len(ids)
-				candidates = ids
+			ns := m.g.LabelNodes(l)
+			if best == -1 || len(ns) < best {
+				best = len(ns)
+				candidates = ns
 			}
 		}
 	} else {
-		candidates = m.g.Nodes()
+		candidates = m.g.AllNodes()
 	}
-	for _, id := range candidates {
-		n := m.g.Node(id)
-		if n == nil {
-			continue
-		}
+	if m.exec != nil {
+		m.exec.RowsScanned += len(candidates)
+	}
+	for _, n := range candidates {
 		ok, err := m.nodeSatisfies(np, n, row)
 		if err != nil {
 			return err
@@ -292,12 +566,14 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 		if !ok {
 			continue
 		}
-		r := row
 		if np.Var != "" {
-			r = row.clone()
-			r[np.Var] = NodeDatum(n)
+			row[np.Var] = NodeDatum(n)
 		}
-		if err := proceed(n, r); err != nil {
+		err = proceed(n, row)
+		if np.Var != "" {
+			delete(row, np.Var)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -368,13 +644,12 @@ func (m *matcher) expandRel(part *PatternPart, i int, n *graph.Node, row Row, us
 		}
 	}
 
-	tryEdges := func(ids []graph.ID) error {
-		for _, eid := range ids {
-			if used[eid] {
-				continue
-			}
-			e := m.g.Edge(eid)
-			if e == nil {
+	tryEdges := func(es []*graph.Edge) error {
+		if m.exec != nil {
+			m.exec.RowsScanned += len(es)
+		}
+		for _, e := range es {
+			if used[e.ID] {
 				continue
 			}
 			if err := m.followEdge(part, i, n, e, row, used, cb, false); err != nil {
@@ -386,21 +661,21 @@ func (m *matcher) expandRel(part *PatternPart, i int, n *graph.Node, row Row, us
 
 	switch rp.Direction {
 	case DirOut:
-		return tryEdges(m.g.OutEdges(n.ID))
+		return tryEdges(m.g.OutEdgePtrs(n.ID))
 	case DirIn:
-		return tryEdges(m.g.InEdges(n.ID))
+		return tryEdges(m.g.InEdgePtrs(n.ID))
 	default:
-		if err := tryEdges(m.g.OutEdges(n.ID)); err != nil {
+		if err := tryEdges(m.g.OutEdgePtrs(n.ID)); err != nil {
 			return err
 		}
 		// Self-loops appear in both lists; skip the duplicate pass for them.
-		in := m.g.InEdges(n.ID)
-		filtered := in[:0:0]
-		for _, eid := range in {
-			if e := m.g.Edge(eid); e != nil && e.From == e.To {
+		in := m.g.InEdgePtrs(n.ID)
+		filtered := in[:0] // InEdgePtrs hands us an owned slice
+		for _, e := range in {
+			if e.From == e.To {
 				continue
 			}
-			filtered = append(filtered, eid)
+			filtered = append(filtered, e)
 		}
 		return tryEdges(filtered)
 	}
@@ -440,10 +715,9 @@ func (m *matcher) followEdge(part *PatternPart, i int, n *graph.Node, e *graph.E
 	if used[e.ID] {
 		return nil
 	}
-	r := row
 	if rp.Var != "" && !preBound {
-		r = row.clone()
-		r[rp.Var] = EdgeDatum(e)
+		row[rp.Var] = EdgeDatum(e)
+		defer delete(row, rp.Var)
 	}
 	used[e.ID] = true
 	defer delete(used, e.ID)
@@ -455,26 +729,26 @@ func (m *matcher) followEdge(part *PatternPart, i int, n *graph.Node, e *graph.E
 		return nil
 	}
 	if np.Var != "" {
-		if d, bound := r[np.Var]; bound {
+		if d, bound := row[np.Var]; bound {
 			if d.Node == nil || d.Node.ID != far {
 				return nil
 			}
-			ok, err := m.nodeSatisfies(np, farNode, r)
+			ok, err := m.nodeSatisfies(np, farNode, row)
 			if err != nil || !ok {
 				return err
 			}
-			return m.afterNode(part, i+1, farNode, r, used, cb)
+			return m.afterNode(part, i+1, farNode, row, used, cb)
 		}
 	}
-	ok, err = m.nodeSatisfies(np, farNode, r)
+	ok, err = m.nodeSatisfies(np, farNode, row)
 	if err != nil || !ok {
 		return err
 	}
 	if np.Var != "" {
-		r = r.clone()
-		r[np.Var] = NodeDatum(farNode)
+		row[np.Var] = NodeDatum(farNode)
+		defer delete(row, np.Var)
 	}
-	return m.afterNode(part, i+1, farNode, r, used, cb)
+	return m.afterNode(part, i+1, farNode, row, used, cb)
 }
 
 func (m *matcher) afterNode(part *PatternPart, i int, n *graph.Node, row Row, used map[graph.ID]bool, cb func(Row) error) error {
@@ -496,15 +770,14 @@ func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, r
 		if err != nil || !ok {
 			return err
 		}
-		r2 := r
 		if np.Var != "" {
 			if d, bound := r[np.Var]; bound {
 				if d.Node == nil || d.Node.ID != at.ID {
 					return nil
 				}
 			} else {
-				r2 = r.clone()
-				r2[np.Var] = NodeDatum(at)
+				r[np.Var] = NodeDatum(at)
+				defer delete(r, np.Var)
 			}
 		}
 		if rp.Var != "" {
@@ -512,10 +785,18 @@ func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, r
 			for k, id := range path {
 				ids[k] = graph.NewInt(int64(id))
 			}
-			r2 = r2.clone()
-			r2[rp.Var] = ValDatum(graph.NewList(ids...))
+			// The path variable may shadow an outer binding; restore it.
+			prev, had := r[rp.Var]
+			r[rp.Var] = ValDatum(graph.NewList(ids...))
+			defer func() {
+				if had {
+					r[rp.Var] = prev
+				} else {
+					delete(r, rp.Var)
+				}
+			}()
 		}
-		return m.afterNode(part, i+1, at, r2, used, cb)
+		return m.afterNode(part, i+1, at, r, used, cb)
 	}
 
 	var walk func(at *graph.Node, depth int, path []graph.ID) error
@@ -528,13 +809,12 @@ func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, r
 		if rp.MaxHops >= 0 && depth == rp.MaxHops {
 			return nil
 		}
-		step := func(ids []graph.ID, wantOut bool) error {
-			for _, eid := range ids {
-				if used[eid] {
-					continue
-				}
-				e := m.g.Edge(eid)
-				if e == nil {
+		step := func(es []*graph.Edge, wantOut bool) error {
+			if m.exec != nil {
+				m.exec.RowsScanned += len(es)
+			}
+			for _, e := range es {
+				if used[e.ID] {
 					continue
 				}
 				ok, err := m.edgeSatisfies(rp, e, row)
@@ -554,9 +834,9 @@ func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, r
 				if farNode == nil {
 					continue
 				}
-				used[eid] = true
-				err = walk(farNode, depth+1, append(path, eid))
-				delete(used, eid)
+				used[e.ID] = true
+				err = walk(farNode, depth+1, append(path, e.ID))
+				delete(used, e.ID)
 				if err != nil {
 					return err
 				}
@@ -565,14 +845,14 @@ func (m *matcher) expandVarLength(part *PatternPart, i int, start *graph.Node, r
 		}
 		switch rp.Direction {
 		case DirOut:
-			return step(m.g.OutEdges(at.ID), true)
+			return step(m.g.OutEdgePtrs(at.ID), true)
 		case DirIn:
-			return step(m.g.InEdges(at.ID), false)
+			return step(m.g.InEdgePtrs(at.ID), false)
 		default:
-			if err := step(m.g.OutEdges(at.ID), true); err != nil {
+			if err := step(m.g.OutEdgePtrs(at.ID), true); err != nil {
 				return err
 			}
-			return step(m.g.InEdges(at.ID), false)
+			return step(m.g.InEdgePtrs(at.ID), false)
 		}
 	}
 	return walk(start, 0, nil)

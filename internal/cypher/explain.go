@@ -2,6 +2,7 @@ package cypher
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -10,7 +11,7 @@ import (
 // matcher will make (which label index seeds each pattern) and estimated
 // candidate counts. It executes nothing.
 func (ex *Executor) Explain(src string) (string, error) {
-	q, err := Parse(src)
+	q, _, err := ex.plan(src)
 	if err != nil {
 		return "", err
 	}
@@ -66,6 +67,16 @@ func (ex *Executor) Explain(src string) (string, error) {
 			line("%s (%d target(s))", kw, len(c.Exprs))
 		}
 	}
+	if !ex.noCountFast {
+		if _, _, ok := countFastPlan(q); ok {
+			depth = 1
+			line("[count fast path: streams matches into one aggregate]")
+		}
+	}
+	pc := ex.PlanCacheStats()
+	ib, il, live := ex.g.PropIndexStats()
+	fmt.Fprintf(&b, "Cache: plan hits=%d misses=%d entries=%d; prop index builds=%d lookups=%d live=%d\n",
+		pc.Hits, pc.Misses, pc.Entries, ib, il, live)
 	return b.String(), nil
 }
 
@@ -74,6 +85,9 @@ func (ex *Executor) explainPart(part *PatternPart, bound map[string]bool, line f
 	switch {
 	case n0.Var != "" && bound[n0.Var]:
 		line("AnchorOnBound(%s)", n0.Var)
+	case !ex.noPushdown && len(n0.Labels) > 0 && hasConstProp(n0):
+		label, key := seekChoice(n0)
+		line("NodeIndexSeek(%s:%s.%s) [label+property index]", varOrAnon(n0.Var), label, key)
 	case len(n0.Labels) > 0:
 		label, count := ex.bestLabel(n0.Labels)
 		line("NodeByLabelScan(%s:%s) ~%d candidate(s)", varOrAnon(n0.Var), label, count)
@@ -108,6 +122,31 @@ func (ex *Executor) explainPart(part *PatternPart, bound map[string]bool, line f
 		}
 		line("Expand(%s, dir=%s%s) -> %s%s", typ, dir, hops, nodeSummary(target), sel)
 	}
+}
+
+// hasConstProp reports whether the node pattern carries at least one
+// constant (literal) property constraint — the precondition for an index
+// seek in bindNode.
+func hasConstProp(n *NodePattern) bool {
+	for _, e := range n.Props {
+		if _, ok := e.(*Literal); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// seekChoice mirrors bindNode's deterministic seek choice for display: the
+// first declared label and the first (sorted) constant property key.
+func seekChoice(n *NodePattern) (label, key string) {
+	keys := make([]string, 0, len(n.Props))
+	for k := range n.Props {
+		if _, ok := n.Props[k].(*Literal); ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return n.Labels[0], keys[0]
 }
 
 // bestLabel returns the smallest label index among the candidates (the

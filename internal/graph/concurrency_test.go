@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForEachSnapshotUnderMutation runs ForEachNode/ForEachEdge while a
+// writer mutates the graph. Under -race this pins the single-RLock snapshot
+// contract: iteration must never observe torn state or race with writers.
+func TestForEachSnapshotUnderMutation(t *testing.T) {
+	g := New("race")
+	var ids []ID
+	for i := 0; i < 50; i++ {
+		n := g.AddNode([]string{"N"}, Props{"i": NewInt(int64(i))})
+		ids = append(ids, n.ID)
+		if i > 0 {
+			g.MustAddEdge(ids[i-1], ids[i], []string{"E"}, nil)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[i%len(ids)]
+			_ = g.SetNodeProp(id, "touched", NewInt(int64(i)))
+			g.AddNode([]string{"Extra"}, nil)
+		}
+	}()
+
+	for iter := 0; iter < 200; iter++ {
+		count := 0
+		g.ForEachNode(func(n *Node) {
+			if n == nil {
+				t.Error("nil node during iteration")
+			}
+			count++
+		})
+		if count < 50 {
+			t.Fatalf("iteration saw %d nodes, want >= 50", count)
+		}
+		edges := 0
+		g.ForEachEdge(func(e *Edge) {
+			if e == nil {
+				t.Error("nil edge during iteration")
+			}
+			edges++
+		})
+		if edges != 49 {
+			t.Fatalf("iteration saw %d edges, want 49", edges)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRemoveIDZeroesTail(t *testing.T) {
+	backing := []ID{1, 2, 3, 4}
+	got := removeID(backing, 2)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("removeID order: %v", got)
+	}
+	if backing[3] != 0 {
+		t.Errorf("stale tail ID %d left in backing array", backing[3])
+	}
+
+	backing = []ID{1, 2, 3, 4}
+	got = swapRemoveID(backing, 2)
+	if len(got) != 3 {
+		t.Fatalf("swapRemoveID len = %d", len(got))
+	}
+	seen := map[ID]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	if seen[2] || !seen[1] || !seen[3] || !seen[4] {
+		t.Errorf("swapRemoveID contents: %v", got)
+	}
+	if backing[3] != 0 {
+		t.Errorf("stale tail ID %d left in backing array", backing[3])
+	}
+
+	// Removing an absent ID is a no-op for both.
+	if got := removeID([]ID{1, 2}, 9); len(got) != 2 {
+		t.Errorf("removeID absent: %v", got)
+	}
+	if got := swapRemoveID([]ID{1, 2}, 9); len(got) != 2 {
+		t.Errorf("swapRemoveID absent: %v", got)
+	}
+}
+
+// TestLabelOrderPreservedAfterRemoval pins the documented insertion-order
+// contract of the label index across removals.
+func TestLabelOrderPreservedAfterRemoval(t *testing.T) {
+	g := New("order")
+	a := g.AddNode([]string{"N"}, nil)
+	b := g.AddNode([]string{"N"}, nil)
+	c := g.AddNode([]string{"N"}, nil)
+	d := g.AddNode([]string{"N"}, nil)
+	g.RemoveNode(b.ID)
+	got := g.NodesWithLabel("N")
+	want := []ID{a.ID, c.ID, d.ID}
+	if len(got) != len(want) {
+		t.Fatalf("labels after removal: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label order after removal: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestLabelPropNodesIndex(t *testing.T) {
+	g := New("idx")
+	a := g.AddNode([]string{"P"}, Props{"city": NewString("Lyon"), "n": NewInt(7)})
+	g.AddNode([]string{"P"}, Props{"city": NewString("Nice")})
+	g.AddNode([]string{"P"}, Props{"n": NewFloat(7.0)})
+	g.AddNode([]string{"Q"}, Props{"city": NewString("Lyon")})
+
+	ns := g.LabelPropNodes("P", "city", NewString("Lyon"))
+	if len(ns) != 1 || ns[0].ID != a.ID {
+		t.Fatalf("LabelPropNodes(city=Lyon) = %v", ns)
+	}
+	// Cross-numeric: int 7 and float 7.0 share a sort key, as Equal demands.
+	if ns := g.LabelPropNodes("P", "n", NewFloat(7.0)); len(ns) != 2 {
+		t.Fatalf("LabelPropNodes(n=7.0) = %d nodes, want 2", len(ns))
+	}
+	if ns := g.LabelPropNodes("P", "n", NewInt(7)); len(ns) != 2 {
+		t.Fatalf("LabelPropNodes(n=7) = %d nodes, want 2", len(ns))
+	}
+	// Null never matches, even stored nulls.
+	if ns := g.LabelPropNodes("P", "city", Null); ns != nil {
+		t.Fatalf("LabelPropNodes(null) = %v, want nil", ns)
+	}
+	builds, lookups, live := g.PropIndexStats()
+	if builds == 0 || lookups == 0 || live == 0 {
+		t.Errorf("PropIndexStats = %d, %d, %d", builds, lookups, live)
+	}
+
+	// Node mutation invalidates; edge mutation must not.
+	g.MustAddEdge(a.ID, a.ID, []string{"E"}, nil)
+	if _, _, live := g.PropIndexStats(); live == 0 {
+		t.Error("edge mutation dropped the node prop index")
+	}
+	if err := g.SetNodeProp(a.ID, "city", NewString("Paris")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, live := g.PropIndexStats(); live != 0 {
+		t.Error("node mutation did not invalidate the prop index")
+	}
+	if ns := g.LabelPropNodes("P", "city", NewString("Paris")); len(ns) != 1 {
+		t.Fatalf("after rebuild: %v", ns)
+	}
+}
+
+func TestBulkPointerAccessors(t *testing.T) {
+	g := New("bulk")
+	a := g.AddNode([]string{"N"}, nil)
+	b := g.AddNode([]string{"N"}, nil)
+	e := g.MustAddEdge(a.ID, b.ID, []string{"E"}, nil)
+
+	all := g.AllNodes()
+	if len(all) != 2 || all[0].ID != a.ID || all[1].ID != b.ID {
+		t.Fatalf("AllNodes = %v", all)
+	}
+	if ns := g.LabelNodes("N"); len(ns) != 2 || ns[0].ID != a.ID {
+		t.Fatalf("LabelNodes = %v", ns)
+	}
+	if es := g.OutEdgePtrs(a.ID); len(es) != 1 || es[0].ID != e.ID {
+		t.Fatalf("OutEdgePtrs = %v", es)
+	}
+	if es := g.InEdgePtrs(b.ID); len(es) != 1 || es[0].ID != e.ID {
+		t.Fatalf("InEdgePtrs = %v", es)
+	}
+
+	// Cached snapshots must not leak later additions.
+	c := g.AddNode([]string{"N"}, nil)
+	if len(all) != 2 {
+		t.Fatal("snapshot mutated by AddNode")
+	}
+	if ns := g.AllNodes(); len(ns) != 3 || ns[2].ID != c.ID {
+		t.Fatalf("AllNodes after add = %v", ns)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies a node or an edge within one Graph. Node and edge ID spaces
@@ -94,6 +95,15 @@ type Graph struct {
 	// Indexes.
 	nodesByLabel map[string][]ID
 	edgesByType  map[string][]ID
+
+	// Lazily-built read caches (see propindex.go). All are invalidated
+	// wholesale by any node mutation; edge-only mutations leave them alone.
+	propIndex map[string]map[string][]*Node // label\x00key -> value SortKey -> nodes
+	labelPtrs map[string][]*Node            // label -> nodes, insertion order
+	allPtrs   []*Node                       // all nodes, ascending ID
+
+	idxBuilds  atomic.Int64 // posting-map constructions (stats)
+	idxLookups atomic.Int64 // LabelPropNodes calls (stats)
 }
 
 // New returns an empty graph with the given name.
@@ -121,6 +131,7 @@ func (g *Graph) AddNode(labels []string, props Props) *Node {
 }
 
 func (g *Graph) addNodeLocked(labels []string, props Props) *Node {
+	g.invalidateNodeCachesLocked()
 	id := g.nextNodeID
 	g.nextNodeID++
 	n := &Node{ID: id, Labels: dedupe(labels), Props: props.Clone()}
@@ -291,6 +302,7 @@ func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 	if !ok {
 		return fmt.Errorf("graph %q: SetNodeProp: node %d does not exist", g.name, id)
 	}
+	g.invalidateNodeCachesLocked()
 	if v.IsNull() {
 		delete(n.Props, key)
 	} else {
@@ -324,6 +336,7 @@ func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
 	if !ok {
 		return fmt.Errorf("graph %q: AddNodeLabels: node %d does not exist", g.name, id)
 	}
+	g.invalidateNodeCachesLocked()
 	for _, l := range labels {
 		if l == "" || n.HasLabel(l) {
 			continue
@@ -347,8 +360,8 @@ func (g *Graph) removeEdgeLocked(id ID) {
 		return
 	}
 	delete(g.edges, id)
-	g.out[e.From] = removeID(g.out[e.From], id)
-	g.in[e.To] = removeID(g.in[e.To], id)
+	g.out[e.From] = swapRemoveID(g.out[e.From], id)
+	g.in[e.To] = swapRemoveID(g.in[e.To], id)
 	for _, l := range e.Labels {
 		g.edgesByType[l] = removeID(g.edgesByType[l], id)
 	}
@@ -363,6 +376,7 @@ func (g *Graph) RemoveNode(id ID) {
 	if !ok {
 		return
 	}
+	g.invalidateNodeCachesLocked()
 	for _, eid := range append(append([]ID(nil), g.out[id]...), g.in[id]...) {
 		g.removeEdgeLocked(eid)
 	}
@@ -402,29 +416,29 @@ func (g *Graph) EdgeTypes() []string {
 	return out
 }
 
-// ForEachNode calls fn for every node in ascending ID order. fn must not
-// mutate the graph.
+// ForEachNode calls fn for every node in ascending ID order. The node set
+// is snapshotted under a single read lock, so a writer interleaving with
+// the iteration can never expose a torn view (a node present in the ID
+// list but already deleted from the map). fn must not mutate the graph.
 func (g *Graph) ForEachNode(fn func(*Node)) {
-	for _, id := range g.Nodes() {
-		g.mu.RLock()
-		n := g.nodes[id]
-		g.mu.RUnlock()
-		if n != nil {
-			fn(n)
-		}
+	for _, n := range g.AllNodes() {
+		fn(n)
 	}
 }
 
-// ForEachEdge calls fn for every edge in ascending ID order. fn must not
-// mutate the graph.
+// ForEachEdge calls fn for every edge in ascending ID order. Like
+// ForEachNode, the edge set is snapshotted under one read lock. fn must
+// not mutate the graph.
 func (g *Graph) ForEachEdge(fn func(*Edge)) {
-	for _, id := range g.Edges() {
-		g.mu.RLock()
-		e := g.edges[id]
-		g.mu.RUnlock()
-		if e != nil {
-			fn(e)
-		}
+	g.mu.RLock()
+	es := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		es = append(es, e)
+	}
+	g.mu.RUnlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
+	for _, e := range es {
+		fn(e)
 	}
 }
 
@@ -441,10 +455,29 @@ func dedupe(labels []string) []string {
 	return out
 }
 
+// removeID deletes id from an order-sensitive list (the label/type indexes
+// document insertion order). The vacated tail slot is zeroed so the shared
+// backing array never retains a stale trailing ID.
 func removeID(ids []ID, id ID) []ID {
 	for i, x := range ids {
 		if x == id {
-			return append(ids[:i], ids[i+1:]...)
+			copy(ids[i:], ids[i+1:])
+			ids[len(ids)-1] = 0
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}
+
+// swapRemoveID deletes id in O(1) by swapping in the last element; used for
+// the adjacency lists, whose order is not part of the documented contract.
+func swapRemoveID(ids []ID, id ID) []ID {
+	for i, x := range ids {
+		if x == id {
+			last := len(ids) - 1
+			ids[i] = ids[last]
+			ids[last] = 0
+			return ids[:last]
 		}
 	}
 	return ids

@@ -1,0 +1,162 @@
+package graph
+
+import "sort"
+
+// This file holds the graph's lazily-built read caches: the label+property
+// value index consulted by the Cypher matcher's equality pushdown, and bulk
+// node/edge pointer snapshots that let hot scan loops acquire the graph
+// lock once per scan instead of once per element.
+//
+// All caches are built on first use under the write lock and dropped
+// wholesale by any node mutation (AddNode, SetNodeProp, AddNodeLabels,
+// RemoveNode); edge-only mutations never touch node postings, so they do
+// not invalidate. Returned slices are shared read-only snapshots: callers
+// must not modify them, and a concurrent writer only ever swaps in fresh
+// slices, never mutates a published one.
+
+// invalidateNodeCachesLocked drops every lazily-built node cache. Callers
+// must hold the write lock.
+func (g *Graph) invalidateNodeCachesLocked() {
+	g.propIndex = nil
+	g.labelPtrs = nil
+	g.allPtrs = nil
+}
+
+// propIndexKey joins a label and a property key into one posting-map key.
+// NUL never appears in identifiers, so the join is unambiguous.
+func propIndexKey(label, key string) string { return label + "\x00" + key }
+
+// LabelPropNodes returns the nodes carrying the label whose property key
+// equals v, in label-bucket (insertion) order. The posting map for the
+// (label, key) pair is built lazily on first use; subsequent lookups are a
+// map probe. The returned slice is a shared read-only snapshot.
+func (g *Graph) LabelPropNodes(label, key string, v Value) []*Node {
+	if v.IsNull() {
+		return nil // null never equals anything, including stored nulls
+	}
+	sk := v.SortKey()
+	g.idxLookups.Add(1)
+	g.mu.RLock()
+	if idx := g.propIndex[propIndexKey(label, key)]; idx != nil {
+		ns := idx[sk]
+		g.mu.RUnlock()
+		return ns
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := g.propIndex[propIndexKey(label, key)]
+	if idx == nil {
+		idx = make(map[string][]*Node)
+		for _, id := range g.nodesByLabel[label] {
+			n := g.nodes[id]
+			if n == nil {
+				continue
+			}
+			pv, ok := n.Props[key]
+			if !ok || pv.IsNull() {
+				continue
+			}
+			k := pv.SortKey()
+			idx[k] = append(idx[k], n)
+		}
+		if g.propIndex == nil {
+			g.propIndex = make(map[string]map[string][]*Node)
+		}
+		g.propIndex[propIndexKey(label, key)] = idx
+		g.idxBuilds.Add(1)
+	}
+	return idx[sk]
+}
+
+// LabelNodes returns the nodes carrying the label in insertion order as a
+// shared read-only snapshot (the pointer analogue of NodesWithLabel).
+func (g *Graph) LabelNodes(label string) []*Node {
+	g.mu.RLock()
+	if ns, ok := g.labelPtrs[label]; ok {
+		g.mu.RUnlock()
+		return ns
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ns, ok := g.labelPtrs[label]; ok {
+		return ns
+	}
+	ids := g.nodesByLabel[label]
+	ns := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		if n := g.nodes[id]; n != nil {
+			ns = append(ns, n)
+		}
+	}
+	if g.labelPtrs == nil {
+		g.labelPtrs = make(map[string][]*Node)
+	}
+	g.labelPtrs[label] = ns
+	return ns
+}
+
+// AllNodes returns every node in ascending ID order as a shared read-only
+// snapshot.
+func (g *Graph) AllNodes() []*Node {
+	g.mu.RLock()
+	if g.allPtrs != nil {
+		ns := g.allPtrs
+		g.mu.RUnlock()
+		return ns
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.allPtrs == nil {
+		ns := make([]*Node, 0, len(g.nodes))
+		for _, n := range g.nodes {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+		g.allPtrs = ns
+	}
+	return g.allPtrs
+}
+
+// OutEdgePtrs returns the edges leaving the node. The slice is freshly
+// allocated under one lock acquisition and owned by the caller.
+func (g *Graph) OutEdgePtrs(node ID) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.out[node]
+	es := make([]*Edge, 0, len(ids))
+	for _, id := range ids {
+		if e := g.edges[id]; e != nil {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// InEdgePtrs returns the edges entering the node; see OutEdgePtrs.
+func (g *Graph) InEdgePtrs(node ID) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.in[node]
+	es := make([]*Edge, 0, len(ids))
+	for _, id := range ids {
+		if e := g.edges[id]; e != nil {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// PropIndexStats reports how many (label, key) posting maps have been
+// built, how many lookups they served, and how many are currently live.
+func (g *Graph) PropIndexStats() (builds, lookups, live int) {
+	g.mu.RLock()
+	live = len(g.propIndex)
+	g.mu.RUnlock()
+	return int(g.idxBuilds.Load()), int(g.idxLookups.Load()), live
+}

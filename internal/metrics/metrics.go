@@ -11,6 +11,8 @@ package metrics
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/graph"
@@ -25,23 +27,40 @@ type Score struct {
 	Confidence float64 // percent
 }
 
-// EvaluateQueries runs a rule's three metric queries on the graph. Every
-// query must return one row whose column `n` (or first column) is the
-// count.
-func EvaluateQueries(g *graph.Graph, qs rules.QuerySet) (rules.Counts, error) {
-	ex := cypher.NewExecutor(g)
+// Scorer evaluates rule metric queries against one graph through a shared
+// executor, so the plan cache and property indexes warm up across rules.
+// It is safe for concurrent use.
+type Scorer struct {
+	g  *graph.Graph
+	ex *cypher.Executor
+}
+
+// NewScorer returns a scorer bound to the graph.
+func NewScorer(g *graph.Graph) *Scorer {
+	return &Scorer{g: g, ex: cypher.NewExecutor(g)}
+}
+
+// Executor exposes the scorer's shared executor (for cache stats).
+func (s *Scorer) Executor() *cypher.Executor { return s.ex }
+
+// EvaluateQueries runs a rule's three metric queries. Every query must
+// return a row whose column `n` (or sole column) holds a numeric count —
+// a missing, NULL, or non-numeric count is an error, never a silent zero.
+func (s *Scorer) EvaluateQueries(qs rules.QuerySet) (rules.Counts, error) {
 	runCount := func(src, what string) (int64, error) {
-		res, err := ex.Run(src, nil)
+		res, err := s.ex.Run(src, nil)
 		if err != nil {
 			return 0, fmt.Errorf("metrics: %s query failed: %w", what, err)
 		}
-		if res.Len() == 0 {
-			return 0, nil
+		col := "n"
+		if res.Column(col) < 0 && len(res.Columns) == 1 {
+			col = res.Columns[0]
 		}
-		if col := res.Column("n"); col >= 0 {
-			return res.Int(0, "n"), nil
+		n, err := res.IntErr(0, col)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: %s query did not produce a count: %w", what, err)
 		}
-		return res.FirstInt(""), nil
+		return n, nil
 	}
 	var c rules.Counts
 	var err error
@@ -58,26 +77,118 @@ func EvaluateQueries(g *graph.Graph, qs rules.QuerySet) (rules.Counts, error) {
 }
 
 // EvaluateRule scores a rule using its reference Cypher.
-func EvaluateRule(g *graph.Graph, r rules.Rule) (Score, error) {
-	c, err := EvaluateQueries(g, r.Queries())
+func (s *Scorer) EvaluateRule(r rules.Rule) (Score, error) {
+	c, err := s.EvaluateQueries(r.Queries())
 	if err != nil {
 		return Score{}, fmt.Errorf("metrics: rule %s: %w", r.DedupKey(), err)
 	}
 	return Score{Rule: r, Counts: c, Coverage: c.Coverage(), Confidence: c.Confidence()}, nil
 }
 
-// EvaluateRules scores a rule list, skipping rules whose queries fail and
-// returning them in failed.
+// EvaluateQueries runs a rule's three metric queries on the graph with a
+// one-shot scorer; see Scorer.EvaluateQueries for the count contract.
+func EvaluateQueries(g *graph.Graph, qs rules.QuerySet) (rules.Counts, error) {
+	return NewScorer(g).EvaluateQueries(qs)
+}
+
+// EvaluateRule scores a rule using its reference Cypher.
+func EvaluateRule(g *graph.Graph, r rules.Rule) (Score, error) {
+	return NewScorer(g).EvaluateRule(r)
+}
+
+// EvaluateRules scores a rule list serially, skipping rules whose queries
+// fail and returning them in failed.
 func EvaluateRules(g *graph.Graph, rs []rules.Rule) (scores []Score, failed []error) {
-	for _, r := range rs {
-		s, err := EvaluateRule(g, r)
-		if err != nil {
-			failed = append(failed, err)
+	return EvaluateRulesParallel(g, rs, 1)
+}
+
+// EvaluateRulesParallel scores a rule list with a worker pool sharing one
+// executor (and therefore one plan cache). Results are returned in input
+// order regardless of worker count or scheduling, and each rule's failure
+// is isolated: it lands in failed without affecting the others' scores.
+// workers <= 0 selects GOMAXPROCS.
+func EvaluateRulesParallel(g *graph.Graph, rs []rules.Rule, workers int) (scores []Score, failed []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rs) {
+		workers = len(rs)
+	}
+	type slot struct {
+		score Score
+		err   error
+	}
+	out := make([]slot, len(rs))
+	sc := NewScorer(g)
+	forEachIndex(len(rs), workers, func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				out[i].err = fmt.Errorf("metrics: rule %s: panic during evaluation: %v", rs[i].DedupKey(), p)
+			}
+		}()
+		out[i].score, out[i].err = sc.EvaluateRule(rs[i])
+	})
+	for _, s := range out {
+		if s.err != nil {
+			failed = append(failed, s.err)
 			continue
 		}
-		scores = append(scores, s)
+		scores = append(scores, s.score)
 	}
 	return scores, failed
+}
+
+// EvaluateQuerySetsParallel evaluates many query sets against one graph
+// with a worker pool sharing one executor (and plan cache). The returned
+// slices are parallel to qss and in input order regardless of worker
+// count; exactly one of counts[i] / errs[i] is meaningful per entry.
+// workers <= 0 selects GOMAXPROCS.
+func EvaluateQuerySetsParallel(g *graph.Graph, qss []rules.QuerySet, workers int) (counts []rules.Counts, errs []error) {
+	counts = make([]rules.Counts, len(qss))
+	errs = make([]error, len(qss))
+	sc := NewScorer(g)
+	forEachIndex(len(qss), workers, func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("metrics: query set %d: panic during evaluation: %v", i, p)
+			}
+		}()
+		counts[i], errs[i] = sc.EvaluateQueries(qss[i])
+	})
+	return counts, errs
+}
+
+// forEachIndex runs fn(0..n-1) on a bounded worker pool; fn must write
+// only to its own index's slots. workers <= 0 selects GOMAXPROCS.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // CrossCheck verifies that the Cypher evaluation of a rule agrees with its

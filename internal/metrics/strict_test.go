@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// TestMalformedCountErrors is the headline regression for the silent-zero
+// bug: a syntactically valid query whose RETURN alias does not match the
+// count convention must surface an error instead of scoring support=0.
+func TestMalformedCountErrors(t *testing.T) {
+	g := smallGraph()
+	good := "MATCH (x:T) RETURN count(*) AS n"
+
+	cases := []struct {
+		name, support, wantSub string
+	}{
+		{"mismatched alias among others", "MATCH (x:T) RETURN count(*) AS support, x.id AS n2", `no column "n"`},
+		{"null count column", "MATCH (x:T) RETURN x.missing AS n LIMIT 1", "NULL"},
+		{"non-numeric count column", "MATCH (x:T) RETURN x.s AS n LIMIT 1", "not a count"},
+		{"no rows", "MATCH (x:T) WITH x WHERE false RETURN x.id AS n", "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := EvaluateQueries(g, rules.QuerySet{Support: tc.support, Body: good, HeadTotal: good})
+		if err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// A single-column count under a different alias still works (the sole
+	// column fallback), so benign alias drift is not punished.
+	c, err := EvaluateQueries(g, rules.QuerySet{
+		Support:   "MATCH (x:T) RETURN count(*) AS total",
+		Body:      good,
+		HeadTotal: good,
+	})
+	if err != nil || c.Support != 4 {
+		t.Errorf("sole-column fallback: counts=%+v err=%v", c, err)
+	}
+}
+
+// TestEvaluateRulesParallelDeterministic checks that the parallel scorer
+// returns scores in input order with per-rule error isolation, matching the
+// serial path bit-for-bit.
+func TestEvaluateRulesParallelDeterministic(t *testing.T) {
+	g := datasets.WWC2019(datasets.Options{Seed: 11, ViolationRate: 0.05})
+	rs := []rules.Rule{
+		&rules.RequiredProperty{Label: "Match", Key: "date"},
+		&rules.UniqueProperty{Label: "Person", Key: "id"},
+		&rules.ValueFormat{Label: "Person", Key: "name", Pattern: "["}, // broken: invalid regex
+		&rules.EdgeEndpoints{EdgeType: "IN_TOURNAMENT", FromLabel: "Match", ToLabel: "Tournament"},
+		&rules.MandatoryEdge{Label: "Squad", EdgeType: "FOR", OtherLabel: "Tournament"},
+	}
+	serialScores, serialFailed := EvaluateRules(g, rs)
+	if len(serialFailed) != 1 {
+		t.Fatalf("expected exactly one failure, got %v", serialFailed)
+	}
+	for _, workers := range []int{0, 2, 4, 8} {
+		scores, failed := EvaluateRulesParallel(g, rs, workers)
+		if len(scores) != len(serialScores) || len(failed) != len(serialFailed) {
+			t.Fatalf("workers=%d: scores=%d failed=%d, want %d/%d",
+				workers, len(scores), len(failed), len(serialScores), len(serialFailed))
+		}
+		for i := range scores {
+			if scores[i].Rule.DedupKey() != serialScores[i].Rule.DedupKey() {
+				t.Errorf("workers=%d: order diverged at %d: %s vs %s",
+					workers, i, scores[i].Rule.DedupKey(), serialScores[i].Rule.DedupKey())
+			}
+			if scores[i].Counts != serialScores[i].Counts {
+				t.Errorf("workers=%d: counts diverged for %s: %+v vs %+v",
+					workers, scores[i].Rule.DedupKey(), scores[i].Counts, serialScores[i].Counts)
+			}
+		}
+	}
+}
+
+// TestScorerSharesPlanCache verifies rules scored through one Scorer reuse
+// parsed plans across repeated query texts.
+func TestScorerSharesPlanCache(t *testing.T) {
+	g := smallGraph()
+	sc := NewScorer(g)
+	qs := (&rules.RequiredProperty{Label: "T", Key: "id"}).Queries()
+	if _, err := sc.EvaluateQueries(qs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.EvaluateQueries(qs); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Executor().PlanCacheStats()
+	if st.Hits == 0 {
+		t.Errorf("expected plan cache hits on repeat scoring, stats=%+v", st)
+	}
+}

@@ -80,6 +80,12 @@ type Config struct {
 	// safe for concurrent use (SimModel is). Results are merged in window
 	// order, so parallelism never changes the mined rules.
 	Parallel int
+	// ScoreWorkers sets the worker-pool size for the step-2 metric
+	// scoring of the corrected query sets (default: Parallel). Unlike
+	// Parallel it has no effect on the simulated LLM timings or the mined
+	// rule set: scoring is deterministic at any worker count. Negative
+	// values select GOMAXPROCS.
+	ScoreWorkers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -112,6 +118,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Parallel < 0 {
 		return c, fmt.Errorf("mining: Parallel must be positive, got %d", c.Parallel)
+	}
+	if c.ScoreWorkers == 0 {
+		c.ScoreWorkers = c.Parallel
 	}
 	return c, nil
 }
@@ -323,7 +332,8 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 	// ---- Step 2: Cypher translation, correction and scoring ----
 	schema := graph.ExtractSchema(g)
 	schemaText := schema.Describe()
-	var scores []metrics.Score
+	var mined []MinedRule
+	var finals []rules.QuerySet
 	for _, key := range order {
 		sr := seen[key]
 		mr := MinedRule{NL: sr.rule.NL(), Rule: sr.rule, Windows: sr.windows}
@@ -348,16 +358,24 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 		res.ErrorCounts[mr.Category]++
 		mr.Final, mr.Corrected = correction.Fix(qs, sr.rule, mr.Category)
+		mined = append(mined, mr)
+		finals = append(finals, mr.Final)
+	}
 
-		counts, err := metrics.EvaluateQueries(g, mr.Final)
-		if err != nil {
-			mr.EvalErr = err
+	// Score all corrected query sets through one shared executor (and plan
+	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
+	counts, evalErrs := metrics.EvaluateQuerySetsParallel(g, finals, cfg.ScoreWorkers)
+	var scores []metrics.Score
+	for i := range mined {
+		mr := mined[i]
+		if evalErrs[i] != nil {
+			mr.EvalErr = evalErrs[i]
 		} else {
 			mr.Score = metrics.Score{
-				Rule:       sr.rule,
-				Counts:     counts,
-				Coverage:   counts.Coverage(),
-				Confidence: counts.Confidence(),
+				Rule:       mr.Rule,
+				Counts:     counts[i],
+				Coverage:   counts[i].Coverage(),
+				Confidence: counts[i].Confidence(),
 			}
 			scores = append(scores, mr.Score)
 		}

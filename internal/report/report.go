@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -38,7 +39,12 @@ func RunDataset(g *graph.Graph, seed int64) ([]Cell, error) {
 		model := llm.NewSim(profile, seed)
 		for _, method := range mining.Methods {
 			for _, mode := range prompt.Modes {
-				res, err := mining.Mine(g, mining.Config{Model: model, Method: method, Mode: mode})
+				// ScoreWorkers only parallelizes metric scoring; it cannot
+				// perturb the mined rules or the simulated LLM timings.
+				res, err := mining.Mine(g, mining.Config{
+					Model: model, Method: method, Mode: mode,
+					ScoreWorkers: runtime.GOMAXPROCS(0),
+				})
 				if err != nil {
 					return nil, fmt.Errorf("report: %s/%s/%s/%s: %w", g.Name(), profile.Name, method, mode, err)
 				}

@@ -4,6 +4,7 @@
 package vectorstore
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -93,21 +94,48 @@ func (s *Store) Search(query []float32, k int, filter func(*Doc) bool) ([]Hit, e
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	hits := make([]Hit, 0, len(s.docs))
+	// Bounded top-k selection: keep the k best seen so far in a min-heap
+	// whose root is the current worst, so a full sort of every stored doc
+	// is never materialized. (score desc, ID asc) is a strict total order,
+	// so the selected set and its final ordering are deterministic.
+	h := make(topK, 0, k)
 	for _, d := range s.docs {
 		if filter != nil && !filter(d) {
 			continue
 		}
-		hits = append(hits, Hit{Doc: d, Score: embedding.Cosine(query, d.Vector)})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+		hit := Hit{Doc: d, Score: embedding.Cosine(query, d.Vector)}
+		switch {
+		case len(h) < k:
+			heap.Push(&h, hit)
+		case betterHit(hit, h[0]):
+			h[0] = hit
+			heap.Fix(&h, 0)
 		}
-		return hits[i].Doc.ID < hits[j].Doc.ID
-	})
-	if k < len(hits) {
-		hits = hits[:k]
 	}
+	hits := []Hit(h)
+	sort.Slice(hits, func(i, j int) bool { return betterHit(hits[i], hits[j]) })
 	return hits, nil
+}
+
+// betterHit ranks hits by descending score, ties broken by ascending ID.
+func betterHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc.ID < b.Doc.ID
+}
+
+// topK is a min-heap over hits ordered by betterHit, worst at the root.
+type topK []Hit
+
+func (h topK) Len() int           { return len(h) }
+func (h topK) Less(i, j int) bool { return betterHit(h[j], h[i]) }
+func (h topK) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topK) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *topK) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }

@@ -2,6 +2,7 @@ package vectorstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -108,6 +109,60 @@ func TestTieBreakDeterminism(t *testing.T) {
 	for i, h := range hits {
 		if h.Doc.ID != i {
 			t.Errorf("tie order hit %d = doc %d", i, h.Doc.ID)
+		}
+	}
+}
+
+// TestTopKMatchesFullSort cross-checks the bounded top-k selection against
+// a reference full sort across mixed scores, duplicate scores, and every k
+// from 1 to beyond the store size.
+func TestTopKMatchesFullSort(t *testing.T) {
+	s, _ := New(2)
+	// Deterministic spread of angles, with deliberate duplicates.
+	vecs := [][]float32{
+		{1, 0}, {0.9, 0.1}, {0.5, 0.5}, {0.9, 0.1}, {0, 1},
+		{0.7, 0.3}, {1, 0}, {0.2, 0.8}, {0.5, 0.5}, {0.99, 0.01},
+	}
+	for i, v := range vecs {
+		if _, err := s.Add(fmt.Sprintf("d%d", i), v, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := []float32{1, 0}
+
+	// Reference ranking: every doc, sorted (score desc, ID asc).
+	type ranked struct {
+		id    int
+		score float64
+	}
+	var all []ranked
+	for i, v := range vecs {
+		all = append(all, ranked{i, embedding.Cosine(query, v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+
+	for k := 1; k <= len(vecs)+2; k++ {
+		hits, err := s.Search(query, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k
+		if want > len(vecs) {
+			want = len(vecs)
+		}
+		if len(hits) != want {
+			t.Fatalf("k=%d: got %d hits, want %d", k, len(hits), want)
+		}
+		for i, h := range hits {
+			if h.Doc.ID != all[i].id || h.Score != all[i].score {
+				t.Errorf("k=%d hit %d: doc %d score %v, want doc %d score %v",
+					k, i, h.Doc.ID, h.Score, all[i].id, all[i].score)
+			}
 		}
 	}
 }
