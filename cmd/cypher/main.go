@@ -37,6 +37,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	query := fs.String("q", "", "single query to run (omit for a REPL)")
 	seed := fs.Int64("graph-seed", 42, "dataset generator seed")
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
+	shardWorkers := fs.Int("shard-workers", 0, "partition eligible MATCH anchor scans across N workers (0 = serial)")
+	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,11 +62,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fmt.Fprintf(out, "Loaded %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())
 
 	ex := cypher.NewExecutor(g)
+	ex.SetShardWorkers(*shardWorkers)
+	ex.SetReorder(!*noReorder)
 	if *query != "" {
 		return runQuery(ex, *query, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>" and "profile <query>" inspect)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "profile <query>" and "shard <n>" inspect/configure)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -84,6 +88,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			continue
 		case line == "stats":
 			fmt.Fprint(out, graph.ComputeStats(g).String())
+			continue
+		case strings.HasPrefix(line, "shard "):
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, "shard "), "%d", &n); err != nil {
+				fmt.Fprintln(out, "error: shard requires an integer worker count")
+			} else {
+				ex.SetShardWorkers(n)
+				fmt.Fprintf(out, "shard workers: %d\n", ex.ShardWorkerCount())
+			}
 			continue
 		case strings.HasPrefix(line, "explain "):
 			plan, err := ex.Explain(strings.TrimPrefix(line, "explain "))

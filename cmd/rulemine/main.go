@@ -44,6 +44,8 @@ func run(args []string, out io.Writer) error {
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
 	verbose := fs.Bool("v", false, "print generated and corrected Cypher")
 	asJSON := fs.Bool("json", false, "emit the full run report as JSON instead of text")
+	scoreWorkers := fs.Int("score-workers", 0, "metric scoring worker pool (0 = Parallel's value, negative = GOMAXPROCS)")
+	shardWorkers := fs.Int("shard-workers", 0, "partition anchor scans inside each scoring query across N workers (0 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,10 +100,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	res, err := mining.Mine(g, mining.Config{
-		Model:   llm.NewSim(profile, *seed),
-		Method:  method,
-		Mode:    mode,
-		Encoder: encoder,
+		Model:        llm.NewSim(profile, *seed),
+		Method:       method,
+		Mode:         mode,
+		Encoder:      encoder,
+		ScoreWorkers: *scoreWorkers,
+		ShardWorkers: *shardWorkers,
 	})
 	if err != nil {
 		return err

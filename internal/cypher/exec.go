@@ -44,6 +44,19 @@ type ExecStats struct {
 	// seeks produced (the scan work the index avoided re-filtering).
 	IndexSeeks int
 	IndexRows  int
+	// Sharded is true when at least one MATCH ran on the anchor-partitioned
+	// worker pool; ShardWorkers is the configured pool size and ShardRows
+	// holds the rows each shard of the last sharded clause produced.
+	Sharded      bool
+	ShardWorkers int
+	ShardRows    []int
+	// Reordered is true when cost-based planning changed part order or
+	// orientation; PartOrder lists the chosen execution order (original
+	// pattern indices) and PartEst the anchor cardinality estimates, both
+	// for the last planned multi-part MATCH.
+	Reordered bool
+	PartOrder []int
+	PartEst   []float64
 	// Clauses records per-clause wall-clock timings in execution order.
 	Clauses []ClauseTiming
 }
@@ -55,6 +68,12 @@ func (s ExecStats) String() string {
 	fmt.Fprintf(&b, "count fast path: %v\n", s.CountFastPath)
 	fmt.Fprintf(&b, "rows scanned: %d\n", s.RowsScanned)
 	fmt.Fprintf(&b, "index seeks: %d (%d candidate(s))\n", s.IndexSeeks, s.IndexRows)
+	if s.Sharded {
+		fmt.Fprintf(&b, "shards: %d worker(s), rows per shard %v\n", s.ShardWorkers, s.ShardRows)
+	}
+	if len(s.PartOrder) > 0 {
+		fmt.Fprintf(&b, "part order: %v est %v reordered=%v\n", s.PartOrder, s.PartEst, s.Reordered)
+	}
 	for _, ct := range s.Clauses {
 		fmt.Fprintf(&b, "  %-14s %s\n", ct.Clause, ct.Duration.Round(time.Microsecond))
 	}
@@ -161,9 +180,15 @@ type Executor struct {
 	g *graph.Graph
 
 	// noPushdown / noCountFast disable the respective fast paths; they
-	// exist for A/B benchmarking and plan debugging.
-	noPushdown  bool
-	noCountFast bool
+	// exist for A/B benchmarking and plan debugging. noReorder disables
+	// cost-based part ordering (parts then run exactly as written), and
+	// shardWorkers >= 1 routes eligible MATCH clauses through the
+	// anchor-partitioned worker pool (see shard.go); both also back the
+	// differential oracle's reference configurations.
+	noPushdown   bool
+	noCountFast  bool
+	noReorder    bool
+	shardWorkers int
 
 	planMu sync.RWMutex
 	plans  map[string]*Query
@@ -180,6 +205,25 @@ func (ex *Executor) SetIndexPushdown(on bool) { ex.noPushdown = !on }
 
 // SetCountFastPath toggles the single-aggregate fast path (on by default).
 func (ex *Executor) SetCountFastPath(on bool) { ex.noCountFast = !on }
+
+// SetReorder toggles cost-based pattern-part ordering (on by default).
+// Disabling it pins the written part order and orientation, which also pins
+// the serial row order — the differential oracle's reference mode.
+func (ex *Executor) SetReorder(on bool) { ex.noReorder = !on }
+
+// SetShardWorkers configures sharded MATCH execution: eligible anchor scans
+// are partitioned across n workers and merged in shard order, preserving
+// the serial row order. n <= 0 restores the plain serial path; n == 1 runs
+// the shard machinery with a single shard (useful for differential tests).
+func (ex *Executor) SetShardWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ex.shardWorkers = n
+}
+
+// ShardWorkerCount reports the configured shard pool size (0 = serial).
+func (ex *Executor) ShardWorkerCount() int { return ex.shardWorkers }
 
 // PlanCacheStats returns the plan cache's hit/miss counters and size.
 func (ex *Executor) PlanCacheStats() PlanCacheStats {
@@ -349,11 +393,26 @@ func countFastPlan(q *Query) (*MatchClause, *ReturnItem, bool) {
 // execMatchAggregate is the count fast path: it streams pattern matches
 // into a single aggregate state, skipping row materialization, grouping
 // and projection. Its observable result is identical to the general path.
+// With shard workers configured, the anchor scan is partitioned and the
+// per-shard aggregate states are merged (shard.go).
 func (ex *Executor) execMatchAggregate(ctx *evalCtx, m *matcher, mc *MatchClause, item *ReturnItem, res *Result) error {
 	fc := item.Expr.(*FuncCall)
-	st := newAggState(fc)
+	plan := ex.planMatch(mc.Patterns, nil)
+	recordPlan(m, plan)
 	res.Stats.RowsExamined++
-	err := m.matchAll(mc.Patterns, Row{}, func(r Row) error {
+
+	if ex.shardWorkers >= 1 {
+		st, err := ex.shardAggregate(ctx, m, plan, mc.Where, fc)
+		if err != nil {
+			return err
+		}
+		res.Columns = []string{item.Name()}
+		res.Rows = append(res.Rows, []Datum{st.result()})
+		return nil
+	}
+
+	st := newAggState(fc)
+	err := m.matchAll(plan.parts, Row{}, func(r Row) error {
 		if mc.Where != nil {
 			t, err := ctx.evalBool(mc.Where, r)
 			if err != nil {
@@ -377,11 +436,25 @@ func (ex *Executor) execMatchAggregate(ctx *evalCtx, m *matcher, mc *MatchClause
 
 func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Row, st *Stats) ([]Row, error) {
 	newVars := patternVars(cl.Patterns)
+	var bound map[string]bool
+	if len(in) > 0 {
+		bound = make(map[string]bool, len(in[0]))
+		for v := range in[0] {
+			bound[v] = true
+		}
+	}
+	plan := ex.planMatch(cl.Patterns, bound)
+	recordPlan(m, plan)
+
+	if ex.shardWorkers >= 1 && len(in) == 1 && anchorUnbound(plan.parts, in[0]) {
+		return ex.execMatchSharded(ctx, m, cl, plan, newVars, in[0], st)
+	}
+
 	var out []Row
 	for _, row := range in {
 		st.RowsExamined++
 		matched := false
-		err := m.matchAll(cl.Patterns, row, func(r Row) error {
+		err := m.matchAll(plan.parts, row, func(r Row) error {
 			if cl.Where != nil {
 				t, err := ctx.evalBool(cl.Where, r)
 				if err != nil {
@@ -511,11 +584,40 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 		}
 	}
 
-	// Unbound: enumerate candidates. With pushdown on, a constant property
-	// equality on a labeled pattern seeks the label+property index (keeping
-	// the smallest posting list when several constraints apply); otherwise
-	// scan the smallest label bucket, else all nodes. Every candidate is
-	// re-checked by nodeSatisfies, so the seek only narrows, never decides.
+	candidates := m.anchorCandidates(np)
+	if m.exec != nil {
+		m.exec.RowsScanned += len(candidates)
+	}
+	for _, n := range candidates {
+		ok, err := m.nodeSatisfies(np, n, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if np.Var != "" {
+			row[np.Var] = NodeDatum(n)
+		}
+		err = proceed(n, row)
+		if np.Var != "" {
+			delete(row, np.Var)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// anchorCandidates enumerates the candidate nodes for an unbound node
+// pattern. With pushdown on, a constant property equality on a labeled
+// pattern seeks the label+property index (keeping the smallest posting list
+// when several constraints apply); otherwise it scans the smallest label
+// bucket, else all nodes. Every candidate is re-checked by nodeSatisfies,
+// so the seek only narrows, never decides. Index seek stats are recorded;
+// the caller accounts the RowsScanned for the slice it actually walks.
+func (m *matcher) anchorCandidates(np *NodePattern) []*graph.Node {
 	var candidates []*graph.Node
 	seek := false
 	if m.pushdown && len(np.Labels) > 0 && len(np.Props) > 0 {
@@ -555,29 +657,7 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 	} else {
 		candidates = m.g.AllNodes()
 	}
-	if m.exec != nil {
-		m.exec.RowsScanned += len(candidates)
-	}
-	for _, n := range candidates {
-		ok, err := m.nodeSatisfies(np, n, row)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			continue
-		}
-		if np.Var != "" {
-			row[np.Var] = NodeDatum(n)
-		}
-		err = proceed(n, row)
-		if np.Var != "" {
-			delete(row, np.Var)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return candidates
 }
 
 func (m *matcher) nodeSatisfies(np *NodePattern, n *graph.Node, row Row) (bool, error) {
@@ -1271,9 +1351,31 @@ func (ex *Executor) createPart(ctx *evalCtx, part *PatternPart, r Row, st *Stats
 	return nil
 }
 
+// refreshGraphBindings rebinds every node/edge datum in the row to the
+// struct currently published by the graph. SET's copy-on-write mutators
+// replace the published structs, so a row bound before a write would
+// otherwise keep reading the superseded version.
+func refreshGraphBindings(g *graph.Graph, r Row) {
+	for k, d := range r {
+		switch {
+		case d.Node != nil:
+			if fresh := g.Node(d.Node.ID); fresh != nil && fresh != d.Node {
+				r[k] = NodeDatum(fresh)
+			}
+		case d.Edge != nil:
+			if fresh := g.Edge(d.Edge.ID); fresh != nil && fresh != d.Edge {
+				r[k] = EdgeDatum(fresh)
+			}
+		}
+	}
+}
+
 func (ex *Executor) execSet(ctx *evalCtx, cl *SetClause, in []Row, st *Stats) ([]Row, error) {
 	for _, r := range in {
 		for _, item := range cl.Items {
+			// Several rows may bind the same entity; an earlier row's write
+			// superseded the struct this row captured during MATCH.
+			refreshGraphBindings(ex.g, r)
 			d, ok := r[item.Target]
 			if !ok {
 				return nil, execErrf("SET: variable `%s` not defined", item.Target)
@@ -1309,6 +1411,11 @@ func (ex *Executor) execSet(ctx *evalCtx, cl *SetClause, in []Row, st *Stats) ([
 			}
 			st.PropertiesSet++
 		}
+	}
+	// Rebind every row to the final post-write structs so RETURN (and any
+	// later clause) observes all writes, matching pre-COW semantics.
+	for _, r := range in {
+		refreshGraphBindings(ex.g, r)
 	}
 	return in, nil
 }

@@ -34,7 +34,14 @@ func (ex *Executor) Explain(src string) (string, error) {
 			}
 			line("%s (%d pattern(s))", kw, len(c.Patterns))
 			depth++
-			for _, part := range c.Patterns {
+			mp := ex.planMatch(c.Patterns, bound)
+			if mp.reordered {
+				line("CostOrder: order=%v reversed=%v est=%v [smallest anchor first]", mp.order, mp.reversed, mp.est)
+			}
+			if ex.shardWorkers >= 1 && anchorUnbound(mp.parts, boundRow(bound)) {
+				line("ShardScan(%d worker(s)) [anchor candidates partitioned, merged in shard order]", ex.shardWorkers)
+			}
+			for _, part := range mp.parts {
 				ex.explainPart(part, bound, line)
 			}
 			if c.Where != nil {
@@ -159,6 +166,18 @@ func (ex *Executor) bestLabel(labels []string) (string, int) {
 		}
 	}
 	return best, bestN
+}
+
+// boundRow adapts Explain's bound-variable set to the Row shape
+// anchorUnbound checks (only key presence matters).
+func boundRow(bound map[string]bool) Row {
+	r := make(Row, len(bound))
+	for v, ok := range bound {
+		if ok {
+			r[v] = NullDatum
+		}
+	}
+	return r
 }
 
 func varOrAnon(v string) string {

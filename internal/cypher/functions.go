@@ -423,19 +423,29 @@ func (st *aggState) add(c *evalCtx, row Row) error {
 	if d.IsNull() {
 		return nil // aggregates skip nulls
 	}
-	v := d.Scalar()
+	return st.addValue(d.Scalar())
+}
+
+// addValue feeds one already-evaluated non-null value into the aggregate.
+func (st *aggState) addValue(v graph.Value) error {
 	if st.distinct != nil {
 		h := v.Hashable()
 		if st.distinct[h] {
 			return nil
 		}
 		st.distinct[h] = true
+		// Retain every first-seen distinct value so shard-local states can
+		// merge with cross-shard deduplication (see merge); collect reads
+		// the same list as its result.
+		st.items = append(st.items, v)
 	}
 	st.count++
 	st.sawVal = true
 	switch st.fn.Name {
 	case "collect":
-		st.items = append(st.items, v)
+		if st.distinct == nil {
+			st.items = append(st.items, v)
+		}
 	case "sum", "avg":
 		f, ok := v.AsFloat()
 		if !ok {
@@ -487,6 +497,44 @@ func (st *aggState) result() Datum {
 	default:
 		return NullDatum
 	}
+}
+
+// merge folds another state for the same aggregate into st. Shard workers
+// each accumulate a private state over their candidate range; merging the
+// states in shard order reproduces exactly the serial accumulation, because
+// shards partition the serial candidate sequence contiguously. For DISTINCT
+// aggregates the shard-local states retain their first-seen values, which
+// merge replays through addValue so cross-shard duplicates collapse.
+func (st *aggState) merge(o *aggState) error {
+	if st.distinct != nil {
+		for _, v := range o.items {
+			if err := st.addValue(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	st.count += o.count
+	st.sumI += o.sumI
+	st.sumF += o.sumF
+	st.sawFloat = st.sawFloat || o.sawFloat
+	st.sawVal = st.sawVal || o.sawVal
+	st.items = append(st.items, o.items...)
+	if st.minV.IsNull() {
+		st.minV = o.minV
+	} else if !o.minV.IsNull() {
+		if cv, ok := o.minV.Compare(st.minV); ok && cv < 0 {
+			st.minV = o.minV
+		}
+	}
+	if st.maxV.IsNull() {
+		st.maxV = o.maxV
+	} else if !o.maxV.IsNull() {
+		if cv, ok := o.maxV.Compare(st.maxV); ok && cv > 0 {
+			st.maxV = o.maxV
+		}
+	}
+	return nil
 }
 
 // collectAggregates gathers the aggregate FuncCall nodes inside an

@@ -1,0 +1,458 @@
+package cypher
+
+// Differential oracle for the sharded, cost-reordered executor: every query
+// in a corpus (a fixed schema-derived set plus seeded randomized queries)
+// runs under the serial no-reorder reference configuration and under a grid
+// of {sharded x {1,2,8 workers}} x {reorder on/off} configurations, and the
+// results must agree. No-reorder configurations must reproduce the serial
+// row order exactly (contiguous shard merge preserves it); reorder-on
+// configurations are compared as canonically sorted row multisets, since
+// part reordering is allowed to permute unordered results.
+//
+// Environment knobs (all optional):
+//
+//	GRAPHRULES_ORACLE_SEED      generator seed (default 1)
+//	GRAPHRULES_ORACLE_RANDOM    randomized queries per dataset (default 60;
+//	                            CI's oracle job runs the full 200)
+//	GRAPHRULES_ORACLE_ARTIFACT  file to append failing query reproductions to
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+type oracleConfig struct {
+	name    string
+	shard   int
+	reorder bool
+}
+
+// oracleGrid is every configuration compared against the serial reference.
+var oracleGrid = []oracleConfig{
+	{"shard0-reorder", 0, true},
+	{"shard1-noreorder", 1, false},
+	{"shard1-reorder", 1, true},
+	{"shard2-noreorder", 2, false},
+	{"shard2-reorder", 2, true},
+	{"shard8-noreorder", 8, false},
+	{"shard8-reorder", 8, true},
+}
+
+func newOracleExecutor(g *graph.Graph, cfg oracleConfig) *Executor {
+	ex := NewExecutor(g)
+	ex.SetShardWorkers(cfg.shard)
+	ex.SetReorder(cfg.reorder)
+	return ex
+}
+
+// oracleRun executes one query and renders every result row to a canonical
+// string (column order is part of the rendering, row order is preserved).
+func oracleRun(ex *Executor, src string) (rows []string, errStr string) {
+	res, err := ex.Run(src, nil)
+	if err != nil {
+		return nil, err.Error()
+	}
+	rows = make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		var b strings.Builder
+		for i, d := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(d.Hashable())
+		}
+		rows = append(rows, b.String())
+	}
+	return rows, ""
+}
+
+func sortedCopy(rows []string) []string {
+	out := append([]string(nil), rows...)
+	sort.Strings(out)
+	return out
+}
+
+func rowsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeOracleArtifact appends a failing-query reproduction to the artifact
+// file named by GRAPHRULES_ORACLE_ARTIFACT, for CI upload.
+func writeOracleArtifact(dataset string, seed int64, cfg, query, detail string) {
+	path := os.Getenv("GRAPHRULES_ORACLE_ARTIFACT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "dataset=%s seed=%d config=%s\nquery: %s\n%s\n\n", dataset, seed, cfg, query, detail)
+}
+
+func envInt64(name string, def int64) int64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func TestDifferentialOracle(t *testing.T) {
+	seed := envInt64("GRAPHRULES_ORACLE_SEED", 1)
+	nRandom := int(envInt64("GRAPHRULES_ORACLE_RANDOM", 60))
+	if testing.Short() && os.Getenv("GRAPHRULES_ORACLE_RANDOM") == "" {
+		nRandom = 15
+	}
+	for _, name := range datasets.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			gen, err := datasets.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := gen(datasets.Options{Seed: 42, ViolationRate: 0.03})
+			sch := newOracleSchema(g)
+			rng := rand.New(rand.NewSource(seed))
+			corpus := sch.fixedCorpus()
+			for i := 0; i < nRandom; i++ {
+				corpus = append(corpus, sch.randomQuery(rng))
+			}
+
+			ref := newOracleExecutor(g, oracleConfig{shard: 0, reorder: false})
+			grid := make([]*Executor, len(oracleGrid))
+			for i, cfg := range oracleGrid {
+				grid[i] = newOracleExecutor(g, cfg)
+			}
+
+			// Queries are independent and every executor is safe for
+			// concurrent use, so comparisons run on a worker pool; failures
+			// are reported with the reproducing seed.
+			var (
+				wg   sync.WaitGroup
+				next atomic.Int64
+				mu   sync.Mutex
+			)
+			checkQuery := func(q string) {
+				refRows, refErr := oracleRun(ref, q)
+				refSorted := sortedCopy(refRows)
+				for i, cfg := range oracleGrid {
+					gotRows, gotErr := oracleRun(grid[i], q)
+					fail := func(kind, detail string) {
+						mu.Lock()
+						defer mu.Unlock()
+						writeOracleArtifact(name, seed, cfg.name, q, detail)
+						t.Errorf("%s under %s (reproduce with GRAPHRULES_ORACLE_SEED=%d):\nquery: %s\n%s",
+							kind, cfg.name, seed, q, detail)
+					}
+					if (refErr != "") != (gotErr != "") {
+						fail("error divergence", fmt.Sprintf("reference err=%q, %s err=%q", refErr, cfg.name, gotErr))
+						return
+					}
+					if refErr != "" {
+						continue // both failed; nothing further to compare
+					}
+					if !cfg.reorder {
+						// Same written part order and contiguous shard merge:
+						// row order must be byte-identical to serial.
+						if !rowsEqual(refRows, gotRows) {
+							fail("row-order divergence", fmt.Sprintf("serial order %v\n%s order %v", refRows, cfg.name, gotRows))
+							return
+						}
+						continue
+					}
+					if !rowsEqual(refSorted, sortedCopy(gotRows)) {
+						fail("result-set divergence", fmt.Sprintf("serial sorted %v\n%s sorted %v", refSorted, cfg.name, sortedCopy(gotRows)))
+						return
+					}
+				}
+			}
+			workers := runtime.GOMAXPROCS(0)
+			if workers > len(corpus) {
+				workers = len(corpus)
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(corpus) || t.Failed() {
+							return
+						}
+						checkQuery(corpus[i])
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// ---------- schema-driven query generation ----------
+
+type propSample struct {
+	key string
+	val graph.Value
+}
+
+type relSample struct {
+	typ      string
+	from, to string // primary endpoint labels of a sample edge
+	count    int
+}
+
+type oracleSchema struct {
+	g      *graph.Graph
+	labels []string
+	count  map[string]int
+	rels   []relSample
+	// props: label -> deterministic samples (int/string valued only)
+	props map[string][]propSample
+	// intProps: label -> samples whose value is an integer
+	intProps map[string][]propSample
+}
+
+func newOracleSchema(g *graph.Graph) *oracleSchema {
+	sch := &oracleSchema{
+		g:        g,
+		count:    map[string]int{},
+		props:    map[string][]propSample{},
+		intProps: map[string][]propSample{},
+	}
+	for _, l := range g.NodeLabels() {
+		n := len(g.NodesWithLabel(l))
+		if n == 0 {
+			continue
+		}
+		sch.labels = append(sch.labels, l)
+		sch.count[l] = n
+		seen := map[string]bool{}
+		nodes := g.LabelNodes(l)
+		if len(nodes) > 50 {
+			nodes = nodes[:50]
+		}
+		for _, node := range nodes {
+			keys := make([]string, 0, len(node.Props))
+			for k := range node.Props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if seen[k] {
+					continue
+				}
+				v := node.Props[k]
+				if _, ok := cypherLit(v); !ok {
+					continue
+				}
+				seen[k] = true
+				ps := propSample{key: k, val: v}
+				sch.props[l] = append(sch.props[l], ps)
+				if v.Kind() == graph.KindInt {
+					sch.intProps[l] = append(sch.intProps[l], ps)
+				}
+			}
+		}
+	}
+	for _, typ := range g.EdgeTypes() {
+		ids := g.EdgesWithType(typ)
+		if len(ids) == 0 {
+			continue
+		}
+		e := g.Edge(ids[0])
+		from, to := g.Node(e.From), g.Node(e.To)
+		if from == nil || to == nil || len(from.Labels) == 0 || len(to.Labels) == 0 {
+			continue
+		}
+		sch.rels = append(sch.rels, relSample{typ: typ, from: from.Labels[0], to: to.Labels[0], count: len(ids)})
+	}
+	return sch
+}
+
+// cypherLit renders a stored value as a Cypher literal; only int and
+// "plain" string values are representable (no quoting edge cases).
+func cypherLit(v graph.Value) (string, bool) {
+	switch v.Kind() {
+	case graph.KindInt:
+		return strconv.FormatInt(v.Int(), 10), true
+	case graph.KindString:
+		s := v.Str()
+		if strings.ContainsAny(s, `'\`) {
+			return "", false
+		}
+		return "'" + s + "'", true
+	}
+	return "", false
+}
+
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// fixedCorpus is the deterministic, schema-derived part of the corpus: one
+// instance of every tricky shape per applicable label/relationship.
+func (sch *oracleSchema) fixedCorpus() []string {
+	qs := []string{
+		"MATCH (a) RETURN count(*) AS n",
+	}
+	if sch.g.EdgeCount() <= 20000 {
+		qs = append(qs, "MATCH (a)-[r]->(b) RETURN count(*) AS n")
+	}
+	for _, l := range sch.labels {
+		qs = append(qs, fmt.Sprintf("MATCH (a:%s) RETURN count(*) AS n", l))
+		for _, ps := range sch.props[l] {
+			lit, _ := cypherLit(ps.val)
+			qs = append(qs,
+				fmt.Sprintf("MATCH (a:%s {%s: %s}) RETURN count(*) AS n", l, ps.key, lit),
+				fmt.Sprintf("MATCH (a:%s) WHERE a.%s IS NULL RETURN count(*) AS n", l, ps.key),
+				fmt.Sprintf("MATCH (a:%s) RETURN min(a.%s) AS mn, max(a.%s) AS mx, count(*) AS n", l, ps.key, ps.key),
+			)
+			if sch.count[l] <= 5000 {
+				qs = append(qs, fmt.Sprintf("MATCH (a:%s) RETURN DISTINCT a.%s AS v ORDER BY v", l, ps.key))
+			}
+			break // one prop per label keeps the fixed corpus compact
+		}
+	}
+	for _, r := range sch.rels {
+		qs = append(qs,
+			fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s) RETURN count(*) AS n", r.from, r.typ, r.to),
+			fmt.Sprintf("MATCH (b:%s)<-[:%s]-(a:%s) RETURN count(*) AS n", r.to, r.typ, r.from),
+			fmt.Sprintf("MATCH (a:%s)-[:%s]->(a) RETURN count(*) AS n", r.from, r.typ),
+		)
+		if sch.count[r.from] <= 5000 {
+			qs = append(qs, fmt.Sprintf(
+				"MATCH (a:%s) OPTIONAL MATCH (a)-[:%s]->(b:%s) RETURN count(*) AS n", r.from, r.typ, r.to))
+		}
+		if r.count <= 5000 {
+			qs = append(qs, fmt.Sprintf(
+				"UNWIND [1, 2] AS x MATCH (a:%s)-[:%s]->(b) RETURN count(*) AS n", r.from, r.typ))
+		}
+	}
+	return qs
+}
+
+// randomQuery draws one read-only query whose estimated work is bounded, so
+// a 200-query corpus stays fast even on the 43k-node Twitter graph.
+func (sch *oracleSchema) randomQuery(rng *rand.Rand) string {
+	for {
+		if q, ok := sch.tryRandomQuery(rng); ok {
+			return q
+		}
+	}
+}
+
+func (sch *oracleSchema) tryRandomQuery(rng *rand.Rand) (string, bool) {
+	switch rng.Intn(12) {
+	case 0: // label count
+		l := pick(rng, sch.labels)
+		return fmt.Sprintf("MATCH (a:%s) RETURN count(*) AS n", l), true
+	case 1: // index-seek count (pushdown + fast path)
+		l := pick(rng, sch.labels)
+		if len(sch.props[l]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.props[l])
+		lit, _ := cypherLit(ps.val)
+		return fmt.Sprintf("MATCH (a:%s {%s: %s}) RETURN count(*) AS n", l, ps.key, lit), true
+	case 2: // one-hop path count, random orientation
+		r := pick(rng, sch.rels)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s) RETURN count(*) AS n", r.from, r.typ, r.to), true
+		}
+		return fmt.Sprintf("MATCH (b:%s)<-[:%s]-(a:%s) RETURN count(*) AS n", r.to, r.typ, r.from), true
+	case 3: // undirected expansion
+		r := pick(rng, sch.rels)
+		if r.count > 10000 {
+			return "", false
+		}
+		return fmt.Sprintf("MATCH (a:%s)-[:%s]-(b) RETURN count(*) AS n", r.from, r.typ), true
+	case 4: // two-hop chain (types joined on the shared middle label)
+		r1 := pick(rng, sch.rels)
+		for _, r2 := range sch.rels {
+			if r2.from == r1.to && r1.count+r2.count <= 15000 {
+				return fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s)-[:%s]->(c) RETURN count(*) AS n",
+					r1.from, r1.typ, r1.to, r2.typ), true
+			}
+		}
+		return "", false
+	case 5: // WHERE on an integer property
+		l := pick(rng, sch.labels)
+		if len(sch.intProps[l]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.intProps[l])
+		return fmt.Sprintf("MATCH (a:%s) WHERE a.%s > %d RETURN count(a.%s) AS n",
+			l, ps.key, ps.val.Int()-int64(rng.Intn(5)), ps.key), true
+	case 6: // DISTINCT aggregate over a property
+		r := pick(rng, sch.rels)
+		if len(sch.props[r.to]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.props[r.to])
+		return fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s) RETURN count(DISTINCT b.%s) AS n",
+			r.from, r.typ, r.to, ps.key), true
+	case 7: // non-aggregate projection (exercises the row merge path)
+		r := pick(rng, sch.rels)
+		if r.count > 10000 || len(sch.props[r.from]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.props[r.from])
+		q := fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s) RETURN a.%s AS x", r.from, r.typ, r.to, ps.key)
+		if rng.Intn(2) == 0 {
+			q += " ORDER BY x"
+		}
+		return q, true
+	case 8: // cartesian product of two small labels
+		la, lb := pick(rng, sch.labels), pick(rng, sch.labels)
+		if sch.count[la]*sch.count[lb] > 250000 {
+			return "", false
+		}
+		return fmt.Sprintf("MATCH (a:%s), (b:%s) RETURN count(*) AS n", la, lb), true
+	case 9: // cross-part bound variable (part 2 anchors on part 1's target)
+		r1 := pick(rng, sch.rels)
+		for _, r2 := range sch.rels {
+			if r2.from == r1.to && r1.count+r2.count <= 15000 {
+				return fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s), (b)-[:%s]->(c) RETURN count(*) AS n",
+					r1.from, r1.typ, r1.to, r2.typ), true
+			}
+		}
+		return "", false
+	case 10: // integer sum / avg (exact at any shard count)
+		l := pick(rng, sch.labels)
+		if len(sch.intProps[l]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.intProps[l])
+		fn := pick(rng, []string{"sum", "min", "max"})
+		return fmt.Sprintf("MATCH (a:%s) RETURN %s(a.%s) AS n", l, fn, ps.key), true
+	default: // grouped WITH pipeline
+		r := pick(rng, sch.rels)
+		if r.count > 10000 {
+			return "", false
+		}
+		return fmt.Sprintf(
+			"MATCH (a:%s)-[:%s]->(b) WITH a, count(b) AS c WHERE c > 1 RETURN count(*) AS n",
+			r.from, r.typ), true
+	}
+}

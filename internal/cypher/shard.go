@@ -1,0 +1,275 @@
+package cypher
+
+import (
+	"sync"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// This file implements sharded MATCH execution: the anchor-candidate range
+// of the first planned pattern part (a label-bucket snapshot or index
+// posting list) is partitioned into contiguous chunks, one worker matches
+// each chunk with its own matcher and evaluation context, and the per-shard
+// results are merged in chunk order. Because the chunks partition the serial
+// candidate sequence contiguously, concatenating shard outputs in shard
+// order reproduces exactly the serial row order, and merging per-shard
+// aggregate states in shard order reproduces the serial accumulation.
+
+// recordPlan publishes the chosen part order and estimates to the execution
+// stats so Explain and the REPL profile command can show them.
+func recordPlan(m *matcher, plan *matchPlan) {
+	if m.exec == nil || len(plan.order) == 0 {
+		return
+	}
+	m.exec.PartOrder = append([]int(nil), plan.order...)
+	m.exec.PartEst = append([]float64(nil), plan.est...)
+	m.exec.Reordered = plan.reordered
+}
+
+// anchorUnbound reports whether the first planned part anchors on a variable
+// not already bound in row — the precondition for partitioning the anchor
+// scan. A bound anchor means the scan has exactly one candidate and there is
+// nothing to shard.
+func anchorUnbound(parts []*PatternPart, row Row) bool {
+	if len(parts) == 0 {
+		return false
+	}
+	np := parts[0].Nodes[0]
+	if np.Var == "" {
+		return true
+	}
+	_, bound := row[np.Var]
+	return !bound
+}
+
+// shardChunks splits the candidate slice into at most `workers` contiguous
+// chunks of near-equal size, preserving candidate order across the
+// concatenation of the chunks.
+func shardChunks(cands []*graph.Node, workers int) [][]*graph.Node {
+	if len(cands) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	size := (len(cands) + workers - 1) / workers
+	chunks := make([][]*graph.Node, 0, workers)
+	for i := 0; i < len(cands); i += size {
+		end := i + size
+		if end > len(cands) {
+			end = len(cands)
+		}
+		chunks = append(chunks, cands[i:end])
+	}
+	return chunks
+}
+
+// mergeWorkerStats folds a shard worker's scan counters into the main
+// execution stats. Plan/shard metadata stays with the main stats.
+func mergeWorkerStats(dst, src *ExecStats) {
+	if dst == nil {
+		return
+	}
+	dst.RowsScanned += src.RowsScanned
+	dst.IndexSeeks += src.IndexSeeks
+	dst.IndexRows += src.IndexRows
+}
+
+// matchAllAnchored is matchAll restricted to a pre-enumerated anchor
+// candidate slice for the first part. It shares one relationship-uniqueness
+// scope across all parts (per-MATCH semantics) and accounts the RowsScanned
+// for the slice it walks; the caller performed the anchor enumeration (and
+// recorded any index seek) exactly once for all shards.
+func (m *matcher) matchAllAnchored(parts []*PatternPart, cands []*graph.Node, row Row, cb func(Row) error) error {
+	if m.exec != nil {
+		m.exec.RowsScanned += len(cands)
+	}
+	first := parts[0]
+	np := first.Nodes[0]
+	used := map[graph.ID]bool{}
+
+	// rest continues with parts[1:] once part 0 is fully matched.
+	rest := func(r Row) error {
+		var rec func(i int, r Row) error
+		rec = func(i int, r Row) error {
+			if i == len(parts) {
+				return cb(r)
+			}
+			return m.matchPart(parts[i], r, used, func(r2 Row) error {
+				return rec(i+1, r2)
+			})
+		}
+		return rec(1, r)
+	}
+
+	for _, n := range cands {
+		ok, err := m.nodeSatisfies(np, n, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if np.Var != "" {
+			row[np.Var] = NodeDatum(n)
+		}
+		if len(first.Rels) == 0 {
+			err = rest(row)
+		} else {
+			err = m.expandRel(first, 0, n, row, used, rest)
+		}
+		if np.Var != "" {
+			delete(row, np.Var)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardWorker is the per-shard private state: its own matcher (stats sink)
+// and evaluation context (the expression regex cache is not thread-safe, so
+// contexts are never shared across workers).
+type shardWorker struct {
+	m   *matcher
+	ctx *evalCtx
+}
+
+func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool) *shardWorker {
+	wm := &matcher{g: ex.g, pushdown: pushdown, exec: &ExecStats{}}
+	wctx := newEvalCtx(ex.g, params, wm)
+	wm.ctx = wctx
+	return &shardWorker{m: wm, ctx: wctx}
+}
+
+// execMatchSharded runs one MATCH clause with the anchor scan partitioned
+// across the worker pool. Eligibility (single input row, unbound anchor) is
+// checked by the caller. Shard outputs are concatenated in shard order,
+// which preserves the serial row order; the first error in shard order is
+// the serial-first error, because shards partition the candidate sequence
+// contiguously and every earlier chunk completed without error.
+func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, plan *matchPlan, newVars []string, row Row, st *Stats) ([]Row, error) {
+	st.RowsExamined++
+	cands := m.anchorCandidates(plan.parts[0].Nodes[0])
+	chunks := shardChunks(cands, ex.shardWorkers)
+
+	type shardOut struct {
+		w    *shardWorker
+		rows []Row
+		err  error
+	}
+	outs := make([]shardOut, len(chunks))
+	var wg sync.WaitGroup
+	for si := range chunks {
+		wg.Add(1)
+		go func(si int, chunk []*graph.Node) {
+			defer wg.Done()
+			o := &outs[si]
+			o.w = ex.newShardWorker(ctx.params, m.pushdown)
+			wrow := row.clone()
+			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, wrow, func(r Row) error {
+				if cl.Where != nil {
+					t, err := o.w.ctx.evalBool(cl.Where, r)
+					if err != nil {
+						return err
+					}
+					if t != triTrue {
+						return nil
+					}
+				}
+				o.rows = append(o.rows, r.clone())
+				return nil
+			})
+		}(si, chunks[si])
+	}
+	wg.Wait()
+
+	var out []Row
+	shardRows := make([]int, len(chunks))
+	for si := range outs {
+		if outs[si].err != nil {
+			return nil, outs[si].err
+		}
+		shardRows[si] = len(outs[si].rows)
+		out = append(out, outs[si].rows...)
+		mergeWorkerStats(m.exec, outs[si].w.m.exec)
+	}
+	if m.exec != nil {
+		m.exec.Sharded = true
+		m.exec.ShardWorkers = ex.shardWorkers
+		m.exec.ShardRows = shardRows
+	}
+	if len(out) == 0 && cl.Optional {
+		r := row.clone()
+		for _, v := range newVars {
+			if _, bound := r[v]; !bound {
+				r[v] = NullDatum
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// shardAggregate is the sharded count-aggregate fast path: each worker
+// streams its chunk's matches into a private aggregate state and the states
+// are merged in shard order into a fresh final state.
+func (ex *Executor) shardAggregate(ctx *evalCtx, m *matcher, plan *matchPlan, where Expr, fc *FuncCall) (*aggState, error) {
+	cands := m.anchorCandidates(plan.parts[0].Nodes[0])
+	chunks := shardChunks(cands, ex.shardWorkers)
+
+	type shardOut struct {
+		w    *shardWorker
+		st   *aggState
+		rows int
+		err  error
+	}
+	outs := make([]shardOut, len(chunks))
+	var wg sync.WaitGroup
+	for si := range chunks {
+		wg.Add(1)
+		go func(si int, chunk []*graph.Node) {
+			defer wg.Done()
+			o := &outs[si]
+			o.w = ex.newShardWorker(ctx.params, m.pushdown)
+			o.st = newAggState(fc)
+			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, Row{}, func(r Row) error {
+				if where != nil {
+					t, err := o.w.ctx.evalBool(where, r)
+					if err != nil {
+						return err
+					}
+					if t != triTrue {
+						return nil
+					}
+				}
+				o.rows++
+				return o.st.add(o.w.ctx, r)
+			})
+		}(si, chunks[si])
+	}
+	wg.Wait()
+
+	final := newAggState(fc)
+	shardRows := make([]int, len(chunks))
+	for si := range outs {
+		if outs[si].err != nil {
+			return nil, outs[si].err
+		}
+		shardRows[si] = outs[si].rows
+		if err := final.merge(outs[si].st); err != nil {
+			return nil, err
+		}
+		mergeWorkerStats(m.exec, outs[si].w.m.exec)
+	}
+	if m.exec != nil {
+		m.exec.Sharded = true
+		m.exec.ShardWorkers = ex.shardWorkers
+		m.exec.ShardRows = shardRows
+	}
+	return final, nil
+}

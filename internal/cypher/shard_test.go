@@ -1,0 +1,195 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// chainGraph builds n Person nodes {idx: 0..n-1} linked by NEXT edges in
+// index order, with a Tag node every tenth person. Insertion order is the
+// serial scan order, so row-order regressions are easy to spot.
+func chainGraph(n int) *graph.Graph {
+	g := graph.New("chain")
+	var prev *graph.Node
+	for i := 0; i < n; i++ {
+		p := g.AddNode([]string{"Person"}, graph.Props{"idx": graph.NewInt(int64(i))})
+		if prev != nil {
+			g.MustAddEdge(prev.ID, p.ID, []string{"NEXT"}, nil)
+		}
+		if i%10 == 0 {
+			tag := g.AddNode([]string{"Tag"}, graph.Props{"decade": graph.NewInt(int64(i / 10))})
+			g.MustAddEdge(p.ID, tag.ID, []string{"TAGGED"}, nil)
+		}
+		prev = p
+	}
+	return g
+}
+
+func TestShardChunks(t *testing.T) {
+	nodes := make([]*graph.Node, 0, 10)
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, &graph.Node{ID: graph.ID(i)})
+	}
+	cases := []struct {
+		workers int
+		want    []int // chunk lengths
+	}{
+		{1, []int{10}},
+		{2, []int{5, 5}},
+		{3, []int{4, 4, 2}},
+		{4, []int{3, 3, 3, 1}},
+		{10, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{25, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}, // clamped to len(cands)
+		{0, []int{10}},                            // clamped up to 1
+	}
+	for _, tc := range cases {
+		chunks := shardChunks(nodes, tc.workers)
+		if len(chunks) != len(tc.want) {
+			t.Errorf("workers=%d: %d chunks, want %d", tc.workers, len(chunks), len(tc.want))
+			continue
+		}
+		// Concatenating chunks must reproduce the input exactly: the merge
+		// step relies on contiguity to preserve serial row order.
+		i := 0
+		for ci, chunk := range chunks {
+			if len(chunk) != tc.want[ci] {
+				t.Errorf("workers=%d chunk %d: len %d, want %d", tc.workers, ci, len(chunk), tc.want[ci])
+			}
+			for _, n := range chunk {
+				if n != nodes[i] {
+					t.Errorf("workers=%d: chunk order diverges from input at %d", tc.workers, i)
+				}
+				i++
+			}
+		}
+		if i != len(nodes) {
+			t.Errorf("workers=%d: chunks cover %d of %d candidates", tc.workers, i, len(nodes))
+		}
+	}
+	if got := shardChunks(nil, 4); len(got) != 0 {
+		t.Errorf("shardChunks(nil) = %d chunks, want 0", len(got))
+	}
+}
+
+// TestShardedRowOrderMatchesSerial is the regression test for deterministic
+// result ordering: with reordering off, a sharded non-aggregate query must
+// return rows byte-identical to — and in the same order as — the serial
+// executor, at every worker count.
+func TestShardedRowOrderMatchesSerial(t *testing.T) {
+	g := chainGraph(200)
+	queries := []string{
+		`MATCH (p:Person) RETURN p.idx`,
+		`MATCH (p:Person) WHERE p.idx > 57 RETURN p.idx`,
+		`MATCH (a:Person)-[:NEXT]->(b:Person) RETURN a.idx, b.idx`,
+		`MATCH (p:Person)-[:TAGGED]->(t:Tag) RETURN p.idx, t.decade`,
+		`MATCH (p:Person) OPTIONAL MATCH (p)-[:TAGGED]->(t:Tag) RETURN p.idx, t.decade`,
+		`MATCH (a:Person)-[:NEXT]->(b)-[:NEXT]->(c) RETURN a.idx, c.idx`,
+	}
+	serial := NewExecutor(g)
+	serial.SetReorder(false)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		ex := NewExecutor(g)
+		ex.SetShardWorkers(workers)
+		ex.SetReorder(false)
+		for _, q := range queries {
+			want, wantErr := oracleRun(serial, q)
+			got, gotErr := oracleRun(ex, q)
+			if wantErr != "" || gotErr != "" {
+				t.Fatalf("workers=%d %q: serial err=%q sharded err=%q", workers, q, wantErr, gotErr)
+			}
+			if !rowsEqual(want, got) {
+				t.Errorf("workers=%d %q: row order diverges\nserial:  %v\nsharded: %v", workers, q, want, got)
+			}
+		}
+	}
+}
+
+// Sharded collect() must concatenate per-shard accumulations in shard order,
+// reproducing the serial accumulation order exactly.
+func TestShardedCollectOrderDeterministic(t *testing.T) {
+	g := chainGraph(100)
+	queries := []string{
+		`MATCH (p:Person) RETURN collect(p.idx) AS xs`,
+		`MATCH (a:Person)-[:NEXT]->(b:Person) RETURN count(*) AS n, collect(b.idx) AS xs`,
+	}
+	serial := NewExecutor(g)
+	serial.SetReorder(false)
+	for _, workers := range []int{1, 2, 8} {
+		ex := NewExecutor(g)
+		ex.SetShardWorkers(workers)
+		ex.SetReorder(false)
+		for _, q := range queries {
+			want, _ := oracleRun(serial, q)
+			got, _ := oracleRun(ex, q)
+			if !rowsEqual(want, got) {
+				t.Errorf("workers=%d %q:\nserial:  %v\nsharded: %v", workers, q, want, got)
+			}
+		}
+	}
+}
+
+// ExecStats must expose how the query was sharded: worker count, per-shard
+// row counts summing to the total, and the cost-based part order.
+func TestShardedExecStats(t *testing.T) {
+	g := chainGraph(100)
+	ex := NewExecutor(g)
+	ex.SetShardWorkers(4)
+	res, err := ex.Run(`MATCH (p:Person) WHERE p.idx < 50 RETURN p.idx`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Exec
+	if !st.Sharded || st.ShardWorkers != 4 {
+		t.Fatalf("Sharded=%v ShardWorkers=%d, want true/4", st.Sharded, st.ShardWorkers)
+	}
+	if len(st.ShardRows) != 4 {
+		t.Fatalf("ShardRows = %v, want 4 entries", st.ShardRows)
+	}
+	total := 0
+	for _, n := range st.ShardRows {
+		total += n
+	}
+	if total != len(res.Rows) {
+		t.Errorf("sum(ShardRows) = %d, want %d", total, len(res.Rows))
+	}
+	out := st.String()
+	if want := "shards: 4 worker(s)"; !strings.Contains(out, want) {
+		t.Errorf("ExecStats.String() missing %q:\n%s", want, out)
+	}
+
+	// The aggregate fast path reports shard stats too.
+	res, err = ex.Run(`MATCH (p:Person) RETURN count(*) AS n`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exec.Sharded || res.Exec.ShardWorkers != 4 {
+		t.Errorf("aggregate: Sharded=%v ShardWorkers=%d, want true/4", res.Exec.Sharded, res.Exec.ShardWorkers)
+	}
+	if res.FirstInt("n") != 100 {
+		t.Errorf("sharded count = %d, want 100", res.FirstInt("n"))
+	}
+}
+
+// A sharded query against a mutated graph must see the post-mutation state
+// (executors hold no candidate caches across runs).
+func TestShardedSeesMutations(t *testing.T) {
+	g := chainGraph(50)
+	ex := NewExecutor(g)
+	ex.SetShardWorkers(4)
+	count := func() int64 {
+		res, err := ex.Run(`MATCH (p:Person) RETURN count(*) AS n`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FirstInt("n")
+	}
+	if got := count(); got != 50 {
+		t.Fatalf("initial count = %d", got)
+	}
+	g.AddNode([]string{"Person"}, graph.Props{"idx": graph.NewInt(999)})
+	if got := count(); got != 51 {
+		t.Errorf("count after AddNode = %d, want 51", got)
+	}
+}

@@ -295,6 +295,13 @@ func (g *Graph) InDegree(node ID) int {
 }
 
 // SetNodeProp sets (or with a null value, deletes) one property of a node.
+//
+// The update is copy-on-write: a fresh Node with the updated property map is
+// swapped into the graph and the published struct is never mutated. Readers
+// holding the old pointer (cache snapshots taken before the write) keep
+// seeing a consistent pre-write view; readers that re-fetch — or scan a
+// cache rebuilt after the invalidation below — see the new version. Callers
+// that need read-your-writes must therefore re-fetch the node by ID.
 func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -303,15 +310,19 @@ func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 		return fmt.Errorf("graph %q: SetNodeProp: node %d does not exist", g.name, id)
 	}
 	g.invalidateNodeCachesLocked()
+	props := n.Props.Clone()
 	if v.IsNull() {
-		delete(n.Props, key)
+		delete(props, key)
 	} else {
-		n.Props[key] = v
+		props[key] = v
 	}
+	g.nodes[id] = &Node{ID: n.ID, Labels: n.Labels, Props: props}
 	return nil
 }
 
 // SetEdgeProp sets (or with a null value, deletes) one property of an edge.
+// Copy-on-write like SetNodeProp: the published Edge struct is never
+// mutated, a fresh one is swapped in.
 func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -319,16 +330,19 @@ func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
 	if !ok {
 		return fmt.Errorf("graph %q: SetEdgeProp: edge %d does not exist", g.name, id)
 	}
+	props := e.Props.Clone()
 	if v.IsNull() {
-		delete(e.Props, key)
+		delete(props, key)
 	} else {
-		e.Props[key] = v
+		props[key] = v
 	}
+	g.edges[id] = &Edge{ID: e.ID, From: e.From, To: e.To, Labels: e.Labels, Props: props}
 	return nil
 }
 
 // AddNodeLabels adds labels to an existing node, updating the label index.
-// Labels already present are ignored.
+// Labels already present are ignored. Copy-on-write like SetNodeProp: the
+// label slice of the published struct is never appended to in place.
 func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -336,15 +350,32 @@ func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
 	if !ok {
 		return fmt.Errorf("graph %q: AddNodeLabels: node %d does not exist", g.name, id)
 	}
-	g.invalidateNodeCachesLocked()
+	nl := append(make([]string, 0, len(n.Labels)+len(labels)), n.Labels...)
+	added := false
 	for _, l := range labels {
-		if l == "" || n.HasLabel(l) {
+		if l == "" || hasString(nl, l) {
 			continue
 		}
-		n.Labels = append(n.Labels, l)
+		nl = append(nl, l)
 		g.nodesByLabel[l] = append(g.nodesByLabel[l], id)
+		added = true
+	}
+	if added {
+		g.invalidateNodeCachesLocked()
+		// The property map is shared with the old version; safe because no
+		// mutator writes a published Props map in place.
+		g.nodes[id] = &Node{ID: n.ID, Labels: nl, Props: n.Props}
 	}
 	return nil
+}
+
+func hasString(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // RemoveEdge deletes an edge. Removing a missing edge is a no-op.

@@ -43,6 +43,12 @@ func NewScorer(g *graph.Graph) *Scorer {
 // Executor exposes the scorer's shared executor (for cache stats).
 func (s *Scorer) Executor() *cypher.Executor { return s.ex }
 
+// SetShardWorkers configures sharded MATCH execution on the scorer's shared
+// executor: eligible anchor scans inside each metric query are partitioned
+// across n workers (0 = serial). This parallelism is within one query and
+// composes with the rule-level worker pool of EvaluateRulesParallel.
+func (s *Scorer) SetShardWorkers(n int) { s.ex.SetShardWorkers(n) }
+
 // EvaluateQueries runs a rule's three metric queries. Every query must
 // return a row whose column `n` (or sole column) holds a numeric count —
 // a missing, NULL, or non-numeric count is an error, never a silent zero.
@@ -138,15 +144,34 @@ func EvaluateRulesParallel(g *graph.Graph, rs []rules.Rule, workers int) (scores
 	return scores, failed
 }
 
+// EvalOptions configures batch query-set evaluation.
+type EvalOptions struct {
+	// Workers is the rule-level worker pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ShardWorkers configures per-query sharded MATCH execution on the
+	// shared executor (anchor scans partitioned across this many workers);
+	// <= 0 runs each query serially. Both levels of parallelism are
+	// deterministic: output order and counts never depend on either value.
+	ShardWorkers int
+}
+
 // EvaluateQuerySetsParallel evaluates many query sets against one graph
 // with a worker pool sharing one executor (and plan cache). The returned
 // slices are parallel to qss and in input order regardless of worker
 // count; exactly one of counts[i] / errs[i] is meaningful per entry.
 // workers <= 0 selects GOMAXPROCS.
 func EvaluateQuerySetsParallel(g *graph.Graph, qss []rules.QuerySet, workers int) (counts []rules.Counts, errs []error) {
+	return EvaluateQuerySets(g, qss, EvalOptions{Workers: workers})
+}
+
+// EvaluateQuerySets evaluates many query sets with explicit options; see
+// EvaluateQuerySetsParallel for the contract.
+func EvaluateQuerySets(g *graph.Graph, qss []rules.QuerySet, opt EvalOptions) (counts []rules.Counts, errs []error) {
+	workers := opt.Workers
 	counts = make([]rules.Counts, len(qss))
 	errs = make([]error, len(qss))
 	sc := NewScorer(g)
+	sc.SetShardWorkers(opt.ShardWorkers)
 	forEachIndex(len(qss), workers, func(i int) {
 		defer func() {
 			if p := recover(); p != nil {

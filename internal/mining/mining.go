@@ -86,6 +86,11 @@ type Config struct {
 	// rule set: scoring is deterministic at any worker count. Negative
 	// values select GOMAXPROCS.
 	ScoreWorkers int
+	// ShardWorkers sets per-query sharded MATCH execution during scoring:
+	// eligible anchor scans are partitioned across this many workers inside
+	// the executor (default 0 = serial). Like ScoreWorkers it never changes
+	// counts or rule order, only wall time.
+	ShardWorkers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -364,7 +369,8 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 
 	// Score all corrected query sets through one shared executor (and plan
 	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
-	counts, evalErrs := metrics.EvaluateQuerySetsParallel(g, finals, cfg.ScoreWorkers)
+	counts, evalErrs := metrics.EvaluateQuerySets(g, finals,
+		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers})
 	var scores []metrics.Score
 	for i := range mined {
 		mr := mined[i]
