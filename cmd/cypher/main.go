@@ -10,6 +10,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +41,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
 	shardWorkers := fs.Int("shard-workers", 0, "partition eligible MATCH anchor scans across N workers (0 = serial)")
 	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
+	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +68,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	ex.SetShardWorkers(*shardWorkers)
 	ex.SetReorder(!*noReorder)
 	if *query != "" {
-		return runQuery(ex, *query, out, false)
+		return runQuery(ex, *query, *queryTimeout, out, false)
 	}
 
 	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "profile <query>" and "shard <n>" inspect/configure)`)
@@ -107,21 +110,30 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			}
 			continue
 		case strings.HasPrefix(line, "profile "):
-			if err := runQuery(ex, strings.TrimPrefix(line, "profile "), out, true); err != nil {
+			if err := runQuery(ex, strings.TrimPrefix(line, "profile "), *queryTimeout, out, true); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 			continue
 		}
-		if err := runQuery(ex, line, out, false); err != nil {
+		if err := runQuery(ex, line, *queryTimeout, out, false); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
 }
 
-func runQuery(ex *cypher.Executor, src string, out io.Writer, profile bool) error {
+func runQuery(ex *cypher.Executor, src string, timeout time.Duration, out io.Writer, profile bool) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := ex.Run(src, nil)
+	res, err := ex.RunCtx(ctx, src, nil)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("query exceeded the %s time limit", timeout)
+		}
 		return err
 	}
 	elapsed := time.Since(start)

@@ -20,6 +20,7 @@ import (
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/mining"
 	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/resilience"
 	"github.com/graphrules/graphrules/internal/storage"
 	"github.com/graphrules/graphrules/internal/textenc"
 )
@@ -46,6 +47,10 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the full run report as JSON instead of text")
 	scoreWorkers := fs.Int("score-workers", 0, "metric scoring worker pool (0 = Parallel's value, negative = GOMAXPROCS)")
 	shardWorkers := fs.Int("shard-workers", 0, "partition anchor scans inside each scoring query across N workers (0 = serial)")
+	retries := fs.Int("retries", 0, "retry each failed LLM call up to N extra times (transient errors only)")
+	callTimeout := fs.Duration("call-timeout", 0, "per-attempt LLM call deadline (0 = none); hung calls become retryable timeouts")
+	bestEffort := fs.Bool("best-effort", false, "mine from surviving windows when some LLM calls fail instead of aborting")
+	minWindowSuccess := fs.Float64("min-window-success", 0, "minimum fraction of windows that must succeed under -best-effort (0 = at least one)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,13 +104,24 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown encoder %q (want %v)", *encoderName, textenc.EncoderNames())
 	}
 
+	policy := mining.FailFast
+	if *bestEffort {
+		policy = mining.BestEffort
+	}
 	res, err := mining.Mine(g, mining.Config{
-		Model:        llm.NewSim(profile, *seed),
-		Method:       method,
-		Mode:         mode,
-		Encoder:      encoder,
-		ScoreWorkers: *scoreWorkers,
-		ShardWorkers: *shardWorkers,
+		Model:            llm.NewSim(profile, *seed),
+		Method:           method,
+		Mode:             mode,
+		Encoder:          encoder,
+		ScoreWorkers:     *scoreWorkers,
+		ShardWorkers:     *shardWorkers,
+		FailurePolicy:    policy,
+		MinWindowSuccess: *minWindowSuccess,
+		Resilience: resilience.Config{
+			Retries:     *retries,
+			CallTimeout: *callTimeout,
+			Seed:        *seed,
+		},
 	})
 	if err != nil {
 		return err
@@ -122,13 +138,25 @@ func run(args []string, out io.Writer) error {
 	if res.Method == mining.SlidingWindow {
 		fmt.Fprintf(out, "Patterns broken across window boundaries: %d\n", res.BrokenPatterns)
 	}
-	fmt.Fprintf(out, "Cypher correctness: %d/%d\n\n", res.CypherCorrect, res.CypherTotal)
+	fmt.Fprintf(out, "Cypher correctness: %d/%d\n", res.CypherCorrect, res.CypherTotal)
+	if len(res.WindowErrors) > 0 {
+		fmt.Fprintf(out, "Windows lost to LLM failures: %d\n", len(res.WindowErrors))
+		for _, we := range res.WindowErrors {
+			fmt.Fprintf(out, "    window %d after %d attempt(s): %v\n", we.Window, we.Attempts, we.Err)
+		}
+	}
+	if rs := res.Resilience; rs != nil && rs.Retry != nil && rs.Retry.Retries > 0 {
+		fmt.Fprintf(out, "LLM retries: %d (%d call(s) exhausted all attempts)\n", rs.Retry.Retries, rs.Retry.Exhausted)
+	}
+	fmt.Fprintln(out)
 
 	for i, mr := range res.Rules {
 		fmt.Fprintf(out, "%2d. %s\n", i+1, mr.NL)
 		fmt.Fprintf(out, "    kind=%s complexity=%d category=%s corrected=%v\n",
 			mr.Rule.Kind(), mr.Rule.Complexity(), mr.Category, mr.Corrected)
-		if mr.EvalErr != nil {
+		if mr.TranslateErr != nil {
+			fmt.Fprintf(out, "    translation failed: %v\n", mr.TranslateErr)
+		} else if mr.EvalErr != nil {
 			fmt.Fprintf(out, "    evaluation failed: %v\n", mr.EvalErr)
 		} else {
 			fmt.Fprintf(out, "    support=%d coverage=%.2f%% confidence=%.2f%%\n",

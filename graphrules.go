@@ -28,6 +28,8 @@
 package graphrules
 
 import (
+	"context"
+
 	"github.com/graphrules/graphrules/internal/baseline"
 	"github.com/graphrules/graphrules/internal/correction"
 	"github.com/graphrules/graphrules/internal/cypher"
@@ -37,6 +39,7 @@ import (
 	"github.com/graphrules/graphrules/internal/metrics"
 	"github.com/graphrules/graphrules/internal/mining"
 	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/resilience"
 	"github.com/graphrules/graphrules/internal/rules"
 )
 
@@ -169,6 +172,17 @@ type (
 	Method = mining.Method
 	// PromptMode selects zero-shot or few-shot prompting.
 	PromptMode = prompt.Mode
+	// FailurePolicy selects how Mine treats window-level LLM failures.
+	FailurePolicy = mining.FailurePolicy
+	// WindowError records one window whose completion ultimately failed.
+	WindowError = mining.WindowError
+	// ResilienceConfig configures the middleware stack Mine installs
+	// around the model (retries, per-call timeout, circuit breaker, rate
+	// limit); set it on MiningConfig.Resilience.
+	ResilienceConfig = resilience.Config
+	// ResilienceStats snapshots the per-layer middleware counters of a
+	// resilient run (MiningResult.Resilience).
+	ResilienceStats = resilience.StackStats
 )
 
 // Pipeline method and prompting constants.
@@ -177,10 +191,20 @@ const (
 	RAG           = mining.RAG
 	ZeroShot      = prompt.ZeroShot
 	FewShot       = prompt.FewShot
+	// FailFast aborts a run when any window's completion fails.
+	FailFast = mining.FailFast
+	// BestEffort mines from surviving windows, recording the failures.
+	BestEffort = mining.BestEffort
 )
 
 // Mine runs the full rule-mining pipeline on a graph.
 func Mine(g *Graph, cfg MiningConfig) (*MiningResult, error) { return mining.Mine(g, cfg) }
+
+// MineCtx is Mine with cancellation: a done context aborts in-flight LLM
+// calls and metric queries and returns ctx.Err() promptly.
+func MineCtx(ctx context.Context, g *Graph, cfg MiningConfig) (*MiningResult, error) {
+	return mining.MineCtx(ctx, g, cfg)
+}
 
 // Session supports interactive rule refinement (accept / reject / refine).
 type Session = mining.Session

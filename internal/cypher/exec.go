@@ -1,6 +1,8 @@
 package cypher
 
 import (
+	"container/list"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -161,16 +163,25 @@ func (r *Result) FirstInt(col string) int64 {
 	return r.Int(0, col)
 }
 
-// planCacheLimit bounds the number of cached parses; beyond it new plans
-// execute uncached (no eviction — metric workloads replay a closed set of
-// query texts, so churn means the cache is mis-sized, not hot).
+// planCacheLimit is the default bound on cached parses. The cache evicts
+// least-recently-used entries beyond the cap, so long-lived services whose
+// query sets drift (best-effort mining servers, REPLs) shed stale plans
+// instead of pinning the first 4096 texts forever.
 const planCacheLimit = 4096
 
 // PlanCacheStats reports the executor's prepared-query cache counters.
 type PlanCacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Cap       int
+}
+
+// planEntry is one cached parse plus its LRU-list position.
+type planEntry struct {
+	q    *Query
+	elem *list.Element // Value is the cache key (query text)
 }
 
 // Executor runs parsed queries against a graph. It is safe for concurrent
@@ -190,10 +201,13 @@ type Executor struct {
 	noReorder    bool
 	shardWorkers int
 
-	planMu sync.RWMutex
-	plans  map[string]*Query
-	hits   atomic.Int64
-	misses atomic.Int64
+	planMu    sync.Mutex
+	plans     map[string]*planEntry
+	planLRU   *list.List // front = most recently used
+	planCap   int        // 0 means planCacheLimit
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewExecutor returns an executor bound to a graph.
@@ -225,24 +239,70 @@ func (ex *Executor) SetShardWorkers(n int) {
 // ShardWorkerCount reports the configured shard pool size (0 = serial).
 func (ex *Executor) ShardWorkerCount() int { return ex.shardWorkers }
 
-// PlanCacheStats returns the plan cache's hit/miss counters and size.
-func (ex *Executor) PlanCacheStats() PlanCacheStats {
-	ex.planMu.RLock()
-	n := len(ex.plans)
-	ex.planMu.RUnlock()
-	return PlanCacheStats{Hits: ex.hits.Load(), Misses: ex.misses.Load(), Entries: n}
+// SetPlanCacheCap bounds the plan cache to n entries, evicting
+// least-recently-used plans beyond the cap immediately. n <= 0 restores
+// the default cap.
+func (ex *Executor) SetPlanCacheCap(n int) {
+	ex.planMu.Lock()
+	defer ex.planMu.Unlock()
+	ex.planCap = n
+	for len(ex.plans) > ex.planCapLocked() {
+		ex.evictOldestLocked()
+	}
 }
 
-// plan returns the parsed query for src, consulting the plan cache. The
-// returned Query is shared and read-only; execution never mutates the AST.
-func (ex *Executor) plan(src string) (q *Query, hit bool, err error) {
-	ex.planMu.RLock()
-	q = ex.plans[src]
-	ex.planMu.RUnlock()
-	if q != nil {
-		ex.hits.Add(1)
-		return q, true, nil
+// planCapLocked returns the effective cache cap; planMu must be held.
+func (ex *Executor) planCapLocked() int {
+	if ex.planCap > 0 {
+		return ex.planCap
 	}
+	return planCacheLimit
+}
+
+// evictOldestLocked drops the least-recently-used plan; planMu must be
+// held and the cache must be non-empty.
+func (ex *Executor) evictOldestLocked() {
+	oldest := ex.planLRU.Back()
+	if oldest == nil {
+		return
+	}
+	ex.planLRU.Remove(oldest)
+	delete(ex.plans, oldest.Value.(string))
+	ex.evictions.Add(1)
+}
+
+// PlanCacheStats returns the plan cache's hit/miss/eviction counters and
+// size.
+func (ex *Executor) PlanCacheStats() PlanCacheStats {
+	ex.planMu.Lock()
+	n, cap := len(ex.plans), ex.planCapLocked()
+	ex.planMu.Unlock()
+	return PlanCacheStats{
+		Hits:      ex.hits.Load(),
+		Misses:    ex.misses.Load(),
+		Evictions: ex.evictions.Load(),
+		Entries:   n,
+		Cap:       cap,
+	}
+}
+
+// plan returns the parsed query for src, consulting the LRU plan cache.
+// The returned Query is shared and read-only; execution never mutates the
+// AST. (The lock is a plain mutex because every hit promotes its entry;
+// the critical section is two map/list operations, noise next to query
+// execution.)
+func (ex *Executor) plan(src string) (q *Query, hit bool, err error) {
+	ex.planMu.Lock()
+	if e, ok := ex.plans[src]; ok {
+		ex.planLRU.MoveToFront(e.elem)
+		ex.planMu.Unlock()
+		ex.hits.Add(1)
+		return e.q, true, nil
+	}
+	ex.planMu.Unlock()
+
+	// Parse outside the lock; two goroutines racing on the same new text
+	// duplicate the parse, which is harmless.
 	q, err = Parse(src)
 	if err != nil {
 		return nil, false, err
@@ -250,10 +310,18 @@ func (ex *Executor) plan(src string) (q *Query, hit bool, err error) {
 	ex.misses.Add(1)
 	ex.planMu.Lock()
 	if ex.plans == nil {
-		ex.plans = make(map[string]*Query)
+		ex.plans = make(map[string]*planEntry)
+		ex.planLRU = list.New()
 	}
-	if len(ex.plans) < planCacheLimit {
-		ex.plans[src] = q
+	if e, ok := ex.plans[src]; ok {
+		// Lost the insert race: adopt the cached plan.
+		ex.planLRU.MoveToFront(e.elem)
+		q = e.q
+	} else {
+		ex.plans[src] = &planEntry{q: q, elem: ex.planLRU.PushFront(src)}
+		for len(ex.plans) > ex.planCapLocked() {
+			ex.evictOldestLocked()
+		}
 	}
 	ex.planMu.Unlock()
 	return q, false, nil
@@ -262,11 +330,18 @@ func (ex *Executor) plan(src string) (q *Query, hit bool, err error) {
 // Run parses and executes a query string. Parses are served from the plan
 // cache when the same query text was run before on this executor.
 func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, error) {
+	return ex.RunCtx(context.Background(), src, params)
+}
+
+// RunCtx is Run with cancellation: execution checks cctx between clauses
+// and periodically inside pattern-matching scans (including sharded
+// ones), returning cctx.Err() promptly once the context is done.
+func (ex *Executor) RunCtx(cctx context.Context, src string, params map[string]graph.Value) (*Result, error) {
 	q, hit, err := ex.plan(src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := ex.Execute(q, params)
+	res, err := ex.ExecuteCtx(cctx, q, params)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +352,15 @@ func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, err
 // Execute runs a parsed query. The query is treated as read-only, so one
 // parsed Query may be executed concurrently.
 func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, error) {
+	return ex.ExecuteCtx(context.Background(), q, params)
+}
+
+// ExecuteCtx is Execute with cancellation; see RunCtx.
+func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string]graph.Value) (*Result, error) {
 	m := &matcher{g: ex.g, pushdown: !ex.noPushdown}
+	if cctx != nil && cctx != context.Background() {
+		m.cctx = cctx
+	}
 	ctx := newEvalCtx(ex.g, params, m)
 	m.ctx = ctx
 
@@ -304,6 +387,11 @@ func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, e
 	for i, clause := range q.Clauses {
 		if returned {
 			return nil, execErrf("RETURN must be the final clause")
+		}
+		if m.cctx != nil {
+			if err := m.cctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		var err error
 		start := time.Now()
@@ -510,8 +598,24 @@ func patternVars(parts []*PatternPart) []string {
 type matcher struct {
 	g        *graph.Graph
 	ctx      *evalCtx
-	exec     *ExecStats // optional instrumentation sink
-	pushdown bool       // consult the label+property index for constant props
+	exec     *ExecStats      // optional instrumentation sink
+	pushdown bool            // consult the label+property index for constant props
+	cctx     context.Context // optional cancellation; nil means never cancelled
+	polls    uint64          // pollCtx amortization counter
+}
+
+// pollCtx reports the matcher's cancellation state, actually consulting
+// the context only once every 256 calls so it can sit inside hot
+// candidate loops without measurable cost.
+func (m *matcher) pollCtx() error {
+	if m.cctx == nil {
+		return nil
+	}
+	m.polls++
+	if m.polls&0xff != 0 {
+		return nil
+	}
+	return m.cctx.Err()
 }
 
 // matchAll matches every pattern part in sequence (sharing one
@@ -589,6 +693,9 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 		m.exec.RowsScanned += len(candidates)
 	}
 	for _, n := range candidates {
+		if err := m.pollCtx(); err != nil {
+			return err
+		}
 		ok, err := m.nodeSatisfies(np, n, row)
 		if err != nil {
 			return err

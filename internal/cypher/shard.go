@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"sync"
 
 	"github.com/graphrules/graphrules/internal/graph"
@@ -106,6 +107,9 @@ func (m *matcher) matchAllAnchored(parts []*PatternPart, cands []*graph.Node, ro
 	}
 
 	for _, n := range cands {
+		if err := m.pollCtx(); err != nil {
+			return err
+		}
 		ok, err := m.nodeSatisfies(np, n, row)
 		if err != nil {
 			return err
@@ -139,8 +143,8 @@ type shardWorker struct {
 	ctx *evalCtx
 }
 
-func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool) *shardWorker {
-	wm := &matcher{g: ex.g, pushdown: pushdown, exec: &ExecStats{}}
+func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool, cctx context.Context) *shardWorker {
+	wm := &matcher{g: ex.g, pushdown: pushdown, exec: &ExecStats{}, cctx: cctx}
 	wctx := newEvalCtx(ex.g, params, wm)
 	wm.ctx = wctx
 	return &shardWorker{m: wm, ctx: wctx}
@@ -169,7 +173,7 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 		go func(si int, chunk []*graph.Node) {
 			defer wg.Done()
 			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown)
+			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.cctx)
 			wrow := row.clone()
 			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, wrow, func(r Row) error {
 				if cl.Where != nil {
@@ -235,7 +239,7 @@ func (ex *Executor) shardAggregate(ctx *evalCtx, m *matcher, plan *matchPlan, wh
 		go func(si int, chunk []*graph.Node) {
 			defer wg.Done()
 			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown)
+			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.cctx)
 			o.st = newAggState(fc)
 			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, Row{}, func(r Row) error {
 				if where != nil {

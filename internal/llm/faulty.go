@@ -1,0 +1,208 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the chaos harness: FaultyModel wraps any Model and injects
+// deterministic faults — transient errors, permanent errors, hangs, and
+// garbage completions — so the pipeline's resilience layer can be tested
+// without a flaky backend. Every fault decision derives from the seed and
+// the prompt text plus a per-prompt call counter, so a whole chaotic run
+// is reproducible call-for-call, and a prompt whose faults are transient
+// always succeeds after a bounded number of retries.
+
+// FaultConfig sets the chaos harness's injection rates. All rates are
+// per-prompt probabilities in [0, 1], sampled deterministically from Seed
+// and the prompt text.
+type FaultConfig struct {
+	// Seed drives all fault sampling.
+	Seed int64
+	// TransientRate is the chance a prompt fails transiently before
+	// succeeding; the number of consecutive transient failures is 1 +
+	// uniform(MaxTransient-1), so at most MaxTransient attempts are wasted.
+	TransientRate float64
+	// MaxTransient bounds consecutive transient failures per prompt
+	// (default 2). A retry budget of MaxTransient always recovers.
+	MaxTransient int
+	// PermanentRate is the chance a prompt fails on every attempt.
+	PermanentRate float64
+	// HangRate is the chance a transient failure manifests as a hang (the
+	// call blocks for Hang or until ctx is done) instead of an immediate
+	// error.
+	HangRate float64
+	// Hang is how long a hanging call blocks (default 30s). CompleteCtx
+	// hangs respect cancellation; plain Complete sleeps the full duration.
+	Hang time.Duration
+	// GarbageRate is the chance a prompt's first successful completion is
+	// replaced by truncated garbage text. No error is returned — this is
+	// the fault class retries cannot see; downstream parsing must degrade
+	// gracefully instead.
+	GarbageRate float64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.MaxTransient == 0 {
+		c.MaxTransient = 2
+	}
+	if c.Hang == 0 {
+		c.Hang = 30 * time.Second
+	}
+	return c
+}
+
+// FaultStats counts the faults a FaultyModel injected.
+type FaultStats struct {
+	Calls      int64
+	Transients int64
+	Hangs      int64
+	Permanents int64
+	Garbage    int64
+}
+
+// TransientError wraps an injected transient fault. It reports
+// Transient() == true, the convention the resilience layer's retry
+// classification checks.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string   { return e.Err.Error() }
+func (e *TransientError) Unwrap() error   { return e.Err }
+func (e *TransientError) Transient() bool { return true }
+
+// FaultyModel wraps a Model with deterministic fault injection. It is safe
+// for concurrent use when the wrapped model is.
+type FaultyModel struct {
+	inner Model
+	cfg   FaultConfig
+
+	mu    sync.Mutex
+	calls map[string]int // per-prompt attempt counter
+
+	stats struct {
+		calls, transients, hangs, permanents, garbage atomic.Int64
+	}
+}
+
+// NewFaulty wraps model with the chaos harness.
+func NewFaulty(model Model, cfg FaultConfig) *FaultyModel {
+	return &FaultyModel{inner: model, cfg: cfg.withDefaults(), calls: map[string]int{}}
+}
+
+// Name implements Model; the harness is transparent.
+func (f *FaultyModel) Name() string { return f.inner.Name() }
+
+// Unwrap exposes the wrapped model (ModelWrapper).
+func (f *FaultyModel) Unwrap() Model { return f.inner }
+
+// Stats returns the injected-fault counters so far.
+func (f *FaultyModel) Stats() FaultStats {
+	return FaultStats{
+		Calls:      f.stats.calls.Load(),
+		Transients: f.stats.transients.Load(),
+		Hangs:      f.stats.hangs.Load(),
+		Permanents: f.stats.permanents.Load(),
+		Garbage:    f.stats.garbage.Load(),
+	}
+}
+
+// Reset clears the per-prompt call counters (not the stats), so a fresh
+// run over the same prompts replays the same fault schedule.
+func (f *FaultyModel) Reset() {
+	f.mu.Lock()
+	f.calls = map[string]int{}
+	f.mu.Unlock()
+}
+
+// faultPlan is the deterministic per-prompt fault schedule.
+type faultPlan struct {
+	permanent  bool
+	transients int    // consecutive transient failures before success
+	hangs      []bool // per transient attempt: hang instead of erroring
+	garbage    bool   // first successful completion is garbage
+}
+
+func (f *FaultyModel) plan(promptText string) faultPlan {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "faulty|%d|", f.cfg.Seed)
+	h.Write([]byte(promptText))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	var p faultPlan
+	p.permanent = rng.Float64() < f.cfg.PermanentRate
+	if rng.Float64() < f.cfg.TransientRate {
+		p.transients = 1 + rng.Intn(f.cfg.MaxTransient)
+	}
+	p.hangs = make([]bool, p.transients)
+	for i := range p.hangs {
+		p.hangs[i] = rng.Float64() < f.cfg.HangRate
+	}
+	p.garbage = rng.Float64() < f.cfg.GarbageRate
+	return p
+}
+
+// Complete implements Model. Hangs block for the full configured duration.
+func (f *FaultyModel) Complete(promptText string) (Response, error) {
+	return f.CompleteCtx(context.Background(), promptText)
+}
+
+// CompleteCtx implements ContextModel. Injected hangs block on ctx.Done()
+// or the hang timer, whichever fires first, so a per-call timeout upstream
+// converts a hang into a retryable deadline error without leaking the call.
+func (f *FaultyModel) CompleteCtx(ctx context.Context, promptText string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	f.stats.calls.Add(1)
+	p := f.plan(promptText)
+
+	f.mu.Lock()
+	attempt := f.calls[promptText]
+	f.calls[promptText]++
+	f.mu.Unlock()
+
+	if p.permanent {
+		f.stats.permanents.Add(1)
+		return Response{}, fmt.Errorf("llm: %s: injected permanent backend failure", f.inner.Name())
+	}
+	if attempt < p.transients {
+		if p.hangs[attempt] {
+			f.stats.hangs.Add(1)
+			t := time.NewTimer(f.cfg.Hang)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			case <-t.C:
+			}
+		}
+		f.stats.transients.Add(1)
+		return Response{}, &TransientError{Err: fmt.Errorf(
+			"llm: %s: injected transient failure (attempt %d of %d fated)",
+			f.inner.Name(), attempt+1, p.transients)}
+	}
+
+	resp, err := CompleteCtx(ctx, f.inner, promptText)
+	if err != nil {
+		return resp, err
+	}
+	if p.garbage && attempt == p.transients {
+		f.stats.garbage.Add(1)
+		resp.Text = garble(resp.Text)
+	}
+	return resp, nil
+}
+
+// garble drops the head of a completion and prepends decoder junk,
+// modeling a corrupted or mid-stream-truncated generation: line prefixes
+// are lost, so the pipeline's line-oriented answer parsers must cope with
+// text that no longer matches their format.
+func garble(text string) string {
+	cut := len(text) / 2
+	return "\x00\x00�" + text[cut:]
+}

@@ -1,0 +1,138 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// echoModel is a trivial deterministic backend for harness tests.
+type echoModel struct{}
+
+func (echoModel) Name() string { return "echo" }
+func (echoModel) Complete(p string) (Response, error) {
+	return Response{Text: "RULE: echo of " + p}, nil
+}
+
+func TestFaultyTransientBoundedThenSucceeds(t *testing.T) {
+	fm := NewFaulty(echoModel{}, FaultConfig{Seed: 7, TransientRate: 1, MaxTransient: 3})
+	const prompt = "hello"
+	var failures int
+	for i := 0; i < 10; i++ {
+		resp, err := fm.Complete(prompt)
+		if err == nil {
+			if resp.Text != "RULE: echo of hello" {
+				t.Fatalf("clean completion corrupted: %q", resp.Text)
+			}
+			break
+		}
+		failures++
+		var te *TransientError
+		if !errors.As(err, &te) || !te.Transient() {
+			t.Fatalf("injected error not transient: %v", err)
+		}
+	}
+	if failures == 0 || failures > 3 {
+		t.Fatalf("transient failures = %d, want 1..3", failures)
+	}
+	// Once a prompt succeeds it stays healthy.
+	if _, err := fm.Complete(prompt); err != nil {
+		t.Fatalf("prompt regressed after recovery: %v", err)
+	}
+}
+
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	cfg := FaultConfig{Seed: 3, TransientRate: 0.5, PermanentRate: 0.2, GarbageRate: 0.3, MaxTransient: 2}
+	a := NewFaulty(echoModel{}, cfg)
+	b := NewFaulty(echoModel{}, cfg)
+	prompts := []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"}
+	for round := 0; round < 4; round++ {
+		for _, p := range prompts {
+			ra, ea := a.Complete(p)
+			rb, eb := b.Complete(p)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("round %d prompt %q: error divergence %v vs %v", round, p, ea, eb)
+			}
+			if ra.Text != rb.Text {
+				t.Fatalf("round %d prompt %q: text divergence", round, p)
+			}
+		}
+	}
+}
+
+func TestFaultyPermanentAlwaysFails(t *testing.T) {
+	fm := NewFaulty(echoModel{}, FaultConfig{Seed: 1, PermanentRate: 1})
+	for i := 0; i < 5; i++ {
+		_, err := fm.Complete("doomed")
+		if err == nil {
+			t.Fatal("permanent fault should never succeed")
+		}
+		var te *TransientError
+		if errors.As(err, &te) {
+			t.Fatal("permanent fault must not classify as transient")
+		}
+	}
+	if fm.Stats().Permanents != 5 {
+		t.Fatalf("permanent count = %d", fm.Stats().Permanents)
+	}
+}
+
+func TestFaultyHangRespectsContext(t *testing.T) {
+	fm := NewFaulty(echoModel{}, FaultConfig{
+		Seed: 2, TransientRate: 1, HangRate: 1, Hang: time.Minute,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fm.CompleteCtx(ctx, "hang me")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang ignored cancellation (%s)", elapsed)
+	}
+	if fm.Stats().Hangs == 0 {
+		t.Fatal("hang not recorded")
+	}
+}
+
+func TestFaultyGarbageCompletions(t *testing.T) {
+	fm := NewFaulty(echoModel{}, FaultConfig{Seed: 4, GarbageRate: 1})
+	resp, err := fm.Complete("mangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := echoModel{}.Complete("mangle")
+	if resp.Text == clean.Text {
+		t.Fatal("garbage fault did not corrupt the completion")
+	}
+	if len(ParseRuleLines(resp.Text)) != 0 {
+		t.Fatal("garbled text still parses as rules; garble too gentle")
+	}
+	if fm.Stats().Garbage != 1 {
+		t.Fatalf("garbage count = %d", fm.Stats().Garbage)
+	}
+}
+
+func TestFaultyResetReplaysSchedule(t *testing.T) {
+	cfg := FaultConfig{Seed: 9, TransientRate: 1, MaxTransient: 2}
+	fm := NewFaulty(echoModel{}, cfg)
+	_, err1 := fm.Complete("x")
+	fm.Reset()
+	_, err2 := fm.Complete("x")
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatal("Reset did not replay the fault schedule")
+	}
+}
+
+func TestFaultyUnwrap(t *testing.T) {
+	inner := echoModel{}
+	fm := NewFaulty(inner, FaultConfig{})
+	if fm.Unwrap() != Model(inner) {
+		t.Fatal("Unwrap must return the wrapped model")
+	}
+	if fm.Name() != "echo" {
+		t.Fatal("Name must be transparent")
+	}
+}

@@ -12,6 +12,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -32,12 +33,47 @@ type Response struct {
 	// token-throughput cost model. Wall-clock time of the simulation itself
 	// is unrelated (and far smaller).
 	SimSeconds float64
+	// Attempts is how many model calls this completion took; resilience
+	// middleware sets it when it retries. Zero means "unknown" and should be
+	// read as a single attempt.
+	Attempts int
 }
 
 // Model is a language model: prompt in, completion out.
 type Model interface {
 	Name() string
 	Complete(promptText string) (Response, error)
+}
+
+// ContextModel is a Model that honors context cancellation and deadlines.
+// Backends whose calls can block (network models, the FaultyModel chaos
+// harness, resilience middleware) implement it so callers can abandon a
+// hung or no-longer-needed call.
+type ContextModel interface {
+	Model
+	CompleteCtx(ctx context.Context, promptText string) (Response, error)
+}
+
+// ModelWrapper is implemented by middleware that decorates another Model.
+// Unwrap exposes the decorated model so callers can reach capabilities of
+// the innermost model (e.g. the mining layer's rule-budget lookup) through
+// any middleware stack.
+type ModelWrapper interface {
+	Unwrap() Model
+}
+
+// CompleteCtx completes promptText through m, honoring ctx. Models that
+// implement ContextModel receive ctx directly; for a plain Model the call
+// runs after a pre-flight cancellation check (it cannot be interrupted
+// mid-call).
+func CompleteCtx(ctx context.Context, m Model, promptText string) (Response, error) {
+	if cm, ok := m.(ContextModel); ok {
+		return cm.CompleteCtx(ctx, promptText)
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	return m.Complete(promptText)
 }
 
 // thresholds govern the proposal engine's evidence requirements.
@@ -173,6 +209,15 @@ func (m *SimModel) rng(context string) *rand.Rand {
 	fmt.Fprintf(h, "%s|%d|", m.profile.Name, m.seed)
 	h.Write([]byte(context))
 	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// CompleteCtx implements ContextModel. The simulation itself is fast and
+// non-blocking, so honoring ctx reduces to a pre-flight check.
+func (m *SimModel) CompleteCtx(ctx context.Context, promptText string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	return m.Complete(promptText)
 }
 
 // Complete implements Model. It dispatches on the prompt template.

@@ -10,6 +10,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,8 +54,14 @@ func (s *Scorer) SetShardWorkers(n int) { s.ex.SetShardWorkers(n) }
 // return a row whose column `n` (or sole column) holds a numeric count —
 // a missing, NULL, or non-numeric count is an error, never a silent zero.
 func (s *Scorer) EvaluateQueries(qs rules.QuerySet) (rules.Counts, error) {
+	return s.EvaluateQueriesCtx(context.Background(), qs)
+}
+
+// EvaluateQueriesCtx is EvaluateQueries with cancellation: a done context
+// aborts the current query promptly and surfaces ctx.Err().
+func (s *Scorer) EvaluateQueriesCtx(ctx context.Context, qs rules.QuerySet) (rules.Counts, error) {
 	runCount := func(src, what string) (int64, error) {
-		res, err := s.ex.Run(src, nil)
+		res, err := s.ex.RunCtx(ctx, src, nil)
 		if err != nil {
 			return 0, fmt.Errorf("metrics: %s query failed: %w", what, err)
 		}
@@ -167,6 +174,13 @@ func EvaluateQuerySetsParallel(g *graph.Graph, qss []rules.QuerySet, workers int
 // EvaluateQuerySets evaluates many query sets with explicit options; see
 // EvaluateQuerySetsParallel for the contract.
 func EvaluateQuerySets(g *graph.Graph, qss []rules.QuerySet, opt EvalOptions) (counts []rules.Counts, errs []error) {
+	return EvaluateQuerySetsCtx(context.Background(), g, qss, opt)
+}
+
+// EvaluateQuerySetsCtx is EvaluateQuerySets with cancellation. Once ctx is
+// done, in-flight queries abort and every not-yet-started entry gets
+// errs[i] = ctx.Err(); counts for entries that completed earlier are kept.
+func EvaluateQuerySetsCtx(ctx context.Context, g *graph.Graph, qss []rules.QuerySet, opt EvalOptions) (counts []rules.Counts, errs []error) {
 	workers := opt.Workers
 	counts = make([]rules.Counts, len(qss))
 	errs = make([]error, len(qss))
@@ -178,7 +192,11 @@ func EvaluateQuerySets(g *graph.Graph, qss []rules.QuerySet, opt EvalOptions) (c
 				errs[i] = fmt.Errorf("metrics: query set %d: panic during evaluation: %v", i, p)
 			}
 		}()
-		counts[i], errs[i] = sc.EvaluateQueries(qss[i])
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		counts[i], errs[i] = sc.EvaluateQueriesCtx(ctx, qss[i])
 	})
 	return counts, errs
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -125,5 +127,33 @@ func TestViolationsLowerConfidence(t *testing.T) {
 	}
 	if sd.Confidence >= sc.Confidence {
 		t.Errorf("violations should lower confidence: clean=%f dirty=%f", sc.Confidence, sd.Confidence)
+	}
+}
+
+func TestEvaluateQuerySetsCtxCancelled(t *testing.T) {
+	g := smallGraph()
+	qs := (&rules.RequiredProperty{Label: "T", Key: "id"}).Queries()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	counts, errs := EvaluateQuerySetsCtx(ctx, g, []rules.QuerySet{qs, qs}, EvalOptions{Workers: 1})
+	if len(counts) != 2 || len(errs) != 2 {
+		t.Fatalf("len(counts)=%d len(errs)=%d", len(counts), len(errs))
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestEvaluateQueriesCtxBackground(t *testing.T) {
+	g := smallGraph()
+	qs := (&rules.RequiredProperty{Label: "T", Key: "id"}).Queries()
+	c, err := NewScorer(g).EvaluateQueriesCtx(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Support != 3 || c.Body != 4 {
+		t.Errorf("counts = %+v", c)
 	}
 }

@@ -1,0 +1,382 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/resilience"
+)
+
+// ruleFingerprint reduces a result to what the paper's tables report:
+// each rule's statement with its counts, plus the aggregate row.
+func ruleFingerprint(res *Result) string {
+	var b strings.Builder
+	for _, mr := range res.Rules {
+		fmt.Fprintf(&b, "%s %+v corrected=%t\n", mr.NL, mr.Score.Counts, mr.Corrected)
+	}
+	fmt.Fprintf(&b, "agg %+v\n", res.Aggregate)
+	return b.String()
+}
+
+// TestChaosConvergesToCleanRun is the headline fault-injection property:
+// with >20% of prompts failing transiently (half of those as hangs that
+// only a per-attempt timeout can unstick), a resilient BestEffort run must
+// produce exactly the clean run's rules, counts and aggregates on every
+// dataset, with no window lost.
+func TestChaosConvergesToCleanRun(t *testing.T) {
+	gens := map[string]func(datasets.Options) *graph.Graph{
+		"wwc2019":       datasets.WWC2019,
+		"twitter":       datasets.Twitter,
+		"cybersecurity": datasets.Cybersecurity,
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			g := gen(datasets.DefaultOptions())
+
+			clean, err := Mine(g, Config{Model: llm.NewSim(llm.LLaMA3(), 1), Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+				Seed:          42,
+				TransientRate: 0.35,
+				HangRate:      0.5,
+				Hang:          5 * time.Second,
+			})
+			chaotic, err := Mine(g, Config{
+				Model:         faulty,
+				Parallel:      4,
+				FailurePolicy: BestEffort,
+				Resilience: resilience.Config{
+					Retries:     3,
+					CallTimeout: 100 * time.Millisecond,
+					Seed:        1,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if st := faulty.Stats(); st.Transients == 0 {
+				t.Error("chaos harness injected no transient faults; the test is vacuous")
+			}
+			if len(chaotic.WindowErrors) != 0 {
+				t.Errorf("transient-only faults must all be retried away, got %d window errors: %v",
+					len(chaotic.WindowErrors), chaotic.WindowErrors[0].Err)
+			}
+			if got, want := ruleFingerprint(chaotic), ruleFingerprint(clean); got != want {
+				t.Errorf("chaotic run diverged from clean run:\nclean:\n%s\nchaotic:\n%s", want, got)
+			}
+			if chaotic.Resilience == nil || chaotic.Resilience.Retry == nil {
+				t.Fatal("resilience stats missing")
+			}
+			if chaotic.Resilience.Retry.Retries == 0 {
+				t.Error("no retries recorded despite injected transients")
+			}
+		})
+	}
+}
+
+// TestChaosCancellation cancels a run whose model hangs on every prompt
+// and requires MineCtx to return ctx.Err() promptly without leaking the
+// window workers.
+func TestChaosCancellation(t *testing.T) {
+	g := wwc(t)
+	faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+		Seed:          7,
+		TransientRate: 1,
+		HangRate:      1,
+		Hang:          30 * time.Second,
+		MaxTransient:  3,
+	})
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := MineCtx(ctx, g, Config{Model: faulty, Parallel: 4, FailurePolicy: BestEffort})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; hung completions were not interrupted", elapsed)
+	}
+	// The window workers are joined before MineCtx returns, so the
+	// goroutine count must settle back to the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestChaosPermanentFailures drives windows into unrecoverable errors and
+// checks both failure policies: BestEffort mines from the survivors while
+// reporting every lost window with its attempt count, FailFast aborts
+// with an error that names all failed windows, not just the first.
+func TestChaosPermanentFailures(t *testing.T) {
+	g := wwc(t)
+	newFaulty := func() *llm.FaultyModel {
+		return llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+			Seed:          11,
+			PermanentRate: 0.3,
+		})
+	}
+	res := resilience.Config{Retries: 2, Seed: 1}
+
+	best, err := Mine(g, Config{
+		Model: newFaulty(), FailurePolicy: BestEffort, Resilience: res,
+	})
+	if err != nil {
+		t.Fatalf("best effort should survive partial failure: %v", err)
+	}
+	if len(best.WindowErrors) == 0 {
+		t.Fatal("no window errors recorded; PermanentRate had no effect")
+	}
+	for _, we := range best.WindowErrors {
+		if we.Err == nil {
+			t.Errorf("window %d: nil error recorded", we.Window)
+		}
+		// Permanent faults are not transient, so the retry layer must
+		// not burn its budget on them: exactly one attempt each.
+		if we.Attempts != 1 {
+			t.Errorf("window %d: attempts = %d, want 1 (permanent errors are not retried)", we.Window, we.Attempts)
+		}
+	}
+	if len(best.Rules) == 0 {
+		t.Error("surviving windows produced no rules")
+	}
+
+	_, err = Mine(g, Config{Model: newFaulty(), Resilience: res}) // FailFast default
+	if err == nil {
+		t.Fatal("fail-fast run should error")
+	}
+	if n := strings.Count(err.Error(), "window "); n < 2 {
+		t.Errorf("fail-fast error should name every failed window, found %d mention(s): %v", n, err)
+	}
+}
+
+// TestChaosRetryExhaustion under-provisions the retry budget relative to
+// the fault schedule and checks lost windows report how many attempts
+// were burned before giving up.
+func TestChaosRetryExhaustion(t *testing.T) {
+	g := wwc(t)
+	faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+		Seed:          13,
+		TransientRate: 0.3,
+		MaxTransient:  3, // up to 3 consecutive transients, but only 2 attempts below
+	})
+	res, err := Mine(g, Config{
+		Model:         faulty,
+		FailurePolicy: BestEffort,
+		Resilience:    resilience.Config{Retries: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WindowErrors) == 0 {
+		t.Fatal("expected some windows to exhaust their 2 attempts")
+	}
+	for _, we := range res.WindowErrors {
+		if we.Attempts != 2 {
+			t.Errorf("window %d: attempts = %d, want 2 (retry exhausted)", we.Window, we.Attempts)
+		}
+	}
+}
+
+// TestChaosBestEffortFloor sets a success floor no run can meet and
+// checks BestEffort gives up with the joined window errors.
+func TestChaosBestEffortFloor(t *testing.T) {
+	g := wwc(t)
+	faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+		Seed:          11,
+		PermanentRate: 0.3,
+	})
+	_, err := Mine(g, Config{
+		Model:            faulty,
+		FailurePolicy:    BestEffort,
+		MinWindowSuccess: 1.0,
+	})
+	if err == nil || !strings.Contains(err.Error(), "best effort abandoned") {
+		t.Fatalf("err = %v, want best-effort floor failure", err)
+	}
+}
+
+// TestChaosGarbageDegradesGracefully feeds the pipeline only corrupted
+// completions: nothing parses, but nothing errors either — the run ends
+// with zero rules instead of a crash.
+func TestChaosGarbageDegradesGracefully(t *testing.T) {
+	g := wwc(t)
+	faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+		Seed:        3,
+		GarbageRate: 1,
+	})
+	res, err := Mine(g, Config{Model: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) != 0 || res.Aggregate.Rules != 0 {
+		t.Errorf("fully garbled run mined %d rules, want 0", len(res.Rules))
+	}
+	if st := faulty.Stats(); st.Garbage == 0 {
+		t.Error("no garbage injected; the test is vacuous")
+	}
+}
+
+// TestChaosBreakerTransitions checks the run's Result surfaces the
+// breaker's state history when failures trip it.
+func TestChaosBreakerTransitions(t *testing.T) {
+	g := wwc(t)
+	faulty := llm.NewFaulty(llm.NewSim(llm.LLaMA3(), 1), llm.FaultConfig{
+		Seed:          5,
+		PermanentRate: 0.4,
+	})
+	res, err := Mine(g, Config{
+		Model:         faulty,
+		FailurePolicy: BestEffort,
+		Resilience: resilience.Config{
+			BreakerFailures: 2,
+			BreakerCooldown: time.Nanosecond, // re-probe immediately: no window starves
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience == nil || res.Resilience.Breaker == nil {
+		t.Fatal("breaker stats missing from result")
+	}
+	tr := res.Resilience.Breaker.Transitions
+	if len(tr) < 2 {
+		t.Fatalf("transitions = %v, want the breaker to open at least once and recover", tr)
+	}
+	sawOpen := false
+	for _, x := range tr {
+		if x.To == resilience.BreakerOpen {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Errorf("no transition to open in %v", tr)
+	}
+}
+
+// switchModel wraps a model and fails every completion matching a prompt
+// predicate once armed; it stays transparent to the rule-budget lookup
+// via Unwrap.
+type switchModel struct {
+	inner llm.Model
+	armed atomic.Bool
+	match func(string) bool
+}
+
+func (m *switchModel) Name() string      { return m.inner.Name() }
+func (m *switchModel) Unwrap() llm.Model { return m.inner }
+
+func (m *switchModel) Complete(p string) (llm.Response, error) {
+	if m.armed.Load() && m.match(p) {
+		return llm.Response{}, errors.New("backend down")
+	}
+	return m.inner.Complete(p)
+}
+
+// TestChaosTranslationFailureBestEffort fails only the step-2 translation
+// prompts: under BestEffort the affected rules stay in the result with
+// TranslateErr set and no score, and the run still aggregates the rest.
+func TestChaosTranslationFailureBestEffort(t *testing.T) {
+	m := &switchModel{
+		inner: llm.NewSim(llm.LLaMA3(), 1),
+		match: func(p string) bool { return strings.HasPrefix(p, "Translate the following") },
+	}
+	m.armed.Store(true)
+	res, err := Mine(wwc(t), Config{Model: m, FailurePolicy: BestEffort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("mined no rules")
+	}
+	for _, mr := range res.Rules {
+		if mr.TranslateErr == nil {
+			t.Errorf("rule %q: expected a translation error", mr.NL)
+		}
+		if mr.Score.Rule != nil {
+			t.Errorf("rule %q: scored despite failed translation", mr.NL)
+		}
+	}
+	if res.CypherTotal != 0 || res.Aggregate.Rules != 0 {
+		t.Errorf("cypherTotal=%d aggRules=%d, want 0/0", res.CypherTotal, res.Aggregate.Rules)
+	}
+
+	// FailFast keeps the old contract: the first translation failure
+	// aborts the run.
+	if _, err := Mine(wwc(t), Config{Model: m}); err == nil || !strings.Contains(err.Error(), "translation") {
+		t.Errorf("fail-fast translation error = %v", err)
+	}
+}
+
+// TestSessionRefineAtomicity flips the model into a failing state between
+// rounds and checks a failed Refine leaves the session exactly as it was.
+func TestSessionRefineAtomicity(t *testing.T) {
+	m := &switchModel{
+		inner: llm.NewSim(llm.LLaMA3(), 1),
+		match: func(string) bool { return true },
+	}
+	s, err := NewSession(wwc(t), Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Pending()) < 2 {
+		t.Fatalf("need at least 2 pending rules, got %d", len(s.Pending()))
+	}
+	if err := s.Accept(s.Pending()[0].Rule.DedupKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reject(s.Pending()[0].Rule.DedupKey()); err != nil {
+		t.Fatal(err)
+	}
+	rounds := s.Rounds()
+	accepted := s.Accepted()
+	pending := s.Pending()
+	current := s.current
+
+	m.armed.Store(true)
+	if _, err := s.Refine(); err == nil {
+		t.Fatal("refine with a dead model should error")
+	}
+
+	if s.Rounds() != rounds {
+		t.Errorf("rounds changed: %d -> %d", rounds, s.Rounds())
+	}
+	if s.current != current {
+		t.Error("current round replaced despite failed refine")
+	}
+	if got := s.Accepted(); len(got) != len(accepted) || got[0].Rule.DedupKey() != accepted[0].Rule.DedupKey() {
+		t.Error("accepted set changed")
+	}
+	if got := s.Pending(); len(got) != len(pending) {
+		t.Errorf("pending changed: %d -> %d", len(pending), len(got))
+	}
+
+	// The failure is recoverable: disarm and the next Refine succeeds.
+	m.armed.Store(false)
+	if _, err := s.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != rounds+1 {
+		t.Errorf("rounds = %d, want %d", s.Rounds(), rounds+1)
+	}
+}

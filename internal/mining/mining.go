@@ -7,7 +7,10 @@
 package mining
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -18,6 +21,7 @@ import (
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/metrics"
 	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/resilience"
 	"github.com/graphrules/graphrules/internal/rules"
 	"github.com/graphrules/graphrules/internal/textenc"
 	"github.com/graphrules/graphrules/internal/vectorstore"
@@ -28,6 +32,36 @@ import (
 type RuleBudgeter interface {
 	RuleBudget(fewShot bool) int
 }
+
+// ruleBudget resolves the rule budget for a model, walking any middleware
+// chain (resilience stacks, fault injectors) down to the model that
+// actually implements RuleBudgeter.
+func ruleBudget(m llm.Model, fewShot bool) int {
+	for m != nil {
+		if b, ok := m.(RuleBudgeter); ok {
+			return b.RuleBudget(fewShot)
+		}
+		w, ok := m.(llm.ModelWrapper)
+		if !ok {
+			break
+		}
+		m = w.Unwrap()
+	}
+	return 12
+}
+
+// FailurePolicy selects how Mine treats window-level completion failures.
+type FailurePolicy uint8
+
+const (
+	// FailFast aborts the run when any window's completion fails, after
+	// attempting every window so the error reports them all.
+	FailFast FailurePolicy = iota
+	// BestEffort drops failed windows (recording them in
+	// Result.WindowErrors) and mines from the survivors, as long as the
+	// Config.MinWindowSuccess floor is met.
+	BestEffort
+)
 
 // Method selects how the encoded graph reaches the model (§3.1).
 type Method uint8
@@ -89,8 +123,18 @@ type Config struct {
 	// ShardWorkers sets per-query sharded MATCH execution during scoring:
 	// eligible anchor scans are partitioned across this many workers inside
 	// the executor (default 0 = serial). Like ScoreWorkers it never changes
-	// counts or rule order, only wall time.
+	// counts or rule order, only wall time. Negative values are rejected.
 	ShardWorkers int
+	// FailurePolicy defaults to FailFast.
+	FailurePolicy FailurePolicy
+	// MinWindowSuccess is the minimum fraction of sliding windows that
+	// must complete for a BestEffort run to proceed; 0 requires at least
+	// one window. Values outside [0, 1] are rejected.
+	MinWindowSuccess float64
+	// Resilience configures the middleware stack Mine wraps around Model
+	// (retries, per-call timeout, circuit breaker, rate limit); the zero
+	// value installs nothing and calls Model directly.
+	Resilience resilience.Config
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -127,6 +171,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ScoreWorkers == 0 {
 		c.ScoreWorkers = c.Parallel
 	}
+	if c.ShardWorkers < 0 {
+		return c, fmt.Errorf("mining: ShardWorkers must be non-negative, got %d", c.ShardWorkers)
+	}
+	if c.MinWindowSuccess < 0 || c.MinWindowSuccess > 1 {
+		return c, fmt.Errorf("mining: MinWindowSuccess must be in [0, 1], got %g", c.MinWindowSuccess)
+	}
 	return c, nil
 }
 
@@ -144,6 +194,20 @@ type MinedRule struct {
 	// EvalErr records a rule whose final queries still failed to execute
 	// (possible for hallucinated queries that are also unexecutable).
 	EvalErr error
+	// TranslateErr records a rule whose step-2 translation call failed
+	// after all resilience retries; under BestEffort the rule stays in
+	// the result unscored instead of aborting the run.
+	TranslateErr error
+}
+
+// WindowError records one sliding window whose completion ultimately
+// failed after the resilience stack gave up.
+type WindowError struct {
+	// Window is the sliding-window index the failure belongs to.
+	Window int
+	// Attempts is how many completion attempts were made for the window.
+	Attempts int
+	Err      error
 }
 
 // Result is the outcome of one mining run.
@@ -174,6 +238,14 @@ type Result struct {
 	Windows        int // LLM calls in step 1
 	BrokenPatterns int // §4.5 boundary-break count (sliding window only)
 
+	// WindowErrors lists the step-1 windows that failed after all
+	// retries; empty on a clean run. Under BestEffort the run continued
+	// without them.
+	WindowErrors []WindowError
+	// Resilience snapshots the middleware stack's counters (retry totals,
+	// breaker transitions, ...) when Config.Resilience installed one.
+	Resilience *resilience.StackStats
+
 	// CypherCorrect / CypherTotal reproduce Table 6's cells.
 	CypherCorrect int
 	CypherTotal   int
@@ -187,9 +259,22 @@ const embedTokensPerSecond = 20000
 
 // Mine runs the full pipeline on a graph.
 func Mine(g *graph.Graph, cfg Config) (*Result, error) {
+	return MineCtx(context.Background(), g, cfg)
+}
+
+// MineCtx is Mine with cancellation: a done context aborts in-flight
+// completions and metric queries and the call returns ctx.Err() promptly,
+// regardless of the failure policy.
+func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	model := cfg.Model
+	var stack *resilience.Stack
+	if cfg.Resilience.Enabled() {
+		stack = resilience.NewStack(model, cfg.Resilience)
+		model = stack
 	}
 	start := time.Now()
 	res := &Result{
@@ -248,13 +333,24 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("mining: %w", err)
 		}
 		res.BrokenPatterns = len(broken)
-		responses, err := completeWindows(cfg, windows)
+		outcomes, err := completeWindows(ctx, cfg, model, windows)
 		if err != nil {
 			return nil, err
 		}
+		var failed []error
 		workers := make([]float64, cfg.Parallel)
-		for i, resp := range responses {
-			res.MiningSeconds += resp.SimSeconds
+		for i, o := range outcomes {
+			if o.err != nil {
+				we := WindowError{
+					Window:   windows[i].Index,
+					Attempts: resilience.Attempts(o.err),
+					Err:      o.err,
+				}
+				res.WindowErrors = append(res.WindowErrors, we)
+				failed = append(failed, fmt.Errorf("window %d (%d attempt(s)): %w", we.Window, we.Attempts, o.err))
+				continue
+			}
+			res.MiningSeconds += o.resp.SimSeconds
 			// Greedy makespan: each worker takes the next window as it
 			// frees up, which is how a real worker pool schedules.
 			minW := 0
@@ -263,14 +359,28 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 					minW = w
 				}
 			}
-			workers[minW] += resp.SimSeconds
-			for rank, nl := range llm.ParseRuleLines(resp.Text) {
+			workers[minW] += o.resp.SimSeconds
+			for rank, nl := range llm.ParseRuleLines(o.resp.Text) {
 				record(nl, windows[i].Index, rank)
 			}
 		}
 		for _, w := range workers {
 			if w > res.ParallelSeconds {
 				res.ParallelSeconds = w
+			}
+		}
+		if len(failed) > 0 {
+			if cfg.FailurePolicy == FailFast {
+				return nil, fmt.Errorf("mining: %d of %d windows failed: %w",
+					len(failed), len(windows), errors.Join(failed...))
+			}
+			need := 1
+			if cfg.MinWindowSuccess > 0 {
+				need = int(math.Ceil(cfg.MinWindowSuccess * float64(len(windows))))
+			}
+			if ok := len(windows) - len(failed); ok < need {
+				return nil, fmt.Errorf("mining: best effort abandoned: only %d of %d windows succeeded, need %d: %w",
+					ok, len(windows), need, errors.Join(failed...))
 			}
 		}
 	case RAG:
@@ -305,9 +415,15 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 		res.Windows = 1
 		p := prompt.RuleGenerationWithExclusions(cfg.Mode, retrieved, cfg.ExcludeRules)
-		resp, err := cfg.Model.Complete(p)
+		resp, err := llm.CompleteCtx(ctx, model, p)
 		if err != nil {
-			return nil, fmt.Errorf("mining: %w", err)
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			// RAG has exactly one completion; losing it fails the success
+			// floor under every policy.
+			return nil, fmt.Errorf("mining: RAG completion failed after %d attempt(s): %w",
+				resilience.Attempts(err), err)
 		}
 		res.MiningSeconds += resp.SimSeconds
 		for rank, nl := range llm.ParseRuleLines(resp.Text) {
@@ -326,10 +442,7 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 	sort.SliceStable(order, func(i, j int) bool {
 		return seen[order[i]].borda > seen[order[j]].borda
 	})
-	budget := 12
-	if b, ok := cfg.Model.(RuleBudgeter); ok {
-		budget = b.RuleBudget(cfg.Mode == prompt.FewShot)
-	}
+	budget := ruleBudget(cfg.Model, cfg.Mode == prompt.FewShot)
 	if len(order) > budget {
 		order = order[:budget]
 	}
@@ -339,14 +452,26 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 	schemaText := schema.Describe()
 	var mined []MinedRule
 	var finals []rules.QuerySet
+	var scoreIdx []int // finals[i] scores mined[scoreIdx[i]]
 	for _, key := range order {
 		sr := seen[key]
 		mr := MinedRule{NL: sr.rule.NL(), Rule: sr.rule, Windows: sr.windows}
 
 		p := prompt.CypherTranslation(mr.NL, schemaText)
-		resp, err := cfg.Model.Complete(p)
+		resp, err := llm.CompleteCtx(ctx, model, p)
 		if err != nil {
-			return nil, fmt.Errorf("mining: translation: %w", err)
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if cfg.FailurePolicy == FailFast {
+				return nil, fmt.Errorf("mining: translation of %q failed after %d attempt(s): %w",
+					mr.NL, resilience.Attempts(err), err)
+			}
+			// BestEffort keeps the rule, unscored, with the failure on
+			// record: the NL rule was mined even if its Cypher was lost.
+			mr.TranslateErr = err
+			mined = append(mined, mr)
+			continue
 		}
 		res.TranslationSeconds += resp.SimSeconds
 		qs, ok := llm.ParseQuerySet(resp.Text)
@@ -365,82 +490,96 @@ func Mine(g *graph.Graph, cfg Config) (*Result, error) {
 		mr.Final, mr.Corrected = correction.Fix(qs, sr.rule, mr.Category)
 		mined = append(mined, mr)
 		finals = append(finals, mr.Final)
+		scoreIdx = append(scoreIdx, len(mined)-1)
 	}
 
 	// Score all corrected query sets through one shared executor (and plan
 	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
-	counts, evalErrs := metrics.EvaluateQuerySets(g, finals,
+	counts, evalErrs := metrics.EvaluateQuerySetsCtx(ctx, g, finals,
 		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers})
-	var scores []metrics.Score
-	for i := range mined {
-		mr := mined[i]
-		if evalErrs[i] != nil {
-			mr.EvalErr = evalErrs[i]
-		} else {
-			mr.Score = metrics.Score{
-				Rule:       mr.Rule,
-				Counts:     counts[i],
-				Coverage:   counts[i].Coverage(),
-				Confidence: counts[i].Confidence(),
-			}
-			scores = append(scores, mr.Score)
-		}
-		res.Rules = append(res.Rules, mr)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	var scores []metrics.Score
+	for fi, mi := range scoreIdx {
+		mr := &mined[mi]
+		if evalErrs[fi] != nil {
+			mr.EvalErr = evalErrs[fi]
+			continue
+		}
+		mr.Score = metrics.Score{
+			Rule:       mr.Rule,
+			Counts:     counts[fi],
+			Coverage:   counts[fi].Coverage(),
+			Confidence: counts[fi].Confidence(),
+		}
+		scores = append(scores, mr.Score)
+	}
+	res.Rules = mined
 	res.Aggregate = metrics.Aggregated(scores)
+	if stack != nil {
+		st := stack.Stats()
+		res.Resilience = &st
+	}
 	res.WallClock = time.Since(start)
 	return res, nil
 }
 
+// windowOutcome is one window's completion result; exactly one of resp /
+// err is meaningful.
+type windowOutcome struct {
+	resp llm.Response
+	err  error
+}
+
 // completeWindows runs the step-1 completions, cfg.Parallel at a time,
-// returning responses in window order.
-func completeWindows(cfg Config, windows []textenc.Window) ([]llm.Response, error) {
-	responses := make([]llm.Response, len(windows))
+// returning per-window outcomes in window order. Every window is attempted
+// even when earlier ones fail — the caller's failure policy decides what
+// the failures mean, and a FailFast abort can then report all of them
+// instead of an arbitrary first. Only context cancellation stops the
+// schedule early, and it is the only error this function itself returns.
+func completeWindows(ctx context.Context, cfg Config, model llm.Model, windows []textenc.Window) ([]windowOutcome, error) {
+	outcomes := make([]windowOutcome, len(windows))
+	complete := func(i int) {
+		p := prompt.RuleGenerationWithExclusions(cfg.Mode, windows[i].Text, cfg.ExcludeRules)
+		outcomes[i].resp, outcomes[i].err = llm.CompleteCtx(ctx, model, p)
+	}
 	if cfg.Parallel <= 1 {
-		for i, w := range windows {
-			resp, err := cfg.Model.Complete(prompt.RuleGenerationWithExclusions(cfg.Mode, w.Text, cfg.ExcludeRules))
-			if err != nil {
-				return nil, fmt.Errorf("mining: window %d: %w", w.Index, err)
+		for i := range windows {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			responses[i] = resp
+			complete(i)
 		}
-		return responses, nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		errs []error
-	)
-	for n := 0; n < cfg.Parallel; n++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= len(windows) || len(errs) > 0 {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				resp, err := cfg.Model.Complete(prompt.RuleGenerationWithExclusions(cfg.Mode, windows[i].Text, cfg.ExcludeRules))
-				if err != nil {
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			next int
+		)
+		for n := 0; n < cfg.Parallel; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
 					mu.Lock()
-					errs = append(errs, fmt.Errorf("mining: window %d: %w", windows[i].Index, err))
+					if next >= len(windows) {
+						mu.Unlock()
+						return
+					}
+					i := next
+					next++
 					mu.Unlock()
-					return
+					complete(i)
 				}
-				responses[i] = resp
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return responses, nil
+	return outcomes, nil
 }
 
 // TotalSimSeconds returns the full simulated pipeline latency.

@@ -135,6 +135,12 @@ func (s *Session) Reject(ref string) error {
 
 // Refine re-mines with all rejections excluded. Newly surfaced rules join
 // Pending; accepted rules stay pinned.
+//
+// Refine is atomic with respect to the session: if the underlying Mine
+// fails (model outage, cancellation, policy floor not met), the error is
+// returned and the session is untouched — Rounds(), the accepted and
+// rejected sets, and the current round's rules all keep their pre-call
+// values, so a failed refinement can simply be retried.
 func (s *Session) Refine() (*Result, error) {
 	if err := s.mine(); err != nil {
 		return nil, err

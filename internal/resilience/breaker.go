@@ -1,0 +1,219 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls without attempting them until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a bounded number of probe calls through; a
+	// probe failure reopens, enough probe successes close.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerTransition records one state change.
+type BreakerTransition struct {
+	From, To BreakerState
+	At       time.Time
+}
+
+// BreakerConfig parameterizes the circuit breaker.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip the breaker
+	// (default 5).
+	Failures int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 1s).
+	Cooldown time.Duration
+	// Probes is how many consecutive half-open successes close the
+	// breaker (default 1).
+	Probes int
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures == 0 {
+		c.Failures = 5
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Probes == 0 {
+		c.Probes = 1
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// BreakerStats is a snapshot of the breaker's state and history.
+type BreakerStats struct {
+	State       BreakerState
+	Rejected    int64 // calls refused while open / half-open saturated
+	Transitions []BreakerTransition
+}
+
+// Breaker wraps a model with a circuit breaker: after Failures
+// consecutive errors it fails fast for Cooldown, then half-opens and lets
+// probe calls decide whether the backend recovered. Context cancellations
+// do not count as backend failures.
+type Breaker struct {
+	inner llm.Model
+	cfg   BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	failures    int // consecutive failures while closed
+	successes   int // consecutive probe successes while half-open
+	probing     int // probes in flight while half-open
+	openedAt    time.Time
+	transitions []BreakerTransition
+
+	rejected atomic.Int64
+}
+
+// NewBreaker wraps model with a circuit breaker.
+func NewBreaker(model llm.Model, cfg BreakerConfig) *Breaker {
+	return &Breaker{inner: model, cfg: cfg.withDefaults()}
+}
+
+// Name implements llm.Model; the middleware is transparent.
+func (b *Breaker) Name() string { return b.inner.Name() }
+
+// Unwrap exposes the wrapped model (llm.ModelWrapper).
+func (b *Breaker) Unwrap() llm.Model { return b.inner }
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker's state, rejection count and
+// full transition history.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:       b.state,
+		Rejected:    b.rejected.Load(),
+		Transitions: append([]BreakerTransition(nil), b.transitions...),
+	}
+}
+
+// transitionLocked moves the breaker to a new state, recording it.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.transitions = append(b.transitions, BreakerTransition{From: b.state, To: to, At: b.cfg.now()})
+	b.state = to
+	b.failures = 0
+	b.successes = 0
+	if to == BreakerOpen {
+		b.openedAt = b.cfg.now()
+	}
+}
+
+// admit decides whether a call may proceed, advancing open → half-open
+// when the cooldown has elapsed.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.rejected.Add(1)
+			return fmt.Errorf("%w (cooling down, %d rejection(s) so far)", ErrBreakerOpen, b.rejected.Load())
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.probing = 1
+		return nil
+	case BreakerHalfOpen:
+		if b.probing >= b.cfg.Probes {
+			b.rejected.Add(1)
+			return fmt.Errorf("%w (half-open, probe slots busy)", ErrBreakerOpen)
+		}
+		b.probing++
+		return nil
+	default:
+		return nil
+	}
+}
+
+// settle records a call outcome. ctxDone suppresses failure accounting:
+// a cancelled call says nothing about the backend's health.
+func (b *Breaker) settle(err error, ctxDone bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing > 0 {
+		b.probing--
+	}
+	if ctxDone {
+		return
+	}
+	switch {
+	case err == nil:
+		if b.state == BreakerHalfOpen {
+			b.successes++
+			if b.successes >= b.cfg.Probes {
+				b.transitionLocked(BreakerClosed)
+			}
+			return
+		}
+		b.failures = 0
+	default:
+		if b.state == BreakerHalfOpen {
+			b.transitionLocked(BreakerOpen)
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Failures {
+			b.transitionLocked(BreakerOpen)
+		}
+	}
+}
+
+// Complete implements llm.Model.
+func (b *Breaker) Complete(promptText string) (llm.Response, error) {
+	return b.CompleteCtx(context.Background(), promptText)
+}
+
+// CompleteCtx implements llm.ContextModel.
+func (b *Breaker) CompleteCtx(ctx context.Context, promptText string) (llm.Response, error) {
+	if err := b.admit(); err != nil {
+		return llm.Response{}, err
+	}
+	resp, err := llm.CompleteCtx(ctx, b.inner, promptText)
+	b.settle(err, ctx.Err() != nil)
+	return resp, err
+}

@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// RateLimitStats counts the limiter's admissions and waiting.
+type RateLimitStats struct {
+	Calls int64
+	// Delayed is how many calls had to wait for a token.
+	Delayed int64
+	// TotalWait is the cumulative time spent waiting, in nanoseconds.
+	TotalWait int64
+}
+
+// RateLimit wraps a model with a token-bucket limiter: calls acquire one
+// token each, tokens refill at Rate per second up to Burst. Waiting is
+// context-aware — a cancelled caller leaves the queue immediately and
+// consumes no token.
+type RateLimit struct {
+	inner llm.Model
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test clock override
+
+	calls, delayed, totalWait atomic.Int64
+}
+
+// NewRateLimit wraps model with a token bucket of rate calls per second
+// and the given burst (minimum 1). rate <= 0 disables limiting.
+func NewRateLimit(model llm.Model, rate float64, burst int) *RateLimit {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimit{
+		inner:  model,
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+	}
+}
+
+// Name implements llm.Model; the middleware is transparent.
+func (l *RateLimit) Name() string { return l.inner.Name() }
+
+// Unwrap exposes the wrapped model (llm.ModelWrapper).
+func (l *RateLimit) Unwrap() llm.Model { return l.inner }
+
+// Stats returns the limiter counters so far.
+func (l *RateLimit) Stats() RateLimitStats {
+	return RateLimitStats{
+		Calls:     l.calls.Load(),
+		Delayed:   l.delayed.Load(),
+		TotalWait: l.totalWait.Load(),
+	}
+}
+
+// acquire blocks until a token is available or ctx is done.
+func (l *RateLimit) acquire(ctx context.Context) error {
+	waited := int64(0)
+	defer func() {
+		if waited > 0 {
+			l.delayed.Add(1)
+			l.totalWait.Add(waited)
+		}
+	}()
+	for {
+		l.mu.Lock()
+		now := l.now()
+		if l.last.IsZero() {
+			l.last = now
+		}
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		waited += int64(wait)
+		if err := sleepCtx(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// Complete implements llm.Model.
+func (l *RateLimit) Complete(promptText string) (llm.Response, error) {
+	return l.CompleteCtx(context.Background(), promptText)
+}
+
+// CompleteCtx implements llm.ContextModel.
+func (l *RateLimit) CompleteCtx(ctx context.Context, promptText string) (llm.Response, error) {
+	l.calls.Add(1)
+	if l.rate > 0 {
+		if err := l.acquire(ctx); err != nil {
+			return llm.Response{}, err
+		}
+	}
+	return llm.CompleteCtx(ctx, l.inner, promptText)
+}

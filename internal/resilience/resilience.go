@@ -1,0 +1,107 @@
+// Package resilience hardens the pipeline's LLM calls. It provides
+// composable llm.Model middleware — Retry (exponential backoff with
+// deterministic jitter), Timeout (per-attempt deadline), Breaker (circuit
+// breaker with half-open probes) and RateLimit (token bucket) — plus a
+// Stack that composes them in the canonical order. All wrappers are
+// context-aware, safe for concurrent use, and surface per-call attempt and
+// latency statistics, so a mining run can report exactly how flaky its
+// backend was.
+//
+// Error classification follows one convention: an error is retryable when
+// some error in its chain implements `Transient() bool` returning true
+// (see IsTransient). Transport layers mark their transient failures (e.g.
+// llm.TransientError, CallTimeoutError); everything else — including
+// context cancellation and an open breaker — fails fast.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// transient is the structural marker retryable errors implement.
+type transient interface{ Transient() bool }
+
+// IsTransient reports whether err is retryable: some error in its chain
+// implements Transient() bool and returns true. Context cancellation and
+// deadline expiry of the *caller's* context are never transient (the
+// per-attempt CallTimeoutError is marked transient explicitly).
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t transient
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// MarkTransient wraps err so IsTransient reports true. A nil err returns
+// nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &llm.TransientError{Err: err}
+}
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker rejects a
+// call without attempting it. It is not transient: callers should shed
+// load or degrade instead of hammering a failing backend.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// CallTimeoutError reports one attempt that exceeded its per-call
+// deadline. It is transient — a hung call is the classic retryable fault —
+// and unwraps to context.DeadlineExceeded for errors.Is checks.
+type CallTimeoutError struct {
+	Timeout time.Duration
+}
+
+func (e *CallTimeoutError) Error() string {
+	return fmt.Sprintf("resilience: model call exceeded %s timeout", e.Timeout)
+}
+func (e *CallTimeoutError) Unwrap() error   { return context.DeadlineExceeded }
+func (e *CallTimeoutError) Transient() bool { return true }
+
+// AttemptsError reports a call that failed for good after n attempts; it
+// wraps the last attempt's error.
+type AttemptsError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *AttemptsError) Error() string {
+	return fmt.Sprintf("after %d attempt(s): %v", e.Attempts, e.Err)
+}
+func (e *AttemptsError) Unwrap() error { return e.Err }
+
+// Attempts extracts the attempt count from a failed call's error chain,
+// defaulting to 1 (a bare error means a single attempt).
+func Attempts(err error) int {
+	var ae *AttemptsError
+	if errors.As(err, &ae) && ae.Attempts > 0 {
+		return ae.Attempts
+	}
+	return 1
+}
+
+// sleepCtx blocks for d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,397 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// scriptModel returns the scripted error for each successive call (nil
+// means success); calls beyond the script succeed.
+type scriptModel struct {
+	mu     sync.Mutex
+	script []error
+	calls  int
+}
+
+func (m *scriptModel) Name() string { return "script" }
+func (m *scriptModel) Complete(p string) (llm.Response, error) {
+	m.mu.Lock()
+	i := m.calls
+	m.calls++
+	m.mu.Unlock()
+	if i < len(m.script) && m.script[i] != nil {
+		return llm.Response{}, m.script[i]
+	}
+	return llm.Response{Text: "ok:" + p}, nil
+}
+func (m *scriptModel) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+// hangModel blocks until the context is done.
+type hangModel struct{}
+
+func (hangModel) Name() string { return "hang" }
+func (hangModel) Complete(p string) (llm.Response, error) {
+	select {}
+}
+func (hangModel) CompleteCtx(ctx context.Context, p string) (llm.Response, error) {
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+
+func transientErr(msg string) error {
+	return &llm.TransientError{Err: errors.New(msg)}
+}
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is not transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain errors are not transient")
+	}
+	if !IsTransient(transientErr("flaky")) {
+		t.Error("marked error should be transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", MarkTransient(errors.New("x")))) {
+		t.Error("transient marker must survive wrapping")
+	}
+	if IsTransient(context.Canceled) {
+		t.Error("cancellation is not transient")
+	}
+	if !IsTransient(&CallTimeoutError{Timeout: time.Second}) {
+		t.Error("per-attempt timeout must be transient")
+	}
+	if IsTransient(ErrBreakerOpen) {
+		t.Error("an open breaker is not transient")
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	m := &scriptModel{script: []error{transientErr("1"), transientErr("2"), nil}}
+	r := NewRetry(m, RetryConfig{MaxAttempts: 4, BaseDelay: time.Microsecond})
+	resp, err := r.Complete("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", resp.Attempts)
+	}
+	s := r.Stats()
+	if s.Calls != 1 || s.Retries != 2 || s.Exhausted != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	m := &scriptModel{script: []error{errors.New("permanent"), nil}}
+	r := NewRetry(m, RetryConfig{MaxAttempts: 4, BaseDelay: time.Microsecond})
+	_, err := r.Complete("p")
+	if err == nil {
+		t.Fatal("permanent error must not be retried into success")
+	}
+	if m.callCount() != 1 {
+		t.Errorf("calls = %d, want 1 (no retry on permanent)", m.callCount())
+	}
+	if Attempts(err) != 1 {
+		t.Errorf("Attempts(err) = %d", Attempts(err))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	m := &scriptModel{script: []error{transientErr("1"), transientErr("2"), transientErr("3")}}
+	r := NewRetry(m, RetryConfig{MaxAttempts: 3, BaseDelay: time.Microsecond})
+	_, err := r.Complete("p")
+	if err == nil {
+		t.Fatal("want exhaustion error")
+	}
+	var ae *AttemptsError
+	if !errors.As(err, &ae) || ae.Attempts != 3 {
+		t.Fatalf("want AttemptsError{3}, got %v", err)
+	}
+	if r.Stats().Exhausted != 1 {
+		t.Errorf("exhausted = %d", r.Stats().Exhausted)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	m := &scriptModel{script: []error{
+		transientErr("a1"), nil, // call 1: one retry spends the budget
+		transientErr("b1"), nil, // call 2: would recover, but no budget left
+	}}
+	r := NewRetry(m, RetryConfig{MaxAttempts: 3, BaseDelay: time.Microsecond, Budget: 1})
+	if _, err := r.Complete("a"); err != nil {
+		t.Fatalf("first call should recover: %v", err)
+	}
+	if _, err := r.Complete("b"); err == nil {
+		t.Fatal("budget exhausted: second call must fail without retrying")
+	}
+	if left := r.Stats().BudgetLeft; left != 0 {
+		t.Errorf("budget left = %d", left)
+	}
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	a := NewRetry(&scriptModel{}, RetryConfig{Seed: 7, BaseDelay: 10 * time.Millisecond})
+	b := NewRetry(&scriptModel{}, RetryConfig{Seed: 7, BaseDelay: 10 * time.Millisecond})
+	for attempt := 1; attempt <= 3; attempt++ {
+		da, db := a.backoff("prompt", attempt), b.backoff("prompt", attempt)
+		if da != db {
+			t.Fatalf("attempt %d: %s != %s", attempt, da, db)
+		}
+		base := 10 * time.Millisecond << (attempt - 1)
+		if da < base/2 || da >= base*3/2 {
+			t.Fatalf("attempt %d: delay %s outside jitter band around %s", attempt, da, base)
+		}
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	m := &scriptModel{script: []error{transientErr("1"), transientErr("2")}}
+	r := NewRetry(m, RetryConfig{MaxAttempts: 10, BaseDelay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.CompleteCtx(ctx, "p")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline in chain, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt backoff sleep")
+	}
+}
+
+func TestTimeoutConvertsHang(t *testing.T) {
+	to := NewTimeout(hangModel{}, 10*time.Millisecond)
+	start := time.Now()
+	_, err := to.Complete("p")
+	var cte *CallTimeoutError
+	if !errors.As(err, &cte) {
+		t.Fatalf("want CallTimeoutError, got %v", err)
+	}
+	if !IsTransient(err) {
+		t.Error("per-attempt timeout must be transient")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not fire")
+	}
+	if to.Stats().Timeouts != 1 {
+		t.Errorf("timeouts = %d", to.Stats().Timeouts)
+	}
+}
+
+func TestTimeoutCallerCancelNotTransient(t *testing.T) {
+	to := NewTimeout(hangModel{}, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	_, err := to.CompleteCtx(ctx, "p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Error("caller cancellation must not be transient")
+	}
+}
+
+func TestTimeoutPlainModelAbandoned(t *testing.T) {
+	release := make(chan struct{})
+	m := &blockingPlainModel{release: release}
+	to := NewTimeout(m, 5*time.Millisecond)
+	_, err := to.Complete("p")
+	var cte *CallTimeoutError
+	if !errors.As(err, &cte) {
+		t.Fatalf("want CallTimeoutError, got %v", err)
+	}
+	close(release) // let the abandoned goroutine finish
+}
+
+type blockingPlainModel struct{ release chan struct{} }
+
+func (m *blockingPlainModel) Name() string { return "block" }
+func (m *blockingPlainModel) Complete(p string) (llm.Response, error) {
+	<-m.release
+	return llm.Response{Text: "late"}, nil
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	m := &scriptModel{script: []error{
+		errors.New("f1"), errors.New("f2"), // trip
+		errors.New("probe fails"), // half-open probe → reopen
+		nil, nil,                  // probe succeeds → close, then normal
+	}}
+	b := NewBreaker(m, BreakerConfig{Failures: 2, Cooldown: time.Second, Probes: 1, now: now})
+
+	if _, err := b.Complete("p"); err == nil {
+		t.Fatal("scripted failure expected")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("one failure must not trip")
+	}
+	if _, err := b.Complete("p"); err == nil {
+		t.Fatal("scripted failure expected")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("two failures must trip")
+	}
+
+	// While open within the cooldown, calls are rejected without reaching
+	// the model.
+	calls := m.callCount()
+	if _, err := b.Complete("p"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+	if m.callCount() != calls {
+		t.Fatal("rejected call must not reach the model")
+	}
+
+	// After the cooldown, one probe is admitted; its failure reopens.
+	clock = clock.Add(2 * time.Second)
+	if _, err := b.Complete("p"); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe should reach the model and fail, got %v", err)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe must reopen")
+	}
+
+	// Next cooldown: the probe succeeds and closes the breaker.
+	clock = clock.Add(2 * time.Second)
+	if _, err := b.Complete("p"); err != nil {
+		t.Fatalf("successful probe: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close")
+	}
+
+	st := b.Stats()
+	if st.Rejected == 0 {
+		t.Error("rejections not counted")
+	}
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(st.Transitions) != len(want) {
+		t.Fatalf("transitions = %d, want %d (%+v)", len(st.Transitions), len(want), st.Transitions)
+	}
+	for i, tr := range st.Transitions {
+		if tr.To != want[i] {
+			t.Errorf("transition %d to %s, want %s", i, tr.To, want[i])
+		}
+	}
+}
+
+func TestBreakerIgnoresCancellation(t *testing.T) {
+	b := NewBreaker(hangModel{}, BreakerConfig{Failures: 1})
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, _ = b.CompleteCtx(ctx, "p")
+		cancel()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("cancelled calls must not trip the breaker")
+	}
+}
+
+func TestRateLimitDelaysAndCancels(t *testing.T) {
+	m := &scriptModel{}
+	l := NewRateLimit(m, 50, 1) // 50/s → 20ms per token after the burst
+	if _, err := l.Complete("a"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := l.Complete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("second call should have waited for a token")
+	}
+	if l.Stats().Delayed == 0 {
+		t.Error("delay not counted")
+	}
+
+	// A cancelled waiter leaves promptly.
+	_, _ = l.Complete("drain")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := l.CompleteCtx(ctx, "c"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline, got %v", err)
+	}
+}
+
+func TestStackComposition(t *testing.T) {
+	inner := &scriptModel{script: []error{transientErr("1"), nil}}
+	st := NewStack(inner, Config{
+		Retries:         3,
+		RetryBase:       time.Microsecond,
+		CallTimeout:     time.Second,
+		BreakerFailures: 10,
+		RatePerSec:      1e6,
+		Burst:           100,
+	})
+	resp, err := st.Complete("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", resp.Attempts)
+	}
+	stats := st.Stats()
+	if stats.Retry == nil || stats.Timeout == nil || stats.Breaker == nil || stats.RateLimit == nil {
+		t.Fatal("all four layers should report stats")
+	}
+	if stats.Retry.Retries != 1 {
+		t.Errorf("retries = %d", stats.Retry.Retries)
+	}
+	if st.Unwrap() != llm.Model(inner) {
+		t.Error("Unwrap must skip the whole chain")
+	}
+	if st.Name() != "script" {
+		t.Error("stack must be name-transparent")
+	}
+}
+
+func TestStackBreakerShortCircuitsRetries(t *testing.T) {
+	// Every call fails permanently; the breaker trips mid-retry and the
+	// retry layer stops immediately (ErrBreakerOpen is not transient).
+	inner := &scriptModel{script: []error{
+		transientErr("1"), transientErr("2"), transientErr("3"), transientErr("4"),
+	}}
+	st := NewStack(inner, Config{Retries: 9, RetryBase: time.Microsecond, BreakerFailures: 2})
+	_, err := st.Complete("p")
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want breaker rejection terminating the retries, got %v", err)
+	}
+	if got := inner.callCount(); got != 2 {
+		t.Errorf("model calls = %d, want 2 (breaker tripped)", got)
+	}
+}
+
+func TestZeroConfigStackIsTransparent(t *testing.T) {
+	cfg := Config{}
+	if cfg.Enabled() {
+		t.Fatal("zero config must report disabled")
+	}
+	inner := &scriptModel{}
+	st := NewStack(inner, cfg)
+	if _, err := st.Complete("p"); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Retry != nil || stats.Timeout != nil || stats.Breaker != nil || stats.RateLimit != nil {
+		t.Fatal("no layers should be installed")
+	}
+}

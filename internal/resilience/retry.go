@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"context"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// RetryConfig parameterizes the retry middleware.
+type RetryConfig struct {
+	// MaxAttempts is the total attempts per call, first try included
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 25ms); each
+	// further retry doubles it, capped at MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget caps the total retries (not first attempts) the wrapper will
+	// ever spend across all calls; 0 means unlimited. When the budget is
+	// exhausted, calls get exactly one attempt — a runaway-failure
+	// backstop for long-lived services.
+	Budget int64
+	// Seed drives the deterministic backoff jitter: the delay for a given
+	// (prompt, attempt) pair is identical across runs and goroutine
+	// schedules.
+	Seed int64
+	// RetryIf classifies retryable errors (default IsTransient).
+	RetryIf func(error) bool
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay == 0 {
+		c.BaseDelay = 25 * time.Millisecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.RetryIf == nil {
+		c.RetryIf = IsTransient
+	}
+	return c
+}
+
+// RetryStats counts the retry middleware's work.
+type RetryStats struct {
+	// Calls is how many logical completions were requested.
+	Calls int64
+	// Retries is how many extra attempts were spent.
+	Retries int64
+	// Exhausted is how many calls failed after all attempts.
+	Exhausted int64
+	// BudgetLeft is the remaining global retry budget (negative means
+	// unlimited).
+	BudgetLeft int64
+}
+
+// Retry wraps a model with bounded, classified, backoff retries.
+type Retry struct {
+	inner llm.Model
+	cfg   RetryConfig
+
+	calls, retries, exhausted atomic.Int64
+	budgetLeft                atomic.Int64 // meaningful only when cfg.Budget > 0
+}
+
+// NewRetry wraps model with retry middleware.
+func NewRetry(model llm.Model, cfg RetryConfig) *Retry {
+	r := &Retry{inner: model, cfg: cfg.withDefaults()}
+	r.budgetLeft.Store(r.cfg.Budget)
+	return r
+}
+
+// Name implements llm.Model; the middleware is transparent.
+func (r *Retry) Name() string { return r.inner.Name() }
+
+// Unwrap exposes the wrapped model (llm.ModelWrapper).
+func (r *Retry) Unwrap() llm.Model { return r.inner }
+
+// Stats returns the retry counters so far.
+func (r *Retry) Stats() RetryStats {
+	s := RetryStats{
+		Calls:      r.calls.Load(),
+		Retries:    r.retries.Load(),
+		Exhausted:  r.exhausted.Load(),
+		BudgetLeft: -1,
+	}
+	if r.cfg.Budget > 0 {
+		s.BudgetLeft = r.budgetLeft.Load()
+	}
+	return s
+}
+
+// spendBudget reserves one retry from the global budget; it reports false
+// when the budget is exhausted.
+func (r *Retry) spendBudget() bool {
+	if r.cfg.Budget <= 0 {
+		return true
+	}
+	for {
+		left := r.budgetLeft.Load()
+		if left <= 0 {
+			return false
+		}
+		if r.budgetLeft.CompareAndSwap(left, left-1) {
+			return true
+		}
+	}
+}
+
+// backoff returns the delay before retry #attempt (1-based) of a call,
+// with a deterministic jitter factor in [0.5, 1.5) derived from the seed,
+// the prompt and the attempt number.
+func (r *Retry) backoff(promptText string, attempt int) time.Duration {
+	d := r.cfg.BaseDelay << (attempt - 1)
+	if d > r.cfg.MaxDelay || d <= 0 {
+		d = r.cfg.MaxDelay
+	}
+	h := fnv.New64a()
+	h.Write([]byte(promptText))
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(r.cfg.Seed >> (8 * i))
+		buf[8+i] = byte(attempt >> (8 * i))
+	}
+	h.Write(buf[:])
+	factor := 0.5 + float64(h.Sum64()%1024)/1024.0
+	return time.Duration(float64(d) * factor)
+}
+
+// Complete implements llm.Model.
+func (r *Retry) Complete(promptText string) (llm.Response, error) {
+	return r.CompleteCtx(context.Background(), promptText)
+}
+
+// CompleteCtx implements llm.ContextModel: it attempts the call up to
+// MaxAttempts times, backing off between attempts, and retries only
+// errors RetryIf classifies as transient. The caller's ctx always wins —
+// cancellation aborts the backoff sleep immediately.
+func (r *Retry) CompleteCtx(ctx context.Context, promptText string) (llm.Response, error) {
+	r.calls.Add(1)
+	var lastErr error
+	attempt := 0
+	for attempt < r.cfg.MaxAttempts {
+		attempt++
+		resp, err := llm.CompleteCtx(ctx, r.inner, promptText)
+		if err == nil {
+			if resp.Attempts < attempt {
+				resp.Attempts = attempt
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !r.cfg.RetryIf(err) || attempt == r.cfg.MaxAttempts {
+			break
+		}
+		if !r.spendBudget() {
+			break
+		}
+		r.retries.Add(1)
+		if err := sleepCtx(ctx, r.backoff(promptText, attempt)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	r.exhausted.Add(1)
+	return llm.Response{}, &AttemptsError{Attempts: attempt, Err: lastErr}
+}

@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// Config selects which middleware a Stack installs. Zero values disable
+// the corresponding layer, so the zero Config is a transparent stack.
+type Config struct {
+	// Retries is how many extra attempts follow a failed first try
+	// (MaxAttempts = Retries + 1); 0 disables the retry layer.
+	Retries int
+	// RetryBase / RetryMax tune the backoff (see RetryConfig).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryBudget caps total retries across all calls (0 = unlimited).
+	RetryBudget int64
+	// CallTimeout is the per-attempt deadline; 0 disables the timeout
+	// layer.
+	CallTimeout time.Duration
+	// BreakerFailures enables the circuit breaker: that many consecutive
+	// failures open it; 0 disables the layer.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+	// RatePerSec enables the token-bucket limiter; 0 disables the layer.
+	RatePerSec float64
+	Burst      int
+	// Seed drives the retry layer's deterministic jitter.
+	Seed int64
+}
+
+// Enabled reports whether the config installs at least one layer.
+func (c Config) Enabled() bool {
+	return c.Retries > 0 || c.CallTimeout > 0 || c.BreakerFailures > 0 || c.RatePerSec > 0
+}
+
+// StackStats aggregates the per-layer counters of one Stack; a nil field
+// means the layer is not installed.
+type StackStats struct {
+	Retry     *RetryStats     `json:"retry,omitempty"`
+	Timeout   *TimeoutStats   `json:"timeout,omitempty"`
+	Breaker   *BreakerStats   `json:"breaker,omitempty"`
+	RateLimit *RateLimitStats `json:"rateLimit,omitempty"`
+}
+
+// Stack is the canonical middleware composition around a model:
+//
+//	RateLimit → Retry → Breaker → Timeout → model
+//
+// Each retry attempt passes through the breaker (so consecutive failing
+// attempts trip it) and gets its own per-call deadline; an open breaker
+// is not a transient error, so the retry layer stops burning attempts the
+// moment the breaker rejects. The rate limiter sits outside retry: a
+// retried call re-enters the queue only once per logical completion.
+type Stack struct {
+	outer llm.Model
+	inner llm.Model
+
+	retry   *Retry
+	timeout *Timeout
+	breaker *Breaker
+	limiter *RateLimit
+}
+
+// NewStack composes the configured layers around model. A zero cfg
+// returns a transparent pass-through stack.
+func NewStack(model llm.Model, cfg Config) *Stack {
+	s := &Stack{inner: model}
+	m := model
+	if cfg.CallTimeout > 0 {
+		s.timeout = NewTimeout(m, cfg.CallTimeout)
+		m = s.timeout
+	}
+	if cfg.BreakerFailures > 0 {
+		s.breaker = NewBreaker(m, BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			Cooldown: cfg.BreakerCooldown,
+			Probes:   cfg.BreakerProbes,
+		})
+		m = s.breaker
+	}
+	if cfg.Retries > 0 {
+		s.retry = NewRetry(m, RetryConfig{
+			MaxAttempts: cfg.Retries + 1,
+			BaseDelay:   cfg.RetryBase,
+			MaxDelay:    cfg.RetryMax,
+			Budget:      cfg.RetryBudget,
+			Seed:        cfg.Seed,
+		})
+		m = s.retry
+	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = NewRateLimit(m, cfg.RatePerSec, cfg.Burst)
+		m = s.limiter
+	}
+	s.outer = m
+	return s
+}
+
+// Name implements llm.Model; the stack is transparent.
+func (s *Stack) Name() string { return s.inner.Name() }
+
+// Unwrap exposes the wrapped model (llm.ModelWrapper), skipping the
+// middleware chain entirely.
+func (s *Stack) Unwrap() llm.Model { return s.inner }
+
+// Breaker returns the breaker layer, or nil when not installed.
+func (s *Stack) Breaker() *Breaker { return s.breaker }
+
+// Stats snapshots every installed layer's counters.
+func (s *Stack) Stats() StackStats {
+	var st StackStats
+	if s.retry != nil {
+		v := s.retry.Stats()
+		st.Retry = &v
+	}
+	if s.timeout != nil {
+		v := s.timeout.Stats()
+		st.Timeout = &v
+	}
+	if s.breaker != nil {
+		v := s.breaker.Stats()
+		st.Breaker = &v
+	}
+	if s.limiter != nil {
+		v := s.limiter.Stats()
+		st.RateLimit = &v
+	}
+	return st
+}
+
+// Complete implements llm.Model.
+func (s *Stack) Complete(promptText string) (llm.Response, error) {
+	return llm.CompleteCtx(context.Background(), s.outer, promptText)
+}
+
+// CompleteCtx implements llm.ContextModel.
+func (s *Stack) CompleteCtx(ctx context.Context, promptText string) (llm.Response, error) {
+	return llm.CompleteCtx(ctx, s.outer, promptText)
+}

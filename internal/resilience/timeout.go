@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/llm"
+)
+
+// TimeoutStats counts the timeout middleware's outcomes.
+type TimeoutStats struct {
+	Calls    int64
+	Timeouts int64
+	// MaxLatency and TotalLatency measure completed (non-timed-out)
+	// attempts, in nanoseconds.
+	MaxLatency   int64
+	TotalLatency int64
+}
+
+// Timeout wraps a model with a per-call deadline. Context-aware models
+// (llm.ContextModel) are cancelled in-band; plain models run on a helper
+// goroutine and are abandoned when the deadline fires — their eventual
+// result is discarded, so only wrap a plain model whose calls terminate on
+// their own.
+type Timeout struct {
+	inner llm.Model
+	d     time.Duration
+
+	calls, timeouts, maxLat, totalLat atomic.Int64
+}
+
+// NewTimeout wraps model with a per-call deadline; d <= 0 disables the
+// deadline (calls pass through).
+func NewTimeout(model llm.Model, d time.Duration) *Timeout {
+	return &Timeout{inner: model, d: d}
+}
+
+// Name implements llm.Model; the middleware is transparent.
+func (t *Timeout) Name() string { return t.inner.Name() }
+
+// Unwrap exposes the wrapped model (llm.ModelWrapper).
+func (t *Timeout) Unwrap() llm.Model { return t.inner }
+
+// Stats returns the timeout counters so far.
+func (t *Timeout) Stats() TimeoutStats {
+	return TimeoutStats{
+		Calls:        t.calls.Load(),
+		Timeouts:     t.timeouts.Load(),
+		MaxLatency:   t.maxLat.Load(),
+		TotalLatency: t.totalLat.Load(),
+	}
+}
+
+func (t *Timeout) observe(start time.Time) {
+	lat := int64(time.Since(start))
+	t.totalLat.Add(lat)
+	for {
+		max := t.maxLat.Load()
+		if lat <= max || t.maxLat.CompareAndSwap(max, lat) {
+			return
+		}
+	}
+}
+
+// Complete implements llm.Model.
+func (t *Timeout) Complete(promptText string) (llm.Response, error) {
+	return t.CompleteCtx(context.Background(), promptText)
+}
+
+// CompleteCtx implements llm.ContextModel. A deadline expiry is surfaced
+// as a transient *CallTimeoutError so the retry layer re-attempts it; a
+// cancellation of the caller's own ctx is returned as-is (not transient).
+func (t *Timeout) CompleteCtx(ctx context.Context, promptText string) (llm.Response, error) {
+	t.calls.Add(1)
+	start := time.Now()
+	if t.d <= 0 {
+		resp, err := llm.CompleteCtx(ctx, t.inner, promptText)
+		t.observe(start)
+		return resp, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+
+	if cm, ok := t.inner.(llm.ContextModel); ok {
+		resp, err := cm.CompleteCtx(cctx, promptText)
+		if err != nil && cctx.Err() != nil && ctx.Err() == nil {
+			t.timeouts.Add(1)
+			return llm.Response{}, &CallTimeoutError{Timeout: t.d}
+		}
+		t.observe(start)
+		return resp, err
+	}
+
+	// Plain model: race the blocking call against the deadline. The
+	// helper goroutine finishes on its own schedule; its result is
+	// dropped once abandoned.
+	type outcome struct {
+		resp llm.Response
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := t.inner.Complete(promptText)
+		ch <- outcome{resp, err}
+	}()
+	select {
+	case o := <-ch:
+		t.observe(start)
+		return o.resp, o.err
+	case <-cctx.Done():
+		if ctx.Err() != nil {
+			return llm.Response{}, ctx.Err()
+		}
+		t.timeouts.Add(1)
+		return llm.Response{}, &CallTimeoutError{Timeout: t.d}
+	}
+}
