@@ -22,6 +22,7 @@ import (
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/datasets"
 	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/lint"
 	"github.com/graphrules/graphrules/internal/storage"
 )
 
@@ -42,6 +43,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	shardWorkers := fs.Int("shard-workers", 0, "partition eligible MATCH anchor scans across N workers (0 = serial)")
 	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
 	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
+	lintOnly := fs.Bool("lint", false, "lint the -q query against the graph's schema instead of executing it (exit 1 on error-severity findings)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +69,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	ex := cypher.NewExecutor(g)
 	ex.SetShardWorkers(*shardWorkers)
 	ex.SetReorder(!*noReorder)
+	if *lintOnly {
+		if *query == "" {
+			return fmt.Errorf("-lint requires -q")
+		}
+		diags := lint.Source(*query, graph.ExtractSchema(g), lint.Options{})
+		printDiagnostics(out, *query, diags)
+		if lint.HasError(diags) {
+			return fmt.Errorf("%d lint finding(s)", len(diags))
+		}
+		return nil
+	}
 	if *query != "" {
 		return runQuery(ex, *query, *queryTimeout, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "profile <query>" and "shard <n>" inspect/configure)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>" and "shard <n>" inspect/configure)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -101,6 +114,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(out, "shard workers: %d\n", ex.ShardWorkerCount())
 			}
 			continue
+		case strings.HasPrefix(line, "lint "):
+			src := strings.TrimSpace(strings.TrimPrefix(line, "lint "))
+			diags := lint.Source(src, graph.ExtractSchema(g), lint.Options{})
+			if len(diags) == 0 {
+				fmt.Fprintln(out, "clean")
+			} else {
+				printDiagnostics(out, src, diags)
+			}
+			continue
 		case strings.HasPrefix(line, "explain "):
 			plan, err := ex.Explain(strings.TrimPrefix(line, "explain "))
 			if err != nil {
@@ -117,6 +139,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 		if err := runQuery(ex, line, *queryTimeout, out, false); err != nil {
 			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+// printDiagnostics renders lint findings with their source span and, where a
+// machine-applicable fix exists, the fixed query.
+func printDiagnostics(out io.Writer, src string, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(out, d.String())
+		if s, e := d.Span.Start, d.Span.End; s >= 0 && e <= len(src) && s < e {
+			fmt.Fprintf(out, "  %s\n", src[s:e])
+		}
+		if d.Fix != nil {
+			if fixed, err := lint.ApplyFix(src, d.Fix); err == nil {
+				fmt.Fprintf(out, "  fix (%s): %s\n", d.Fix.Message, fixed)
+			}
 		}
 	}
 }

@@ -1,0 +1,185 @@
+// Command cypherlint runs the schema-aware Cypher analyzers over query
+// corpora, vet-style: findings go to stdout as "file:line:offset: severity:
+// message (analyzer)" and the exit status is nonzero when any finding has
+// error severity. It is the CI gate for LLM-generated query corpora.
+//
+// Each input file holds one query per line; blank lines and lines starting
+// with '#' are skipped. "-" reads stdin.
+//
+// Usage:
+//
+//	cypherlint -dataset Twitter queries.cypher
+//	rulemine -dataset WWC2019 ... | cypherlint -dataset WWC2019 -
+//	cypherlint -snapshot graph.snap -disable unusedvar,indexseek corpus.cypher
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/lint"
+	"github.com/graphrules/graphrules/internal/storage"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cypherlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// schemaAnalyzers need property/label statistics to say anything useful;
+// without a graph they are disabled rather than flagging every identifier.
+var schemaAnalyzers = []string{"unknownlabel", "unknownreltype", "unknownprop", "reldirection", "typecheck", "indexseek"}
+
+func run(args []string, stdin io.Reader, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("cypherlint", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "", "lint against this generated dataset's schema (WWC2019, Cybersecurity, Twitter)")
+	snapshot := fs.String("snapshot", "", "lint against the schema of this binary graph snapshot")
+	seed := fs.Int64("graph-seed", 42, "dataset generator seed")
+	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	showFix := fs.Bool("fix", false, "print the corrected query under findings that carry a suggested fix")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "%-14s %-7s %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return 0, nil
+	}
+
+	var schema *graph.Schema
+	opts := lint.Options{Enable: splitList(*enable), Disable: splitList(*disable)}
+	switch {
+	case *snapshot != "":
+		g, err := storage.LoadFile(*snapshot)
+		if err != nil {
+			return 2, err
+		}
+		schema = graph.ExtractSchema(g)
+	case *datasetName != "":
+		gen, err := datasets.ByName(*datasetName)
+		if err != nil {
+			return 2, err
+		}
+		schema = graph.ExtractSchema(gen(datasets.Options{Seed: *seed, ViolationRate: *violations}))
+	default:
+		// No graph, no schema: run only the schema-free analyzers.
+		schema = &graph.Schema{}
+		opts.Disable = append(opts.Disable, schemaAnalyzers...)
+	}
+
+	files := fs.Args()
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	failed := false
+	for _, name := range files {
+		var r io.Reader
+		if name == "-" {
+			r = stdin
+			name = "<stdin>"
+		} else {
+			f, err := os.Open(name)
+			if err != nil {
+				return 2, err
+			}
+			defer f.Close()
+			r = f
+		}
+		bad, err := lintFile(name, r, schema, opts, *showFix, out)
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", name, err)
+		}
+		failed = failed || bad
+	}
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func lintFile(name string, r io.Reader, schema *graph.Schema, opts lint.Options, showFix bool, out io.Writer) (failed bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	fuzzCorpus := false
+	for sc.Scan() {
+		lineNo++
+		src := strings.TrimSpace(sc.Text())
+		if lineNo == 1 && strings.HasPrefix(src, "go test fuzz v") {
+			// A go-fuzz corpus entry: subsequent lines are Go-quoted values
+			// like string("MATCH ...").
+			fuzzCorpus = true
+			continue
+		}
+		if fuzzCorpus {
+			q, ok := unquoteFuzzLine(src)
+			if !ok {
+				continue
+			}
+			src = q
+		}
+		if src == "" || strings.HasPrefix(src, "#") {
+			continue
+		}
+		diags := lint.Source(src, schema, opts)
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s (%s)\n", name, lineNo, d.Span.Start, d.Severity, d.Message, d.Analyzer)
+			if showFix && d.Fix != nil {
+				if fixed, ferr := lint.ApplyFix(src, d.Fix); ferr == nil {
+					fmt.Fprintf(out, "%s:%d: fix (%s): %s\n", name, lineNo, d.Fix.Message, fixed)
+				}
+			}
+		}
+		if lint.HasError(diags) {
+			failed = true
+		}
+	}
+	return failed, sc.Err()
+}
+
+// unquoteFuzzLine extracts the query from a go-fuzz corpus line of the form
+// string("..."). Non-string lines are skipped.
+func unquoteFuzzLine(line string) (string, bool) {
+	body, ok := strings.CutPrefix(line, "string(")
+	if !ok {
+		return "", false
+	}
+	body, ok = strings.CutSuffix(body, ")")
+	if !ok {
+		return "", false
+	}
+	q, err := strconv.Unquote(body)
+	if err != nil {
+		return "", false
+	}
+	return q, true
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanCorpusPasses(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-dataset", "Twitter", "testdata/twitter_clean.cypher"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean corpus exits %d:\n%s", code, out.String())
+	}
+}
+
+func TestHallucinatedCorpusFails(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-dataset", "Twitter", "testdata/twitter_hallucinated.cypher"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("hallucinated corpus exits %d, want 1:\n%s", code, out.String())
+	}
+	for _, want := range []string{"unknownprop", "reldirection", "regexeq", "syntax"} {
+		if !strings.Contains(out.String(), "("+want+")") {
+			t.Errorf("output missing a %s finding:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestStdinAndDisable(t *testing.T) {
+	in := strings.NewReader("MATCH (u:User) WHERE u.followerCount > 10 RETURN u.name\n")
+	var out strings.Builder
+	code, err := run([]string{"-dataset", "Twitter", "-disable", "unknownprop", "-"}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("with unknownprop disabled the query should pass, got exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestNoSchemaSkipsSchemaAnalyzers(t *testing.T) {
+	// Without a -dataset/-snapshot the label is unknown to nobody: the
+	// schema-dependent analyzers are disabled instead of flagging it.
+	in := strings.NewReader("MATCH (u:Madeup) WHERE u.whatever > 10 RETURN u.whatever\n")
+	var out strings.Builder
+	code, err := run([]string{"-"}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("schema-free run should pass, got exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-list"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out.String()), "\n")); n < 8 {
+		t.Fatalf("expected at least 8 registered analyzers, -list printed %d", n)
+	}
+}

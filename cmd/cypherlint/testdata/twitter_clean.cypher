@@ -1,0 +1,7 @@
+# Lint-clean queries against the Twitter schema (one per line).
+MATCH (u:User)-[:POSTS]->(t:Tweet) WHERE u.followers > 1000 RETURN u.name, t.id
+MATCH (t:Tweet)-[:TAGS]->(h:Hashtag) RETURN h.name, count(*) AS uses
+MATCH (u:User) WHERE u.screen_name STARTS WITH 'a' RETURN u.screen_name
+MATCH (a:User)-[:FOLLOWS]->(b:User) WHERE a.id < b.id RETURN count(*) AS pairs
+MATCH (t:Tweet)-[:ABOUT]->(tp:Topic) WITH tp, count(*) AS n WHERE n > 3 RETURN tp.name, n
+MATCH (u:User {name: 'x'})-[:POSTS]->(t:Tweet) RETURN t.text

@@ -1,0 +1,10 @@
+# Corpus with one finding per §4.4 error category; cypherlint must exit 1.
+# Hallucinated properties (never observed on the schema):
+MATCH (u:User) WHERE u.followerCount > 10 RETURN u.name
+MATCH (t:Tweet) WHERE t.sentiment = 'positive' RETURN t.id
+# Relationship direction flipped against the dominant endpoints:
+MATCH (t:Tweet)-[:POSTS]->(u:User) RETURN u.name
+# Regex literal compared with = instead of =~ :
+MATCH (l:Link) WHERE l.url = 'https?://.+' RETURN l.url
+# Unparseable:
+MATCH (u:User RETURN u

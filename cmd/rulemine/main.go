@@ -20,6 +20,7 @@ import (
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/mining"
 	"github.com/graphrules/graphrules/internal/prompt"
+	"github.com/graphrules/graphrules/internal/report"
 	"github.com/graphrules/graphrules/internal/resilience"
 	"github.com/graphrules/graphrules/internal/storage"
 	"github.com/graphrules/graphrules/internal/textenc"
@@ -45,6 +46,7 @@ func run(args []string, out io.Writer) error {
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
 	verbose := fs.Bool("v", false, "print generated and corrected Cypher")
 	asJSON := fs.Bool("json", false, "emit the full run report as JSON instead of text")
+	tableName := fs.String("table", "", `print a summary table instead of the rule listing: "errors" (§4.4 category + lint analyzer census)`)
 	scoreWorkers := fs.Int("score-workers", 0, "metric scoring worker pool (0 = Parallel's value, negative = GOMAXPROCS)")
 	shardWorkers := fs.Int("shard-workers", 0, "partition anchor scans inside each scoring query across N workers (0 = serial)")
 	retries := fs.Int("retries", 0, "retry each failed LLM call up to N extra times (transient errors only)")
@@ -129,6 +131,14 @@ func run(args []string, out io.Writer) error {
 
 	if *asJSON {
 		return res.WriteJSON(out)
+	}
+	switch *tableName {
+	case "":
+	case "errors":
+		fmt.Fprint(out, report.Census(res.ErrorCounts, res.LintCounts))
+		return nil
+	default:
+		return fmt.Errorf("unknown table %q (want errors)", *tableName)
 	}
 
 	fmt.Fprintf(out, "Dataset %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())

@@ -6,13 +6,17 @@
 // paper's own suggested future work), while hallucinated-property queries
 // are deliberately left broken because they reflect rule-level
 // hallucination rather than translation mistakes.
+//
+// Classification is built on the internal/lint analyzer framework: each
+// category is the projection of one analyzer's findings (syntax/regexeq →
+// syntax error, unknownprop → hallucinated property, reldirection →
+// direction error), so every category comes with positioned, explainable
+// diagnostics via Analyze.
 package correction
 
 import (
-	"strings"
-
-	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/lint"
 	"github.com/graphrules/graphrules/internal/rules"
 )
 
@@ -51,35 +55,77 @@ func (c Category) String() string {
 // Categories lists all categories in report order.
 var Categories = []Category{Correct, DirectionError, HallucinatedProperty, SyntaxError}
 
+// QueryNames labels the three queries of a set in Report order.
+var QueryNames = [3]string{"support", "body", "head"}
+
+// Report is the full lint result for a generated query set: per-query
+// diagnostics plus the derived §4.4 category.
+type Report struct {
+	// Diags holds the diagnostics for the support, body and head-total
+	// queries, in QueryNames order.
+	Diags [3][]lint.Diagnostic
+	// Category is the §4.4 classification derived from the diagnostics.
+	Category Category
+}
+
+// All returns the diagnostics of the three queries concatenated.
+func (r Report) All() []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, ds := range r.Diags {
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// categoryAnalyzers maps analyzer names to the §4.4 category their findings
+// imply. Remaining analyzers (unknown labels, unused variables, perf lints,
+// ...) do not move a query set out of Correct: the paper's protocol only
+// recognizes these three error classes.
+var categoryAnalyzers = map[string]Category{
+	lint.SyntaxAnalyzer: SyntaxError,
+	"regexeq":           SyntaxError,
+	"unknownprop":       HallucinatedProperty,
+	"reldirection":      DirectionError,
+}
+
+// Analyze lints the three queries of a generated set against the schema and
+// derives the §4.4 category. Precedence follows the paper: syntax
+// (unparseable or mis-operatored output can't be trusted further), then
+// hallucinated property, then direction — applied across the whole set.
+func Analyze(qs rules.QuerySet, schema *graph.Schema) Report {
+	var rep Report
+	for i, src := range [3]string{qs.Support, qs.Body, qs.HeadTotal} {
+		rep.Diags[i] = lint.Source(src, schema, lint.Options{})
+	}
+	rep.Category = categorize(rep.Diags[:])
+	return rep
+}
+
+func categorize(perQuery [][]lint.Diagnostic) Category {
+	found := map[Category]bool{}
+	for _, diags := range perQuery {
+		for _, d := range diags {
+			if cat, ok := categoryAnalyzers[d.Analyzer]; ok {
+				found[cat] = true
+			}
+		}
+	}
+	switch {
+	case found[SyntaxError]:
+		return SyntaxError
+	case found[HallucinatedProperty]:
+		return HallucinatedProperty
+	case found[DirectionError]:
+		return DirectionError
+	default:
+		return Correct
+	}
+}
+
 // Classify determines the §4.4 category of a generated query set against
-// the graph schema. Precedence: syntax (unparseable output can't be checked
-// further), then hallucinated property, then direction.
+// the graph schema.
 func Classify(qs rules.QuerySet, schema *graph.Schema) Category {
-	queries := []string{qs.Support, qs.Body, qs.HeadTotal}
-	parsed := make([]*cypher.Query, 0, len(queries))
-	for _, src := range queries {
-		q, err := cypher.Parse(src)
-		if err != nil {
-			return SyntaxError
-		}
-		parsed = append(parsed, q)
-	}
-	for _, q := range parsed {
-		if regexAsEquality(q) {
-			return SyntaxError
-		}
-	}
-	for _, q := range parsed {
-		if hallucinatedProperty(q, schema) {
-			return HallucinatedProperty
-		}
-	}
-	for _, q := range parsed {
-		if directionError(q, schema) {
-			return DirectionError
-		}
-	}
-	return Correct
+	return Analyze(qs, schema).Category
 }
 
 // Fix applies the paper's correction protocol: syntax and direction errors
@@ -92,295 +138,5 @@ func Fix(qs rules.QuerySet, r rules.Rule, cat Category) (out rules.QuerySet, fix
 		return r.Queries(), true
 	default:
 		return qs, false
-	}
-}
-
-// regexAsEquality detects the paper's `=` for `=~` confusion: an equality
-// whose right side is a string literal that looks like a regular
-// expression.
-func regexAsEquality(q *cypher.Query) bool {
-	found := false
-	walkExprs(q, func(e cypher.Expr) {
-		b, ok := e.(*cypher.Binary)
-		if !ok || b.Op != cypher.OpEq {
-			return
-		}
-		lit, ok := b.R.(*cypher.Literal)
-		if !ok || lit.Value.Kind() != graph.KindString {
-			return
-		}
-		if looksLikeRegex(lit.Value.Str()) {
-			found = true
-		}
-	})
-	return found
-}
-
-func looksLikeRegex(s string) bool {
-	if strings.HasPrefix(s, "^") || strings.HasSuffix(s, "$") {
-		return true
-	}
-	for _, marker := range []string{"[a-z", "[A-Z", "[0-9", "\\d", "\\w", "+)", "{2,}", ".*", ".+"} {
-		if strings.Contains(s, marker) {
-			return true
-		}
-	}
-	return false
-}
-
-// hallucinatedProperty reports whether the query accesses a property that
-// the schema has never seen on the labels bound to the accessed variable.
-// Variables with no label constraints are skipped (any property could be
-// legitimate somewhere).
-func hallucinatedProperty(q *cypher.Query, schema *graph.Schema) bool {
-	nodeLabels, edgeTypes := bindingLabels(q)
-	found := false
-	walkExprs(q, func(e cypher.Expr) {
-		pa, ok := e.(*cypher.PropAccess)
-		if !ok {
-			return
-		}
-		v, ok := pa.Target.(*cypher.Variable)
-		if !ok {
-			return
-		}
-		if labels := nodeLabels[v.Name]; len(labels) > 0 {
-			for _, l := range labels {
-				if !schema.HasNodeProp(l, pa.Key) {
-					found = true
-				}
-			}
-		}
-		if types := edgeTypes[v.Name]; len(types) > 0 {
-			for _, t := range types {
-				if !schema.HasEdgeProp(t, pa.Key) {
-					found = true
-				}
-			}
-		}
-	})
-	return found
-}
-
-// directionError reports whether some directed single-type relationship in
-// the query contradicts the schema's dominant direction for that type.
-func directionError(q *cypher.Query, schema *graph.Schema) bool {
-	nodeLabels, _ := bindingLabels(q)
-	labelOf := func(np *cypher.NodePattern) string {
-		if len(np.Labels) > 0 {
-			return np.Labels[0]
-		}
-		if np.Var != "" {
-			if ls := nodeLabels[np.Var]; len(ls) > 0 {
-				return ls[0]
-			}
-		}
-		return ""
-	}
-	bad := false
-	forEachPattern(q, func(part *cypher.PatternPart) {
-		for i, rel := range part.Rels {
-			if rel.Direction == cypher.DirBoth || len(rel.Types) != 1 {
-				continue
-			}
-			es := schema.EdgeLabels[rel.Types[0]]
-			if es == nil {
-				continue
-			}
-			domFrom, domTo := es.DominantEndpoints()
-			if domFrom == "" || domFrom == domTo {
-				continue
-			}
-			left, right := labelOf(part.Nodes[i]), labelOf(part.Nodes[i+1])
-			var from, to string
-			if rel.Direction == cypher.DirOut {
-				from, to = left, right
-			} else {
-				from, to = right, left
-			}
-			// A direction error reads the relationship backwards: the
-			// pattern's source sits where the schema's target belongs.
-			if from == domTo && to == domFrom {
-				bad = true
-			}
-		}
-	})
-	return bad
-}
-
-// bindingLabels gathers label constraints per variable from patterns and
-// top-level AND-ed label predicates in WHERE clauses.
-func bindingLabels(q *cypher.Query) (nodeLabels, edgeTypes map[string][]string) {
-	nodeLabels = map[string][]string{}
-	edgeTypes = map[string][]string{}
-	forEachPattern(q, func(part *cypher.PatternPart) {
-		for _, n := range part.Nodes {
-			if n.Var != "" && len(n.Labels) > 0 {
-				nodeLabels[n.Var] = append(nodeLabels[n.Var], n.Labels...)
-			}
-		}
-		for _, r := range part.Rels {
-			if r.Var != "" && len(r.Types) == 1 {
-				edgeTypes[r.Var] = append(edgeTypes[r.Var], r.Types[0])
-			}
-		}
-	})
-	for _, cl := range q.Clauses {
-		var where cypher.Expr
-		switch c := cl.(type) {
-		case *cypher.MatchClause:
-			where = c.Where
-		case *cypher.WithClause:
-			where = c.Where
-		}
-		collectLabelPreds(where, nodeLabels)
-	}
-	return nodeLabels, edgeTypes
-}
-
-func collectLabelPreds(e cypher.Expr, into map[string][]string) {
-	switch x := e.(type) {
-	case nil:
-		return
-	case *cypher.Binary:
-		if x.Op == cypher.OpAnd {
-			collectLabelPreds(x.L, into)
-			collectLabelPreds(x.R, into)
-		}
-	case *cypher.HasLabels:
-		if v, ok := x.E.(*cypher.Variable); ok {
-			into[v.Name] = append(into[v.Name], x.Labels...)
-		}
-	}
-}
-
-// forEachPattern visits every pattern part in MATCH clauses and pattern
-// predicates.
-func forEachPattern(q *cypher.Query, fn func(*cypher.PatternPart)) {
-	var visitExpr func(e cypher.Expr)
-	visitExpr = func(e cypher.Expr) {
-		if pp, ok := e.(*cypher.PatternPred); ok {
-			fn(pp.Pattern)
-		}
-	}
-	for _, cl := range q.Clauses {
-		switch c := cl.(type) {
-		case *cypher.MatchClause:
-			for _, p := range c.Patterns {
-				fn(p)
-			}
-			walkExpr(c.Where, visitExpr)
-		case *cypher.WithClause:
-			walkExpr(c.Where, visitExpr)
-			for _, it := range c.Items {
-				walkExpr(it.Expr, visitExpr)
-			}
-		case *cypher.ReturnClause:
-			for _, it := range c.Items {
-				walkExpr(it.Expr, visitExpr)
-			}
-		}
-	}
-}
-
-// walkExprs visits every expression in the query.
-func walkExprs(q *cypher.Query, fn func(cypher.Expr)) {
-	for _, cl := range q.Clauses {
-		switch c := cl.(type) {
-		case *cypher.MatchClause:
-			walkExpr(c.Where, fn)
-			for _, p := range c.Patterns {
-				walkPatternExprs(p, fn)
-			}
-		case *cypher.WithClause:
-			walkExpr(c.Where, fn)
-			for _, it := range c.Items {
-				walkExpr(it.Expr, fn)
-			}
-			walkSort(c.Projection, fn)
-		case *cypher.ReturnClause:
-			for _, it := range c.Items {
-				walkExpr(it.Expr, fn)
-			}
-			walkSort(c.Projection, fn)
-		case *cypher.UnwindClause:
-			walkExpr(c.Expr, fn)
-		case *cypher.SetClause:
-			for _, it := range c.Items {
-				walkExpr(it.Value, fn)
-			}
-		case *cypher.DeleteClause:
-			for _, e := range c.Exprs {
-				walkExpr(e, fn)
-			}
-		case *cypher.CreateClause:
-			for _, p := range c.Patterns {
-				walkPatternExprs(p, fn)
-			}
-		}
-	}
-}
-
-func walkSort(p cypher.Projection, fn func(cypher.Expr)) {
-	for _, s := range p.OrderBy {
-		walkExpr(s.Expr, fn)
-	}
-	walkExpr(p.Skip, fn)
-	walkExpr(p.Limit, fn)
-}
-
-func walkPatternExprs(part *cypher.PatternPart, fn func(cypher.Expr)) {
-	for _, n := range part.Nodes {
-		for _, e := range n.Props {
-			walkExpr(e, fn)
-		}
-	}
-	for _, r := range part.Rels {
-		for _, e := range r.Props {
-			walkExpr(e, fn)
-		}
-	}
-}
-
-// walkExpr visits e and all sub-expressions.
-func walkExpr(e cypher.Expr, fn func(cypher.Expr)) {
-	if e == nil {
-		return
-	}
-	fn(e)
-	switch x := e.(type) {
-	case *cypher.Binary:
-		walkExpr(x.L, fn)
-		walkExpr(x.R, fn)
-	case *cypher.Not:
-		walkExpr(x.E, fn)
-	case *cypher.Neg:
-		walkExpr(x.E, fn)
-	case *cypher.IsNull:
-		walkExpr(x.E, fn)
-	case *cypher.HasLabels:
-		walkExpr(x.E, fn)
-	case *cypher.PropAccess:
-		walkExpr(x.Target, fn)
-	case *cypher.Index:
-		walkExpr(x.Target, fn)
-		walkExpr(x.Sub, fn)
-	case *cypher.FuncCall:
-		for _, a := range x.Args {
-			walkExpr(a, fn)
-		}
-	case *cypher.ListLit:
-		for _, el := range x.Elems {
-			walkExpr(el, fn)
-		}
-	case *cypher.CaseExpr:
-		walkExpr(x.Operand, fn)
-		for i := range x.Whens {
-			walkExpr(x.Whens[i], fn)
-			walkExpr(x.Thens[i], fn)
-		}
-		walkExpr(x.Else, fn)
-	case *cypher.PatternPred:
-		walkPatternExprs(x.Pattern, fn)
 	}
 }

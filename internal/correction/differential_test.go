@@ -1,0 +1,71 @@
+package correction_test
+
+// Differential test: the lint-backed classifier must agree with the
+// preserved pre-lint implementation (legacy_test.go) on every query set the
+// seeded pipeline generates, across all three datasets, both models, both
+// methods and both prompting modes. The lint framework may surface extra
+// diagnostics, but the derived §4.4 category is the paper-facing contract.
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/correction"
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/llm"
+	"github.com/graphrules/graphrules/internal/mining"
+	"github.com/graphrules/graphrules/internal/prompt"
+)
+
+func TestLintClassifierAgreesWithLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid differential test")
+	}
+	for _, name := range datasets.Names() {
+		t.Run(name, func(t *testing.T) {
+			gen, err := datasets.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := gen(datasets.DefaultOptions())
+			schema := graph.ExtractSchema(g)
+			sets := 0
+			for _, profile := range llm.Profiles() {
+				model := llm.NewSim(profile, 1)
+				for _, method := range mining.Methods {
+					for _, mode := range prompt.Modes {
+						res, err := mining.Mine(g, mining.Config{
+							Model: model, Method: method, Mode: mode,
+							ScoreWorkers: runtime.GOMAXPROCS(0),
+						})
+						if err != nil {
+							t.Fatalf("%s/%s/%s: %v", profile.Name, method, mode, err)
+						}
+						for _, mr := range res.Rules {
+							if mr.Generated.Support == "" {
+								continue // translation failed; nothing classified
+							}
+							sets++
+							got := correction.Classify(mr.Generated, schema)
+							want := correction.LegacyClassify(mr.Generated, schema)
+							if got != want {
+								t.Errorf("%s/%s/%s rule %q:\nlint classifier: %v\nlegacy classifier: %v\nsupport: %s\nbody: %s\nhead: %s",
+									profile.Name, method, mode, mr.NL, got, want,
+									mr.Generated.Support, mr.Generated.Body, mr.Generated.HeadTotal)
+							}
+							if got != mr.Category {
+								t.Errorf("%s/%s/%s rule %q: pipeline recorded %v, reclassify says %v",
+									profile.Name, method, mode, mr.NL, mr.Category, got)
+							}
+						}
+					}
+				}
+			}
+			if sets == 0 {
+				t.Fatal("no generated query sets classified")
+			}
+			t.Logf("%s: %d query sets agree", name, sets)
+		})
+	}
+}

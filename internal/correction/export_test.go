@@ -1,0 +1,5 @@
+package correction
+
+// LegacyClassify exposes the preserved pre-lint classifier to the external
+// differential test (differential_test.go, package correction_test).
+var LegacyClassify = legacyClassify

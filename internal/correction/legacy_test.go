@@ -1,0 +1,190 @@
+package correction
+
+// This file preserves the pre-lint §4.4 classifier verbatim as a test
+// oracle: TestLintClassifierAgreesWithLegacy (classify_test.go) runs both
+// implementations over the seeded LLM outputs for all three datasets and
+// requires identical categories. The lint-based classifier may flag more in
+// its *diagnostics* (unknown labels, unused variables, ...), but the derived
+// category must not move.
+
+import (
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+func legacyClassify(qs rules.QuerySet, schema *graph.Schema) Category {
+	queries := []string{qs.Support, qs.Body, qs.HeadTotal}
+	parsed := make([]*cypher.Query, 0, len(queries))
+	for _, src := range queries {
+		q, err := cypher.Parse(src)
+		if err != nil {
+			return SyntaxError
+		}
+		parsed = append(parsed, q)
+	}
+	for _, q := range parsed {
+		if legacyRegexAsEquality(q) {
+			return SyntaxError
+		}
+	}
+	for _, q := range parsed {
+		if legacyHallucinatedProperty(q, schema) {
+			return HallucinatedProperty
+		}
+	}
+	for _, q := range parsed {
+		if legacyDirectionError(q, schema) {
+			return DirectionError
+		}
+	}
+	return Correct
+}
+
+func legacyRegexAsEquality(q *cypher.Query) bool {
+	found := false
+	cypher.WalkExprs(q, func(e cypher.Expr) {
+		b, ok := e.(*cypher.Binary)
+		if !ok || b.Op != cypher.OpEq {
+			return
+		}
+		lit, ok := b.R.(*cypher.Literal)
+		if !ok || lit.Value.Kind() != graph.KindString {
+			return
+		}
+		if legacyLooksLikeRegex(lit.Value.Str()) {
+			found = true
+		}
+	})
+	return found
+}
+
+func legacyLooksLikeRegex(s string) bool {
+	if strings.HasPrefix(s, "^") || strings.HasSuffix(s, "$") {
+		return true
+	}
+	for _, marker := range []string{"[a-z", "[A-Z", "[0-9", "\\d", "\\w", "+)", "{2,}", ".*", ".+"} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func legacyHallucinatedProperty(q *cypher.Query, schema *graph.Schema) bool {
+	nodeLabels, edgeTypes := legacyBindingLabels(q)
+	found := false
+	cypher.WalkExprs(q, func(e cypher.Expr) {
+		pa, ok := e.(*cypher.PropAccess)
+		if !ok {
+			return
+		}
+		v, ok := pa.Target.(*cypher.Variable)
+		if !ok {
+			return
+		}
+		if labels := nodeLabels[v.Name]; len(labels) > 0 {
+			for _, l := range labels {
+				if !schema.HasNodeProp(l, pa.Key) {
+					found = true
+				}
+			}
+		}
+		if types := edgeTypes[v.Name]; len(types) > 0 {
+			for _, t := range types {
+				if !schema.HasEdgeProp(t, pa.Key) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+func legacyDirectionError(q *cypher.Query, schema *graph.Schema) bool {
+	nodeLabels, _ := legacyBindingLabels(q)
+	labelOf := func(np *cypher.NodePattern) string {
+		if len(np.Labels) > 0 {
+			return np.Labels[0]
+		}
+		if np.Var != "" {
+			if ls := nodeLabels[np.Var]; len(ls) > 0 {
+				return ls[0]
+			}
+		}
+		return ""
+	}
+	bad := false
+	cypher.ForEachPattern(q, func(part *cypher.PatternPart) {
+		for i, rel := range part.Rels {
+			if rel.Direction == cypher.DirBoth || len(rel.Types) != 1 {
+				continue
+			}
+			es := schema.EdgeLabels[rel.Types[0]]
+			if es == nil {
+				continue
+			}
+			domFrom, domTo := es.DominantEndpoints()
+			if domFrom == "" || domFrom == domTo {
+				continue
+			}
+			left, right := labelOf(part.Nodes[i]), labelOf(part.Nodes[i+1])
+			var from, to string
+			if rel.Direction == cypher.DirOut {
+				from, to = left, right
+			} else {
+				from, to = right, left
+			}
+			if from == domTo && to == domFrom {
+				bad = true
+			}
+		}
+	})
+	return bad
+}
+
+func legacyBindingLabels(q *cypher.Query) (nodeLabels, edgeTypes map[string][]string) {
+	nodeLabels = map[string][]string{}
+	edgeTypes = map[string][]string{}
+	cypher.ForEachPattern(q, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			if n.Var != "" && len(n.Labels) > 0 {
+				nodeLabels[n.Var] = append(nodeLabels[n.Var], n.Labels...)
+			}
+		}
+		for _, r := range part.Rels {
+			if r.Var != "" && len(r.Types) == 1 {
+				edgeTypes[r.Var] = append(edgeTypes[r.Var], r.Types[0])
+			}
+		}
+	})
+	for _, cl := range q.Clauses {
+		var where cypher.Expr
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			where = c.Where
+		case *cypher.WithClause:
+			where = c.Where
+		}
+		legacyCollectLabelPreds(where, nodeLabels)
+	}
+	return nodeLabels, edgeTypes
+}
+
+func legacyCollectLabelPreds(e cypher.Expr, into map[string][]string) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *cypher.Binary:
+		if x.Op == cypher.OpAnd {
+			legacyCollectLabelPreds(x.L, into)
+			legacyCollectLabelPreds(x.R, into)
+		}
+	case *cypher.HasLabels:
+		if v, ok := x.E.(*cypher.Variable); ok {
+			into[v.Name] = append(into[v.Name], x.Labels...)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type NodePattern struct {
 	Var    string
 	Labels []string
 	Props  map[string]Expr
+
+	// Span covers '(' through ')'; LabelSpans[i] covers Labels[i]'s name
+	// token. Both are zero for programmatically built patterns.
+	Span       Span
+	LabelSpans []Span
 }
 
 func (n *NodePattern) String() string {
@@ -87,6 +92,11 @@ type RelPattern struct {
 	Direction Direction
 	MinHops   int
 	MaxHops   int
+
+	// Span covers the whole relationship element including its arrowheads
+	// ('<-[...]-' / '-[...]->'); TypeSpans[i] covers Types[i]'s name token.
+	Span      Span
+	TypeSpans []Span
 }
 
 // IsVarLength reports whether the pattern is a variable-length relationship.
@@ -149,6 +159,15 @@ func propsString(props map[string]Expr) string {
 type PatternPart struct {
 	Nodes []*NodePattern // len = len(Rels)+1
 	Rels  []*RelPattern
+}
+
+// SourceSpan returns the byte span of the whole part in the query source
+// (zero when the part was built programmatically).
+func (p *PatternPart) SourceSpan() Span {
+	if len(p.Nodes) == 0 || p.Nodes[0].Span.IsZero() {
+		return Span{}
+	}
+	return Span{Start: p.Nodes[0].Span.Start, End: p.Nodes[len(p.Nodes)-1].Span.End}
 }
 
 func (p *PatternPart) String() string {
@@ -374,9 +393,11 @@ func (l *Literal) exprString() string {
 	return l.Value.String()
 }
 
-// Variable references a bound name.
+// Variable references a bound name. Span covers the name token (zero when
+// built programmatically).
 type Variable struct {
 	Name string
+	Span Span
 }
 
 func (v *Variable) exprString() string { return quoteIdent(v.Name) }
@@ -388,10 +409,12 @@ type Parameter struct {
 
 func (p *Parameter) exprString() string { return "$" + p.Name }
 
-// PropAccess is expr.key.
+// PropAccess is expr.key. KeySpan covers the key token (zero when built
+// programmatically).
 type PropAccess struct {
-	Target Expr
-	Key    string
+	Target  Expr
+	Key     string
+	KeySpan Span
 }
 
 func (p *PropAccess) exprString() string { return p.Target.exprString() + "." + quoteIdent(p.Key) }
@@ -428,10 +451,13 @@ var binOpText = map[BinaryOp]string{
 	OpStartsWith: "STARTS WITH", OpEndsWith: "ENDS WITH", OpContains: "CONTAINS",
 }
 
-// Binary is L op R.
+// Binary is L op R. OpSpan covers the operator token (the first keyword for
+// multi-word operators such as STARTS WITH); zero when built
+// programmatically.
 type Binary struct {
-	Op   BinaryOp
-	L, R Expr
+	Op     BinaryOp
+	L, R   Expr
+	OpSpan Span
 }
 
 func (b *Binary) exprString() string {
@@ -479,12 +505,14 @@ func (h *HasLabels) exprString() string {
 	return h.E.exprString() + ":" + strings.Join(quoted, ":")
 }
 
-// FuncCall invokes a built-in function; Star marks count(*).
+// FuncCall invokes a built-in function; Star marks count(*). NameSpan
+// covers the function-name token (zero when built programmatically).
 type FuncCall struct {
 	Name     string // lowercase
 	Distinct bool
 	Star     bool
 	Args     []Expr
+	NameSpan Span
 }
 
 func (f *FuncCall) exprString() string {
@@ -615,3 +643,7 @@ var aggregateFuncs = map[string]bool{
 	"count": true, "collect": true, "sum": true, "avg": true,
 	"min": true, "max": true,
 }
+
+// IsAggregateFunc reports whether name (lowercase) is a built-in aggregate
+// function.
+func IsAggregateFunc(name string) bool { return aggregateFuncs[name] }

@@ -33,6 +33,9 @@ func Lex(src string) ([]Token, error) {
 		if err != nil {
 			return nil, err
 		}
+		// next() leaves the cursor exactly one past the token's last source
+		// byte (leading space/comments are skipped before Pos is recorded).
+		tok.End = lx.pos
 		toks = append(toks, tok)
 		if tok.Type == TokEOF {
 			return toks, nil

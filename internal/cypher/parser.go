@@ -51,6 +51,14 @@ func (p *parser) accept(tt TokenType) bool {
 	return false
 }
 
+// acceptTok is accept returning the consumed token (for span capture).
+func (p *parser) acceptTok(tt TokenType) (Token, bool) {
+	if p.peek().Type == tt {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
 func (p *parser) acceptKeyword(kw string) bool {
 	if t := p.peek(); t.Type == TokKeyword && t.Text == kw {
 		p.next()
@@ -193,7 +201,8 @@ func (p *parser) parsePattern() (*PatternPart, error) {
 }
 
 func (p *parser) parseNodePattern() (*NodePattern, error) {
-	if _, err := p.expect(TokLParen, "'(' opening a node pattern"); err != nil {
+	lparen, err := p.expect(TokLParen, "'(' opening a node pattern")
+	if err != nil {
 		return nil, err
 	}
 	n := &NodePattern{}
@@ -207,7 +216,8 @@ func (p *parser) parseNodePattern() (*NodePattern, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.Labels = append(n.Labels, lbl)
+		n.Labels = append(n.Labels, lbl.Name())
+		n.LabelSpans = append(n.LabelSpans, lbl.Span())
 	}
 	if p.peek().Type == TokLBrace {
 		props, err := p.parseMapLiteral()
@@ -216,25 +226,29 @@ func (p *parser) parseNodePattern() (*NodePattern, error) {
 		}
 		n.Props = props
 	}
-	if _, err := p.expect(TokRParen, "')' closing a node pattern"); err != nil {
+	rparen, err := p.expect(TokRParen, "')' closing a node pattern")
+	if err != nil {
 		return nil, err
 	}
+	n.Span = Span{Start: lparen.Pos, End: rparen.End}
 	return n, nil
 }
 
 // parseLabelName accepts identifiers and (to be forgiving about LLM output)
-// keywords used as labels.
-func (p *parser) parseLabelName() (string, error) {
+// keywords used as labels, returning the consumed token so callers can
+// record both the name and its span.
+func (p *parser) parseLabelName() (Token, error) {
 	t := p.peek()
 	if t.Type == TokIdent || t.Type == TokKeyword {
 		p.next()
-		return t.Name(), nil
+		return t, nil
 	}
-	return "", p.errf("expected a label name, found %s", t)
+	return Token{}, p.errf("expected a label name, found %s", t)
 }
 
 func (p *parser) parseRelPattern() (*RelPattern, error) {
 	r := &RelPattern{MinHops: 1, MaxHops: 1}
+	start := p.peek().Pos
 	if p.accept(TokLt) {
 		r.Direction = DirIn
 	}
@@ -252,7 +266,8 @@ func (p *parser) parseRelPattern() (*RelPattern, error) {
 				if err != nil {
 					return nil, err
 				}
-				r.Types = append(r.Types, typ)
+				r.Types = append(r.Types, typ.Name())
+				r.TypeSpans = append(r.TypeSpans, typ.Span())
 				if p.accept(TokPipe) {
 					p.accept(TokColon) // tolerate :A|:B and :A|B
 					continue
@@ -293,15 +308,19 @@ func (p *parser) parseRelPattern() (*RelPattern, error) {
 			return nil, err
 		}
 	}
-	if _, err := p.expect(TokMinus, "'-' in a relationship pattern"); err != nil {
+	dash, err := p.expect(TokMinus, "'-' in a relationship pattern")
+	if err != nil {
 		return nil, err
 	}
-	if p.accept(TokGt) {
+	end := dash.End
+	if gt, ok := p.acceptTok(TokGt); ok {
 		if r.Direction == DirIn {
 			return nil, p.errf("relationship cannot point both ways")
 		}
 		r.Direction = DirOut
+		end = gt.End
 	}
+	r.Span = Span{Start: start, End: end}
 	return r, nil
 }
 
@@ -518,7 +537,7 @@ func (p *parser) parseSet() (*SetClause, error) {
 				if err != nil {
 					return nil, err
 				}
-				item.Labels = append(item.Labels, lbl)
+				item.Labels = append(item.Labels, lbl.Name())
 			}
 		default:
 			return nil, p.errf("expected '.' or ':' in SET item, found %s", p.peek())
@@ -630,7 +649,7 @@ func (p *parser) parseComparison() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &Binary{Op: op, L: l, R: r}
+			l = &Binary{Op: op, L: l, R: r, OpSpan: t.Span()}
 			continue
 		}
 		if t.Type == TokKeyword {
@@ -641,7 +660,7 @@ func (p *parser) parseComparison() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				l = &Binary{Op: OpIn, L: l, R: r}
+				l = &Binary{Op: OpIn, L: l, R: r, OpSpan: t.Span()}
 				continue
 			case "STARTS":
 				p.next()
@@ -652,7 +671,7 @@ func (p *parser) parseComparison() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				l = &Binary{Op: OpStartsWith, L: l, R: r}
+				l = &Binary{Op: OpStartsWith, L: l, R: r, OpSpan: t.Span()}
 				continue
 			case "ENDS":
 				p.next()
@@ -663,7 +682,7 @@ func (p *parser) parseComparison() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				l = &Binary{Op: OpEndsWith, L: l, R: r}
+				l = &Binary{Op: OpEndsWith, L: l, R: r, OpSpan: t.Span()}
 				continue
 			case "CONTAINS":
 				p.next()
@@ -671,7 +690,7 @@ func (p *parser) parseComparison() (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				l = &Binary{Op: OpContains, L: l, R: r}
+				l = &Binary{Op: OpContains, L: l, R: r, OpSpan: t.Span()}
 				continue
 			case "IS":
 				p.next()
@@ -778,7 +797,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, p.errf("expected property key after '.', found %s", t)
 			}
 			p.next()
-			e = &PropAccess{Target: e, Key: t.Name()}
+			e = &PropAccess{Target: e, Key: t.Name(), KeySpan: t.Span()}
 		case TokLBracket:
 			p.next()
 			sub, err := p.parseExpr()
@@ -909,7 +928,7 @@ func (p *parser) parseAtom() (Expr, error) {
 			return p.parseFuncCall()
 		}
 		p.next()
-		return &Variable{Name: t.Text}, nil
+		return &Variable{Name: t.Text, Span: t.Span()}, nil
 	}
 	return nil, p.errf("unexpected token %s in expression", t)
 }
@@ -966,7 +985,7 @@ func (p *parser) parseFuncCall() (Expr, error) {
 	if _, err := p.expect(TokLParen, "'('"); err != nil {
 		return nil, err
 	}
-	fc := &FuncCall{Name: name}
+	fc := &FuncCall{Name: name, NameSpan: nameTok.Span()}
 	if name == "exists" {
 		// exists(pattern) or exists(expr); the '(' is already consumed.
 		if e, ok := p.tryParsePatternPred(); ok {

@@ -46,13 +46,29 @@ const (
 	TokPercent // %
 )
 
-// Token is one lexical token with its source position (byte offset).
+// Token is one lexical token with its source position: Pos is the byte
+// offset of its first source byte and End the offset one past its last
+// (so src[Pos:End] is the original spelling, including any quotes).
 type Token struct {
 	Type TokenType
 	Text string // identifier/keyword text (keywords uppercased), literal text
 	Orig string // original source spelling for keywords (e.g. "Match")
 	Pos  int
+	End  int
 }
+
+// Span returns the token's source span.
+func (t Token) Span() Span { return Span{Start: t.Pos, End: t.End} }
+
+// Span is a half-open [Start, End) byte-offset range in the query source.
+// The zero Span marks an AST node built programmatically rather than parsed.
+type Span struct {
+	Start int
+	End   int
+}
+
+// IsZero reports whether the span carries no position information.
+func (s Span) IsZero() bool { return s.Start == 0 && s.End == 0 }
 
 // Name returns the token's original spelling when it is used as a name
 // (label, property key, alias) rather than as a keyword.

@@ -1,0 +1,212 @@
+package cypher
+
+import "sort"
+
+// This file exports read-only AST traversal helpers shared by the lint and
+// correction layers. The walkers visit expressions in source order within
+// each clause and never mutate the tree.
+
+// WalkExpr visits e and every sub-expression, calling fn on each node
+// (pre-order). A nil expression is a no-op.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Not:
+		WalkExpr(x.E, fn)
+	case *Neg:
+		WalkExpr(x.E, fn)
+	case *IsNull:
+		WalkExpr(x.E, fn)
+	case *HasLabels:
+		WalkExpr(x.E, fn)
+	case *PropAccess:
+		WalkExpr(x.Target, fn)
+	case *Index:
+		WalkExpr(x.Target, fn)
+		WalkExpr(x.Sub, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *ListLit:
+		for _, el := range x.Elems {
+			WalkExpr(el, fn)
+		}
+	case *CaseExpr:
+		WalkExpr(x.Operand, fn)
+		for i := range x.Whens {
+			WalkExpr(x.Whens[i], fn)
+			WalkExpr(x.Thens[i], fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *PatternPred:
+		WalkPatternExprs(x.Pattern, fn)
+	}
+}
+
+// WalkPatternExprs visits every expression nested in a pattern part's inline
+// property maps.
+func WalkPatternExprs(part *PatternPart, fn func(Expr)) {
+	for _, n := range part.Nodes {
+		for _, e := range n.Props {
+			WalkExpr(e, fn)
+		}
+	}
+	for _, r := range part.Rels {
+		for _, e := range r.Props {
+			WalkExpr(e, fn)
+		}
+	}
+}
+
+// WalkExprs visits every expression in every clause of the query.
+func WalkExprs(q *Query, fn func(Expr)) {
+	forEachClauseExpr(q, func(e Expr, _ Clause) { WalkExpr(e, fn) })
+}
+
+// forEachClauseExpr calls fn on each top-level expression of each clause
+// (WHERE conditions, projection items, ORDER BY keys, SKIP/LIMIT, UNWIND
+// sources, SET values, DELETE targets, and pattern property maps).
+func forEachClauseExpr(q *Query, fn func(Expr, Clause)) {
+	visitPattern := func(part *PatternPart, cl Clause) {
+		for _, n := range part.Nodes {
+			for _, e := range n.Props {
+				fn(e, cl)
+			}
+		}
+		for _, r := range part.Rels {
+			for _, e := range r.Props {
+				fn(e, cl)
+			}
+		}
+	}
+	visitProj := func(p Projection, cl Clause) {
+		for _, it := range p.Items {
+			fn(it.Expr, cl)
+		}
+		for _, s := range p.OrderBy {
+			fn(s.Expr, cl)
+		}
+		if p.Skip != nil {
+			fn(p.Skip, cl)
+		}
+		if p.Limit != nil {
+			fn(p.Limit, cl)
+		}
+	}
+	for _, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *MatchClause:
+			for _, p := range c.Patterns {
+				visitPattern(p, cl)
+			}
+			if c.Where != nil {
+				fn(c.Where, cl)
+			}
+		case *WithClause:
+			visitProj(c.Projection, cl)
+			if c.Where != nil {
+				fn(c.Where, cl)
+			}
+		case *ReturnClause:
+			visitProj(c.Projection, cl)
+		case *UnwindClause:
+			fn(c.Expr, cl)
+		case *CreateClause:
+			for _, p := range c.Patterns {
+				visitPattern(p, cl)
+			}
+		case *SetClause:
+			for _, it := range c.Items {
+				if it.Value != nil {
+					fn(it.Value, cl)
+				}
+			}
+		case *DeleteClause:
+			for _, e := range c.Exprs {
+				fn(e, cl)
+			}
+		}
+	}
+}
+
+// ForEachPattern visits every pattern part in the query: MATCH and CREATE
+// patterns plus pattern predicates nested anywhere in expressions.
+func ForEachPattern(q *Query, fn func(*PatternPart)) {
+	visitExpr := func(e Expr) {
+		if pp, ok := e.(*PatternPred); ok {
+			fn(pp.Pattern)
+		}
+	}
+	for _, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *MatchClause:
+			for _, p := range c.Patterns {
+				fn(p)
+			}
+		case *CreateClause:
+			for _, p := range c.Patterns {
+				fn(p)
+			}
+		}
+	}
+	WalkExprs(q, visitExpr)
+}
+
+// builtinFuncs lists the non-aggregate built-in functions evalFunc
+// dispatches (lowercase). Keep in sync with functions.go.
+var builtinFuncs = map[string]bool{
+	"id": true, "labels": true, "type": true, "keys": true,
+	"startnode": true, "endnode": true, "exists": true,
+	"size": true, "length": true, "head": true, "last": true,
+	"tostring": true, "tointeger": true, "toint": true, "tofloat": true,
+	"toboolean": true, "tolower": true, "toupper": true, "trim": true,
+	"substring": true, "split": true, "abs": true, "coalesce": true,
+	"range": true,
+}
+
+// KnownFunction reports whether name (case-insensitive) is a built-in
+// function — aggregate or scalar — the executor can evaluate.
+func KnownFunction(name string) bool {
+	l := lower(name)
+	return builtinFuncs[l] || aggregateFuncs[l]
+}
+
+// BuiltinFunctionNames returns the sorted names of every built-in function,
+// scalar and aggregate.
+func BuiltinFunctionNames() []string {
+	out := make([]string, 0, len(builtinFuncs)+len(aggregateFuncs))
+	for n := range builtinFuncs {
+		out = append(out, n)
+	}
+	for n := range aggregateFuncs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			return lowerSlow(s)
+		}
+	}
+	return s
+}
+
+func lowerSlow(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "cartesian",
+		Doc:      "MATCH with disconnected pattern parts builds a cartesian product",
+		Severity: Warning,
+		Run:      runCartesian,
+	})
+	Register(&Analyzer{
+		Name:     "indexseek",
+		Doc:      "equality predicate written where the planner cannot use the label+property index (inline pattern properties are index-eligible, WHERE equalities are not)",
+		Severity: Info,
+		Run:      runIndexSeek,
+	})
+}
+
+// runCartesian warns when one MATCH clause contains pattern parts that share
+// no variables — neither with each other nor with anything bound earlier —
+// so the executor must enumerate their cross product.
+func runCartesian(p *Pass) {
+	bound := map[string]bool{}
+	for _, cl := range p.Query.Clauses {
+		m, ok := cl.(*cypher.MatchClause)
+		if !ok {
+			// Conservatively mark everything any other clause binds.
+			switch c := cl.(type) {
+			case *cypher.CreateClause:
+				for _, part := range c.Patterns {
+					addPatternVars(part, bound)
+				}
+			case *cypher.UnwindClause:
+				bound[c.Alias] = true
+			case *cypher.WithClause:
+				for _, it := range c.Items {
+					bound[it.Name()] = true
+				}
+			}
+			continue
+		}
+		if len(m.Patterns) > 1 {
+			// Union-find over the parts; parts touching any previously
+			// bound variable share the "anchored" component 0..n-1 ∪ {n}.
+			n := len(m.Patterns)
+			parent := make([]int, n+1)
+			for i := range parent {
+				parent[i] = i
+			}
+			var find func(int) int
+			find = func(x int) int {
+				for parent[x] != x {
+					parent[x] = parent[parent[x]]
+					x = parent[x]
+				}
+				return x
+			}
+			union := func(a, b int) { parent[find(a)] = find(b) }
+			varParts := map[string]int{}
+			for i, part := range m.Patterns {
+				vars := map[string]bool{}
+				addPatternVars(part, vars)
+				for v := range vars {
+					if bound[v] {
+						union(i, n) // anchored to the outer scope
+					}
+					if j, seen := varParts[v]; seen {
+						union(i, j)
+					} else {
+						varParts[v] = i
+					}
+				}
+			}
+			first := find(0)
+			for i := 1; i < n; i++ {
+				if find(i) != first {
+					p.Reportf(m.Patterns[i].SourceSpan(),
+						"pattern shares no variables with the preceding patterns; this MATCH builds a cartesian product")
+					// Merge so one disconnected clause reports once per
+					// extra component, not once per part.
+					union(i, 0)
+					first = find(0)
+				}
+			}
+		}
+		for _, part := range m.Patterns {
+			addPatternVars(part, bound)
+		}
+	}
+}
+
+// runIndexSeek flags WHERE equality predicates the cost-based planner cannot
+// turn into LabelPropNodes index seeks: anchors are only seeded from labeled
+// node patterns with inline literal properties (see cypher/plan.go), so
+// `MATCH (v:L) WHERE v.key = lit` scans all :L nodes.
+func runIndexSeek(p *Pass) {
+	for _, cl := range p.Query.Clauses {
+		m, ok := cl.(*cypher.MatchClause)
+		if !ok || m.Where == nil {
+			continue
+		}
+		// Node variables bound by this clause, with their label counts.
+		labeled := map[string]*cypher.NodePattern{}
+		for _, part := range m.Patterns {
+			for _, n := range part.Nodes {
+				if n.Var != "" {
+					labeled[n.Var] = n
+				}
+			}
+		}
+		var cs []cypher.Expr
+		conjuncts(m.Where, &cs)
+		for _, c := range cs {
+			b, ok := c.(*cypher.Binary)
+			if !ok || b.Op != cypher.OpEq {
+				continue
+			}
+			v, key, lit, _, ok := propAndLiteral(b)
+			if !ok || lit.Value.IsNull() {
+				continue
+			}
+			np, isNodeVar := labeled[v.Name]
+			if !isNodeVar {
+				continue
+			}
+			if len(np.Labels) == 0 {
+				p.Reportf(b.OpSpan,
+					"equality on %s.%s cannot use an index: the pattern binds `%s` without a label",
+					v.Name, key, v.Name)
+				continue
+			}
+			p.Reportf(b.OpSpan,
+				"equality on %s.%s in WHERE is not index-eligible; write it inline as (%s:%s {%s: %s}) to enable an index seek",
+				v.Name, key, v.Name, np.Labels[0], key, lit.Value)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+// The schema-aware analyzers check the query against the extracted graph
+// schema. They all no-op when the pass has no schema.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "unknownlabel",
+		Doc:      "node label not present in the graph schema",
+		Severity: Error,
+		Run:      runUnknownLabel,
+	})
+	Register(&Analyzer{
+		Name:     "unknownreltype",
+		Doc:      "relationship type not present in the graph schema",
+		Severity: Error,
+		Run:      runUnknownRelType,
+	})
+	Register(&Analyzer{
+		Name:     "unknownprop",
+		Doc:      "property key never observed on the variable's bound labels (the paper's hallucinated-property category)",
+		Severity: Error,
+		Run:      runUnknownProp,
+	})
+	Register(&Analyzer{
+		Name:     "reldirection",
+		Doc:      "directed relationship contradicts the schema's dominant direction for its type (the paper's direction-error category)",
+		Severity: Error,
+		Run:      runRelDirection,
+	})
+}
+
+func runUnknownLabel(p *Pass) {
+	if p.Schema == nil {
+		return
+	}
+	known := p.Schema.NodeLabelNames()
+	report := func(label string, span cypher.Span) {
+		msg := fmt.Sprintf("unknown node label :%s", label)
+		var fix *SuggestedFix
+		if s := didYouMean(label, known); s != "" {
+			msg += fmt.Sprintf(" (did you mean :%s?)", s)
+			if !span.IsZero() && p.Src != "" {
+				fix = &SuggestedFix{
+					Message: fmt.Sprintf("replace with :%s", s),
+					Edits:   []TextEdit{{Span: span, NewText: s}},
+				}
+			}
+		}
+		p.ReportFix(span, msg, fix)
+	}
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			for i, l := range n.Labels {
+				if p.Schema.NodeLabels[l] == nil {
+					span := n.Span
+					if i < len(n.LabelSpans) {
+						span = n.LabelSpans[i]
+					}
+					report(l, span)
+				}
+			}
+		}
+	})
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		hl, ok := e.(*cypher.HasLabels)
+		if !ok {
+			return
+		}
+		span := cypher.Span{}
+		if v, okv := hl.E.(*cypher.Variable); okv {
+			span = v.Span
+		}
+		for _, l := range hl.Labels {
+			if p.Schema.NodeLabels[l] == nil {
+				msg := fmt.Sprintf("unknown node label :%s", l)
+				if s := didYouMean(l, known); s != "" {
+					msg += fmt.Sprintf(" (did you mean :%s?)", s)
+				}
+				p.Report(span, msg)
+			}
+		}
+	})
+}
+
+func runUnknownRelType(p *Pass) {
+	if p.Schema == nil {
+		return
+	}
+	known := p.Schema.EdgeLabelNames()
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for _, r := range part.Rels {
+			for i, t := range r.Types {
+				if p.Schema.EdgeLabels[t] != nil {
+					continue
+				}
+				span := r.Span
+				if i < len(r.TypeSpans) {
+					span = r.TypeSpans[i]
+				}
+				msg := fmt.Sprintf("unknown relationship type :%s", t)
+				var fix *SuggestedFix
+				if s := didYouMean(t, known); s != "" {
+					msg += fmt.Sprintf(" (did you mean :%s?)", s)
+					if !span.IsZero() && p.Src != "" {
+						fix = &SuggestedFix{
+							Message: fmt.Sprintf("replace with :%s", s),
+							Edits:   []TextEdit{{Span: span, NewText: s}},
+						}
+					}
+				}
+				p.ReportFix(span, msg, fix)
+			}
+		}
+	})
+}
+
+func runUnknownProp(p *Pass) {
+	if p.Schema == nil {
+		return
+	}
+	sc := p.scopes()
+
+	// knownKeysFor unions the property keys the schema has seen on the
+	// given labels, for suggestions (lookup uses the selector so node and
+	// edge namespaces stay separate).
+	knownNodeKeys := func(labels []string) []string {
+		set := map[string]bool{}
+		for _, l := range labels {
+			if ls := p.Schema.NodeLabels[l]; ls != nil {
+				for k := range ls.Props {
+					set[k] = true
+				}
+			}
+		}
+		return sortedKeys(set)
+	}
+	knownEdgeKeys := func(types []string) []string {
+		set := map[string]bool{}
+		for _, t := range types {
+			if es := p.Schema.EdgeLabels[t]; es != nil {
+				for k := range es.Props {
+					set[k] = true
+				}
+			}
+		}
+		return sortedKeys(set)
+	}
+
+	report := func(span cypher.Span, key, owner string, candidates []string) {
+		msg := fmt.Sprintf("property %q never observed on %s", key, owner)
+		var fix *SuggestedFix
+		if s := didYouMean(key, candidates); s != "" {
+			msg += fmt.Sprintf(" (did you mean %q?)", s)
+			if !span.IsZero() && p.Src != "" {
+				fix = &SuggestedFix{
+					Message: fmt.Sprintf("replace with %q", s),
+					Edits:   []TextEdit{{Span: span, NewText: s}},
+				}
+			}
+		}
+		p.ReportFix(span, msg, fix)
+	}
+
+	// Property accesses v.key with label-constrained v — the same rule the
+	// §4.4 classifier applies: any bound label lacking the key fires.
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		pa, ok := e.(*cypher.PropAccess)
+		if !ok {
+			return
+		}
+		v, ok := pa.Target.(*cypher.Variable)
+		if !ok {
+			return
+		}
+		if labels := sc.nodeLabels[v.Name]; len(labels) > 0 {
+			for _, l := range labels {
+				if !p.Schema.HasNodeProp(l, pa.Key) {
+					report(pa.KeySpan, pa.Key, "node label :"+l, knownNodeKeys(labels))
+					break
+				}
+			}
+		}
+		if types := sc.edgeTypes[v.Name]; len(types) > 0 {
+			for _, t := range types {
+				if !p.Schema.HasEdgeProp(t, pa.Key) {
+					report(pa.KeySpan, pa.Key, "relationship type :"+t, knownEdgeKeys(types))
+					break
+				}
+			}
+		}
+	})
+
+	// Inline pattern property maps: (n:Label {key: ...}) / -[r:TYPE {key: ...}]-.
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			if len(n.Labels) == 0 {
+				continue
+			}
+			for _, key := range sortedProps(n.Props) {
+				for _, l := range n.Labels {
+					if !p.Schema.HasNodeProp(l, key) {
+						report(n.Span, key, "node label :"+l, knownNodeKeys(n.Labels))
+						break
+					}
+				}
+			}
+		}
+		for _, r := range part.Rels {
+			if len(r.Types) != 1 {
+				continue
+			}
+			for _, key := range sortedProps(r.Props) {
+				if !p.Schema.HasEdgeProp(r.Types[0], key) {
+					report(r.Span, key, "relationship type :"+r.Types[0], knownEdgeKeys(r.Types))
+				}
+			}
+		}
+	})
+}
+
+func runRelDirection(p *Pass) {
+	if p.Schema == nil {
+		return
+	}
+	sc := p.scopes()
+	labelOf := func(np *cypher.NodePattern) string {
+		if len(np.Labels) > 0 {
+			return np.Labels[0]
+		}
+		if np.Var != "" {
+			if ls := sc.nodeLabels[np.Var]; len(ls) > 0 {
+				return ls[0]
+			}
+		}
+		return ""
+	}
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for i, rel := range part.Rels {
+			if rel.Direction == cypher.DirBoth || len(rel.Types) != 1 {
+				continue
+			}
+			es := p.Schema.EdgeLabels[rel.Types[0]]
+			if es == nil {
+				continue
+			}
+			domFrom, domTo := es.DominantEndpoints()
+			if domFrom == "" || domFrom == domTo {
+				continue
+			}
+			left, right := labelOf(part.Nodes[i]), labelOf(part.Nodes[i+1])
+			var from, to string
+			if rel.Direction == cypher.DirOut {
+				from, to = left, right
+			} else {
+				from, to = right, left
+			}
+			// A direction error reads the relationship backwards: the
+			// pattern's source sits where the schema's target belongs.
+			if from != domTo || to != domFrom {
+				continue
+			}
+			msg := fmt.Sprintf("relationship :%s points (:%s)->(:%s) but the schema records (:%s)-[:%s]->(:%s)",
+				rel.Types[0], from, to, domFrom, rel.Types[0], domTo)
+			p.ReportFix(rel.Span, msg, flipArrowFix(p.Src, rel))
+		}
+	})
+}
+
+// flipArrowFix builds the edits that reverse a directed relationship
+// pattern in the source text: -[..]-> becomes <-[..]- and vice versa.
+func flipArrowFix(src string, rel *cypher.RelPattern) *SuggestedFix {
+	if src == "" || rel.Span.IsZero() || rel.Span.End > len(src) {
+		return nil
+	}
+	switch rel.Direction {
+	case cypher.DirOut: // -[..]->  =>  <-[..]-
+		if src[rel.Span.End-1] != '>' {
+			return nil
+		}
+		return &SuggestedFix{
+			Message: "reverse the relationship direction",
+			Edits: []TextEdit{
+				{Span: cypher.Span{Start: rel.Span.Start, End: rel.Span.Start}, NewText: "<"},
+				{Span: cypher.Span{Start: rel.Span.End - 1, End: rel.Span.End}, NewText: ""},
+			},
+		}
+	case cypher.DirIn: // <-[..]-  =>  -[..]->
+		if src[rel.Span.Start] != '<' {
+			return nil
+		}
+		return &SuggestedFix{
+			Message: "reverse the relationship direction",
+			Edits: []TextEdit{
+				{Span: cypher.Span{Start: rel.Span.Start, End: rel.Span.Start + 1}, NewText: ""},
+				{Span: cypher.Span{Start: rel.Span.End, End: rel.Span.End}, NewText: ">"},
+			},
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedProps(props map[string]cypher.Expr) []string {
+	out := make([]string, 0, len(props))
+	for k := range props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "typecheck",
+		Doc:      "comparison between a property and a literal of a kind the schema has never observed for it",
+		Severity: Warning,
+		Run:      runTypeCheck,
+	})
+	Register(&Analyzer{
+		Name:     "contradiction",
+		Doc:      "WHERE conjunction that no value can satisfy",
+		Severity: Warning,
+		Run:      runContradiction,
+	})
+	Register(&Analyzer{
+		Name:     "regexeq",
+		Doc:      "`=` used against a regular-expression literal where `=~` is required (the paper's syntax-error example)",
+		Severity: Error,
+		Run:      runRegexEq,
+	})
+}
+
+// propKindOf infers the single observed kind of v.key from the schema, or
+// ok=false when the variable is unconstrained, the key unknown, or the
+// observed kinds ambiguous.
+func (p *Pass) propKindOf(v *cypher.Variable, key string) (graph.Kind, bool) {
+	if p.Schema == nil {
+		return graph.KindNull, false
+	}
+	sc := p.scopes()
+	kinds := map[graph.Kind]bool{}
+	for _, l := range sc.nodeLabels[v.Name] {
+		ls := p.Schema.NodeLabels[l]
+		if ls == nil {
+			continue
+		}
+		ps := ls.Props[key]
+		if ps == nil {
+			return graph.KindNull, false // unknownprop's territory
+		}
+		for k := range ps.Kinds {
+			kinds[k] = true
+		}
+	}
+	for _, t := range sc.edgeTypes[v.Name] {
+		es := p.Schema.EdgeLabels[t]
+		if es == nil {
+			continue
+		}
+		ps := es.Props[key]
+		if ps == nil {
+			return graph.KindNull, false
+		}
+		for k := range ps.Kinds {
+			kinds[k] = true
+		}
+	}
+	if len(kinds) != 1 {
+		return graph.KindNull, false
+	}
+	for k := range kinds {
+		return k, true
+	}
+	return graph.KindNull, false
+}
+
+func numericKind(k graph.Kind) bool { return k == graph.KindInt || k == graph.KindFloat }
+
+var comparisonOps = map[cypher.BinaryOp]bool{
+	cypher.OpEq: true, cypher.OpNeq: true, cypher.OpLt: true,
+	cypher.OpGt: true, cypher.OpLte: true, cypher.OpGte: true,
+}
+
+var stringOps = map[cypher.BinaryOp]string{
+	cypher.OpStartsWith: "STARTS WITH",
+	cypher.OpEndsWith:   "ENDS WITH",
+	cypher.OpContains:   "CONTAINS",
+	cypher.OpRegex:      "=~",
+}
+
+// propAndLiteral decomposes a binary comparison into (v.key, literal) in
+// either operand order; flipped reports the literal was on the left.
+func propAndLiteral(b *cypher.Binary) (v *cypher.Variable, key string, lit *cypher.Literal, flipped, ok bool) {
+	if pa, okL := b.L.(*cypher.PropAccess); okL {
+		if vv, okV := pa.Target.(*cypher.Variable); okV {
+			if l, okR := b.R.(*cypher.Literal); okR {
+				return vv, pa.Key, l, false, true
+			}
+		}
+	}
+	if pa, okR := b.R.(*cypher.PropAccess); okR {
+		if vv, okV := pa.Target.(*cypher.Variable); okV {
+			if l, okL := b.L.(*cypher.Literal); okL {
+				return vv, pa.Key, l, true, true
+			}
+		}
+	}
+	return nil, "", nil, false, false
+}
+
+func runTypeCheck(p *Pass) {
+	if p.Schema == nil {
+		return
+	}
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		b, ok := e.(*cypher.Binary)
+		if !ok {
+			return
+		}
+		if opName, isStr := stringOps[b.Op]; isStr {
+			// String operators need string operands on both sides.
+			if lit, okR := b.R.(*cypher.Literal); okR && !lit.Value.IsNull() && lit.Value.Kind() != graph.KindString {
+				p.Reportf(b.OpSpan, "%s requires a string on the right, got %s", opName, lit.Value.Kind())
+			}
+			if pa, okL := b.L.(*cypher.PropAccess); okL {
+				if v, okV := pa.Target.(*cypher.Variable); okV {
+					if k, known := p.propKindOf(v, pa.Key); known && k != graph.KindString {
+						p.Reportf(b.OpSpan, "%s.%s is always %s in the schema; %s never matches",
+							v.Name, pa.Key, k, opName)
+					}
+				}
+			}
+			return
+		}
+		if !comparisonOps[b.Op] {
+			return
+		}
+		v, key, lit, _, okCmp := propAndLiteral(b)
+		if !okCmp || lit.Value.IsNull() {
+			return
+		}
+		pk, known := p.propKindOf(v, key)
+		if !known {
+			return
+		}
+		lk := lit.Value.Kind()
+		if pk == lk || (numericKind(pk) && numericKind(lk)) {
+			return
+		}
+		p.Reportf(b.OpSpan, "%s.%s is always %s in the schema but is compared to a %s literal",
+			v.Name, key, pk, lk)
+	})
+}
+
+// constraint is one literal bound on a (variable, key) pair gathered from an
+// AND conjunction.
+type constraint struct {
+	op   cypher.BinaryOp // normalized so the property is on the left
+	val  graph.Value
+	span cypher.Span
+	text string
+}
+
+// flipOp mirrors a comparison when operands are swapped: 5 < x.k becomes
+// x.k > 5.
+func flipOp(op cypher.BinaryOp) cypher.BinaryOp {
+	switch op {
+	case cypher.OpLt:
+		return cypher.OpGt
+	case cypher.OpGt:
+		return cypher.OpLt
+	case cypher.OpLte:
+		return cypher.OpGte
+	case cypher.OpGte:
+		return cypher.OpLte
+	default:
+		return op
+	}
+}
+
+func runContradiction(p *Pass) {
+	checkWhere := func(where cypher.Expr) {
+		if where == nil {
+			return
+		}
+		var cs []cypher.Expr
+		conjuncts(where, &cs)
+		type slot struct {
+			cons   []constraint
+			isNull *cypher.IsNull
+		}
+		slots := map[string]*slot{}
+		get := func(v, key string) *slot {
+			k := v + "." + key
+			s := slots[k]
+			if s == nil {
+				s = &slot{}
+				slots[k] = s
+			}
+			return s
+		}
+		for _, c := range cs {
+			switch x := c.(type) {
+			case *cypher.Binary:
+				if !comparisonOps[x.Op] {
+					continue
+				}
+				v, key, lit, flipped, ok := propAndLiteral(x)
+				if !ok || lit.Value.IsNull() {
+					continue
+				}
+				op := x.Op
+				if flipped {
+					op = flipOp(op)
+				}
+				s := get(v.Name, key)
+				cur := constraint{op: op, val: lit.Value, span: x.OpSpan,
+					text: fmt.Sprintf("%s.%s %s %s", v.Name, key, opText(op), lit.Value)}
+				if s.isNull != nil {
+					p.Reportf(x.OpSpan, "%s contradicts %s.%s IS NULL", cur.text, v.Name, key)
+					continue
+				}
+				for _, prev := range s.cons {
+					if msg, bad := conflict(prev, cur); bad {
+						p.Report(x.OpSpan, msg)
+						break
+					}
+				}
+				s.cons = append(s.cons, cur)
+			case *cypher.IsNull:
+				if x.Negate {
+					continue
+				}
+				pa, ok := x.E.(*cypher.PropAccess)
+				if !ok {
+					continue
+				}
+				v, ok := pa.Target.(*cypher.Variable)
+				if !ok {
+					continue
+				}
+				s := get(v.Name, pa.Key)
+				if len(s.cons) > 0 {
+					p.Reportf(pa.KeySpan, "%s.%s IS NULL contradicts %s", v.Name, pa.Key, s.cons[0].text)
+					continue
+				}
+				s.isNull = x
+			}
+		}
+	}
+	for _, cl := range p.Query.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			checkWhere(c.Where)
+		case *cypher.WithClause:
+			checkWhere(c.Where)
+		}
+	}
+}
+
+func opText(op cypher.BinaryOp) string {
+	switch op {
+	case cypher.OpEq:
+		return "="
+	case cypher.OpNeq:
+		return "<>"
+	case cypher.OpLt:
+		return "<"
+	case cypher.OpGt:
+		return ">"
+	case cypher.OpLte:
+		return "<="
+	case cypher.OpGte:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// conflict reports whether two constraints on the same property cannot both
+// hold. Comparisons between incomparable kinds are left alone.
+func conflict(a, b constraint) (string, bool) {
+	contradicts := func(x, y constraint) bool {
+		switch x.op {
+		case cypher.OpEq:
+			switch y.op {
+			case cypher.OpEq:
+				// Two equalities with distinct comparable values.
+				if _, ok := x.val.Compare(y.val); ok && !x.val.Equal(y.val) {
+					return true
+				}
+			case cypher.OpNeq:
+				return x.val.Equal(y.val)
+			case cypher.OpLt:
+				if c, ok := x.val.Compare(y.val); ok && c >= 0 {
+					return true
+				}
+			case cypher.OpLte:
+				if c, ok := x.val.Compare(y.val); ok && c > 0 {
+					return true
+				}
+			case cypher.OpGt:
+				if c, ok := x.val.Compare(y.val); ok && c <= 0 {
+					return true
+				}
+			case cypher.OpGte:
+				if c, ok := x.val.Compare(y.val); ok && c < 0 {
+					return true
+				}
+			}
+		case cypher.OpLt, cypher.OpLte:
+			switch y.op {
+			case cypher.OpGt, cypher.OpGte:
+				c, ok := x.val.Compare(y.val)
+				if !ok {
+					return false
+				}
+				if c < 0 {
+					return true // upper bound below lower bound
+				}
+				if c == 0 && (x.op == cypher.OpLt || y.op == cypher.OpGt) {
+					return true
+				}
+			}
+		case cypher.OpGt, cypher.OpGte:
+			switch y.op {
+			case cypher.OpLt, cypher.OpLte:
+				c, ok := x.val.Compare(y.val)
+				if !ok {
+					return false
+				}
+				if c > 0 {
+					return true
+				}
+				if c == 0 && (x.op == cypher.OpGt || y.op == cypher.OpLt) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if contradicts(a, b) || contradicts(b, a) {
+		return fmt.Sprintf("%s contradicts %s; the conjunction is always false", b.text, a.text), true
+	}
+	return "", false
+}
+
+func runRegexEq(p *Pass) {
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		b, ok := e.(*cypher.Binary)
+		if !ok || b.Op != cypher.OpEq {
+			return
+		}
+		lit, ok := b.R.(*cypher.Literal)
+		if !ok || lit.Value.Kind() != graph.KindString {
+			return
+		}
+		if !LooksLikeRegex(lit.Value.Str()) {
+			return
+		}
+		var fix *SuggestedFix
+		if !b.OpSpan.IsZero() && p.Src != "" {
+			fix = &SuggestedFix{
+				Message: "use the regular-expression operator =~",
+				Edits:   []TextEdit{{Span: b.OpSpan, NewText: "=~"}},
+			}
+		}
+		p.ReportFix(b.OpSpan, fmt.Sprintf("`=` compares literally; %q looks like a regular expression (use `=~`)", lit.Value.Str()), fix)
+	})
+}
+
+// LooksLikeRegex reports whether a string literal reads as a regular
+// expression rather than plain text. The scan is escape-aware: `\d`-style
+// class shorthands and escaped metacharacters (`\.`) are regex evidence —
+// no plain value contains a backslash-escaped dot — while a lone trailing
+// `$` (currency) or a metacharacter that is itself escaped does not count.
+func LooksLikeRegex(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '^' {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 >= len(s) {
+				return false // trailing bare backslash: malformed either way
+			}
+			next := s[i+1]
+			if strings.IndexByte(`dwsDWSb`, next) >= 0 {
+				return true // class shorthand
+			}
+			if strings.IndexByte(`.$^()[]{}+*?|/\`, next) >= 0 {
+				return true // escaped metacharacter: only regexes do this
+			}
+			i++ // unknown escape: skip the escaped byte, not evidence
+		case '[':
+			for _, class := range []string{"a-z", "A-Z", "0-9"} {
+				if strings.HasPrefix(s[i+1:], class) {
+					return true
+				}
+			}
+		case '.':
+			if i+1 < len(s) && (s[i+1] == '*' || s[i+1] == '+') {
+				return true
+			}
+		case '+':
+			if i+1 < len(s) && s[i+1] == ')' {
+				return true // quantified group: ...]+)
+			}
+		case '{':
+			if quantifierAt(s[i:]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quantifierAt reports whether s starts with a regex repetition quantifier:
+// {m}, {m,} or {m,n}.
+func quantifierAt(s string) bool {
+	i := 1
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return false
+	}
+	if i < len(s) && s[i] == ',' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	return i < len(s) && s[i] == '}'
+}

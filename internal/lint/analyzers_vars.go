@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"fmt"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:     "unboundvar",
+		Doc:      "variable referenced outside the scope that binds it (projections reset scope, as in the executor)",
+		Severity: Error,
+		Run:      runUnboundVar,
+	})
+	Register(&Analyzer{
+		Name:     "unusedvar",
+		Doc:      "pattern variable bound but never referenced",
+		Severity: Info,
+		Run:      runUnusedVar,
+	})
+	Register(&Analyzer{
+		Name:     "unknownfunc",
+		Doc:      "call to a function the engine does not implement",
+		Severity: Error,
+		Run:      runUnknownFunc,
+	})
+	Register(&Analyzer{
+		Name:     "aggmix",
+		Doc:      "aggregation misuse: aggregates outside projection items, nested aggregates, or aggregates mixed with bare values in one item",
+		Severity: Error,
+		Run:      runAggMix,
+	})
+}
+
+// runUnboundVar replays the executor's scoping rules clause by clause:
+// MATCH/CREATE/UNWIND add bindings, while WITH and RETURN replace the scope
+// with their output column names (exactly what the executor's project()
+// leaves in the row). Any variable reference outside the current scope
+// would fail at runtime with "variable not defined".
+func runUnboundVar(p *Pass) {
+	scope := map[string]bool{}
+
+	var check func(e cypher.Expr, sc map[string]bool)
+	check = func(e cypher.Expr, sc map[string]bool) {
+		switch x := e.(type) {
+		case nil:
+			return
+		case *cypher.Variable:
+			if !sc[x.Name] {
+				p.Reportf(x.Span, "variable `%s` is not defined in this scope", x.Name)
+			}
+		case *cypher.Binary:
+			check(x.L, sc)
+			check(x.R, sc)
+		case *cypher.Not:
+			check(x.E, sc)
+		case *cypher.Neg:
+			check(x.E, sc)
+		case *cypher.IsNull:
+			check(x.E, sc)
+		case *cypher.HasLabels:
+			check(x.E, sc)
+		case *cypher.PropAccess:
+			check(x.Target, sc)
+		case *cypher.Index:
+			check(x.Target, sc)
+			check(x.Sub, sc)
+		case *cypher.FuncCall:
+			for _, a := range x.Args {
+				check(a, sc)
+			}
+		case *cypher.ListLit:
+			for _, el := range x.Elems {
+				check(el, sc)
+			}
+		case *cypher.CaseExpr:
+			check(x.Operand, sc)
+			for i := range x.Whens {
+				check(x.Whens[i], sc)
+				check(x.Thens[i], sc)
+			}
+			check(x.Else, sc)
+		case *cypher.PatternPred:
+			// A pattern predicate existentially binds its own fresh
+			// variables; its inline props may reference those and the
+			// enclosing scope.
+			local := map[string]bool{}
+			for v := range sc {
+				local[v] = true
+			}
+			addPatternVars(x.Pattern, local)
+			for _, e := range patternPropExprs(x.Pattern) {
+				check(e, local)
+			}
+		}
+	}
+	checkProj := func(proj *cypher.Projection, inScope map[string]bool) map[string]bool {
+		for _, it := range proj.Items {
+			check(it.Expr, inScope)
+		}
+		out := map[string]bool{}
+		if proj.Star {
+			for v := range inScope {
+				out[v] = true
+			}
+		}
+		for _, it := range proj.Items {
+			out[it.Name()] = true
+		}
+		// ORDER BY runs on the projected rows: only output columns exist.
+		for _, s := range proj.OrderBy {
+			check(s.Expr, out)
+		}
+		// SKIP/LIMIT are evaluated without any row bound.
+		check(proj.Skip, map[string]bool{})
+		check(proj.Limit, map[string]bool{})
+		return out
+	}
+
+	for _, cl := range p.Query.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			for _, part := range c.Patterns {
+				addPatternVars(part, scope)
+			}
+			for _, part := range c.Patterns {
+				for _, e := range patternPropExprs(part) {
+					check(e, scope)
+				}
+			}
+			check(c.Where, scope)
+		case *cypher.CreateClause:
+			// Inline props are evaluated before the new elements bind.
+			for _, part := range c.Patterns {
+				for _, e := range patternPropExprs(part) {
+					check(e, scope)
+				}
+			}
+			for _, part := range c.Patterns {
+				addPatternVars(part, scope)
+			}
+		case *cypher.UnwindClause:
+			check(c.Expr, scope)
+			scope[c.Alias] = true
+		case *cypher.SetClause:
+			for _, it := range c.Items {
+				if !scope[it.Target] {
+					p.Reportf(cypher.Span{}, "variable `%s` is not defined in this scope", it.Target)
+				}
+				check(it.Value, scope)
+			}
+		case *cypher.DeleteClause:
+			for _, e := range c.Exprs {
+				check(e, scope)
+			}
+		case *cypher.WithClause:
+			newScope := checkProj(&c.Projection, scope)
+			check(c.Where, newScope)
+			scope = newScope
+		case *cypher.ReturnClause:
+			scope = checkProj(&c.Projection, scope)
+		}
+	}
+}
+
+func addPatternVars(part *cypher.PatternPart, into map[string]bool) {
+	for _, n := range part.Nodes {
+		if n.Var != "" {
+			into[n.Var] = true
+		}
+	}
+	for _, r := range part.Rels {
+		if r.Var != "" {
+			into[r.Var] = true
+		}
+	}
+}
+
+func patternPropExprs(part *cypher.PatternPart) []cypher.Expr {
+	var out []cypher.Expr
+	for _, n := range part.Nodes {
+		for _, k := range sortedProps(n.Props) {
+			out = append(out, n.Props[k])
+		}
+	}
+	for _, r := range part.Rels {
+		for _, k := range sortedProps(r.Props) {
+			out = append(out, r.Props[k])
+		}
+	}
+	return out
+}
+
+// runUnusedVar flags pattern variables that are bound and then never
+// referenced — common in LLM output (and in the reference queries' own
+// `count(*)` shapes), so it reports at Info severity only.
+func runUnusedVar(p *Pass) {
+	star := false
+	for _, cl := range p.Query.Clauses {
+		switch c := cl.(type) {
+		case *cypher.WithClause:
+			star = star || c.Star
+		case *cypher.ReturnClause:
+			star = star || c.Star
+		}
+	}
+	if star {
+		return // WITH * / RETURN * uses everything
+	}
+
+	type binding struct {
+		span cypher.Span
+		kind string
+		n    int // occurrences across pattern elements
+	}
+	bound := map[string]*binding{}
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			if n.Var == "" {
+				continue
+			}
+			if b := bound[n.Var]; b != nil {
+				b.n++
+			} else {
+				bound[n.Var] = &binding{span: n.Span, kind: "node", n: 1}
+			}
+		}
+		for _, r := range part.Rels {
+			if r.Var == "" {
+				continue
+			}
+			if b := bound[r.Var]; b != nil {
+				b.n++
+			} else {
+				bound[r.Var] = &binding{span: r.Span, kind: "relationship", n: 1}
+			}
+		}
+	})
+
+	used := map[string]bool{}
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		if v, ok := e.(*cypher.Variable); ok {
+			used[v.Name] = true
+		}
+	})
+	for _, cl := range p.Query.Clauses {
+		if s, ok := cl.(*cypher.SetClause); ok {
+			for _, it := range s.Items {
+				used[it.Target] = true
+			}
+		}
+	}
+
+	for _, name := range sortedBindingNames(bound) {
+		b := bound[name]
+		if b.n > 1 || used[name] {
+			continue // repeated in patterns = a join; referenced = used
+		}
+		p.Reportf(b.span, "%s variable `%s` is bound but never used", b.kind, name)
+	}
+}
+
+func sortedBindingNames[T any](m map[string]T) []string {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return sortedKeys(set)
+}
+
+func runUnknownFunc(p *Pass) {
+	known := cypher.BuiltinFunctionNames()
+	cypher.WalkExprs(p.Query, func(e cypher.Expr) {
+		fc, ok := e.(*cypher.FuncCall)
+		if !ok || cypher.KnownFunction(fc.Name) {
+			return
+		}
+		msg := fmt.Sprintf("unknown function %s()", fc.Name)
+		var fix *SuggestedFix
+		if s := didYouMean(fc.Name, known); s != "" {
+			msg += fmt.Sprintf(" (did you mean %s()?)", s)
+			if !fc.NameSpan.IsZero() && p.Src != "" {
+				fix = &SuggestedFix{
+					Message: fmt.Sprintf("replace with %s", s),
+					Edits:   []TextEdit{{Span: fc.NameSpan, NewText: s}},
+				}
+			}
+		}
+		p.ReportFix(fc.NameSpan, msg, fix)
+	})
+}
+
+// runAggMix enforces where aggregate functions may appear. The executor
+// only computes aggregates for WITH/RETURN item expressions; anywhere else
+// (WHERE, ORDER BY, UNWIND, SET, DELETE, pattern props, or nested inside
+// another aggregate) the call falls through to "unknown function" at
+// runtime.
+func runAggMix(p *Pass) {
+	var flagAggs func(e cypher.Expr, where string)
+	flagAggs = func(e cypher.Expr, where string) {
+		cypher.WalkExpr(e, func(sub cypher.Expr) {
+			fc, ok := sub.(*cypher.FuncCall)
+			if !ok || !cypher.IsAggregateFunc(fc.Name) {
+				return
+			}
+			p.Reportf(fc.NameSpan, "aggregate function %s() is not allowed in %s", fc.Name, where)
+		})
+	}
+	// checkItem handles a projection item: nested aggregates are errors;
+	// aggregates mixed with bare values in one expression evaluate the bare
+	// part against an arbitrary row of the group, so warn.
+	checkItem := func(it *cypher.ReturnItem) {
+		if !cypher.ContainsAggregate(it.Expr) {
+			return
+		}
+		bare := false
+		var walk func(e cypher.Expr, inAgg bool)
+		walk = func(e cypher.Expr, inAgg bool) {
+			switch x := e.(type) {
+			case nil:
+				return
+			case *cypher.FuncCall:
+				if cypher.IsAggregateFunc(x.Name) {
+					if inAgg {
+						p.Reportf(x.NameSpan, "aggregate function %s() cannot be nested inside another aggregate", x.Name)
+					}
+					for _, a := range x.Args {
+						walk(a, true)
+					}
+					return
+				}
+				for _, a := range x.Args {
+					walk(a, inAgg)
+				}
+			case *cypher.Variable:
+				if !inAgg {
+					bare = true
+				}
+			case *cypher.PropAccess:
+				if !inAgg {
+					bare = true
+				}
+				walk(x.Target, true) // don't double-count the base variable
+			case *cypher.Binary:
+				walk(x.L, inAgg)
+				walk(x.R, inAgg)
+			case *cypher.Not:
+				walk(x.E, inAgg)
+			case *cypher.Neg:
+				walk(x.E, inAgg)
+			case *cypher.IsNull:
+				walk(x.E, inAgg)
+			case *cypher.HasLabels:
+				walk(x.E, inAgg)
+			case *cypher.Index:
+				walk(x.Target, inAgg)
+				walk(x.Sub, inAgg)
+			case *cypher.ListLit:
+				for _, el := range x.Elems {
+					walk(el, inAgg)
+				}
+			case *cypher.CaseExpr:
+				walk(x.Operand, inAgg)
+				for i := range x.Whens {
+					walk(x.Whens[i], inAgg)
+					walk(x.Thens[i], inAgg)
+				}
+				walk(x.Else, inAgg)
+			}
+		}
+		walk(it.Expr, false)
+		if bare {
+			p.ReportSeverity(Warning, opSpanOf(it.Expr),
+				"expression mixes an aggregate with non-aggregated values; they are taken from an arbitrary row of each group", nil)
+		}
+	}
+	checkProj := func(proj *cypher.Projection) {
+		for _, it := range proj.Items {
+			checkItem(it)
+		}
+		for _, s := range proj.OrderBy {
+			flagAggs(s.Expr, "ORDER BY")
+		}
+		flagAggs(proj.Skip, "SKIP")
+		flagAggs(proj.Limit, "LIMIT")
+	}
+	for _, cl := range p.Query.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			check := func(part *cypher.PatternPart) {
+				for _, e := range patternPropExprs(part) {
+					flagAggs(e, "a pattern property")
+				}
+			}
+			for _, part := range c.Patterns {
+				check(part)
+			}
+			flagAggs(c.Where, "WHERE")
+		case *cypher.CreateClause:
+			for _, part := range c.Patterns {
+				for _, e := range patternPropExprs(part) {
+					flagAggs(e, "a pattern property")
+				}
+			}
+		case *cypher.UnwindClause:
+			flagAggs(c.Expr, "UNWIND")
+		case *cypher.SetClause:
+			for _, it := range c.Items {
+				flagAggs(it.Value, "SET")
+			}
+		case *cypher.DeleteClause:
+			for _, e := range c.Exprs {
+				flagAggs(e, "DELETE")
+			}
+		case *cypher.WithClause:
+			checkProj(&c.Projection)
+			flagAggs(c.Where, "WHERE after WITH")
+		case *cypher.ReturnClause:
+			checkProj(&c.Projection)
+		}
+	}
+}
+
+// opSpanOf finds a representative span inside an expression for reporting.
+func opSpanOf(e cypher.Expr) cypher.Span {
+	var span cypher.Span
+	cypher.WalkExpr(e, func(sub cypher.Expr) {
+		if !span.IsZero() {
+			return
+		}
+		switch x := sub.(type) {
+		case *cypher.Binary:
+			span = x.OpSpan
+		case *cypher.Variable:
+			span = x.Span
+		case *cypher.PropAccess:
+			span = x.KeySpan
+		case *cypher.FuncCall:
+			span = x.NameSpan
+		}
+	})
+	return span
+}

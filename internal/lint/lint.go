@@ -1,0 +1,333 @@
+// Package lint is a vet-style static-analysis framework for the Cypher
+// subset. A registry of independent analyzers runs over a parsed query plus
+// the extracted graph schema, each emitting structured Diagnostics with
+// byte-offset spans and, where possible, machine-applicable fixes.
+//
+// The framework backs the paper's §4.4 correction protocol (see
+// internal/correction): classification of LLM-generated queries into
+// correct / direction-error / hallucinated-property / syntax-error falls
+// out of which analyzers fire.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+const (
+	// Info diagnostics are stylistic or advisory; they never gate.
+	Info Severity = iota
+	// Warning diagnostics flag likely mistakes that still execute.
+	Warning
+	// Error diagnostics flag queries that are wrong against the schema or
+	// cannot execute correctly; cypherlint exits nonzero on them.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// TextEdit replaces the source bytes in Span with NewText.
+type TextEdit struct {
+	Span    cypher.Span
+	NewText string
+}
+
+// SuggestedFix is a machine-applicable repair for a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// Diagnostic is one finding: which analyzer fired, how severe, where in the
+// source, and an optional fix.
+type Diagnostic struct {
+	Analyzer string
+	Severity Severity
+	Span     cypher.Span
+	Message  string
+	Fix      *SuggestedFix
+}
+
+// String renders the diagnostic in a compact file-less vet style:
+// "offset: severity: message (analyzer)".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d: %s: %s (%s)", d.Span.Start, d.Severity, d.Message, d.Analyzer)
+}
+
+// SyntaxAnalyzer is the pseudo-analyzer name attached to parse failures.
+// It is not in the registry: it fires before any AST exists.
+const SyntaxAnalyzer = "syntax"
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	Name     string // short lowercase identifier, e.g. "unknownprop"
+	Doc      string // one-line description
+	Severity Severity
+	Run      func(*Pass)
+}
+
+// Pass carries one query through one analyzer run.
+type Pass struct {
+	Src      string // original source text ("" when linting a built AST)
+	Query    *cypher.Query
+	Schema   *graph.Schema // may be nil; schema-aware analyzers must no-op
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+
+	// scope is the lazily computed binding info shared by analyzers.
+	scope *scopeInfo
+}
+
+// Report emits a diagnostic at span. The analyzer name and default severity
+// are filled in automatically.
+func (p *Pass) Report(span cypher.Span, msg string) { p.ReportFix(span, msg, nil) }
+
+// Reportf emits a formatted diagnostic at span.
+func (p *Pass) Reportf(span cypher.Span, format string, args ...any) {
+	p.ReportFix(span, fmt.Sprintf(format, args...), nil)
+}
+
+// ReportFix emits a diagnostic carrying a suggested fix.
+func (p *Pass) ReportFix(span cypher.Span, msg string, fix *SuggestedFix) {
+	p.ReportSeverity(p.analyzer.Severity, span, msg, fix)
+}
+
+// ReportSeverity emits a diagnostic overriding the analyzer's default
+// severity (for analyzers whose findings vary in gravity).
+func (p *Pass) ReportSeverity(sev Severity, span cypher.Span, msg string, fix *SuggestedFix) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Severity: sev,
+		Span:     span,
+		Message:  msg,
+		Fix:      fix,
+	})
+}
+
+// registry holds all analyzers in registration order.
+var registry []*Analyzer
+
+// Register adds an analyzer; it panics on duplicate names (registration
+// happens in package init, so a duplicate is a programming error).
+func Register(a *Analyzer) {
+	for _, r := range registry {
+		if r.Name == a.Name {
+			panic("lint: duplicate analyzer " + a.Name)
+		}
+	}
+	registry = append(registry, a)
+}
+
+// Analyzers returns the registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Options selects which analyzers run. The zero value runs all of them.
+type Options struct {
+	// Enable restricts the run to the named analyzers when non-empty.
+	Enable []string
+	// Disable removes the named analyzers from the run.
+	Disable []string
+}
+
+func (o Options) selected() []*Analyzer {
+	enabled := map[string]bool{}
+	for _, n := range o.Enable {
+		enabled[n] = true
+	}
+	disabled := map[string]bool{}
+	for _, n := range o.Disable {
+		disabled[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		if disabled[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Source parses and lints a query string. A parse failure produces a single
+// error-severity diagnostic under the SyntaxAnalyzer name (with the parser's
+// byte offset) rather than an error: unparseable input is itself the §4.4
+// syntax-error category.
+func Source(src string, schema *graph.Schema, opts Options) []Diagnostic {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		span := cypher.Span{}
+		msg := err.Error()
+		if se, ok := err.(*cypher.SyntaxError); ok {
+			span = cypher.Span{Start: se.Pos, End: se.Pos + 1}
+			msg = se.Msg
+		}
+		return []Diagnostic{{
+			Analyzer: SyntaxAnalyzer,
+			Severity: Error,
+			Span:     span,
+			Message:  msg,
+		}}
+	}
+	return Query(q, src, schema, opts)
+}
+
+// Query lints an already parsed query. src may be "" when the query was
+// built programmatically; spans are then whatever the AST carries.
+func Query(q *cypher.Query, src string, schema *graph.Schema, opts Options) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{Src: src, Query: q, Schema: schema, sink: &diags}
+	for _, a := range opts.selected() {
+		pass.analyzer = a
+		a.Run(pass)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Span.Start != diags[j].Span.Start {
+			return diags[i].Span.Start < diags[j].Span.Start
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// MaxSeverity returns the highest severity among diags, and ok=false when
+// there are none.
+func MaxSeverity(diags []Diagnostic) (Severity, bool) {
+	if len(diags) == 0 {
+		return Info, false
+	}
+	max := Info
+	for _, d := range diags {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max, true
+}
+
+// HasError reports whether any diagnostic is error severity.
+func HasError(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyFix applies a suggested fix's edits to the source text. Edits must
+// carry non-zero spans inside src and must not overlap; ApplyFix returns an
+// error otherwise.
+func ApplyFix(src string, fix *SuggestedFix) (string, error) {
+	if fix == nil || len(fix.Edits) == 0 {
+		return src, fmt.Errorf("lint: empty fix")
+	}
+	edits := make([]TextEdit, len(fix.Edits))
+	copy(edits, fix.Edits)
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Span.Start < edits[j].Span.Start })
+	var b strings.Builder
+	last := 0
+	for _, e := range edits {
+		if e.Span.Start < last || e.Span.End < e.Span.Start || e.Span.End > len(src) {
+			return "", fmt.Errorf("lint: fix edit span [%d,%d) out of order or out of range", e.Span.Start, e.Span.End)
+		}
+		b.WriteString(src[last:e.Span.Start])
+		b.WriteString(e.NewText)
+		last = e.Span.End
+	}
+	b.WriteString(src[last:])
+	return b.String(), nil
+}
+
+// editDistance is the Levenshtein distance between two strings, used for
+// "did you mean" suggestions.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// didYouMean picks the closest candidate to name within an edit-distance
+// budget scaled to the name's length, comparing case-insensitively. It
+// returns "" when nothing is close enough.
+func didYouMean(name string, candidates []string) string {
+	budget := 2
+	if len(name) <= 4 {
+		budget = 1
+	}
+	ln := strings.ToLower(name)
+	best, bestD := "", budget+1
+	for _, c := range candidates {
+		d := editDistance(ln, strings.ToLower(c))
+		if d == 0 {
+			continue
+		}
+		if d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	if bestD > budget {
+		return ""
+	}
+	return best
+}

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// corpusDatasets maps corpus files to the dataset whose schema they lint
+// against.
+var corpusDatasets = map[string]string{
+	"wwc2019":       "WWC2019",
+	"cybersecurity": "Cybersecurity",
+	"twitter":       "Twitter",
+}
+
+func schemaFor(t *testing.T, dataset string) *graph.Schema {
+	t.Helper()
+	gen, err := datasets.ByName(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.ExtractSchema(gen(datasets.DefaultOptions()))
+}
+
+func corpusQueries(t *testing.T, file string) []string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// renderCorpus produces the golden text: each query followed by its
+// diagnostics and the result of applying any suggested fix.
+func renderCorpus(t *testing.T, queries []string, schema *graph.Schema) string {
+	t.Helper()
+	var b strings.Builder
+	for _, src := range queries {
+		fmt.Fprintln(&b, src)
+		for _, d := range Source(src, schema, Options{}) {
+			fmt.Fprintf(&b, "    %s\n", d)
+			if d.Fix != nil {
+				fixed, err := ApplyFix(src, d.Fix)
+				if err != nil {
+					t.Errorf("fix %q on %q does not apply: %v", d.Fix.Message, src, err)
+					continue
+				}
+				fmt.Fprintf(&b, "    fix: %s\n", fixed)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestGolden locks the exact diagnostics (spans, messages, fixes) for every
+// corpus query against each dataset's schema. Refresh with `go test
+// ./internal/lint -update`.
+func TestGolden(t *testing.T) {
+	for name, dataset := range corpusDatasets {
+		t.Run(name, func(t *testing.T) {
+			queries := corpusQueries(t, filepath.Join("testdata", name+".cypher"))
+			got := renderCorpus(t, queries, schemaFor(t, dataset))
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestEveryAnalyzerCovered asserts each registered analyzer (plus the syntax
+// pseudo-analyzer) fires at least once across the golden corpora — the
+// acceptance bar for "each analyzer has a golden diagnostic test".
+func TestEveryAnalyzerCovered(t *testing.T) {
+	fired := map[string]bool{}
+	for name, dataset := range corpusDatasets {
+		schema := schemaFor(t, dataset)
+		for _, src := range corpusQueries(t, filepath.Join("testdata", name+".cypher")) {
+			for _, d := range Source(src, schema, Options{}) {
+				fired[d.Analyzer] = true
+			}
+		}
+	}
+	want := []string{SyntaxAnalyzer}
+	for _, a := range Analyzers() {
+		want = append(want, a.Name)
+	}
+	if len(want) < 9 { // 8 analyzers + syntax
+		t.Fatalf("only %d analyzers registered, want at least 8", len(want)-1)
+	}
+	for _, name := range want {
+		if !fired[name] {
+			t.Errorf("analyzer %q produced no finding on any corpus", name)
+		}
+	}
+}
+
+// TestSuggestedFixRoundTrip: applying any suggested fix must yield source
+// that re-parses, and the fixed query must no longer trigger the analyzer
+// that proposed it (at least not as often).
+func TestSuggestedFixRoundTrip(t *testing.T) {
+	fixes := 0
+	for name, dataset := range corpusDatasets {
+		schema := schemaFor(t, dataset)
+		for _, src := range corpusQueries(t, filepath.Join("testdata", name+".cypher")) {
+			diags := Source(src, schema, Options{})
+			for _, d := range diags {
+				if d.Fix == nil {
+					continue
+				}
+				fixes++
+				fixed, err := ApplyFix(src, d.Fix)
+				if err != nil {
+					t.Errorf("%s: fix %q does not apply to %q: %v", name, d.Fix.Message, src, err)
+					continue
+				}
+				if _, err := cypher.Parse(fixed); err != nil {
+					t.Errorf("%s: fixed query does not parse:\noriginal: %s\nfixed:    %s\nerr: %v", name, src, fixed, err)
+					continue
+				}
+				before := countByAnalyzer(diags, d.Analyzer)
+				after := countByAnalyzer(Source(fixed, schema, Options{}), d.Analyzer)
+				if after >= before {
+					t.Errorf("%s: fix %q did not reduce %s findings (%d -> %d):\noriginal: %s\nfixed:    %s",
+						name, d.Fix.Message, d.Analyzer, before, after, src, fixed)
+				}
+			}
+		}
+	}
+	if fixes < 4 {
+		t.Fatalf("corpora exercised only %d suggested fixes, want several", fixes)
+	}
+}
+
+func countByAnalyzer(diags []Diagnostic, analyzer string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}
+
+// TestLooksLikeRegex is the table-driven edge-case suite the old
+// correction.looksLikeRegex lacked: anchored-but-literal strings and escaped
+// metacharacters in particular.
+func TestLooksLikeRegex(t *testing.T) {
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		// Plain literals must not be flagged.
+		{"Alice", false},
+		{"https://example.com", false},
+		{"a+b", false},
+		{"why?", false},
+		{"USD 5$", false},     // trailing $ alone is currency, not an anchor
+		{"{brace}", false},    // braces without a quantifier shape
+		{"x{two,}", false},    // non-numeric quantifier body
+		{"[abc]", false},      // bare character class without range evidence
+		{"C:\\Users", false},  // unknown escape is not regex evidence
+		{"back\\slash", true}, // ...but \s is a whitespace class
+		// Real regex shapes must be flagged.
+		{"^start", true},
+		{"^a.*$", true},
+		{".*", true},
+		{"https?://.+", true},
+		{`\d{4}-\d{2}-\d{2}`, true},
+		{`([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}`, true},
+		{`\w+`, true},
+		{`end\.$`, true},            // escaped metachar + anchored tail
+		{`www\.example\.com`, true}, // escaped dots are regex evidence
+		{"[a-z]+", true},
+		{"[0-9]", true},
+		{"a{2,5}", true},
+		{"a{3}", true},
+		{"(foo)+)", true},
+	}
+	for _, c := range cases {
+		if got := LooksLikeRegex(c.s); got != c.want {
+			t.Errorf("LooksLikeRegex(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestOptionsEnableDisable(t *testing.T) {
+	schema := schemaFor(t, "Twitter")
+	src := `MATCH (u:User) WHERE u.followerCount > 10 RETURN q.name`
+	all := Source(src, schema, Options{})
+	if countByAnalyzer(all, "unknownprop") == 0 || countByAnalyzer(all, "unboundvar") == 0 {
+		t.Fatalf("fixture should trip unknownprop and unboundvar, got %v", all)
+	}
+	only := Source(src, schema, Options{Enable: []string{"unboundvar"}})
+	for _, d := range only {
+		if d.Analyzer != "unboundvar" {
+			t.Errorf("Enable leaked analyzer %q", d.Analyzer)
+		}
+	}
+	without := Source(src, schema, Options{Disable: []string{"unknownprop"}})
+	if countByAnalyzer(without, "unknownprop") != 0 {
+		t.Errorf("Disable did not remove unknownprop: %v", without)
+	}
+}
+
+func TestDiagnosticsSortedBySpan(t *testing.T) {
+	schema := schemaFor(t, "Twitter")
+	diags := Source(`MATCH (t:Tweet)-[:POSTS]->(u:User) WHERE u.followerCount > 10 RETURN u.nmae`, schema, Options{})
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Span.Start < diags[i-1].Span.Start {
+			t.Fatalf("diagnostics not sorted by span: %v", diags)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"minute", "minutes", 1},
+		{"followers", "followerCount", 5},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDidYouMean(t *testing.T) {
+	props := []string{"followers", "id", "name", "screen_name"}
+	if got := didYouMean("folowers", props); got != "followers" {
+		t.Errorf("didYouMean(folowers) = %q", got)
+	}
+	if got := didYouMean("sentiment", props); got != "" {
+		t.Errorf("didYouMean(sentiment) = %q, want no suggestion", got)
+	}
+	// Short names get a tighter budget: "ix" must not match "id".
+	if got := didYouMean("xy", props); got != "" {
+		t.Errorf("didYouMean(xy) = %q, want no suggestion", got)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(&Analyzer{Name: "unknownprop", Doc: "dup", Run: func(*Pass) {}})
+}

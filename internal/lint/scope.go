@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+// varKind classifies what a bound name refers to, for kind-sensitive checks.
+type varKind uint8
+
+const (
+	kindValue varKind = iota // projection alias, UNWIND element
+	kindNode
+	kindRel
+)
+
+// scopeInfo is the shared binding analysis computed once per query and
+// reused by the schema-aware analyzers. It mirrors the §4.4 classifier's
+// bindingLabels: label constraints come from pattern elements plus
+// top-level AND-ed label predicates in WHERE clauses; an edge variable's
+// type is only recorded when the pattern names exactly one type.
+type scopeInfo struct {
+	nodeLabels map[string][]string
+	edgeTypes  map[string][]string
+	kinds      map[string]varKind
+}
+
+// scopes returns the lazily computed binding info for the pass's query.
+func (p *Pass) scopes() *scopeInfo {
+	if p.scope != nil {
+		return p.scope
+	}
+	s := &scopeInfo{
+		nodeLabels: map[string][]string{},
+		edgeTypes:  map[string][]string{},
+		kinds:      map[string]varKind{},
+	}
+	cypher.ForEachPattern(p.Query, func(part *cypher.PatternPart) {
+		for _, n := range part.Nodes {
+			if n.Var == "" {
+				continue
+			}
+			s.kinds[n.Var] = kindNode
+			if len(n.Labels) > 0 {
+				s.nodeLabels[n.Var] = append(s.nodeLabels[n.Var], n.Labels...)
+			}
+		}
+		for _, r := range part.Rels {
+			if r.Var == "" {
+				continue
+			}
+			s.kinds[r.Var] = kindRel
+			if len(r.Types) == 1 {
+				s.edgeTypes[r.Var] = append(s.edgeTypes[r.Var], r.Types[0])
+			}
+		}
+	})
+	for _, cl := range p.Query.Clauses {
+		var where cypher.Expr
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			where = c.Where
+		case *cypher.WithClause:
+			where = c.Where
+		}
+		collectLabelPreds(where, s.nodeLabels)
+	}
+	p.scope = s
+	return s
+}
+
+// collectLabelPreds records `v:Label` constraints from top-level AND-ed
+// predicates.
+func collectLabelPreds(e cypher.Expr, into map[string][]string) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *cypher.Binary:
+		if x.Op == cypher.OpAnd {
+			collectLabelPreds(x.L, into)
+			collectLabelPreds(x.R, into)
+		}
+	case *cypher.HasLabels:
+		if v, ok := x.E.(*cypher.Variable); ok {
+			into[v.Name] = append(into[v.Name], x.Labels...)
+		}
+	}
+}
+
+// conjuncts splits a boolean expression on top-level ANDs.
+func conjuncts(e cypher.Expr, out *[]cypher.Expr) {
+	if b, ok := e.(*cypher.Binary); ok && b.Op == cypher.OpAnd {
+		conjuncts(b.L, out)
+		conjuncts(b.R, out)
+		return
+	}
+	if e != nil {
+		*out = append(*out, e)
+	}
+}

@@ -1,0 +1,33 @@
+# Analyzer fixtures against the Cybersecurity schema (one query per line).
+# clean
+MATCH (u:User)-[:MEMBER_OF]->(g:Group) RETURN count(*) AS support
+# unknownlabel
+MATCH (c:Computers) RETURN c.name
+# unknownreltype
+MATCH (u:User)-[:MEMBERS_OF]->(g:Group) RETURN count(*) AS n
+# unknownprop: seeded hallucinated key on User
+MATCH (u:User) WHERE u.status = 'active' RETURN u.name
+# unknownprop on an edge
+MATCH (g:GPO)-[l:GP_LINK]->(o:OU) WHERE l.enforce = true RETURN g.name
+# reldirection: HAS_SESSION is (:Computer)->(:User)
+MATCH (u:User)-[:HAS_SESSION]->(c:Computer) RETURN c.name
+# unboundvar inside a SET target
+MATCH (u:User) SET v.enabled = false
+# unusedvar
+MATCH (g:GPO)-[e:GP_LINK]->(o:OU) RETURN g.name, o.name
+# unknownfunc
+MATCH (u:User) RETURN lenght(u.name)
+# aggmix in ORDER BY
+MATCH (u:User) RETURN u.name AS n ORDER BY count(*)
+# typecheck: bool property against an int
+MATCH (u:User) WHERE u.enabled = 1 RETURN u.name
+# contradiction: IS NULL vs equality
+MATCH (u:User) WHERE u.name IS NULL AND u.name = 'x' RETURN u.id
+# regexeq
+MATCH (d:Domain) WHERE d.domain = '([a-zA-Z0-9-]+\.)+[a-zA-Z]{2,}' RETURN d.name
+# cartesian
+MATCH (u:User), (c:Computer) RETURN u.name, c.name
+# indexseek: unlabeled variable cannot use an index
+MATCH (x) WHERE x.name = 'DC01' RETURN x
+# syntax
+MATCH (u:User)-[:OWNS->(c:Computer) RETURN c

@@ -1,0 +1,18 @@
+# Analyzer fixtures against the Twitter schema, one per §4.4 error category
+# plus the correct case (one query per line).
+# correct
+MATCH (u:User)-[:POSTS]->(t:Tweet) WHERE u.followers > 1000 RETURN count(*) AS support
+# hallucinated property (§4.4)
+MATCH (u:User) WHERE u.followerCount > 10 RETURN u.name
+# direction error (§4.4): POSTS is (:User)->(:Tweet)
+MATCH (t:Tweet)-[:POSTS]->(u:User) RETURN u.name
+# syntax error, regex-as-equality form (§4.4)
+MATCH (l:Link) WHERE l.url = 'https?://.+' RETURN l.url
+# syntax error, unparseable form (§4.4)
+MATCH (u:User)-[:POSTS]->(t:Tweet RETURN t.id
+# did-you-mean across node properties
+MATCH (u:User) WHERE u.folowers > 10 RETURN u.name
+# inline pattern property hallucination
+MATCH (u:User {verified: true})-[:POSTS]->(t:Tweet) RETURN t.id
+# direction fix on the left-arrow form: POSTS written as (:Tweet)->(:User)
+MATCH (u:User)<-[:POSTS]-(t:Tweet) RETURN u.name, t.id

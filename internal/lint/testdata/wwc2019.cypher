@@ -1,0 +1,43 @@
+# Analyzer fixtures against the WWC2019 schema (one query per line).
+# clean reference shape
+MATCH (p:Person)-[:IN_SQUAD]->(s:Squad) RETURN count(*) AS support
+# unknownlabel with did-you-mean
+MATCH (m:Matchs) RETURN m.id
+# unknownreltype with did-you-mean
+MATCH (p:Person)-[:SCORED_GOALS]->(m:Match) RETURN count(*) AS n
+# unknownprop: the proposer's seeded hallucinated key
+MATCH (p:Person) WHERE p.penaltyScore > 0 RETURN p.name
+# unknownprop with did-you-mean
+MATCH (m:Match) WHERE m.score3 > 2 RETURN m.id
+# reldirection: SCORED_GOAL is (:Person)->(:Match)
+MATCH (m:Match)-[:SCORED_GOAL]->(p:Person) RETURN p.name
+# unboundvar: q never bound
+MATCH (p:Person) RETURN q.name
+# unboundvar: ORDER BY sees only output columns
+MATCH (p:Person) RETURN p.name AS n ORDER BY p.dob
+# unusedvar: g bound, never referenced
+MATCH (p:Person)-[g:SCORED_GOAL]->(m:Match) RETURN p.name, m.id
+# unknownfunc with did-you-mean
+MATCH (p:Person) RETURN siz(p.name)
+# aggmix: aggregate in WHERE
+MATCH (p:Person) WHERE count(*) > 1 RETURN p.id
+# aggmix: bare value mixed with an aggregate
+MATCH (p:Person) RETURN p.name, count(*)
+# aggmix: nested aggregate
+MATCH (p:Person) RETURN count(collect(p.id))
+# typecheck: string property compared to a number
+MATCH (p:Person) WHERE p.name > 5 RETURN p.id
+# typecheck: string operator on an int property
+MATCH (m:Match) WHERE m.id STARTS WITH 'a' RETURN m.id
+# contradiction: equality conflict
+MATCH (m:Match) WHERE m.score1 = 1 AND m.score1 = 2 RETURN m.id
+# contradiction: empty interval
+MATCH (t:Team) WHERE t.ranking > 3 AND t.ranking < 2 RETURN t.name
+# regexeq: date pattern compared with =
+MATCH (p:Person) WHERE p.dob = '\d{4}-\d{2}-\d{2}' RETURN p.name
+# cartesian product
+MATCH (p:Person), (t:Team) RETURN p.name, t.name
+# indexseek: equality in WHERE instead of inline
+MATCH (t:Team) WHERE t.name = 'USA' RETURN t.ranking
+# syntax
+MATCH (p:Person RETURN p

@@ -18,6 +18,7 @@ import (
 	"github.com/graphrules/graphrules/internal/correction"
 	"github.com/graphrules/graphrules/internal/embedding"
 	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/lint"
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/metrics"
 	"github.com/graphrules/graphrules/internal/prompt"
@@ -187,6 +188,10 @@ type MinedRule struct {
 	Generated rules.QuerySet      // raw model output (step 2)
 	Final     rules.QuerySet      // after the correction protocol
 	Category  correction.Category // §4.4 classification of Generated
+	// Lint holds the full diagnostics the schema-aware linter produced for
+	// the generated query set (support, body and head queries concatenated);
+	// Category is derived from the error-category subset of these.
+	Lint      []lint.Diagnostic
 	Corrected bool
 	Score     metrics.Score
 	// Windows lists the sliding-window indexes that proposed the rule.
@@ -251,6 +256,10 @@ type Result struct {
 	CypherTotal   int
 	// ErrorCounts censuses the §4.4 categories.
 	ErrorCounts map[correction.Category]int
+	// LintCounts censuses lint findings across all generated query sets,
+	// keyed by analyzer name — a finer-grained view than ErrorCounts that
+	// also covers findings outside the paper's three error classes.
+	LintCounts map[string]int
 }
 
 // embedTokensPerSecond is the cost-model throughput of the stand-in
@@ -284,6 +293,7 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		Mode:        cfg.Mode,
 		Encoder:     cfg.Encoder.Name(),
 		ErrorCounts: map[correction.Category]int{},
+		LintCounts:  map[string]int{},
 	}
 
 	enc := cfg.Encoder.Encode(g)
@@ -481,12 +491,17 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 			continue
 		}
 		mr.Generated = qs
-		mr.Category = correction.Classify(qs, schema)
+		rep := correction.Analyze(qs, schema)
+		mr.Category = rep.Category
+		mr.Lint = rep.All()
 		res.CypherTotal++
 		if mr.Category == correction.Correct {
 			res.CypherCorrect++
 		}
 		res.ErrorCounts[mr.Category]++
+		for _, d := range mr.Lint {
+			res.LintCounts[d.Analyzer]++
+		}
 		mr.Final, mr.Corrected = correction.Fix(qs, sr.rule, mr.Category)
 		mined = append(mined, mr)
 		finals = append(finals, mr.Final)

@@ -37,6 +37,7 @@ type jsonReport struct {
 	CypherTotal    int `json:"cypherTotal"`
 
 	ErrorCounts map[string]int `json:"errorCounts"`
+	LintCounts  map[string]int `json:"lintCounts,omitempty"`
 }
 
 type jsonRule struct {
@@ -54,8 +55,19 @@ type jsonRule struct {
 	Windows    []int   `json:"windows,omitempty"`
 	EvalError  string  `json:"evalError,omitempty"`
 
+	Lint []jsonDiagnostic `json:"lint,omitempty"`
+
 	SupportQuery string `json:"supportQuery"`
 	Explanation  string `json:"explanation"`
+}
+
+// jsonDiagnostic is one lint finding on a generated query.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Message  string `json:"message"`
 }
 
 // WriteJSON serializes the result as indented JSON for downstream tooling.
@@ -85,6 +97,12 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	for cat, n := range r.ErrorCounts {
 		rep.ErrorCounts[cat.String()] = n
 	}
+	if len(r.LintCounts) > 0 {
+		rep.LintCounts = map[string]int{}
+		for name, n := range r.LintCounts {
+			rep.LintCounts[name] = n
+		}
+	}
 	for _, mr := range r.Rules {
 		jr := jsonRule{
 			NL:           mr.NL,
@@ -95,6 +113,15 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Corrected:    mr.Corrected,
 			Windows:      mr.Windows,
 			SupportQuery: mr.Final.Support,
+		}
+		for _, d := range mr.Lint {
+			jr.Lint = append(jr.Lint, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				Severity: d.Severity.String(),
+				Start:    d.Span.Start,
+				End:      d.Span.End,
+				Message:  d.Message,
+			})
 		}
 		if mr.EvalErr != nil {
 			jr.EvalError = mr.EvalErr.Error()

@@ -12,6 +12,7 @@ import (
 	"github.com/graphrules/graphrules/internal/correction"
 	"github.com/graphrules/graphrules/internal/datasets"
 	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/lint"
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/mining"
 	"github.com/graphrules/graphrules/internal/prompt"
@@ -214,18 +215,51 @@ func (g *Grid) CorrectnessTable() string {
 	return b.String()
 }
 
-// ErrorCensus renders the §4.4 error-category counts across all runs.
+// ErrorCensus renders the §4.4 error-category counts across all runs,
+// followed by the finer-grained per-analyzer lint census (which also counts
+// findings outside the paper's three error classes, such as unknown labels
+// or cartesian-product warnings).
 func (g *Grid) ErrorCensus() string {
-	var b strings.Builder
-	b.WriteString("Error categories across all generated query sets (§4.4)\n")
 	totals := map[correction.Category]int{}
+	lintTotals := map[string]int{}
 	for _, c := range g.Cells {
 		for cat, n := range c.Result.ErrorCounts {
 			totals[cat] += n
 		}
+		for name, n := range c.Result.LintCounts {
+			lintTotals[name] += n
+		}
 	}
+	return Census(totals, lintTotals)
+}
+
+// Census renders one §4.4 error-category table plus the per-analyzer lint
+// breakdown; it is shared by the grid report and `rulemine -table errors`.
+func Census(errCounts map[correction.Category]int, lintCounts map[string]int) string {
+	var b strings.Builder
+	b.WriteString("Error categories across all generated query sets (§4.4)\n")
 	for _, cat := range correction.Categories {
-		fmt.Fprintf(&b, "%-22s %4d\n", cat.String(), totals[cat])
+		fmt.Fprintf(&b, "%-22s %4d\n", cat.String(), errCounts[cat])
+	}
+	b.WriteString("\nLint findings by analyzer\n")
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		seen[a.Name] = true
+		if n := lintCounts[a.Name]; n > 0 {
+			fmt.Fprintf(&b, "%-22s %4d  (%s)\n", a.Name, n, a.Severity)
+		}
+	}
+	// Findings from analyzers not in the registry (e.g. the synthetic
+	// "syntax" parse gate, which is always error severity), alphabetically.
+	var rest []string
+	for name, n := range lintCounts {
+		if !seen[name] && n > 0 {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		fmt.Fprintf(&b, "%-22s %4d  (%s)\n", name, lintCounts[name], lint.Error)
 	}
 	return b.String()
 }
