@@ -42,6 +42,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
 	shardWorkers := fs.Int("shard-workers", 0, "partition eligible MATCH anchor scans across N workers (0 = serial)")
 	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
+	noRangePushdown := fs.Bool("no-range-pushdown", false, "disable ordered-index range seeks for inequality/STARTS WITH predicates")
 	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
 	lintOnly := fs.Bool("lint", false, "lint the -q query against the graph's schema instead of executing it (exit 1 on error-severity findings)")
 	if err := fs.Parse(args); err != nil {
@@ -66,9 +67,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "Loaded %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())
 
-	ex := cypher.NewExecutor(g)
-	ex.SetShardWorkers(*shardWorkers)
-	ex.SetReorder(!*noReorder)
+	ex := cypher.NewExecutor(g,
+		cypher.WithShardWorkers(*shardWorkers),
+		cypher.WithReorder(!*noReorder),
+		cypher.WithRangePushdown(!*noRangePushdown))
 	if *lintOnly {
 		if *query == "" {
 			return fmt.Errorf("-lint requires -q")

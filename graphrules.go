@@ -94,10 +94,36 @@ type (
 	ExecStats = cypher.ExecStats
 	// PlanCacheStats reports an executor's prepared-query cache counters.
 	PlanCacheStats = cypher.PlanCacheStats
+	// ExecutorOption configures an Executor at construction
+	// (NewExecutor(g, WithShardWorkers(8), ...)).
+	ExecutorOption = cypher.Option
+	// SeekInfo describes one index seek of an executed or explained query:
+	// variable, label/type, key, bounds, and estimated vs actual rows.
+	SeekInfo = cypher.SeekInfo
 )
 
-// NewExecutor returns a Cypher executor bound to g.
-func NewExecutor(g *Graph) *Executor { return cypher.NewExecutor(g) }
+// NewExecutor returns a Cypher executor bound to g, configured by opts.
+func NewExecutor(g *Graph, opts ...ExecutorOption) *Executor {
+	return cypher.NewExecutor(g, opts...)
+}
+
+// Executor construction options (see the cypher package for the full set).
+var (
+	// WithShardWorkers sets the worker count for sharded scans (0 disables
+	// sharding, <0 selects GOMAXPROCS).
+	WithShardWorkers = cypher.WithShardWorkers
+	// WithReorder toggles cost-based reordering of match parts.
+	WithReorder = cypher.WithReorder
+	// WithIndexPushdown toggles the label+property equality index.
+	WithIndexPushdown = cypher.WithIndexPushdown
+	// WithRangePushdown toggles ordered-index range seeks for inequality,
+	// interval and STARTS WITH predicates.
+	WithRangePushdown = cypher.WithRangePushdown
+	// WithCountFastPath toggles the count(*) shortcut.
+	WithCountFastPath = cypher.WithCountFastPath
+	// WithPlanCacheCap bounds the prepared-plan cache (0 disables it).
+	WithPlanCacheCap = cypher.WithPlanCacheCap
+)
 
 // GraphStats summarizes a graph's size and connectivity.
 type GraphStats = graph.Stats
@@ -121,8 +147,9 @@ type (
 // is safe for concurrent use.
 type Scorer = metrics.Scorer
 
-// NewScorer returns a rule scorer bound to g.
-func NewScorer(g *Graph) *Scorer { return metrics.NewScorer(g) }
+// NewScorer returns a rule scorer bound to g; opts configure its shared
+// executor (e.g. WithShardWorkers(8)).
+func NewScorer(g *Graph, opts ...ExecutorOption) *Scorer { return metrics.NewScorer(g, opts...) }
 
 // ParseRuleNL parses a natural-language rule statement.
 func ParseRuleNL(line string) (Rule, bool) { return rules.ParseNL(line) }
@@ -139,6 +166,12 @@ func EvaluateRules(g *Graph, rs []Rule) ([]Score, []error) { return metrics.Eval
 // GOMAXPROCS.
 func EvaluateRulesParallel(g *Graph, rs []Rule, workers int) ([]Score, []error) {
 	return metrics.EvaluateRulesParallel(g, rs, workers)
+}
+
+// EvaluateRulesParallelCtx is EvaluateRulesParallel with cancellation: a
+// done context stops dispatching and aborts in-flight metric queries.
+func EvaluateRulesParallelCtx(ctx context.Context, g *Graph, rs []Rule, workers int) ([]Score, []error) {
+	return metrics.EvaluateRulesParallelCtx(ctx, g, rs, workers)
 }
 
 // Models.
@@ -211,6 +244,11 @@ type Session = mining.Session
 
 // NewSession mines an initial rule set and opens a review session.
 func NewSession(g *Graph, cfg MiningConfig) (*Session, error) { return mining.NewSession(g, cfg) }
+
+// NewSessionCtx is NewSession with cancellation for the initial round.
+func NewSessionCtx(ctx context.Context, g *Graph, cfg MiningConfig) (*Session, error) {
+	return mining.NewSessionCtx(ctx, g, cfg)
+}
 
 // RuleViolations renders a Cypher query listing the elements violating a
 // rule (at most limit rows; limit <= 0 means 25).

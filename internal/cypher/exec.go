@@ -41,11 +41,24 @@ type ExecStats struct {
 	// RowsScanned counts candidate nodes and edges examined while
 	// matching patterns.
 	RowsScanned int
-	// IndexSeeks counts node anchors served by the label+property index
-	// instead of a label scan; IndexRows is how many candidates those
+	// IndexSeeks counts node anchors served by the label+property equality
+	// index instead of a label scan; IndexRows is how many candidates those
 	// seeks produced (the scan work the index avoided re-filtering).
 	IndexSeeks int
 	IndexRows  int
+	// RangeSeeks counts node anchors served by the ordered property index
+	// (inequality / prefix WHERE conjuncts); RangeRows is how many
+	// candidates those seeks produced.
+	RangeSeeks int
+	RangeRows  int
+	// EdgeSeeks counts anchors derived from the ordered edge-property index
+	// (a relationship-pattern constraint narrowing the endpoint set);
+	// EdgeRows is how many candidate nodes those seeks produced.
+	EdgeSeeks int
+	EdgeRows  int
+	// Seeks details every index seek taken, in execution order: the chosen
+	// bounds plus estimated vs. actual candidate rows.
+	Seeks []SeekInfo
 	// Sharded is true when at least one MATCH ran on the anchor-partitioned
 	// worker pool; ShardWorkers is the configured pool size and ShardRows
 	// holds the rows each shard of the last sharded clause produced.
@@ -63,6 +76,29 @@ type ExecStats struct {
 	Clauses []ClauseTiming
 }
 
+// SeekInfo describes one index seek the matcher took for an anchor scan.
+type SeekInfo struct {
+	Var    string // pattern variable the seek anchored ("" for anonymous)
+	Label  string // node label, or edge type(s) joined with "|" when Edge
+	Key    string // property key seeked
+	Bounds string // chosen bounds, e.g. "= 30", ">= 30 AND < 100"
+	Edge   bool   // anchor derived from the edge-property index
+	Est    int    // estimated candidate rows (index count probe)
+	Rows   int    // candidate rows actually enumerated
+}
+
+// String renders the seek in Explain-plan style.
+func (s SeekInfo) String() string {
+	kind := "NodeRangeSeek"
+	switch {
+	case s.Edge:
+		kind = "EdgeIndexSeek"
+	case strings.HasPrefix(s.Bounds, "= "): // plain equality
+		kind = "NodeIndexSeek"
+	}
+	return fmt.Sprintf("%s(%s:%s.%s %s) est=%d rows=%d", kind, s.Var, s.Label, s.Key, s.Bounds, s.Est, s.Rows)
+}
+
 // String renders the stats as a short multi-line report.
 func (s ExecStats) String() string {
 	var b strings.Builder
@@ -70,6 +106,15 @@ func (s ExecStats) String() string {
 	fmt.Fprintf(&b, "count fast path: %v\n", s.CountFastPath)
 	fmt.Fprintf(&b, "rows scanned: %d\n", s.RowsScanned)
 	fmt.Fprintf(&b, "index seeks: %d (%d candidate(s))\n", s.IndexSeeks, s.IndexRows)
+	if s.RangeSeeks > 0 {
+		fmt.Fprintf(&b, "range seeks: %d (%d candidate(s))\n", s.RangeSeeks, s.RangeRows)
+	}
+	if s.EdgeSeeks > 0 {
+		fmt.Fprintf(&b, "edge seeks: %d (%d candidate(s))\n", s.EdgeSeeks, s.EdgeRows)
+	}
+	for _, sk := range s.Seeks {
+		fmt.Fprintf(&b, "  %s\n", sk)
+	}
 	if s.Sharded {
 		fmt.Fprintf(&b, "shards: %d worker(s), rows per shard %v\n", s.ShardWorkers, s.ShardRows)
 	}
@@ -196,10 +241,11 @@ type Executor struct {
 	// shardWorkers >= 1 routes eligible MATCH clauses through the
 	// anchor-partitioned worker pool (see shard.go); both also back the
 	// differential oracle's reference configurations.
-	noPushdown   bool
-	noCountFast  bool
-	noReorder    bool
-	shardWorkers int
+	noPushdown      bool
+	noCountFast     bool
+	noReorder       bool
+	noRangePushdown bool
+	shardWorkers    int
 
 	planMu    sync.Mutex
 	plans     map[string]*planEntry
@@ -210,31 +256,44 @@ type Executor struct {
 	evictions atomic.Int64
 }
 
-// NewExecutor returns an executor bound to a graph.
-func NewExecutor(g *graph.Graph) *Executor { return &Executor{g: g} }
+// NewExecutor returns an executor bound to a graph, configured by the
+// given functional options (see options.go for the full set).
+func NewExecutor(g *graph.Graph, opts ...Option) *Executor {
+	ex := &Executor{g: g}
+	for _, opt := range opts {
+		opt(ex)
+	}
+	return ex
+}
 
 // SetIndexPushdown toggles the label+property index pushdown (on by
 // default). Disabling it forces plain label-bucket scans.
-func (ex *Executor) SetIndexPushdown(on bool) { ex.noPushdown = !on }
+//
+// Deprecated: pass WithIndexPushdown to NewExecutor instead.
+func (ex *Executor) SetIndexPushdown(on bool) { WithIndexPushdown(on)(ex) }
+
+// SetRangePushdown toggles the ordered-index range pushdown (on by
+// default).
+//
+// Deprecated: pass WithRangePushdown to NewExecutor instead.
+func (ex *Executor) SetRangePushdown(on bool) { WithRangePushdown(on)(ex) }
 
 // SetCountFastPath toggles the single-aggregate fast path (on by default).
-func (ex *Executor) SetCountFastPath(on bool) { ex.noCountFast = !on }
+//
+// Deprecated: pass WithCountFastPath to NewExecutor instead.
+func (ex *Executor) SetCountFastPath(on bool) { WithCountFastPath(on)(ex) }
 
 // SetReorder toggles cost-based pattern-part ordering (on by default).
 // Disabling it pins the written part order and orientation, which also pins
 // the serial row order — the differential oracle's reference mode.
-func (ex *Executor) SetReorder(on bool) { ex.noReorder = !on }
+//
+// Deprecated: pass WithReorder to NewExecutor instead.
+func (ex *Executor) SetReorder(on bool) { WithReorder(on)(ex) }
 
-// SetShardWorkers configures sharded MATCH execution: eligible anchor scans
-// are partitioned across n workers and merged in shard order, preserving
-// the serial row order. n <= 0 restores the plain serial path; n == 1 runs
-// the shard machinery with a single shard (useful for differential tests).
-func (ex *Executor) SetShardWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	ex.shardWorkers = n
-}
+// SetShardWorkers configures sharded MATCH execution; see WithShardWorkers.
+//
+// Deprecated: pass WithShardWorkers to NewExecutor instead.
+func (ex *Executor) SetShardWorkers(n int) { WithShardWorkers(n)(ex) }
 
 // ShardWorkerCount reports the configured shard pool size (0 = serial).
 func (ex *Executor) ShardWorkerCount() int { return ex.shardWorkers }
@@ -242,7 +301,11 @@ func (ex *Executor) ShardWorkerCount() int { return ex.shardWorkers }
 // SetPlanCacheCap bounds the plan cache to n entries, evicting
 // least-recently-used plans beyond the cap immediately. n <= 0 restores
 // the default cap.
-func (ex *Executor) SetPlanCacheCap(n int) {
+//
+// Deprecated: pass WithPlanCacheCap to NewExecutor instead.
+func (ex *Executor) SetPlanCacheCap(n int) { ex.setPlanCacheCap(n) }
+
+func (ex *Executor) setPlanCacheCap(n int) {
 	ex.planMu.Lock()
 	defer ex.planMu.Unlock()
 	ex.planCap = n
@@ -485,7 +548,8 @@ func countFastPlan(q *Query) (*MatchClause, *ReturnItem, bool) {
 // per-shard aggregate states are merged (shard.go).
 func (ex *Executor) execMatchAggregate(ctx *evalCtx, m *matcher, mc *MatchClause, item *ReturnItem, res *Result) error {
 	fc := item.Expr.(*FuncCall)
-	plan := ex.planMatch(mc.Patterns, nil)
+	m.ranges = ex.clauseRanges(mc.Where)
+	plan := ex.planMatch(mc.Patterns, nil, m.ranges)
 	recordPlan(m, plan)
 	res.Stats.RowsExamined++
 
@@ -522,6 +586,15 @@ func (ex *Executor) execMatchAggregate(ctx *evalCtx, m *matcher, mc *MatchClause
 
 // ---------- MATCH ----------
 
+// clauseRanges extracts the seekable WHERE intervals for one MATCH clause,
+// or nil when range pushdown (or all pushdown) is disabled.
+func (ex *Executor) clauseRanges(where Expr) whereRanges {
+	if ex.noPushdown || ex.noRangePushdown {
+		return nil
+	}
+	return extractRanges(where)
+}
+
 func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Row, st *Stats) ([]Row, error) {
 	newVars := patternVars(cl.Patterns)
 	var bound map[string]bool
@@ -531,7 +604,8 @@ func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Ro
 			bound[v] = true
 		}
 	}
-	plan := ex.planMatch(cl.Patterns, bound)
+	m.ranges = ex.clauseRanges(cl.Where)
+	plan := ex.planMatch(cl.Patterns, bound, m.ranges)
 	recordPlan(m, plan)
 
 	if ex.shardWorkers >= 1 && len(in) == 1 && anchorUnbound(plan.parts, in[0]) {
@@ -600,6 +674,7 @@ type matcher struct {
 	ctx      *evalCtx
 	exec     *ExecStats      // optional instrumentation sink
 	pushdown bool            // consult the label+property index for constant props
+	ranges   whereRanges     // seekable WHERE intervals for the current clause
 	cctx     context.Context // optional cancellation; nil means never cancelled
 	polls    uint64          // pollCtx amortization counter
 }
@@ -639,8 +714,14 @@ func (m *matcher) matchAll(parts []*PatternPart, row Row, cb func(Row) error) er
 }
 
 // exists reports whether the pattern has at least one match from the given
-// row (used by pattern predicates in WHERE).
+// row (used by pattern predicates in WHERE). The clause's range constraints
+// are suspended for the probe: a predicate-local variable could share a
+// name with a WHERE-constrained one, and narrowing the probe's anchors
+// could then change whether the pattern exists.
 func (m *matcher) exists(part *PatternPart, row Row) (bool, error) {
+	saved := m.ranges
+	m.ranges = nil
+	defer func() { m.ranges = saved }()
 	found := false
 	err := m.matchPart(part, row, map[graph.ID]bool{}, func(Row) error {
 		found = true
@@ -688,7 +769,7 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 		}
 	}
 
-	candidates := m.anchorCandidates(np)
+	candidates := m.anchorCandidates(part)
 	if m.exec != nil {
 		m.exec.RowsScanned += len(candidates)
 	}
@@ -717,16 +798,29 @@ func (m *matcher) bindNode(part *PatternPart, i int, row Row, used map[graph.ID]
 	return nil
 }
 
-// anchorCandidates enumerates the candidate nodes for an unbound node
-// pattern. With pushdown on, a constant property equality on a labeled
-// pattern seeks the label+property index (keeping the smallest posting list
-// when several constraints apply); otherwise it scans the smallest label
-// bucket, else all nodes. Every candidate is re-checked by nodeSatisfies,
-// so the seek only narrows, never decides. Index seek stats are recorded;
-// the caller accounts the RowsScanned for the slice it actually walks.
-func (m *matcher) anchorCandidates(np *NodePattern) []*graph.Node {
+// anchorCandidates enumerates the candidate nodes for the part's unbound
+// anchor pattern. With pushdown on, it picks the narrowest index access
+// available: a constant inline property equality on a labeled pattern
+// seeks the label+property equality index, a seekable WHERE range on a
+// labeled pattern seeks the ordered index, and for an unlabeled anchor a
+// property-constrained first relationship seeks the ordered edge index and
+// derives the endpoint set. Otherwise it scans the smallest label bucket,
+// else all nodes. Every candidate is re-checked by nodeSatisfies and the
+// WHERE filter, so a seek only narrows, never decides; and every seek
+// returns a subsequence of the order the fallback scan would enumerate
+// (label-bucket insertion order when labeled, ascending ID otherwise), so
+// row order is identical with and without pushdown. Index seek stats are
+// recorded; the caller accounts the RowsScanned for the slice it walks.
+func (m *matcher) anchorCandidates(part *PatternPart) []*graph.Node {
+	np := part.Nodes[0]
 	var candidates []*graph.Node
-	seek := false
+	var info SeekInfo
+	const (
+		srcScan = iota
+		srcEq
+		srcRange
+	)
+	src := srcScan
 	if m.pushdown && len(np.Labels) > 0 && len(np.Props) > 0 {
 		keys := make([]string, 0, len(np.Props))
 		for k := range np.Props {
@@ -740,31 +834,195 @@ func (m *matcher) anchorCandidates(np *NodePattern) []*graph.Node {
 					continue // non-constant constraint: cannot index
 				}
 				ns := m.g.LabelPropNodes(l, k, lit.Value)
-				if !seek || len(ns) < len(candidates) {
+				if src == srcScan || len(ns) < len(candidates) {
 					candidates = ns
+					info = SeekInfo{Var: np.Var, Label: l, Key: k,
+						Bounds: "= " + litDisplay(lit.Value), Est: len(ns), Rows: len(ns)}
 				}
-				seek = true
+				src = srcEq
 			}
 		}
 	}
-	if seek {
+	if m.pushdown && len(np.Labels) > 0 {
+		if byKey := m.ranges.forVar(np.Var); len(byKey) > 0 {
+			keys := make([]string, 0, len(byKey))
+			for k := range byKey {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // deterministic seek choice across runs
+			bestLabel, bestKey, bestCount := "", "", -1
+			for _, l := range np.Labels {
+				for _, k := range keys {
+					r := byKey[k]
+					c := m.g.LabelPropRangeCount(l, k, r.lo, r.hi)
+					if bestCount == -1 || c < bestCount {
+						bestLabel, bestKey, bestCount = l, k, c
+					}
+				}
+			}
+			if bestCount >= 0 && (src == srcScan || bestCount < len(candidates)) {
+				r := byKey[bestKey]
+				candidates = m.g.LabelPropRange(bestLabel, bestKey, r.lo, r.hi)
+				info = SeekInfo{Var: np.Var, Label: bestLabel, Key: bestKey,
+					Bounds: r.String(), Est: bestCount, Rows: len(candidates)}
+				src = srcRange
+			}
+		}
+	}
+	switch src {
+	case srcEq:
 		if m.exec != nil {
 			m.exec.IndexSeeks++
 			m.exec.IndexRows += len(candidates)
+			m.recordSeek(info)
 		}
-	} else if len(np.Labels) > 0 {
-		best := -1
-		for _, l := range np.Labels {
-			ns := m.g.LabelNodes(l)
-			if best == -1 || len(ns) < best {
-				best = len(ns)
-				candidates = ns
+	case srcRange:
+		if m.exec != nil {
+			m.exec.RangeSeeks++
+			m.exec.RangeRows += len(candidates)
+			m.recordSeek(info)
+		}
+	default:
+		if len(np.Labels) > 0 {
+			best := -1
+			for _, l := range np.Labels {
+				ns := m.g.LabelNodes(l)
+				if best == -1 || len(ns) < best {
+					best = len(ns)
+					candidates = ns
+				}
 			}
+		} else if ns, ok := m.edgeAnchorCandidates(part); ok {
+			candidates = ns
+		} else {
+			candidates = m.g.AllNodes()
 		}
-	} else {
-		candidates = m.g.AllNodes()
 	}
 	return candidates
+}
+
+// edgeAnchorCandidates tries to anchor an unlabeled pattern from its first
+// relationship: when the rel is single-hop, typed, and constrained by
+// constant inline properties or seekable WHERE ranges on its variable, the
+// ordered edge index enumerates the matching edges and the near endpoints
+// become the candidate set — deduplicated and sorted ascending by ID, a
+// subsequence of the AllNodes order the full scan would use. It declines
+// (ok=false) when the derived set would not beat the full scan.
+func (m *matcher) edgeAnchorCandidates(part *PatternPart) ([]*graph.Node, bool) {
+	if !m.pushdown || len(part.Rels) == 0 {
+		return nil, false
+	}
+	rel := part.Rels[0]
+	if rel.IsVarLength() || len(rel.Types) == 0 {
+		return nil, false
+	}
+	eq := constRelProps(rel)
+	rr := m.ranges.forVar(rel.Var)
+	if len(eq) == 0 && len(rr) == 0 {
+		return nil, false
+	}
+	// Deterministic choice: per type, the constrained key with the smallest
+	// posting wins (equality keys first, then range keys, each sorted).
+	type pick struct {
+		key    string
+		lo, hi graph.Bound
+		bounds string
+		count  int
+	}
+	eqKeys := make([]string, 0, len(eq))
+	for k := range eq {
+		eqKeys = append(eqKeys, k)
+	}
+	sort.Strings(eqKeys)
+	rrKeys := make([]string, 0, len(rr))
+	for k := range rr {
+		rrKeys = append(rrKeys, k)
+	}
+	sort.Strings(rrKeys)
+
+	total := 0
+	picks := make([]pick, 0, len(rel.Types))
+	for _, t := range rel.Types {
+		var best *pick
+		for _, k := range eqKeys {
+			b := graph.ValueBound(eq[k], true)
+			c := m.g.TypePropRangeCount(t, k, b, b)
+			if best == nil || c < best.count {
+				best = &pick{key: k, lo: b, hi: b, bounds: "= " + litDisplay(eq[k]), count: c}
+			}
+		}
+		for _, k := range rrKeys {
+			r := rr[k]
+			c := m.g.TypePropRangeCount(t, k, r.lo, r.hi)
+			if best == nil || c < best.count {
+				best = &pick{key: k, lo: r.lo, hi: r.hi, bounds: r.String(), count: c}
+			}
+		}
+		picks = append(picks, *best)
+		total += best.count
+	}
+	if total >= m.g.NodeCount() {
+		return nil, false // a full node scan is no worse
+	}
+
+	var nodes []*graph.Node
+	seen := map[graph.ID]bool{}
+	add := func(id graph.ID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if n := m.g.Node(id); n != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	est := total
+	if rel.Direction == DirBoth {
+		est *= 2
+	}
+	for i, t := range rel.Types {
+		p := picks[i]
+		for _, e := range m.g.TypePropRange(t, p.key, p.lo, p.hi) {
+			// The anchor is the near endpoint of the (possibly planner-
+			// flipped) relationship; an undirected rel admits both.
+			switch rel.Direction {
+			case DirOut:
+				add(e.From)
+			case DirIn:
+				add(e.To)
+			default:
+				add(e.From)
+				add(e.To)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	if m.exec != nil {
+		seekKeys := make([]string, 0, len(picks))
+		for _, p := range picks {
+			if len(seekKeys) == 0 || seekKeys[len(seekKeys)-1] != p.key {
+				seekKeys = append(seekKeys, p.key)
+			}
+		}
+		m.exec.EdgeSeeks++
+		m.exec.EdgeRows += len(nodes)
+		m.recordSeek(SeekInfo{Var: rel.Var, Label: strings.Join(rel.Types, "|"),
+			Key: strings.Join(seekKeys, "|"), Bounds: picks[0].bounds, Edge: true,
+			Est: est, Rows: len(nodes)})
+	}
+	return nodes, true
+}
+
+// recordSeek appends a seek descriptor to the stats, collapsing repeat
+// enumerations of the same seek (later parts re-anchor once per outer row).
+func (m *matcher) recordSeek(info SeekInfo) {
+	for _, s := range m.exec.Seeks {
+		if s.Var == info.Var && s.Label == info.Label && s.Key == info.Key &&
+			s.Bounds == info.Bounds && s.Edge == info.Edge {
+			return
+		}
+	}
+	m.exec.Seeks = append(m.exec.Seeks, info)
 }
 
 func (m *matcher) nodeSatisfies(np *NodePattern, n *graph.Node, row Row) (bool, error) {

@@ -34,7 +34,8 @@ func (ex *Executor) Explain(src string) (string, error) {
 			}
 			line("%s (%d pattern(s))", kw, len(c.Patterns))
 			depth++
-			mp := ex.planMatch(c.Patterns, bound)
+			ranges := ex.clauseRanges(c.Where)
+			mp := ex.planMatch(c.Patterns, bound, ranges)
 			if mp.reordered {
 				line("CostOrder: order=%v reversed=%v est=%v [smallest anchor first]", mp.order, mp.reversed, mp.est)
 			}
@@ -42,7 +43,7 @@ func (ex *Executor) Explain(src string) (string, error) {
 				line("ShardScan(%d worker(s)) [anchor candidates partitioned, merged in shard order]", ex.shardWorkers)
 			}
 			for _, part := range mp.parts {
-				ex.explainPart(part, bound, line)
+				ex.explainPart(part, bound, ranges, line)
 			}
 			if c.Where != nil {
 				line("Filter: %s", c.Where.exprString())
@@ -81,25 +82,73 @@ func (ex *Executor) Explain(src string) (string, error) {
 		}
 	}
 	pc := ex.PlanCacheStats()
-	ib, il, live := ex.g.PropIndexStats()
-	fmt.Fprintf(&b, "Cache: plan hits=%d misses=%d entries=%d; prop index builds=%d lookups=%d live=%d\n",
-		pc.Hits, pc.Misses, pc.Entries, ib, il, live)
+	is := ex.g.IndexStats()
+	fmt.Fprintf(&b, "Cache: plan hits=%d misses=%d entries=%d; prop index builds=%d lookups=%d live=%d",
+		pc.Hits, pc.Misses, pc.Entries, is.EqBuilds, is.EqLookups, is.EqLive)
+	if is.OrdNodeBuilds+is.OrdEdgeBuilds > 0 {
+		fmt.Fprintf(&b, "; ordered index builds=%d/%d seeks=%d rows=%d",
+			is.OrdNodeBuilds, is.OrdEdgeBuilds, is.OrdSeeks, is.OrdRows)
+	}
+	b.WriteByte('\n')
 	return b.String(), nil
 }
 
-func (ex *Executor) explainPart(part *PatternPart, bound map[string]bool, line func(string, ...any)) {
+func (ex *Executor) explainPart(part *PatternPart, bound map[string]bool, ranges whereRanges, line func(string, ...any)) {
 	n0 := part.Nodes[0]
+	byKey := ranges.forVar(n0.Var)
 	switch {
 	case n0.Var != "" && bound[n0.Var]:
 		line("AnchorOnBound(%s)", n0.Var)
-	case !ex.noPushdown && len(n0.Labels) > 0 && hasConstProp(n0):
-		label, key := seekChoice(n0)
-		line("NodeIndexSeek(%s:%s.%s) [label+property index]", varOrAnon(n0.Var), label, key)
+	case !ex.noPushdown && len(n0.Labels) > 0 && (hasConstProp(n0) || len(byKey) > 0):
+		// Mirror the matcher: the equality posting and the range count
+		// compete, smallest candidate set wins.
+		eqN := -1
+		var eqLabel, eqKey string
+		if hasConstProp(n0) {
+			eqLabel, eqKey = seekChoice(n0)
+			for _, l := range n0.Labels {
+				for _, k := range sortedPropKeys(n0.Props) {
+					lit, ok := n0.Props[k].(*Literal)
+					if !ok {
+						continue
+					}
+					if n := len(ex.g.LabelPropNodes(l, k, lit.Value)); eqN == -1 || n < eqN {
+						eqN, eqLabel, eqKey = n, l, k
+					}
+				}
+			}
+		}
+		rN := -1
+		var rLabel, rKey string
+		for _, l := range n0.Labels {
+			for _, k := range sortedRangeKeys(byKey) {
+				r := byKey[k]
+				if c := ex.g.LabelPropRangeCount(l, k, r.lo, r.hi); rN == -1 || c < rN {
+					rN, rLabel, rKey = c, l, k
+				}
+			}
+		}
+		if rN >= 0 && (eqN == -1 || rN < eqN) {
+			line("NodeRangeSeek(%s:%s.%s %s) ~%d candidate(s) [ordered index]",
+				varOrAnon(n0.Var), rLabel, rKey, byKey[rKey], rN)
+		} else {
+			line("NodeIndexSeek(%s:%s.%s) [label+property index]", varOrAnon(n0.Var), eqLabel, eqKey)
+		}
 	case len(n0.Labels) > 0:
 		label, count := ex.bestLabel(n0.Labels)
 		line("NodeByLabelScan(%s:%s) ~%d candidate(s)", varOrAnon(n0.Var), label, count)
 	default:
-		line("AllNodesScan(%s) ~%d candidate(s)", varOrAnon(n0.Var), ex.g.NodeCount())
+		est, edgeSeek := 0.0, false
+		if !ex.noPushdown {
+			est, edgeSeek = ex.estEdgeAnchor(part, ranges)
+		}
+		if edgeSeek {
+			rel := part.Rels[0]
+			line("EdgeIndexSeek(%s:%s) ~%d endpoint(s) [ordered edge index]",
+				varOrAnon(rel.Var), strings.Join(rel.Types, "|"), int(est))
+		} else {
+			line("AllNodesScan(%s) ~%d candidate(s)", varOrAnon(n0.Var), ex.g.NodeCount())
+		}
 	}
 	markPatternVars(part, bound)
 	for i, rel := range part.Rels {

@@ -15,7 +15,7 @@ func TestExplainBasics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
-		"NodeByLabelScan(u:User) ~3 candidate(s)",
+		"NodeRangeSeek(u:User.id > 1) ~3 candidate(s)",
 		"Expand(POSTS, dir=out)",
 		"~3 edge(s) of type",
 		"Filter: (u.id > 1)",

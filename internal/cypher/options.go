@@ -1,0 +1,61 @@
+package cypher
+
+// Option configures an Executor at construction:
+//
+//	ex := cypher.NewExecutor(g,
+//		cypher.WithShardWorkers(8),
+//		cypher.WithPlanCacheCap(256),
+//		cypher.WithRangePushdown(false),
+//	)
+//
+// Options are the one place executor knobs are defined; the legacy Set*
+// methods are deprecated shims over them, and the graphrules facade and
+// mining.Config forward []Option verbatim, so a new knob added here is
+// immediately reachable from every API layer.
+type Option func(*Executor)
+
+// WithIndexPushdown toggles the label+property equality index pushdown (on
+// by default). Disabling it forces plain label-bucket scans and also
+// disables range pushdown, which rides on the same matcher gate.
+func WithIndexPushdown(on bool) Option {
+	return func(ex *Executor) { ex.noPushdown = !on }
+}
+
+// WithRangePushdown toggles the ordered-index range pushdown (on by
+// default): inequality and STARTS WITH conjuncts in WHERE, plus
+// relationship-property constraints, become index range seeks.
+func WithRangePushdown(on bool) Option {
+	return func(ex *Executor) { ex.noRangePushdown = !on }
+}
+
+// WithCountFastPath toggles the single-aggregate fast path (on by default).
+func WithCountFastPath(on bool) Option {
+	return func(ex *Executor) { ex.noCountFast = !on }
+}
+
+// WithReorder toggles cost-based pattern-part ordering (on by default).
+// Disabling it pins the written part order and orientation, which also pins
+// the serial row order — the differential oracle's reference mode.
+func WithReorder(on bool) Option {
+	return func(ex *Executor) { ex.noReorder = !on }
+}
+
+// WithShardWorkers configures sharded MATCH execution: eligible anchor
+// scans are partitioned across n workers and merged in shard order,
+// preserving the serial row order. n <= 0 keeps the plain serial path;
+// n == 1 runs the shard machinery with a single shard (useful for
+// differential tests).
+func WithShardWorkers(n int) Option {
+	return func(ex *Executor) {
+		if n < 0 {
+			n = 0
+		}
+		ex.shardWorkers = n
+	}
+}
+
+// WithPlanCacheCap bounds the plan cache to n entries, evicting
+// least-recently-used plans beyond the cap. n <= 0 keeps the default cap.
+func WithPlanCacheCap(n int) Option {
+	return func(ex *Executor) { ex.setPlanCacheCap(n) }
+}

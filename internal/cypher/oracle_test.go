@@ -2,10 +2,11 @@ package cypher
 
 // Differential oracle for the sharded, cost-reordered executor: every query
 // in a corpus (a fixed schema-derived set plus seeded randomized queries)
-// runs under the serial no-reorder reference configuration and under a grid
-// of {sharded x {1,2,8 workers}} x {reorder on/off} configurations, and the
-// results must agree. No-reorder configurations must reproduce the serial
-// row order exactly (contiguous shard merge preserves it); reorder-on
+// runs under the serial no-reorder reference configuration and under the
+// full {workers 0,1,2,8} x {reorder on/off} x {range pushdown on/off} grid,
+// and the results must agree. No-reorder configurations must reproduce the
+// serial row order exactly (contiguous shard merge preserves it, and range
+// seeks return candidates in scan-equivalent order); reorder-on
 // configurations are compared as canonically sorted row multisets, since
 // part reordering is allowed to permute unordered results.
 //
@@ -33,27 +34,47 @@ import (
 )
 
 type oracleConfig struct {
-	name    string
-	shard   int
-	reorder bool
+	name     string
+	shard    int
+	reorder  bool
+	pushdown bool // range/edge pushdown (reference runs with it ON)
 }
 
-// oracleGrid is every configuration compared against the serial reference.
-var oracleGrid = []oracleConfig{
-	{"shard0-reorder", 0, true},
-	{"shard1-noreorder", 1, false},
-	{"shard1-reorder", 1, true},
-	{"shard2-noreorder", 2, false},
-	{"shard2-reorder", 2, true},
-	{"shard8-noreorder", 8, false},
-	{"shard8-reorder", 8, true},
+// oracleGrid is every configuration compared against the serial reference:
+// the full cross product of shard workers, reorder, and range pushdown,
+// minus the reference configuration itself (shard 0, no reorder, pushdown).
+var oracleGrid = buildOracleGrid()
+
+func buildOracleGrid() []oracleConfig {
+	var grid []oracleConfig
+	for _, shard := range []int{0, 1, 2, 8} {
+		for _, reorder := range []bool{false, true} {
+			for _, pushdown := range []bool{true, false} {
+				if shard == 0 && !reorder && pushdown {
+					continue // the serial reference itself
+				}
+				name := fmt.Sprintf("shard%d", shard)
+				if reorder {
+					name += "-reorder"
+				} else {
+					name += "-noreorder"
+				}
+				if !pushdown {
+					name += "-nopush"
+				}
+				grid = append(grid, oracleConfig{name: name, shard: shard, reorder: reorder, pushdown: pushdown})
+			}
+		}
+	}
+	return grid
 }
 
 func newOracleExecutor(g *graph.Graph, cfg oracleConfig) *Executor {
-	ex := NewExecutor(g)
-	ex.SetShardWorkers(cfg.shard)
-	ex.SetReorder(cfg.reorder)
-	return ex
+	return NewExecutor(g,
+		WithShardWorkers(cfg.shard),
+		WithReorder(cfg.reorder),
+		WithRangePushdown(cfg.pushdown),
+	)
 }
 
 // oracleRun executes one query and renders every result row to a canonical
@@ -141,7 +162,7 @@ func TestDifferentialOracle(t *testing.T) {
 				corpus = append(corpus, sch.randomQuery(rng))
 			}
 
-			ref := newOracleExecutor(g, oracleConfig{shard: 0, reorder: false})
+			ref := newOracleExecutor(g, oracleConfig{shard: 0, reorder: false, pushdown: true})
 			grid := make([]*Executor, len(oracleGrid))
 			for i, cfg := range oracleGrid {
 				grid[i] = newOracleExecutor(g, cfg)
@@ -222,6 +243,9 @@ type relSample struct {
 	typ      string
 	from, to string // primary endpoint labels of a sample edge
 	count    int
+	// props: deterministic edge-property samples (int/string valued only),
+	// drawn from the first edges of the type — fuel for edge-index seeks.
+	props []propSample
 }
 
 type oracleSchema struct {
@@ -233,6 +257,9 @@ type oracleSchema struct {
 	props map[string][]propSample
 	// intProps: label -> samples whose value is an integer
 	intProps map[string][]propSample
+	// strProps: label -> samples whose value is a plain string (fuel for
+	// STARTS WITH prefix seeks)
+	strProps map[string][]propSample
 }
 
 func newOracleSchema(g *graph.Graph) *oracleSchema {
@@ -241,6 +268,7 @@ func newOracleSchema(g *graph.Graph) *oracleSchema {
 		count:    map[string]int{},
 		props:    map[string][]propSample{},
 		intProps: map[string][]propSample{},
+		strProps: map[string][]propSample{},
 	}
 	for _, l := range g.NodeLabels() {
 		n := len(g.NodesWithLabel(l))
@@ -274,6 +302,9 @@ func newOracleSchema(g *graph.Graph) *oracleSchema {
 				if v.Kind() == graph.KindInt {
 					sch.intProps[l] = append(sch.intProps[l], ps)
 				}
+				if v.Kind() == graph.KindString {
+					sch.strProps[l] = append(sch.strProps[l], ps)
+				}
 			}
 		}
 	}
@@ -287,7 +318,35 @@ func newOracleSchema(g *graph.Graph) *oracleSchema {
 		if from == nil || to == nil || len(from.Labels) == 0 || len(to.Labels) == 0 {
 			continue
 		}
-		sch.rels = append(sch.rels, relSample{typ: typ, from: from.Labels[0], to: to.Labels[0], count: len(ids)})
+		rs := relSample{typ: typ, from: from.Labels[0], to: to.Labels[0], count: len(ids)}
+		sample := ids
+		if len(sample) > 50 {
+			sample = sample[:50]
+		}
+		eseen := map[string]bool{}
+		for _, id := range sample {
+			ed := g.Edge(id)
+			if ed == nil {
+				continue
+			}
+			keys := make([]string, 0, len(ed.Props))
+			for k := range ed.Props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if eseen[k] {
+					continue
+				}
+				v := ed.Props[k]
+				if _, ok := cypherLit(v); !ok {
+					continue
+				}
+				eseen[k] = true
+				rs.props = append(rs.props, propSample{key: k, val: v})
+			}
+		}
+		sch.rels = append(sch.rels, rs)
 	}
 	return sch
 }
@@ -333,6 +392,26 @@ func (sch *oracleSchema) fixedCorpus() []string {
 			}
 			break // one prop per label keeps the fixed corpus compact
 		}
+		// Range-predicate shapes: these exercise the ordered-index seek path
+		// under pushdown configurations and the plain filter path without.
+		if len(sch.intProps[l]) > 0 {
+			ps := sch.intProps[l][0]
+			v := ps.val.Int()
+			qs = append(qs,
+				fmt.Sprintf("MATCH (a:%s) WHERE a.%s >= %d RETURN count(*) AS n", l, ps.key, v),
+				fmt.Sprintf("MATCH (a:%s) WHERE a.%s < %d RETURN count(*) AS n", l, ps.key, v),
+				fmt.Sprintf("MATCH (a:%s) WHERE a.%s > %d AND a.%s <= %d RETURN count(*) AS n", l, ps.key, v-3, ps.key, v+3),
+			)
+			if sch.count[l] <= 5000 {
+				qs = append(qs, fmt.Sprintf("MATCH (a:%s) WHERE a.%s >= %d RETURN a.%s AS x", l, ps.key, v, ps.key))
+			}
+		}
+		if len(sch.strProps[l]) > 0 {
+			ps := sch.strProps[l][0]
+			if s := asciiPrefix(ps.val.Str(), 2); s != "" {
+				qs = append(qs, fmt.Sprintf("MATCH (a:%s) WHERE a.%s STARTS WITH '%s' RETURN count(*) AS n", l, ps.key, s))
+			}
+		}
 	}
 	for _, r := range sch.rels {
 		qs = append(qs,
@@ -348,8 +427,36 @@ func (sch *oracleSchema) fixedCorpus() []string {
 			qs = append(qs, fmt.Sprintf(
 				"UNWIND [1, 2] AS x MATCH (a:%s)-[:%s]->(b) RETURN count(*) AS n", r.from, r.typ))
 		}
+		// Edge-property shapes: inline equality, WHERE equality and WHERE
+		// range on a typed relationship variable — these drive the
+		// edge-index seek path for unlabeled anchors under pushdown.
+		if len(r.props) > 0 && r.count <= 20000 {
+			ps := r.props[0]
+			lit, _ := cypherLit(ps.val)
+			qs = append(qs,
+				fmt.Sprintf("MATCH (a)-[r:%s {%s: %s}]->(b) RETURN count(*) AS n", r.typ, ps.key, lit),
+				fmt.Sprintf("MATCH (a)-[r:%s]->(b) WHERE r.%s = %s RETURN count(*) AS n", r.typ, ps.key, lit),
+			)
+			if ps.val.Kind() == graph.KindInt {
+				qs = append(qs, fmt.Sprintf(
+					"MATCH (a)-[r:%s]->(b) WHERE r.%s >= %d RETURN count(*) AS n", r.typ, ps.key, ps.val.Int()))
+				qs = append(qs, fmt.Sprintf(
+					"MATCH (b)<-[r:%s]-(a) WHERE r.%s < %d RETURN count(*) AS n", r.typ, ps.key, ps.val.Int()+1))
+			}
+		}
 	}
 	return qs
+}
+
+// asciiPrefix returns up to n leading ASCII bytes of s (stopping before any
+// multi-byte rune so the prefix is always a valid query literal), or "" if
+// the first byte is non-ASCII.
+func asciiPrefix(s string, n int) string {
+	i := 0
+	for i < len(s) && i < n && s[i] < 0x80 {
+		i++
+	}
+	return s[:i]
 }
 
 // randomQuery draws one read-only query whose estimated work is bounded, so
@@ -363,7 +470,7 @@ func (sch *oracleSchema) randomQuery(rng *rand.Rand) string {
 }
 
 func (sch *oracleSchema) tryRandomQuery(rng *rand.Rand) (string, bool) {
-	switch rng.Intn(12) {
+	switch rng.Intn(16) {
 	case 0: // label count
 		l := pick(rng, sch.labels)
 		return fmt.Sprintf("MATCH (a:%s) RETURN count(*) AS n", l), true
@@ -446,7 +553,7 @@ func (sch *oracleSchema) tryRandomQuery(rng *rand.Rand) (string, bool) {
 		ps := pick(rng, sch.intProps[l])
 		fn := pick(rng, []string{"sum", "min", "max"})
 		return fmt.Sprintf("MATCH (a:%s) RETURN %s(a.%s) AS n", l, fn, ps.key), true
-	default: // grouped WITH pipeline
+	case 11: // grouped WITH pipeline
 		r := pick(rng, sch.rels)
 		if r.count > 10000 {
 			return "", false
@@ -454,5 +561,69 @@ func (sch *oracleSchema) tryRandomQuery(rng *rand.Rand) (string, bool) {
 		return fmt.Sprintf(
 			"MATCH (a:%s)-[:%s]->(b) WITH a, count(b) AS c WHERE c > 1 RETURN count(*) AS n",
 			r.from, r.typ), true
+	case 12: // ordered-index range seek (one- or two-sided)
+		l := pick(rng, sch.labels)
+		if len(sch.intProps[l]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.intProps[l])
+		v := ps.val.Int()
+		switch rng.Intn(3) {
+		case 0:
+			op := pick(rng, []string{">", ">=", "<", "<="})
+			return fmt.Sprintf("MATCH (a:%s) WHERE a.%s %s %d RETURN count(*) AS n", l, ps.key, op, v), true
+		case 1:
+			lo, hi := v-int64(rng.Intn(5)), v+int64(rng.Intn(5))
+			return fmt.Sprintf("MATCH (a:%s) WHERE a.%s >= %d AND a.%s < %d RETURN count(*) AS n",
+				l, ps.key, lo, ps.key, hi), true
+		default: // range seek feeding an expansion (reorder interplay)
+			for _, r := range sch.rels {
+				if r.from == l && r.count <= 10000 {
+					return fmt.Sprintf("MATCH (a:%s)-[:%s]->(b) WHERE a.%s <= %d RETURN count(*) AS n",
+						l, r.typ, ps.key, v), true
+				}
+			}
+			return "", false
+		}
+	case 13: // STARTS WITH prefix seek
+		l := pick(rng, sch.labels)
+		if len(sch.strProps[l]) == 0 {
+			return "", false
+		}
+		ps := pick(rng, sch.strProps[l])
+		pfx := asciiPrefix(ps.val.Str(), 1+rng.Intn(3))
+		if pfx == "" {
+			return "", false
+		}
+		return fmt.Sprintf("MATCH (a:%s) WHERE a.%s STARTS WITH '%s' RETURN count(*) AS n", l, ps.key, pfx), true
+	case 14: // edge-property equality seek (inline or WHERE)
+		r := pick(rng, sch.rels)
+		if len(r.props) == 0 || r.count > 20000 {
+			return "", false
+		}
+		ps := pick(rng, r.props)
+		lit, _ := cypherLit(ps.val)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("MATCH (a)-[r:%s {%s: %s}]->(b) RETURN count(*) AS n", r.typ, ps.key, lit), true
+		}
+		return fmt.Sprintf("MATCH (a)-[r:%s]->(b) WHERE r.%s = %s RETURN count(*) AS n", r.typ, ps.key, lit), true
+	default: // edge-property range seek
+		r := pick(rng, sch.rels)
+		if r.count > 20000 {
+			return "", false
+		}
+		var ints []propSample
+		for _, ps := range r.props {
+			if ps.val.Kind() == graph.KindInt {
+				ints = append(ints, ps)
+			}
+		}
+		if len(ints) == 0 {
+			return "", false
+		}
+		ps := pick(rng, ints)
+		op := pick(rng, []string{">", ">=", "<", "<="})
+		return fmt.Sprintf("MATCH (a)-[r:%s]->(b) WHERE r.%s %s %d RETURN count(*) AS n",
+			r.typ, ps.key, op, ps.val.Int()), true
 	}
 }

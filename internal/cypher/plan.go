@@ -2,6 +2,8 @@ package cypher
 
 import (
 	"sort"
+
+	"github.com/graphrules/graphrules/internal/graph"
 )
 
 // This file implements cost-based ordering for MATCH clauses: whole pattern
@@ -40,10 +42,12 @@ func identityPlan(parts []*PatternPart) *matchPlan {
 }
 
 // planMatch orders the clause's pattern parts by estimated cost. bound holds
-// the variable names already bound when the clause runs. When any part's
+// the variable names already bound when the clause runs; ranges holds the
+// clause's seekable WHERE intervals (nil when range pushdown is off), which
+// sharpen anchor estimates for range-selective parts. When any part's
 // property expressions reference variables in ways the planner cannot prove
 // safe under reordering, it falls back to the identity plan.
-func (ex *Executor) planMatch(parts []*PatternPart, bound map[string]bool) *matchPlan {
+func (ex *Executor) planMatch(parts []*PatternPart, bound map[string]bool, ranges whereRanges) *matchPlan {
 	if ex.noReorder || len(parts) == 0 {
 		return identityPlan(parts)
 	}
@@ -72,12 +76,12 @@ func (ex *Executor) planMatch(parts []*PatternPart, bound map[string]bool) *matc
 			if !orientationSafe(part, false, known) {
 				continue // depends on a part not yet placed
 			}
-			cost := ex.partCost(part, false, known)
+			cost := ex.partCost(part, false, known, ranges)
 			if bestPos == -1 || cost < bestCost {
 				bestPos, bestRev, bestCost = pos, false, cost
 			}
 			if reversible(part) && orientationSafe(part, true, known) {
-				if rc := ex.partCost(part, true, known); rc < bestCost {
+				if rc := ex.partCost(part, true, known, ranges); rc < bestCost {
 					bestPos, bestRev, bestCost = pos, true, rc
 				}
 			}
@@ -95,7 +99,7 @@ func (ex *Executor) planMatch(parts []*PatternPart, bound map[string]bool) *matc
 		plan.parts = append(plan.parts, part)
 		plan.order = append(plan.order, idx)
 		plan.reversed = append(plan.reversed, bestRev)
-		plan.est = append(plan.est, ex.estAnchor(part.Nodes[0], known))
+		plan.est = append(plan.est, ex.estAnchor(part, known, ranges))
 		addIntroduced(part, known)
 		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
 	}
@@ -108,10 +112,13 @@ func (ex *Executor) planMatch(parts []*PatternPart, bound map[string]bool) *matc
 	return plan
 }
 
-// estAnchor estimates how many candidate nodes anchoring on np enumerates,
-// mirroring the matcher's actual anchor choice (bound variable, index seek,
-// smallest label bucket, full scan).
-func (ex *Executor) estAnchor(np *NodePattern, bound map[string]bool) float64 {
+// estAnchor estimates how many candidate nodes anchoring the part
+// enumerates, mirroring the matcher's actual anchor choice (bound variable,
+// equality or range index seek, edge-derived anchor, smallest label bucket,
+// full scan). Range counts come from the same ordered postings the matcher
+// seeks, so range-selective parts cost what they will actually scan.
+func (ex *Executor) estAnchor(part *PatternPart, bound map[string]bool, ranges whereRanges) float64 {
+	np := part.Nodes[0]
 	if np.Var != "" && bound[np.Var] {
 		return 1
 	}
@@ -128,6 +135,14 @@ func (ex *Executor) estAnchor(np *NodePattern, bound map[string]bool) float64 {
 					best = n
 				}
 			}
+			if byKey := ranges.forVar(np.Var); len(byKey) > 0 {
+				for _, k := range sortedRangeKeys(byKey) {
+					r := byKey[k]
+					if c := ex.g.LabelPropRangeCount(l, k, r.lo, r.hi); best == -1 || c < best {
+						best = c
+					}
+				}
+			}
 		}
 		if best >= 0 {
 			return float64(best)
@@ -142,12 +157,64 @@ func (ex *Executor) estAnchor(np *NodePattern, bound map[string]bool) float64 {
 		}
 		return float64(best)
 	}
+	if !ex.noPushdown {
+		if est, ok := ex.estEdgeAnchor(part, ranges); ok {
+			return est
+		}
+	}
 	return float64(ex.g.NodeCount())
+}
+
+// estEdgeAnchor estimates the edge-derived anchor the matcher would take
+// for an unlabeled, relationship-constrained part (see
+// edgeAnchorCandidates); ok=false when that anchor would not engage.
+func (ex *Executor) estEdgeAnchor(part *PatternPart, ranges whereRanges) (float64, bool) {
+	if len(part.Rels) == 0 {
+		return 0, false
+	}
+	rel := part.Rels[0]
+	if rel.IsVarLength() || len(rel.Types) == 0 {
+		return 0, false
+	}
+	eq := constRelProps(rel)
+	rr := ranges.forVar(rel.Var)
+	if len(eq) == 0 && len(rr) == 0 {
+		return 0, false
+	}
+	eqKeys := make([]string, 0, len(eq))
+	for k := range eq {
+		eqKeys = append(eqKeys, k)
+	}
+	sort.Strings(eqKeys)
+	total := 0
+	for _, t := range rel.Types {
+		best := -1
+		for _, k := range eqKeys {
+			b := graph.ValueBound(eq[k], true)
+			if c := ex.g.TypePropRangeCount(t, k, b, b); best == -1 || c < best {
+				best = c
+			}
+		}
+		for _, k := range sortedRangeKeys(rr) {
+			r := rr[k]
+			if c := ex.g.TypePropRangeCount(t, k, r.lo, r.hi); best == -1 || c < best {
+				best = c
+			}
+		}
+		total += best
+	}
+	if rel.Direction == DirBoth {
+		total *= 2
+	}
+	if n := ex.g.NodeCount(); total >= n {
+		return 0, false
+	}
+	return float64(total), true
 }
 
 // partCost estimates the matching work of one part in the given orientation:
 // anchor cardinality times per-hop fanout times target-label selectivity.
-func (ex *Executor) partCost(part *PatternPart, reversed bool, bound map[string]bool) float64 {
+func (ex *Executor) partCost(part *PatternPart, reversed bool, bound map[string]bool, ranges whereRanges) float64 {
 	p := part
 	if reversed {
 		p = reversePart(part)
@@ -156,7 +223,7 @@ func (ex *Executor) partCost(part *PatternPart, reversed bool, bound map[string]
 	if total < 1 {
 		total = 1
 	}
-	cost := ex.estAnchor(p.Nodes[0], bound)
+	cost := ex.estAnchor(p, bound, ranges)
 	for i, rel := range p.Rels {
 		fanout := ex.relFanout(rel) / total
 		if fanout < 0.01 {

@@ -1,0 +1,286 @@
+package cypher
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// This file extracts index-seekable range constraints from WHERE clauses:
+// inequality conjuncts (`v.key < lit`, `>=`, closed intervals built from two
+// conjuncts) and string prefixes (`v.key STARTS WITH 'p'`), turned into
+// sort-key intervals for the ordered property index (graph/rangeindex.go).
+//
+// Extraction is conservative: a range only ever narrows the anchor
+// candidate set, and every candidate is still re-checked by the full WHERE
+// evaluation, so missing a constraint costs performance, never correctness.
+// The one soundness requirement is that a seek interval be a superset of
+// the values the predicate accepts. Numeric bounds are therefore widened to
+// inclusive: int64s beyond 2^53 collapse onto shared float64 sort keys, so
+// an exclusive bound could wrongly drop a value whose exact comparison
+// succeeds. String and bool sort keys are exact and keep strict bounds.
+
+// Sort-key kind-band fences (see graph.Value.SortKey): every bool key lies
+// in ["0:", "1:"), numerics in ["1:", "2:"), strings in ["2:", "3:").
+// Clamping the open side of an interval to the literal's band keeps e.g.
+// `a.x > 5` from sweeping in every string-valued node.
+const (
+	bandBool    = "0:"
+	bandNumeric = "1:"
+	bandString  = "2:"
+	bandList    = "3:"
+)
+
+// propRange is the intersected seek interval for one (variable, key) pair,
+// plus the source predicate that won each side, for Explain/ExecStats
+// rendering (a conjunct subsumed by a tighter one is not displayed).
+type propRange struct {
+	lo, hi         graph.Bound
+	loTerm, hiTerm string // e.g. ">= 30", "< 100", "STARTS WITH 'ab'"
+}
+
+// String renders the user-level predicates behind the interval.
+func (r *propRange) String() string {
+	if r.loTerm != "" && r.loTerm == r.hiTerm {
+		return r.loTerm // a prefix predicate owns both sides
+	}
+	var parts []string
+	if r.loTerm != "" {
+		parts = append(parts, r.loTerm)
+	}
+	if r.hiTerm != "" {
+		parts = append(parts, r.hiTerm)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// whereRanges maps variable name -> property key -> seek interval.
+type whereRanges map[string]map[string]*propRange
+
+// forVar returns the ranges constraining one variable (nil when none).
+func (w whereRanges) forVar(name string) map[string]*propRange {
+	if w == nil || name == "" {
+		return nil
+	}
+	return w[name]
+}
+
+// extractRanges walks the top-level AND conjunction of a WHERE expression
+// and collects seekable intervals. It returns nil when nothing is seekable.
+func extractRanges(where Expr) whereRanges {
+	if where == nil {
+		return nil
+	}
+	var conjs []Expr
+	splitAnd(where, &conjs)
+	var out whereRanges
+	for _, c := range conjs {
+		b, ok := c.(*Binary)
+		if !ok {
+			continue
+		}
+		op := b.Op
+		v, key, lit, flipped, ok := rangePropLiteral(b)
+		if !ok || lit.Value.IsNull() {
+			continue
+		}
+		if flipped {
+			// lit OP v.key: mirror the comparison. STARTS WITH cannot be
+			// mirrored into a constraint on v.key.
+			switch op {
+			case OpLt:
+				op = OpGt
+			case OpGt:
+				op = OpLt
+			case OpLte:
+				op = OpGte
+			case OpGte:
+				op = OpLte
+			default:
+				continue
+			}
+		}
+		lo, hi, term, ok := boundsFor(op, lit.Value)
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = whereRanges{}
+		}
+		byKey := out[v.Name]
+		if byKey == nil {
+			byKey = map[string]*propRange{}
+			out[v.Name] = byKey
+		}
+		r := byKey[key]
+		if r == nil {
+			r = &propRange{}
+			byKey[key] = r
+		}
+		// A side's display term belongs to the predicate that constrains it
+		// directly; the kind-band fence a one-sided comparison puts on its
+		// open side tightens the interval but claims no term.
+		loPrimary := op == OpGt || op == OpGte || op == OpStartsWith
+		hiPrimary := op == OpLt || op == OpLte || op == OpStartsWith
+		if lo.Set && loTighter(lo, r.lo) {
+			r.lo = lo
+			if loPrimary {
+				r.loTerm = term
+			}
+		}
+		if hi.Set && hiTighter(hi, r.hi) {
+			r.hi = hi
+			if hiPrimary {
+				r.hiTerm = term
+			}
+		}
+	}
+	return out
+}
+
+// splitAnd flattens a top-level AND tree into its conjuncts.
+func splitAnd(e Expr, out *[]Expr) {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		splitAnd(b.L, out)
+		splitAnd(b.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// rangePropLiteral decomposes a comparison into (v.key, literal) in either
+// operand order; flipped reports the literal was on the left.
+func rangePropLiteral(b *Binary) (v *Variable, key string, lit *Literal, flipped, ok bool) {
+	if pa, okL := b.L.(*PropAccess); okL {
+		if vv, okV := pa.Target.(*Variable); okV {
+			if l, okR := b.R.(*Literal); okR {
+				return vv, pa.Key, l, false, true
+			}
+		}
+	}
+	if pa, okR := b.R.(*PropAccess); okR {
+		if vv, okV := pa.Target.(*Variable); okV {
+			if l, okL := b.L.(*Literal); okL {
+				return vv, pa.Key, l, true, true
+			}
+		}
+	}
+	return nil, "", nil, false, false
+}
+
+// boundsFor turns one predicate (already normalized to property-on-left)
+// into a seek interval, clamping the open side to the literal's kind band.
+func boundsFor(op BinaryOp, lit graph.Value) (lo, hi graph.Bound, term string, ok bool) {
+	bandLo, bandHi, ok := kindBand(lit.Kind())
+	if !ok {
+		return graph.Bound{}, graph.Bound{}, "", false
+	}
+	// exact = the literal's sort key identifies exactly its value; numeric
+	// keys are lossy for huge ints, so strict bounds are widened (see the
+	// file comment).
+	exact := lit.Kind() != graph.KindInt && lit.Kind() != graph.KindFloat
+	litB := func(strict bool) graph.Bound {
+		return graph.ValueBound(lit, !strict || !exact)
+	}
+	switch op {
+	case OpGt:
+		return litB(true), graph.RawBound(bandHi, false), "> " + litDisplay(lit), true
+	case OpGte:
+		return litB(false), graph.RawBound(bandHi, false), ">= " + litDisplay(lit), true
+	case OpLt:
+		return graph.RawBound(bandLo, true), litB(true), "< " + litDisplay(lit), true
+	case OpLte:
+		return graph.RawBound(bandLo, true), litB(false), "<= " + litDisplay(lit), true
+	case OpStartsWith:
+		if lit.Kind() != graph.KindString {
+			return graph.Bound{}, graph.Bound{}, "", false
+		}
+		pfx := bandString + lit.Str()
+		return graph.RawBound(pfx, true), prefixSuccessor(pfx, bandList),
+			"STARTS WITH " + litDisplay(lit), true
+	}
+	return graph.Bound{}, graph.Bound{}, "", false
+}
+
+// kindBand returns the sort-key band fences for a literal kind; comparisons
+// against other kinds (lists, nulls) are not extracted.
+func kindBand(k graph.Kind) (lo, hi string, ok bool) {
+	switch k {
+	case graph.KindBool:
+		return bandBool, bandNumeric, true
+	case graph.KindInt, graph.KindFloat:
+		return bandNumeric, bandString, true
+	case graph.KindString:
+		return bandString, bandList, true
+	}
+	return "", "", false
+}
+
+// prefixSuccessor returns the exclusive upper bound for keys starting with
+// pfx: the shortest string greater than every such key. When no successor
+// exists inside the band (all 0xff), the band ceiling is the bound.
+func prefixSuccessor(pfx, bandCeil string) graph.Bound {
+	b := []byte(pfx)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return graph.RawBound(string(b[:i+1]), false)
+		}
+	}
+	return graph.RawBound(bandCeil, false)
+}
+
+// litDisplay renders a literal for seek-bound display.
+func litDisplay(v graph.Value) string { return (&Literal{Value: v}).exprString() }
+
+// loTighter reports whether a is a tighter (higher) lower bound than b. An
+// unset bound is loosest.
+func loTighter(a, b graph.Bound) bool {
+	if !b.Set {
+		return true
+	}
+	if a.SortKey != b.SortKey {
+		return a.SortKey > b.SortKey
+	}
+	return !a.Inclusive && b.Inclusive
+}
+
+// hiTighter reports whether a is a tighter (lower) upper bound than b.
+func hiTighter(a, b graph.Bound) bool {
+	if !b.Set {
+		return true
+	}
+	if a.SortKey != b.SortKey {
+		return a.SortKey < b.SortKey
+	}
+	return !a.Inclusive && b.Inclusive
+}
+
+// sortedRangeKeys returns a range map's property keys in sorted order, for
+// deterministic seek and estimate choices.
+func sortedRangeKeys(byKey map[string]*propRange) []string {
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// constRelProps returns the constant-literal inline properties of a rel
+// pattern (nil when none), mirroring the node inline-equality pushdown.
+func constRelProps(rp *RelPattern) map[string]graph.Value {
+	var out map[string]graph.Value
+	for k, e := range rp.Props {
+		lit, ok := e.(*Literal)
+		if !ok || lit.Value.IsNull() {
+			continue
+		}
+		if out == nil {
+			out = map[string]graph.Value{}
+		}
+		out[k] = lit.Value
+	}
+	return out
+}

@@ -77,6 +77,23 @@ func mergeWorkerStats(dst, src *ExecStats) {
 	dst.RowsScanned += src.RowsScanned
 	dst.IndexSeeks += src.IndexSeeks
 	dst.IndexRows += src.IndexRows
+	dst.RangeSeeks += src.RangeSeeks
+	dst.RangeRows += src.RangeRows
+	dst.EdgeSeeks += src.EdgeSeeks
+	dst.EdgeRows += src.EdgeRows
+	for _, info := range src.Seeks {
+		dup := false
+		for _, s := range dst.Seeks {
+			if s.Var == info.Var && s.Label == info.Label && s.Key == info.Key &&
+				s.Bounds == info.Bounds && s.Edge == info.Edge {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst.Seeks = append(dst.Seeks, info)
+		}
+	}
 }
 
 // matchAllAnchored is matchAll restricted to a pre-enumerated anchor
@@ -143,8 +160,8 @@ type shardWorker struct {
 	ctx *evalCtx
 }
 
-func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool, cctx context.Context) *shardWorker {
-	wm := &matcher{g: ex.g, pushdown: pushdown, exec: &ExecStats{}, cctx: cctx}
+func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context) *shardWorker {
+	wm := &matcher{g: ex.g, pushdown: pushdown, ranges: ranges, exec: &ExecStats{}, cctx: cctx}
 	wctx := newEvalCtx(ex.g, params, wm)
 	wm.ctx = wctx
 	return &shardWorker{m: wm, ctx: wctx}
@@ -158,7 +175,7 @@ func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool,
 // contiguously and every earlier chunk completed without error.
 func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, plan *matchPlan, newVars []string, row Row, st *Stats) ([]Row, error) {
 	st.RowsExamined++
-	cands := m.anchorCandidates(plan.parts[0].Nodes[0])
+	cands := m.anchorCandidates(plan.parts[0])
 	chunks := shardChunks(cands, ex.shardWorkers)
 
 	type shardOut struct {
@@ -173,7 +190,7 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 		go func(si int, chunk []*graph.Node) {
 			defer wg.Done()
 			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.cctx)
+			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.ranges, m.cctx)
 			wrow := row.clone()
 			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, wrow, func(r Row) error {
 				if cl.Where != nil {
@@ -223,7 +240,7 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 // streams its chunk's matches into a private aggregate state and the states
 // are merged in shard order into a fresh final state.
 func (ex *Executor) shardAggregate(ctx *evalCtx, m *matcher, plan *matchPlan, where Expr, fc *FuncCall) (*aggState, error) {
-	cands := m.anchorCandidates(plan.parts[0].Nodes[0])
+	cands := m.anchorCandidates(plan.parts[0])
 	chunks := shardChunks(cands, ex.shardWorkers)
 
 	type shardOut struct {
@@ -239,7 +256,7 @@ func (ex *Executor) shardAggregate(ctx *evalCtx, m *matcher, plan *matchPlan, wh
 		go func(si int, chunk []*graph.Node) {
 			defer wg.Done()
 			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.cctx)
+			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.ranges, m.cctx)
 			o.st = newAggState(fc)
 			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, Row{}, func(r Row) error {
 				if where != nil {

@@ -96,14 +96,23 @@ type Graph struct {
 	nodesByLabel map[string][]ID
 	edgesByType  map[string][]ID
 
-	// Lazily-built read caches (see propindex.go). All are invalidated
-	// wholesale by any node mutation; edge-only mutations leave them alone.
-	propIndex map[string]map[string][]*Node // label\x00key -> value SortKey -> nodes
-	labelPtrs map[string][]*Node            // label -> nodes, insertion order
-	allPtrs   []*Node                       // all nodes, ascending ID
+	// Lazily-built read caches (see propindex.go and rangeindex.go).
+	// Invalidation is incremental: a node mutation drops the postings of the
+	// labels the node carries (plus allPtrs), an edge mutation drops the
+	// ordered postings of the edge's types; see invalidateNodeLabelsLocked
+	// and invalidateEdgeLabelsLocked in propindex.go.
+	propIndex  map[string]map[string][]*Node // label\x00key -> value SortKey -> nodes
+	labelPtrs  map[string][]*Node            // label -> nodes, insertion order
+	allPtrs    []*Node                       // all nodes, ascending ID
+	ordNodeIdx map[string]*ordPosting[*Node] // label\x00key -> sorted posting
+	ordEdgeIdx map[string]*ordPosting[*Edge] // type\x00key -> sorted posting
 
-	idxBuilds  atomic.Int64 // posting-map constructions (stats)
+	idxBuilds  atomic.Int64 // equality posting-map constructions (stats)
 	idxLookups atomic.Int64 // LabelPropNodes calls (stats)
+	ordBuilds  atomic.Int64 // ordered node posting constructions (stats)
+	ordEdges   atomic.Int64 // ordered edge posting constructions (stats)
+	ordSeeks   atomic.Int64 // range seeks served (stats)
+	ordRows    atomic.Int64 // rows returned by range seeks (stats)
 }
 
 // New returns an empty graph with the given name.
@@ -131,10 +140,10 @@ func (g *Graph) AddNode(labels []string, props Props) *Node {
 }
 
 func (g *Graph) addNodeLocked(labels []string, props Props) *Node {
-	g.invalidateNodeCachesLocked()
 	id := g.nextNodeID
 	g.nextNodeID++
 	n := &Node{ID: id, Labels: dedupe(labels), Props: props.Clone()}
+	g.invalidateNodeLabelsLocked(n.Labels)
 	if n.Props == nil {
 		n.Props = Props{}
 	}
@@ -167,6 +176,7 @@ func (g *Graph) AddEdge(from, to ID, labels []string, props Props) (*Edge, error
 	if e.Props == nil {
 		e.Props = Props{}
 	}
+	g.invalidateEdgeLabelsLocked(labels)
 	g.edges[id] = e
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
@@ -309,7 +319,7 @@ func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 	if !ok {
 		return fmt.Errorf("graph %q: SetNodeProp: node %d does not exist", g.name, id)
 	}
-	g.invalidateNodeCachesLocked()
+	g.invalidateNodeLabelsLocked(n.Labels)
 	props := n.Props.Clone()
 	if v.IsNull() {
 		delete(props, key)
@@ -330,6 +340,7 @@ func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
 	if !ok {
 		return fmt.Errorf("graph %q: SetEdgeProp: edge %d does not exist", g.name, id)
 	}
+	g.invalidateEdgeLabelsLocked(e.Labels)
 	props := e.Props.Clone()
 	if v.IsNull() {
 		delete(props, key)
@@ -361,7 +372,10 @@ func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
 		added = true
 	}
 	if added {
-		g.invalidateNodeCachesLocked()
+		// Invalidate under every label the node now carries: postings for
+		// the old labels hold the superseded struct, and the new labels'
+		// postings (if built) are missing the node entirely.
+		g.invalidateNodeLabelsLocked(nl)
 		// The property map is shared with the old version; safe because no
 		// mutator writes a published Props map in place.
 		g.nodes[id] = &Node{ID: n.ID, Labels: nl, Props: n.Props}
@@ -390,6 +404,7 @@ func (g *Graph) removeEdgeLocked(id ID) {
 	if !ok {
 		return
 	}
+	g.invalidateEdgeLabelsLocked(e.Labels)
 	delete(g.edges, id)
 	g.out[e.From] = swapRemoveID(g.out[e.From], id)
 	g.in[e.To] = swapRemoveID(g.in[e.To], id)
@@ -407,7 +422,7 @@ func (g *Graph) RemoveNode(id ID) {
 	if !ok {
 		return
 	}
-	g.invalidateNodeCachesLocked()
+	g.invalidateNodeLabelsLocked(n.Labels)
 	for _, eid := range append(append([]ID(nil), g.out[id]...), g.in[id]...) {
 		g.removeEdgeLocked(eid)
 	}

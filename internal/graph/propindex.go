@@ -1,25 +1,64 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // This file holds the graph's lazily-built read caches: the label+property
 // value index consulted by the Cypher matcher's equality pushdown, and bulk
 // node/edge pointer snapshots that let hot scan loops acquire the graph
 // lock once per scan instead of once per element.
 //
-// All caches are built on first use under the write lock and dropped
-// wholesale by any node mutation (AddNode, SetNodeProp, AddNodeLabels,
-// RemoveNode); edge-only mutations never touch node postings, so they do
-// not invalidate. Returned slices are shared read-only snapshots: callers
-// must not modify them, and a concurrent writer only ever swaps in fresh
-// slices, never mutates a published one.
+// All caches are built on first use under the write lock and invalidated
+// incrementally by mutation: a node mutation (AddNode, SetNodeProp,
+// AddNodeLabels, RemoveNode) drops only the postings and label snapshots of
+// the labels the node carries — plus the allPtrs snapshot, which spans every
+// label — and an edge mutation (AddEdge, SetEdgeProp, RemoveEdge) drops only
+// the ordered edge postings of the edge's types. Node-only mutations never
+// touch edge postings and vice versa. Returned slices are shared read-only
+// snapshots: callers must not modify them, and a concurrent writer only ever
+// swaps in fresh slices, never mutates a published one.
 
-// invalidateNodeCachesLocked drops every lazily-built node cache. Callers
-// must hold the write lock.
-func (g *Graph) invalidateNodeCachesLocked() {
-	g.propIndex = nil
-	g.labelPtrs = nil
+// invalidateNodeLabelsLocked drops the lazily-built node caches touched by a
+// mutation of a node carrying the given labels: the equality and ordered
+// postings under those labels, those labels' pointer snapshots, and always
+// the all-nodes snapshot. Callers must hold the write lock.
+func (g *Graph) invalidateNodeLabelsLocked(labels []string) {
 	g.allPtrs = nil
+	if len(labels) == 0 {
+		return
+	}
+	for _, l := range labels {
+		delete(g.labelPtrs, l)
+		prefix := l + "\x00"
+		for k := range g.propIndex {
+			if strings.HasPrefix(k, prefix) {
+				delete(g.propIndex, k)
+			}
+		}
+		for k := range g.ordNodeIdx {
+			if strings.HasPrefix(k, prefix) {
+				delete(g.ordNodeIdx, k)
+			}
+		}
+	}
+}
+
+// invalidateEdgeLabelsLocked drops the ordered edge postings under the given
+// edge types. Callers must hold the write lock.
+func (g *Graph) invalidateEdgeLabelsLocked(labels []string) {
+	if len(g.ordEdgeIdx) == 0 {
+		return
+	}
+	for _, l := range labels {
+		prefix := l + "\x00"
+		for k := range g.ordEdgeIdx {
+			if strings.HasPrefix(k, prefix) {
+				delete(g.ordEdgeIdx, k)
+			}
+		}
+	}
 }
 
 // propIndexKey joins a label and a property key into one posting-map key.

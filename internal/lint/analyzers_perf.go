@@ -13,7 +13,7 @@ func init() {
 	})
 	Register(&Analyzer{
 		Name:     "indexseek",
-		Doc:      "equality predicate written where the planner cannot use the label+property index (inline pattern properties are index-eligible, WHERE equalities are not)",
+		Doc:      "predicate written where the planner cannot use an index: WHERE equalities are only index-eligible inline (node label+property or edge type+property), and range predicates need a labeled node or typed relationship for the ordered index",
 		Severity: Info,
 		Run:      runIndexSeek,
 	})
@@ -92,22 +92,35 @@ func runCartesian(p *Pass) {
 	}
 }
 
-// runIndexSeek flags WHERE equality predicates the cost-based planner cannot
-// turn into LabelPropNodes index seeks: anchors are only seeded from labeled
-// node patterns with inline literal properties (see cypher/plan.go), so
-// `MATCH (v:L) WHERE v.key = lit` scans all :L nodes.
+// runIndexSeek flags WHERE predicates the planner cannot turn into index
+// seeks, and stays silent on the ones it can:
+//
+//   - equality on a labeled node variable is only index-eligible written
+//     inline (`(v:L {key: lit})`), never in WHERE (see cypher/plan.go);
+//   - equality on a typed relationship variable is only index-eligible
+//     inline (`[r:T {key: lit}]`), where the ordered edge index serves it;
+//   - range predicates (<, <=, >, >=, STARTS WITH) on a labeled node or
+//     typed relationship variable ARE seek-able in WHERE via the ordered
+//     property index, so they are not flagged — only unlabeled/untyped
+//     variables, which no index can serve, draw a diagnostic.
 func runIndexSeek(p *Pass) {
 	for _, cl := range p.Query.Clauses {
 		m, ok := cl.(*cypher.MatchClause)
 		if !ok || m.Where == nil {
 			continue
 		}
-		// Node variables bound by this clause, with their label counts.
-		labeled := map[string]*cypher.NodePattern{}
+		// Variables bound by this clause's patterns.
+		nodes := map[string]*cypher.NodePattern{}
+		rels := map[string]*cypher.RelPattern{}
 		for _, part := range m.Patterns {
 			for _, n := range part.Nodes {
 				if n.Var != "" {
-					labeled[n.Var] = n
+					nodes[n.Var] = n
+				}
+			}
+			for _, r := range part.Rels {
+				if r.Var != "" {
+					rels[r.Var] = r
 				}
 			}
 		}
@@ -115,26 +128,57 @@ func runIndexSeek(p *Pass) {
 		conjuncts(m.Where, &cs)
 		for _, c := range cs {
 			b, ok := c.(*cypher.Binary)
-			if !ok || b.Op != cypher.OpEq {
+			if !ok {
 				continue
 			}
-			v, key, lit, _, ok := propAndLiteral(b)
+			isRange := false
+			switch b.Op {
+			case cypher.OpEq:
+			case cypher.OpLt, cypher.OpLte, cypher.OpGt, cypher.OpGte, cypher.OpStartsWith:
+				isRange = true
+			default:
+				continue
+			}
+			v, key, lit, flipped, ok := propAndLiteral(b)
 			if !ok || lit.Value.IsNull() {
 				continue
 			}
-			np, isNodeVar := labeled[v.Name]
+			if flipped && b.Op == cypher.OpStartsWith {
+				continue // `lit STARTS WITH v.key` constrains nothing seek-able
+			}
+			if rp, isRelVar := rels[v.Name]; isRelVar {
+				if len(rp.Types) == 0 {
+					p.Reportf(b.OpSpan,
+						"predicate on %s.%s cannot use the edge index: the pattern binds `%s` without a relationship type",
+						v.Name, key, v.Name)
+					continue
+				}
+				if !isRange {
+					p.Reportf(b.OpSpan,
+						"equality on %s.%s in WHERE is not index-eligible; write it inline as [%s:%s {%s: %s}] to enable an edge-index seek",
+						v.Name, key, v.Name, rp.Types[0], key, lit.Value)
+				}
+				// Ranges on a typed relationship seek via the ordered edge
+				// index directly from WHERE: nothing to report.
+				continue
+			}
+			np, isNodeVar := nodes[v.Name]
 			if !isNodeVar {
 				continue
 			}
 			if len(np.Labels) == 0 {
 				p.Reportf(b.OpSpan,
-					"equality on %s.%s cannot use an index: the pattern binds `%s` without a label",
+					"predicate on %s.%s cannot use an index: the pattern binds `%s` without a label",
 					v.Name, key, v.Name)
 				continue
 			}
-			p.Reportf(b.OpSpan,
-				"equality on %s.%s in WHERE is not index-eligible; write it inline as (%s:%s {%s: %s}) to enable an index seek",
-				v.Name, key, v.Name, np.Labels[0], key, lit.Value)
+			if !isRange {
+				p.Reportf(b.OpSpan,
+					"equality on %s.%s in WHERE is not index-eligible; write it inline as (%s:%s {%s: %s}) to enable an index seek",
+					v.Name, key, v.Name, np.Labels[0], key, lit.Value)
+			}
+			// Ranges on a labeled node seek via the ordered property index
+			// directly from WHERE: nothing to report.
 		}
 	}
 }

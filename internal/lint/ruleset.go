@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+// This file implements the first cross-query lint pass: unlike the
+// registered analyzers, which each examine one query in isolation, the
+// "ruleset" pass looks across a whole mined rule set and flags rules that
+// are duplicates of each other — their support, body and head queries are
+// all identical up to variable renaming. Such pairs slip past the NL-level
+// dedup (the natural-language statements differ) yet measure the same
+// constraint twice and inflate the mined-rule count. All three queries
+// participate in the key: many rule kinds share body/head shapes (every
+// required-property rule on one label has the same body and head scan) and
+// differ only in the support query's extra conjunct.
+
+// RuleSetAnalyzer is the pseudo-analyzer name attached to cross-query
+// duplicate findings. Like SyntaxAnalyzer it is not in the registry: it
+// runs over a rule set, not a single query.
+const RuleSetAnalyzer = "ruleset"
+
+// RuleSetEntry is one rule's contribution to a cross-query lint pass.
+type RuleSetEntry struct {
+	Name    string // display identity, e.g. the rule's NL statement
+	Support string // the premise ∧ conclusion query (QuerySet.Support)
+	Body    string // the premise query (QuerySet.Body)
+	Head    string // the head-domain query (QuerySet.HeadTotal)
+}
+
+// RuleSetFinding ties a duplicate diagnostic to the entries involved.
+type RuleSetFinding struct {
+	Index int // entry that duplicates an earlier one
+	Of    int // index of the first occurrence
+	Diag  Diagnostic
+}
+
+// RuleSetDuplicates reports every entry whose normalized support/body/head
+// patterns all match an earlier entry's. Entries with an unparseable query
+// are skipped: the per-query analyzers already report those.
+func RuleSetDuplicates(entries []RuleSetEntry) []RuleSetFinding {
+	first := map[string]int{}
+	var out []RuleSetFinding
+	for i, e := range entries {
+		support, ok := NormalizeQuery(e.Support)
+		if !ok {
+			continue
+		}
+		body, ok := NormalizeQuery(e.Body)
+		if !ok {
+			continue
+		}
+		head, ok := NormalizeQuery(e.Head)
+		if !ok {
+			continue
+		}
+		key := support + "\x00" + body + "\x00" + head
+		j, dup := first[key]
+		if !dup {
+			first[key] = i
+			continue
+		}
+		out = append(out, RuleSetFinding{
+			Index: i,
+			Of:    j,
+			Diag: Diagnostic{
+				Analyzer: RuleSetAnalyzer,
+				Severity: Warning,
+				Message: fmt.Sprintf(
+					"rule %s duplicates rule %s: same query patterns up to variable renaming",
+					entryName(entries, i), entryName(entries, j)),
+			},
+		})
+	}
+	return out
+}
+
+func entryName(entries []RuleSetEntry, i int) string {
+	if n := entries[i].Name; n != "" {
+		return fmt.Sprintf("%q", n)
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// NormalizeQuery renders src in a canonical alpha-renamed form: every
+// variable (pattern variables, projection aliases, UNWIND aliases) is
+// replaced by v1, v2, ... in first-appearance order and the query is
+// re-rendered from its AST, so formatting, quoting and property-map order
+// are canonical too. Two queries normalize equal iff they are the same
+// pattern up to variable naming.
+//
+// ok is false when src does not parse or contains a clause outside the
+// read-only subset (MATCH, WITH, RETURN, UNWIND) — mutation clauses carry
+// effects the pure pattern comparison would misjudge.
+func NormalizeQuery(src string) (norm string, ok bool) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	r := renamer{names: map[string]string{}}
+	for _, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *cypher.MatchClause:
+			for _, part := range c.Patterns {
+				r.part(part)
+			}
+			r.expr(c.Where)
+		case *cypher.WithClause:
+			r.projection(&c.Projection)
+			r.expr(c.Where)
+		case *cypher.ReturnClause:
+			r.projection(&c.Projection)
+		case *cypher.UnwindClause:
+			r.expr(c.Expr)
+			c.Alias = r.rename(c.Alias)
+		default:
+			return "", false
+		}
+	}
+	return q.String(), true
+}
+
+// renamer rewrites variable names in place on a freshly parsed AST.
+type renamer struct {
+	names map[string]string
+}
+
+func (r *renamer) rename(old string) string {
+	if old == "" {
+		return ""
+	}
+	if n, ok := r.names[old]; ok {
+		return n
+	}
+	n := fmt.Sprintf("v%d", len(r.names)+1)
+	r.names[old] = n
+	return n
+}
+
+func (r *renamer) part(p *cypher.PatternPart) {
+	for _, n := range p.Nodes {
+		n.Var = r.rename(n.Var)
+	}
+	for _, rel := range p.Rels {
+		rel.Var = r.rename(rel.Var)
+	}
+	cypher.WalkPatternExprs(p, r.exprFn)
+}
+
+func (r *renamer) expr(e cypher.Expr) { cypher.WalkExpr(e, r.exprFn) }
+
+func (r *renamer) exprFn(e cypher.Expr) {
+	switch x := e.(type) {
+	case *cypher.Variable:
+		x.Name = r.rename(x.Name)
+	case *cypher.PatternPred:
+		// WalkExpr already recurses into the pattern's property
+		// expressions; only the element variables need renaming here.
+		for _, n := range x.Pattern.Nodes {
+			n.Var = r.rename(n.Var)
+		}
+		for _, rel := range x.Pattern.Rels {
+			rel.Var = r.rename(rel.Var)
+		}
+	}
+}
+
+func (r *renamer) projection(p *cypher.Projection) {
+	for _, it := range p.Items {
+		r.expr(it.Expr)
+		if it.Alias != "" {
+			it.Alias = r.rename(it.Alias)
+		}
+	}
+	for _, s := range p.OrderBy {
+		r.expr(s.Expr)
+	}
+	r.expr(p.Skip)
+	r.expr(p.Limit)
+}

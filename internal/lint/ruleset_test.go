@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{
+			"MATCH (x:Person) RETURN count(*) AS n",
+			"MATCH (p:Person) RETURN count(*) AS cnt",
+			true,
+		},
+		{
+			"MATCH (a:Person)-[r:KNOWS]->(b:Person) WHERE a.age > 30 RETURN count(*) AS n",
+			"MATCH (p:Person)-[k:KNOWS]->(q:Person) WHERE p.age > 30 RETURN count(*) AS m",
+			true,
+		},
+		{
+			// Same shape, different label: not a duplicate.
+			"MATCH (x:Person) RETURN count(*) AS n",
+			"MATCH (x:Team) RETURN count(*) AS n",
+			false,
+		},
+		{
+			// Predicate on a different variable: not a duplicate.
+			"MATCH (a:P)-[:R]->(b:P) WHERE a.k = 1 RETURN count(*) AS n",
+			"MATCH (a:P)-[:R]->(b:P) WHERE b.k = 1 RETURN count(*) AS n",
+			false,
+		},
+		{
+			// WITH pipeline renames consistently across clauses.
+			"MATCH (x:P) WITH x.k AS v, count(*) AS c WHERE c = 1 RETURN count(*) AS n",
+			"MATCH (y:P) WITH y.k AS val, count(*) AS num WHERE num = 1 RETURN count(*) AS n",
+			true,
+		},
+	}
+	for _, tc := range cases {
+		na, ok := NormalizeQuery(tc.a)
+		if !ok {
+			t.Fatalf("NormalizeQuery(%q) failed", tc.a)
+		}
+		nb, ok := NormalizeQuery(tc.b)
+		if !ok {
+			t.Fatalf("NormalizeQuery(%q) failed", tc.b)
+		}
+		if (na == nb) != tc.same {
+			t.Errorf("normalize equality = %v, want %v\n  a: %q -> %q\n  b: %q -> %q",
+				na == nb, tc.same, tc.a, na, tc.b, nb)
+		}
+	}
+}
+
+func TestNormalizeQueryRejects(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"MATCH (p:Person RETURN p", // syntax error
+		"CREATE (p:Person {id: 1}) RETURN count(*)", // mutation clause
+	} {
+		if norm, ok := NormalizeQuery(src); ok {
+			t.Errorf("NormalizeQuery(%q) = %q, want not-ok", src, norm)
+		}
+	}
+}
+
+func TestRuleSetDuplicates(t *testing.T) {
+	entries := []RuleSetEntry{
+		{Name: "each Person has a name",
+			Support: "MATCH (x:Person) WHERE x.name IS NOT NULL RETURN count(*) AS n",
+			Body:    "MATCH (x:Person) RETURN count(*) AS n",
+			Head:    "MATCH (x:Person) RETURN count(*) AS n"},
+		{Name: "Team names are unique",
+			Support: "MATCH (t:Team) WHERE t.name IS NOT NULL WITH t.name AS v, count(*) AS c WHERE c = 1 RETURN count(*) AS n",
+			Body:    "MATCH (t:Team) WHERE t.name IS NOT NULL RETURN count(*) AS n",
+			Head:    "MATCH (t:Team) RETURN count(*) AS n"},
+		{Name: "every Person carries a name", // same pattern as #0, renamed
+			Support: "MATCH (p:Person) WHERE p.name IS NOT NULL RETURN count(*) AS total",
+			Body:    "MATCH (p:Person) RETURN count(*) AS total",
+			Head:    "MATCH (q:Person) RETURN count(*) AS total"},
+		{Name: "broken",
+			Support: "MATCH (p:Person) WHERE p.name IS NOT NULL RETURN count(*) AS n",
+			Body:    "MATCH (p:Person RETURN p",
+			Head:    "MATCH (p:Person) RETURN count(*) AS n"},
+		{Name: "each Person has a dob", // same body/head as #0, different support
+			Support: "MATCH (x:Person) WHERE x.dob IS NOT NULL RETURN count(*) AS n",
+			Body:    "MATCH (x:Person) RETURN count(*) AS n",
+			Head:    "MATCH (x:Person) RETURN count(*) AS n"},
+	}
+	got := RuleSetDuplicates(entries)
+	if len(got) != 1 {
+		t.Fatalf("RuleSetDuplicates = %d findings, want 1: %+v", len(got), got)
+	}
+	f := got[0]
+	if f.Index != 2 || f.Of != 0 {
+		t.Errorf("finding indexes = (%d, %d), want (2, 0)", f.Index, f.Of)
+	}
+	if f.Diag.Analyzer != RuleSetAnalyzer || f.Diag.Severity != Warning {
+		t.Errorf("diag meta = %s/%s, want %s/%s", f.Diag.Analyzer, f.Diag.Severity, RuleSetAnalyzer, Warning)
+	}
+	if !strings.Contains(f.Diag.Message, "each Person has a name") ||
+		!strings.Contains(f.Diag.Message, "every Person carries a name") {
+		t.Errorf("message does not name both rules: %q", f.Diag.Message)
+	}
+}
+
+func TestRuleSetDuplicatesPartialMatchIsNotDup(t *testing.T) {
+	support := "MATCH (x:P) WHERE x.k IS NOT NULL RETURN count(*) AS n"
+	entries := []RuleSetEntry{
+		{Support: support,
+			Body: "MATCH (x:P) RETURN count(*) AS n", Head: "MATCH (x:P) RETURN count(*) AS n"},
+		{Support: support,
+			Body: "MATCH (x:P) RETURN count(*) AS n", Head: "MATCH (x:Q) RETURN count(*) AS n"},
+	}
+	if got := RuleSetDuplicates(entries); len(got) != 0 {
+		t.Fatalf("same support/body but different head flagged as duplicate: %+v", got)
+	}
+}

@@ -39,5 +39,11 @@ MATCH (p:Person) WHERE p.dob = '\d{4}-\d{2}-\d{2}' RETURN p.name
 MATCH (p:Person), (t:Team) RETURN p.name, t.name
 # indexseek: equality in WHERE instead of inline
 MATCH (t:Team) WHERE t.name = 'USA' RETURN t.ranking
+# indexseek: range on a labeled node is ordered-index eligible (no finding)
+MATCH (t:Team) WHERE t.ranking <= 10 RETURN t.name
+# indexseek: range on an unlabeled node cannot seek
+MATCH (x) WHERE x.ranking <= 10 RETURN count(*) AS n
+# indexseek: range on a typed relationship is edge-index eligible (no finding)
+MATCH (p:Person)-[g:SCORED_GOAL]->(m:Match) WHERE g.minute >= 80 RETURN count(*) AS n
 # syntax
 MATCH (p:Person RETURN p

@@ -36,9 +36,13 @@ type Scorer struct {
 	ex *cypher.Executor
 }
 
-// NewScorer returns a scorer bound to the graph.
-func NewScorer(g *graph.Graph) *Scorer {
-	return &Scorer{g: g, ex: cypher.NewExecutor(g)}
+// NewScorer returns a scorer bound to the graph. Executor options (shard
+// workers, pushdown toggles, plan-cache cap, ...) pass through verbatim to
+// the shared executor:
+//
+//	sc := metrics.NewScorer(g, cypher.WithShardWorkers(8))
+func NewScorer(g *graph.Graph, opts ...cypher.Option) *Scorer {
+	return &Scorer{g: g, ex: cypher.NewExecutor(g, opts...)}
 }
 
 // Executor exposes the scorer's shared executor (for cache stats).
@@ -48,6 +52,8 @@ func (s *Scorer) Executor() *cypher.Executor { return s.ex }
 // executor: eligible anchor scans inside each metric query are partitioned
 // across n workers (0 = serial). This parallelism is within one query and
 // composes with the rule-level worker pool of EvaluateRulesParallel.
+//
+// Deprecated: pass cypher.WithShardWorkers(n) to NewScorer instead.
 func (s *Scorer) SetShardWorkers(n int) { s.ex.SetShardWorkers(n) }
 
 // EvaluateQueries runs a rule's three metric queries. Every query must
@@ -89,9 +95,16 @@ func (s *Scorer) EvaluateQueriesCtx(ctx context.Context, qs rules.QuerySet) (rul
 	return c, nil
 }
 
-// EvaluateRule scores a rule using its reference Cypher.
+// EvaluateRule scores a rule using its reference Cypher. It is a wrapper
+// over EvaluateRuleCtx with a background context.
 func (s *Scorer) EvaluateRule(r rules.Rule) (Score, error) {
-	c, err := s.EvaluateQueries(r.Queries())
+	return s.EvaluateRuleCtx(context.Background(), r)
+}
+
+// EvaluateRuleCtx is EvaluateRule with cancellation: a done context aborts
+// the in-flight metric query promptly and surfaces ctx.Err().
+func (s *Scorer) EvaluateRuleCtx(ctx context.Context, r rules.Rule) (Score, error) {
+	c, err := s.EvaluateQueriesCtx(ctx, r.Queries())
 	if err != nil {
 		return Score{}, fmt.Errorf("metrics: rule %s: %w", r.DedupKey(), err)
 	}
@@ -115,12 +128,19 @@ func EvaluateRules(g *graph.Graph, rs []rules.Rule) (scores []Score, failed []er
 	return EvaluateRulesParallel(g, rs, 1)
 }
 
-// EvaluateRulesParallel scores a rule list with a worker pool sharing one
+// EvaluateRulesParallel scores a rule list with a worker pool; it is a
+// wrapper over EvaluateRulesParallelCtx with a background context.
+func EvaluateRulesParallel(g *graph.Graph, rs []rules.Rule, workers int) (scores []Score, failed []error) {
+	return EvaluateRulesParallelCtx(context.Background(), g, rs, workers)
+}
+
+// EvaluateRulesParallelCtx scores a rule list with a worker pool sharing one
 // executor (and therefore one plan cache). Results are returned in input
 // order regardless of worker count or scheduling, and each rule's failure
 // is isolated: it lands in failed without affecting the others' scores.
-// workers <= 0 selects GOMAXPROCS.
-func EvaluateRulesParallel(g *graph.Graph, rs []rules.Rule, workers int) (scores []Score, failed []error) {
+// workers <= 0 selects GOMAXPROCS. Once ctx is done, in-flight queries
+// abort and every not-yet-started rule fails with ctx.Err().
+func EvaluateRulesParallelCtx(ctx context.Context, g *graph.Graph, rs []rules.Rule, workers int) (scores []Score, failed []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -139,7 +159,11 @@ func EvaluateRulesParallel(g *graph.Graph, rs []rules.Rule, workers int) (scores
 				out[i].err = fmt.Errorf("metrics: rule %s: panic during evaluation: %v", rs[i].DedupKey(), p)
 			}
 		}()
-		out[i].score, out[i].err = sc.EvaluateRule(rs[i])
+		if err := ctx.Err(); err != nil {
+			out[i].err = err
+			return
+		}
+		out[i].score, out[i].err = sc.EvaluateRuleCtx(ctx, rs[i])
 	})
 	for _, s := range out {
 		if s.err != nil {
@@ -160,6 +184,10 @@ type EvalOptions struct {
 	// <= 0 runs each query serially. Both levels of parallelism are
 	// deterministic: output order and counts never depend on either value.
 	ShardWorkers int
+	// ExecOptions are applied to the shared executor after ShardWorkers, so
+	// any cypher.Option (pushdown toggles, plan-cache cap, or an overriding
+	// WithShardWorkers) is reachable from batch evaluation.
+	ExecOptions []cypher.Option
 }
 
 // EvaluateQuerySetsParallel evaluates many query sets against one graph
@@ -184,8 +212,7 @@ func EvaluateQuerySetsCtx(ctx context.Context, g *graph.Graph, qss []rules.Query
 	workers := opt.Workers
 	counts = make([]rules.Counts, len(qss))
 	errs = make([]error, len(qss))
-	sc := NewScorer(g)
-	sc.SetShardWorkers(opt.ShardWorkers)
+	sc := NewScorer(g, append([]cypher.Option{cypher.WithShardWorkers(opt.ShardWorkers)}, opt.ExecOptions...)...)
 	forEachIndex(len(qss), workers, func(i int) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -235,10 +262,18 @@ func forEachIndex(n, workers int, fn func(i int)) {
 }
 
 // CrossCheck verifies that the Cypher evaluation of a rule agrees with its
-// native graph-walk evaluation; it returns an error describing the first
-// mismatch. This is the metric layer's correctness invariant.
+// native graph-walk evaluation; it is a wrapper over CrossCheckCtx with a
+// background context.
 func CrossCheck(g *graph.Graph, r rules.Rule) error {
-	viaCypher, err := EvaluateQueries(g, r.Queries())
+	return CrossCheckCtx(context.Background(), g, r)
+}
+
+// CrossCheckCtx is CrossCheck with cancellation: a done context aborts the
+// Cypher evaluation promptly. It returns an error describing the first
+// mismatch between the Cypher and native counts — the metric layer's
+// correctness invariant.
+func CrossCheckCtx(ctx context.Context, g *graph.Graph, r rules.Rule) error {
+	viaCypher, err := NewScorer(g).EvaluateQueriesCtx(ctx, r.Queries())
 	if err != nil {
 		return err
 	}

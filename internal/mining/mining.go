@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/graphrules/graphrules/internal/correction"
+	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/embedding"
 	"github.com/graphrules/graphrules/internal/graph"
 	"github.com/graphrules/graphrules/internal/lint"
@@ -126,6 +127,10 @@ type Config struct {
 	// the executor (default 0 = serial). Like ScoreWorkers it never changes
 	// counts or rule order, only wall time. Negative values are rejected.
 	ShardWorkers int
+	// ExecOptions are cypher executor options applied to the scoring
+	// executor after ShardWorkers (pushdown toggles, plan-cache cap, ...).
+	// None of them change counts or rule order.
+	ExecOptions []cypher.Option
 	// FailurePolicy defaults to FailFast.
 	FailurePolicy FailurePolicy
 	// MinWindowSuccess is the minimum fraction of sliding windows that
@@ -508,10 +513,27 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		scoreIdx = append(scoreIdx, len(mined)-1)
 	}
 
+	// Cross-query lint: rules whose corrected query sets are the same
+	// pattern up to variable renaming slipped past the NL-level dedup;
+	// flag the later occurrence and census it with the per-query findings.
+	entries := make([]lint.RuleSetEntry, len(mined))
+	for i := range mined {
+		entries[i] = lint.RuleSetEntry{
+			Name:    mined[i].NL,
+			Support: mined[i].Final.Support,
+			Body:    mined[i].Final.Body,
+			Head:    mined[i].Final.HeadTotal,
+		}
+	}
+	for _, f := range lint.RuleSetDuplicates(entries) {
+		mined[f.Index].Lint = append(mined[f.Index].Lint, f.Diag)
+		res.LintCounts[f.Diag.Analyzer]++
+	}
+
 	// Score all corrected query sets through one shared executor (and plan
 	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
 	counts, evalErrs := metrics.EvaluateQuerySetsCtx(ctx, g, finals,
-		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers})
+		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers, ExecOptions: cfg.ExecOptions})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,24 +24,31 @@ type Session struct {
 	rounds   int
 }
 
-// NewSession mines an initial rule set and opens a review session.
+// NewSession mines an initial rule set and opens a review session. It is a
+// wrapper over NewSessionCtx with a background context.
 func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	return NewSessionCtx(context.Background(), g, cfg)
+}
+
+// NewSessionCtx is NewSession with cancellation: a done context aborts the
+// initial mining round's LLM calls and metric queries promptly.
+func NewSessionCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Session, error) {
 	s := &Session{
 		g:        g,
 		cfg:      cfg,
 		accepted: map[string]MinedRule{},
 		rejected: map[string]string{},
 	}
-	if err := s.mine(); err != nil {
+	if err := s.mine(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-func (s *Session) mine() error {
+func (s *Session) mine(ctx context.Context) error {
 	cfg := s.cfg
 	cfg.ExcludeRules = s.exclusions()
-	res, err := Mine(s.g, cfg)
+	res, err := MineCtx(ctx, s.g, cfg)
 	if err != nil {
 		return err
 	}
@@ -133,16 +141,22 @@ func (s *Session) Reject(ref string) error {
 	return nil
 }
 
-// Refine re-mines with all rejections excluded. Newly surfaced rules join
-// Pending; accepted rules stay pinned.
+// Refine re-mines with all rejections excluded; it is a wrapper over
+// RefineCtx with a background context.
+func (s *Session) Refine() (*Result, error) {
+	return s.RefineCtx(context.Background())
+}
+
+// RefineCtx re-mines with all rejections excluded, honoring cancellation.
+// Newly surfaced rules join Pending; accepted rules stay pinned.
 //
-// Refine is atomic with respect to the session: if the underlying Mine
+// RefineCtx is atomic with respect to the session: if the underlying mine
 // fails (model outage, cancellation, policy floor not met), the error is
 // returned and the session is untouched — Rounds(), the accepted and
 // rejected sets, and the current round's rules all keep their pre-call
 // values, so a failed refinement can simply be retried.
-func (s *Session) Refine() (*Result, error) {
-	if err := s.mine(); err != nil {
+func (s *Session) RefineCtx(ctx context.Context) (*Result, error) {
+	if err := s.mine(ctx); err != nil {
 		return nil, err
 	}
 	return s.current, nil

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file renders the ordered-index benchmark record (BENCH_index.json)
+// as a table, wired into `benchtables -table index`. Unlike the paper
+// tables, which re-run the full grid, the index table reads a recorded
+// measurement file: benchmark numbers are machine-dependent and belong in
+// version control next to the code change that produced them.
+
+// indexBenchFile mirrors BENCH_index.json.
+type indexBenchFile struct {
+	Dataset    string                `json:"dataset"`
+	CPU        string                `json:"cpu"`
+	Note       string                `json:"note"`
+	Benchmarks map[string]indexBench `json:"benchmarks"`
+}
+
+type indexBench struct {
+	Query string                    `json:"query"`
+	Modes map[string]indexBenchMode `json:"modes"`
+}
+
+type indexBenchMode struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// IndexBenchTable reads a BENCH_index.json file and renders the
+// seek-vs-fullscan comparison, recomputing each speedup from the recorded
+// ns/op so the table cannot drift from the raw numbers.
+func IndexBenchTable(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var f indexBenchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return "", fmt.Errorf("report: parsing %s: %w", path, err)
+	}
+	names := make([]string, 0, len(f.Benchmarks))
+	for name := range f.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ordered-index range seeks vs. full scans (%s, %s)\n\n", f.Dataset, f.CPU)
+	fmt.Fprintf(&b, "%-14s %14s %14s %9s\n", "benchmark", "seek ns/op", "fullscan ns/op", "speedup")
+	for _, name := range names {
+		bench := f.Benchmarks[name]
+		seek, okSeek := bench.Modes["seek"]
+		full, okFull := bench.Modes["fullscan"]
+		if !okSeek || !okFull || seek.NsPerOp <= 0 {
+			return "", fmt.Errorf("report: %s: benchmark %q needs seek and fullscan modes", path, name)
+		}
+		fmt.Fprintf(&b, "%-14s %14.0f %14.0f %8.1fx\n", name, seek.NsPerOp, full.NsPerOp, full.NsPerOp/seek.NsPerOp)
+	}
+	for _, name := range names {
+		fmt.Fprintf(&b, "\n%s: %s\n", name, f.Benchmarks[name].Query)
+	}
+	return b.String(), nil
+}

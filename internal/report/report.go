@@ -249,8 +249,8 @@ func Census(errCounts map[correction.Category]int, lintCounts map[string]int) st
 			fmt.Fprintf(&b, "%-22s %4d  (%s)\n", a.Name, n, a.Severity)
 		}
 	}
-	// Findings from analyzers not in the registry (e.g. the synthetic
-	// "syntax" parse gate, which is always error severity), alphabetically.
+	// Findings from pseudo-analyzers not in the registry (the "syntax"
+	// parse gate and the cross-query "ruleset" pass), alphabetically.
 	var rest []string
 	for name, n := range lintCounts {
 		if !seen[name] && n > 0 {
@@ -259,7 +259,11 @@ func Census(errCounts map[correction.Category]int, lintCounts map[string]int) st
 	}
 	sort.Strings(rest)
 	for _, name := range rest {
-		fmt.Fprintf(&b, "%-22s %4d  (%s)\n", name, lintCounts[name], lint.Error)
+		sev := lint.Error
+		if name == lint.RuleSetAnalyzer {
+			sev = lint.Warning
+		}
+		fmt.Fprintf(&b, "%-22s %4d  (%s)\n", name, lintCounts[name], sev)
 	}
 	return b.String()
 }

@@ -88,6 +88,16 @@ func TestErrorCensusAndBoundaries(t *testing.T) {
 	}
 }
 
+func TestCensusPseudoAnalyzerSeverities(t *testing.T) {
+	out := Census(nil, map[string]int{"ruleset": 2, "syntax": 1})
+	if !strings.Contains(out, "ruleset") || !strings.Contains(out, "(warning)") {
+		t.Errorf("ruleset findings should render at warning severity:\n%s", out)
+	}
+	if !strings.Contains(out, "syntax") || !strings.Contains(out, "(error)") {
+		t.Errorf("syntax findings should render at error severity:\n%s", out)
+	}
+}
+
 func TestTableForDataset(t *testing.T) {
 	if TableForDataset("WWC2019") != 2 || TableForDataset("Cybersecurity") != 3 ||
 		TableForDataset("Twitter") != 4 || TableForDataset("x") != 0 {
