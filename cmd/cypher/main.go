@@ -41,6 +41,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	seed := fs.Int64("graph-seed", 42, "dataset generator seed")
 	violations := fs.Float64("violations", 0.03, "dataset violation injection rate")
 	shardWorkers := fs.Int("shard-workers", 0, "partition eligible MATCH anchor scans across N workers (0 = serial)")
+	morselSize := fs.Int("morsel-size", 0, "anchor candidates per work-stealing morsel in sharded scans (0 = default 256)")
 	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
 	noRangePushdown := fs.Bool("no-range-pushdown", false, "disable ordered-index range seeks for inequality/STARTS WITH predicates")
 	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
@@ -69,6 +70,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	ex := cypher.NewExecutor(g,
 		cypher.WithShardWorkers(*shardWorkers),
+		cypher.WithMorselSize(*morselSize),
 		cypher.WithReorder(!*noReorder),
 		cypher.WithRangePushdown(!*noRangePushdown))
 	if *lintOnly {
@@ -86,7 +88,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return runQuery(ex, *query, *queryTimeout, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>" and "shard <n>" inspect/configure)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>", "shard <n>" and "morsel <n>" inspect/configure)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -114,6 +116,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			} else {
 				ex.SetShardWorkers(n)
 				fmt.Fprintf(out, "shard workers: %d\n", ex.ShardWorkerCount())
+			}
+			continue
+		case strings.HasPrefix(line, "morsel "):
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, "morsel "), "%d", &n); err != nil {
+				fmt.Fprintln(out, "error: morsel requires an integer size")
+			} else {
+				cypher.WithMorselSize(n)(ex)
+				fmt.Fprintf(out, "morsel size: %d\n", ex.MorselSize())
 			}
 			continue
 		case strings.HasPrefix(line, "lint "):
@@ -171,6 +182,11 @@ func runQuery(ex *cypher.Executor, src string, timeout time.Duration, out io.Wri
 	start := time.Now()
 	res, err := ex.RunCtx(ctx, src, nil)
 	if err != nil {
+		// The result is non-nil even on error and carries the stats
+		// accumulated up to the failure — show them under profile.
+		if profile && res != nil {
+			fmt.Fprint(out, res.Exec.String())
+		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("query exceeded the %s time limit", timeout)
 		}

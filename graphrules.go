@@ -112,6 +112,10 @@ var (
 	// WithShardWorkers sets the worker count for sharded scans (0 disables
 	// sharding, <0 selects GOMAXPROCS).
 	WithShardWorkers = cypher.WithShardWorkers
+	// WithMorselSize sets the anchor-candidate morsel size for sharded
+	// scans (0 keeps the default of 256); a pure scheduling knob that
+	// never changes results.
+	WithMorselSize = cypher.WithMorselSize
 	// WithReorder toggles cost-based reordering of match parts.
 	WithReorder = cypher.WithReorder
 	// WithIndexPushdown toggles the label+property equality index.

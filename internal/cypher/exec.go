@@ -59,11 +59,15 @@ type ExecStats struct {
 	// Seeks details every index seek taken, in execution order: the chosen
 	// bounds plus estimated vs. actual candidate rows.
 	Seeks []SeekInfo
-	// Sharded is true when at least one MATCH ran on the anchor-partitioned
-	// worker pool; ShardWorkers is the configured pool size and ShardRows
-	// holds the rows each shard of the last sharded clause produced.
+	// Sharded is true when at least one MATCH ran on the morsel-driven
+	// worker pool; ShardWorkers is the configured pool size, Morsels how
+	// many morsels the last sharded clause's anchor scan was cut into,
+	// MorselSize the cut size used, and ShardRows the rows each morsel
+	// produced, in tag (candidate) order.
 	Sharded      bool
 	ShardWorkers int
+	Morsels      int
+	MorselSize   int
 	ShardRows    []int
 	// Reordered is true when cost-based planning changed part order or
 	// orientation; PartOrder lists the chosen execution order (original
@@ -116,7 +120,8 @@ func (s ExecStats) String() string {
 		fmt.Fprintf(&b, "  %s\n", sk)
 	}
 	if s.Sharded {
-		fmt.Fprintf(&b, "shards: %d worker(s), rows per shard %v\n", s.ShardWorkers, s.ShardRows)
+		fmt.Fprintf(&b, "shards: %d worker(s), %d morsel(s) of <=%d, rows per morsel %v\n",
+			s.ShardWorkers, s.Morsels, s.MorselSize, s.ShardRows)
 	}
 	if len(s.PartOrder) > 0 {
 		fmt.Fprintf(&b, "part order: %v est %v reordered=%v\n", s.PartOrder, s.PartEst, s.Reordered)
@@ -246,6 +251,7 @@ type Executor struct {
 	noReorder       bool
 	noRangePushdown bool
 	shardWorkers    int
+	morselSize      int // anchor candidates per morsel; 0 = defaultMorselSize
 
 	planMu    sync.Mutex
 	plans     map[string]*planEntry
@@ -297,6 +303,10 @@ func (ex *Executor) SetShardWorkers(n int) { WithShardWorkers(n)(ex) }
 
 // ShardWorkerCount reports the configured shard pool size (0 = serial).
 func (ex *Executor) ShardWorkerCount() int { return ex.shardWorkers }
+
+// MorselSize reports the effective morsel size for sharded scans (the
+// configured WithMorselSize value, or the default when unset).
+func (ex *Executor) MorselSize() int { return ex.morselCap() }
 
 // SetPlanCacheCap bounds the plan cache to n entries, evicting
 // least-recently-used plans beyond the cap immediately. n <= 0 restores
@@ -399,17 +409,21 @@ func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, err
 // RunCtx is Run with cancellation: execution checks cctx between clauses
 // and periodically inside pattern-matching scans (including sharded
 // ones), returning cctx.Err() promptly once the context is done.
+//
+// On execution error the returned *Result is non-nil and carries the
+// execution stats accumulated up to the failure (rows scanned, seeks,
+// shard/morsel metadata), so profiling still works for failed queries;
+// its Rows are meaningless and callers must check err first.
 func (ex *Executor) RunCtx(cctx context.Context, src string, params map[string]graph.Value) (*Result, error) {
 	q, hit, err := ex.plan(src)
 	if err != nil {
 		return nil, err
 	}
 	res, err := ex.ExecuteCtx(cctx, q, params)
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Exec.PlanCacheHit = hit
 	}
-	res.Exec.PlanCacheHit = hit
-	return res, nil
+	return res, err
 }
 
 // Execute runs a parsed query. The query is treated as read-only, so one
@@ -438,7 +452,7 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 			res.Exec.Clauses = append(res.Exec.Clauses,
 				ClauseTiming{Clause: "MatchAggregate", Duration: time.Since(start)})
 			if err != nil {
-				return nil, err
+				return res, err
 			}
 			return res, nil
 		}
@@ -449,11 +463,11 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 
 	for i, clause := range q.Clauses {
 		if returned {
-			return nil, execErrf("RETURN must be the final clause")
+			return res, execErrf("RETURN must be the final clause")
 		}
 		if m.cctx != nil {
 			if err := m.cctx.Err(); err != nil {
-				return nil, err
+				return res, err
 			}
 		}
 		var err error
@@ -480,7 +494,7 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 		res.Exec.Clauses = append(res.Exec.Clauses,
 			ClauseTiming{Clause: clauseName(clause), Duration: time.Since(start)})
 		if err != nil {
-			return nil, err
+			return res, err
 		}
 	}
 	return res, nil

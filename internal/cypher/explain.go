@@ -40,7 +40,8 @@ func (ex *Executor) Explain(src string) (string, error) {
 				line("CostOrder: order=%v reversed=%v est=%v [smallest anchor first]", mp.order, mp.reversed, mp.est)
 			}
 			if ex.shardWorkers >= 1 && anchorUnbound(mp.parts, boundRow(bound)) {
-				line("ShardScan(%d worker(s)) [anchor candidates partitioned, merged in shard order]", ex.shardWorkers)
+				line("MorselScan(%d worker(s), morsel size %d) [work-stealing over anchor morsels, merged in tag order]",
+					ex.shardWorkers, ex.morselCap())
 			}
 			for _, part := range mp.parts {
 				ex.explainPart(part, bound, ranges, line)

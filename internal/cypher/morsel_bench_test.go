@@ -1,0 +1,95 @@
+package cypher
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Benchmarks for morsel-driven sharded execution. The graph is deliberately
+// skewed: anchor fanout follows a Zipf-like curve with the heavy hubs first
+// in candidate order, the worst case for contiguous chunking (the first
+// chunk holds nearly all the work). Work-stealing morsels re-balance that
+// load; contiguous scheduling is emulated by setting the morsel size to
+// ceil(candidates/workers), which hands each worker one fat morsel. As with
+// the shard benchmarks, a single-CPU machine shows only scheduling overhead
+// — the skew win needs real parallel hardware.
+
+const zipfAnchors = 2000
+
+// zipfHubGraph builds zipfAnchors Person nodes whose LIKES fanout decays as
+// maxFan/(i+1): node 0 carries maxFan edges, the tail carries one each.
+func zipfHubGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	const maxFan = 4096
+	const items = 512
+	g := graph.New("zipfhub")
+	targets := make([]graph.ID, items)
+	for i := range targets {
+		targets[i] = g.AddNode([]string{"Item"}, graph.Props{"id": graph.NewInt(int64(i))}).ID
+	}
+	for i := 0; i < zipfAnchors; i++ {
+		p := g.AddNode([]string{"Person"}, graph.Props{"id": graph.NewInt(int64(i))})
+		fan := maxFan / (i + 1)
+		if fan < 1 {
+			fan = 1
+		}
+		for j := 0; j < fan; j++ {
+			if _, err := g.AddEdge(p.ID, targets[(i+j)%items], []string{"LIKES"}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkMorselMatch measures the batched anchored-match loop itself: the
+// per-candidate context polls, property-filter setup and stats accounting
+// are hoisted out of the inner loop, so the single-worker configurations
+// must not be slower than the pre-batching executor.
+func BenchmarkMorselMatch(b *testing.B) {
+	g := zipfHubGraph(b)
+	const q = `MATCH (p:Person)-[:LIKES]->(i:Item) WHERE p.id >= 100 RETURN count(*) AS n`
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ex := NewExecutor(g, WithShardWorkers(workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Run(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMorselSkew compares the work-stealing morsel schedule against an
+// emulated contiguous split (morsel size = ceil(candidates/workers), i.e.
+// one fat morsel per worker) on the hub-skewed graph. Under contiguous
+// scheduling the first worker owns every hub; morsels let idle workers
+// steal the tail while the hub morsels are still running.
+func BenchmarkMorselSkew(b *testing.B) {
+	g := zipfHubGraph(b)
+	const q = `MATCH (p:Person)-[:LIKES]->(i:Item) RETURN count(*) AS n`
+	for _, workers := range []int{1, 2, 4, 8} {
+		contiguous := (zipfAnchors + workers - 1) / workers
+		for _, cfg := range []struct {
+			name string
+			size int
+		}{
+			{"morsel", 0}, // default 256-candidate morsels
+			{"contiguous", contiguous},
+		} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, cfg.name), func(b *testing.B) {
+				ex := NewExecutor(g, WithShardWorkers(workers), WithMorselSize(cfg.size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ex.Run(q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

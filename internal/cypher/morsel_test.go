@@ -1,0 +1,217 @@
+package cypher
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// poisonGraph builds n Person nodes {idx, poison: 1} in insertion order,
+// with poison = 0 on the node at poisonAt — the query
+// `WHERE 1 / p.poison >= 0` then fails with "division by zero" exactly at
+// that candidate, everywhere else it passes.
+func poisonGraph(n, poisonAt int) *graph.Graph {
+	g := graph.New("poison")
+	for i := 0; i < n; i++ {
+		p := int64(1)
+		if i == poisonAt {
+			p = 0
+		}
+		g.AddNode([]string{"Person"}, graph.Props{
+			"idx":    graph.NewInt(int64(i)),
+			"poison": graph.NewInt(p),
+		})
+	}
+	return g
+}
+
+const poisonQuery = `MATCH (p:Person) WHERE 1 / p.poison >= 0 RETURN p.idx`
+
+// Regression test: the first morsel error must cancel the sibling workers.
+// The poisoned candidate sits in the very first morsel, so after its error
+// cancels the scan the remaining ~300 morsels must not be matched — the
+// merged RowsScanned stays far below the candidate count. (Before the
+// cancelable per-scan context, every sibling shard ran its whole chunk to
+// completion after the failure and RowsScanned came back ≈ n.)
+func TestMorselErrorCancelsSiblings(t *testing.T) {
+	const n = 20000
+	g := poisonGraph(n, 5)
+	ex := NewExecutor(g, WithShardWorkers(4), WithMorselSize(64))
+	res, err := ex.Run(poisonQuery, nil)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", err)
+	}
+	if res == nil {
+		t.Fatal("error path returned nil result")
+	}
+	if res.Exec.RowsScanned == 0 {
+		t.Fatal("error path reports zero rows scanned")
+	}
+	if res.Exec.RowsScanned > n/2 {
+		t.Errorf("RowsScanned = %d after early error; siblings kept scanning (want << %d)",
+			res.Exec.RowsScanned, n)
+	}
+}
+
+// Regression test: a failed sharded query must still report its execution
+// stats — completed workers' scan counters merged and the shard/morsel
+// metadata recorded — so `profile` after a failure shows the work done.
+// (Previously the error return skipped both the stats merge and the
+// Sharded/ShardWorkers/ShardRows assignment.)
+func TestMorselErrorPathKeepsStats(t *testing.T) {
+	g := poisonGraph(1000, 900)
+	ex := NewExecutor(g, WithShardWorkers(4), WithMorselSize(100))
+	res, err := ex.Run(poisonQuery, nil)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", err)
+	}
+	if res == nil {
+		t.Fatal("error path returned nil result")
+	}
+	st := res.Exec
+	if !st.Sharded || st.ShardWorkers != 4 {
+		t.Errorf("Sharded=%v ShardWorkers=%d, want true/4", st.Sharded, st.ShardWorkers)
+	}
+	if st.Morsels != 10 || st.MorselSize != 100 || len(st.ShardRows) != 10 {
+		t.Errorf("Morsels=%d MorselSize=%d ShardRows=%v, want 10/100/10 entries",
+			st.Morsels, st.MorselSize, st.ShardRows)
+	}
+	if st.RowsScanned == 0 {
+		t.Error("RowsScanned = 0 on error path, want the completed morsels' scan work")
+	}
+	// The count-aggregate fast path records stats on failure too.
+	res, err = ex.Run(`MATCH (p:Person) WHERE 1 / p.poison >= 0 RETURN count(*) AS n`, nil)
+	if err == nil || res == nil {
+		t.Fatalf("aggregate: res=%v err=%v, want stats-bearing result plus error", res, err)
+	}
+	if !res.Exec.Sharded || res.Exec.RowsScanned == 0 {
+		t.Errorf("aggregate error path: Sharded=%v RowsScanned=%d, want stats recorded",
+			res.Exec.Sharded, res.Exec.RowsScanned)
+	}
+}
+
+// Regression test: merged sharded seek stats must match the serial run
+// exactly. Every worker re-records the inner part's index seek; the merge
+// dedups by the seek identity recordSeek uses, so the final list — entries,
+// order, Est and Rows — is byte-identical to serial. (The old merge
+// compared full structs, so worker copies with differing enumeration
+// counts survived as duplicates.)
+func TestMorselSeekStatsMatchSerial(t *testing.T) {
+	g := chainGraph(300)
+	q := `MATCH (p:Person), (q:Person {idx: 5}) WHERE p.idx < 3 RETURN p.idx, q.idx`
+	serial := NewExecutor(g, WithReorder(false))
+	want, err := serial.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := NewExecutor(g, WithReorder(false), WithShardWorkers(3), WithMorselSize(1))
+	got, err := sharded.Run(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Exec.Seeks) == 0 {
+		t.Fatal("test query recorded no seeks; it no longer exercises the merge path")
+	}
+	if !reflect.DeepEqual(want.Exec.Seeks, got.Exec.Seeks) {
+		t.Errorf("sharded Seeks diverge from serial\nserial:  %v\nsharded: %v",
+			want.Exec.Seeks, got.Exec.Seeks)
+	}
+	if want.Exec.IndexSeeks != got.Exec.IndexSeeks || want.Exec.RowsScanned != got.Exec.RowsScanned {
+		t.Errorf("scan counters diverge: serial seeks=%d rows=%d, sharded seeks=%d rows=%d",
+			want.Exec.IndexSeeks, want.Exec.RowsScanned, got.Exec.IndexSeeks, got.Exec.RowsScanned)
+	}
+}
+
+// Morsel reassembly edge cases: empty anchor set, a single morsel, morsel
+// size exceeding the candidate count, and OPTIONAL MATCH producing zero
+// rows must all agree with serial execution at every worker count.
+func TestMorselReassemblyEdgeCases(t *testing.T) {
+	g := chainGraph(100)
+	queries := []string{
+		`MATCH (x:Nope) RETURN x.idx`,                                 // empty anchor set
+		`OPTIONAL MATCH (x:Nope) RETURN x.idx`,                        // optional, empty anchor
+		`MATCH (t:Tag) WHERE t.decade > 999 RETURN t.decade`,          // candidates but no rows
+		`OPTIONAL MATCH (t:Tag) WHERE t.decade > 999 RETURN t.decade`, // optional, no rows
+		`MATCH (t:Tag) RETURN t.decade`,                               // 10 candidates
+	}
+	serial := NewExecutor(g, WithReorder(false))
+	for _, workers := range []int{1, 3, 8} {
+		for _, size := range []int{1, 7, 1000} {
+			ex := NewExecutor(g, WithReorder(false), WithShardWorkers(workers), WithMorselSize(size))
+			for _, q := range queries {
+				want, wantErr := oracleRun(serial, q)
+				got, gotErr := oracleRun(ex, q)
+				if wantErr != gotErr {
+					t.Fatalf("workers=%d size=%d %q: serial err=%q sharded err=%q",
+						workers, size, q, wantErr, gotErr)
+				}
+				if !rowsEqual(want, got) {
+					t.Errorf("workers=%d size=%d %q:\nserial:  %v\nsharded: %v",
+						workers, size, q, want, got)
+				}
+			}
+		}
+	}
+
+	// Morsel size above the candidate count collapses to a single morsel.
+	ex := NewExecutor(g, WithShardWorkers(4), WithMorselSize(1000))
+	res, err := ex.Run(`MATCH (p:Person) RETURN count(*) AS n`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.Morsels != 1 || len(res.Exec.ShardRows) != 1 {
+		t.Errorf("Morsels=%d ShardRows=%v, want one morsel", res.Exec.Morsels, res.Exec.ShardRows)
+	}
+}
+
+// Live mutation under a running morsel scan, mirroring the graph package's
+// COW tests: a writer goroutine keeps updating properties and adding nodes
+// while sharded queries stream morsels. Run with -race; the copy-on-write
+// snapshots must keep every morsel's view consistent (no torn reads, no
+// lost candidates below the starting population).
+func TestMorselScanUnderMutation(t *testing.T) {
+	g := chainGraph(500)
+	ids := g.NodesWithLabel("Person")
+	ex := NewExecutor(g, WithShardWorkers(4), WithMorselSize(32))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		added := 0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = g.SetNodeProp(ids[i%len(ids)], "w", graph.NewInt(int64(i%5)))
+			// Bound the growth so query cost stays flat while the test runs.
+			if i%13 == 0 && added < 1000 {
+				added++
+				g.AddNode([]string{"Person"}, graph.Props{"idx": graph.NewInt(int64(100000 + i))})
+			}
+		}
+	}()
+
+	for iter := 0; iter < 40; iter++ {
+		res, err := ex.Run(`MATCH (p:Person) RETURN count(*) AS n`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.FirstInt("n"); n < 500 {
+			t.Fatalf("count = %d under mutation, want >= 500 (nodes are only added)", n)
+		}
+		rows, err := ex.Run(`MATCH (p:Person) WHERE p.w = 1 RETURN p.idx`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rows
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -54,6 +54,20 @@ func WithShardWorkers(n int) Option {
 	}
 }
 
+// WithMorselSize sets how many anchor candidates each morsel of a sharded
+// scan covers (default 256). Shard workers steal morsels from a shared
+// queue and per-morsel outputs are reassembled in candidate order, so the
+// size only trades scheduling overhead against load balance — it never
+// changes results. n <= 0 restores the default.
+func WithMorselSize(n int) Option {
+	return func(ex *Executor) {
+		if n < 0 {
+			n = 0
+		}
+		ex.morselSize = n
+	}
+}
+
 // WithPlanCacheCap bounds the plan cache to n entries, evicting
 // least-recently-used plans beyond the cap. n <= 0 keeps the default cap.
 func WithPlanCacheCap(n int) Option {

@@ -3,12 +3,17 @@ package cypher
 // Differential oracle for the sharded, cost-reordered executor: every query
 // in a corpus (a fixed schema-derived set plus seeded randomized queries)
 // runs under the serial no-reorder reference configuration and under the
-// full {workers 0,1,2,8} x {reorder on/off} x {range pushdown on/off} grid,
-// and the results must agree. No-reorder configurations must reproduce the
-// serial row order exactly (contiguous shard merge preserves it, and range
-// seeks return candidates in scan-equivalent order); reorder-on
-// configurations are compared as canonically sorted row multisets, since
-// part reordering is allowed to permute unordered results.
+// full {workers 0,1,2,8} x {reorder on/off} x {range pushdown on/off} x
+// {morsel size default/17} grid, and the results must agree. No-reorder
+// configurations must reproduce the serial row order exactly (tag-ordered
+// morsel merge preserves it, and range seeks return candidates in
+// scan-equivalent order); reorder-on configurations are compared as
+// canonically sorted row multisets, since part reordering is allowed to
+// permute unordered results. Sharded configurations must additionally
+// report ExecStats.Seeks identical to the serial run with the same
+// reorder/pushdown flags: the morsel merge dedups worker seek records by
+// the same identity recordSeek uses, so entries, order, Est and Rows all
+// survive parallel execution unchanged.
 //
 // Environment knobs (all optional):
 //
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strconv"
@@ -38,31 +44,45 @@ type oracleConfig struct {
 	shard    int
 	reorder  bool
 	pushdown bool // range/edge pushdown (reference runs with it ON)
+	morsel   int  // morsel size for sharded configs (0 = default 256)
 }
 
 // oracleGrid is every configuration compared against the serial reference:
-// the full cross product of shard workers, reorder, and range pushdown,
-// minus the reference configuration itself (shard 0, no reorder, pushdown).
+// the full cross product of shard workers, reorder, range pushdown and
+// morsel size, minus the reference configuration itself (shard 0, no
+// reorder, pushdown). Morsel size only exists for sharded configurations;
+// 17 is small and odd, so every dataset's anchor scans cut into many
+// ragged morsels and the work-stealing reassembly is exercised hard.
 var oracleGrid = buildOracleGrid()
 
 func buildOracleGrid() []oracleConfig {
 	var grid []oracleConfig
 	for _, shard := range []int{0, 1, 2, 8} {
-		for _, reorder := range []bool{false, true} {
-			for _, pushdown := range []bool{true, false} {
-				if shard == 0 && !reorder && pushdown {
-					continue // the serial reference itself
+		for _, morsel := range []int{0, 17} {
+			if shard == 0 && morsel != 0 {
+				continue // morsel size is meaningless without workers
+			}
+			for _, reorder := range []bool{false, true} {
+				for _, pushdown := range []bool{true, false} {
+					if shard == 0 && !reorder && pushdown {
+						continue // the serial reference itself
+					}
+					name := fmt.Sprintf("shard%d", shard)
+					if reorder {
+						name += "-reorder"
+					} else {
+						name += "-noreorder"
+					}
+					if !pushdown {
+						name += "-nopush"
+					}
+					if morsel != 0 {
+						name += fmt.Sprintf("-m%d", morsel)
+					}
+					grid = append(grid, oracleConfig{
+						name: name, shard: shard, reorder: reorder, pushdown: pushdown, morsel: morsel,
+					})
 				}
-				name := fmt.Sprintf("shard%d", shard)
-				if reorder {
-					name += "-reorder"
-				} else {
-					name += "-noreorder"
-				}
-				if !pushdown {
-					name += "-nopush"
-				}
-				grid = append(grid, oracleConfig{name: name, shard: shard, reorder: reorder, pushdown: pushdown})
 			}
 		}
 	}
@@ -74,15 +94,23 @@ func newOracleExecutor(g *graph.Graph, cfg oracleConfig) *Executor {
 		WithShardWorkers(cfg.shard),
 		WithReorder(cfg.reorder),
 		WithRangePushdown(cfg.pushdown),
+		WithMorselSize(cfg.morsel),
 	)
 }
 
 // oracleRun executes one query and renders every result row to a canonical
 // string (column order is part of the rendering, row order is preserved).
 func oracleRun(ex *Executor, src string) (rows []string, errStr string) {
+	rows, _, errStr = oracleRunSeeks(ex, src)
+	return rows, errStr
+}
+
+// oracleRunSeeks is oracleRun plus the run's recorded index-seek stats, for
+// the serial-vs-sharded seek parity comparison.
+func oracleRunSeeks(ex *Executor, src string) (rows []string, seeks []SeekInfo, errStr string) {
 	res, err := ex.Run(src, nil)
 	if err != nil {
-		return nil, err.Error()
+		return nil, nil, err.Error()
 	}
 	rows = make([]string, 0, len(res.Rows))
 	for _, r := range res.Rows {
@@ -95,7 +123,7 @@ func oracleRun(ex *Executor, src string) (rows []string, errStr string) {
 		}
 		rows = append(rows, b.String())
 	}
-	return rows, ""
+	return rows, res.Exec.Seeks, ""
 }
 
 func sortedCopy(rows []string) []string {
@@ -177,10 +205,15 @@ func TestDifferentialOracle(t *testing.T) {
 				mu   sync.Mutex
 			)
 			checkQuery := func(q string) {
-				refRows, refErr := oracleRun(ref, q)
+				refRows, refSeeks, refErr := oracleRunSeeks(ref, q)
 				refSorted := sortedCopy(refRows)
+				// Serial Seeks per (reorder, pushdown) flag pair: sharded
+				// configurations must reproduce the same-flags serial list
+				// exactly. The grid iterates shard 0 first, so every pair is
+				// recorded before a sharded configuration reads it.
+				comboSeeks := map[[2]bool][]SeekInfo{{false, true}: refSeeks}
 				for i, cfg := range oracleGrid {
-					gotRows, gotErr := oracleRun(grid[i], q)
+					gotRows, gotSeeks, gotErr := oracleRunSeeks(grid[i], q)
 					fail := func(kind, detail string) {
 						mu.Lock()
 						defer mu.Unlock()
@@ -196,16 +229,21 @@ func TestDifferentialOracle(t *testing.T) {
 						continue // both failed; nothing further to compare
 					}
 					if !cfg.reorder {
-						// Same written part order and contiguous shard merge:
+						// Same written part order and tag-ordered morsel merge:
 						// row order must be byte-identical to serial.
 						if !rowsEqual(refRows, gotRows) {
 							fail("row-order divergence", fmt.Sprintf("serial order %v\n%s order %v", refRows, cfg.name, gotRows))
 							return
 						}
-						continue
-					}
-					if !rowsEqual(refSorted, sortedCopy(gotRows)) {
+					} else if !rowsEqual(refSorted, sortedCopy(gotRows)) {
 						fail("result-set divergence", fmt.Sprintf("serial sorted %v\n%s sorted %v", refSorted, cfg.name, sortedCopy(gotRows)))
+						return
+					}
+					key := [2]bool{cfg.reorder, cfg.pushdown}
+					if cfg.shard == 0 {
+						comboSeeks[key] = gotSeeks
+					} else if serialSeeks, ok := comboSeeks[key]; ok && !reflect.DeepEqual(serialSeeks, gotSeeks) {
+						fail("seek-stats divergence", fmt.Sprintf("serial seeks %v\n%s seeks %v", serialSeeks, cfg.name, gotSeeks))
 						return
 					}
 				}

@@ -2,19 +2,39 @@ package cypher
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 
 	"github.com/graphrules/graphrules/internal/graph"
 )
 
-// This file implements sharded MATCH execution: the anchor-candidate range
-// of the first planned pattern part (a label-bucket snapshot or index
-// posting list) is partitioned into contiguous chunks, one worker matches
-// each chunk with its own matcher and evaluation context, and the per-shard
-// results are merged in chunk order. Because the chunks partition the serial
-// candidate sequence contiguously, concatenating shard outputs in shard
-// order reproduces exactly the serial row order, and merging per-shard
-// aggregate states in shard order reproduces the serial accumulation.
+// This file implements morsel-driven sharded MATCH execution: the
+// anchor-candidate range of the first planned pattern part (a label-bucket
+// snapshot or index posting list) is cut into small fixed-size morsels,
+// each tagged with its sequence index. Workers pull morsels from a shared
+// queue (work-stealing: a worker that finishes a cheap morsel immediately
+// grabs the next one, so a skewed hub morsel never strands the rest of the
+// pool behind one contiguous chunk). Because the morsels partition the
+// serial candidate sequence contiguously and outputs are reassembled in
+// tag order, concatenating per-morsel rows reproduces exactly the serial
+// row order — including collect() element order and DISTINCT dedup — and
+// merging per-morsel aggregate states in tag order reproduces the serial
+// accumulation.
+
+// defaultMorselSize is the anchor-candidate count per morsel when the
+// executor has no explicit WithMorselSize configuration. Small enough to
+// balance Zipf-hub skew across workers, large enough to amortize the
+// per-morsel scheduling cost.
+const defaultMorselSize = 256
+
+// morselCap returns the executor's effective morsel size.
+func (ex *Executor) morselCap() int {
+	if ex.morselSize > 0 {
+		return ex.morselSize
+	}
+	return defaultMorselSize
+}
 
 // recordPlan publishes the chosen part order and estimates to the execution
 // stats so Explain and the REPL profile command can show them.
@@ -43,34 +63,52 @@ func anchorUnbound(parts []*PatternPart, row Row) bool {
 	return !bound
 }
 
-// shardChunks splits the candidate slice into at most `workers` contiguous
-// chunks of near-equal size, preserving candidate order across the
-// concatenation of the chunks.
-func shardChunks(cands []*graph.Node, workers int) [][]*graph.Node {
+// morselCut splits the candidate slice into contiguous morsels of at most
+// size candidates each, preserving candidate order across the concatenation
+// of the morsels. The morsel at index t covers candidates [t*size,
+// (t+1)*size) — the index is the reassembly tag.
+func morselCut(cands []*graph.Node, size int) [][]*graph.Node {
 	if len(cands) == 0 {
 		return nil
 	}
-	if workers < 1 {
-		workers = 1
+	if size < 1 {
+		size = defaultMorselSize
 	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	size := (len(cands) + workers - 1) / workers
-	chunks := make([][]*graph.Node, 0, workers)
+	morsels := make([][]*graph.Node, 0, (len(cands)+size-1)/size)
 	for i := 0; i < len(cands); i += size {
 		end := i + size
 		if end > len(cands) {
 			end = len(cands)
 		}
-		chunks = append(chunks, cands[i:end])
+		morsels = append(morsels, cands[i:end])
 	}
-	return chunks
+	return morsels
+}
+
+// seekIdent is the identity recordSeek dedups on: two SeekInfo entries with
+// the same ident describe the same logical seek (later parts re-anchor once
+// per outer row); Est and Rows are deterministic per ident.
+type seekIdent struct {
+	vr, label, key, bounds string
+	edge                   bool
+}
+
+func seekIdentOf(s SeekInfo) seekIdent {
+	return seekIdent{vr: s.Var, label: s.Label, key: s.Key, bounds: s.Bounds, edge: s.Edge}
 }
 
 // mergeWorkerStats folds a shard worker's scan counters into the main
-// execution stats. Plan/shard metadata stays with the main stats.
-func mergeWorkerStats(dst, src *ExecStats) {
+// execution stats; plan/shard metadata stays with the main stats. Seeks
+// merge by the same identity key recordSeek dedups on — (Var, Label, Key,
+// Bounds, Edge), keeping the first occurrence in merge order — so the
+// merged list matches the serial run's Seeks exactly: every worker records
+// a given seek with identical Est/Rows (candidate enumeration is
+// deterministic), each worker lists its seeks in plan execution order, and
+// keep-first across workers preserves that order. seen carries the
+// identity set across successive merges into the same dst, replacing the
+// old O(S²) full-field scan (which also diverged from serial by treating
+// Est/Rows as part of the identity).
+func mergeWorkerStats(dst, src *ExecStats, seen map[seekIdent]bool) {
 	if dst == nil {
 		return
 	}
@@ -82,17 +120,12 @@ func mergeWorkerStats(dst, src *ExecStats) {
 	dst.EdgeSeeks += src.EdgeSeeks
 	dst.EdgeRows += src.EdgeRows
 	for _, info := range src.Seeks {
-		dup := false
-		for _, s := range dst.Seeks {
-			if s.Var == info.Var && s.Label == info.Label && s.Key == info.Key &&
-				s.Bounds == info.Bounds && s.Edge == info.Edge {
-				dup = true
-				break
-			}
+		id := seekIdentOf(info)
+		if seen[id] {
+			continue
 		}
-		if !dup {
-			dst.Seeks = append(dst.Seeks, info)
-		}
+		seen[id] = true
+		dst.Seeks = append(dst.Seeks, info)
 	}
 }
 
@@ -100,8 +133,22 @@ func mergeWorkerStats(dst, src *ExecStats) {
 // candidate slice for the first part. It shares one relationship-uniqueness
 // scope across all parts (per-MATCH semantics) and accounts the RowsScanned
 // for the slice it walks; the caller performed the anchor enumeration (and
-// recorded any index seek) exactly once for all shards.
+// recorded any index seek) exactly once for all morsels.
+//
+// The loop is batched: per-candidate work that is constant across the slice
+// is hoisted out. Stats accounting happens once up front, the cancellation
+// poll runs on a candidate stride instead of per candidate, and the
+// anchor's property constraints — which depend only on the outer row, never
+// on the (unbound) anchor variable — are evaluated once, on the first
+// candidate that passes the label check, so the rest of the slice reduces
+// to direct scalar comparisons. Evaluating lazily on the first
+// label-passing candidate (rather than eagerly per slice) preserves the
+// serial error surface: a slice where no candidate carries the labels never
+// evaluates the property expressions, exactly like the serial path.
 func (m *matcher) matchAllAnchored(parts []*PatternPart, cands []*graph.Node, row Row, cb func(Row) error) error {
+	if len(cands) == 0 {
+		return nil
+	}
 	if m.exec != nil {
 		m.exec.RowsScanned += len(cands)
 	}
@@ -123,17 +170,42 @@ func (m *matcher) matchAllAnchored(parts []*PatternPart, cands []*graph.Node, ro
 		return rec(1, r)
 	}
 
-	for _, n := range cands {
-		if err := m.pollCtx(); err != nil {
-			return err
+	type propWant struct {
+		key  string
+		want graph.Value
+	}
+	var wants []propWant
+	wantsReady := len(np.Props) == 0
+
+candidates:
+	for i, n := range cands {
+		if i&15 == 0 {
+			if err := m.pollCtx(); err != nil {
+				return err
+			}
 		}
-		ok, err := m.nodeSatisfies(np, n, row)
-		if err != nil {
-			return err
+		for _, l := range np.Labels {
+			if !n.HasLabel(l) {
+				continue candidates
+			}
 		}
-		if !ok {
-			continue
+		if !wantsReady {
+			wants = make([]propWant, 0, len(np.Props))
+			for k, e := range np.Props {
+				want, err := m.ctx.eval(e, row)
+				if err != nil {
+					return err
+				}
+				wants = append(wants, propWant{key: k, want: want.Scalar()})
+			}
+			wantsReady = true
 		}
+		for _, pw := range wants {
+			if !n.Prop(pw.key).Equal(pw.want) {
+				continue candidates
+			}
+		}
+		var err error
 		if np.Var != "" {
 			row[np.Var] = NodeDatum(n)
 		}
@@ -152,12 +224,16 @@ func (m *matcher) matchAllAnchored(parts []*PatternPart, cands []*graph.Node, ro
 	return nil
 }
 
-// shardWorker is the per-shard private state: its own matcher (stats sink)
-// and evaluation context (the expression regex cache is not thread-safe, so
-// contexts are never shared across workers).
+// shardWorker is the per-worker private state: its own matcher (stats
+// sink), evaluation context (the expression regex cache is not thread-safe,
+// so contexts are never shared across workers) and working row. One worker
+// processes many morsels sequentially, reusing all three — pattern bindings
+// are undone on backtrack, so the row returns to its prototype state
+// between morsels.
 type shardWorker struct {
 	m   *matcher
 	ctx *evalCtx
+	row Row
 }
 
 func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context) *shardWorker {
@@ -167,62 +243,155 @@ func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool,
 	return &shardWorker{m: wm, ctx: wctx}
 }
 
-// execMatchSharded runs one MATCH clause with the anchor scan partitioned
-// across the worker pool. Eligibility (single input row, unbound anchor) is
-// checked by the caller. Shard outputs are concatenated in shard order,
-// which preserves the serial row order; the first error in shard order is
-// the serial-first error, because shards partition the candidate sequence
-// contiguously and every earlier chunk completed without error.
-func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, plan *matchPlan, newVars []string, row Row, st *Stats) ([]Row, error) {
-	st.RowsExamined++
-	cands := m.anchorCandidates(plan.parts[0])
-	chunks := shardChunks(cands, ex.shardWorkers)
-
-	type shardOut struct {
-		w    *shardWorker
-		rows []Row
-		err  error
+// scanMorsels drives one sharded scan of nMorsels morsels over a
+// work-stealing pool of at most ex.shardWorkers workers: each worker pulls
+// the next unclaimed morsel index from a shared counter and runs fn on it.
+// fn must confine its side effects to the tag-indexed slot for its morsel;
+// scanMorsels guarantees every fn call has returned before it does (so the
+// caller may reassemble slots in tag order without synchronization).
+//
+// The scan runs under a context derived from the caller's: the first morsel
+// error cancels it, so sibling workers stop at their next poll instead of
+// finishing their morsels for nothing. Completed workers' scan stats are
+// merged into m.exec unconditionally — error or not — so a failed query
+// still reports the scan work it did.
+//
+// Error selection mirrors the serial order: if the caller's own context was
+// cancelled that error wins; otherwise the lowest-tagged real (non
+// cancellation-induced) morsel error is returned, which for the common
+// single-error case is exactly the error serial execution would have
+// surfaced first.
+func (ex *Executor) scanMorsels(ctx *evalCtx, m *matcher, proto Row, nMorsels int, fn func(w *shardWorker, mi int) error) error {
+	if nMorsels == 0 {
+		return nil
 	}
-	outs := make([]shardOut, len(chunks))
+	workers := ex.shardWorkers
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	parent := m.cctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	cctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	errs := make([]error, nMorsels)
+	workerStats := make([]*ExecStats, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for si := range chunks {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func(si int, chunk []*graph.Node) {
+		go func(wi int) {
 			defer wg.Done()
-			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.ranges, m.cctx)
-			wrow := row.clone()
-			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, wrow, func(r Row) error {
-				if cl.Where != nil {
-					t, err := o.w.ctx.evalBool(cl.Where, r)
-					if err != nil {
-						return err
-					}
-					if t != triTrue {
-						return nil
-					}
+			w := ex.newShardWorker(ctx.params, m.pushdown, m.ranges, cctx)
+			w.row = proto.clone()
+			workerStats[wi] = w.m.exec
+			for cctx.Err() == nil {
+				mi := int(next.Add(1)) - 1
+				if mi >= nMorsels {
+					return
 				}
-				o.rows = append(o.rows, r.clone())
-				return nil
-			})
-		}(si, chunks[si])
+				if err := fn(w, mi); err != nil {
+					errs[mi] = err
+					cancel()
+					return
+				}
+			}
+		}(wi)
 	}
 	wg.Wait()
 
-	var out []Row
-	shardRows := make([]int, len(chunks))
-	for si := range outs {
-		if outs[si].err != nil {
-			return nil, outs[si].err
-		}
-		shardRows[si] = len(outs[si].rows)
-		out = append(out, outs[si].rows...)
-		mergeWorkerStats(m.exec, outs[si].w.m.exec)
-	}
 	if m.exec != nil {
-		m.exec.Sharded = true
-		m.exec.ShardWorkers = ex.shardWorkers
-		m.exec.ShardRows = shardRows
+		seen := make(map[seekIdent]bool, len(m.exec.Seeks))
+		for _, s := range m.exec.Seeks {
+			seen[seekIdentOf(s)] = true
+		}
+		for _, ws := range workerStats {
+			if ws != nil {
+				mergeWorkerStats(m.exec, ws, seen)
+			}
+		}
+	}
+
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			// Induced by our own cancel after a sibling's real error;
+			// keep looking for that error. Retained as a fallback so a
+			// (theoretically) all-cancellation outcome still errs.
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancelled
+}
+
+// recordMorselStats publishes the shard/morsel metadata of the last sharded
+// clause. Called on success and error paths alike: a failed scan still
+// reports how its anchor range was cut and what each morsel produced before
+// the cancellation (unprocessed morsels report zero).
+func recordMorselStats(m *matcher, workers, nMorsels, size int, perMorselRows []int) {
+	if m.exec == nil {
+		return
+	}
+	m.exec.Sharded = true
+	m.exec.ShardWorkers = workers
+	m.exec.ShardRows = perMorselRows
+	m.exec.Morsels = nMorsels
+	m.exec.MorselSize = size
+}
+
+// execMatchSharded runs one MATCH clause with the anchor scan cut into
+// morsels and executed by the work-stealing pool. Eligibility (single input
+// row, unbound anchor) is checked by the caller. Per-morsel outputs are
+// concatenated in tag order, which preserves the serial row order because
+// the morsels partition the candidate sequence contiguously.
+func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, plan *matchPlan, newVars []string, row Row, st *Stats) ([]Row, error) {
+	st.RowsExamined++
+	cands := m.anchorCandidates(plan.parts[0])
+	size := ex.morselCap()
+	morsels := morselCut(cands, size)
+
+	outs := make([][]Row, len(morsels))
+	err := ex.scanMorsels(ctx, m, row, len(morsels), func(w *shardWorker, mi int) error {
+		return w.m.matchAllAnchored(plan.parts, morsels[mi], w.row, func(r Row) error {
+			if cl.Where != nil {
+				t, err := w.ctx.evalBool(cl.Where, r)
+				if err != nil {
+					return err
+				}
+				if t != triTrue {
+					return nil
+				}
+			}
+			outs[mi] = append(outs[mi], r.clone())
+			return nil
+		})
+	})
+
+	morselRows := make([]int, len(morsels))
+	var out []Row
+	for mi := range outs {
+		morselRows[mi] = len(outs[mi])
+		out = append(out, outs[mi]...)
+	}
+	recordMorselStats(m, ex.shardWorkers, len(morsels), size, morselRows)
+	if err != nil {
+		return nil, err
 	}
 	if len(out) == 0 && cl.Optional {
 		r := row.clone()
@@ -236,61 +405,44 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 	return out, nil
 }
 
-// shardAggregate is the sharded count-aggregate fast path: each worker
-// streams its chunk's matches into a private aggregate state and the states
-// are merged in shard order into a fresh final state.
+// shardAggregate is the sharded count-aggregate fast path: each morsel
+// streams its matches into a private aggregate state and the states are
+// merged in tag order into a fresh final state, reproducing the serial
+// accumulation (including DISTINCT dedup and collect order).
 func (ex *Executor) shardAggregate(ctx *evalCtx, m *matcher, plan *matchPlan, where Expr, fc *FuncCall) (*aggState, error) {
 	cands := m.anchorCandidates(plan.parts[0])
-	chunks := shardChunks(cands, ex.shardWorkers)
+	size := ex.morselCap()
+	morsels := morselCut(cands, size)
 
-	type shardOut struct {
-		w    *shardWorker
-		st   *aggState
-		rows int
-		err  error
-	}
-	outs := make([]shardOut, len(chunks))
-	var wg sync.WaitGroup
-	for si := range chunks {
-		wg.Add(1)
-		go func(si int, chunk []*graph.Node) {
-			defer wg.Done()
-			o := &outs[si]
-			o.w = ex.newShardWorker(ctx.params, m.pushdown, m.ranges, m.cctx)
-			o.st = newAggState(fc)
-			o.err = o.w.m.matchAllAnchored(plan.parts, chunk, Row{}, func(r Row) error {
-				if where != nil {
-					t, err := o.w.ctx.evalBool(where, r)
-					if err != nil {
-						return err
-					}
-					if t != triTrue {
-						return nil
-					}
+	states := make([]*aggState, len(morsels))
+	morselRows := make([]int, len(morsels))
+	err := ex.scanMorsels(ctx, m, Row{}, len(morsels), func(w *shardWorker, mi int) error {
+		st := newAggState(fc)
+		states[mi] = st
+		return w.m.matchAllAnchored(plan.parts, morsels[mi], w.row, func(r Row) error {
+			if where != nil {
+				t, err := w.ctx.evalBool(where, r)
+				if err != nil {
+					return err
 				}
-				o.rows++
-				return o.st.add(o.w.ctx, r)
-			})
-		}(si, chunks[si])
-	}
-	wg.Wait()
+				if t != triTrue {
+					return nil
+				}
+			}
+			morselRows[mi]++
+			return st.add(w.ctx, r)
+		})
+	})
 
+	recordMorselStats(m, ex.shardWorkers, len(morsels), size, morselRows)
+	if err != nil {
+		return nil, err
+	}
 	final := newAggState(fc)
-	shardRows := make([]int, len(chunks))
-	for si := range outs {
-		if outs[si].err != nil {
-			return nil, outs[si].err
-		}
-		shardRows[si] = outs[si].rows
-		if err := final.merge(outs[si].st); err != nil {
+	for _, st := range states {
+		if err := final.merge(st); err != nil {
 			return nil, err
 		}
-		mergeWorkerStats(m.exec, outs[si].w.m.exec)
-	}
-	if m.exec != nil {
-		m.exec.Sharded = true
-		m.exec.ShardWorkers = ex.shardWorkers
-		m.exec.ShardRows = shardRows
 	}
 	return final, nil
 }

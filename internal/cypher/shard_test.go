@@ -27,49 +27,49 @@ func chainGraph(n int) *graph.Graph {
 	return g
 }
 
-func TestShardChunks(t *testing.T) {
+func TestMorselCut(t *testing.T) {
 	nodes := make([]*graph.Node, 0, 10)
 	for i := 0; i < 10; i++ {
 		nodes = append(nodes, &graph.Node{ID: graph.ID(i)})
 	}
 	cases := []struct {
-		workers int
-		want    []int // chunk lengths
+		size int
+		want []int // morsel lengths
 	}{
-		{1, []int{10}},
-		{2, []int{5, 5}},
-		{3, []int{4, 4, 2}},
-		{4, []int{3, 3, 3, 1}},
-		{10, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
-		{25, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}, // clamped to len(cands)
-		{0, []int{10}},                            // clamped up to 1
+		{10, []int{10}},
+		{5, []int{5, 5}},
+		{4, []int{4, 4, 2}},
+		{3, []int{3, 3, 3, 1}},
+		{1, []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{25, []int{10}}, // morsel size > candidate count: one short morsel
+		{0, []int{10}},  // <= 0 falls back to the default (256 > 10)
 	}
 	for _, tc := range cases {
-		chunks := shardChunks(nodes, tc.workers)
-		if len(chunks) != len(tc.want) {
-			t.Errorf("workers=%d: %d chunks, want %d", tc.workers, len(chunks), len(tc.want))
+		morsels := morselCut(nodes, tc.size)
+		if len(morsels) != len(tc.want) {
+			t.Errorf("size=%d: %d morsels, want %d", tc.size, len(morsels), len(tc.want))
 			continue
 		}
-		// Concatenating chunks must reproduce the input exactly: the merge
-		// step relies on contiguity to preserve serial row order.
+		// Concatenating morsels must reproduce the input exactly: the
+		// tag-order merge relies on contiguity to preserve serial row order.
 		i := 0
-		for ci, chunk := range chunks {
-			if len(chunk) != tc.want[ci] {
-				t.Errorf("workers=%d chunk %d: len %d, want %d", tc.workers, ci, len(chunk), tc.want[ci])
+		for mi, morsel := range morsels {
+			if len(morsel) != tc.want[mi] {
+				t.Errorf("size=%d morsel %d: len %d, want %d", tc.size, mi, len(morsel), tc.want[mi])
 			}
-			for _, n := range chunk {
+			for _, n := range morsel {
 				if n != nodes[i] {
-					t.Errorf("workers=%d: chunk order diverges from input at %d", tc.workers, i)
+					t.Errorf("size=%d: morsel order diverges from input at %d", tc.size, i)
 				}
 				i++
 			}
 		}
 		if i != len(nodes) {
-			t.Errorf("workers=%d: chunks cover %d of %d candidates", tc.workers, i, len(nodes))
+			t.Errorf("size=%d: morsels cover %d of %d candidates", tc.size, i, len(nodes))
 		}
 	}
-	if got := shardChunks(nil, 4); len(got) != 0 {
-		t.Errorf("shardChunks(nil) = %d chunks, want 0", len(got))
+	if got := morselCut(nil, 4); len(got) != 0 {
+		t.Errorf("morselCut(nil) = %d morsels, want 0", len(got))
 	}
 }
 
@@ -130,19 +130,22 @@ func TestShardedCollectOrderDeterministic(t *testing.T) {
 	}
 }
 
-// ExecStats must expose how the query was sharded: worker count, per-shard
-// row counts summing to the total, and the cost-based part order.
+// ExecStats must expose how the query was sharded: worker count, morsel
+// cut, per-morsel row counts summing to the total, and the cost-based part
+// order.
 func TestShardedExecStats(t *testing.T) {
 	g := chainGraph(100)
-	ex := NewExecutor(g)
-	ex.SetShardWorkers(4)
-	res, err := ex.Run(`MATCH (p:Person) WHERE p.idx < 50 RETURN p.idx`, nil)
+	ex := NewExecutor(g, WithShardWorkers(4), WithMorselSize(25))
+	res, err := ex.Run(`MATCH (p:Person) WHERE p.idx >= 0 RETURN p.idx`, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := res.Exec
 	if !st.Sharded || st.ShardWorkers != 4 {
 		t.Fatalf("Sharded=%v ShardWorkers=%d, want true/4", st.Sharded, st.ShardWorkers)
+	}
+	if st.Morsels != 4 || st.MorselSize != 25 {
+		t.Fatalf("Morsels=%d MorselSize=%d, want 4/25", st.Morsels, st.MorselSize)
 	}
 	if len(st.ShardRows) != 4 {
 		t.Fatalf("ShardRows = %v, want 4 entries", st.ShardRows)

@@ -6,21 +6,39 @@ import (
 	"github.com/graphrules/graphrules/internal/cypher"
 )
 
-// This file implements the first cross-query lint pass: unlike the
-// registered analyzers, which each examine one query in isolation, the
-// "ruleset" pass looks across a whole mined rule set and flags rules that
-// are duplicates of each other — their support, body and head queries are
-// all identical up to variable renaming. Such pairs slip past the NL-level
-// dedup (the natural-language statements differ) yet measure the same
-// constraint twice and inflate the mined-rule count. All three queries
-// participate in the key: many rule kinds share body/head shapes (every
-// required-property rule on one label has the same body and head scan) and
-// differ only in the support query's extra conjunct.
+// This file implements the cross-query lint passes: unlike the registered
+// analyzers, which each examine one query in isolation, these passes look
+// across a whole mined rule set (or within one rule's query triple):
+//
+//   - RuleSetDuplicates flags rules whose support, body and head queries
+//     are all identical to an earlier rule's up to variable renaming. Such
+//     pairs slip past the NL-level dedup (the natural-language statements
+//     differ) yet measure the same constraint twice and inflate the
+//     mined-rule count.
+//   - RuleSetSupportContainment flags rules whose support query does not
+//     syntactically contain the body's MATCH pattern: support is defined
+//     as "body rows that also satisfy the conclusion", so a support query
+//     matching a different pattern makes confidence = support/body compare
+//     two unrelated domains.
+//   - RuleSetVarAgreement flags rules whose head and body queries are the
+//     same pattern up to variable renaming but spell the variables
+//     differently — a tell that the generator lost track of its own
+//     bindings between the two queries.
+//
+// RuleSetLint runs all three; mining censuses the findings by analyzer.
 
 // RuleSetAnalyzer is the pseudo-analyzer name attached to cross-query
 // duplicate findings. Like SyntaxAnalyzer it is not in the registry: it
 // runs over a rule set, not a single query.
 const RuleSetAnalyzer = "ruleset"
+
+// RuleSetSupportAnalyzer is the pseudo-analyzer name for support/body
+// pattern-containment findings.
+const RuleSetSupportAnalyzer = "rulesetsupport"
+
+// RuleSetVarsAnalyzer is the pseudo-analyzer name for head/body
+// variable-naming disagreement findings.
+const RuleSetVarsAnalyzer = "rulesetvars"
 
 // RuleSetEntry is one rule's contribution to a cross-query lint pass.
 type RuleSetEntry struct {
@@ -30,11 +48,21 @@ type RuleSetEntry struct {
 	Head    string // the head-domain query (QuerySet.HeadTotal)
 }
 
-// RuleSetFinding ties a duplicate diagnostic to the entries involved.
+// RuleSetFinding ties a cross-query diagnostic to the entries involved.
 type RuleSetFinding struct {
-	Index int // entry that duplicates an earlier one
-	Of    int // index of the first occurrence
+	Index int // entry the finding is attached to
+	Of    int // earlier entry involved (== Index for single-rule findings)
 	Diag  Diagnostic
+}
+
+// RuleSetLint runs every cross-query pass over a mined rule set: duplicate
+// detection, support/body pattern containment, and head/body variable
+// naming agreement. Findings are grouped by pass, each pass in entry order.
+func RuleSetLint(entries []RuleSetEntry) []RuleSetFinding {
+	out := RuleSetDuplicates(entries)
+	out = append(out, RuleSetSupportContainment(entries)...)
+	out = append(out, RuleSetVarAgreement(entries)...)
+	return out
 }
 
 // RuleSetDuplicates reports every entry whose normalized support/body/head
@@ -179,4 +207,154 @@ func (r *renamer) projection(p *cypher.Projection) {
 	}
 	r.expr(p.Skip)
 	r.expr(p.Limit)
+}
+
+// RuleSetSupportContainment reports every entry whose support query does
+// not syntactically contain the body's MATCH pattern. Containment is
+// checked part by part: each pattern part of the body, rendered in its
+// per-part canonical shape, must occur among the support query's parts (as
+// a multiset, so a support part can cover only one body part). Entries
+// whose support or body does not parse are skipped: the per-query
+// analyzers already report those.
+func RuleSetSupportContainment(entries []RuleSetEntry) []RuleSetFinding {
+	var out []RuleSetFinding
+	for i, e := range entries {
+		missing, ok := supportMissingShape(e.Support, e.Body)
+		if !ok || missing == "" {
+			continue
+		}
+		out = append(out, RuleSetFinding{
+			Index: i,
+			Of:    i,
+			Diag: Diagnostic{
+				Analyzer: RuleSetSupportAnalyzer,
+				Severity: Warning,
+				Message: fmt.Sprintf(
+					"rule %s: support query does not contain the body pattern %s — support and body match different domains, so confidence = support/body is unreliable",
+					entryName(entries, i), missing),
+			},
+		})
+	}
+	return out
+}
+
+// supportMissingShape returns the canonical shape of the first body pattern
+// part with no matching part in the support query, or "" when every body
+// part is covered. ok is false when either query fails to parse.
+func supportMissingShape(support, body string) (missing string, ok bool) {
+	sq, err := cypher.Parse(support)
+	if err != nil {
+		return "", false
+	}
+	bq, err := cypher.Parse(body)
+	if err != nil {
+		return "", false
+	}
+	have := map[string]int{}
+	for _, p := range matchParts(sq) {
+		have[partShape(p)]++
+	}
+	for _, p := range matchParts(bq) {
+		shape := partShape(p)
+		if have[shape] == 0 {
+			return shape, true
+		}
+		have[shape]--
+	}
+	return "", true
+}
+
+// matchParts collects the pattern parts of every MATCH clause (optional or
+// not) in the query, in source order.
+func matchParts(q *cypher.Query) []*cypher.PatternPart {
+	var parts []*cypher.PatternPart
+	for _, cl := range q.Clauses {
+		if mc, isMatch := cl.(*cypher.MatchClause); isMatch {
+			parts = append(parts, mc.Patterns...)
+		}
+	}
+	return parts
+}
+
+// partShape renders one pattern part with its variables alpha-renamed
+// within the part. Anonymous elements draw fresh names from the same
+// counter, so naming an element never changes the shape — (x:P) and (:P)
+// render identically — while repetition still does: the self-loop
+// (a)-[:T]->(a) keeps a different shape than (a)-[:T]->(b). The part is
+// mutated in place; callers must pass freshly parsed ASTs.
+func partShape(p *cypher.PatternPart) string {
+	names := map[string]string{}
+	next := 0
+	assign := func(old string) string {
+		if old != "" {
+			if n, seen := names[old]; seen {
+				return n
+			}
+		}
+		next++
+		n := fmt.Sprintf("v%d", next)
+		if old != "" {
+			names[old] = n
+		}
+		return n
+	}
+	for _, n := range p.Nodes {
+		n.Var = assign(n.Var)
+	}
+	for _, rel := range p.Rels {
+		rel.Var = assign(rel.Var)
+	}
+	cypher.WalkPatternExprs(p, func(e cypher.Expr) {
+		if v, isVar := e.(*cypher.Variable); isVar {
+			if n, seen := names[v.Name]; seen {
+				v.Name = n
+			}
+		}
+	})
+	return p.String()
+}
+
+// RuleSetVarAgreement reports every entry whose head and body queries are
+// the same pattern up to variable renaming yet disagree on the variable
+// names themselves. The queries still measure the same domain, so the
+// scores are right — but the naming drift is a tell that the generator
+// lost track of its bindings between the two queries, and it defeats
+// textual review of the rule. Comparison happens on the AST re-rendering,
+// so formatting and whitespace differences never count as disagreement.
+func RuleSetVarAgreement(entries []RuleSetEntry) []RuleSetFinding {
+	var out []RuleSetFinding
+	for i, e := range entries {
+		normBody, okB := NormalizeQuery(e.Body)
+		normHead, okH := NormalizeQuery(e.Head)
+		if !okB || !okH || normBody != normHead {
+			continue // different patterns (or unparseable): nothing to compare
+		}
+		rawBody, okB := canonicalRender(e.Body)
+		rawHead, okH := canonicalRender(e.Head)
+		if !okB || !okH || rawBody == rawHead {
+			continue
+		}
+		out = append(out, RuleSetFinding{
+			Index: i,
+			Of:    i,
+			Diag: Diagnostic{
+				Analyzer: RuleSetVarsAnalyzer,
+				Severity: Warning,
+				Message: fmt.Sprintf(
+					"rule %s: head and body are the same pattern but disagree on variable naming (%q vs %q)",
+					entryName(entries, i), rawHead, rawBody),
+			},
+		})
+	}
+	return out
+}
+
+// canonicalRender re-renders src from its AST without renaming, washing out
+// formatting differences while preserving variable names.
+func canonicalRender(src string) (string, bool) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	return q.String(), true
 }

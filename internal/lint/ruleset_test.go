@@ -119,3 +119,125 @@ func TestRuleSetDuplicatesPartialMatchIsNotDup(t *testing.T) {
 		t.Fatalf("same support/body but different head flagged as duplicate: %+v", got)
 	}
 }
+
+func TestRuleSetSupportContainment(t *testing.T) {
+	count := " RETURN count(*) AS n"
+	cases := []struct {
+		name          string
+		support, body string
+		flag          bool
+	}{
+		{"identical pattern plus WHERE",
+			"MATCH (x:Person) WHERE x.name IS NOT NULL" + count,
+			"MATCH (x:Person)" + count, false},
+		{"renamed variable still contains",
+			"MATCH (p:Person) WHERE p.name IS NOT NULL" + count,
+			"MATCH (x:Person)" + count, false},
+		{"anonymous body part covered by named support part",
+			"MATCH (a:Person)-[r:KNOWS]->(b:Person) WHERE r.since > 2020" + count,
+			"MATCH (:Person)-[:KNOWS]->(:Person)" + count, false},
+		{"support measures a different label",
+			"MATCH (t:Team) WHERE t.name IS NOT NULL" + count,
+			"MATCH (x:Person)" + count, true},
+		{"support drops the body's edge pattern",
+			"MATCH (a:Person)" + count,
+			"MATCH (a:Person)-[:KNOWS]->(b:Person)" + count, true},
+		{"self-loop body not covered by two-endpoint support",
+			"MATCH (a:P)-[:T]->(b:P)" + count,
+			"MATCH (a:P)-[:T]->(a)" + count, true},
+		{"multi-part body fully covered",
+			"MATCH (a:P), (b:Q) WHERE a.k = b.k" + count,
+			"MATCH (a:P), (b:Q)" + count, false},
+		{"two identical body parts need two support parts",
+			"MATCH (a:P)" + count,
+			"MATCH (a:P), (b:P)" + count, true},
+		{"unparseable body is skipped",
+			"MATCH (a:P)" + count,
+			"MATCH (a:P" + count, false},
+	}
+	for _, tc := range cases {
+		entries := []RuleSetEntry{{Name: tc.name, Support: tc.support, Body: tc.body, Head: tc.body}}
+		got := RuleSetSupportContainment(entries)
+		if flagged := len(got) > 0; flagged != tc.flag {
+			t.Errorf("%s: flagged=%v, want %v (findings %+v)", tc.name, flagged, tc.flag, got)
+			continue
+		}
+		if tc.flag {
+			f := got[0]
+			if f.Index != 0 || f.Diag.Analyzer != RuleSetSupportAnalyzer || f.Diag.Severity != Warning {
+				t.Errorf("%s: finding meta = %+v, want index 0 %s/%s", tc.name, f, RuleSetSupportAnalyzer, Warning)
+			}
+			if !strings.Contains(f.Diag.Message, "support query does not contain") {
+				t.Errorf("%s: message %q", tc.name, f.Diag.Message)
+			}
+		}
+	}
+}
+
+func TestRuleSetVarAgreement(t *testing.T) {
+	count := " RETURN count(*) AS n"
+	cases := []struct {
+		name       string
+		body, head string
+		flag       bool
+	}{
+		{"same names", "MATCH (x:Person)" + count, "MATCH (x:Person)" + count, false},
+		{"renamed variable", "MATCH (x:Person)" + count, "MATCH (y:Person)" + count, true},
+		{"formatting only", "MATCH (x:Person)  RETURN   count(*) AS n", "MATCH (x:Person)" + count, false},
+		{"different patterns", "MATCH (x:Person)" + count, "MATCH (x:Team)" + count, false},
+		{"edge pattern renamed",
+			"MATCH (a:P)-[r:T]->(b:Q)" + count,
+			"MATCH (p:P)-[e:T]->(q:Q)" + count, true},
+		{"unparseable head skipped", "MATCH (x:P)" + count, "MATCH (x:P" + count, false},
+	}
+	for _, tc := range cases {
+		entries := []RuleSetEntry{{Name: tc.name, Support: tc.body, Body: tc.body, Head: tc.head}}
+		got := RuleSetVarAgreement(entries)
+		if flagged := len(got) > 0; flagged != tc.flag {
+			t.Errorf("%s: flagged=%v, want %v (findings %+v)", tc.name, flagged, tc.flag, got)
+			continue
+		}
+		if tc.flag {
+			f := got[0]
+			if f.Diag.Analyzer != RuleSetVarsAnalyzer || f.Diag.Severity != Warning {
+				t.Errorf("%s: finding meta = %+v", tc.name, f)
+			}
+			if !strings.Contains(f.Diag.Message, "disagree on variable naming") {
+				t.Errorf("%s: message %q", tc.name, f.Diag.Message)
+			}
+		}
+	}
+}
+
+// RuleSetLint must aggregate all three passes over one entry list.
+func TestRuleSetLintAggregates(t *testing.T) {
+	count := " RETURN count(*) AS n"
+	entries := []RuleSetEntry{
+		{Name: "base",
+			Support: "MATCH (x:Person) WHERE x.name IS NOT NULL" + count,
+			Body:    "MATCH (x:Person)" + count,
+			Head:    "MATCH (x:Person)" + count},
+		{Name: "duplicate of base",
+			Support: "MATCH (p:Person) WHERE p.name IS NOT NULL" + count,
+			Body:    "MATCH (p:Person)" + count,
+			Head:    "MATCH (p:Person)" + count},
+		{Name: "support on wrong label",
+			Support: "MATCH (t:Team) WHERE t.name IS NOT NULL" + count,
+			Body:    "MATCH (x:Person)" + count,
+			Head:    "MATCH (x:Person)" + count},
+		{Name: "head renames body vars",
+			Support: "MATCH (x:City) WHERE x.name IS NOT NULL" + count,
+			Body:    "MATCH (x:City)" + count,
+			Head:    "MATCH (y:City)" + count},
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range RuleSetLint(entries) {
+		byAnalyzer[f.Diag.Analyzer]++
+	}
+	want := map[string]int{RuleSetAnalyzer: 1, RuleSetSupportAnalyzer: 1, RuleSetVarsAnalyzer: 1}
+	for a, n := range want {
+		if byAnalyzer[a] != n {
+			t.Errorf("RuleSetLint: %d findings for %s, want %d (all: %v)", byAnalyzer[a], a, n, byAnalyzer)
+		}
+	}
+}

@@ -184,9 +184,13 @@ type EvalOptions struct {
 	// <= 0 runs each query serially. Both levels of parallelism are
 	// deterministic: output order and counts never depend on either value.
 	ShardWorkers int
-	// ExecOptions are applied to the shared executor after ShardWorkers, so
-	// any cypher.Option (pushdown toggles, plan-cache cap, or an overriding
-	// WithShardWorkers) is reachable from batch evaluation.
+	// MorselSize sets the anchor-candidate morsel size for sharded scans;
+	// <= 0 keeps the executor default. Like ShardWorkers it is a pure
+	// scheduling knob and never changes results.
+	MorselSize int
+	// ExecOptions are applied to the shared executor after ShardWorkers and
+	// MorselSize, so any cypher.Option (pushdown toggles, plan-cache cap, or
+	// an overriding WithShardWorkers) is reachable from batch evaluation.
 	ExecOptions []cypher.Option
 }
 
@@ -212,7 +216,10 @@ func EvaluateQuerySetsCtx(ctx context.Context, g *graph.Graph, qss []rules.Query
 	workers := opt.Workers
 	counts = make([]rules.Counts, len(qss))
 	errs = make([]error, len(qss))
-	sc := NewScorer(g, append([]cypher.Option{cypher.WithShardWorkers(opt.ShardWorkers)}, opt.ExecOptions...)...)
+	sc := NewScorer(g, append([]cypher.Option{
+		cypher.WithShardWorkers(opt.ShardWorkers),
+		cypher.WithMorselSize(opt.MorselSize),
+	}, opt.ExecOptions...)...)
 	forEachIndex(len(qss), workers, func(i int) {
 		defer func() {
 			if p := recover(); p != nil {

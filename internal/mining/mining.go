@@ -127,9 +127,14 @@ type Config struct {
 	// the executor (default 0 = serial). Like ScoreWorkers it never changes
 	// counts or rule order, only wall time. Negative values are rejected.
 	ShardWorkers int
+	// MorselSize sets the anchor-candidate morsel size for sharded scans
+	// during scoring (default 0 = the executor's built-in size). A pure
+	// scheduling knob: results are identical at any value. Negative values
+	// are rejected.
+	MorselSize int
 	// ExecOptions are cypher executor options applied to the scoring
-	// executor after ShardWorkers (pushdown toggles, plan-cache cap, ...).
-	// None of them change counts or rule order.
+	// executor after ShardWorkers and MorselSize (pushdown toggles,
+	// plan-cache cap, ...). None of them change counts or rule order.
 	ExecOptions []cypher.Option
 	// FailurePolicy defaults to FailFast.
 	FailurePolicy FailurePolicy
@@ -179,6 +184,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ShardWorkers < 0 {
 		return c, fmt.Errorf("mining: ShardWorkers must be non-negative, got %d", c.ShardWorkers)
+	}
+	if c.MorselSize < 0 {
+		return c, fmt.Errorf("mining: MorselSize must be non-negative, got %d", c.MorselSize)
 	}
 	if c.MinWindowSuccess < 0 || c.MinWindowSuccess > 1 {
 		return c, fmt.Errorf("mining: MinWindowSuccess must be in [0, 1], got %g", c.MinWindowSuccess)
@@ -513,9 +521,10 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		scoreIdx = append(scoreIdx, len(mined)-1)
 	}
 
-	// Cross-query lint: rules whose corrected query sets are the same
-	// pattern up to variable renaming slipped past the NL-level dedup;
-	// flag the later occurrence and census it with the per-query findings.
+	// Cross-query lint: duplicate rules that slipped past the NL-level
+	// dedup (same query patterns up to variable renaming), support queries
+	// that don't contain their body pattern, and head/body variable-naming
+	// drift; findings are censused with the per-query ones by analyzer.
 	entries := make([]lint.RuleSetEntry, len(mined))
 	for i := range mined {
 		entries[i] = lint.RuleSetEntry{
@@ -525,7 +534,7 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 			Head:    mined[i].Final.HeadTotal,
 		}
 	}
-	for _, f := range lint.RuleSetDuplicates(entries) {
+	for _, f := range lint.RuleSetLint(entries) {
 		mined[f.Index].Lint = append(mined[f.Index].Lint, f.Diag)
 		res.LintCounts[f.Diag.Analyzer]++
 	}
@@ -533,7 +542,8 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	// Score all corrected query sets through one shared executor (and plan
 	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
 	counts, evalErrs := metrics.EvaluateQuerySetsCtx(ctx, g, finals,
-		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers, ExecOptions: cfg.ExecOptions})
+		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers,
+			MorselSize: cfg.MorselSize, ExecOptions: cfg.ExecOptions})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
