@@ -46,12 +46,32 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	noRangePushdown := fs.Bool("no-range-pushdown", false, "disable ordered-index range seeks for inequality/STARTS WITH predicates")
 	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
 	lintOnly := fs.Bool("lint", false, "lint the -q query against the graph's schema instead of executing it (exit 1 on error-severity findings)")
+	walPath := fs.String("wal", "", "append every committed mutation epoch to this write-ahead log file")
+	commitWindow := fs.Duration("commit-window", 0, "group-commit fsync window for -wal (0 = flush and sync eagerly per epoch)")
+	replay := fs.String("replay", "", "recover the graph from this WAL file (exactly the epochs closed by a commit marker)")
+	pinSnapshot := fs.Bool("pin-snapshot", false, "pin each read-only query to the graph epoch current at its start (stable scans under concurrent writers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var g *graph.Graph
 	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		var info storage.RecoveryInfo
+		g, info, err = storage.RecoverReplay("recovered", f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Recovered %d record(s) through epoch %d", info.Applied, info.Epoch)
+		if info.Discarded > 0 || info.Torn {
+			fmt.Fprintf(out, " (discarded %d uncommitted record(s), torn tail: %v)", info.Discarded, info.Torn)
+		}
+		fmt.Fprintln(out)
 	case *snapshot != "":
 		var err error
 		if g, err = storage.LoadFile(*snapshot); err != nil {
@@ -68,11 +88,33 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "Loaded %s: %d nodes, %d edges\n", g.Name(), g.NodeCount(), g.EdgeCount())
 
+	if *walPath != "" {
+		f, err := os.OpenFile(*walPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		wal := storage.NewGroupWAL(f, *commitWindow)
+		detach := storage.AttachWAL(g, wal)
+		defer func() {
+			detach()
+			if err := wal.Close(); err != nil {
+				fmt.Fprintln(out, "wal close:", err)
+			}
+			f.Close()
+		}()
+		if *commitWindow > 0 {
+			fmt.Fprintf(out, "WAL %s (group commit, %s window)\n", *walPath, *commitWindow)
+		} else {
+			fmt.Fprintf(out, "WAL %s (eager sync)\n", *walPath)
+		}
+	}
+
 	ex := cypher.NewExecutor(g,
 		cypher.WithShardWorkers(*shardWorkers),
 		cypher.WithMorselSize(*morselSize),
 		cypher.WithReorder(!*noReorder),
-		cypher.WithRangePushdown(!*noRangePushdown))
+		cypher.WithRangePushdown(!*noRangePushdown),
+		cypher.WithSnapshotPin(*pinSnapshot))
 	if *lintOnly {
 		if *query == "" {
 			return fmt.Errorf("-lint requires -q")

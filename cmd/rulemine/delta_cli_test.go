@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDeltaMetrics: -delta-metrics drives a mutation stream after the
+// mining run, reports the maintenance stats, and verifies the maintained
+// scores against a full recompute (a mismatch is a hard error).
+func TestDeltaMetrics(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "Cybersecurity", "-delta-metrics", "-delta-epochs", "6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Delta metrics: 6 epochs") {
+		t.Errorf("delta stats missing:\n%s", s)
+	}
+	if !strings.Contains(s, "Maintained aggregate (verified against full recompute)") {
+		t.Errorf("verified aggregate missing:\n%s", s)
+	}
+	if strings.Contains(s, "MISMATCH") {
+		t.Errorf("maintained scores diverged:\n%s", s)
+	}
+}

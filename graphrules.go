@@ -29,6 +29,8 @@ package graphrules
 
 import (
 	"context"
+	"io"
+	"time"
 
 	"github.com/graphrules/graphrules/internal/baseline"
 	"github.com/graphrules/graphrules/internal/correction"
@@ -41,6 +43,7 @@ import (
 	"github.com/graphrules/graphrules/internal/prompt"
 	"github.com/graphrules/graphrules/internal/resilience"
 	"github.com/graphrules/graphrules/internal/rules"
+	"github.com/graphrules/graphrules/internal/storage"
 )
 
 // Graph model.
@@ -82,6 +85,69 @@ func NewStringValue(s string) Value { return graph.NewString(s) }
 
 // ExtractSchema summarizes a graph's labels, properties and endpoints.
 func ExtractSchema(g *Graph) *Schema { return graph.ExtractSchema(g) }
+
+// MVCC epochs and change feeds.
+type (
+	// GraphDelta summarizes one committed epoch: the ops applied and which
+	// (label, property-key) / (type, property-key) pairs they touched. It
+	// is what OnCommit subscribers and the metric maintainer consume.
+	GraphDelta = graph.Delta
+	// GraphBatch buffers mutations and commits them as one atomic epoch
+	// (all-or-nothing, one delta, one subscriber notification).
+	GraphBatch = graph.Batch
+)
+
+// NewBatch opens a mutation batch on g; see GraphBatch.
+func NewBatch(g *Graph) *GraphBatch { return g.NewBatch() }
+
+// SnapshotOf returns a frozen point-in-time view of g: reads see exactly
+// the epoch current at the call, concurrent commits never move it, and
+// mutating it panics. Snapshots are cheap (shallow map copies, cached per
+// epoch) — take one per scan, not one per read.
+func SnapshotOf(g *Graph) *Graph { return g.Snapshot() }
+
+// OnGraphCommit subscribes fn to g's committed epochs; fn runs on the
+// commit path before the next writer can commit, in subscription order.
+// The returned cancel detaches it.
+func OnGraphCommit(g *Graph, fn func(*GraphDelta)) (cancel func()) { return g.OnCommit(fn) }
+
+// Write-ahead logging and crash recovery.
+type (
+	// WAL is a write-ahead log of graph mutations, with optional group
+	// commit (batched fsync) via NewGroupWAL.
+	WAL = storage.WAL
+	// WALRecord is one logged mutation (or commit marker).
+	WALRecord = storage.Record
+	// LoggedGraph pairs a graph with a WAL: every mutation is applied,
+	// logged, and made durable (Commit barrier) before the call returns.
+	LoggedGraph = storage.LoggedGraph
+	// RecoveryInfo reports what RecoverWAL salvaged from a damaged log.
+	RecoveryInfo = storage.RecoveryInfo
+)
+
+// NewWAL wraps w as an eager write-ahead log (flush + sync per append).
+func NewWAL(w io.Writer) *WAL { return storage.NewWAL(w) }
+
+// NewGroupWAL wraps w as a group-commit write-ahead log: appends buffer,
+// a background flusher syncs every window, and Commit() barriers until
+// the caller's records are durable. window <= 0 flushes only on demand.
+func NewGroupWAL(w io.Writer, window time.Duration) *WAL {
+	return storage.NewGroupWAL(w, window)
+}
+
+// NewLoggedGraph pairs g with wal; see LoggedGraph.
+func NewLoggedGraph(g *Graph, wal *WAL) *LoggedGraph { return storage.NewLoggedGraph(g, wal) }
+
+// AttachWAL subscribes wal to g's commit stream: every committed epoch is
+// appended (with its commit marker) from the commit path. The returned
+// detach unsubscribes.
+func AttachWAL(g *Graph, wal *WAL) (detach func()) { return storage.AttachWAL(g, wal) }
+
+// RecoverWAL rebuilds a graph from a possibly torn log, applying exactly
+// the epochs closed by a commit marker and reporting what was discarded.
+func RecoverWAL(name string, r io.Reader) (*Graph, RecoveryInfo, error) {
+	return storage.RecoverReplay(name, r)
+}
 
 // Query engine.
 type (
@@ -127,7 +193,18 @@ var (
 	WithCountFastPath = cypher.WithCountFastPath
 	// WithPlanCacheCap bounds the prepared-plan cache (0 disables it).
 	WithPlanCacheCap = cypher.WithPlanCacheCap
+	// WithSnapshotPin pins each read-only query to the epoch current at
+	// its start, so concurrent commits never change what one scan sees.
+	WithSnapshotPin = cypher.WithSnapshotPin
 )
+
+// QueryFootprint over-approximates the labels, edge types and property
+// keys a query's result can depend on; intersected with a GraphDelta it
+// answers "can this epoch have changed this query's result?".
+type QueryFootprint = cypher.Footprint
+
+// FootprintOf parses a query and extracts its footprint.
+func FootprintOf(src string) (*QueryFootprint, error) { return cypher.FootprintOf(src) }
 
 // GraphStats summarizes a graph's size and connectivity.
 type GraphStats = graph.Stats
@@ -154,6 +231,26 @@ type Scorer = metrics.Scorer
 // NewScorer returns a rule scorer bound to g; opts configure its shared
 // executor (e.g. WithShardWorkers(8)).
 func NewScorer(g *Graph, opts ...ExecutorOption) *Scorer { return metrics.NewScorer(g, opts...) }
+
+// Incremental metric maintenance.
+type (
+	// Maintainer keeps a rule set's metric scores current as the graph
+	// evolves: each committed epoch re-scores only the rules whose query
+	// footprint the epoch's delta intersects (O(delta), not O(rules)).
+	Maintainer = metrics.Maintainer
+	// MaintainedScore is a maintained rule's current score plus its
+	// sticky evaluation error, if any.
+	MaintainedScore = metrics.MaintainedScore
+	// MaintainerStats counts applied epochs and rescored/skipped rules.
+	MaintainerStats = metrics.MaintainerStats
+)
+
+// NewMaintainer scores rs in full once and returns a maintainer that
+// keeps the scores exact incrementally; call Attach to subscribe it to
+// g's commit stream. Options configure the shared scoring executor.
+func NewMaintainer(g *Graph, rs []Rule, opts ...ExecutorOption) *Maintainer {
+	return metrics.NewMaintainer(g, rs, opts...)
+}
 
 // ParseRuleNL parses a natural-language rule statement.
 func ParseRuleNL(line string) (Rule, bool) { return rules.ParseNL(line) }

@@ -251,7 +251,8 @@ type Executor struct {
 	noReorder       bool
 	noRangePushdown bool
 	shardWorkers    int
-	morselSize      int // anchor candidates per morsel; 0 = defaultMorselSize
+	morselSize      int  // anchor candidates per morsel; 0 = defaultMorselSize
+	snapshotPin     bool // read-only queries run on a pinned epoch snapshot
 
 	planMu    sync.Mutex
 	plans     map[string]*planEntry
@@ -434,11 +435,20 @@ func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, e
 
 // ExecuteCtx is Execute with cancellation; see RunCtx.
 func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string]graph.Value) (*Result, error) {
-	m := &matcher{g: ex.g, pushdown: !ex.noPushdown}
+	// Under WithSnapshotPin, a read-only query resolves the graph once to
+	// the current epoch's frozen snapshot: the whole scan — serial, sharded
+	// or morsel-stolen — observes exactly one epoch even while writers
+	// commit concurrently. Mutating queries stay on the live graph (their
+	// writes must publish, and execSet/execDelete need read-your-writes).
+	eg := ex.g
+	if ex.snapshotPin && !QueryMutates(q) {
+		eg = ex.g.Snapshot()
+	}
+	m := &matcher{g: eg, pushdown: !ex.noPushdown}
 	if cctx != nil && cctx != context.Background() {
 		m.cctx = cctx
 	}
-	ctx := newEvalCtx(ex.g, params, m)
+	ctx := newEvalCtx(eg, params, m)
 	m.ctx = ctx
 
 	res := &Result{}

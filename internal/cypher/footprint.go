@@ -1,0 +1,289 @@
+package cypher
+
+// Query footprints for O(delta) maintenance.
+//
+// A Footprint conservatively over-approximates what parts of the graph a
+// query's result can depend on: which node labels and edge types it reads,
+// and which property keys. Intersected with a graph.Delta — the per-epoch
+// change summary — it answers "can this epoch have changed this query's
+// result?" without running anything. Soundness is one-directional by
+// design: a footprint may claim dependence it doesn't have (wasting a
+// re-evaluation), but must never miss one (which would let a stale score
+// survive). Anything the extractor does not understand therefore widens to
+// "depends on everything".
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// Footprint is the read set of a query, over-approximated.
+type Footprint struct {
+	// NodeLabels / EdgeTypes are the labels and relationship types whose
+	// element sets or properties the query reads. AnyNode / AnyEdge widen
+	// to all of them (an unlabeled node or untyped relationship pattern
+	// can bind anything).
+	NodeLabels map[string]bool
+	EdgeTypes  map[string]bool
+	AnyNode    bool
+	AnyEdge    bool
+
+	// Keys are the property keys read; AllKeys widens to every key
+	// (keys()/properties() make the whole map observable).
+	Keys    map[string]bool
+	AllKeys bool
+
+	// Mutates marks a query with CREATE/SET/DELETE clauses. A mutating
+	// query is never a pure function of a snapshot, so it intersects
+	// every delta.
+	Mutates bool
+}
+
+// NewFootprint returns an empty footprint (depends on nothing).
+func NewFootprint() *Footprint {
+	return &Footprint{
+		NodeLabels: map[string]bool{},
+		EdgeTypes:  map[string]bool{},
+		Keys:       map[string]bool{},
+	}
+}
+
+// widen makes the footprint depend on everything except mutation status.
+func (f *Footprint) widen() {
+	f.AnyNode = true
+	f.AnyEdge = true
+	f.AllKeys = true
+}
+
+// Wild reports whether the footprint has widened to everything.
+func (f *Footprint) Wild() bool { return f.AnyNode && f.AnyEdge && f.AllKeys }
+
+// Merge unions other into f (the footprint of running both queries).
+func (f *Footprint) Merge(other *Footprint) {
+	for l := range other.NodeLabels {
+		f.NodeLabels[l] = true
+	}
+	for t := range other.EdgeTypes {
+		f.EdgeTypes[t] = true
+	}
+	for k := range other.Keys {
+		f.Keys[k] = true
+	}
+	f.AnyNode = f.AnyNode || other.AnyNode
+	f.AnyEdge = f.AnyEdge || other.AnyEdge
+	f.AllKeys = f.AllKeys || other.AllKeys
+	f.Mutates = f.Mutates || other.Mutates
+}
+
+// Intersects reports whether an epoch's delta can affect the query's
+// result. Per changed label/type: a structural change (membership) always
+// intersects a label the query reads; a property-only change intersects
+// when the query reads one of the changed keys (or all keys).
+func (f *Footprint) Intersects(d *graph.Delta) bool {
+	if f.Mutates {
+		return true
+	}
+	for label, ed := range d.NodeChanges {
+		if !f.AnyNode && !f.NodeLabels[label] {
+			continue
+		}
+		if ed.Structural || f.AllKeys {
+			return true
+		}
+		for k := range ed.Keys {
+			if f.Keys[k] {
+				return true
+			}
+		}
+	}
+	for typ, ed := range d.EdgeChanges {
+		if !f.AnyEdge && !f.EdgeTypes[typ] {
+			continue
+		}
+		if ed.Structural || f.AllKeys {
+			return true
+		}
+		for k := range ed.Keys {
+			if f.Keys[k] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the footprint compactly (for Explain/debugging).
+func (f *Footprint) String() string {
+	nodes := "nodes:any"
+	if !f.AnyNode {
+		nodes = fmt.Sprintf("nodes:%v", sortedKeys(f.NodeLabels))
+	}
+	edges := "edges:any"
+	if !f.AnyEdge {
+		edges = fmt.Sprintf("edges:%v", sortedKeys(f.EdgeTypes))
+	}
+	keys := "keys:all"
+	if !f.AllKeys {
+		keys = fmt.Sprintf("keys:%v", sortedKeys(f.Keys))
+	}
+	s := nodes + " " + edges + " " + keys
+	if f.Mutates {
+		s += " mutates"
+	}
+	return s
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryMutates reports whether the query contains a mutation clause.
+func QueryMutates(q *Query) bool {
+	for _, c := range q.Clauses {
+		switch c.(type) {
+		case *CreateClause, *SetClause, *DeleteClause:
+			return true
+		}
+	}
+	return false
+}
+
+// ExtractFootprint computes the footprint of a parsed query.
+func ExtractFootprint(q *Query) *Footprint {
+	f := NewFootprint()
+	for _, c := range q.Clauses {
+		switch cl := c.(type) {
+		case *MatchClause:
+			for _, p := range cl.Patterns {
+				f.addPattern(p)
+			}
+			f.addExpr(cl.Where)
+		case *WithClause:
+			f.addProjection(&cl.Projection)
+			f.addExpr(cl.Where)
+		case *ReturnClause:
+			f.addProjection(&cl.Projection)
+		case *UnwindClause:
+			f.addExpr(cl.Expr)
+		case *CreateClause, *SetClause, *DeleteClause:
+			// Mutations invalidate everything: the written elements, and —
+			// through cascades — whatever a later epoch re-reads.
+			f.Mutates = true
+			f.widen()
+		default:
+			// A clause this extractor predates: assume it reads everything.
+			f.widen()
+		}
+	}
+	return f
+}
+
+// FootprintOf parses src and extracts its footprint.
+func FootprintOf(src string) (*Footprint, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractFootprint(q), nil
+}
+
+func (f *Footprint) addPattern(p *PatternPart) {
+	for _, np := range p.Nodes {
+		if len(np.Labels) == 0 {
+			f.AnyNode = true
+		}
+		for _, l := range np.Labels {
+			f.NodeLabels[l] = true
+		}
+		for k, e := range np.Props {
+			f.Keys[k] = true
+			f.addExpr(e)
+		}
+	}
+	for _, rp := range p.Rels {
+		if len(rp.Types) == 0 {
+			f.AnyEdge = true
+		}
+		for _, t := range rp.Types {
+			f.EdgeTypes[t] = true
+		}
+		for k, e := range rp.Props {
+			f.Keys[k] = true
+			f.addExpr(e)
+		}
+	}
+}
+
+func (f *Footprint) addProjection(p *Projection) {
+	for _, it := range p.Items {
+		f.addExpr(it.Expr)
+	}
+	for _, s := range p.OrderBy {
+		f.addExpr(s.Expr)
+	}
+	f.addExpr(p.Skip)
+	f.addExpr(p.Limit)
+}
+
+func (f *Footprint) addExpr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *Literal, *Variable, *Parameter:
+		return
+	case *PropAccess:
+		f.Keys[x.Key] = true
+		f.addExpr(x.Target)
+	case *Binary:
+		f.addExpr(x.L)
+		f.addExpr(x.R)
+	case *Not:
+		f.addExpr(x.E)
+	case *Neg:
+		f.addExpr(x.E)
+	case *IsNull:
+		f.addExpr(x.E)
+	case *HasLabels:
+		// Membership of these labels is read; membership changes are
+		// structural under the label, so listing them suffices.
+		for _, l := range x.Labels {
+			f.NodeLabels[l] = true
+		}
+		f.addExpr(x.E)
+	case *FuncCall:
+		switch x.Name {
+		case "keys", "properties":
+			// The entire property map becomes observable.
+			f.AllKeys = true
+		}
+		for _, a := range x.Args {
+			f.addExpr(a)
+		}
+	case *ListLit:
+		for _, el := range x.Elems {
+			f.addExpr(el)
+		}
+	case *Index:
+		f.addExpr(x.Target)
+		f.addExpr(x.Sub)
+	case *PatternPred:
+		f.addPattern(x.Pattern)
+	case *CaseExpr:
+		f.addExpr(x.Operand)
+		for i := range x.Whens {
+			f.addExpr(x.Whens[i])
+			f.addExpr(x.Thens[i])
+		}
+		f.addExpr(x.Else)
+	default:
+		// Unknown expression node: widen rather than risk unsoundness.
+		f.widen()
+	}
+}

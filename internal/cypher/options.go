@@ -73,3 +73,13 @@ func WithMorselSize(n int) Option {
 func WithPlanCacheCap(n int) Option {
 	return func(ex *Executor) { ex.setPlanCacheCap(n) }
 }
+
+// WithSnapshotPin pins every read-only query to the graph epoch current
+// when its execution starts: the scan runs against a frozen snapshot view,
+// so concurrent epoch commits never change what one query observes
+// mid-scan. Mutating queries (CREATE/SET/DELETE) always run on the live
+// graph regardless of this option. Off by default — without concurrent
+// writers the live graph is the same view for free.
+func WithSnapshotPin(on bool) Option {
+	return func(ex *Executor) { ex.snapshotPin = on }
+}

@@ -236,9 +236,11 @@ type shardWorker struct {
 	row Row
 }
 
-func (ex *Executor) newShardWorker(params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context) *shardWorker {
-	wm := &matcher{g: ex.g, pushdown: pushdown, ranges: ranges, exec: &ExecStats{}, cctx: cctx}
-	wctx := newEvalCtx(ex.g, params, wm)
+// newShardWorker builds a worker against g — the scan's graph view, which
+// under WithSnapshotPin is the pinned epoch snapshot rather than ex.g.
+func (ex *Executor) newShardWorker(g *graph.Graph, params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context) *shardWorker {
+	wm := &matcher{g: g, pushdown: pushdown, ranges: ranges, exec: &ExecStats{}, cctx: cctx}
+	wctx := newEvalCtx(g, params, wm)
 	wm.ctx = wctx
 	return &shardWorker{m: wm, ctx: wctx}
 }
@@ -288,7 +290,7 @@ func (ex *Executor) scanMorsels(ctx *evalCtx, m *matcher, proto Row, nMorsels in
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := ex.newShardWorker(ctx.params, m.pushdown, m.ranges, cctx)
+			w := ex.newShardWorker(m.g, ctx.params, m.pushdown, m.ranges, cctx)
 			w.row = proto.clone()
 			workerStats[wi] = w.m.exec
 			for cctx.Err() == nil {

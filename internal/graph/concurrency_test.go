@@ -62,38 +62,24 @@ func TestForEachSnapshotUnderMutation(t *testing.T) {
 	wg.Wait()
 }
 
-func TestRemoveIDZeroesTail(t *testing.T) {
+func TestRemoveIDCopiesOnWrite(t *testing.T) {
 	backing := []ID{1, 2, 3, 4}
 	got := removeID(backing, 2)
 	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
 		t.Fatalf("removeID order: %v", got)
 	}
-	if backing[3] != 0 {
-		t.Errorf("stale tail ID %d left in backing array", backing[3])
+	// The published slice must be untouched: epoch snapshot views share
+	// slice headers with the live graph, so in-place removal would tear
+	// a pinned reader's view.
+	for i, want := range []ID{1, 2, 3, 4} {
+		if backing[i] != want {
+			t.Errorf("removeID mutated backing[%d] = %d, want %d", i, backing[i], want)
+		}
 	}
 
-	backing = []ID{1, 2, 3, 4}
-	got = swapRemoveID(backing, 2)
-	if len(got) != 3 {
-		t.Fatalf("swapRemoveID len = %d", len(got))
-	}
-	seen := map[ID]bool{}
-	for _, id := range got {
-		seen[id] = true
-	}
-	if seen[2] || !seen[1] || !seen[3] || !seen[4] {
-		t.Errorf("swapRemoveID contents: %v", got)
-	}
-	if backing[3] != 0 {
-		t.Errorf("stale tail ID %d left in backing array", backing[3])
-	}
-
-	// Removing an absent ID is a no-op for both.
+	// Removing an absent ID is a no-op.
 	if got := removeID([]ID{1, 2}, 9); len(got) != 2 {
 		t.Errorf("removeID absent: %v", got)
-	}
-	if got := swapRemoveID([]ID{1, 2}, 9); len(got) != 2 {
-		t.Errorf("swapRemoveID absent: %v", got)
 	}
 }
 

@@ -77,6 +77,10 @@ func (e *Edge) Prop(key string) Value {
 // Graph is an in-memory property graph. It is safe for concurrent readers;
 // writers must not run concurrently with readers or other writers unless
 // they use the locked mutation API (all exported mutators lock).
+//
+// Writes are organized into epochs (see mvcc.go): every mutation — a single
+// exported mutator call or a whole Batch — commits as one epoch, bumping
+// the generation counter and invalidating the per-epoch snapshot view.
 type Graph struct {
 	mu sync.RWMutex
 
@@ -85,8 +89,20 @@ type Graph struct {
 	nodes map[ID]*Node
 	edges map[ID]*Edge
 
-	nextNodeID ID
-	nextEdgeID ID
+	nextNodeID atomic.Int64
+	nextEdgeID atomic.Int64
+
+	// MVCC epoch machinery (mvcc.go). commitMu serializes writers and
+	// ordered delta delivery; epoch counts committed write epochs; snap
+	// caches the frozen per-epoch snapshot view; frozen marks a snapshot
+	// view itself (mutators panic). subs are OnCommit subscribers.
+	commitMu sync.Mutex
+	epoch    atomic.Uint64
+	snap     *Graph
+	frozen   bool
+	subMu    sync.RWMutex
+	subs     map[int]func(*Delta)
+	nextSub  int
 
 	// Adjacency: nodeID -> edge IDs.
 	out map[ID][]ID
@@ -134,56 +150,88 @@ func (g *Graph) Name() string { return g.name }
 // AddNode inserts a node with the given labels and properties and returns
 // it. Labels are stored in the given order; duplicates are removed.
 func (g *Graph) AddNode(labels []string, props Props) *Node {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.addNodeLocked(labels, props)
+	d := g.beginWrite()
+	n := g.newNode(labels, props)
+	g.insertNodeLocked(n, d)
+	g.endWrite(d)
+	return n
 }
 
-func (g *Graph) addNodeLocked(labels []string, props Props) *Node {
-	id := g.nextNodeID
-	g.nextNodeID++
+// newNode builds a node struct with a freshly reserved ID; it does not
+// publish it. ID reservation is atomic so batches can allocate without the
+// graph lock.
+func (g *Graph) newNode(labels []string, props Props) *Node {
+	id := ID(g.nextNodeID.Add(1) - 1)
 	n := &Node{ID: id, Labels: dedupe(labels), Props: props.Clone()}
-	g.invalidateNodeLabelsLocked(n.Labels)
 	if n.Props == nil {
 		n.Props = Props{}
 	}
-	g.nodes[id] = n
-	for _, l := range n.Labels {
-		g.nodesByLabel[l] = append(g.nodesByLabel[l], id)
-	}
 	return n
+}
+
+// insertNodeLocked publishes a prebuilt node and records it in d (nil ok).
+func (g *Graph) insertNodeLocked(n *Node, d *Delta) {
+	g.invalidateNodeLabelsLocked(n.Labels)
+	g.nodes[n.ID] = n
+	for _, l := range n.Labels {
+		g.nodesByLabel[l] = append(g.nodesByLabel[l], n.ID)
+	}
+	if d != nil {
+		d.noteNode(n.Labels, true, propKeys(n.Props)...)
+		d.Nodes = append(d.Nodes, n.ID)
+		d.Ops = append(d.Ops, Op{Kind: OpAddNode, Node: n})
+	}
 }
 
 // AddEdge inserts a directed edge from -> to with the given labels and
 // properties. It returns an error when either endpoint does not exist or
 // no label is provided.
 func (g *Graph) AddEdge(from, to ID, labels []string, props Props) (*Edge, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.nodes[from]; !ok {
-		return nil, fmt.Errorf("graph %q: AddEdge: source node %d does not exist", g.name, from)
-	}
-	if _, ok := g.nodes[to]; !ok {
-		return nil, fmt.Errorf("graph %q: AddEdge: target node %d does not exist", g.name, to)
-	}
 	labels = dedupe(labels)
 	if len(labels) == 0 {
 		return nil, fmt.Errorf("graph %q: AddEdge: edge requires at least one label", g.name)
 	}
-	id := g.nextEdgeID
-	g.nextEdgeID++
+	d := g.beginWrite()
+	if _, ok := g.nodes[from]; !ok {
+		g.abortWrite()
+		return nil, fmt.Errorf("graph %q: AddEdge: source node %d does not exist", g.name, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		g.abortWrite()
+		return nil, fmt.Errorf("graph %q: AddEdge: target node %d does not exist", g.name, to)
+	}
+	e := g.newEdge(from, to, labels, props)
+	g.insertEdgeLocked(e, d)
+	g.endWrite(d)
+	return e, nil
+}
+
+// newEdge builds an edge struct with a freshly reserved ID; labels must
+// already be deduped and non-empty. It does not publish the edge.
+func (g *Graph) newEdge(from, to ID, labels []string, props Props) *Edge {
+	id := ID(g.nextEdgeID.Add(1) - 1)
 	e := &Edge{ID: id, From: from, To: to, Labels: labels, Props: props.Clone()}
 	if e.Props == nil {
 		e.Props = Props{}
 	}
-	g.invalidateEdgeLabelsLocked(labels)
-	g.edges[id] = e
-	g.out[from] = append(g.out[from], id)
-	g.in[to] = append(g.in[to], id)
+	return e
+}
+
+// insertEdgeLocked publishes a prebuilt edge and records it in d (nil ok).
+// Endpoints must exist.
+func (g *Graph) insertEdgeLocked(e *Edge, d *Delta) {
+	g.invalidateEdgeLabelsLocked(e.Labels)
+	g.edges[e.ID] = e
+	g.out[e.From] = append(g.out[e.From], e.ID)
+	g.in[e.To] = append(g.in[e.To], e.ID)
 	for _, l := range e.Labels {
-		g.edgesByType[l] = append(g.edgesByType[l], id)
+		g.edgesByType[l] = append(g.edgesByType[l], e.ID)
 	}
-	return e, nil
+	if d != nil {
+		d.noteEdge(e.Labels, true, propKeys(e.Props)...)
+		d.Edges = append(d.Edges, e.ID)
+		d.Ops = append(d.Ops, Op{Kind: OpAddEdge, Edge: e})
+	}
 }
 
 // MustAddEdge is AddEdge that panics on error; intended for generators and
@@ -313,8 +361,16 @@ func (g *Graph) InDegree(node ID) int {
 // cache rebuilt after the invalidation below — see the new version. Callers
 // that need read-your-writes must therefore re-fetch the node by ID.
 func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	d := g.beginWrite()
+	if err := g.setNodePropLocked(id, key, v, d); err != nil {
+		g.abortWrite()
+		return err
+	}
+	g.endWrite(d)
+	return nil
+}
+
+func (g *Graph) setNodePropLocked(id ID, key string, v Value, d *Delta) error {
 	n, ok := g.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph %q: SetNodeProp: node %d does not exist", g.name, id)
@@ -327,6 +383,11 @@ func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 		props[key] = v
 	}
 	g.nodes[id] = &Node{ID: n.ID, Labels: n.Labels, Props: props}
+	if d != nil {
+		d.noteNode(n.Labels, false, key)
+		d.Nodes = append(d.Nodes, id)
+		d.Ops = append(d.Ops, Op{Kind: OpSetNodeProp, ID: id, Key: key, Value: v})
+	}
 	return nil
 }
 
@@ -334,8 +395,16 @@ func (g *Graph) SetNodeProp(id ID, key string, v Value) error {
 // Copy-on-write like SetNodeProp: the published Edge struct is never
 // mutated, a fresh one is swapped in.
 func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	d := g.beginWrite()
+	if err := g.setEdgePropLocked(id, key, v, d); err != nil {
+		g.abortWrite()
+		return err
+	}
+	g.endWrite(d)
+	return nil
+}
+
+func (g *Graph) setEdgePropLocked(id ID, key string, v Value, d *Delta) error {
 	e, ok := g.edges[id]
 	if !ok {
 		return fmt.Errorf("graph %q: SetEdgeProp: edge %d does not exist", g.name, id)
@@ -348,6 +417,11 @@ func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
 		props[key] = v
 	}
 	g.edges[id] = &Edge{ID: e.ID, From: e.From, To: e.To, Labels: e.Labels, Props: props}
+	if d != nil {
+		d.noteEdge(e.Labels, false, key)
+		d.Edges = append(d.Edges, id)
+		d.Ops = append(d.Ops, Op{Kind: OpSetEdgeProp, ID: id, Key: key, Value: v})
+	}
 	return nil
 }
 
@@ -355,8 +429,16 @@ func (g *Graph) SetEdgeProp(id ID, key string, v Value) error {
 // Labels already present are ignored. Copy-on-write like SetNodeProp: the
 // label slice of the published struct is never appended to in place.
 func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	d := g.beginWrite()
+	if err := g.addNodeLabelsLocked(id, labels, d); err != nil {
+		g.abortWrite()
+		return err
+	}
+	g.endWrite(d)
+	return nil
+}
+
+func (g *Graph) addNodeLabelsLocked(id ID, labels []string, d *Delta) error {
 	n, ok := g.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph %q: AddNodeLabels: node %d does not exist", g.name, id)
@@ -380,6 +462,12 @@ func (g *Graph) AddNodeLabels(id ID, labels ...string) error {
 		// mutator writes a published Props map in place.
 		g.nodes[id] = &Node{ID: n.ID, Labels: nl, Props: n.Props}
 	}
+	if d != nil && added {
+		// Membership changed under both the old and the new labels.
+		d.noteNode(nl, true)
+		d.Nodes = append(d.Nodes, id)
+		d.Ops = append(d.Ops, Op{Kind: OpAddLabels, ID: id, Labels: labels})
+	}
 	return nil
 }
 
@@ -394,43 +482,65 @@ func hasString(ss []string, s string) bool {
 
 // RemoveEdge deletes an edge. Removing a missing edge is a no-op.
 func (g *Graph) RemoveEdge(id ID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.removeEdgeLocked(id)
+	d := g.beginWrite()
+	if _, ok := g.edges[id]; !ok {
+		g.abortWrite()
+		return
+	}
+	g.removeEdgeLocked(id, d)
+	g.endWrite(d)
 }
 
-func (g *Graph) removeEdgeLocked(id ID) {
+func (g *Graph) removeEdgeLocked(id ID, d *Delta) {
 	e, ok := g.edges[id]
 	if !ok {
 		return
 	}
 	g.invalidateEdgeLabelsLocked(e.Labels)
 	delete(g.edges, id)
-	g.out[e.From] = swapRemoveID(g.out[e.From], id)
-	g.in[e.To] = swapRemoveID(g.in[e.To], id)
+	g.out[e.From] = removeID(g.out[e.From], id)
+	g.in[e.To] = removeID(g.in[e.To], id)
 	for _, l := range e.Labels {
 		g.edgesByType[l] = removeID(g.edgesByType[l], id)
+	}
+	if d != nil {
+		d.noteEdge(e.Labels, true)
+		d.Edges = append(d.Edges, id)
+		d.Ops = append(d.Ops, Op{Kind: OpRemoveEdge, ID: id, Edge: e})
 	}
 }
 
 // RemoveNode deletes a node together with all incident edges. Removing a
 // missing node is a no-op.
 func (g *Graph) RemoveNode(id ID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	d := g.beginWrite()
+	if _, ok := g.nodes[id]; !ok {
+		g.abortWrite()
+		return
+	}
+	g.removeNodeLocked(id, d)
+	g.endWrite(d)
+}
+
+func (g *Graph) removeNodeLocked(id ID, d *Delta) {
 	n, ok := g.nodes[id]
 	if !ok {
 		return
 	}
 	g.invalidateNodeLabelsLocked(n.Labels)
 	for _, eid := range append(append([]ID(nil), g.out[id]...), g.in[id]...) {
-		g.removeEdgeLocked(eid)
+		g.removeEdgeLocked(eid, d)
 	}
 	delete(g.out, id)
 	delete(g.in, id)
 	delete(g.nodes, id)
 	for _, l := range n.Labels {
 		g.nodesByLabel[l] = removeID(g.nodesByLabel[l], id)
+	}
+	if d != nil {
+		d.noteNode(n.Labels, true)
+		d.Nodes = append(d.Nodes, id)
+		d.Ops = append(d.Ops, Op{Kind: OpRemoveNode, ID: id, Node: n})
 	}
 }
 
@@ -501,32 +611,32 @@ func dedupe(labels []string) []string {
 	return out
 }
 
-// removeID deletes id from an order-sensitive list (the label/type indexes
-// document insertion order). The vacated tail slot is zeroed so the shared
-// backing array never retains a stale trailing ID.
+// removeID deletes id from an ID list, preserving order. The removal is
+// copy-on-write: the published slice is never written in place, so epoch
+// snapshot views (which share slice headers with the live graph) keep
+// seeing their frozen contents. Appends remain safe to share because a
+// snapshot's header length never grows.
 func removeID(ids []ID, id ID) []ID {
 	for i, x := range ids {
 		if x == id {
-			copy(ids[i:], ids[i+1:])
-			ids[len(ids)-1] = 0
-			return ids[:len(ids)-1]
+			out := make([]ID, 0, len(ids)-1)
+			out = append(out, ids[:i]...)
+			return append(out, ids[i+1:]...)
 		}
 	}
 	return ids
 }
 
-// swapRemoveID deletes id in O(1) by swapping in the last element; used for
-// the adjacency lists, whose order is not part of the documented contract.
-func swapRemoveID(ids []ID, id ID) []ID {
-	for i, x := range ids {
-		if x == id {
-			last := len(ids) - 1
-			ids[i] = ids[last]
-			ids[last] = 0
-			return ids[:last]
-		}
+// propKeys returns the keys of a property map in unspecified order.
+func propKeys(p Props) []string {
+	if len(p) == 0 {
+		return nil
 	}
-	return ids
+	out := make([]string, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	return out
 }
 
 func sortIDs(ids []ID) {

@@ -1,0 +1,385 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEpochCounting(t *testing.T) {
+	g := New("epoch")
+	if g.Epoch() != 0 {
+		t.Fatalf("fresh graph epoch = %d", g.Epoch())
+	}
+	a := g.AddNode([]string{"N"}, nil)
+	b := g.AddNode([]string{"N"}, nil)
+	if g.Epoch() != 2 {
+		t.Fatalf("after 2 adds epoch = %d", g.Epoch())
+	}
+	g.MustAddEdge(a.ID, b.ID, []string{"E"}, nil)
+	if err := g.SetNodeProp(a.ID, "k", NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 4 {
+		t.Fatalf("after edge+prop epoch = %d", g.Epoch())
+	}
+
+	// Failed and no-op mutations must not advance the epoch.
+	if err := g.SetNodeProp(999, "k", NewInt(1)); err == nil {
+		t.Fatal("SetNodeProp on missing node succeeded")
+	}
+	g.RemoveNode(999)
+	g.RemoveEdge(999)
+	if _, err := g.AddEdge(999, a.ID, []string{"E"}, nil); err == nil {
+		t.Fatal("AddEdge from missing node succeeded")
+	}
+	if g.Epoch() != 4 {
+		t.Fatalf("failed mutations advanced epoch to %d", g.Epoch())
+	}
+}
+
+func TestSnapshotPinsEpoch(t *testing.T) {
+	g := New("snap")
+	a := g.AddNode([]string{"P"}, Props{"city": NewString("Lyon")})
+	b := g.AddNode([]string{"P"}, nil)
+	e := g.MustAddEdge(a.ID, b.ID, []string{"KNOWS"}, Props{"w": NewInt(1)})
+
+	s := g.Snapshot()
+	if !s.IsSnapshot() || g.IsSnapshot() {
+		t.Fatal("IsSnapshot flags wrong")
+	}
+	if s.Epoch() != g.Epoch() {
+		t.Fatalf("snapshot epoch %d != live %d", s.Epoch(), g.Epoch())
+	}
+	// Same epoch -> cached view, same pointer.
+	if g.Snapshot() != s {
+		t.Fatal("snapshot not cached within an epoch")
+	}
+	// Snapshot of a snapshot is itself.
+	if s.Snapshot() != s {
+		t.Fatal("snapshot of snapshot != itself")
+	}
+
+	// Mutate the live graph in every way that shares storage with the view.
+	g.AddNode([]string{"P"}, nil)
+	if err := g.SetNodeProp(a.ID, "city", NewString("Paris")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdgeProp(e.ID, "w", NewInt(9)); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveNode(b.ID) // cascades over e, hits adjacency + type index
+
+	// The pinned view still serves the old epoch.
+	if s.NodeCount() != 2 || s.EdgeCount() != 1 {
+		t.Fatalf("snapshot counts changed: %d nodes %d edges", s.NodeCount(), s.EdgeCount())
+	}
+	if got := s.Node(a.ID).Prop("city"); !got.Equal(NewString("Lyon")) {
+		t.Fatalf("snapshot node prop = %v", got)
+	}
+	if got := s.Edge(e.ID).Prop("w"); !got.Equal(NewInt(1)) {
+		t.Fatalf("snapshot edge prop = %v", got)
+	}
+	if ids := s.NodesWithLabel("P"); len(ids) != 2 {
+		t.Fatalf("snapshot label scan = %v", ids)
+	}
+	if ids := s.OutEdges(a.ID); len(ids) != 1 || ids[0] != e.ID {
+		t.Fatalf("snapshot adjacency = %v", ids)
+	}
+	if ids := s.EdgesWithType("KNOWS"); len(ids) != 1 {
+		t.Fatalf("snapshot type index = %v", ids)
+	}
+	// Lazy read caches build fine on a frozen view.
+	if ns := s.LabelPropNodes("P", "city", NewString("Lyon")); len(ns) != 1 {
+		t.Fatalf("snapshot prop index = %v", ns)
+	}
+
+	// A new epoch yields a new view reflecting the changes.
+	s2 := g.Snapshot()
+	if s2 == s {
+		t.Fatal("snapshot not invalidated by commit")
+	}
+	if s2.NodeCount() != 2 || s2.EdgeCount() != 0 {
+		t.Fatalf("fresh snapshot counts: %d nodes %d edges", s2.NodeCount(), s2.EdgeCount())
+	}
+	if got := s2.Node(a.ID).Prop("city"); !got.Equal(NewString("Paris")) {
+		t.Fatalf("fresh snapshot prop = %v", got)
+	}
+}
+
+func TestFrozenMutationPanics(t *testing.T) {
+	g := New("frozen")
+	g.AddNode([]string{"N"}, nil)
+	s := g.Snapshot()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s on frozen view did not panic", name)
+			} else if !strings.Contains(r.(string), "frozen") {
+				t.Errorf("%s panic message %q", name, r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddNode", func() { s.AddNode([]string{"N"}, nil) })
+	mustPanic("RemoveNode", func() { s.RemoveNode(0) })
+	mustPanic("SetNodeProp", func() { _ = s.SetNodeProp(0, "k", NewInt(1)) })
+	mustPanic("NewBatch", func() { s.NewBatch() })
+}
+
+func TestBatchAtomicCommit(t *testing.T) {
+	g := New("batch")
+	pre := g.AddNode([]string{"Old"}, nil)
+	epoch := g.Epoch()
+
+	var delta *Delta
+	cancel := g.OnCommit(func(d *Delta) { delta = d })
+	defer cancel()
+
+	b := g.NewBatch()
+	n1 := b.AddNode([]string{"N"}, Props{"k": NewInt(1)})
+	n2 := b.AddNode([]string{"N"}, nil)
+	e, err := b.AddEdge(n1.ID, n2.ID, []string{"E"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetNodeProp(pre.ID, "seen", NewBool(true))
+	b.SetEdgeProp(e.ID, "w", NewFloat(0.5))
+	b.AddNodeLabels(n1.ID, "Extra")
+
+	// Nothing visible before commit; epoch unchanged.
+	if g.NodeCount() != 1 || g.EdgeCount() != 0 || g.Epoch() != epoch {
+		t.Fatalf("batch leaked before commit: %d nodes, epoch %d", g.NodeCount(), g.Epoch())
+	}
+
+	d, err := b.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != epoch+1 {
+		t.Fatalf("batch committed %d epochs", g.Epoch()-epoch)
+	}
+	if d != delta {
+		t.Fatal("OnCommit delta != Commit return")
+	}
+	if d.Epoch != g.Epoch() {
+		t.Fatalf("delta epoch %d, graph %d", d.Epoch, g.Epoch())
+	}
+	if g.NodeCount() != 3 || g.EdgeCount() != 1 {
+		t.Fatalf("after commit: %d nodes %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	if got := g.Node(n1.ID); !got.HasLabel("Extra") || !got.Prop("k").Equal(NewInt(1)) {
+		t.Fatalf("batch node state: %+v", got)
+	}
+	if got := g.Edge(e.ID).Prop("w"); !got.Equal(NewFloat(0.5)) {
+		t.Fatalf("batch edge prop: %v", got)
+	}
+	if len(d.Ops) != 6 {
+		t.Fatalf("delta ops = %d, want 6", len(d.Ops))
+	}
+
+	// Double commit is an error.
+	if _, err := b.Commit(); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+}
+
+func TestBatchValidationAllOrNothing(t *testing.T) {
+	g := New("atomic")
+	epoch := g.Epoch()
+	fired := false
+	cancel := g.OnCommit(func(*Delta) { fired = true })
+	defer cancel()
+
+	b := g.NewBatch()
+	b.AddNode([]string{"N"}, nil)
+	if _, err := b.AddEdge(12345, 67890, []string{"E"}, nil); err != nil {
+		t.Fatal(err) // buffering succeeds; validation is at commit
+	}
+	if _, err := b.Commit(); err == nil {
+		t.Fatal("commit with dangling edge succeeded")
+	}
+	if g.NodeCount() != 0 || g.Epoch() != epoch || fired {
+		t.Fatalf("failed commit leaked state: %d nodes, epoch %d, fired=%v",
+			g.NodeCount(), g.Epoch(), fired)
+	}
+
+	// Ops referencing missing elements fail validation too.
+	b2 := g.NewBatch()
+	b2.SetNodeProp(999, "k", NewInt(1))
+	if _, err := b2.Commit(); err == nil {
+		t.Fatal("SetNodeProp on missing node passed validation")
+	}
+
+	// An edge whose endpoint is removed earlier in the same batch fails.
+	n := g.AddNode([]string{"N"}, nil)
+	b3 := g.NewBatch()
+	b3.RemoveNode(n.ID)
+	if _, err := b3.AddEdge(n.ID, n.ID, []string{"E"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b3.Commit(); err == nil {
+		t.Fatal("edge to batch-removed node passed validation")
+	}
+}
+
+func TestBatchRemoveCascadesOverBatchAdds(t *testing.T) {
+	g := New("cascade")
+	b := g.NewBatch()
+	n1 := b.AddNode([]string{"N"}, nil)
+	n2 := b.AddNode([]string{"N"}, nil)
+	if _, err := b.AddEdge(n1.ID, n2.ID, []string{"E"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Removing n1 later in the same batch must cascade over the edge added
+	// above, and a subsequent SetEdgeProp on that edge must fail validation.
+	b.RemoveNode(n1.ID)
+	if d, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	} else if d.Empty() {
+		t.Fatal("cascade delta empty")
+	}
+	if g.NodeCount() != 1 || g.EdgeCount() != 0 {
+		t.Fatalf("after cascade: %d nodes %d edges", g.NodeCount(), g.EdgeCount())
+	}
+}
+
+func TestDeltaChangeSummaries(t *testing.T) {
+	g := New("delta")
+	var last *Delta
+	cancel := g.OnCommit(func(d *Delta) { last = d })
+	defer cancel()
+
+	n := g.AddNode([]string{"A", "B"}, Props{"x": NewInt(1)})
+	if ed := last.NodeChanges["A"]; ed == nil || !ed.Structural || !ed.Keys["x"] {
+		t.Fatalf("AddNode delta under A: %+v", ed)
+	}
+	if ed := last.NodeChanges["B"]; ed == nil || !ed.Structural {
+		t.Fatalf("AddNode delta under B: %+v", ed)
+	}
+	if len(last.Nodes) != 1 || last.Nodes[0] != n.ID {
+		t.Fatalf("touched nodes: %v", last.Nodes)
+	}
+
+	// Property-only change: key-scoped, not structural.
+	if err := g.SetNodeProp(n.ID, "y", NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ed := last.NodeChanges["A"]; ed == nil || ed.Structural || !ed.Keys["y"] || ed.Keys["x"] {
+		t.Fatalf("SetNodeProp delta: %+v", ed)
+	}
+
+	// Unlabeled nodes record under the empty label.
+	g.AddNode(nil, nil)
+	if ed := last.NodeChanges[""]; ed == nil || !ed.Structural {
+		t.Fatalf("unlabeled delta: %+v", last.NodeChanges)
+	}
+
+	// AddNodeLabels is structural under old AND new labels.
+	if err := g.AddNodeLabels(n.ID, "C"); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"A", "B", "C"} {
+		if ed := last.NodeChanges[l]; ed == nil || !ed.Structural {
+			t.Fatalf("AddNodeLabels delta under %s: %+v", l, ed)
+		}
+	}
+
+	// RemoveNode marks incident edge types structural too.
+	m := g.AddNode([]string{"M"}, nil)
+	g.MustAddEdge(n.ID, m.ID, []string{"REL"}, nil)
+	g.RemoveNode(n.ID)
+	if ed := last.EdgeChanges["REL"]; ed == nil || !ed.Structural {
+		t.Fatalf("cascade edge delta: %+v", last.EdgeChanges)
+	}
+	if ed := last.NodeChanges["A"]; ed == nil || !ed.Structural {
+		t.Fatalf("remove node delta: %+v", last.NodeChanges)
+	}
+	// The removal op carries the removed structs for redo/undo logging.
+	var sawNode, sawEdge bool
+	for _, op := range last.Ops {
+		switch op.Kind {
+		case OpRemoveNode:
+			sawNode = op.Node != nil
+		case OpRemoveEdge:
+			sawEdge = op.Edge != nil
+		}
+	}
+	if !sawNode || !sawEdge {
+		t.Fatalf("removal ops missing structs: node=%v edge=%v", sawNode, sawEdge)
+	}
+}
+
+func TestOnCommitOrderingAndCancel(t *testing.T) {
+	g := New("subs")
+	var order []string
+	c1 := g.OnCommit(func(*Delta) { order = append(order, "first") })
+	c2 := g.OnCommit(func(*Delta) { order = append(order, "second") })
+	g.AddNode([]string{"N"}, nil)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("delivery order: %v", order)
+	}
+
+	c1()
+	order = nil
+	g.AddNode([]string{"N"}, nil)
+	if len(order) != 1 || order[0] != "second" {
+		t.Fatalf("after cancel: %v", order)
+	}
+	c2()
+	order = nil
+	g.AddNode([]string{"N"}, nil)
+	if len(order) != 0 {
+		t.Fatalf("after full cancel: %v", order)
+	}
+
+	// With no subscribers, mutators skip delta recording entirely — pinned
+	// indirectly: epochs still advance.
+	if g.Epoch() != 3 {
+		t.Fatalf("epoch = %d", g.Epoch())
+	}
+}
+
+// TestOnCommitSeesCommittedEpoch pins the contract that a callback reading
+// the graph observes exactly the epoch it was notified about: delivery
+// happens before the next writer can commit.
+func TestOnCommitSeesCommittedEpoch(t *testing.T) {
+	g := New("read-in-cb")
+	var snapCounts []int
+	cancel := g.OnCommit(func(d *Delta) {
+		s := g.Snapshot()
+		if s.Epoch() != d.Epoch {
+			t.Errorf("callback snapshot epoch %d, delta %d", s.Epoch(), d.Epoch)
+		}
+		snapCounts = append(snapCounts, s.NodeCount())
+	})
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		g.AddNode([]string{"N"}, nil)
+	}
+	for i, c := range snapCounts {
+		if c != i+1 {
+			t.Fatalf("callback %d saw %d nodes", i, c)
+		}
+	}
+}
+
+func TestBatchEmptyAndErrSticky(t *testing.T) {
+	g := New("empty")
+	d, err := g.NewBatch().Commit()
+	if err != nil || !d.Empty() {
+		t.Fatalf("empty batch: %v %v", d, err)
+	}
+
+	b := g.NewBatch()
+	if _, err := b.AddEdge(0, 0, nil, nil); err == nil {
+		t.Fatal("AddEdge without labels succeeded")
+	}
+	b.AddNode([]string{"N"}, nil)
+	if _, err := b.Commit(); err == nil {
+		t.Fatal("commit after buffered error succeeded")
+	}
+	if g.NodeCount() != 0 {
+		t.Fatal("errored batch applied ops")
+	}
+}

@@ -1,0 +1,243 @@
+package metrics
+
+// Incremental metric maintenance (O(delta) re-scoring).
+//
+// A Maintainer keeps a rule set's support/coverage/confidence current as the
+// graph evolves epoch by epoch. Each rule carries a query Footprint — the
+// union of its three metric queries' read sets — and each committed epoch
+// carries a Delta summarizing which (label, key) / (type, key) pairs it
+// touched. Only rules whose footprint intersects the delta are re-scored;
+// everything else keeps its score, because the intersection test is a sound
+// over-approximation ("may depend" never misses a true dependence).
+//
+// Re-scoring runs the rule's queries in full against the post-epoch graph —
+// the delta bounds *which* rules pay, not how much each one pays. That is
+// the right trade for this workload: rule sets are wide (many rules, narrow
+// footprints) while epochs are narrow (few labels touched), so the win is
+// skipping whole rules, and exact re-execution keeps the differential
+// oracle's invariant trivial: maintained scores must equal a full recompute
+// after every epoch.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// MaintainerStats counts what the maintainer did so far.
+type MaintainerStats struct {
+	// Epochs is how many deltas were applied.
+	Epochs int
+	// Rescored / Skipped count rule evaluations across all applied epochs:
+	// a rule whose footprint intersected the delta (re-run) vs one whose
+	// score was provably unaffected (kept).
+	Rescored int
+	Skipped  int
+}
+
+// Maintainer incrementally maintains metric scores for a fixed rule set
+// over one graph. Construct with NewMaintainer (which performs the initial
+// full scoring), then feed every committed epoch's delta to Apply — or call
+// Attach to subscribe to the graph's commit stream directly. All methods
+// are safe for concurrent use with each other; Apply calls are serialized
+// internally and must be fed deltas in commit order.
+type Maintainer struct {
+	g  *graph.Graph
+	sc *Scorer
+
+	mu     sync.Mutex
+	rules  []rules.Rule
+	fps    []*cypher.Footprint
+	scores []Score // parallel to rules; valid where errs[i] == nil
+	errs   []error // sticky per-rule evaluation errors
+	stats  MaintainerStats
+}
+
+// NewMaintainer builds a maintainer for the rule set and performs the
+// initial full scoring. Executor options pass through to the shared scorer;
+// WithSnapshotPin(true) is always applied so each query reads one frozen
+// epoch even while writers commit concurrently. A rule whose metric
+// queries fail records a sticky per-rule error (visible in Scores) and is
+// retried whenever an epoch intersects its footprint; one broken rule
+// never blocks the rest.
+func NewMaintainer(g *graph.Graph, rs []rules.Rule, opts ...cypher.Option) *Maintainer {
+	m := &Maintainer{
+		g:      g,
+		sc:     NewScorer(g, append(append([]cypher.Option{}, opts...), cypher.WithSnapshotPin(true))...),
+		rules:  append([]rules.Rule(nil), rs...),
+		fps:    make([]*cypher.Footprint, len(rs)),
+		scores: make([]Score, len(rs)),
+		errs:   make([]error, len(rs)),
+	}
+	for i, r := range rs {
+		m.fps[i] = ruleFootprint(r)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.rules {
+		m.rescoreLocked(context.Background(), i)
+	}
+	return m
+}
+
+// ruleFootprint unions the footprints of a rule's three metric queries. A
+// query that fails to parse widens the footprint to everything — the rule
+// then re-scores on every epoch, trading waste for soundness (and its
+// evaluation error is surfaced by the scorer anyway).
+func ruleFootprint(r rules.Rule) *cypher.Footprint {
+	qs := r.Queries()
+	f := cypher.NewFootprint()
+	for _, src := range []string{qs.Support, qs.Body, qs.HeadTotal} {
+		qf, err := cypher.FootprintOf(src)
+		if err != nil {
+			f.Merge(wildFootprint())
+			continue
+		}
+		f.Merge(qf)
+	}
+	return f
+}
+
+func wildFootprint() *cypher.Footprint {
+	f := cypher.NewFootprint()
+	f.AnyNode = true
+	f.AnyEdge = true
+	f.AllKeys = true
+	return f
+}
+
+// rescoreLocked evaluates rule i against the current graph.
+func (m *Maintainer) rescoreLocked(ctx context.Context, i int) {
+	s, err := m.sc.EvaluateRuleCtx(ctx, m.rules[i])
+	if err != nil {
+		m.errs[i] = err
+		m.scores[i] = Score{Rule: m.rules[i]}
+		return
+	}
+	m.errs[i] = nil
+	m.scores[i] = s
+}
+
+// Apply folds one committed epoch's delta into the maintained scores,
+// re-scoring exactly the rules whose footprint intersects it. Returns the
+// number of rules re-scored. Deltas must be applied in commit order; the
+// snapshot-pinned scorer reads the graph as of (at least) the delta's
+// epoch, so applying promptly after commit keeps scores exact per epoch.
+func (m *Maintainer) Apply(d *graph.Delta) int {
+	return m.ApplyCtx(context.Background(), d)
+}
+
+// ApplyCtx is Apply with cancellation: a done context aborts in-flight
+// metric queries; affected rules record the context error and re-score on
+// the next intersecting epoch.
+func (m *Maintainer) ApplyCtx(ctx context.Context, d *graph.Delta) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Epochs++
+	n := 0
+	for i := range m.rules {
+		if !m.fps[i].Intersects(d) {
+			m.stats.Skipped++
+			continue
+		}
+		m.rescoreLocked(ctx, i)
+		m.stats.Rescored++
+		n++
+	}
+	return n
+}
+
+// Attach subscribes the maintainer to the graph's commit stream: every
+// committed epoch is applied synchronously from the commit path (the
+// OnCommit contract — the callback runs before the next writer can
+// commit, so deltas arrive in order and scores never lag the graph).
+// The returned cancel detaches it.
+func (m *Maintainer) Attach() (cancel func()) {
+	return m.g.OnCommit(func(d *graph.Delta) { m.Apply(d) })
+}
+
+// Scores returns the current per-rule results in rule order. Entries with
+// Err != nil carry no valid score (the rule's queries failed on the last
+// intersecting epoch).
+func (m *Maintainer) Scores() []MaintainedScore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MaintainedScore, len(m.rules))
+	for i := range m.rules {
+		out[i] = MaintainedScore{Score: m.scores[i], Err: m.errs[i]}
+	}
+	return out
+}
+
+// MaintainedScore is a Score plus the rule's sticky evaluation error.
+type MaintainedScore struct {
+	Score
+	Err error
+}
+
+// Stats returns a copy of the maintainer's counters.
+func (m *Maintainer) Stats() MaintainerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Footprint returns rule i's extracted footprint (for Explain/debugging).
+func (m *Maintainer) Footprint(i int) *cypher.Footprint {
+	return m.fps[i]
+}
+
+// Rules returns the maintained rule set in order.
+func (m *Maintainer) Rules() []rules.Rule {
+	return append([]rules.Rule(nil), m.rules...)
+}
+
+// Aggregate folds the currently valid scores into the table-row aggregate,
+// mirroring Aggregated over a full evaluation.
+func (m *Maintainer) Aggregate() Aggregate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ok := make([]Score, 0, len(m.rules))
+	for i := range m.rules {
+		if m.errs[i] == nil {
+			ok = append(ok, m.scores[i])
+		}
+	}
+	return Aggregated(ok)
+}
+
+// Diff compares the maintained scores against a fresh full recompute on
+// the same graph and returns a description of every mismatch — the
+// differential oracle's primitive. A nil slice means the maintained state
+// is exact.
+func (m *Maintainer) Diff(ctx context.Context) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var diffs []string
+	for i, r := range m.rules {
+		want, err := m.sc.EvaluateQueriesCtx(ctx, r.Queries())
+		if err != nil {
+			if m.errs[i] == nil {
+				diffs = append(diffs, fmt.Sprintf("rule %s: full recompute failed (%v) but maintained score is valid %+v",
+					r.DedupKey(), err, m.scores[i].Counts))
+			}
+			continue
+		}
+		if m.errs[i] != nil {
+			diffs = append(diffs, fmt.Sprintf("rule %s: maintained state errored (%v) but full recompute succeeded %+v",
+				r.DedupKey(), m.errs[i], want))
+			continue
+		}
+		if m.scores[i].Counts != want {
+			diffs = append(diffs, fmt.Sprintf("rule %s: maintained counts %+v != recomputed %+v (footprint %s)",
+				r.DedupKey(), m.scores[i].Counts, want, m.fps[i]))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs, ctx.Err()
+}

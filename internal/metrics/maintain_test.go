@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"context"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+func TestMaintainerInitialScores(t *testing.T) {
+	g := smallGraph()
+	r := &rules.RequiredProperty{Label: "T", Key: "id"}
+	m := NewMaintainer(g, []rules.Rule{r})
+	want, err := EvaluateRule(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Scores()
+	if len(got) != 1 || got[0].Err != nil {
+		t.Fatalf("scores = %+v", got)
+	}
+	if got[0].Counts != want.Counts || got[0].Coverage != want.Coverage {
+		t.Errorf("maintained %+v != full %+v", got[0].Score, want)
+	}
+	if st := m.Stats(); st.Epochs != 0 || st.Rescored != 0 {
+		t.Errorf("initial scoring must not count as an epoch: %+v", st)
+	}
+}
+
+func TestMaintainerSkipsUnrelatedEpochs(t *testing.T) {
+	g := smallGraph()
+	r := &rules.RequiredProperty{Label: "T", Key: "id"}
+	m := NewMaintainer(g, []rules.Rule{r})
+	if fpStr := m.Footprint(0).String(); fpStr == "" {
+		t.Fatal("no footprint")
+	}
+
+	var lastDelta *graph.Delta
+	defer g.OnCommit(func(d *graph.Delta) { lastDelta = d })()
+
+	// Structural change under an unrelated label: skipped.
+	g.AddNode([]string{"Unrelated"}, nil)
+	if n := m.Apply(lastDelta); n != 0 {
+		t.Errorf("unrelated label rescored %d rules", n)
+	}
+	// Property change on an unread key of the matched label: skipped.
+	if err := g.SetNodeProp(g.Nodes()[0], "city", graph.NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Apply(lastDelta); n != 0 {
+		t.Errorf("unread key rescored %d rules", n)
+	}
+	// Structural change under the matched label: rescored, counts move.
+	g.AddNode([]string{"T"}, nil) // missing id -> support stays, body grows
+	if n := m.Apply(lastDelta); n != 1 {
+		t.Errorf("related epoch rescored %d rules, want 1", n)
+	}
+	s := m.Scores()[0]
+	if s.Err != nil || s.Counts.Support != 3 || s.Counts.Body != 5 {
+		t.Errorf("post-epoch score = %+v err=%v", s.Counts, s.Err)
+	}
+	if st := m.Stats(); st.Epochs != 3 || st.Rescored != 1 || st.Skipped != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMaintainerAttach(t *testing.T) {
+	g := smallGraph()
+	r := &rules.RequiredProperty{Label: "T", Key: "id"}
+	m := NewMaintainer(g, []rules.Rule{r})
+	cancel := m.Attach()
+
+	// The commit path drives Apply synchronously: the score is already
+	// current when the mutation call returns.
+	n := g.AddNode([]string{"T"}, graph.Props{"id": graph.NewInt(99)})
+	if got := m.Scores()[0].Counts; got.Support != 4 || got.Body != 5 {
+		t.Errorf("attached score lagged: %+v", got)
+	}
+
+	cancel()
+	g.RemoveNode(n.ID)
+	if got := m.Scores()[0].Counts; got.Body != 5 {
+		t.Errorf("detached maintainer still updated: %+v", got)
+	}
+	// Diff now reports the staleness — and Apply of the missed delta is not
+	// possible (it was dropped), so a full recompute is the remedy.
+	diffs, err := m.Diff(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Error("Diff missed the stale score")
+	}
+}
+
+func TestMaintainerErrorIsolationAndRetry(t *testing.T) {
+	g := smallGraph()
+	bad := &rules.ValueFormat{Label: "T", Key: "s", Pattern: "["} // invalid regex
+	good := &rules.RequiredProperty{Label: "T", Key: "id"}
+	m := NewMaintainer(g, []rules.Rule{bad, good})
+	defer m.Attach()()
+
+	got := m.Scores()
+	if got[0].Err == nil {
+		t.Error("invalid-regex rule must carry an error")
+	}
+	if got[1].Err != nil {
+		t.Errorf("good rule poisoned: %v", got[1].Err)
+	}
+	// An intersecting epoch retries the errored rule (still failing) and
+	// re-scores the good one.
+	g.AddNode([]string{"T"}, graph.Props{"id": graph.NewInt(7), "s": graph.NewString("y")})
+	got = m.Scores()
+	if got[0].Err == nil {
+		t.Error("retried rule must still error")
+	}
+	if got[1].Err != nil || got[1].Counts.Body != 5 {
+		t.Errorf("good rule after epoch: %+v err=%v", got[1].Counts, got[1].Err)
+	}
+	// Aggregate folds only the valid scores.
+	if a := m.Aggregate(); a.Rules != 1 {
+		t.Errorf("aggregate over %d rules, want 1", a.Rules)
+	}
+}
+
+func TestMaintainerDiffCleanUnderAttach(t *testing.T) {
+	g := smallGraph()
+	rs := []rules.Rule{
+		&rules.RequiredProperty{Label: "T", Key: "id"},
+		&rules.UniqueProperty{Label: "T", Key: "id"},
+	}
+	m := NewMaintainer(g, rs)
+	defer m.Attach()()
+
+	g.AddNode([]string{"T"}, graph.Props{"id": graph.NewInt(0)}) // duplicate id
+	if err := g.SetNodeProp(g.Nodes()[3], "id", graph.NewInt(30)); err != nil {
+		t.Fatal(err)
+	}
+	b := g.NewBatch()
+	b.AddNode([]string{"T"}, graph.Props{"id": graph.NewInt(40)})
+	b.AddNode([]string{"Other"}, nil)
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := m.Diff(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("diff: %s", d)
+	}
+}
+
+func TestMaintainerBatchOneEpochOneApply(t *testing.T) {
+	g := smallGraph()
+	m := NewMaintainer(g, []rules.Rule{&rules.RequiredProperty{Label: "T", Key: "id"}})
+	defer m.Attach()()
+	b := g.NewBatch()
+	for i := 0; i < 10; i++ {
+		b.AddNode([]string{"T"}, graph.Props{"id": graph.NewInt(int64(100 + i))})
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Epochs != 1 || st.Rescored != 1 {
+		t.Errorf("batch of 10 ops must be one epoch/rescore: %+v", st)
+	}
+	if got := m.Scores()[0].Counts; got.Support != 13 || got.Body != 14 {
+		t.Errorf("post-batch counts %+v", got)
+	}
+}

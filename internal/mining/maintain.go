@@ -1,0 +1,32 @@
+package mining
+
+import (
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+	"github.com/graphrules/graphrules/internal/metrics"
+	"github.com/graphrules/graphrules/internal/rules"
+)
+
+// MaintainedRules returns the run's rules that scored successfully — the
+// set worth keeping current as the graph keeps evolving after the mining
+// run. Rules whose translation or evaluation failed are excluded: they
+// have no valid score to maintain.
+func (r *Result) MaintainedRules() []rules.Rule {
+	var rs []rules.Rule
+	for _, mr := range r.Rules {
+		if mr.Rule != nil && mr.EvalErr == nil && mr.TranslateErr == nil {
+			rs = append(rs, mr.Rule)
+		}
+	}
+	return rs
+}
+
+// Maintainer builds a metrics.Maintainer over the run's successfully
+// scored rules, bound to g: the mined scores are recomputed in full once,
+// then kept exact incrementally — each committed epoch re-scores only the
+// rules whose query footprint the epoch's delta intersects. Call Attach on
+// the result to subscribe it to g's commit stream. Executor options pass
+// through to the maintainer's shared scorer.
+func (r *Result) Maintainer(g *graph.Graph, opts ...cypher.Option) *metrics.Maintainer {
+	return metrics.NewMaintainer(g, r.MaintainedRules(), opts...)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"github.com/graphrules/graphrules/internal/graph"
 )
@@ -47,10 +48,14 @@ func WriteJSON(w io.Writer, g *graph.Graph) error {
 }
 
 // ReadJSON deserializes a graph from the JSON interchange format. As with
-// snapshots, IDs are reassigned densely; topology is preserved.
+// snapshots, IDs are reassigned densely; topology is preserved. Numbers
+// are decoded via json.Number, so int64 values survive beyond float64's
+// 2^53 integer range.
 func ReadJSON(r io.Reader) (*graph.Graph, error) {
 	var jg jsonGraph
-	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(&jg); err != nil {
 		return nil, fmt.Errorf("storage: bad json graph: %w", err)
 	}
 	g := graph.New(jg.Name)
@@ -127,6 +132,36 @@ func anyToProps(m map[string]any) (graph.Props, error) {
 	return p, nil
 }
 
+// walProps encodes a property map for the WAL with exact round-trip
+// fidelity: floats are wrapped in a {"$f":"<decimal>"} tag so whole floats
+// (which marshal as bare integers) keep their kind, and anyToValue's
+// json.Number path preserves int64 precision.
+func walProps(p graph.Props) map[string]any {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = walValue(v)
+	}
+	return out
+}
+
+func walValue(v graph.Value) any {
+	switch v.Kind() {
+	case graph.KindFloat:
+		return map[string]any{"$f": strconv.FormatFloat(v.Float(), 'g', -1, 64)}
+	case graph.KindList:
+		out := make([]any, len(v.List()))
+		for i, e := range v.List() {
+			out[i] = walValue(e)
+		}
+		return out
+	default:
+		return valueToAny(v)
+	}
+}
+
 func anyToValue(raw any) (graph.Value, error) {
 	switch x := raw.(type) {
 	case nil:
@@ -135,12 +170,44 @@ func anyToValue(raw any) (graph.Value, error) {
 		return graph.NewBool(x), nil
 	case string:
 		return graph.NewString(x), nil
+	case json.Number:
+		// UseNumber decoding path: integral spellings stay int64-exact,
+		// everything else is a float.
+		if i, err := x.Int64(); err == nil {
+			return graph.NewInt(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return graph.Null, fmt.Errorf("bad number %q", x.String())
+		}
+		return graph.NewFloat(f), nil
 	case float64:
 		// JSON numbers arrive as float64; keep integers integral.
 		if x == float64(int64(x)) {
 			return graph.NewInt(int64(x)), nil
 		}
 		return graph.NewFloat(x), nil
+	case map[string]any:
+		// Tagged float from the WAL encoding (see walValue).
+		if len(x) == 1 {
+			if s, ok := x["$f"]; ok {
+				str, ok := s.(string)
+				if !ok {
+					if num, isNum := s.(json.Number); isNum {
+						str = num.String()
+						ok = true
+					}
+				}
+				if ok {
+					f, err := strconv.ParseFloat(str, 64)
+					if err != nil {
+						return graph.Null, fmt.Errorf("bad tagged float %q", str)
+					}
+					return graph.NewFloat(f), nil
+				}
+			}
+		}
+		return graph.Null, fmt.Errorf("unsupported JSON object value %v", x)
 	case []any:
 		elems := make([]graph.Value, len(x))
 		for i, e := range x {
