@@ -21,6 +21,7 @@ import (
 
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/governor"
 	"github.com/graphrules/graphrules/internal/graph"
 	"github.com/graphrules/graphrules/internal/lint"
 	"github.com/graphrules/graphrules/internal/storage"
@@ -45,6 +46,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	noReorder := fs.Bool("no-reorder", false, "disable cost-based pattern-part ordering")
 	noRangePushdown := fs.Bool("no-range-pushdown", false, "disable ordered-index range seeks for inequality/STARTS WITH predicates")
 	queryTimeout := fs.Duration("query-timeout", 0, "abort any query running longer than this (0 = no limit)")
+	maxRows := fs.Int("max-rows", 0, "kill any query materializing more than N rows with a typed budget error (0 = unlimited)")
+	memBudget := fs.Int64("mem-budget", 0, "kill any query retaining more than ~N bytes (rows + aggregate state; 0 = unlimited)")
+	queryQueue := fs.Int("query-queue", 0, "admit at most N concurrent queries, with an N-deep FIFO wait queue and 2s queue timeout (0 = ungated)")
 	lintOnly := fs.Bool("lint", false, "lint the -q query against the graph's schema instead of executing it (exit 1 on error-severity findings)")
 	walPath := fs.String("wal", "", "append every committed mutation epoch to this write-ahead log file")
 	commitWindow := fs.Duration("commit-window", 0, "group-commit fsync window for -wal (0 = flush and sync eagerly per epoch)")
@@ -109,12 +113,25 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 	}
 
-	ex := cypher.NewExecutor(g,
+	opts := []cypher.Option{
 		cypher.WithShardWorkers(*shardWorkers),
 		cypher.WithMorselSize(*morselSize),
 		cypher.WithReorder(!*noReorder),
 		cypher.WithRangePushdown(!*noRangePushdown),
-		cypher.WithSnapshotPin(*pinSnapshot))
+		cypher.WithSnapshotPin(*pinSnapshot),
+		cypher.WithMaxRows(*maxRows),
+		cypher.WithMemoryBudget(*memBudget),
+	}
+	var gov *governor.Governor
+	if *queryQueue > 0 {
+		gov = governor.New(governor.Config{
+			MaxConcurrent: *queryQueue,
+			MaxQueue:      *queryQueue,
+			QueueTimeout:  2 * time.Second,
+		})
+		opts = append(opts, cypher.WithAdmission(gov))
+	}
+	ex := cypher.NewExecutor(g, opts...)
 	if *lintOnly {
 		if *query == "" {
 			return fmt.Errorf("-lint requires -q")
@@ -127,10 +144,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return nil
 	}
 	if *query != "" {
-		return runQuery(ex, *query, *queryTimeout, out, false)
+		return runQuery(ex, gov, *query, *queryTimeout, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>", "shard <n>" and "morsel <n>" inspect/configure)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>", "shard <n>", "morsel <n>", "limit <rows> <bytes>" and "governor" inspect/configure)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -169,6 +186,24 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(out, "morsel size: %d\n", ex.MorselSize())
 			}
 			continue
+		case strings.HasPrefix(line, "limit "):
+			var rows int
+			var mem int64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, "limit "), "%d %d", &rows, &mem); err != nil {
+				fmt.Fprintln(out, "error: limit requires <max rows> <memory bytes> (0 disables each)")
+			} else {
+				cypher.WithMaxRows(rows)(ex)
+				cypher.WithMemoryBudget(mem)(ex)
+				fmt.Fprintf(out, "budgets: max rows %d, memory %d bytes\n", rows, mem)
+			}
+			continue
+		case line == "governor":
+			if gov == nil {
+				fmt.Fprintln(out, "no admission governor (start with -query-queue N)")
+			} else {
+				fmt.Fprintln(out, gov.Stats().String())
+			}
+			continue
 		case strings.HasPrefix(line, "lint "):
 			src := strings.TrimSpace(strings.TrimPrefix(line, "lint "))
 			diags := lint.Source(src, graph.ExtractSchema(g), lint.Options{})
@@ -187,12 +222,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			}
 			continue
 		case strings.HasPrefix(line, "profile "):
-			if err := runQuery(ex, strings.TrimPrefix(line, "profile "), *queryTimeout, out, true); err != nil {
+			if err := runQuery(ex, gov, strings.TrimPrefix(line, "profile "), *queryTimeout, out, true); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 			continue
 		}
-		if err := runQuery(ex, line, *queryTimeout, out, false); err != nil {
+		if err := runQuery(ex, gov, line, *queryTimeout, out, false); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
@@ -214,7 +249,7 @@ func printDiagnostics(out io.Writer, src string, diags []lint.Diagnostic) {
 	}
 }
 
-func runQuery(ex *cypher.Executor, src string, timeout time.Duration, out io.Writer, profile bool) error {
+func runQuery(ex *cypher.Executor, gov *governor.Governor, src string, timeout time.Duration, out io.Writer, profile bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -229,6 +264,13 @@ func runQuery(ex *cypher.Executor, src string, timeout time.Duration, out io.Wri
 		if profile && res != nil {
 			fmt.Fprint(out, res.Exec.String())
 		}
+		var re *cypher.ResourceExhaustedError
+		if errors.As(err, &re) {
+			fmt.Fprintf(out, "budget kill: %s budget exceeded (limit %d, used %d)\n", re.Resource, re.Limit, re.Used)
+		}
+		if profile && gov != nil {
+			fmt.Fprintln(out, "governor:", gov.Stats().String())
+		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("query exceeded the %s time limit", timeout)
 		}
@@ -237,6 +279,9 @@ func runQuery(ex *cypher.Executor, src string, timeout time.Duration, out io.Wri
 	elapsed := time.Since(start)
 	if profile {
 		fmt.Fprint(out, res.Exec.String())
+		if gov != nil {
+			fmt.Fprintln(out, "governor:", gov.Stats().String())
+		}
 	}
 	if len(res.Columns) > 0 {
 		fmt.Fprintln(out, strings.Join(res.Columns, "\t"))

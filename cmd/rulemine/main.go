@@ -16,8 +16,10 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/governor"
 	"github.com/graphrules/graphrules/internal/graph"
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/mining"
@@ -59,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	deltaMetrics := fs.Bool("delta-metrics", false, "after mining, maintain the rule scores incrementally through a stream of graph mutations and report the refreshed aggregate")
 	deltaEpochs := fs.Int("delta-epochs", 8, "mutation epochs to drive under -delta-metrics")
 	deltaSeed := fs.Int64("delta-seed", 1, "mutation stream seed for -delta-metrics")
+	maxRows := fs.Int("max-rows", 0, "per-query result row budget for metric scoring (0 = unlimited); over-budget rules report a typed evaluation error")
+	memBudget := fs.Int64("mem-budget", 0, "per-query memory budget in bytes for metric scoring (0 = unlimited)")
+	queryQueue := fs.Int("query-queue", 0, "admit at most N concurrent scoring queries with a bounded FIFO wait queue (0 = no admission control)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,7 +121,7 @@ func run(args []string, out io.Writer) error {
 	if *bestEffort {
 		policy = mining.BestEffort
 	}
-	res, err := mining.Mine(g, mining.Config{
+	cfg := mining.Config{
 		Model:            llm.NewSim(profile, *seed),
 		Method:           method,
 		Mode:             mode,
@@ -126,12 +131,24 @@ func run(args []string, out io.Writer) error {
 		MorselSize:       *morselSize,
 		FailurePolicy:    policy,
 		MinWindowSuccess: *minWindowSuccess,
+		MaxRows:          *maxRows,
+		MemoryBudget:     *memBudget,
 		Resilience: resilience.Config{
 			Retries:     *retries,
 			CallTimeout: *callTimeout,
 			Seed:        *seed,
 		},
-	})
+	}
+	var gov *governor.Governor
+	if *queryQueue > 0 {
+		gov = governor.New(governor.Config{
+			MaxConcurrent: *queryQueue,
+			MaxQueue:      *queryQueue,
+			QueueTimeout:  2 * time.Second,
+		})
+		cfg.Admission = gov
+	}
+	res, err := mining.Mine(g, cfg)
 	if err != nil {
 		return err
 	}
@@ -189,6 +206,9 @@ func run(args []string, out io.Writer) error {
 	agg := res.Aggregate
 	fmt.Fprintf(out, "\nAggregate: %d rules | mean support %.0f | mean coverage %.2f%% | mean confidence %.2f%%\n",
 		agg.Rules, agg.MeanSupport, agg.MeanCoverage, agg.MeanConfidence)
+	if gov != nil {
+		fmt.Fprintf(out, "Governor: %s\n", gov.Stats())
+	}
 
 	if *deltaMetrics {
 		return runDeltaMetrics(out, g, res, *deltaEpochs, *deltaSeed)

@@ -73,6 +73,36 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+func TestRunGoverned(t *testing.T) {
+	// Generous budgets plus admission control: every rule still scores and
+	// the governor reconciles its counters in the printed summary.
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Cybersecurity",
+		"-max-rows", "1000000", "-mem-budget", "1073741824",
+		"-query-queue", "2", "-score-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Governor:") {
+		t.Errorf("governed run should print governor stats:\n%s", s)
+	}
+	if strings.Contains(s, "evaluation failed") {
+		t.Errorf("generous budgets should not kill any query:\n%s", s)
+	}
+}
+
+func TestRunTinyRowBudget(t *testing.T) {
+	// A one-row budget kills broad scoring queries with the typed error,
+	// surfaced per rule as an evaluation failure — the run itself succeeds.
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "Cybersecurity", "-max-rows", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-row budget") {
+		t.Errorf("tiny row budget should surface budget kills:\n%s", out.String())
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-dataset", "nope"},

@@ -36,6 +36,7 @@ import (
 	"github.com/graphrules/graphrules/internal/correction"
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/datasets"
+	"github.com/graphrules/graphrules/internal/governor"
 	"github.com/graphrules/graphrules/internal/graph"
 	"github.com/graphrules/graphrules/internal/llm"
 	"github.com/graphrules/graphrules/internal/metrics"
@@ -123,6 +124,15 @@ type (
 	LoggedGraph = storage.LoggedGraph
 	// RecoveryInfo reports what RecoverWAL salvaged from a damaged log.
 	RecoveryInfo = storage.RecoveryInfo
+	// WALPoisonedError is a WAL's typed sticky error after a storage
+	// fault: durability can no longer be promised past its Durable
+	// sequence number. The graph keeps serving; ReattachWAL resumes
+	// durable logging on a fresh sink.
+	WALPoisonedError = storage.WALPoisonedError
+	// FaultSink wraps a WAL sink with deterministic, schedulable storage
+	// faults (short writes, fsync errors, ENOSPC, latency) for chaos
+	// testing durability guarantees.
+	FaultSink = storage.FaultSink
 )
 
 // NewWAL wraps w as an eager write-ahead log (flush + sync per append).
@@ -148,6 +158,18 @@ func AttachWAL(g *Graph, wal *WAL) (detach func()) { return storage.AttachWAL(g,
 func RecoverWAL(name string, r io.Reader) (*Graph, RecoveryInfo, error) {
 	return storage.RecoverReplay(name, r)
 }
+
+// ReattachWAL resumes durable logging after a WAL was poisoned by a
+// storage fault: it writes g's full state into wal as a bootstrap epoch,
+// waits for durability, then attaches the commit subscription — the new
+// log alone recovers everything. Quiesce writers until it returns.
+func ReattachWAL(g *Graph, wal *WAL) (detach func(), err error) {
+	return storage.ReattachWAL(g, wal)
+}
+
+// NewFaultSink wraps w with a seeded deterministic fault injector; see
+// FaultSink.
+func NewFaultSink(w io.Writer, seed int64) *FaultSink { return storage.NewFaultSink(w, seed) }
 
 // Query engine.
 type (
@@ -196,7 +218,48 @@ var (
 	// WithSnapshotPin pins each read-only query to the epoch current at
 	// its start, so concurrent commits never change what one scan sees.
 	WithSnapshotPin = cypher.WithSnapshotPin
+	// WithMaxRows caps the rows one query may materialize; exceeding it
+	// kills the query with a *ResourceExhaustedError (0 disables).
+	WithMaxRows = cypher.WithMaxRows
+	// WithMemoryBudget bounds a query's approximate retained allocation
+	// in bytes (0 disables).
+	WithMemoryBudget = cypher.WithMemoryBudget
+	// WithQueryDeadline bounds a query's wall-clock time, enforced
+	// cooperatively with typed errors (0 disables).
+	WithQueryDeadline = cypher.WithQueryDeadline
+	// WithAdmission gates every query through an admission controller
+	// (NewGovernor provides one; nil disables).
+	WithAdmission = cypher.WithAdmission
 )
+
+// Resource governance: per-query budgets and admission control.
+type (
+	// ResourceExhaustedError reports a query killed by a resource budget
+	// (rows, memory or deadline), carrying the partial ExecStats.
+	ResourceExhaustedError = cypher.ResourceExhaustedError
+	// QueryPanicError is an evaluator panic recovered into an error —
+	// the query fails, the process survives.
+	QueryPanicError = cypher.PanicError
+	// Admission is the contract between the executor and an admission
+	// controller; *Governor implements it.
+	Admission = cypher.Admission
+	// Governor bounds concurrent query execution with a FIFO wait queue,
+	// queue timeout, and typed rejections.
+	Governor = governor.Governor
+	// GovernorConfig tunes a Governor (concurrency limit, queue bound,
+	// queue timeout).
+	GovernorConfig = governor.Config
+	// GovernorStats snapshots a Governor's admission counters
+	// (admitted/queued/rejected/active/peak, completions vs budget kills).
+	GovernorStats = governor.Stats
+	// AdmissionRejectedError is the typed backpressure signal for a
+	// rejected (queue-full / timed-out / cancelled) query.
+	AdmissionRejectedError = governor.AdmissionRejectedError
+)
+
+// NewGovernor returns an admission controller with the given limits; pass
+// it to NewExecutor via WithAdmission.
+func NewGovernor(cfg GovernorConfig) *Governor { return governor.New(cfg) }
 
 // QueryFootprint over-approximates the labels, edge types and property
 // keys a query's result can depend on; intersected with a GraphDelta it

@@ -254,6 +254,14 @@ type Executor struct {
 	morselSize      int  // anchor candidates per morsel; 0 = defaultMorselSize
 	snapshotPin     bool // read-only queries run on a pinned epoch snapshot
 
+	// Resource governor configuration (see governor.go): per-query row /
+	// memory / deadline budgets, and an optional admission controller
+	// gating execution. All zero by default — ungoverned.
+	maxRows       int
+	memBudget     int64
+	queryDeadline time.Duration
+	admission     Admission
+
 	planMu    sync.Mutex
 	plans     map[string]*planEntry
 	planLRU   *list.List // front = most recently used
@@ -434,7 +442,35 @@ func (ex *Executor) Execute(q *Query, params map[string]graph.Value) (*Result, e
 }
 
 // ExecuteCtx is Execute with cancellation; see RunCtx.
-func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string]graph.Value) (*Result, error) {
+//
+// When the executor carries an admission controller (WithAdmission), the
+// query first acquires a slot — a full queue or queue timeout rejects it
+// with the controller's typed error before it touches the graph. When it
+// carries resource budgets (WithMaxRows, WithMemoryBudget,
+// WithQueryDeadline), exceeding one kills the query with a typed
+// *ResourceExhaustedError carrying the partial ExecStats. A panic anywhere
+// in evaluation — serial or inside a morsel worker — is recovered into a
+// *PanicError instead of crashing the process.
+func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string]graph.Value) (res *Result, err error) {
+	if ex.admission != nil {
+		done, aerr := ex.admission.Admit(cctx)
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer func() { done(err) }()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = recoverToError(p)
+		}
+		finishExhausted(err, res)
+	}()
+	return ex.executeGoverned(cctx, q, params)
+}
+
+// executeGoverned is the body of ExecuteCtx, after admission and under
+// its panic-recovery and budget-stamping defers.
+func (ex *Executor) executeGoverned(cctx context.Context, q *Query, params map[string]graph.Value) (*Result, error) {
 	// Under WithSnapshotPin, a read-only query resolves the graph once to
 	// the current epoch's frozen snapshot: the whole scan — serial, sharded
 	// or morsel-stolen — observes exactly one epoch even while writers
@@ -444,7 +480,7 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 	if ex.snapshotPin && !QueryMutates(q) {
 		eg = ex.g.Snapshot()
 	}
-	m := &matcher{g: eg, pushdown: !ex.noPushdown}
+	m := &matcher{g: eg, pushdown: !ex.noPushdown, bud: ex.newBudget()}
 	if cctx != nil && cctx != context.Background() {
 		m.cctx = cctx
 	}
@@ -479,6 +515,9 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 			if err := m.cctx.Err(); err != nil {
 				return res, err
 			}
+		}
+		if err := m.bud.checkDeadline(); err != nil {
+			return res, err
 		}
 		var err error
 		start := time.Now()
@@ -651,6 +690,9 @@ func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Ro
 				}
 			}
 			matched = true
+			if err := m.bud.chargeRow(r); err != nil {
+				return err
+			}
 			out = append(out, r.clone())
 			return nil
 		})
@@ -663,6 +705,9 @@ func (ex *Executor) execMatch(ctx *evalCtx, m *matcher, cl *MatchClause, in []Ro
 				if _, bound := r[v]; !bound {
 					r[v] = NullDatum
 				}
+			}
+			if err := m.bud.chargeRow(r); err != nil {
+				return nil, err
 			}
 			out = append(out, r)
 		}
@@ -700,21 +745,27 @@ type matcher struct {
 	pushdown bool            // consult the label+property index for constant props
 	ranges   whereRanges     // seekable WHERE intervals for the current clause
 	cctx     context.Context // optional cancellation; nil means never cancelled
+	bud      *budget         // optional resource budget; nil means ungoverned
 	polls    uint64          // pollCtx amortization counter
 }
 
-// pollCtx reports the matcher's cancellation state, actually consulting
-// the context only once every 256 calls so it can sit inside hot
-// candidate loops without measurable cost.
+// pollCtx reports the matcher's cancellation state and query deadline,
+// actually consulting the context (and clock) only once every 256 calls
+// so it can sit inside hot candidate loops without measurable cost.
 func (m *matcher) pollCtx() error {
-	if m.cctx == nil {
+	if m.cctx == nil && m.bud == nil {
 		return nil
 	}
 	m.polls++
 	if m.polls&0xff != 0 {
 		return nil
 	}
-	return m.cctx.Err()
+	if m.cctx != nil {
+		if err := m.cctx.Err(); err != nil {
+			return err
+		}
+	}
+	return m.bud.checkDeadline()
 }
 
 // matchAll matches every pattern part in sequence (sharing one
@@ -1486,6 +1537,9 @@ func (ex *Executor) projectSimple(ctx *evalCtx, items []*ReturnItem, cols []stri
 			}
 			nr[cols[i]] = d
 		}
+		if err := ctx.bud().chargeRow(nr); err != nil {
+			return nil, err
+		}
 		out = append(out, nr)
 	}
 	return out, nil
@@ -1637,11 +1691,17 @@ func (ex *Executor) execUnwind(ctx *evalCtx, cl *UnwindClause, in []Row) ([]Row,
 			for _, e := range v.List() {
 				nr := r.clone()
 				nr[cl.Alias] = ValDatum(e)
+				if err := ctx.bud().chargeRow(nr); err != nil {
+					return nil, err
+				}
 				out = append(out, nr)
 			}
 		default:
 			nr := r.clone()
 			nr[cl.Alias] = ValDatum(v)
+			if err := ctx.bud().chargeRow(nr); err != nil {
+				return nil, err
+			}
 			out = append(out, nr)
 		}
 	}

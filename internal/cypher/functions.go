@@ -381,13 +381,27 @@ func (c *evalCtx) evalFunc(f *FuncCall, row Row) (Datum, error) {
 		}
 		return ValDatum(graph.NewList(out...)), nil
 	default:
+		if fn, ok := testFuncs[f.Name]; ok {
+			d, err := one()
+			if err != nil {
+				return NullDatum, err
+			}
+			return fn(d)
+		}
 		return NullDatum, execErrf("unknown function %s()", f.Name)
 	}
 }
 
+// testFuncs lets in-package tests register extra scalar functions — the
+// fault-injection hook the governor's panic-recovery regression tests use
+// to detonate a panic deep inside (sharded) evaluation. Empty in
+// production; consulted only after every built-in misses.
+var testFuncs map[string]func(d Datum) (Datum, error)
+
 // aggState accumulates one aggregate function over the rows of a group.
 type aggState struct {
 	fn       *FuncCall
+	bud      *budget // memory budget charged per retained element; nil ungoverned
 	count    int64
 	sumI     int64
 	sumF     float64
@@ -409,6 +423,7 @@ func newAggState(fn *FuncCall) *aggState {
 
 // add feeds one input row into the aggregate.
 func (st *aggState) add(c *evalCtx, row Row) error {
+	st.bud = c.bud()
 	if st.fn.Star { // count(*)
 		st.count++
 		return nil
@@ -437,6 +452,9 @@ func (st *aggState) addValue(v graph.Value) error {
 		// Retain every first-seen distinct value so shard-local states can
 		// merge with cross-shard deduplication (see merge); collect reads
 		// the same list as its result.
+		if err := st.bud.chargeMem(aggStateBytes); err != nil {
+			return err
+		}
 		st.items = append(st.items, v)
 	}
 	st.count++
@@ -444,6 +462,9 @@ func (st *aggState) addValue(v graph.Value) error {
 	switch st.fn.Name {
 	case "collect":
 		if st.distinct == nil {
+			if err := st.bud.chargeMem(aggStateBytes); err != nil {
+				return err
+			}
 			st.items = append(st.items, v)
 		}
 	case "sum", "avg":

@@ -1,5 +1,7 @@
 package cypher
 
+import "time"
+
 // Option configures an Executor at construction:
 //
 //	ex := cypher.NewExecutor(g,
@@ -72,6 +74,59 @@ func WithMorselSize(n int) Option {
 // least-recently-used plans beyond the cap. n <= 0 keeps the default cap.
 func WithPlanCacheCap(n int) Option {
 	return func(ex *Executor) { ex.setPlanCacheCap(n) }
+}
+
+// WithMaxRows caps the number of rows one query may materialize (matched
+// rows, OPTIONAL padding rows, UNWIND expansions) summed across all shard
+// workers. Exceeding it kills the query with a *ResourceExhaustedError
+// carrying the partial ExecStats. n <= 0 disables the cap (default).
+// A query that finishes under the cap is byte-identical to ungoverned.
+func WithMaxRows(n int) Option {
+	return func(ex *Executor) {
+		if n < 0 {
+			n = 0
+		}
+		ex.maxRows = n
+	}
+}
+
+// WithMemoryBudget bounds a query's approximate retained allocation:
+// materialized rows and aggregate-state elements charge an estimated byte
+// cost against the budget as they are created. The accounting is
+// deliberately coarse — it bounds order-of-magnitude blowups (runaway
+// cartesian products, unbounded collect()) rather than exact footprints.
+// n <= 0 disables the budget (default).
+func WithMemoryBudget(n int64) Option {
+	return func(ex *Executor) {
+		if n < 0 {
+			n = 0
+		}
+		ex.memBudget = n
+	}
+}
+
+// WithQueryDeadline bounds one query's wall-clock execution time,
+// enforced cooperatively on the same amortized stride as context polls.
+// Unlike a context deadline it needs no timer goroutine per query and
+// reports a typed *ResourceExhaustedError with partial stats rather than
+// context.DeadlineExceeded. d <= 0 disables it (default).
+func WithQueryDeadline(d time.Duration) Option {
+	return func(ex *Executor) {
+		if d < 0 {
+			d = 0
+		}
+		ex.queryDeadline = d
+	}
+}
+
+// WithAdmission gates every ExecuteCtx through an admission controller:
+// Admit runs before the query touches the graph (its error — typically a
+// typed rejection — is returned verbatim) and the returned done func is
+// called with the query's final error, letting the controller classify
+// completions vs budget kills. internal/governor provides the standard
+// implementation. nil disables gating (default).
+func WithAdmission(a Admission) Option {
+	return func(ex *Executor) { ex.admission = a }
 }
 
 // WithSnapshotPin pins every read-only query to the graph epoch current

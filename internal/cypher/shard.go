@@ -238,8 +238,8 @@ type shardWorker struct {
 
 // newShardWorker builds a worker against g — the scan's graph view, which
 // under WithSnapshotPin is the pinned epoch snapshot rather than ex.g.
-func (ex *Executor) newShardWorker(g *graph.Graph, params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context) *shardWorker {
-	wm := &matcher{g: g, pushdown: pushdown, ranges: ranges, exec: &ExecStats{}, cctx: cctx}
+func (ex *Executor) newShardWorker(g *graph.Graph, params map[string]graph.Value, pushdown bool, ranges whereRanges, cctx context.Context, bud *budget) *shardWorker {
+	wm := &matcher{g: g, pushdown: pushdown, ranges: ranges, exec: &ExecStats{}, cctx: cctx, bud: bud}
 	wctx := newEvalCtx(g, params, wm)
 	wm.ctx = wctx
 	return &shardWorker{m: wm, ctx: wctx}
@@ -290,7 +290,7 @@ func (ex *Executor) scanMorsels(ctx *evalCtx, m *matcher, proto Row, nMorsels in
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := ex.newShardWorker(m.g, ctx.params, m.pushdown, m.ranges, cctx)
+			w := ex.newShardWorker(m.g, ctx.params, m.pushdown, m.ranges, cctx, m.bud)
 			w.row = proto.clone()
 			workerStats[wi] = w.m.exec
 			for cctx.Err() == nil {
@@ -298,7 +298,7 @@ func (ex *Executor) scanMorsels(ctx *evalCtx, m *matcher, proto Row, nMorsels in
 				if mi >= nMorsels {
 					return
 				}
-				if err := fn(w, mi); err != nil {
+				if err := runMorsel(fn, w, mi); err != nil {
 					errs[mi] = err
 					cancel()
 					return
@@ -342,6 +342,20 @@ func (ex *Executor) scanMorsels(ctx *evalCtx, m *matcher, proto Row, nMorsels in
 	return cancelled
 }
 
+// runMorsel executes fn on one morsel with panic containment: a panic in
+// the evaluator or matcher on this worker becomes a *PanicError assigned
+// to the morsel's error slot, flowing through the same lowest-tag
+// first-error selection as any other morsel failure — the process
+// survives and the query fails with serial-consistent error choice.
+func runMorsel(fn func(w *shardWorker, mi int) error, w *shardWorker, mi int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = recoverToError(p)
+		}
+	}()
+	return fn(w, mi)
+}
+
 // recordMorselStats publishes the shard/morsel metadata of the last sharded
 // clause. Called on success and error paths alike: a failed scan still
 // reports how its anchor range was cut and what each morsel produced before
@@ -380,6 +394,9 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 					return nil
 				}
 			}
+			if err := w.m.bud.chargeRow(r); err != nil {
+				return err
+			}
 			outs[mi] = append(outs[mi], r.clone())
 			return nil
 		})
@@ -401,6 +418,9 @@ func (ex *Executor) execMatchSharded(ctx *evalCtx, m *matcher, cl *MatchClause, 
 			if _, bound := r[v]; !bound {
 				r[v] = NullDatum
 			}
+		}
+		if err := m.bud.chargeRow(r); err != nil {
+			return nil, err
 		}
 		out = append(out, r)
 	}

@@ -1,0 +1,277 @@
+// Package governor implements query admission control: a weighted
+// semaphore bounding how many queries run concurrently against one graph,
+// with a bounded FIFO wait queue, a queue timeout, and typed rejection
+// errors. It exists so the engine degrades into backpressure — queue,
+// then reject — instead of letting unbounded concurrency multiply the
+// memory and CPU of expensive queries until the process dies; the counters
+// it keeps are the server metrics a network front-end (cmd/graphd) will
+// export.
+//
+// The package deliberately does not import internal/cypher: the executor
+// defines the two-method Admission contract (Admit returning a done
+// callback) and *Governor satisfies it, so either side can evolve without
+// a dependency cycle. Budget kills are classified structurally — any
+// error exposing ResourceExhausted() bool (which *cypher.
+// ResourceExhaustedError does) counts as a kill rather than a failure.
+package governor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config tunes one Governor.
+type Config struct {
+	// MaxConcurrent bounds the queries running at once. <= 0 defaults to 4.
+	MaxConcurrent int
+	// MaxQueue bounds the FIFO wait queue; an arrival beyond it is
+	// rejected immediately. < 0 defaults to MaxConcurrent; 0 disables
+	// queueing (reject as soon as all slots are busy).
+	MaxQueue int
+	// QueueTimeout bounds how long one query may wait for a slot; <= 0
+	// means wait until the caller's context expires.
+	QueueTimeout time.Duration
+}
+
+// AdmissionRejectedError is the typed backpressure signal: the governor
+// turned a query away because the queue was full, the wait timed out, or
+// the caller's context expired while queued.
+type AdmissionRejectedError struct {
+	// Reason is "queue full", "queue timeout" or "cancelled while queued".
+	Reason string
+	// Active and Queued are the governor occupancy at rejection.
+	Active, Queued int
+	// Limit is the concurrency bound the query was waiting on.
+	Limit int
+}
+
+func (e *AdmissionRejectedError) Error() string {
+	return fmt.Sprintf("governor: admission rejected (%s; active %d/%d, queued %d)",
+		e.Reason, e.Active, e.Limit, e.Queued)
+}
+
+// AdmissionRejected marks the error for structural classification, the
+// mirror of the executor's ResourceExhausted() marker.
+func (e *AdmissionRejectedError) AdmissionRejected() bool { return true }
+
+// Stats is a point-in-time snapshot of the governor counters. The
+// invariant Admitted == Completed + Killed + Active holds at every
+// snapshot taken while no query is between states.
+type Stats struct {
+	// Admitted counts queries granted a slot (immediately or after queueing).
+	Admitted int64
+	// Queued counts queries that had to wait for a slot before admission
+	// or rejection (cumulative, not current occupancy).
+	Queued int64
+	// Rejected counts queries turned away: full queue, queue timeout, or
+	// cancellation while waiting.
+	Rejected int64
+	// Completed counts admitted queries that finished without a budget kill
+	// (successfully or with an ordinary error).
+	Completed int64
+	// Killed counts admitted queries that died on a resource budget — the
+	// done error exposed ResourceExhausted() bool.
+	Killed int64
+	// Active is the current number of running queries; Peak the high-water
+	// mark; Waiting the current queue occupancy.
+	Active, Peak, Waiting int
+}
+
+// Governor is a concurrency-admission controller satisfying the
+// executor's Admission contract. The zero value is not usable; construct
+// with New.
+type Governor struct {
+	cfg Config
+
+	mu      sync.Mutex
+	active  int
+	waiters []*waiter // FIFO queue of queries waiting for a slot
+
+	admitted  int64
+	queued    int64
+	rejected  int64
+	completed int64
+	killed    int64
+	peak      int
+}
+
+// waiter is one queued admission request. The governor grants a slot by
+// sending on grant (buffered, capacity 1) and marking granted under mu;
+// a waiter that times out instead marks itself abandoned under mu. The
+// two transitions are mutually exclusive, so a slot is never both granted
+// and lost.
+type waiter struct {
+	grant     chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// New builds a Governor from cfg, applying defaults.
+func New(cfg Config) *Governor {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = cfg.MaxConcurrent
+	}
+	return &Governor{cfg: cfg}
+}
+
+// Admit blocks until the query may run, then returns the done callback
+// the caller must invoke exactly once with the query's final error.
+// Admission order is FIFO among waiters. A full queue rejects
+// immediately; QueueTimeout (when set) and ctx bound the wait.
+func (g *Governor) Admit(ctx context.Context) (func(err error), error) {
+	g.mu.Lock()
+	if g.active < g.cfg.MaxConcurrent && len(g.waiters) == 0 {
+		g.admitLocked()
+		g.mu.Unlock()
+		return g.doneFunc(), nil
+	}
+	if len(g.waiters) >= g.cfg.MaxQueue {
+		g.rejected++
+		err := g.rejectionLocked("queue full")
+		g.mu.Unlock()
+		return nil, err
+	}
+	w := &waiter{grant: make(chan struct{}, 1)}
+	g.waiters = append(g.waiters, w)
+	g.queued++
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if g.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(g.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case <-w.grant:
+		return g.doneFunc(), nil
+	case <-timeout:
+		return nil, g.abandon(w, "queue timeout")
+	case <-ctx.Done():
+		return nil, g.abandon(w, "cancelled while queued")
+	}
+}
+
+// admitLocked books one admission. Callers hold mu.
+func (g *Governor) admitLocked() {
+	g.active++
+	g.admitted++
+	if g.active > g.peak {
+		g.peak = g.active
+	}
+}
+
+// rejectionLocked builds the typed rejection for the current occupancy.
+// Callers hold mu and have already counted the rejection.
+func (g *Governor) rejectionLocked(reason string) error {
+	return &AdmissionRejectedError{
+		Reason: reason,
+		Active: g.active,
+		Queued: len(g.waiters),
+		Limit:  g.cfg.MaxConcurrent,
+	}
+}
+
+// abandon resolves a waiter that stopped waiting. If the grant raced in
+// before the waiter could mark itself abandoned, the admission stands —
+// the slot is released and the query is still rejected to the caller, so
+// no slot leaks and the counters keep reconciling.
+func (g *Governor) abandon(w *waiter, reason string) error {
+	g.mu.Lock()
+	if w.granted {
+		// Lost the race: a slot was granted concurrently. Undo it.
+		g.mu.Unlock()
+		g.doneFunc()(context.Canceled)
+		g.mu.Lock()
+		g.completed-- // the undo was not a real completion
+		g.admitted--  // nor a real admission
+	} else {
+		w.abandoned = true
+		g.removeWaiterLocked(w)
+	}
+	g.rejected++
+	err := g.rejectionLocked(reason)
+	g.mu.Unlock()
+	return err
+}
+
+func (g *Governor) removeWaiterLocked(w *waiter) {
+	for i, o := range g.waiters {
+		if o == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// doneFunc returns the release callback for one admitted query. The
+// sync.Once keeps a double-call from corrupting the counters.
+func (g *Governor) doneFunc() func(err error) {
+	var once sync.Once
+	return func(err error) {
+		once.Do(func() { g.release(err) })
+	}
+}
+
+// release returns one slot, classifies the query's outcome, and hands the
+// slot to the head waiter if any.
+func (g *Governor) release(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if isBudgetKill(err) {
+		g.killed++
+	} else {
+		g.completed++
+	}
+	g.active--
+	// Hand the freed slot to the oldest live waiter. Skipping abandoned
+	// entries here (rather than relying on removal) covers the window
+	// where a timed-out waiter hasn't reacquired mu yet.
+	for len(g.waiters) > 0 && g.active < g.cfg.MaxConcurrent {
+		w := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		if w.abandoned {
+			continue
+		}
+		w.granted = true
+		g.admitLocked()
+		w.grant <- struct{}{}
+		return
+	}
+}
+
+// isBudgetKill reports whether err marks a resource-budget kill,
+// classified structurally so this package never imports the executor.
+func isBudgetKill(err error) bool {
+	var re interface{ ResourceExhausted() bool }
+	return errors.As(err, &re) && re.ResourceExhausted()
+}
+
+// Stats snapshots the governor counters.
+func (g *Governor) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Admitted:  g.admitted,
+		Queued:    g.queued,
+		Rejected:  g.rejected,
+		Completed: g.completed,
+		Killed:    g.killed,
+		Active:    g.active,
+		Peak:      g.peak,
+		Waiting:   len(g.waiters),
+	}
+}
+
+// String renders the snapshot for CLIs and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("admitted %d (queued %d, rejected %d) · completed %d · killed %d · active %d (peak %d, waiting %d)",
+		s.Admitted, s.Queued, s.Rejected, s.Completed, s.Killed, s.Active, s.Peak, s.Waiting)
+}

@@ -1,0 +1,269 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// exhaustedErr mimics the executor's budget-kill marker without importing
+// internal/cypher, mirroring how the governor itself classifies kills.
+type exhaustedErr struct{}
+
+func (exhaustedErr) Error() string           { return "budget kill" }
+func (exhaustedErr) ResourceExhausted() bool { return true }
+
+func TestAdmitImmediate(t *testing.T) {
+	g := New(Config{MaxConcurrent: 2})
+	done1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Active != 2 || st.Peak != 2 || st.Admitted != 2 {
+		t.Fatalf("stats after 2 admits: %+v", st)
+	}
+	done1(nil)
+	done2(exhaustedErr{})
+	st = g.Stats()
+	if st.Active != 0 || st.Completed != 1 || st.Killed != 1 {
+		t.Fatalf("stats after releases: %+v", st)
+	}
+	if st.Admitted != st.Completed+st.Killed+int64(st.Active) {
+		t.Fatalf("counter invariant broken: %+v", st)
+	}
+}
+
+func TestRejectQueueFull(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 0})
+	done, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Admit(context.Background())
+	var re *AdmissionRejectedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *AdmissionRejectedError, got %T: %v", err, err)
+	}
+	if re.Reason != "queue full" || re.Limit != 1 {
+		t.Fatalf("rejection %+v", re)
+	}
+	if !re.AdmissionRejected() {
+		t.Fatal("AdmissionRejected() must report true")
+	}
+	done(nil)
+	if st := g.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected=%d, want 1", st.Rejected)
+	}
+}
+
+func TestQueueTimeout(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	done, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = g.Admit(context.Background())
+	var re *AdmissionRejectedError
+	if !errors.As(err, &re) || re.Reason != "queue timeout" {
+		t.Fatalf("want queue-timeout rejection, got %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+	done(nil)
+	// The abandoned waiter must not have leaked its queue slot.
+	if st := g.Stats(); st.Waiting != 0 || st.Active != 0 {
+		t.Fatalf("leaked occupancy: %+v", st)
+	}
+}
+
+func TestCancelledWhileQueued(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	done, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	_, err = g.Admit(ctx)
+	var re *AdmissionRejectedError
+	if !errors.As(err, &re) || re.Reason != "cancelled while queued" {
+		t.Fatalf("want cancellation rejection, got %v", err)
+	}
+	done(nil)
+	if st := g.Stats(); st.Waiting != 0 || st.Active != 0 {
+		t.Fatalf("leaked occupancy: %+v", st)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1, MaxQueue: 8})
+	first, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize queue entry so arrival order is deterministic.
+			started.Done()
+			done, err := g.Admit(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d rejected: %v", i, err)
+				return
+			}
+			order <- i
+			done(nil)
+		}(i)
+		// Wait until goroutine i is queued before launching i+1.
+		deadline := time.Now().Add(time.Second)
+		for g.Stats().Waiting != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	started.Wait()
+	first(nil)
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order diverged from FIFO: got %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestDoneIdempotent(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1})
+	done, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(nil)
+	done(nil) // second call must be a no-op
+	if st := g.Stats(); st.Active != 0 || st.Completed != 1 {
+		t.Fatalf("double done corrupted counters: %+v", st)
+	}
+}
+
+// TestAdmissionSoak is the -race soak: many goroutines hammer a small
+// governor with mixed outcomes (success, budget kill, cancellation while
+// queued), asserting active never exceeds the limit and every counter
+// reconciles once the storm passes.
+func TestAdmissionSoak(t *testing.T) {
+	const limit = 4
+	g := New(Config{MaxConcurrent: limit, MaxQueue: 16, QueueTimeout: 50 * time.Millisecond})
+
+	var running, peakSeen atomic.Int64
+	var wg sync.WaitGroup
+	workers := 32
+	perWorker := 50
+	if testing.Short() {
+		workers, perWorker = 8, 10
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(10) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+				}
+				done, err := g.Admit(ctx)
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					var re *AdmissionRejectedError
+					if !errors.As(err, &re) {
+						t.Errorf("untyped rejection: %v", err)
+					}
+					continue
+				}
+				n := running.Add(1)
+				for {
+					p := peakSeen.Load()
+					if n <= p || peakSeen.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				if n > limit {
+					t.Errorf("active %d exceeds limit %d", n, limit)
+				}
+				time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+				running.Add(-1)
+				switch rng.Intn(3) {
+				case 0:
+					done(nil)
+				case 1:
+					done(exhaustedErr{})
+				default:
+					done(fmt.Errorf("ordinary failure"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if st.Active != 0 || st.Waiting != 0 {
+		t.Fatalf("leaked occupancy after soak: %+v", st)
+	}
+	if st.Admitted != st.Completed+st.Killed {
+		t.Fatalf("counter invariant broken after soak: %+v", st)
+	}
+	if st.Admitted+st.Rejected != int64(workers*perWorker) {
+		t.Fatalf("admitted(%d)+rejected(%d) != %d requests", st.Admitted, st.Rejected, workers*perWorker)
+	}
+	if got := peakSeen.Load(); got > limit {
+		t.Fatalf("observed peak %d exceeds limit %d", got, limit)
+	}
+	if st.Peak > limit {
+		t.Fatalf("recorded peak %d exceeds limit %d", st.Peak, limit)
+	}
+	if st.Killed == 0 || st.Completed == 0 {
+		t.Fatalf("soak did not exercise both outcomes: %+v", st)
+	}
+}
+
+// BenchmarkAdmissionThroughput measures the per-query admission cost with
+// uncontended slots — the overhead every governed query pays.
+func BenchmarkAdmissionThroughput(b *testing.B) {
+	g := New(Config{MaxConcurrent: 64, MaxQueue: 64})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			done, err := g.Admit(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done(nil)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/graph"
@@ -192,6 +193,30 @@ type EvalOptions struct {
 	// MorselSize, so any cypher.Option (pushdown toggles, plan-cache cap, or
 	// an overriding WithShardWorkers) is reachable from batch evaluation.
 	ExecOptions []cypher.Option
+	// MaxRows / MemoryBudget / QueryDeadline put per-query resource
+	// budgets on the shared executor; a rule whose query exceeds one gets
+	// a typed *cypher.ResourceExhaustedError in its errs slot while the
+	// other rules keep scoring. Zero disables each; under-budget queries
+	// score identically to ungoverned.
+	MaxRows       int
+	MemoryBudget  int64
+	QueryDeadline time.Duration
+	// Admission gates every scoring query through an admission controller
+	// (nil = ungated).
+	Admission cypher.Admission
+}
+
+// execOptions renders the EvalOptions knobs as executor options, budgets
+// included, with opt.ExecOptions last so callers can override anything.
+func (opt EvalOptions) execOptions() []cypher.Option {
+	return append([]cypher.Option{
+		cypher.WithShardWorkers(opt.ShardWorkers),
+		cypher.WithMorselSize(opt.MorselSize),
+		cypher.WithMaxRows(opt.MaxRows),
+		cypher.WithMemoryBudget(opt.MemoryBudget),
+		cypher.WithQueryDeadline(opt.QueryDeadline),
+		cypher.WithAdmission(opt.Admission),
+	}, opt.ExecOptions...)
 }
 
 // EvaluateQuerySetsParallel evaluates many query sets against one graph
@@ -216,10 +241,7 @@ func EvaluateQuerySetsCtx(ctx context.Context, g *graph.Graph, qss []rules.Query
 	workers := opt.Workers
 	counts = make([]rules.Counts, len(qss))
 	errs = make([]error, len(qss))
-	sc := NewScorer(g, append([]cypher.Option{
-		cypher.WithShardWorkers(opt.ShardWorkers),
-		cypher.WithMorselSize(opt.MorselSize),
-	}, opt.ExecOptions...)...)
+	sc := NewScorer(g, opt.execOptions()...)
 	forEachIndex(len(qss), workers, func(i int) {
 		defer func() {
 			if p := recover(); p != nil {

@@ -136,6 +136,19 @@ type Config struct {
 	// executor after ShardWorkers and MorselSize (pushdown toggles,
 	// plan-cache cap, ...). None of them change counts or rule order.
 	ExecOptions []cypher.Option
+	// MaxRows / MemoryBudget / QueryDeadline set per-query resource
+	// budgets on the scoring executor (cypher.WithMaxRows etc.): a rule
+	// whose query blows a budget records a typed *cypher.
+	// ResourceExhaustedError as its EvalErr instead of stalling the whole
+	// mining run. Zero disables each. A query finishing under budget
+	// scores identically to ungoverned, so budgets never change the
+	// counts of rules they don't kill.
+	MaxRows       int
+	MemoryBudget  int64
+	QueryDeadline time.Duration
+	// Admission gates scoring queries through an admission controller
+	// (internal/governor); nil runs ungated.
+	Admission cypher.Admission
 	// FailurePolicy defaults to FailFast.
 	FailurePolicy FailurePolicy
 	// MinWindowSuccess is the minimum fraction of sliding windows that
@@ -187,6 +200,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MorselSize < 0 {
 		return c, fmt.Errorf("mining: MorselSize must be non-negative, got %d", c.MorselSize)
+	}
+	if c.MaxRows < 0 || c.MemoryBudget < 0 || c.QueryDeadline < 0 {
+		return c, fmt.Errorf("mining: resource budgets must be non-negative")
 	}
 	if c.MinWindowSuccess < 0 || c.MinWindowSuccess > 1 {
 		return c, fmt.Errorf("mining: MinWindowSuccess must be in [0, 1], got %g", c.MinWindowSuccess)
@@ -543,7 +559,9 @@ func MineCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	// cache), cfg.ScoreWorkers at a time; output order is the rule order.
 	counts, evalErrs := metrics.EvaluateQuerySetsCtx(ctx, g, finals,
 		metrics.EvalOptions{Workers: cfg.ScoreWorkers, ShardWorkers: cfg.ShardWorkers,
-			MorselSize: cfg.MorselSize, ExecOptions: cfg.ExecOptions})
+			MorselSize: cfg.MorselSize, ExecOptions: cfg.ExecOptions,
+			MaxRows: cfg.MaxRows, MemoryBudget: cfg.MemoryBudget,
+			QueryDeadline: cfg.QueryDeadline, Admission: cfg.Admission})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

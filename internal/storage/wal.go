@@ -56,6 +56,27 @@ type Syncer interface{ Sync() error }
 // ErrWALClosed is returned by appends to a closed WAL.
 var ErrWALClosed = errors.New("storage: wal closed")
 
+// WALPoisonedError is the WAL's typed sticky error: a write, flush or
+// fsync failed, so durability can no longer be promised for anything past
+// Durable. Every Append and every Commit waiting on a lost window returns
+// it; Commits whose records were already durable before the fault still
+// succeed. The graph itself keeps working — only logging is poisoned —
+// and ReattachWAL re-establishes durable logging on a fresh sink once
+// the fault clears.
+type WALPoisonedError struct {
+	// Cause is the underlying I/O error.
+	Cause error
+	// Durable is the sequence number of the last record that was flushed
+	// and synced before the fault: everything at or below it survived.
+	Durable uint64
+}
+
+func (e *WALPoisonedError) Error() string {
+	return fmt.Sprintf("storage: wal poisoned after durable record %d: %v", e.Durable, e.Cause)
+}
+
+func (e *WALPoisonedError) Unwrap() error { return e.Cause }
+
 // WAL is a write-ahead log capturing graph mutations as JSON lines. It is
 // safe for concurrent use.
 //
@@ -131,6 +152,27 @@ func (l *WAL) flushLoop() {
 	}
 }
 
+// poisonLocked latches an I/O failure into the typed sticky error,
+// recording how far durability actually reached. Called with mu held;
+// the first fault wins.
+func (l *WAL) poisonLocked(cause error) {
+	if l.err == nil {
+		l.err = &WALPoisonedError{Cause: cause, Durable: l.durable}
+	}
+}
+
+// Poisoned returns the WAL's sticky *WALPoisonedError, or nil while the
+// log is healthy (or failed for a non-I/O reason).
+func (l *WAL) Poisoned() *WALPoisonedError {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var pe *WALPoisonedError
+	if errors.As(l.err, &pe) {
+		return pe
+	}
+	return nil
+}
+
 // flushLocked makes every appended record durable. Called with mu held.
 func (l *WAL) flushLocked() {
 	defer l.cond.Broadcast()
@@ -139,12 +181,12 @@ func (l *WAL) flushLocked() {
 	}
 	target := l.lsn
 	if err := l.w.Flush(); err != nil {
-		l.err = err
+		l.poisonLocked(err)
 		return
 	}
 	if l.syncer != nil {
 		if err := l.syncer.Sync(); err != nil {
-			l.err = err
+			l.poisonLocked(err)
 			return
 		}
 	}
@@ -199,8 +241,8 @@ func (l *WAL) Append(rec Record) error {
 		return err
 	}
 	if _, err := l.w.Write(append(b, '\n')); err != nil {
-		l.err = err
-		return err
+		l.poisonLocked(err)
+		return l.err
 	}
 	l.n++
 	l.lsn++
@@ -214,6 +256,13 @@ func (l *WAL) Append(rec Record) error {
 // before the call is flushed and synced (or with the sticky error). This
 // is what "acknowledging an epoch" means — callers must not report an
 // epoch as committed until Commit returns.
+//
+// Under a storage fault the barrier is exact: every Commit whose records
+// were lost in the failed flush window returns the *WALPoisonedError (the
+// epoch was never acknowledged, so recovery correctly omits it), while a
+// Commit whose records were already durable before the fault returns nil
+// — those epochs were acknowledged by an earlier successful sync and
+// survive recovery.
 func (l *WAL) Commit() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -228,6 +277,9 @@ func (l *WAL) Commit() error {
 		default:
 		}
 		l.cond.Wait()
+	}
+	if l.durable >= target {
+		return nil
 	}
 	return l.err
 }
@@ -300,6 +352,49 @@ func AttachWAL(g *graph.Graph, wal *WAL) (detach func()) {
 			}
 		}
 	})
+}
+
+// BootstrapRecords renders the graph's entire current state as one
+// marker-closed epoch: every node then every edge in ascending ID order,
+// closed by a commit marker at the graph's current epoch. Replaying just
+// these records reproduces the graph — they are the opening epoch of a
+// fresh WAL for a graph that already has history.
+func BootstrapRecords(g *graph.Graph) []Record {
+	var recs []Record
+	g.ForEachNode(func(n *graph.Node) {
+		recs = append(recs, Record{
+			Op: OpAddNode, ID: int64(n.ID),
+			Labels: n.Labels, Props: walProps(n.Props),
+		})
+	})
+	g.ForEachEdge(func(e *graph.Edge) {
+		recs = append(recs, Record{
+			Op: OpAddEdge, ID: int64(e.ID),
+			From: int64(e.From), To: int64(e.To),
+			Labels: e.Labels, Props: walProps(e.Props),
+		})
+	})
+	return append(recs, Record{Op: OpCommit, Epoch: g.Epoch()})
+}
+
+// ReattachWAL resumes durable logging on a fresh WAL after the previous
+// one was poisoned by a storage fault: it writes the graph's full current
+// state as a bootstrap epoch (BootstrapRecords), waits for it to be
+// durable, then attaches the commit subscription — so recovering the new
+// log alone restores everything, including the epochs the poisoned log
+// lost. The caller must quiesce writers between detaching the old WAL and
+// ReattachWAL returning, or concurrently committed epochs may predate the
+// subscription and go unlogged.
+func ReattachWAL(g *graph.Graph, wal *WAL) (detach func(), err error) {
+	for _, rec := range BootstrapRecords(g) {
+		if err := wal.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := wal.Commit(); err != nil {
+		return nil, err
+	}
+	return AttachWAL(g, wal), nil
 }
 
 // LoggedGraph wraps a Graph so that every mutation is appended to a WAL as
