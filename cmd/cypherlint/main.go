@@ -11,10 +11,17 @@
 //	cypherlint -dataset Twitter queries.cypher
 //	rulemine -dataset WWC2019 ... | cypherlint -dataset WWC2019 -
 //	cypherlint -snapshot graph.snap -disable unusedvar,indexseek corpus.cypher
+//	cypherlint -dataset Twitter -format json corpus.cypher   # CI annotation
+//
+// -format json emits one array of
+// {file, line, span, severity, analyzer, message, suggested_fix}
+// records (the suggested fix carries both raw edits and the corrected
+// query), mirroring graphrulesvet's machine-readable mode.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,8 +58,12 @@ func run(args []string, stdin io.Reader, out io.Writer) (int, error) {
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	showFix := fs.Bool("fix", false, "print the corrected query under findings that carry a suggested fix")
+	format := fs.String("format", "text", "output format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
+	}
+	if *format != "text" && *format != "json" {
+		return 2, fmt.Errorf("unknown -format %q (want text or json)", *format)
 	}
 
 	if *list {
@@ -88,6 +99,7 @@ func run(args []string, stdin io.Reader, out io.Writer) (int, error) {
 		files = []string{"-"}
 	}
 	failed := false
+	var findings []finding // collected only in JSON mode
 	for _, name := range files {
 		var r io.Reader
 		if name == "-" {
@@ -101,11 +113,26 @@ func run(args []string, stdin io.Reader, out io.Writer) (int, error) {
 			defer f.Close()
 			r = f
 		}
-		bad, err := lintFile(name, r, schema, opts, *showFix, out)
+		lf := &lintRun{name: name, schema: schema, opts: opts, showFix: *showFix}
+		if *format == "text" {
+			lf.out = out
+		}
+		bad, err := lf.lint(r)
 		if err != nil {
 			return 2, fmt.Errorf("%s: %w", name, err)
 		}
+		findings = append(findings, lf.findings...)
 		failed = failed || bad
+	}
+	if *format == "json" {
+		if findings == nil {
+			findings = []finding{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return 2, err
+		}
 	}
 	if failed {
 		return 1, nil
@@ -113,7 +140,45 @@ func run(args []string, stdin io.Reader, out io.Writer) (int, error) {
 	return 0, nil
 }
 
-func lintFile(name string, r io.Reader, schema *graph.Schema, opts lint.Options, showFix bool, out io.Writer) (failed bool, err error) {
+// finding is one diagnostic in the machine-readable -format json output:
+// file/line locate the query, span is the byte range within it, and the
+// suggested fix (when the analyzer carries one) comes with both the raw
+// edits and the fully corrected query.
+type finding struct {
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Span     [2]int      `json:"span"`
+	Severity string      `json:"severity"`
+	Analyzer string      `json:"analyzer"`
+	Message  string      `json:"message"`
+	Fix      *findingFix `json:"suggested_fix,omitempty"`
+}
+
+type findingFix struct {
+	Message string        `json:"message"`
+	Edits   []findingEdit `json:"edits,omitempty"`
+	Fixed   string        `json:"fixed,omitempty"`
+}
+
+// findingEdit replaces bytes [Start, End) of the query with New.
+type findingEdit struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// lintRun lints one input stream, writing text findings to out (when
+// non-nil) and collecting structured findings for JSON output.
+type lintRun struct {
+	name     string
+	schema   *graph.Schema
+	opts     lint.Options
+	showFix  bool
+	out      io.Writer // nil in JSON mode
+	findings []finding
+}
+
+func (l *lintRun) lint(r io.Reader) (failed bool, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
@@ -137,13 +202,17 @@ func lintFile(name string, r io.Reader, schema *graph.Schema, opts lint.Options,
 		if src == "" || strings.HasPrefix(src, "#") {
 			continue
 		}
-		diags := lint.Source(src, schema, opts)
+		diags := lint.Source(src, l.schema, l.opts)
 		for _, d := range diags {
-			fmt.Fprintf(out, "%s:%d:%d: %s: %s (%s)\n", name, lineNo, d.Span.Start, d.Severity, d.Message, d.Analyzer)
-			if showFix && d.Fix != nil {
-				if fixed, ferr := lint.ApplyFix(src, d.Fix); ferr == nil {
-					fmt.Fprintf(out, "%s:%d: fix (%s): %s\n", name, lineNo, d.Fix.Message, fixed)
+			if l.out != nil {
+				fmt.Fprintf(l.out, "%s:%d:%d: %s: %s (%s)\n", l.name, lineNo, d.Span.Start, d.Severity, d.Message, d.Analyzer)
+				if l.showFix && d.Fix != nil {
+					if fixed, ferr := lint.ApplyFix(src, d.Fix); ferr == nil {
+						fmt.Fprintf(l.out, "%s:%d: fix (%s): %s\n", l.name, lineNo, d.Fix.Message, fixed)
+					}
 				}
+			} else {
+				l.findings = append(l.findings, toFinding(l.name, lineNo, src, d))
 			}
 		}
 		if lint.HasError(diags) {
@@ -151,6 +220,30 @@ func lintFile(name string, r io.Reader, schema *graph.Schema, opts lint.Options,
 		}
 	}
 	return failed, sc.Err()
+}
+
+// toFinding converts a lint diagnostic on one query line to the JSON
+// output record, resolving the suggested fix to a corrected query.
+func toFinding(name string, lineNo int, src string, d lint.Diagnostic) finding {
+	f := finding{
+		File:     name,
+		Line:     lineNo,
+		Span:     [2]int{d.Span.Start, d.Span.End},
+		Severity: d.Severity.String(),
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+	if d.Fix != nil {
+		ff := &findingFix{Message: d.Fix.Message}
+		for _, e := range d.Fix.Edits {
+			ff.Edits = append(ff.Edits, findingEdit{Start: e.Span.Start, End: e.Span.End, New: e.NewText})
+		}
+		if fixed, err := lint.ApplyFix(src, d.Fix); err == nil {
+			ff.Fixed = fixed
+		}
+		f.Fix = ff
+	}
+	return f
 }
 
 // unquoteFuzzLine extracts the query from a go-fuzz corpus line of the form

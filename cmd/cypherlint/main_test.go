@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,75 @@ func TestNoSchemaSkipsSchemaAnalyzers(t *testing.T) {
 	}
 	if code != 0 {
 		t.Fatalf("schema-free run should pass, got exit %d:\n%s", code, out.String())
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-dataset", "Twitter", "-format", "json", "testdata/twitter_hallucinated.cypher"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("hallucinated corpus exits %d, want 1:\n%s", code, out.String())
+	}
+	var findings []finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings in JSON output")
+	}
+	analyzers := map[string]bool{}
+	sawFix := false
+	for _, f := range findings {
+		if f.File != "testdata/twitter_hallucinated.cypher" {
+			t.Errorf("finding file = %q", f.File)
+		}
+		if f.Line <= 0 || f.Severity == "" || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if f.Span[1] < f.Span[0] {
+			t.Errorf("inverted span: %+v", f)
+		}
+		analyzers[f.Analyzer] = true
+		if f.Fix != nil {
+			sawFix = true
+			if f.Fix.Fixed == "" || len(f.Fix.Edits) == 0 {
+				t.Errorf("fix without edits or corrected query: %+v", f.Fix)
+			}
+		}
+	}
+	for _, want := range []string{"unknownprop", "reldirection", "syntax"} {
+		if !analyzers[want] {
+			t.Errorf("JSON output missing a %s finding; saw %v", want, analyzers)
+		}
+	}
+	if !sawFix {
+		t.Error("expected at least one finding with a suggested fix")
+	}
+}
+
+func TestJSONFormatCleanIsEmptyArray(t *testing.T) {
+	in := strings.NewReader("MATCH (u:User) RETURN u.name\n")
+	var out strings.Builder
+	code, err := run([]string{"-dataset", "Twitter", "-format", "json", "-"}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean query exits %d:\n%s", code, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean JSON output = %q, want []", out.String())
+	}
+}
+
+func TestBadFormatIsUsageError(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-format", "xml", "-"}, strings.NewReader(""), &out)
+	if err == nil || code != 2 {
+		t.Fatalf("bad -format: code %d err %v, want 2 and an error", code, err)
 	}
 }
 

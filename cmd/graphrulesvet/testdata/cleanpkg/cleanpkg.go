@@ -1,0 +1,21 @@
+// Package cleanpkg is a violation-free fixture for graphrulesvet's CLI
+// tests: every analyzer stays silent here, so the checker must exit 0.
+package cleanpkg
+
+import (
+	"context"
+	"errors"
+)
+
+var ErrStop = errors.New("stop")
+
+func Pump(ctx context.Context, fn func(context.Context) error) error {
+	for {
+		if err := fn(ctx); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}

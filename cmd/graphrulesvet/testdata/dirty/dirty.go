@@ -1,0 +1,24 @@
+// Package dirty is a deliberately violating fixture for graphrulesvet's
+// CLI tests. It lives under testdata so wildcard patterns, the build and
+// the repo-wide vet gate never see it; the tests load it by explicit
+// path.
+package dirty
+
+import (
+	"context"
+	"errors"
+)
+
+var ErrStop = errors.New("stop")
+
+func Pump(fn func(context.Context) error) error {
+	ctx := context.Background() // ctxflow: severs cancellation
+	for {
+		if err := fn(ctx); err != nil {
+			if err == ErrStop { // typederr: identity comparison
+				return nil
+			}
+			return err
+		}
+	}
+}

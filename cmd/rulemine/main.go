@@ -226,8 +226,9 @@ func runDeltaMetrics(out io.Writer, g *graph.Graph, res *mining.Result, epochs i
 		fmt.Fprintln(out, "\nDelta metrics: no successfully scored rules to maintain")
 		return nil
 	}
-	m := res.Maintainer(g)
-	detach := m.Attach()
+	ctx := context.Background()
+	m := res.MaintainerCtx(ctx, g)
+	detach := m.AttachCtx(ctx)
 	defer detach()
 
 	rng := rand.New(rand.NewSource(seed))
@@ -249,7 +250,7 @@ func runDeltaMetrics(out io.Writer, g *graph.Graph, res *mining.Result, epochs i
 	st := m.Stats()
 	fmt.Fprintf(out, "\nDelta metrics: %d epochs | %d rule re-scores | %d provably unaffected (skipped)\n",
 		st.Epochs, st.Rescored, st.Skipped)
-	diffs, err := m.Diff(context.Background())
+	diffs, err := m.Diff(ctx)
 	if err != nil {
 		return err
 	}

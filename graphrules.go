@@ -315,6 +315,13 @@ func NewMaintainer(g *Graph, rs []Rule, opts ...ExecutorOption) *Maintainer {
 	return metrics.NewMaintainer(g, rs, opts...)
 }
 
+// NewMaintainerCtx is NewMaintainer with the initial full scoring bound
+// to ctx; pair it with Maintainer.AttachCtx to bound commit-path
+// re-scoring too.
+func NewMaintainerCtx(ctx context.Context, g *Graph, rs []Rule, opts ...ExecutorOption) *Maintainer {
+	return metrics.NewMaintainerCtx(ctx, g, rs, opts...)
+}
+
 // ParseRuleNL parses a natural-language rule statement.
 func ParseRuleNL(line string) (Rule, bool) { return rules.ParseNL(line) }
 

@@ -1,0 +1,122 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis driver surface, built so the engine
+// can ship custom vet-style analyzers (cmd/graphrulesvet) without a
+// network dependency on x/tools. It mirrors the shape of the upstream
+// API — Analyzer, Pass, Diagnostic, SuggestedFix — closely enough that
+// analyzers written against it port to the real framework mechanically,
+// but loads packages itself via `go list -export` (load.go) and speaks
+// the `go vet -vettool` unit-checker protocol natively (unitchecker.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// its Pass and reports findings with Pass.Report; analyzers must be
+// stateless across packages (Run may be called once per package, in any
+// order).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -enable/-disable
+	// filters and suppression markers. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description; the first line is the summary
+	// shown by -list.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Summary returns the first line of the analyzer's doc string.
+func (a *Analyzer) Summary() string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// markers holds the parsed //graphrules: suppression/sanction
+	// markers of the package, keyed by file line (markers.go).
+	markers markerIndex
+
+	report func(Diagnostic)
+}
+
+// Report records a finding. Diagnostics suppressed by a
+// //graphrules:vetignore marker on the same or preceding line are
+// dropped here, so analyzers need no suppression logic of their own.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	if p.suppressed(d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a finding spanning an AST node.
+func (p *Pass) ReportRangef(n ast.Node, format string, args ...any) {
+	p.Report(Diagnostic{Pos: n.Pos(), End: n.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Diagnostic is one finding: a source position plus a message, and
+// optionally a machine-applicable fix.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // or NoPos
+	Analyzer string    // stamped by Pass.Report
+	Message  string
+
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a named set of textual edits resolving a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// sortDiagnostics orders findings by file name, offset, then analyzer
+// name, giving the checker deterministic output.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// chargeMethods are the budget accounting entry points established by
+// the query-governor work: every accumulation site must reach one.
+var chargeMethods = map[string]bool{"chargeRow": true, "chargeRows": true, "chargeMem": true}
+
+// BudgetCharge enforces the row-budget discipline of the cypher
+// executor: code that materializes new Rows must charge the governor.
+var BudgetCharge = &analysis.Analyzer{
+	Name: "budgetcharge",
+	Doc: `flag Row accumulation sites with no reachable budget charge (chargeRow/chargeRows/chargeMem)
+
+The executor's resource governor only works if every site that retains
+freshly materialized rows charges the per-query budget; a new
+accumulation path that skips the charge silently bypasses WithMaxRows /
+WithMemoryBudget. This analyzer runs on the query-engine package (any
+package declaring the Row type alongside the charge methods) and flags
+append calls that grow a []Row with newly built rows from a function
+with no budget charge reachable through the package-local call graph.
+Pass-through appends (re-appending the untouched range variable of an
+already-charged []Row, or splicing a []Row with append(dst, src...)) are
+exempt, as are sites marked //graphrules:nocharge <reason>.`,
+	Run: runBudgetCharge,
+}
+
+func runBudgetCharge(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	rowType := rowTypeOf(pass.Pkg)
+	if rowType == nil || !packageCharges(pass) {
+		return nil // not the query-engine package
+	}
+
+	// The package-local static call graph, and the set of functions
+	// containing a direct charge call.
+	calls := map[types.Object][]types.Object{}
+	charges := map[types.Object]bool{}
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		obj := pass.TypesInfo.Defs[fd.Name]
+		if obj == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if chargeMethods[methodName(call)] {
+				charges[obj] = true
+			}
+			if callee := calleeOf(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+				calls[obj] = append(calls[obj], callee)
+			}
+			return true
+		})
+	})
+
+	// reaches: can fn arrive at a charge call (transitively)?
+	memo := map[types.Object]bool{}
+	var reaches func(o types.Object, seen map[types.Object]bool) bool
+	reaches = func(o types.Object, seen map[types.Object]bool) bool {
+		if v, ok := memo[o]; ok {
+			return v
+		}
+		if charges[o] || chargeMethods[o.Name()] {
+			memo[o] = true
+			return true
+		}
+		if seen[o] {
+			return false
+		}
+		seen[o] = true
+		for _, callee := range calls[o] {
+			if reaches(callee, seen) {
+				memo[o] = true
+				return true
+			}
+		}
+		return false
+	}
+
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		obj := pass.TypesInfo.Defs[fd.Name]
+		if obj == nil || reaches(obj, map[types.Object]bool{}) {
+			return
+		}
+		if pass.FuncMarked(fd, "nocharge") {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRowAppend(pass, call, rowType) || passThroughAppend(pass, fd, call, rowType) {
+				return true
+			}
+			if pass.LineMarked(call.Pos(), "nocharge") {
+				return true
+			}
+			pass.ReportRangef(call,
+				"append materializes Row rows in %s with no reachable budget charge; call bud.chargeRow/chargeRows/chargeMem (or mark %snocharge with a reason)",
+				fd.Name.Name, analysis.MarkerPrefix)
+			return true
+		})
+	})
+	return nil
+}
+
+// rowTypeOf finds the package's named Row type.
+func rowTypeOf(pkg *types.Package) types.Type {
+	if o := pkg.Scope().Lookup("Row"); o != nil {
+		if tn, ok := o.(*types.TypeName); ok {
+			return tn.Type()
+		}
+	}
+	return nil
+}
+
+// packageCharges reports whether the package declares any of the charge
+// methods — the signal that the budget discipline applies here at all.
+func packageCharges(pass *analysis.Pass) bool {
+	found := false
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if chargeMethods[fd.Name.Name] {
+			found = true
+		}
+	})
+	return found
+}
+
+// isRowAppend reports whether call is append(s, ...) growing a []Row.
+func isRowAppend(pass *analysis.Pass, call *ast.CallExpr, rowType types.Type) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	sl, ok := pass.TypeOf(call.Args[0]).Underlying().(*types.Slice)
+	return ok && types.Identical(sl.Elem(), rowType)
+}
+
+// passThroughAppend recognizes appends that retain no NEW rows: a spread
+// append of an existing []Row, or appending the untouched value variable
+// of a range over a []Row (the rows were charged when first built).
+func passThroughAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, rowType types.Type) bool {
+	if call.Ellipsis.IsValid() {
+		return true // append(dst, src...) splices already-charged rows
+	}
+	// Every appended element must be a bare range-value identifier.
+	rangeVals := rangeValueObjs(pass, fd, rowType)
+	for _, arg := range call.Args[1:] {
+		obj := objectOf(pass.TypesInfo, arg)
+		if obj == nil || !rangeVals[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeValueObjs collects the value variables of range statements over
+// []Row within the function.
+func rangeValueObjs(pass *analysis.Pass, fd *ast.FuncDecl, rowType types.Type) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.Value == nil {
+			return true
+		}
+		sl, ok := pass.TypeOf(rs.X).Underlying().(*types.Slice)
+		if !ok || !types.Identical(sl.Elem(), rowType) {
+			return true
+		}
+		if obj := objectOf(pass.TypesInfo, rs.Value); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// CtxFlow enforces the engine's ctx-first API discipline: library code
+// must thread the caller's context.Context, never mint its own root.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `forbid context.Background()/TODO() in library packages outside sanctioned shims
+
+The engine's APIs are ctx-first: every blocking or cancellable path takes
+a context.Context and the non-Ctx entry points are one-line wrapper shims.
+Minting context.Background() anywhere else silently severs cancellation
+(a query kill or mining abort no longer reaches the work). Permitted
+shapes: a one-statement wrapper function (the classic FooCtx shim), a
+function carrying a //graphrules:ctxshim marker, the nil-default guard
+"if ctx == nil { ctx = context.Background() }", and comparisons against
+context.Background(). Package main and _test.go files are exempt.`,
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		if pass.FuncMarked(fd, "ctxshim") || isOneLineShim(fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := backgroundCallName(pass, call)
+			if name == "" {
+				return true
+			}
+			if sanctionedUse(pass, fd.Body, call) {
+				return true
+			}
+			pass.ReportRangef(call,
+				"context.%s() in library code severs cancellation; thread the caller's ctx (or mark a sanctioned shim with %sctxshim)",
+				name, analysis.MarkerPrefix)
+			return true
+		})
+	})
+	return nil
+}
+
+// backgroundCallName returns "Background" or "TODO" when the call mints
+// a root context, "" otherwise.
+func backgroundCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	for _, name := range []string{"Background", "TODO"} {
+		if isPkgFunc(pass.TypesInfo, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// isOneLineShim recognizes the sanctioned wrapper shape: a function
+// whose body is exactly one statement (return or expression) delegating
+// to the Ctx-variant. Its context.Background() is the shim's whole
+// point.
+func isOneLineShim(fd *ast.FuncDecl) bool {
+	return fd.Body != nil && len(fd.Body.List) == 1
+}
+
+// sanctionedUse permits two shapes in arbitrary code: the nil-default
+// guard (assignment to a variable the enclosing if-statement checked
+// against nil) and comparison operands (detecting the default context,
+// not using it).
+func sanctionedUse(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	sanctioned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sanctioned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// cctx != context.Background() — a comparison, not a use.
+			if ast.Unparen(n.X) == call || ast.Unparen(n.Y) == call {
+				sanctioned = true
+				return false
+			}
+		case *ast.IfStmt:
+			// if ctx == nil { ctx = context.Background() }
+			cond, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			checked := nilCheckedObj(pass, cond)
+			if checked == nil {
+				return true
+			}
+			for _, st := range n.Body.List {
+				as, ok := st.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					continue
+				}
+				if ast.Unparen(as.Rhs[0]) == call && objectOf(pass.TypesInfo, as.Lhs[0]) == checked {
+					sanctioned = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sanctioned
+}
+
+// nilCheckedObj returns the object compared against nil in cond, if any.
+func nilCheckedObj(pass *analysis.Pass, cond *ast.BinaryExpr) types.Object {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(cond.Y) {
+		if o := objectOf(pass.TypesInfo, cond.X); o != nil {
+			return o
+		}
+	}
+	if isNil(cond.X) {
+		if o := objectOf(pass.TypesInfo, cond.Y); o != nil {
+			return o
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// graphMutators are the methods that commit a write epoch; calling any
+// of them on a frozen snapshot view panics at runtime (mvcc.go
+// beginWrite). The set mirrors internal/graph's exported mutator API.
+var graphMutators = map[string]bool{
+	"AddNode": true, "AddEdge": true, "MustAddEdge": true,
+	"SetNodeProp": true, "SetEdgeProp": true, "AddNodeLabels": true,
+	"RemoveNode": true, "RemoveEdge": true, "NewBatch": true,
+}
+
+// FrozenWrite statically flags mutator calls on values derived from
+// graph.Snapshot(), which are runtime panics today.
+var FrozenWrite = &analysis.Analyzer{
+	Name: "frozenwrite",
+	Doc: `flag mutator calls on frozen snapshot views (a guaranteed runtime panic)
+
+graph.Snapshot() returns a frozen epoch view; every mutator (AddNode,
+AddEdge, SetNodeProp, RemoveNode, NewBatch, ...) on it panics with
+"mutation of a frozen snapshot view". This analyzer tracks local
+variables assigned (only) from a Snapshot()/SnapshotOf call and reports
+mutator calls on them, plus direct chains like g.Snapshot().AddNode(...).
+A variable that is also assigned from a non-snapshot source is left
+alone (the analysis is flow-insensitive and stays conservative).`,
+	Run: runFrozenWrite,
+}
+
+func runFrozenWrite(pass *analysis.Pass) error {
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		snap, tainted := map[types.Object]bool{}, map[types.Object]bool{}
+
+		// Pass 1: classify every assignment to a local: from Snapshot()
+		// or from anything else.
+		classify := func(lhs, rhs ast.Expr) {
+			obj := objectOf(pass.TypesInfo, lhs)
+			if obj == nil {
+				return
+			}
+			if isSnapshotCall(pass, rhs) {
+				snap[obj] = true
+			} else {
+				tainted[obj] = true
+			}
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						classify(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						classify(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+
+		// Pass 2: report mutator calls whose receiver is a pure
+		// snapshot-derived variable or a direct Snapshot() chain.
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !graphMutators[sel.Sel.Name] {
+				return true
+			}
+			// Only methods (not package-qualified functions).
+			if _, isMethod := pass.TypesInfo.Selections[sel]; !isMethod {
+				return true
+			}
+			recv := ast.Unparen(sel.X)
+			if isSnapshotCall(pass, recv) {
+				pass.ReportRangef(call, "%s on a frozen snapshot view panics at runtime; mutate the live graph instead", sel.Sel.Name)
+				return true
+			}
+			if obj := objectOf(pass.TypesInfo, recv); obj != nil && snap[obj] && !tainted[obj] {
+				pass.ReportRangef(call, "%s on %s, which holds a frozen snapshot view; mutating it panics at runtime", sel.Sel.Name, obj.Name())
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// isSnapshotCall reports whether e is a call of a method named Snapshot
+// (or the facade's SnapshotOf helper) returning a same-typed view.
+func isSnapshotCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeOf(pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	return f.Name() == "Snapshot" || f.Name() == "SnapshotOf"
+}

@@ -1,0 +1,462 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// LockOrder encodes the MVCC two-lock discipline of internal/graph:
+// write epochs take commitMu (writer serialization) strictly BEFORE mu
+// (structure lock), and every acquired lock is released on every return
+// path. It applies to mutex fields of structs that declare a commitMu
+// field — the signature of the MVCC discipline — so unrelated packages
+// with their own small mutexes are not second-guessed.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `prove the MVCC commitMu→mu acquisition order and Lock/Unlock pairing across early returns
+
+Acquiring commitMu while holding mu deadlocks against the write path
+(beginWrite takes commitMu then mu); the analyzer flags direct
+commitMu.Lock() calls and calls into functions that transitively acquire
+commitMu while mu is held. It also walks every branch of each function
+body and reports locks still held at a return with no deferred unlock.
+Functions that intentionally transfer lock ownership to their caller
+(beginWrite) carry //graphrules:locktransfer. Functions using goto are
+skipped by the pairing check.`,
+	Run: runLockOrder,
+}
+
+// lockKey identifies one mutex within a function: rendered receiver
+// expression + field name + read/write mode, e.g. "g.mu/W".
+type lockKey string
+
+// lockEvent is one Lock/Unlock-family call on a tracked mutex.
+type lockEvent struct {
+	key     lockKey
+	field   string // mutex field name: commitMu, mu, subMu, ...
+	acquire bool
+	pos     token.Pos
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	// Transitive "acquires commitMu" summaries over the package-local
+	// call graph, for the order check.
+	locksCommit := commitLockers(pass)
+
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		w := &lockWalker{
+			pass:        pass,
+			locksCommit: locksCommit,
+			transfer:    pass.FuncMarked(fd, "locktransfer"),
+			hasGoto:     containsGoto(fd.Body),
+			deferred:    map[lockKey]bool{},
+			name:        fd.Name.Name,
+		}
+		w.walkFunc(fd.Body)
+	})
+	return nil
+}
+
+// commitLockers computes the set of package functions that directly or
+// transitively acquire a tracked commitMu.
+func commitLockers(pass *analysis.Pass) map[types.Object]bool {
+	direct := map[types.Object]bool{}
+	calls := map[types.Object][]types.Object{}
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		obj := pass.TypesInfo.Defs[fd.Name]
+		if obj == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ev, ok := lockEventOf(pass, call); ok && ev.acquire && ev.field == "commitMu" {
+				direct[obj] = true
+			}
+			if callee := calleeOf(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+				calls[obj] = append(calls[obj], callee)
+			}
+			return true
+		})
+	})
+	// Reverse-propagate to callers (fixpoint).
+	out := map[types.Object]bool{}
+	for o := range direct {
+		out[o] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if out[caller] {
+				continue
+			}
+			for _, c := range callees {
+				if out[c] {
+					out[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockEventOf decodes a call as a Lock/Unlock-family call on a mutex
+// field of an MVCC-disciplined struct (one declaring commitMu).
+func lockEventOf(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	var mode string
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, mode = true, "W"
+	case "Unlock":
+		acquire, mode = false, "W"
+	case "RLock":
+		acquire, mode = true, "R"
+	case "RUnlock":
+		acquire, mode = false, "R"
+	default:
+		return lockEvent{}, false
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !isSyncMutex(pass.TypeOf(field)) {
+		return lockEvent{}, false
+	}
+	owner := namedOf(pass.TypeOf(field.X))
+	if owner == nil || !structHasField(owner, "commitMu") {
+		return lockEvent{}, false
+	}
+	key := lockKey(renderExpr(field) + "/" + mode)
+	return lockEvent{key: key, field: field.Sel.Name, acquire: acquire, pos: call.Pos()}, true
+}
+
+func structHasField(n *types.Named, name string) bool {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name && isSyncMutex(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// renderExpr renders a selector chain of identifiers ("b.g.commitMu");
+// non-chain receivers render positionally and simply never match.
+func renderExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}
+
+func containsGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// lockWalker abstractly interprets one function body, tracking the set
+// of definitely-held tracked locks.
+type lockWalker struct {
+	pass        *analysis.Pass
+	locksCommit map[types.Object]bool
+	transfer    bool
+	hasGoto     bool
+	deferred    map[lockKey]bool // keys with a deferred unlock seen
+	name        string
+}
+
+type heldSet map[lockKey]lockEvent
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// holdsMu reports whether any structure lock (field exactly "mu") is
+// held, in either mode.
+func (h heldSet) holdsMu() (lockEvent, bool) {
+	for _, ev := range h {
+		if ev.field == "mu" {
+			return ev, true
+		}
+	}
+	return lockEvent{}, false
+}
+
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	held, terminated := w.walkStmts(body.List, heldSet{})
+	if !terminated {
+		w.checkLeaks(held, body.End())
+	}
+}
+
+// walkStmts interprets a statement list, returning the held set at
+// fallthrough and whether every path terminated (return/panic/branch).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, st := range stmts {
+		var terminated bool
+		held, terminated = w.walkStmt(st, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held heldSet) (heldSet, bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(st.X, held)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return held, true
+			}
+		}
+		return held, false
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.scanNode(st, held)
+		return held, false
+	case *ast.DeferStmt:
+		if ev, ok := lockEventOf(w.pass, st.Call); ok && !ev.acquire {
+			w.deferred[acquireKeyFor(ev)] = true
+		} else {
+			w.scanFuncLits(st.Call)
+		}
+		return held, false
+	case *ast.GoStmt:
+		w.scanFuncLits(st.Call)
+		return held, false
+	case *ast.ReturnStmt:
+		w.scanNode(st, held)
+		w.checkLeaks(held, st.Pos())
+		return held, true
+	case *ast.BranchStmt:
+		return held, true // break/continue/goto: conservative cut
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		w.scanExpr(st.Cond, held)
+		thenHeld, thenTerm := w.walkStmts(st.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if st.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(st.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersect(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond, held)
+		}
+		w.walkStmts(st.Body.List, held.clone()) // body checked; sequel assumes 0 iterations
+		return held, false
+	case *ast.RangeStmt:
+		w.scanExpr(st.X, held)
+		w.walkStmts(st.Body.List, held.clone())
+		return held, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(st, held)
+	default:
+		w.scanNode(st, held)
+		return held, false
+	}
+}
+
+// walkClauses handles switch/type-switch/select: each clause runs with a
+// copy of the entry state; the sequel sees the intersection of the
+// fall-through outcomes (plus the entry state when no default exists).
+func (w *lockWalker) walkClauses(st ast.Stmt, held heldSet) (heldSet, bool) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag, held)
+		}
+		clauses = st.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = st.Body.List
+	case *ast.SelectStmt:
+		clauses = st.Body.List
+	}
+	var outs []heldSet
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			hasDefault = hasDefault || cl.List == nil
+			body = cl.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || cl.Comm == nil
+			body = cl.Body
+		}
+		if out, term := w.walkStmts(body, held.clone()); !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held)
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	return merged, false
+}
+
+func intersect(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// scanNode processes lock events and order violations in every
+// expression of a statement, without descending into function literals
+// (their bodies are independent; see scanFuncLits).
+func (w *lockWalker) scanNode(n ast.Node, held heldSet) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkLit(fl)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ev, ok := lockEventOf(w.pass, call); ok {
+			w.apply(ev, held)
+			return true
+		}
+		// Order check through calls: invoking a commitMu-acquiring
+		// function while holding mu.
+		if callee := calleeOf(w.pass.TypesInfo, call); callee != nil && w.locksCommit[callee] {
+			if muEv, holds := held.holdsMu(); holds {
+				w.pass.Reportf(call.Pos(),
+					"call to %s acquires commitMu while %s is held (locked at %s); the MVCC order is commitMu before mu",
+					callee.Name(), muEv.key, w.pass.Fset.Position(muEv.pos))
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) scanExpr(e ast.Expr, held heldSet) { w.scanNode(e, held) }
+
+// scanFuncLits analyzes closures reachable from an expression as
+// independent functions (goroutines and deferred closures do not
+// inherit the spawner's lock state usefully).
+func (w *lockWalker) scanFuncLits(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkLit(fl)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) walkLit(fl *ast.FuncLit) {
+	inner := &lockWalker{
+		pass:        w.pass,
+		locksCommit: w.locksCommit,
+		transfer:    w.transfer, // a closure in a locktransfer func shares the sanction
+		hasGoto:     containsGoto(fl.Body),
+		deferred:    map[lockKey]bool{},
+		name:        w.name + ".func",
+	}
+	inner.walkFunc(fl.Body)
+}
+
+// apply mutates held for one lock event, reporting order violations on
+// acquisition.
+func (w *lockWalker) apply(ev lockEvent, held heldSet) {
+	if ev.acquire {
+		if ev.field == "commitMu" {
+			if muEv, holds := held.holdsMu(); holds {
+				w.pass.Reportf(ev.pos,
+					"%s acquired while %s is held (locked at %s); the MVCC order is commitMu before mu",
+					ev.key, muEv.key, w.pass.Fset.Position(muEv.pos))
+			}
+		}
+		held[ev.key] = ev
+		return
+	}
+	delete(held, acquireKeyFor(ev))
+}
+
+// acquireKeyFor maps an unlock event to the key its acquisition used
+// (Unlock releases Lock's key, RUnlock releases RLock's).
+func acquireKeyFor(ev lockEvent) lockKey { return ev.key }
+
+// checkLeaks reports locks held at a return with no deferred unlock.
+func (w *lockWalker) checkLeaks(held heldSet, pos token.Pos) {
+	if w.transfer || w.hasGoto {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		if !w.deferred[k] {
+			keys = append(keys, string(k))
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ev := held[lockKey(k)]
+		w.pass.Reportf(pos,
+			"%s (locked at %s) is not released on this return path; unlock before returning or defer the unlock",
+			k, w.pass.Fset.Position(ev.pos))
+	}
+}

@@ -1,0 +1,24 @@
+package analyzers
+
+import "github.com/graphrules/graphrules/internal/analysis"
+
+// All returns the full graphrulesvet suite: the five engine-invariant
+// analyzers plus the curated stock-lite passes, in stable name order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		BudgetCharge,
+		CopyLocks,
+		CtxFlow,
+		FrozenWrite,
+		LockOrder,
+		LoopClosure,
+		Nilness,
+		TypedErr,
+		UnusedWrite,
+	}
+}
+
+// Custom returns only the five engine-invariant analyzers.
+func Custom() []*analysis.Analyzer {
+	return []*analysis.Analyzer{BudgetCharge, CtxFlow, FrozenWrite, LockOrder, TypedErr}
+}

@@ -1,0 +1,105 @@
+// Corpus for the budgetcharge analyzer: the executor's row-budget
+// discipline. The package declares a named Row type plus the charge
+// methods, which is the signal that the discipline applies here.
+package budgetcharge
+
+import "errors"
+
+type Row map[string]int
+
+type budget struct{ rows, max int }
+
+var errBudget = errors.New("row budget exceeded")
+
+func (b *budget) chargeRow(r Row) error {
+	b.rows++
+	if b.rows > b.max {
+		return errBudget
+	}
+	return nil
+}
+
+func (b *budget) chargeRows(n int) error {
+	b.rows += n
+	if b.rows > b.max {
+		return errBudget
+	}
+	return nil
+}
+
+// collectUncharged materializes fresh rows with no charge anywhere in
+// reach: the governor bypass the analyzer exists to catch.
+func collectUncharged(n int) []Row {
+	var out []Row
+	for i := 0; i < n; i++ {
+		r := Row{"i": i}
+		out = append(out, r) // want `append materializes Row rows in collectUncharged with no reachable budget charge`
+	}
+	return out
+}
+
+// collectCharged charges each row before retaining it: clean.
+func collectCharged(b *budget, n int) ([]Row, error) {
+	var out []Row
+	for i := 0; i < n; i++ {
+		r := Row{"i": i}
+		if err := b.chargeRow(r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// admit charges through a helper; callers reach the charge transitively.
+func admit(b *budget, r Row) error { return b.chargeRow(r) }
+
+// collectViaHelper charges one call away — the reachability analysis
+// must not flag it. Near-miss negative.
+func collectViaHelper(b *budget, n int) ([]Row, error) {
+	var out []Row
+	for i := 0; i < n; i++ {
+		r := Row{"i": i}
+		if err := admit(b, r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// filterRows re-appends the untouched range variable of an
+// already-charged []Row: a pass-through, exempt.
+func filterRows(in []Row) []Row {
+	var out []Row
+	for _, r := range in {
+		if len(r) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// splice re-assembles charged slices with a spread append: exempt.
+func splice(dst, src []Row) []Row {
+	return append(dst, src...)
+}
+
+// seedFixture materializes bounded test-fixture rows; the function-level
+// marker waives the charge requirement.
+//
+//graphrules:nocharge bounded fixture rows, no query budget in play
+func seedFixture() []Row {
+	var out []Row
+	for i := 0; i < 3; i++ {
+		out = append(out, Row{"i": i})
+	}
+	return out
+}
+
+// seedOne shows the statement-level marker form.
+func seedOne() []Row {
+	var out []Row
+	out = append(out, Row{"i": 0}) //graphrules:nocharge single bounded row
+	return out
+}

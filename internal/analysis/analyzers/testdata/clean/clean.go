@@ -1,0 +1,87 @@
+// Clean corpus: a compressed engine-shaped package that exercises every
+// analyzer's trigger surface — the MVCC lock pair, Row accumulation with
+// charges, ctx threading, typed-error matching, snapshot reads — done
+// right. Every analyzer in the suite must stay silent here; the package
+// is the regression pin for the disciplines the real tree follows.
+package clean
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+type Row map[string]int
+
+type budget struct{ rows, max int }
+
+var errBudget = errors.New("row budget exceeded")
+
+func (b *budget) chargeRow(r Row) error {
+	b.rows++
+	if b.rows > b.max {
+		return errBudget
+	}
+	return nil
+}
+
+type engine struct {
+	commitMu sync.Mutex
+	mu       sync.RWMutex
+	frozen   bool
+	rows     []Row
+}
+
+// Snapshot returns a frozen read view.
+func (e *engine) Snapshot() *engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return &engine{frozen: true, rows: e.rows}
+}
+
+func (e *engine) count() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.rows)
+}
+
+// commit takes the locks in the blessed order and releases both on
+// every path.
+func (e *engine) commit(ctx context.Context, b *budget, r Row) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("commit aborted: %w", err)
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	if err := b.chargeRow(r); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.rows = append(e.rows, r)
+	e.mu.Unlock()
+	return nil
+}
+
+// Commit is the classic one-line shim over the ctx variant.
+func (e *engine) Commit(b *budget, r Row) error {
+	return e.commit(context.Background(), b, r)
+}
+
+// isBudget matches the sentinel across wrapping layers.
+func isBudget(err error) bool { return errors.Is(err, errBudget) }
+
+// readAll reads a frozen snapshot without mutating it and fans results
+// out through argument-passing goroutines.
+func readAll(e *engine, out chan<- Row) {
+	snap := e.Snapshot()
+	var wg sync.WaitGroup
+	for _, r := range snap.rows {
+		wg.Add(1)
+		go func(row Row) {
+			defer wg.Done()
+			out <- row
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+// Corpus for the copylocks stock-lite pass.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `by-value parameter copies a lock`
+	return g.n
+}
+
+func (g guarded) get() int { // want `by-value parameter copies a lock`
+	return g.n
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies a lock`
+		total += g.n
+	}
+	return total
+}
+
+func derefCopy(p *guarded) int {
+	g := *p // want `dereference copies a lock`
+	return g.n
+}
+
+// ---- near-miss negatives ----
+
+func byPointer(g *guarded) int { return g.n }
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func rangeIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

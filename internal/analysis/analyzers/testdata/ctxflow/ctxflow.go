@@ -1,0 +1,63 @@
+// Corpus for the ctxflow analyzer: the engine's ctx-first API
+// discipline. Library code must thread the caller's context; the only
+// sanctioned mints are one-line shims, marked shims, nil-default guards
+// and comparisons.
+package ctxflow
+
+import "context"
+
+type store struct{ data map[string]string }
+
+func (s *store) GetCtx(ctx context.Context, k string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.data[k], nil
+}
+
+// Get is the classic one-statement wrapper shim: exempt by shape.
+func (s *store) Get(k string) (string, error) { return s.GetCtx(context.Background(), k) }
+
+// refresh mints a root context mid-function, severing cancellation for
+// every key lookup: the violation.
+func (s *store) refresh(keys []string) error {
+	ctx := context.Background() // want `context\.Background\(\) in library code severs cancellation`
+	for _, k := range keys {
+		if _, err := s.GetCtx(ctx, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stale does the same with context.TODO — equally severed.
+func (s *store) stale(k string) (string, error) {
+	c := context.TODO() // want `context\.TODO\(\) in library code severs cancellation`
+	return s.GetCtx(c, k)
+}
+
+// warm runs from init paths that genuinely have no caller context; the
+// marker documents and sanctions the mint.
+//
+//graphrules:ctxshim
+func (s *store) warm(keys []string) {
+	ctx := context.Background()
+	for _, k := range keys {
+		_, _ = s.GetCtx(ctx, k)
+	}
+}
+
+// GetDefault defaults a nil ctx: the sanctioned nil-guard shape.
+func (s *store) GetDefault(ctx context.Context, k string) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.GetCtx(ctx, k)
+}
+
+// isRoot compares against the default context without using it: the
+// sanctioned comparison shape.
+func isRoot(ctx context.Context) bool {
+	root := ctx == context.Background()
+	return root
+}

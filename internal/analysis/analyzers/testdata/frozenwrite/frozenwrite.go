@@ -1,0 +1,63 @@
+// Corpus for the frozenwrite analyzer: mutating a frozen snapshot view
+// is a guaranteed runtime panic; the analyzer finds it at compile time.
+// The Graph type mirrors internal/graph's Snapshot/mutator surface.
+package frozenwrite
+
+type Props map[string]int
+
+type Graph struct {
+	frozen bool
+	nodes  map[int]Props
+}
+
+func New() *Graph { return &Graph{nodes: map[int]Props{}} }
+
+// Snapshot returns a frozen epoch view sharing storage.
+func (g *Graph) Snapshot() *Graph {
+	return &Graph{frozen: true, nodes: g.nodes}
+}
+
+func (g *Graph) AddNode(p Props) int {
+	if g.frozen {
+		panic("graph: mutation of a frozen snapshot view")
+	}
+	id := len(g.nodes)
+	g.nodes[id] = p
+	return id
+}
+
+func (g *Graph) SetNodeProp(id int, k string, v int) {
+	if g.frozen {
+		panic("graph: mutation of a frozen snapshot view")
+	}
+	g.nodes[id][k] = v
+}
+
+// mutateSnapshot writes through a variable holding a frozen view.
+func mutateSnapshot(g *Graph) {
+	s := g.Snapshot()
+	s.AddNode(Props{"x": 1}) // want `AddNode on s, which holds a frozen snapshot view; mutating it panics at runtime`
+}
+
+// mutateChained writes through the snapshot call directly.
+func mutateChained(g *Graph) {
+	g.Snapshot().SetNodeProp(0, "x", 1) // want `SetNodeProp on a frozen snapshot view panics at runtime`
+}
+
+// mutateLive reads the snapshot but mutates the live graph: clean.
+func mutateLive(g *Graph) int {
+	s := g.Snapshot()
+	n := len(s.nodes)
+	g.AddNode(Props{"x": n})
+	return n
+}
+
+// reassigned is also assigned from a non-snapshot source; the
+// flow-insensitive analysis stays conservative and keeps quiet.
+func reassigned(g *Graph, fresh bool) {
+	s := g.Snapshot()
+	if fresh {
+		s = New()
+	}
+	s.AddNode(Props{"x": 1})
+}

@@ -1,0 +1,89 @@
+// Corpus for the lockorder analyzer: the MVCC two-lock discipline.
+// The graph type mirrors internal/graph's shape — a commitMu writer
+// serialization lock plus a mu structure lock — which is exactly the
+// signature the analyzer keys on.
+package lockorder
+
+import "sync"
+
+type graph struct {
+	commitMu sync.Mutex
+	mu       sync.RWMutex
+	data     map[int]int
+}
+
+// wrongOrder acquires commitMu while already holding mu: deadlock
+// against the write path, which takes them the other way around.
+func (g *graph) wrongOrder() {
+	g.mu.Lock()
+	g.commitMu.Lock() // want `g\.commitMu/W acquired while g\.mu/W is held .*; the MVCC order is commitMu before mu`
+	g.commitMu.Unlock()
+	g.mu.Unlock()
+}
+
+// takeCommit acquires commitMu directly; callers holding mu inherit the
+// order violation transitively.
+func (g *graph) takeCommit() {
+	g.commitMu.Lock()
+	g.data[0]++
+	g.commitMu.Unlock()
+}
+
+// indirectWrongOrder hits the same deadlock one call away.
+func (g *graph) indirectWrongOrder() {
+	g.mu.Lock()
+	g.takeCommit() // want `call to takeCommit acquires commitMu while g\.mu/W is held`
+	g.mu.Unlock()
+}
+
+// leakyEarlyReturn forgets to release mu on the early-return path.
+func (g *graph) leakyEarlyReturn(v int) int {
+	g.mu.Lock()
+	if v == 0 {
+		return 0 // want `g\.mu/W \(locked at .*\) is not released on this return path`
+	}
+	g.mu.Unlock()
+	return v
+}
+
+// rightOrder is the write path's correct shape: commitMu strictly before
+// mu, both released. Near-miss negative for the order check.
+func (g *graph) rightOrder() {
+	g.commitMu.Lock()
+	g.mu.Lock()
+	g.data[0]++
+	g.mu.Unlock()
+	g.commitMu.Unlock()
+}
+
+// deferredRead releases via defer: early returns are covered, so the
+// pairing check stays quiet. Near-miss negative for the leak check.
+func (g *graph) deferredRead(k int) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if v, ok := g.data[k]; ok {
+		return v
+	}
+	return -1
+}
+
+// beginWrite intentionally returns holding both locks — the caller owns
+// them until endWrite. The locktransfer marker sanctions it.
+//
+//graphrules:locktransfer
+func (g *graph) beginWrite() {
+	g.commitMu.Lock()
+	g.mu.Lock()
+}
+
+// counter has a mu but no commitMu: it is outside the MVCC discipline,
+// so even its (buggy) unreleased lock is not this analyzer's business.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) leakOutOfScope() {
+	c.mu.Lock()
+	c.n++
+}

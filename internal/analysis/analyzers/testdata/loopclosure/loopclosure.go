@@ -1,0 +1,51 @@
+// Corpus for the loopclosure stock-lite pass.
+package loopclosure
+
+import "sync"
+
+func deferInLoop(names []string, log func(string)) {
+	for _, n := range names {
+		defer func() {
+			log(n) // want `defer closure captures loop variable n`
+		}()
+	}
+}
+
+func goCapture(items []int, out chan<- int) {
+	for _, it := range items {
+		go func() {
+			out <- it // want `go closure captures loop variable it`
+		}()
+	}
+}
+
+func forInitCapture(out chan<- int) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			out <- i // want `go closure captures loop variable i`
+		}()
+	}
+}
+
+// ---- near-miss negatives ----
+
+// goArg passes the variable as an argument — the engine's own worker
+// spawn idiom.
+func goArg(items []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out <- v
+		}(it)
+	}
+	wg.Wait()
+}
+
+// goOutside spawns outside any loop: nothing to capture.
+func goOutside(v int, out chan<- int) {
+	go func() {
+		out <- v
+	}()
+}

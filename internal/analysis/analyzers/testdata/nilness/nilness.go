@@ -1,0 +1,39 @@
+// Corpus for the nilness stock-lite pass.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func selectNil(n *node) *node {
+	if n == nil {
+		return n.next // want `n is nil on this branch; this selector panics`
+	}
+	return n
+}
+
+func derefNil(p *int) int {
+	if p == nil {
+		return *p // want `p is nil on this branch; this dereference panics`
+	}
+	return *p
+}
+
+// ---- near-miss negatives ----
+
+// defaulted reassigns before any use: the nil-default idiom.
+func defaulted(n *node) int {
+	if n == nil {
+		n = &node{}
+	}
+	return n.val
+}
+
+// inverted uses the value only on the non-nil branch.
+func inverted(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}

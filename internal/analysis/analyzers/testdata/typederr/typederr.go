@@ -1,0 +1,90 @@
+// Corpus for the typederr analyzer: the engine's error contract. Typed
+// errors travel wrapped with %w and are matched with errors.As/Is; every
+// identity, assertion, switch or string shortcut breaks under wrapping.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// BudgetError is an engine-style typed error.
+type BudgetError struct{ Limit int }
+
+func (e *BudgetError) Error() string { return fmt.Sprintf("budget exceeded: %d", e.Limit) }
+
+var errStop = errors.New("stop")
+
+var errBudget = &BudgetError{Limit: 1}
+
+func compareSentinel(err error) bool {
+	return err == errStop // want `error compared with ==; use errors\.Is to match across wrapping layers`
+}
+
+func compareTyped(err error) bool {
+	return err != errBudget // want `typed error compared with !=; use errors\.As to match across wrapping layers`
+}
+
+func assertTyped(err error) int {
+	if be, ok := err.(*BudgetError); ok { // want `type assertion on an error to \*BudgetError misses wrapped errors; use errors\.As`
+		return be.Limit
+	}
+	return 0
+}
+
+func switchTyped(err error) string {
+	switch err.(type) {
+	case *BudgetError: // want `type switch on an error with concrete case \*BudgetError misses wrapped errors`
+		return "budget"
+	default:
+		return "other"
+	}
+}
+
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want `matching err\.Error\(\) text with strings\.Contains is brittle`
+}
+
+func textCompare(err error) bool {
+	return err.Error() == "stop" // want `comparing err\.Error\(\) text is brittle`
+}
+
+func wrapFlattened(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want `fmt\.Errorf formats an error without %w`
+}
+
+// ---- near-miss negatives: the contract done right ----
+
+func compareIs(err error) bool { return errors.Is(err, errStop) }
+
+func matchAs(err error) int {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be.Limit
+	}
+	return 0
+}
+
+func wrapKept(err error) error { return fmt.Errorf("loading config: %w", err) }
+
+// nilCheck is the one sanctioned identity comparison.
+func nilCheck(err error) bool { return err == nil }
+
+// temporary is a marker-method interface; asserting an error to an
+// interface unwraps nothing and is exempt.
+type temporary interface{ Temporary() bool }
+
+func isTemporary(err error) bool {
+	t, ok := err.(temporary)
+	return ok && t.Temporary()
+}
+
+// intCompare: comparisons between non-errors are none of our business.
+func intCompare(a, b int) bool { return a == b }
+
+// vetignored shows the line-level escape hatch: the named-analyzer
+// vetignore marker suppresses the finding on this line.
+func vetignored(err error) bool {
+	return err == errStop //graphrules:vetignore typederr pinned legacy comparison
+}

@@ -1,0 +1,30 @@
+// Corpus for the unusedwrite stock-lite pass.
+package unusedwrite
+
+type point struct{ x, y int }
+
+// zeroCopies mutates the per-iteration copy; the slice is unchanged.
+func zeroCopies(ps []point) {
+	for _, p := range ps {
+		p.x = 0 // want `write to range-value copy p is never read`
+	}
+}
+
+// ---- near-miss negatives ----
+
+// scratch reads the copy after writing it: a legal local scratch value.
+func scratch(ps []point) int {
+	total := 0
+	for _, p := range ps {
+		p.x *= 2
+		total += p.x
+	}
+	return total
+}
+
+// zeroInPlace mutates through the index: the real fix.
+func zeroInPlace(ps []point) {
+	for i := range ps {
+		ps[i].x = 0
+	}
+}

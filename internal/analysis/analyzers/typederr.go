@@ -1,0 +1,189 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// TypedErr enforces the engine's error contract: typed errors
+// (*ResourceExhaustedError, *WALPoisonedError, *AdmissionRejectedError,
+// ...) travel wrapped with %w and are matched with errors.As/errors.Is —
+// never by ==, type assertion, type switch, or string comparison, all of
+// which silently break the moment anyone adds a wrapping layer.
+var TypedErr = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: `match typed errors with errors.As/Is and wrap with %w, never ==, assertions or string compares
+
+The engine's typed errors cross several wrapping layers (resilience
+middleware, fmt.Errorf annotations, errors.Join aggregation). Identity
+comparison (err == ErrX), concrete type assertion (err.(*XError)), type
+switches over error values, and err.Error() string matching all stop
+working under wrapping; fmt.Errorf with %v instead of %w severs the
+chain for every caller downstream. _test.go files are exempt.`,
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	eachFuncBody(pass, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.TypeAssertExpr:
+				checkErrAssert(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkErrTypeSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrStringMatch(pass, n)
+				checkErrWrap(pass, n)
+				_ = info
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkErrCompare flags ==/!= between two error values (sentinel
+// identity breaks under wrapping; use errors.Is) and between an error
+// and a typed-error pointer (use errors.As).
+func checkErrCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isErrorDotError(pass, b.X) || isErrorDotError(pass, b.Y) {
+		pass.ReportRangef(b, "comparing err.Error() text is brittle; match the typed error with errors.As/Is")
+		return
+	}
+	tx, ty := pass.TypeOf(b.X), pass.TypeOf(b.Y)
+	if isUntypedNil(pass, b.X) || isUntypedNil(pass, b.Y) {
+		return // err == nil is the one sanctioned identity check
+	}
+	xErr, yErr := isErrorish(tx), isErrorish(ty)
+	if !xErr || !yErr {
+		return
+	}
+	if isConcreteTypedError(tx) || isConcreteTypedError(ty) {
+		pass.ReportRangef(b, "typed error compared with %s; use errors.As to match across wrapping layers", b.Op)
+		return
+	}
+	pass.ReportRangef(b, "error compared with %s; use errors.Is to match across wrapping layers", b.Op)
+}
+
+// checkErrAssert flags err.(*SomeError): assertion to a concrete error
+// implementation bypasses unwrapping. Assertions to interfaces (the
+// marker-method pattern, e.g. interface{ ResourceExhausted() }) and
+// non-error subjects are fine.
+func checkErrAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // part of a type switch; handled there
+	}
+	if !isErrorType(pass.TypeOf(ta.X)) {
+		return
+	}
+	target := pass.TypeOf(ta.Type)
+	if target == nil || types.IsInterface(target) {
+		return
+	}
+	if !implementsError(target) {
+		return
+	}
+	pass.ReportRangef(ta, "type assertion on an error to %s misses wrapped errors; use errors.As", types.TypeString(target, types.RelativeTo(pass.Pkg)))
+}
+
+// checkErrTypeSwitch flags concrete error cases in a type switch over an
+// error value.
+func checkErrTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	var subj ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			subj = ta.X
+		}
+	case *ast.AssignStmt:
+		if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+			subj = ta.X
+		}
+	}
+	if subj == nil || !isErrorType(pass.TypeOf(subj)) {
+		return
+	}
+	for _, cl := range ts.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, texpr := range cc.List {
+			t := pass.TypeOf(texpr)
+			if t == nil || types.IsInterface(t) || !implementsError(t) {
+				continue
+			}
+			pass.ReportRangef(texpr, "type switch on an error with concrete case %s misses wrapped errors; use errors.As", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// checkErrStringMatch flags err.Error() compared against or searched for
+// string literals (including via strings.Contains/HasPrefix/HasSuffix).
+func checkErrStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, fn := range []string{"Contains", "HasPrefix", "HasSuffix", "EqualFold"} {
+		if isPkgFunc(pass.TypesInfo, call, "strings", fn) && len(call.Args) > 0 && isErrorDotError(pass, call.Args[0]) {
+			pass.ReportRangef(call, "matching err.Error() text with strings.%s is brittle; match the typed error with errors.As/Is", fn)
+			return
+		}
+	}
+}
+
+// checkErrWrap flags fmt.Errorf calls that format an error argument but
+// never use %w: the typed error is flattened to text and errors.As/Is
+// stop matching for every caller downstream.
+func checkErrWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t != nil && isErrorish(t) && !isUntypedNil(pass, arg) {
+			pass.ReportRangef(call, "fmt.Errorf formats an error without %%w; wrapping with %%w keeps errors.As/Is working downstream")
+			return
+		}
+	}
+}
+
+// isErrorDotError reports whether e is a call of Error() on an error
+// value, possibly inside a binary comparison already flagged elsewhere.
+func isErrorDotError(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || methodName(call) != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return isErrorish(pass.TypeOf(sel.X))
+}
+
+// isErrorish reports whether t is the error interface or a concrete
+// implementation of it.
+func isErrorish(t types.Type) bool {
+	return isErrorType(t) || implementsError(t)
+}
+
+// isConcreteTypedError reports whether t is a pointer to a named
+// engine-style error struct (name ending in "Error" implementing error).
+func isConcreteTypedError(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && strings.HasSuffix(n.Obj().Name(), "Error") && implementsError(t)
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

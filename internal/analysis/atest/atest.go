@@ -1,0 +1,261 @@
+// Package atest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over a testdata package and checks its findings against
+// `// want "regexp"` comments in the sources. Each testdata directory
+// is one package; its files may import only the standard library
+// (export data is resolved through `go list -export`, no module
+// context needed).
+package atest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/analysis"
+)
+
+// Run loads the testdata package at dir, applies the analyzer, and
+// reports mismatches between its findings and the want comments.
+// It returns the findings for additional assertions.
+func Run(t *testing.T, analyzer *analysis.Analyzer, dir string) []analysis.Finding {
+	t.Helper()
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatalf("atest: loading %s: %v", dir, err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("atest: running %s on %s: %v", analyzer.Name, dir, err)
+	}
+
+	wants, err := parseWants(pkg.GoFiles)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	checkWants(t, analyzer.Name, dir, findings, wants)
+	return findings
+}
+
+// RunClean asserts the analyzer reports nothing on the package —
+// the regression pin for packages proven clean in the real tree.
+func RunClean(t *testing.T, analyzer *analysis.Analyzer, dir string) {
+	t.Helper()
+	fs := Run(t, analyzer, dir)
+	if len(fs) != 0 {
+		t.Errorf("atest: %s expected clean on %s, got %d finding(s)", analyzer.Name, dir, len(fs))
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts `// want "rx" ["rx" ...]` expectations; each
+// quoted regexp on a line must be matched by exactly one finding
+// reported on that line.
+func parseWants(files []string) ([]*want, error) {
+	var wants []*want
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				q, n, err := nextQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %w", name, i+1, err)
+				}
+				rx, err := regexp.Compile(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %w", name, i+1, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, rx: rx})
+				rest = strings.TrimSpace(rest[n:])
+			}
+		}
+	}
+	return wants, nil
+}
+
+// nextQuoted consumes one Go-quoted or backquoted string from the head
+// of s, returning its value and the bytes consumed.
+func nextQuoted(s string) (string, int, error) {
+	if s == "" || (s[0] != '"' && s[0] != '`') {
+		return "", 0, fmt.Errorf("expected quoted regexp at %q", s)
+	}
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", 0, err
+			}
+			return q, i + 1, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote in %q", s)
+}
+
+func checkWants(t *testing.T, analyzer, dir string, findings []analysis.Finding, wants []*want) {
+	t.Helper()
+	unmatched := make([]analysis.Finding, 0, len(findings))
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != f.File || w.line != f.Line {
+				continue
+			}
+			if w.rx.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unmatched = append(unmatched, f)
+		}
+	}
+	for _, f := range unmatched {
+		t.Errorf("%s: unexpected finding at %s:%d: %s", analyzer, f.File, f.Line, f.Message)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no finding matched want %q at %s:%d", analyzer, w.rx, w.file, w.line)
+		}
+	}
+}
+
+// ---------- testdata package loading ----------
+
+// loadDir parses every .go file in dir as one package and type-checks
+// it against stdlib export data.
+func loadDir(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	imports, err := importsOf(files)
+	if err != nil {
+		return nil, err
+	}
+	lookup, err := stdlibLookup(imports)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.CheckFiles("testdata/"+filepath.Base(dir), files, lookup)
+}
+
+// importsOf collects the import paths of the files.
+func importsOf(files []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export file
+)
+
+// stdlibLookup resolves export data for the given stdlib imports (and
+// their dependencies) via `go list -export`, cached across calls so a
+// test suite pays the go-command cost once per distinct import.
+func stdlibLookup(imports []string) (func(string) (io.ReadCloser, error), error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range imports {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %s", strings.Join(missing, " "), strings.TrimSpace(stderr.String()))
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+				break
+			} else if derr != nil {
+				return nil, derr
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportCache[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("atest: no export data for %q (testdata may import only the standard library)", path)
+		}
+		return os.Open(file)
+	}, nil
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds type-checking problems. Analysis still runs on a
+	// partially-checked package (mirroring unitchecker's tolerance), but
+	// drivers surface these to the user.
+	TypeErrors []error
+
+	markers markerIndex
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the working directory for the go command ("" = cwd).
+	Dir string
+	// Tests includes _test.go files of the matched packages. Analyzers
+	// that skip test files do so regardless (see SkipTestFile).
+	Tests bool
+}
+
+// Load resolves package patterns with `go list -export -deps` and
+// type-checks every non-dependency match from source, resolving imports
+// through the compiler export data the go command just produced. It
+// needs no network: the standard library and the module's own packages
+// are compiled locally into the build cache.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	byPath := map[string]*listPkg{}
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", derr)
+		}
+		lp := p
+		// -test emits synthesized test variants under the same import
+		// path (e.g. "pkg [pkg.test]"); keep the first (real) entry as
+		// the import-resolution target and analyze variants separately.
+		if _, dup := byPath[lp.ImportPath]; !dup {
+			byPath[lp.ImportPath] = &lp
+		}
+		// Name == "" with an Error is a pattern that resolved to nothing
+		// (e.g. a typo'd path); keep it so the error surfaces instead of
+		// reporting a clean run.
+		if !lp.DepOnly && !lp.Standard && (lp.Name != "" || lp.Error != nil) {
+			roots = append(roots, &lp)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if strings.HasSuffix(r.ImportPath, ".test") {
+			continue // synthesized test main packages
+		}
+		if r.Error != nil && len(r.GoFiles) == 0 {
+			return nil, fmt.Errorf("analysis: %s: %s", r.ImportPath, r.Error.Err)
+		}
+		files := make([]string, len(r.GoFiles))
+		for i, f := range r.GoFiles {
+			files[i] = filepath.Join(r.Dir, f)
+		}
+		pkg, err := CheckFiles(r.ImportPath, files, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", r.ImportPath, err)
+		}
+		pkg.Dir = r.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from its source files,
+// resolving imports through lookup (which must yield gc export data, as
+// written by `go list -export` or named in a vet.cfg PackageFile map).
+// Type errors are tolerated and collected; parse errors are not.
+func CheckFiles(importPath string, filenames []string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkParsed(importPath, filenames, fset, files, lookup)
+}
+
+func checkParsed(importPath string, filenames []string, fset *token.FileSet, files []*ast.File, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	var terrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info) // type errors collected via conf.Error
+	return &Package{
+		ImportPath: importPath,
+		GoFiles:    filenames,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypeErrors: terrs,
+		markers:    indexMarkers(fset, files),
+	}, nil
+}
+
+// SkipTestFile reports whether the file holding pos is a _test.go file.
+// The engine's analyzers encode library-code disciplines; tests get to
+// use context.Background(), compare errors directly, and so on.
+func SkipTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

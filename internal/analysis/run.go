@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic resolved to concrete file positions — the
+// unit of the checker's text and JSON output, shared by graphrulesvet
+// and the unitchecker mode.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	EndLine  int    `json:"end_line,omitempty"`
+	EndCol   int    `json:"end_col,omitempty"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+
+	SuggestedFixes []FindingFix `json:"suggested_fixes,omitempty"`
+}
+
+// FindingFix is a SuggestedFix with offsets resolved.
+type FindingFix struct {
+	Message string        `json:"message"`
+	Edits   []FindingEdit `json:"edits,omitempty"`
+}
+
+// FindingEdit replaces bytes [Start, End) of File with New.
+type FindingEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// findings in deterministic (file, offset, analyzer) order. An analyzer
+// whose Run returns an error aborts the whole run — analyzer bugs should
+// fail loudly, not silently drop coverage.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				markers:   pkg.markers,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		sortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			findings = append(findings, resolve(pkg.Fset, d))
+		}
+	}
+	return findings, nil
+}
+
+func resolve(fset *token.FileSet, d Diagnostic) Finding {
+	pos := fset.Position(d.Pos)
+	f := Finding{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Severity: "error",
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+	if d.End.IsValid() {
+		end := fset.Position(d.End)
+		f.EndLine, f.EndCol = end.Line, end.Column
+	}
+	for _, fix := range d.SuggestedFixes {
+		ff := FindingFix{Message: fix.Message}
+		for _, e := range fix.TextEdits {
+			ff.Edits = append(ff.Edits, FindingEdit{
+				File:  fset.Position(e.Pos).Filename,
+				Start: fset.Position(e.Pos).Offset,
+				End:   fset.Position(e.End).Offset,
+				New:   string(e.NewText),
+			})
+		}
+		f.SuggestedFixes = append(f.SuggestedFixes, ff)
+	}
+	return f
+}
+
+// Filter returns the analyzers selected by the -enable/-disable comma
+// lists (empty enable = all). Unknown names are an error so a typo in CI
+// cannot silently disable a gate.
+func Filter(all []*Analyzer, enable, disable []string) ([]*Analyzer, error) {
+	known := map[string]*Analyzer{}
+	for _, a := range all {
+		known[a.Name] = a
+	}
+	for _, n := range append(append([]string{}, enable...), disable...) {
+		if known[n] == nil {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+	}
+	off := map[string]bool{}
+	for _, n := range disable {
+		off[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if off[a.Name] {
+			continue
+		}
+		if len(enable) > 0 && !containsStr(enable, a.Name) {
+			continue
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// WriteText prints findings vet-style: file:line:col: message (analyzer).
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+}
+
+// WriteJSON prints findings as one indented JSON array — the
+// machine-readable mode shared by graphrulesvet and cypherlint
+// (-format json), consumed by CI annotators.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// SplitList parses a comma-separated flag value into its non-empty
+// trimmed elements.
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// PositionOf is a convenience for tests.
+func PositionOf(fset *token.FileSet, pos token.Pos) token.Position { return fset.Position(pos) }

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Unit-checker mode: the `go vet -vettool=...` protocol. The go command
+// invokes the tool once per package with the path of a JSON config file
+// (always *.cfg) describing the package's sources and the export data of
+// its dependencies, after probing the tool's identity with -V=full.
+// Diagnostics go to stderr (or stdout as JSON with -json) and a nonzero
+// exit tells `go vet` the package failed.
+
+// VetConfig is the subset of the go command's vet.cfg the checker needs.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetCfg reports whether args look like a unit-checker invocation
+// (a single *.cfg positional argument, as passed by `go vet -vettool`).
+func IsVetCfg(args []string) bool {
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}
+
+// RunVetTool executes one unit-checker invocation against the analyzer
+// set and returns the process exit code. jsonOut selects JSON diagnostics
+// on stdout (the protocol's -json flag) over vet-style text on stderr.
+func RunVetTool(cfgPath string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphrulesvet:", err)
+		return 2
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "graphrulesvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	pkg, err := CheckFiles(cfg.ImportPath, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, stderr)
+		}
+		fmt.Fprintf(stderr, "graphrulesvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 && !cfg.SucceedOnTypecheckFailure {
+		// Tolerated for analysis, but surfaced: a package that does not
+		// type-check cleanly gets best-effort findings only.
+		fmt.Fprintf(stderr, "graphrulesvet: %s: note: %d type error(s); findings are best-effort\n",
+			cfg.ImportPath, len(pkg.TypeErrors))
+	}
+
+	if code := writeVetx(cfg, stderr); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	findings, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "graphrulesvet:", err)
+		return 2
+	}
+	if jsonOut {
+		// The upstream protocol shape: {"package": {"analyzer": [diags]}}.
+		grouped := map[string]map[string][]Finding{cfg.ImportPath: {}}
+		for _, f := range findings {
+			grouped[cfg.ImportPath][f.Analyzer] = append(grouped[cfg.ImportPath][f.Analyzer], f)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(grouped)
+	} else {
+		WriteText(stderr, findings)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeVetx writes the (empty — this suite exports no cross-package
+// facts) serialized facts file the go command expects at VetxOutput.
+func writeVetx(cfg VetConfig, stderr io.Writer) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("graphrulesvet-facts-v1\n"), 0o666); err != nil {
+		fmt.Fprintln(stderr, "graphrulesvet:", err)
+		return 2
+	}
+	return 0
+}

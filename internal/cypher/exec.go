@@ -3,6 +3,7 @@ package cypher
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -802,7 +803,7 @@ func (m *matcher) exists(part *PatternPart, row Row) (bool, error) {
 		found = true
 		return errStopMatching
 	})
-	if err != nil && err != errStopMatching {
+	if err != nil && !errors.Is(err, errStopMatching) {
 		return false, err
 	}
 	return found, nil
@@ -1718,6 +1719,9 @@ func (ex *Executor) execCreate(ctx *evalCtx, cl *CreateClause, in []Row, st *Sta
 			if err := ex.createPart(ctx, part, r, st); err != nil {
 				return nil, err
 			}
+		}
+		if err := ctx.bud().chargeRow(r); err != nil {
+			return nil, err
 		}
 		out = append(out, r)
 	}

@@ -152,6 +152,11 @@ func (d *Delta) Empty() bool {
 // other writers (commitMu), takes the structure lock, and returns a Delta
 // to record into when subscribers are registered (nil otherwise). Mutating
 // a frozen snapshot view is a programming error and panics.
+//
+// Both locks are intentionally held at return; endWrite/abortWrite release
+// them.
+//
+//graphrules:locktransfer
 func (g *Graph) beginWrite() *Delta {
 	if g.frozen {
 		panic("graph: mutation of a frozen snapshot view")

@@ -10,6 +10,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -193,7 +194,8 @@ func Source(src string, schema *graph.Schema, opts Options) []Diagnostic {
 	if err != nil {
 		span := cypher.Span{}
 		msg := err.Error()
-		if se, ok := err.(*cypher.SyntaxError); ok {
+		var se *cypher.SyntaxError
+		if errors.As(err, &se) {
 			span = cypher.Span{Start: se.Pos, End: se.Pos + 1}
 			msg = se.Msg
 		}

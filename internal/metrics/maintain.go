@@ -58,14 +58,22 @@ type Maintainer struct {
 	stats  MaintainerStats
 }
 
-// NewMaintainer builds a maintainer for the rule set and performs the
-// initial full scoring. Executor options pass through to the shared scorer;
-// WithSnapshotPin(true) is always applied so each query reads one frozen
-// epoch even while writers commit concurrently. A rule whose metric
-// queries fail records a sticky per-rule error (visible in Scores) and is
-// retried whenever an epoch intersects its footprint; one broken rule
-// never blocks the rest.
+// NewMaintainer builds a maintainer with a background context for the
+// initial scoring; use NewMaintainerCtx to make it cancelable.
+//
+//graphrules:ctxshim
 func NewMaintainer(g *graph.Graph, rs []rules.Rule, opts ...cypher.Option) *Maintainer {
+	return NewMaintainerCtx(context.Background(), g, rs, opts...)
+}
+
+// NewMaintainerCtx builds a maintainer for the rule set and performs the
+// initial full scoring under ctx. Executor options pass through to the
+// shared scorer; WithSnapshotPin(true) is always applied so each query
+// reads one frozen epoch even while writers commit concurrently. A rule
+// whose metric queries fail (including by ctx cancellation) records a
+// sticky per-rule error (visible in Scores) and is retried whenever an
+// epoch intersects its footprint; one broken rule never blocks the rest.
+func NewMaintainerCtx(ctx context.Context, g *graph.Graph, rs []rules.Rule, opts ...cypher.Option) *Maintainer {
 	m := &Maintainer{
 		g:      g,
 		sc:     NewScorer(g, append(append([]cypher.Option{}, opts...), cypher.WithSnapshotPin(true))...),
@@ -80,7 +88,7 @@ func NewMaintainer(g *graph.Graph, rs []rules.Rule, opts ...cypher.Option) *Main
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range m.rules {
-		m.rescoreLocked(context.Background(), i)
+		m.rescoreLocked(ctx, i)
 	}
 	return m
 }
@@ -152,13 +160,23 @@ func (m *Maintainer) ApplyCtx(ctx context.Context, d *graph.Delta) int {
 	return n
 }
 
-// Attach subscribes the maintainer to the graph's commit stream: every
+// Attach subscribes with a background context; use AttachCtx to bound
+// the subscription's re-scoring work.
+//
+//graphrules:ctxshim
+func (m *Maintainer) Attach() (cancel func()) {
+	return m.AttachCtx(context.Background())
+}
+
+// AttachCtx subscribes the maintainer to the graph's commit stream: every
 // committed epoch is applied synchronously from the commit path (the
 // OnCommit contract — the callback runs before the next writer can
 // commit, so deltas arrive in order and scores never lag the graph).
-// The returned cancel detaches it.
-func (m *Maintainer) Attach() (cancel func()) {
-	return m.g.OnCommit(func(d *graph.Delta) { m.Apply(d) })
+// ctx bounds the re-scoring queries run from the commit path; once it is
+// done, affected rules record its error until a later epoch re-scores
+// them. The returned cancel detaches the subscription.
+func (m *Maintainer) AttachCtx(ctx context.Context) (cancel func()) {
+	return m.g.OnCommit(func(d *graph.Delta) { m.ApplyCtx(ctx, d) })
 }
 
 // Scores returns the current per-rule results in rule order. Entries with

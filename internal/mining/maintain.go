@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"context"
+
 	"github.com/graphrules/graphrules/internal/cypher"
 	"github.com/graphrules/graphrules/internal/graph"
 	"github.com/graphrules/graphrules/internal/metrics"
@@ -21,12 +23,21 @@ func (r *Result) MaintainedRules() []rules.Rule {
 	return rs
 }
 
-// Maintainer builds a metrics.Maintainer over the run's successfully
-// scored rules, bound to g: the mined scores are recomputed in full once,
-// then kept exact incrementally — each committed epoch re-scores only the
-// rules whose query footprint the epoch's delta intersects. Call Attach on
-// the result to subscribe it to g's commit stream. Executor options pass
-// through to the maintainer's shared scorer.
+// Maintainer builds the maintainer with a background context for its
+// initial scoring; use MaintainerCtx to make it cancelable.
+//
+//graphrules:ctxshim
 func (r *Result) Maintainer(g *graph.Graph, opts ...cypher.Option) *metrics.Maintainer {
-	return metrics.NewMaintainer(g, r.MaintainedRules(), opts...)
+	return r.MaintainerCtx(context.Background(), g, opts...)
+}
+
+// MaintainerCtx builds a metrics.Maintainer over the run's successfully
+// scored rules, bound to g: the mined scores are recomputed in full once
+// (under ctx), then kept exact incrementally — each committed epoch
+// re-scores only the rules whose query footprint the epoch's delta
+// intersects. Call Attach/AttachCtx on the result to subscribe it to g's
+// commit stream. Executor options pass through to the maintainer's
+// shared scorer.
+func (r *Result) MaintainerCtx(ctx context.Context, g *graph.Graph, opts ...cypher.Option) *metrics.Maintainer {
+	return metrics.NewMaintainerCtx(ctx, g, r.MaintainedRules(), opts...)
 }

@@ -394,7 +394,7 @@ func (r *ValueFormat) Queries() QuerySet {
 func (r *ValueFormat) CountsNative(g *graph.Graph) (Counts, error) {
 	re, err := regexp.Compile("^(?:" + r.Pattern + ")$")
 	if err != nil {
-		return Counts{}, fmt.Errorf("rules: invalid format pattern %q: %v", r.Pattern, err)
+		return Counts{}, fmt.Errorf("rules: invalid format pattern %q: %w", r.Pattern, err)
 	}
 	var c Counts
 	for _, id := range g.NodesWithLabel(r.Label) {

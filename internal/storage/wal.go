@@ -631,7 +631,7 @@ func Replay(name string, r io.Reader) (*graph.Graph, error) {
 	line := 0
 	for {
 		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
+		if err := dec.Decode(&rec); errors.Is(err, io.EOF) {
 			return g, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("storage: wal line %d: %w", line, err)
