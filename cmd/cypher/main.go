@@ -132,6 +132,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		opts = append(opts, cypher.WithAdmission(gov))
 	}
 	ex := cypher.NewExecutor(g, opts...)
+	sess := ex.OpenSession()
+	defer sess.Close()
 	if *lintOnly {
 		if *query == "" {
 			return fmt.Errorf("-lint requires -q")
@@ -144,10 +146,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return nil
 	}
 	if *query != "" {
-		return runQuery(ex, gov, *query, *queryTimeout, out, false)
+		return runQuery(sess, gov, *query, *queryTimeout, out, false)
 	}
 
-	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>", "shard <n>", "morsel <n>", "limit <rows> <bytes>" and "governor" inspect/configure)`)
+	fmt.Fprintln(out, `Interactive Cypher ("exit" quits; "schema", "stats", "explain <query>", "lint <query>", "profile <query>", "shard <n>", "morsel <n>", "limit <rows> <bytes>" and "governor" inspect/configure; "begin", "commit", "rollback" bracket a transaction)`)
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -197,6 +199,27 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				fmt.Fprintf(out, "budgets: max rows %d, memory %d bytes\n", rows, mem)
 			}
 			continue
+		case line == "begin":
+			if err := sess.Begin(context.Background()); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "transaction open (single writer; rollback restores the pre-transaction state)")
+			}
+			continue
+		case line == "commit":
+			if err := sess.Commit(); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "committed")
+			}
+			continue
+		case line == "rollback":
+			if err := sess.Rollback(); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "rolled back")
+			}
+			continue
 		case line == "governor":
 			if gov == nil {
 				fmt.Fprintln(out, "no admission governor (start with -query-queue N)")
@@ -222,12 +245,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			}
 			continue
 		case strings.HasPrefix(line, "profile "):
-			if err := runQuery(ex, gov, strings.TrimPrefix(line, "profile "), *queryTimeout, out, true); err != nil {
+			if err := runQuery(sess, gov, strings.TrimPrefix(line, "profile "), *queryTimeout, out, true); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 			continue
 		}
-		if err := runQuery(ex, gov, line, *queryTimeout, out, false); err != nil {
+		if err := runQuery(sess, gov, line, *queryTimeout, out, false); err != nil {
 			fmt.Fprintln(out, "error:", err)
 		}
 	}
@@ -249,7 +272,11 @@ func printDiagnostics(out io.Writer, src string, diags []lint.Diagnostic) {
 	}
 }
 
-func runQuery(ex *cypher.Executor, gov *governor.Governor, src string, timeout time.Duration, out io.Writer, profile bool) error {
+// runQuery streams one query through the session's cursor: rows print as
+// the engine produces them (the first 50; the rest are drained and
+// counted), and the closing summary carries the stats and any budget
+// kill, which arrives after whatever partial rows were streamed.
+func runQuery(sess *cypher.Session, gov *governor.Governor, src string, timeout time.Duration, out io.Writer, profile bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -257,17 +284,8 @@ func runQuery(ex *cypher.Executor, gov *governor.Governor, src string, timeout t
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := ex.RunCtx(ctx, src, nil)
+	cur, err := sess.Run(ctx, src, nil)
 	if err != nil {
-		// The result is non-nil even on error and carries the stats
-		// accumulated up to the failure — show them under profile.
-		if profile && res != nil {
-			fmt.Fprint(out, res.Exec.String())
-		}
-		var re *cypher.ResourceExhaustedError
-		if errors.As(err, &re) {
-			fmt.Fprintf(out, "budget kill: %s budget exceeded (limit %d, used %d)\n", re.Resource, re.Limit, re.Used)
-		}
 		if profile && gov != nil {
 			fmt.Fprintln(out, "governor:", gov.Stats().String())
 		}
@@ -276,33 +294,52 @@ func runQuery(ex *cypher.Executor, gov *governor.Governor, src string, timeout t
 		}
 		return err
 	}
+	defer cur.Close()
+
+	const maxDisplay = 50
+	cols := cur.Columns()
+	if len(cols) > 0 {
+		fmt.Fprintln(out, strings.Join(cols, "\t"))
+	}
+	rows := 0
+	for cur.Next() {
+		rows++
+		if rows > maxDisplay {
+			continue
+		}
+		row := cur.Record()
+		cells := make([]string, len(row))
+		for j, d := range row {
+			cells[j] = d.Display()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+	}
+	if rows > maxDisplay {
+		fmt.Fprintf(out, "... (%d more rows)\n", rows-maxDisplay)
+	}
+	res, err := cur.Summary()
 	elapsed := time.Since(start)
-	if profile {
+	if profile && res != nil {
 		fmt.Fprint(out, res.Exec.String())
 		if gov != nil {
 			fmt.Fprintln(out, "governor:", gov.Stats().String())
 		}
 	}
-	if len(res.Columns) > 0 {
-		fmt.Fprintln(out, strings.Join(res.Columns, "\t"))
-		const maxRows = 50
-		for i, row := range res.Rows {
-			if i == maxRows {
-				fmt.Fprintf(out, "... (%d more rows)\n", len(res.Rows)-maxRows)
-				break
-			}
-			cells := make([]string, len(row))
-			for j, d := range row {
-				cells[j] = d.Display()
-			}
-			fmt.Fprintln(out, strings.Join(cells, "\t"))
+	if err != nil {
+		var re *cypher.ResourceExhaustedError
+		if errors.As(err, &re) {
+			fmt.Fprintf(out, "budget kill: %s budget exceeded (limit %d, used %d)\n", re.Resource, re.Limit, re.Used)
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("query exceeded the %s time limit", timeout)
+		}
+		return err
 	}
 	st := res.Stats
 	if st.NodesCreated+st.EdgesCreated+st.NodesDeleted+st.EdgesDeleted+st.PropertiesSet+st.LabelsAdded > 0 {
 		fmt.Fprintf(out, "(created %d nodes, %d rels; deleted %d nodes, %d rels; set %d props)\n",
 			st.NodesCreated, st.EdgesCreated, st.NodesDeleted, st.EdgesDeleted, st.PropertiesSet)
 	}
-	fmt.Fprintf(out, "%d row(s) in %s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(out, "%d row(s) in %s\n", rows, elapsed.Round(time.Microsecond))
 	return nil
 }

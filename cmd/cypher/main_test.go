@@ -61,6 +61,43 @@ func TestREPL(t *testing.T) {
 	}
 }
 
+// TestREPLTransactions drives begin/commit/rollback: committed writes
+// persist in the session, rolled-back ones vanish, and transaction
+// commands out of order report errors instead of aborting the REPL.
+func TestREPLTransactions(t *testing.T) {
+	input := strings.Join([]string{
+		"commit", // no transaction open: error line, REPL continues
+		"begin",
+		"CREATE (a:Keep {id: 1})",
+		"commit",
+		"begin",
+		"CREATE (b:Drop {id: 2})",
+		"rollback",
+		"MATCH (n:Keep) RETURN count(*) AS kept",
+		"MATCH (n:Drop) RETURN count(*) AS dropped",
+		"exit",
+	}, "\n")
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "error:") {
+		t.Error("commit without a transaction should print an error")
+	}
+	if !strings.Contains(s, "transaction open") || !strings.Contains(s, "committed") ||
+		!strings.Contains(s, "rolled back") {
+		t.Errorf("transaction command feedback missing:\n%s", s)
+	}
+	// kept count 1, dropped count 0, each under its own header.
+	if !strings.Contains(s, "kept\n1") {
+		t.Errorf("committed write lost:\n%s", s)
+	}
+	if !strings.Contains(s, "dropped\n0") {
+		t.Errorf("rolled-back write survived:\n%s", s)
+	}
+}
+
 func TestREPLEOF(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader(""), &out); err != nil {

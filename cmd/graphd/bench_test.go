@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/graphrules/graphrules/internal/bolt"
+)
+
+// BenchmarkBoltStream measures end-to-end record streaming throughput
+// over loopback TCP: one connection, RUN + PULL(-1) over a 5000-row
+// streamed MATCH per iteration, reporting records/s.
+func BenchmarkBoltStream(b *testing.B) {
+	const rows = 5000
+	addr, _, _, _, _ := startTestServer(b, rows)
+	c, err := bolt.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello("bench"); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, recs, err := c.RunAll(`MATCH (n:N) RETURN n.i AS i`, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != rows {
+			b.Fatalf("streamed %d records, want %d", len(recs), rows)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*rows)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkBoltSessions measures full session setup cost: TCP connect,
+// handshake, HELLO, one point query, GOODBYE. Reports sessions/s.
+func BenchmarkBoltSessions(b *testing.B) {
+	addr, _, _, _, _ := startTestServer(b, 100)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := bolt.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Hello("bench"); err != nil {
+			b.Fatal(err)
+		}
+		_, recs, err := c.RunAll(`MATCH (n:N) WHERE n.i = $i RETURN n.i AS i`,
+			map[string]any{"i": int64(i % 100)})
+		if err != nil || len(recs) != 1 {
+			b.Fatalf("point read: %d recs, %v", len(recs), err)
+		}
+		c.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+}

@@ -1,0 +1,289 @@
+package main
+
+// Load harness: N concurrent Bolt client sessions over real loopback
+// TCP, mixed read/write/transaction/budget-kill traffic, run under
+// -race in CI. Afterwards the governor counters must reconcile
+// (admitted == completed + killed, nothing active) and a disconnect
+// storm — connections dropped mid-stream without GOODBYE — must leak no
+// goroutines and leave the transaction lock free.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/graphrules/graphrules/internal/bolt"
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/governor"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// startTestServer brings up an in-process graphd core (graph + governor
+// + executor + Bolt server) on a loopback listener.
+func startTestServer(t testing.TB, nodes int, opts ...cypher.Option) (addr string, gov *governor.Governor, ex *cypher.Executor, srv *bolt.Server, g *graph.Graph) {
+	t.Helper()
+	g = graph.New("load")
+	var prev *graph.Node
+	for i := 0; i < nodes; i++ {
+		n := g.AddNode([]string{"N"}, graph.Props{"i": graph.NewInt(int64(i))})
+		if prev != nil {
+			g.MustAddEdge(prev.ID, n.ID, []string{"NEXT"}, nil)
+		}
+		prev = n
+	}
+	gov = governor.New(governor.Config{MaxConcurrent: 8, MaxQueue: 32, QueueTimeout: 5 * time.Second})
+	ex = cypher.NewExecutor(g, append([]cypher.Option{cypher.WithAdmission(gov)}, opts...)...)
+	srv = bolt.NewServer(bolt.Config{Executor: ex})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String(), gov, ex, srv, g
+}
+
+// session runs one client's mixed workload.
+func session(addr string, id, iters int) error {
+	c, err := bolt.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Hello(fmt.Sprintf("load-%d", id)); err != nil {
+		return err
+	}
+	for i := 0; i < iters; i++ {
+		switch i % 4 {
+		case 0: // pipelined streamed read: RUN and PULL in one flight
+			if err := c.SendRun(`MATCH (n:N) RETURN n.i AS i LIMIT 50`, nil); err != nil {
+				return err
+			}
+			if err := c.SendPull(-1); err != nil {
+				return err
+			}
+			if _, err := c.RecvSummary(); err != nil {
+				return fmt.Errorf("session %d iter %d run: %w", id, i, err)
+			}
+			recs, _, _, err := c.RecvStream()
+			if err != nil {
+				return fmt.Errorf("session %d iter %d pull: %w", id, i, err)
+			}
+			if len(recs) != 50 {
+				return fmt.Errorf("session %d iter %d: %d records, want 50", id, i, len(recs))
+			}
+		case 1: // paged read with early DISCARD
+			if _, err := c.Run(`MATCH (a:N)-[:NEXT]->(b:N) RETURN a.i AS x`, nil); err != nil {
+				return err
+			}
+			if _, _, _, err := c.Pull(10); err != nil {
+				return err
+			}
+			if err := c.Send(0x2F, map[string]any{}); err != nil { // DISCARD
+				return err
+			}
+			if _, err := c.RecvSummary(); err != nil {
+				return err
+			}
+		case 2: // transaction: create then roll back (no net graph growth)
+			if err := c.Begin(); err != nil {
+				return err
+			}
+			if _, _, err := c.RunAll(fmt.Sprintf(`CREATE (t:Tmp {s: %d})`, id), nil); err != nil {
+				return err
+			}
+			if err := c.Rollback(); err != nil {
+				return err
+			}
+		case 3: // parameterized point read
+			_, recs, err := c.RunAll(`MATCH (n:N) WHERE n.i = $i RETURN n.i AS i`,
+				map[string]any{"i": int64(i % 100)})
+			if err != nil {
+				return err
+			}
+			if len(recs) != 1 {
+				return fmt.Errorf("session %d iter %d: point read %d records", id, i, len(recs))
+			}
+		}
+	}
+	return nil
+}
+
+func TestLoadConcurrentSessions(t *testing.T) {
+	addr, gov, _, srv, g := startTestServer(t, 400)
+
+	const sessions = 12
+	const iters = 16
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs <- session(addr, id, iters)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := gov.Stats()
+	if st.Active != 0 {
+		t.Fatalf("governor still has %d active queries", st.Active)
+	}
+	if st.Admitted != st.Completed+st.Killed {
+		t.Fatalf("governor counters do not reconcile: %+v", st)
+	}
+	if st.Admitted < sessions*iters {
+		t.Fatalf("admitted %d queries, expected at least %d", st.Admitted, sessions*iters)
+	}
+	if n := len(g.NodesWithLabel("Tmp")); n != 0 {
+		t.Fatalf("%d Tmp nodes leaked past rollback", n)
+	}
+	// Handlers unwind asynchronously after the clients' GOODBYE.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().ConnectionsActive != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ss := srv.Stats(); ss.ConnectionsActive != 0 {
+		t.Fatalf("%d connections still active", ss.ConnectionsActive)
+	}
+}
+
+// TestLoadBudgetKillsUnderConcurrency mixes budget-killed queries with
+// healthy ones; kills must map to the typed transient code and the
+// governor must count them as kills yet still reconcile.
+func TestLoadBudgetKillsUnderConcurrency(t *testing.T) {
+	addr, gov, _, _, _ := startTestServer(t, 300, cypher.WithMaxRows(100))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := bolt.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Hello("kill"); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 6; i++ {
+				// Over-budget scan: must fail with the typed code.
+				_, _, err := c.RunAll(`MATCH (n:N) RETURN n.i AS i`, nil)
+				var sf *bolt.ServerFailure
+				if !errors.As(err, &sf) || sf.Code != "Neo.TransientError.General.ResourceExhausted" {
+					errs <- fmt.Errorf("session %d: err = %v, want ResourceExhausted", id, err)
+					return
+				}
+				if err := c.Reset(); err != nil {
+					errs <- err
+					return
+				}
+				// In-budget read still works on the same connection.
+				if _, recs, err := c.RunAll(`MATCH (n:N) RETURN n.i AS i LIMIT 10`, nil); err != nil || len(recs) != 10 {
+					errs <- fmt.Errorf("session %d: healthy read: %d recs, %v", id, len(recs), err)
+					return
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := gov.Stats()
+	if st.Active != 0 || st.Admitted != st.Completed+st.Killed {
+		t.Fatalf("governor counters do not reconcile: %+v", st)
+	}
+	if st.Killed < 8*6 {
+		t.Fatalf("killed %d, want at least %d budget kills", st.Killed, 8*6)
+	}
+}
+
+// TestLoadDisconnectStorm drops connections mid-stream and mid-
+// transaction without GOODBYE; the server must release every stream,
+// slot and lock, and leak no goroutines.
+func TestLoadDisconnectStorm(t *testing.T) {
+	addr, gov, ex, srv, g := startTestServer(t, 2000)
+
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for s := 0; s < 10; s++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c, err := bolt.Dial(addr)
+				if err != nil {
+					return
+				}
+				if _, err := c.Hello("storm"); err != nil {
+					c.Close()
+					return
+				}
+				switch id % 3 {
+				case 0: // drop mid-stream: scan far larger than the cursor buffer
+					c.SendRun(`MATCH (a:N), (b:N) RETURN a.i AS x`, nil)
+					c.SendPull(1)
+				case 1: // drop mid-transaction with uncommitted writes
+					c.Begin()
+					c.RunAll(`CREATE (t:Storm {s: 1})`, nil)
+				case 2: // drop between messages
+					c.RunAll(`MATCH (n:N) RETURN n.i AS i LIMIT 5`, nil)
+				}
+				// Abrupt close: no GOODBYE, no drain.
+				c.CloseAbrupt()
+			}(s)
+		}
+		wg.Wait()
+	}
+
+	// The handlers unwind asynchronously; wait for the governor and the
+	// goroutine count to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if gov.Stats().Active == 0 && runtime.NumGoroutine() <= before+4 &&
+			srv.Stats().ConnectionsActive == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := gov.Stats()
+	if st.Active != 0 {
+		t.Fatalf("governor still has %d active queries after the storm", st.Active)
+	}
+	if st.Admitted != st.Completed+st.Killed {
+		t.Fatalf("governor counters do not reconcile: %+v", st)
+	}
+	if n := runtime.NumGoroutine(); n > before+4 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, n,
+			buf[:runtime.Stack(buf, true)])
+	}
+	if n := len(g.NodesWithLabel("Storm")); n != 0 {
+		t.Fatalf("%d Storm nodes survived dropped transactions", n)
+	}
+	// The transaction lock must be free: a fresh session can Begin.
+	s := ex.OpenSession()
+	defer s.Close()
+	if err := s.Begin(nil); err != nil {
+		t.Fatalf("transaction lock leaked by the storm: %v", err)
+	}
+}

@@ -261,6 +261,39 @@ type (
 // it to NewExecutor via WithAdmission.
 func NewGovernor(cfg GovernorConfig) *Governor { return governor.New(cfg) }
 
+// Transport-agnostic query sessions: streamed results under caller flow
+// control plus explicit transactions. This is the API the Bolt server
+// (cmd/graphd) and the cypher REPL are built on.
+type (
+	// QuerySession is a stateful query channel over one executor: Run
+	// returns a QueryCursor streaming records as the engine produces
+	// them, and Begin/Commit/Rollback bracket explicit single-writer
+	// transactions with snapshot rollback. One in-flight cursor at a
+	// time; not safe for concurrent use.
+	QuerySession = cypher.Session
+	// QueryCursor iterates one result set: Next / Record / Columns /
+	// Err / Close / Summary. Closing early cancels the producing query.
+	QueryCursor = cypher.Cursor
+)
+
+// Session-state errors returned by QuerySession methods.
+var (
+	// ErrSessionClosed reports use of a closed QuerySession.
+	ErrSessionClosed = cypher.ErrSessionClosed
+	// ErrTxOpen reports Begin while a transaction is already open.
+	ErrTxOpen = cypher.ErrTxOpen
+	// ErrNoTx reports Commit/Rollback without an open transaction.
+	ErrNoTx = cypher.ErrNoTx
+)
+
+// OpenSession builds an executor over g configured by opts and opens a
+// query session on it. For several sessions sharing one executor (and
+// its plan cache, budgets and admission), call NewExecutor once and use
+// Executor.OpenSession per connection instead.
+func OpenSession(g *Graph, opts ...ExecutorOption) *QuerySession {
+	return cypher.NewExecutor(g, opts...).OpenSession()
+}
+
 // QueryFootprint over-approximates the labels, edge types and property
 // keys a query's result can depend on; intersected with a GraphDelta it
 // answers "can this epoch have changed this query's result?".

@@ -1,0 +1,71 @@
+package bolt
+
+// Mapping from engine errors to Bolt FAILURE metadata. Drivers dispatch
+// on the code's classification segment (ClientError / TransientError /
+// DatabaseError), so the mapping keeps the engine's error taxonomy
+// visible to stock clients: admission rejections and row/memory budget
+// kills are transient (retry later, maybe smaller), deadline kills and
+// syntax errors are the client's to fix, panics are server faults.
+
+import (
+	"context"
+	"errors"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+)
+
+// Bolt failure codes served by this server.
+const (
+	codeSyntaxError      = "Neo.ClientError.Statement.SyntaxError"
+	codeInvalidRequest   = "Neo.ClientError.Request.Invalid"
+	codeTxTimedOut       = "Neo.ClientError.Transaction.TransactionTimedOut"
+	codeTerminated       = "Neo.ClientError.Transaction.Terminated"
+	codeNoThreads        = "Neo.TransientError.Request.NoThreadsAvailable"
+	codeResourceExceeded = "Neo.TransientError.General.ResourceExhausted"
+	codeOutOfMemory      = "Neo.TransientError.General.MemoryPoolOutOfMemoryError"
+	codeUnknownError     = "Neo.DatabaseError.General.UnknownError"
+	codeExecutionFailed  = "Neo.DatabaseError.Statement.ExecutionFailed"
+)
+
+// admissionRejected matches any admission controller's typed rejection
+// without coupling to one implementation (internal/governor's error
+// carries this marker method).
+type admissionRejected interface{ AdmissionRejected() bool }
+
+// failureMeta builds the FAILURE metadata map for an engine error.
+func failureMeta(err error) map[string]any {
+	return map[string]any{"code": failureCode(err), "message": err.Error()}
+}
+
+func failureCode(err error) string {
+	var adm admissionRejected
+	var re *cypher.ResourceExhaustedError
+	var pe *cypher.PanicError
+	var se *cypher.SyntaxError
+	switch {
+	case errors.As(err, &adm):
+		return codeNoThreads
+	case errors.As(err, &re):
+		switch re.Resource {
+		case "memory":
+			return codeOutOfMemory
+		case "deadline":
+			return codeTxTimedOut
+		default:
+			return codeResourceExceeded
+		}
+	case errors.As(err, &se):
+		return codeSyntaxError
+	case errors.As(err, &pe):
+		return codeUnknownError
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeTxTimedOut
+	case errors.Is(err, context.Canceled):
+		return codeTerminated
+	case errors.Is(err, cypher.ErrTxOpen), errors.Is(err, cypher.ErrNoTx),
+		errors.Is(err, cypher.ErrSessionClosed):
+		return codeInvalidRequest
+	default:
+		return codeExecutionFailed
+	}
+}

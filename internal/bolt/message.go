@@ -1,0 +1,192 @@
+package bolt
+
+// Message layer: request/summary tags, chunked transfer framing and the
+// handshake. One Bolt message is one packstream structure, shipped as a
+// sequence of chunks — each a 16-bit big-endian size prefix plus that
+// many payload bytes — terminated by a zero-size chunk.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Request message tags (client → server).
+const (
+	msgHello    = 0x01
+	msgGoodbye  = 0x02
+	msgReset    = 0x0F
+	msgRun      = 0x10
+	msgBegin    = 0x11
+	msgCommit   = 0x12
+	msgRollback = 0x13
+	msgDiscard  = 0x2F
+	msgPull     = 0x3F
+)
+
+// Summary/record message tags (server → client).
+const (
+	msgSuccess = 0x70
+	msgRecord  = 0x71
+	msgIgnored = 0x7E
+	msgFailure = 0x7F
+)
+
+func tagName(tag byte) string {
+	switch tag {
+	case msgHello:
+		return "HELLO"
+	case msgGoodbye:
+		return "GOODBYE"
+	case msgReset:
+		return "RESET"
+	case msgRun:
+		return "RUN"
+	case msgBegin:
+		return "BEGIN"
+	case msgCommit:
+		return "COMMIT"
+	case msgRollback:
+		return "ROLLBACK"
+	case msgDiscard:
+		return "DISCARD"
+	case msgPull:
+		return "PULL"
+	case msgSuccess:
+		return "SUCCESS"
+	case msgRecord:
+		return "RECORD"
+	case msgIgnored:
+		return "IGNORED"
+	case msgFailure:
+		return "FAILURE"
+	default:
+		return fmt.Sprintf("MSG(0x%02X)", tag)
+	}
+}
+
+// maxMessageSize bounds one reassembled message (16 MiB): large enough
+// for any realistic record, small enough that a hostile peer cannot make
+// the server buffer unbounded input.
+const maxMessageSize = 16 << 20
+
+// maxChunk is the largest chunk payload the 16-bit size prefix allows.
+const maxChunk = 0xFFFF
+
+// writeMessage ships one encoded message as chunks + end marker.
+func writeMessage(w io.Writer, payload []byte) error {
+	var hdr [2]byte
+	for len(payload) > 0 {
+		n := len(payload)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		binary.BigEndian.PutUint16(hdr[:], uint16(n))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload[:n]); err != nil {
+			return err
+		}
+		payload = payload[n:]
+	}
+	binary.BigEndian.PutUint16(hdr[:], 0)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readMessage reassembles one chunked message. A leading zero-size chunk
+// (a "noop" keep-alive some drivers send) is skipped rather than treated
+// as an empty message.
+func readMessage(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [2]byte
+	buf = buf[:0]
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[:]))
+		if n == 0 {
+			if len(buf) == 0 {
+				continue // noop chunk between messages
+			}
+			return buf, nil
+		}
+		if len(buf)+n > maxMessageSize {
+			return nil, fmt.Errorf("bolt: message exceeds %d bytes", maxMessageSize)
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ---------- handshake ----------
+
+// Handshake magic preamble.
+var magic = [4]byte{0x60, 0x60, 0xB0, 0x17}
+
+// supportedVersions lists the protocol versions this server speaks, in
+// preference order. 5.1+ (LOGON-based authentication) is deliberately
+// absent: drivers negotiate down to 5.0 or 4.4.
+var supportedVersions = [][2]byte{{5, 0}, {4, 4}, {4, 3}, {4, 2}}
+
+// negotiate performs the server side of the Bolt handshake: the client
+// sends the magic plus four version proposals (each possibly a range);
+// the server answers with the best mutually supported version, or 0.0.0.0
+// and an error when there is none.
+func negotiate(rw io.ReadWriter) (major, minor byte, err error) {
+	var in [20]byte
+	if _, err := io.ReadFull(rw, in[:]); err != nil {
+		return 0, 0, fmt.Errorf("bolt: handshake read: %w", err)
+	}
+	if [4]byte(in[:4]) != magic {
+		return 0, 0, fmt.Errorf("bolt: bad handshake magic % X", in[:4])
+	}
+	for i := 0; i < 4 && major == 0; i++ {
+		p := in[4+i*4 : 8+i*4]
+		// Proposal layout: [reserved, minorRange, minor, major]; the range
+		// extends the proposal to `minorRange` consecutive lower minors.
+		pMajor, pMinor, pRange := p[3], p[2], p[1]
+		for _, v := range supportedVersions {
+			if v[0] != pMajor {
+				continue
+			}
+			if v[1] <= pMinor && int(v[1]) >= int(pMinor)-int(pRange) {
+				major, minor = v[0], v[1]
+				break
+			}
+		}
+	}
+	out := [4]byte{0, 0, minor, major}
+	if _, werr := rw.Write(out[:]); werr != nil {
+		return 0, 0, fmt.Errorf("bolt: handshake write: %w", werr)
+	}
+	if major == 0 {
+		return 0, 0, fmt.Errorf("bolt: no mutually supported version in % X", in[4:])
+	}
+	return major, minor, nil
+}
+
+// clientHandshake performs the client side, proposing the server's own
+// preference list (used by the in-repo driver and tests).
+func clientHandshake(rw io.ReadWriter) (major, minor byte, err error) {
+	out := make([]byte, 0, 20)
+	out = append(out, magic[:]...)
+	for _, v := range supportedVersions {
+		out = append(out, 0, 0, v[1], v[0])
+	}
+	if _, err := rw.Write(out); err != nil {
+		return 0, 0, err
+	}
+	var in [4]byte
+	if _, err := io.ReadFull(rw, in[:]); err != nil {
+		return 0, 0, err
+	}
+	if in[3] == 0 {
+		return 0, 0, fmt.Errorf("bolt: server rejected all proposed versions")
+	}
+	return in[3], in[2], nil
+}

@@ -1,0 +1,501 @@
+// Package bolt implements the Bolt graph-database wire protocol —
+// packstream serialization, chunked message framing, version
+// negotiation and the server-side session state machine — so stock
+// Neo4j drivers and tools can talk to the graphrules engine over TCP.
+//
+// Protocol support targets Bolt 4.2–4.4 and 5.0: every version a
+// mainstream driver negotiates without the 5.1+ LOGON flow. The version
+// only changes the Node/Relationship record encoding (5.x adds string
+// element IDs); the message grammar served here is the common subset.
+package bolt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Packstream markers. Tiny types embed their size in the marker byte;
+// sized types carry an 8/16/32-bit big-endian length after it.
+const (
+	mNull    = 0xC0
+	mFloat   = 0xC1
+	mFalse   = 0xC2
+	mTrue    = 0xC3
+	mInt8    = 0xC8
+	mInt16   = 0xC9
+	mInt32   = 0xCA
+	mInt64   = 0xCB
+	mBytes8  = 0xCC
+	mBytes16 = 0xCD
+	mBytes32 = 0xCE
+	mTinyStr = 0x80
+	mStr8    = 0xD0
+	mStr16   = 0xD1
+	mStr32   = 0xD2
+	mTinyLst = 0x90
+	mLst8    = 0xD4
+	mLst16   = 0xD5
+	mLst32   = 0xD6
+	mTinyMap = 0xA0
+	mMap8    = 0xD8
+	mMap16   = 0xD9
+	mMap32   = 0xDA
+	mTinyStc = 0xB0
+)
+
+// Structure is a generic packstream structure: a tag byte plus fields.
+// Messages and graph entities are all structures on the wire; the
+// decoder returns them in this raw form and typed views (Node,
+// Relationship, message structs) are projected at the protocol layer.
+type Structure struct {
+	Tag    byte
+	Fields []any
+}
+
+// Graph-entity structure tags.
+const (
+	tagNode         = 0x4E // 'N'
+	tagRelationship = 0x52 // 'R'
+)
+
+// Node is a Bolt node record value. ElementID is only on the wire for
+// Bolt 5.x; the server synthesizes it from the numeric ID.
+type Node struct {
+	ID        int64
+	Labels    []string
+	Props     map[string]any
+	ElementID string
+}
+
+// Relationship is a Bolt relationship record value.
+type Relationship struct {
+	ID             int64
+	StartID        int64
+	EndID          int64
+	Type           string
+	Props          map[string]any
+	ElementID      string
+	StartElementID string
+	EndElementID   string
+}
+
+// Encoder appends packstream values to a growing buffer. The zero value
+// encodes Bolt 4.x entity structures; set V5 for 5.x element-ID fields.
+type Encoder struct {
+	buf []byte
+	V5  bool
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset clears the buffer, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Append encodes one value. Supported: nil, bool, all Go integer types,
+// float64/float32, string, []byte, []any, []string, map[string]any,
+// Node, Relationship and Structure.
+func (e *Encoder) Append(v any) error {
+	switch x := v.(type) {
+	case nil:
+		e.buf = append(e.buf, mNull)
+	case bool:
+		if x {
+			e.buf = append(e.buf, mTrue)
+		} else {
+			e.buf = append(e.buf, mFalse)
+		}
+	case int64:
+		e.AppendInt(x)
+	case int:
+		e.AppendInt(int64(x))
+	case int8:
+		e.AppendInt(int64(x))
+	case int16:
+		e.AppendInt(int64(x))
+	case int32:
+		e.AppendInt(int64(x))
+	case uint8:
+		e.AppendInt(int64(x))
+	case uint16:
+		e.AppendInt(int64(x))
+	case uint32:
+		e.AppendInt(int64(x))
+	case uint64:
+		if x > math.MaxInt64 {
+			return fmt.Errorf("bolt: uint64 %d overflows packstream int", x)
+		}
+		e.AppendInt(int64(x))
+	case float64:
+		e.AppendFloat(x)
+	case float32:
+		e.AppendFloat(float64(x))
+	case string:
+		e.AppendString(x)
+	case []byte:
+		e.appendBytes(x)
+	case []any:
+		if err := e.appendSize(mTinyLst, mLst8, len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			if err := e.Append(it); err != nil {
+				return err
+			}
+		}
+	case []string:
+		if err := e.appendSize(mTinyLst, mLst8, len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			e.AppendString(it)
+		}
+	case map[string]any:
+		if err := e.appendSize(mTinyMap, mMap8, len(x)); err != nil {
+			return err
+		}
+		for k, it := range x {
+			e.AppendString(k)
+			if err := e.Append(it); err != nil {
+				return err
+			}
+		}
+	case Node:
+		return e.appendNode(x)
+	case *Node:
+		return e.appendNode(*x)
+	case Relationship:
+		return e.appendRelationship(x)
+	case *Relationship:
+		return e.appendRelationship(*x)
+	case Structure:
+		return e.AppendStructure(x.Tag, x.Fields...)
+	default:
+		return fmt.Errorf("bolt: cannot encode %T", v)
+	}
+	return nil
+}
+
+// AppendInt encodes an integer in its smallest representation.
+func (e *Encoder) AppendInt(n int64) {
+	switch {
+	case n >= -16 && n <= 127:
+		e.buf = append(e.buf, byte(n))
+	case n >= math.MinInt8 && n <= math.MaxInt8:
+		e.buf = append(e.buf, mInt8, byte(n))
+	case n >= math.MinInt16 && n <= math.MaxInt16:
+		e.buf = append(e.buf, mInt16)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	case n >= math.MinInt32 && n <= math.MaxInt32:
+		e.buf = append(e.buf, mInt32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	default:
+		e.buf = append(e.buf, mInt64)
+		e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(n))
+	}
+}
+
+// AppendFloat encodes a 64-bit float.
+func (e *Encoder) AppendFloat(f float64) {
+	e.buf = append(e.buf, mFloat)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// AppendString encodes a UTF-8 string.
+func (e *Encoder) AppendString(s string) {
+	n := len(s)
+	switch {
+	case n <= 15:
+		e.buf = append(e.buf, mTinyStr|byte(n))
+	case n <= math.MaxUint8:
+		e.buf = append(e.buf, mStr8, byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, mStr16)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, mStr32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+	e.buf = append(e.buf, s...)
+}
+
+func (e *Encoder) appendBytes(b []byte) {
+	n := len(b)
+	switch {
+	case n <= math.MaxUint8:
+		e.buf = append(e.buf, mBytes8, byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, mBytes16)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, mBytes32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+	e.buf = append(e.buf, b...)
+}
+
+// appendSize writes a collection header: tiny marker when the size fits
+// a nibble, otherwise the 8/16/32-bit sized marker family starting at
+// sized8.
+func (e *Encoder) appendSize(tiny, sized8 byte, n int) error {
+	switch {
+	case n < 0:
+		return fmt.Errorf("bolt: negative collection size %d", n)
+	case n <= 15:
+		e.buf = append(e.buf, tiny|byte(n))
+	case n <= math.MaxUint8:
+		e.buf = append(e.buf, sized8, byte(n))
+	case n <= math.MaxUint16:
+		e.buf = append(e.buf, sized8+1)
+		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(n))
+	default:
+		e.buf = append(e.buf, sized8+2)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(n))
+	}
+	return nil
+}
+
+// AppendStructure encodes a structure header plus its fields. Structures
+// hold at most 15 fields on the wire.
+func (e *Encoder) AppendStructure(tag byte, fields ...any) error {
+	if len(fields) > 15 {
+		return fmt.Errorf("bolt: structure with %d fields exceeds the wire maximum of 15", len(fields))
+	}
+	e.buf = append(e.buf, mTinyStc|byte(len(fields)), tag)
+	for _, f := range fields {
+		if err := e.Append(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Encoder) appendNode(n Node) error {
+	props := n.Props
+	if props == nil {
+		props = map[string]any{}
+	}
+	labels := n.Labels
+	if labels == nil {
+		labels = []string{}
+	}
+	if e.V5 {
+		return e.AppendStructure(tagNode, n.ID, labels, props, n.ElementID)
+	}
+	return e.AppendStructure(tagNode, n.ID, labels, props)
+}
+
+func (e *Encoder) appendRelationship(r Relationship) error {
+	props := r.Props
+	if props == nil {
+		props = map[string]any{}
+	}
+	if e.V5 {
+		return e.AppendStructure(tagRelationship, r.ID, r.StartID, r.EndID, r.Type,
+			props, r.ElementID, r.StartElementID, r.EndElementID)
+	}
+	return e.AppendStructure(tagRelationship, r.ID, r.StartID, r.EndID, r.Type, props)
+}
+
+// maxNesting bounds decoder recursion so hostile input cannot exhaust
+// the stack.
+const maxNesting = 64
+
+// Decode reads one packstream value off the front of b and returns it
+// with the remaining bytes. Structures come back as Structure; the
+// caller projects typed views. Integers are int64, collections []any /
+// map[string]any.
+func Decode(b []byte) (any, []byte, error) {
+	return decodeValue(b, 0)
+}
+
+func decodeValue(b []byte, depth int) (any, []byte, error) {
+	if depth > maxNesting {
+		return nil, nil, fmt.Errorf("bolt: nesting deeper than %d", maxNesting)
+	}
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("bolt: truncated value")
+	}
+	marker := b[0]
+	b = b[1:]
+
+	// Tiny ints occupy the whole non-marker space.
+	if marker < 0x80 { // 0..127
+		return int64(marker), b, nil
+	}
+	if marker >= 0xF0 { // -16..-1
+		return int64(int8(marker)), b, nil
+	}
+
+	switch {
+	case marker&0xF0 == mTinyStr:
+		return decodeString(b, int(marker&0x0F))
+	case marker&0xF0 == mTinyLst:
+		return decodeList(b, int(marker&0x0F), depth)
+	case marker&0xF0 == mTinyMap:
+		return decodeMap(b, int(marker&0x0F), depth)
+	case marker&0xF0 == mTinyStc:
+		return decodeStructure(b, int(marker&0x0F), depth)
+	}
+
+	switch marker {
+	case mNull:
+		return nil, b, nil
+	case mTrue:
+		return true, b, nil
+	case mFalse:
+		return false, b, nil
+	case mFloat:
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("bolt: truncated float")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+	case mInt8:
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("bolt: truncated int8")
+		}
+		return int64(int8(b[0])), b[1:], nil
+	case mInt16:
+		if len(b) < 2 {
+			return nil, nil, fmt.Errorf("bolt: truncated int16")
+		}
+		return int64(int16(binary.BigEndian.Uint16(b))), b[2:], nil
+	case mInt32:
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("bolt: truncated int32")
+		}
+		return int64(int32(binary.BigEndian.Uint32(b))), b[4:], nil
+	case mInt64:
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("bolt: truncated int64")
+		}
+		return int64(binary.BigEndian.Uint64(b)), b[8:], nil
+	case mBytes8, mBytes16, mBytes32:
+		n, rest, err := decodeSize(b, marker-mBytes8)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) < n {
+			return nil, nil, fmt.Errorf("bolt: truncated bytes")
+		}
+		out := make([]byte, n)
+		copy(out, rest[:n])
+		return out, rest[n:], nil
+	case mStr8, mStr16, mStr32:
+		n, rest, err := decodeSize(b, marker-mStr8)
+		if err != nil {
+			return nil, nil, err
+		}
+		return decodeString(rest, n)
+	case mLst8, mLst16, mLst32:
+		n, rest, err := decodeSize(b, marker-mLst8)
+		if err != nil {
+			return nil, nil, err
+		}
+		return decodeList(rest, n, depth)
+	case mMap8, mMap16, mMap32:
+		n, rest, err := decodeSize(b, marker-mMap8)
+		if err != nil {
+			return nil, nil, err
+		}
+		return decodeMap(rest, n, depth)
+	default:
+		return nil, nil, fmt.Errorf("bolt: unknown marker 0x%02X", marker)
+	}
+}
+
+// decodeSize reads an 8/16/32-bit big-endian collection size; width is
+// 0, 1 or 2 for the three marker variants.
+func decodeSize(b []byte, width byte) (int, []byte, error) {
+	switch width {
+	case 0:
+		if len(b) < 1 {
+			return 0, nil, fmt.Errorf("bolt: truncated size8")
+		}
+		return int(b[0]), b[1:], nil
+	case 1:
+		if len(b) < 2 {
+			return 0, nil, fmt.Errorf("bolt: truncated size16")
+		}
+		return int(binary.BigEndian.Uint16(b)), b[2:], nil
+	default:
+		if len(b) < 4 {
+			return 0, nil, fmt.Errorf("bolt: truncated size32")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if n > math.MaxInt32 {
+			return 0, nil, fmt.Errorf("bolt: size %d too large", n)
+		}
+		return int(n), b[4:], nil
+	}
+}
+
+func decodeString(b []byte, n int) (any, []byte, error) {
+	if len(b) < n {
+		return nil, nil, fmt.Errorf("bolt: truncated string")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func decodeList(b []byte, n, depth int) (any, []byte, error) {
+	// Each element needs at least one marker byte; reject sizes the
+	// remaining input cannot possibly satisfy before allocating.
+	if n > len(b) {
+		return nil, nil, fmt.Errorf("bolt: list size %d exceeds input", n)
+	}
+	out := make([]any, 0, n)
+	var v any
+	var err error
+	for i := 0; i < n; i++ {
+		v, b, err = decodeValue(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, v)
+	}
+	return out, b, nil
+}
+
+func decodeMap(b []byte, n, depth int) (any, []byte, error) {
+	if n > len(b)/2 {
+		return nil, nil, fmt.Errorf("bolt: map size %d exceeds input", n)
+	}
+	out := make(map[string]any, n)
+	var k, v any
+	var err error
+	for i := 0; i < n; i++ {
+		k, b, err = decodeValue(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		key, ok := k.(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("bolt: non-string map key %T", k)
+		}
+		v, b, err = decodeValue(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[key] = v
+	}
+	return out, b, nil
+}
+
+func decodeStructure(b []byte, n, depth int) (any, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("bolt: truncated structure tag")
+	}
+	st := Structure{Tag: b[0]}
+	b = b[1:]
+	var v any
+	var err error
+	for i := 0; i < n; i++ {
+		v, b, err = decodeValue(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Fields = append(st.Fields, v)
+	}
+	return st, b, nil
+}

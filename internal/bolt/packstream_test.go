@@ -1,0 +1,215 @@
+package bolt
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes v and decodes it back.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	var e Encoder
+	if err := e.Append(v); err != nil {
+		t.Fatalf("encode %v: %v", v, err)
+	}
+	got, rest, err := Decode(e.Bytes())
+	if err != nil {
+		t.Fatalf("decode %v: %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode %v: %d trailing bytes", v, len(rest))
+	}
+	return got
+}
+
+func TestPackstreamScalars(t *testing.T) {
+	cases := []any{
+		nil, true, false,
+		int64(0), int64(1), int64(-1), int64(-16), int64(-17), int64(127), int64(128),
+		int64(-128), int64(-129), int64(32767), int64(-32768), int64(32768),
+		int64(math.MaxInt32), int64(math.MinInt32), int64(math.MaxInt32) + 1,
+		int64(math.MaxInt64), int64(math.MinInt64),
+		float64(0), 3.14159, math.Inf(1), -0.0,
+		"", "a", "héllo wörld", strings.Repeat("x", 15), strings.Repeat("x", 16),
+		strings.Repeat("y", 256), strings.Repeat("z", 70000),
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+func TestPackstreamIntWidths(t *testing.T) {
+	// The encoder must pick the smallest representation.
+	cases := []struct {
+		n    int64
+		size int
+	}{
+		{0, 1}, {127, 1}, {-16, 1},
+		{-17, 2}, {-128, 2},
+		{128, 3}, {32767, 3}, {-32768, 3},
+		{32768, 5}, {math.MaxInt32, 5},
+		{math.MaxInt32 + 1, 9}, {math.MinInt64, 9},
+	}
+	for _, c := range cases {
+		var e Encoder
+		e.AppendInt(c.n)
+		if len(e.Bytes()) != c.size {
+			t.Errorf("int %d encoded to %d bytes, want %d", c.n, len(e.Bytes()), c.size)
+		}
+	}
+}
+
+func TestPackstreamCollections(t *testing.T) {
+	cases := []any{
+		[]any{},
+		[]any{int64(1), "two", 3.0, nil, true},
+		map[string]any{},
+		map[string]any{"k": int64(1), "nested": []any{"a", "b"}},
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+
+	// Sized collection boundaries (16 and 256 elements).
+	for _, n := range []int{15, 16, 255, 256} {
+		l := make([]any, n)
+		for i := range l {
+			l[i] = int64(i)
+		}
+		got := roundTrip(t, l)
+		if !reflect.DeepEqual(got, l) {
+			t.Errorf("list of %d did not round trip", n)
+		}
+	}
+}
+
+func TestPackstreamBytes(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 70000} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		got := roundTrip(t, b)
+		if !reflect.DeepEqual(got, b) {
+			t.Errorf("bytes of %d did not round trip", n)
+		}
+	}
+}
+
+func TestPackstreamStructure(t *testing.T) {
+	st := Structure{Tag: 0x66, Fields: []any{int64(1), "x", []any{true}}}
+	got := roundTrip(t, st)
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("structure round trip: %#v", got)
+	}
+
+	var e Encoder
+	if err := e.AppendStructure(0x01, make([]any, 16)...); err == nil {
+		t.Errorf("16-field structure should be rejected")
+	}
+}
+
+func TestPackstreamNodeEncoding(t *testing.T) {
+	n := Node{ID: 7, Labels: []string{"Person"}, Props: map[string]any{"name": "amy"}, ElementID: "7"}
+
+	var v4 Encoder
+	if err := v4.Append(n); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(v4.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.(Structure)
+	if st.Tag != tagNode || len(st.Fields) != 3 {
+		t.Fatalf("v4 node: tag 0x%02X fields %d, want 0x4E/3", st.Tag, len(st.Fields))
+	}
+
+	v5 := Encoder{V5: true}
+	if err := v5.Append(n); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = Decode(v5.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = got.(Structure)
+	if st.Tag != tagNode || len(st.Fields) != 4 {
+		t.Fatalf("v5 node: tag 0x%02X fields %d, want 0x4E/4", st.Tag, len(st.Fields))
+	}
+	if st.Fields[3] != "7" {
+		t.Fatalf("v5 element id = %v", st.Fields[3])
+	}
+}
+
+func TestPackstreamRelationshipEncoding(t *testing.T) {
+	r := Relationship{ID: 3, StartID: 1, EndID: 2, Type: "KNOWS",
+		ElementID: "3", StartElementID: "1", EndElementID: "2"}
+	for _, v5 := range []bool{false, true} {
+		e := Encoder{V5: v5}
+		if err := e.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Decode(e.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := got.(Structure)
+		want := 5
+		if v5 {
+			want = 8
+		}
+		if st.Tag != tagRelationship || len(st.Fields) != want {
+			t.Fatalf("v5=%v relationship: tag 0x%02X fields %d, want 0x52/%d",
+				v5, st.Tag, len(st.Fields), want)
+		}
+	}
+}
+
+// TestPackstreamTruncated feeds every strict prefix of a valid encoding;
+// all must error, none may panic.
+func TestPackstreamTruncated(t *testing.T) {
+	var e Encoder
+	if err := e.Append(map[string]any{
+		"list": []any{int64(300), "str", 2.5},
+		"node": Node{ID: 1, Labels: []string{"L"}, Props: map[string]any{"k": int64(99999)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	full := e.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, _, err := Decode(full[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(full))
+		}
+	}
+}
+
+func TestPackstreamHostileSizes(t *testing.T) {
+	cases := [][]byte{
+		{mLst32, 0xFF, 0xFF, 0xFF, 0xFF},       // 4G-element list
+		{mStr32, 0xFF, 0xFF, 0xFF, 0xFF, 'a'},  // 4G-char string
+		{mMap32, 0x00, 0xFF, 0xFF, 0xFF, 0x80}, // huge map
+	}
+	for _, b := range cases {
+		if _, _, err := Decode(b); err == nil {
+			t.Errorf("hostile input % X decoded without error", b)
+		}
+	}
+	// Deep nesting must hit the recursion bound, not the stack.
+	deep := make([]byte, 0, 4096)
+	for i := 0; i < 2000; i++ {
+		deep = append(deep, mTinyLst|1)
+	}
+	deep = append(deep, mNull)
+	if _, _, err := Decode(deep); err == nil {
+		t.Errorf("2000-deep nesting decoded without error")
+	}
+}

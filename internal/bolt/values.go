@@ -1,0 +1,115 @@
+package bolt
+
+// Conversions between engine values (graph.Value, cypher.Datum) and the
+// wire representation (packstream-encodable any, Node, Relationship).
+
+import (
+	"strconv"
+
+	"github.com/graphrules/graphrules/internal/cypher"
+	"github.com/graphrules/graphrules/internal/graph"
+)
+
+// wireValue lowers one graph.Value to a packstream-encodable value.
+func wireValue(v graph.Value) any {
+	switch v.Kind() {
+	case graph.KindBool:
+		return v.Bool()
+	case graph.KindInt:
+		return v.Int()
+	case graph.KindFloat:
+		return v.Float()
+	case graph.KindString:
+		return v.Str()
+	case graph.KindList:
+		l := v.List()
+		out := make([]any, len(l))
+		for i, e := range l {
+			out[i] = wireValue(e)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// wireProps lowers a property map.
+func wireProps(p graph.Props) map[string]any {
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = wireValue(v)
+	}
+	return out
+}
+
+// wireNode lowers a graph node to its Bolt record value.
+func wireNode(n *graph.Node) Node {
+	return Node{
+		ID:        int64(n.ID),
+		Labels:    n.Labels,
+		Props:     wireProps(n.Props),
+		ElementID: strconv.FormatInt(int64(n.ID), 10),
+	}
+}
+
+// wireRelationship lowers a graph edge. Bolt relationships carry exactly
+// one type; the engine allows multi-label edges, so the first label is
+// the wire type (the full list rides in the properties when longer).
+func wireRelationship(e *graph.Edge) Relationship {
+	typ := ""
+	if len(e.Labels) > 0 {
+		typ = e.Labels[0]
+	}
+	props := wireProps(e.Props)
+	if len(e.Labels) > 1 {
+		props["__labels"] = append([]any(nil), toAnySlice(e.Labels)...)
+	}
+	return Relationship{
+		ID:             int64(e.ID),
+		StartID:        int64(e.From),
+		EndID:          int64(e.To),
+		Type:           typ,
+		Props:          props,
+		ElementID:      strconv.FormatInt(int64(e.ID), 10),
+		StartElementID: strconv.FormatInt(int64(e.From), 10),
+		EndElementID:   strconv.FormatInt(int64(e.To), 10),
+	}
+}
+
+func toAnySlice(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// wireRecord lowers one cursor row to the RECORD field list.
+func wireRecord(row []cypher.Datum) []any {
+	out := make([]any, len(row))
+	for i, d := range row {
+		switch {
+		case d.Node != nil:
+			out[i] = wireNode(d.Node)
+		case d.Edge != nil:
+			out[i] = wireRelationship(d.Edge)
+		default:
+			out[i] = wireValue(d.Val)
+		}
+	}
+	return out
+}
+
+// engineParams raises a decoded Bolt parameter map to engine values.
+// Nested maps have no graph.Value representation and become null, as do
+// entity structures — parameters are scalars and lists in practice.
+func engineParams(m map[string]any) map[string]graph.Value {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]graph.Value, len(m))
+	for k, v := range m {
+		out[k] = graph.Of(v)
+	}
+	return out
+}

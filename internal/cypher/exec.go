@@ -60,6 +60,10 @@ type ExecStats struct {
 	// Seeks details every index seek taken, in execution order: the chosen
 	// bounds plus estimated vs. actual candidate rows.
 	Seeks []SeekInfo
+	// Streamed is true when the query ran on the streaming fast path
+	// (session.go / stream.go): result rows were emitted to the cursor
+	// incrementally and never materialized in Result.Rows.
+	Streamed bool
 	// Sharded is true when at least one MATCH ran on the morsel-driven
 	// worker pool; ShardWorkers is the configured pool size, Morsels how
 	// many morsels the last sharded clause's anchor scan was cut into,
@@ -109,6 +113,9 @@ func (s ExecStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan cache hit: %v\n", s.PlanCacheHit)
 	fmt.Fprintf(&b, "count fast path: %v\n", s.CountFastPath)
+	if s.Streamed {
+		fmt.Fprintf(&b, "streamed: true\n")
+	}
 	fmt.Fprintf(&b, "rows scanned: %d\n", s.RowsScanned)
 	fmt.Fprintf(&b, "index seeks: %d (%d candidate(s))\n", s.IndexSeeks, s.IndexRows)
 	if s.RangeSeeks > 0 {
@@ -262,6 +269,12 @@ type Executor struct {
 	memBudget     int64
 	queryDeadline time.Duration
 	admission     Admission
+
+	// txMu serializes explicit transactions (session.go): an open
+	// Session transaction holds it exclusively, and auto-commit mutating
+	// queries take it shared, so a transaction's captured write set is
+	// exactly its own writes. Read-only queries never touch it.
+	txMu sync.RWMutex
 
 	planMu    sync.Mutex
 	plans     map[string]*planEntry
@@ -420,6 +433,12 @@ func (ex *Executor) Run(src string, params map[string]graph.Value) (*Result, err
 // and periodically inside pattern-matching scans (including sharded
 // ones), returning cctx.Err() promptly once the context is done.
 //
+// RunCtx is the materializing shim over the Session/Cursor API
+// (session.go): it executes the same path a Session's materialized run
+// takes and returns the fully-collected Result. Callers that want
+// incremental row delivery, explicit transactions, or per-session state
+// should open a Session instead.
+//
 // On execution error the returned *Result is non-nil and carries the
 // execution stats accumulated up to the failure (rows scanned, seeks,
 // shard/morsel metadata), so profiling still works for failed queries;
@@ -460,18 +479,29 @@ func (ex *Executor) ExecuteCtx(cctx context.Context, q *Query, params map[string
 		}
 		defer func() { done(err) }()
 	}
+	return ex.executeProtected(cctx, q, params, nil)
+}
+
+// executeProtected runs a query under the panic-recovery and
+// budget-stamping defers but outside admission: ExecuteCtx admits first,
+// and a Session's streaming run admits synchronously at Run before handing
+// execution to the cursor goroutine (see session.go).
+func (ex *Executor) executeProtected(cctx context.Context, q *Query, params map[string]graph.Value, sink *streamSink) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = recoverToError(p)
 		}
 		finishExhausted(err, res)
 	}()
-	return ex.executeGoverned(cctx, q, params)
+	return ex.executeGoverned(cctx, q, params, sink)
 }
 
 // executeGoverned is the body of ExecuteCtx, after admission and under
-// its panic-recovery and budget-stamping defers.
-func (ex *Executor) executeGoverned(cctx context.Context, q *Query, params map[string]graph.Value) (*Result, error) {
+// its panic-recovery and budget-stamping defers. When sink is non-nil and
+// the query matches the streaming plan, result rows are emitted to the
+// sink incrementally instead of materializing in res.Rows (see stream.go);
+// otherwise the query materializes as usual and the caller drains res.Rows.
+func (ex *Executor) executeGoverned(cctx context.Context, q *Query, params map[string]graph.Value, sink *streamSink) (*Result, error) {
 	// Under WithSnapshotPin, a read-only query resolves the graph once to
 	// the current epoch's frozen snapshot: the whole scan — serial, sharded
 	// or morsel-stolen — observes exactly one epoch even while writers
@@ -490,6 +520,16 @@ func (ex *Executor) executeGoverned(cctx context.Context, q *Query, params map[s
 
 	res := &Result{}
 	m.exec = &res.Exec
+
+	if sink != nil && ex.shardWorkers == 0 {
+		if mc, rc, ok := streamFastPlan(q); ok {
+			start := time.Now()
+			err := ex.execMatchStream(ctx, m, mc, rc, res, sink)
+			res.Exec.Clauses = append(res.Exec.Clauses,
+				ClauseTiming{Clause: "MatchStream", Duration: time.Since(start)})
+			return res, err
+		}
+	}
 
 	if !ex.noCountFast {
 		if mc, item, ok := countFastPlan(q); ok {

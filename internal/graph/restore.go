@@ -1,0 +1,65 @@
+package graph
+
+import "fmt"
+
+// Restore re-publishes entities that were removed from the graph, keeping
+// their original IDs. It exists for compensating writes: transaction
+// rollback (internal/cypher's Session) restores the pre-transaction state
+// of every touched entity from the Begin-time snapshot, and a replicator
+// could use the same calls to undo a rejected epoch. Ordinary inserts must
+// keep using AddNode/AddEdge, which allocate fresh IDs.
+
+// RestoreNode re-inserts a previously removed node under its original ID.
+// The struct is published as-is (structs are immutable once published, so
+// passing a snapshot's node is safe). It is an error when the ID is still
+// occupied. The restore commits one epoch like any other mutation.
+func (g *Graph) RestoreNode(n *Node) error {
+	if n == nil {
+		return fmt.Errorf("graph %q: RestoreNode: nil node", g.name)
+	}
+	d := g.beginWrite()
+	if _, ok := g.nodes[n.ID]; ok {
+		g.abortWrite()
+		return fmt.Errorf("graph %q: RestoreNode: node %d already exists", g.name, n.ID)
+	}
+	// Keep the ID allocator ahead of every published ID so a restore can
+	// never collide with a future AddNode.
+	for next := g.nextNodeID.Load(); next <= int64(n.ID); next = g.nextNodeID.Load() {
+		if g.nextNodeID.CompareAndSwap(next, int64(n.ID)+1) {
+			break
+		}
+	}
+	g.insertNodeLocked(n, d)
+	g.endWrite(d)
+	return nil
+}
+
+// RestoreEdge re-inserts a previously removed edge under its original ID.
+// Both endpoints must exist (restore nodes before their edges). It is an
+// error when the ID is still occupied.
+func (g *Graph) RestoreEdge(e *Edge) error {
+	if e == nil {
+		return fmt.Errorf("graph %q: RestoreEdge: nil edge", g.name)
+	}
+	d := g.beginWrite()
+	if _, ok := g.edges[e.ID]; ok {
+		g.abortWrite()
+		return fmt.Errorf("graph %q: RestoreEdge: edge %d already exists", g.name, e.ID)
+	}
+	if _, ok := g.nodes[e.From]; !ok {
+		g.abortWrite()
+		return fmt.Errorf("graph %q: RestoreEdge: source node %d does not exist", g.name, e.From)
+	}
+	if _, ok := g.nodes[e.To]; !ok {
+		g.abortWrite()
+		return fmt.Errorf("graph %q: RestoreEdge: target node %d does not exist", g.name, e.To)
+	}
+	for next := g.nextEdgeID.Load(); next <= int64(e.ID); next = g.nextEdgeID.Load() {
+		if g.nextEdgeID.CompareAndSwap(next, int64(e.ID)+1) {
+			break
+		}
+	}
+	g.insertEdgeLocked(e, d)
+	g.endWrite(d)
+	return nil
+}

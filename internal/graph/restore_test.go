@@ -1,0 +1,65 @@
+package graph
+
+import "testing"
+
+func TestRestoreNodeAndEdge(t *testing.T) {
+	g := New("restore")
+	a := g.AddNode([]string{"A"}, Props{"k": NewInt(1)})
+	b := g.AddNode([]string{"B"}, nil)
+	e := g.MustAddEdge(a.ID, b.ID, []string{"REL"}, Props{"w": NewFloat(2.5)})
+
+	snap := g.Snapshot()
+	g.RemoveNode(a.ID) // cascades the edge
+	if g.Node(a.ID) != nil || g.Edge(e.ID) != nil {
+		t.Fatalf("remove did not take")
+	}
+
+	if err := g.RestoreNode(snap.Node(a.ID)); err != nil {
+		t.Fatalf("RestoreNode: %v", err)
+	}
+	if err := g.RestoreEdge(snap.Edge(e.ID)); err != nil {
+		t.Fatalf("RestoreEdge: %v", err)
+	}
+
+	got := g.Node(a.ID)
+	if got == nil || !got.HasLabel("A") || got.Prop("k").Int() != 1 {
+		t.Fatalf("restored node mismatch: %+v", got)
+	}
+	ge := g.Edge(e.ID)
+	if ge == nil || ge.From != a.ID || ge.To != b.ID || ge.Prop("w").Float() != 2.5 {
+		t.Fatalf("restored edge mismatch: %+v", ge)
+	}
+	// Label index must serve the restored node again.
+	if ids := g.NodesWithLabel("A"); len(ids) != 1 || ids[0] != a.ID {
+		t.Fatalf("label index after restore: %v", ids)
+	}
+	if deg := g.OutDegree(a.ID); deg != 1 {
+		t.Fatalf("adjacency after restore: out degree %d", deg)
+	}
+
+	// A fresh AddNode must not collide with the restored ID.
+	fresh := g.AddNode([]string{"C"}, nil)
+	if fresh.ID == a.ID || fresh.ID == b.ID {
+		t.Fatalf("ID allocator reused a restored ID: %d", fresh.ID)
+	}
+
+	// Restoring over a live entity is an error.
+	if err := g.RestoreNode(snap.Node(a.ID)); err == nil {
+		t.Fatalf("RestoreNode over live node should fail")
+	}
+	if err := g.RestoreEdge(snap.Edge(e.ID)); err == nil {
+		t.Fatalf("RestoreEdge over live edge should fail")
+	}
+}
+
+func TestRestoreEdgeRequiresEndpoints(t *testing.T) {
+	g := New("restore-endpoints")
+	a := g.AddNode([]string{"A"}, nil)
+	b := g.AddNode([]string{"B"}, nil)
+	e := g.MustAddEdge(a.ID, b.ID, []string{"REL"}, nil)
+	snap := g.Snapshot()
+	g.RemoveNode(b.ID)
+	if err := g.RestoreEdge(snap.Edge(e.ID)); err == nil {
+		t.Fatalf("RestoreEdge without target should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package graphrules
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFacadeQuerySession exercises the transport-agnostic session API
+// from the facade: streamed iteration, summaries, and transactions.
+func TestFacadeQuerySession(t *testing.T) {
+	g := NewGraph("qsession")
+	for i := 0; i < 30; i++ {
+		g.AddNode([]string{"User"}, Props{"id": NewIntValue(int64(i))})
+	}
+
+	s := OpenSession(g)
+	defer s.Close()
+
+	cur, err := s.Run(context.Background(), `MATCH (u:User) RETURN u.id AS id`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for cur.Next() {
+		if len(cur.Record()) != 1 {
+			t.Fatalf("record = %v", cur.Record())
+		}
+		n++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("streamed %d rows, want 30", n)
+	}
+	if cols := cur.Columns(); len(cols) != 1 || cols[0] != "id" {
+		t.Fatalf("columns = %v", cols)
+	}
+
+	// Explicit transaction: rolled-back writes leave no trace.
+	if err := s.Begin(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cur, err = s.Run(context.Background(), `CREATE (x:Tmp {k: 1})`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.NodesWithLabel("Tmp")); n != 0 {
+		t.Fatalf("%d Tmp nodes survived rollback", n)
+	}
+
+	// State errors are the exported sentinels.
+	if err := s.Rollback(); err != ErrNoTx {
+		t.Fatalf("Rollback without tx = %v, want ErrNoTx", err)
+	}
+}
